@@ -1,0 +1,196 @@
+//! Floyd–Warshall all-pairs shortest paths (benchmark (c), §5.1–5.2:
+//! `m` nodes).
+//!
+//! Edge weights are primitive fixed-point rationals (the paper uses
+//! rational inputs with 32-bit numerators and denominators and a 128-bit
+//! field): a weight is `num/2^SCALE`, additions keep the common
+//! denominator, and comparisons reduce to integer comparisons of
+//! numerators — so the ZSL program manipulates the numerators directly.
+//! The classic triple loop gives the `Θ(m³)` encoding of Fig. 9.
+
+use zaatar_cc::lang::CompileOptions;
+use zaatar_cc::numeric::FixedPoint;
+use zaatar_field::Field;
+
+/// Parameters: `m` nodes.
+#[derive(Copy, Clone, Debug)]
+pub struct Apsp {
+    /// Node count.
+    pub m: usize,
+}
+
+/// Fixed-point scale for edge weights (`num / 2^SCALE`).
+pub const SCALE: u32 = 5;
+
+/// "Infinity" numerator for absent edges: larger than any real path.
+const INF: i64 = 1 << 24;
+
+/// Edge-weight numerators are drawn below this bound.
+const WEIGHT_BOUND: u64 = 1 << 10;
+
+impl Apsp {
+    /// The paper's configuration (`m = 25`).
+    pub fn paper() -> Self {
+        Apsp { m: 25 }
+    }
+
+    /// A scaled-down configuration.
+    pub fn small() -> Self {
+        Apsp { m: 5 }
+    }
+
+    /// Path sums stay below `2·INF < 2²⁶`; 32-bit comparisons are safe.
+    pub fn options(&self) -> CompileOptions {
+        CompileOptions::default()
+    }
+
+    /// Generates the ZSL program (operating on numerators).
+    pub fn zsl(&self) -> String {
+        let m = self.m;
+        format!(
+            r"// Floyd-Warshall all-pairs shortest paths, m={m} nodes.
+input w[{mm}];
+output d[{mm}];
+var dist[{mm}];
+for i in 0..{mm} {{ dist[i] = w[i]; }}
+for k in 0..{m} {{
+    for i in 0..{m} {{
+        for j in 0..{m} {{
+            var alt = dist[i*{m}+k] + dist[k*{m}+j];
+            if (alt < dist[i*{m}+j]) {{ dist[i*{m}+j] = alt; }}
+        }}
+    }}
+}}
+for i in 0..{mm} {{ d[i] = dist[i]; }}
+",
+            mm = m * m,
+        )
+    }
+
+    /// Deterministic inputs: a weighted digraph's adjacency matrix
+    /// (numerators at scale [`SCALE`]); roughly half the edges absent
+    /// (`INF`), diagonal zero.
+    pub fn gen_inputs<F: Field>(&self, seed: u64) -> Vec<F> {
+        self.gen_numerators(seed)
+            .into_iter()
+            .map(F::from_i64)
+            .collect()
+    }
+
+    /// The raw numerators backing [`Apsp::gen_inputs`].
+    pub fn gen_numerators(&self, seed: u64) -> Vec<i64> {
+        let m = self.m;
+        let mut state = seed.wrapping_mul(0xd130_2384_65fd_ef51).wrapping_add(3);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut w = vec![0i64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                w[i * m + j] = if i == j {
+                    0
+                } else if next() % 2 == 0 {
+                    (next() % WEIGHT_BOUND) as i64 + 1
+                } else {
+                    INF
+                };
+            }
+        }
+        w
+    }
+
+    /// Native reference over numerators: the distance matrix.
+    pub fn reference(&self, inputs: &[i64]) -> Vec<i64> {
+        let m = self.m;
+        assert_eq!(inputs.len(), m * m);
+        let mut dist = inputs.to_vec();
+        for k in 0..m {
+            for i in 0..m {
+                for j in 0..m {
+                    let alt = dist[i * m + k] + dist[k * m + j];
+                    if alt < dist[i * m + j] {
+                        dist[i * m + j] = alt;
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Decodes a numerator output back to a rational value (for display).
+    pub fn decode_weight(num: i64) -> f64 {
+        let fp = FixedPoint::new(SCALE);
+        let _ = fp;
+        num as f64 / f64::from(1u32 << SCALE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_cc::lang::compile;
+    use zaatar_cc::numeric::decode_i64;
+    use zaatar_field::F61;
+
+    #[test]
+    fn matches_reference() {
+        let app = Apsp::small();
+        let compiled = compile::<F61>(&app.zsl(), &app.options()).unwrap();
+        for seed in 0..3u64 {
+            let nums = app.gen_numerators(seed);
+            let inputs: Vec<F61> = app.gen_inputs(seed);
+            let asg = compiled.solver.solve(&inputs).unwrap();
+            assert!(compiled.ginger.is_satisfied(&asg));
+            let got: Vec<i64> = asg
+                .extract(compiled.solver.outputs())
+                .into_iter()
+                .map(|v| decode_i64(v).unwrap())
+                .collect();
+            assert_eq!(got, app.reference(&nums), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn known_triangle() {
+        // 0→1 = 10, 1→2 = 20, 0→2 = 100: the path through 1 wins.
+        let app = Apsp { m: 3 };
+        let inf = INF;
+        let w = vec![0, 10, 100, inf, 0, 20, inf, inf, 0];
+        let d = app.reference(&w);
+        assert_eq!(d[0 * 3 + 2], 30);
+        assert_eq!(d[1 * 3 + 0], inf * 2 - inf, "no path back stays large");
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let app = Apsp { m: 6 };
+        let d = app.reference(&app.gen_numerators(5));
+        let m = app.m;
+        for i in 0..m {
+            for j in 0..m {
+                for k in 0..m {
+                    assert!(d[i * m + j] <= d[i * m + k] + d[k * m + j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_scales_cubically() {
+        let c3 = compile::<F61>(&Apsp { m: 3 }.zsl(), &Apsp { m: 3 }.options()).unwrap();
+        let c6 = compile::<F61>(&Apsp { m: 6 }.zsl(), &Apsp { m: 6 }.options()).unwrap();
+        let s3 = zaatar_cc::ginger_stats(&c3.ginger);
+        let s6 = zaatar_cc::ginger_stats(&c6.ginger);
+        let ratio = s6.num_constraints as f64 / s3.num_constraints as f64;
+        assert!((6.0..10.5).contains(&ratio), "expected ≈8×, got {ratio}");
+    }
+
+    #[test]
+    fn fixed_point_presentation() {
+        assert_eq!(Apsp::decode_weight(32), 1.0);
+        assert_eq!(Apsp::decode_weight(16), 0.5);
+    }
+}

@@ -1,0 +1,288 @@
+//! Root finding by bisection (benchmark (b), §5.1–5.2: a degree-2
+//! polynomial in `m` variables, `L` iterations).
+//!
+//! The computation: a fixed dense degree-2 polynomial
+//! `p(x) = Σ_{i≤j} c_ij·xᵢ·xⱼ` (coefficients are part of Ψ), evaluated
+//! along the line `x(t) = x0 + t·u`; the program bisects `t ∈ [lo, hi]`
+//! for `L` iterations on the sign of `f(t) = p(x(t)) − R`. Inputs are
+//! `x0`, `u`, the threshold `R`, and the interval endpoints.
+//!
+//! Arithmetic is over primitive fixed-point rationals: after `s`
+//! iterations the midpoint has denominator `2^s`, and the sign test
+//! multiplies `f` by `2^(2s)` to compare integers — numerator widths
+//! grow with `L`, which is why the paper runs this benchmark in a
+//! 220-bit field (§5.1: "this configuration requires a higher field
+//! size").
+//!
+//! Per iteration the polynomial evaluation is a single sum of `Θ(m²)`
+//! degree-2 terms — the regime where Ginger's encoding is *concise*
+//! (one constraint, §4's polynomial-evaluation discussion) while
+//! Zaatar's transform pays `K₂ ≈ m²/2` new variables. This is the
+//! benchmark where the paper's Fig. 4 gap is smallest (1–2 orders).
+
+use zaatar_cc::lang::CompileOptions;
+use zaatar_field::Field;
+
+/// Parameters: `m` polynomial variables, `L` bisection iterations.
+#[derive(Copy, Clone, Debug)]
+pub struct Bisection {
+    /// Polynomial variable count.
+    pub m: usize,
+    /// Bisection iterations.
+    pub l: usize,
+}
+
+/// Inputs (`x0`, `u` components) are bounded by this.
+const INPUT_BOUND: u64 = 16;
+
+/// Polynomial coefficients are in `[1, COEFF_BOUND]`.
+const COEFF_BOUND: u64 = 8;
+
+impl Bisection {
+    /// The paper's configuration (`m = 256`, `L = 8`).
+    pub fn paper() -> Self {
+        Bisection { m: 256, l: 8 }
+    }
+
+    /// A scaled-down configuration.
+    pub fn small() -> Self {
+        Bisection { m: 4, l: 4 }
+    }
+
+    /// The comparison width for scaled numerators (see module docs):
+    /// generous upper bound on `|f|·2^(2L)`.
+    pub fn options(&self) -> CompileOptions {
+        CompileOptions {
+            width: self.numerator_width(),
+            ..CompileOptions::default()
+        }
+    }
+
+    /// Bits needed for the scaled sign test.
+    fn numerator_width(&self) -> usize {
+        // |x_i(t)·2^s| ≤ 2^4·2^4·2^s; products ≤ 2^(16+2s); summed over
+        // m² terms with coefficients ≤ 2^3.
+        let m_bits = (self.m * self.m).next_power_of_two().trailing_zeros() as usize;
+        16 + 2 * self.l + m_bits + 3 + 8
+    }
+
+    /// The fixed coefficients `c_ij` (part of the computation Ψ),
+    /// deterministically derived from the shape parameters.
+    pub fn coefficients(&self) -> Vec<Vec<i64>> {
+        let mut state = (self.m as u64 * 31 + self.l as u64).wrapping_mul(0x9e37_79b9) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..self.m)
+            .map(|_| {
+                (0..self.m)
+                    .map(|_| (next() % COEFF_BOUND) as i64 + 1)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Generates the ZSL program (unrolled per iteration so each sign
+    /// test can clear that iteration's denominator).
+    pub fn zsl(&self) -> String {
+        let (m, l) = (self.m, self.l);
+        let coeffs = self.coefficients();
+        let mut src = String::new();
+        src.push_str(&format!(
+            "// Bisection root finding: degree-2 polynomial in {m} vars, {l} iterations.\n\
+             input x0[{m}];\ninput u[{m}];\ninput r;\ninput lo0;\ninput hi0;\n\
+             output root;\n\
+             var lo = lo0;\nvar hi = hi0;\n"
+        ));
+        for s in 0..l {
+            let scale = 1u64 << (s + 1); // mid's denominator after this step.
+            let scale2 = 1u128 << (2 * (s + 1));
+            src.push_str(&format!("var mid{s} = (lo + hi) / 2;\n"));
+            for i in 0..m {
+                src.push_str(&format!("var xv{s}_{i} = x0[{i}] + mid{s} * u[{i}];\n"));
+            }
+            // One dense degree-2 expression: Σ c_ij·x_i·x_j − R.
+            src.push_str(&format!("var f{s} = 0 - r"));
+            for (i, row) in coeffs.iter().enumerate() {
+                for (j, c) in row.iter().enumerate().skip(i) {
+                    src.push_str(&format!(" + {c} * xv{s}_{i} * xv{s}_{j}"));
+                }
+            }
+            src.push_str(";\n");
+            // Clear the denominator 2^(2(s+1)) and test the sign.
+            src.push_str(&format!(
+                "var fs{s} = f{s} * {scale2};\n\
+                 if (fs{s} < 0) {{ lo = mid{s}; }} else {{ hi = mid{s}; }}\n"
+            ));
+            let _ = scale;
+        }
+        // Report the final lower endpoint as an integer numerator at
+        // scale L.
+        src.push_str(&format!("root = lo * {};\n", 1u128 << l));
+        src
+    }
+
+    /// Deterministic inputs `[x0 | u | R | lo0 | hi0]`, constructed so a
+    /// sign change exists in `[lo0, hi0]`.
+    pub fn gen_raw_inputs(&self, seed: u64) -> Vec<i64> {
+        let mut state = seed.wrapping_mul(0x94d0_49bb_1331_11eb).wrapping_add(5);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let x0: Vec<i64> = (0..self.m).map(|_| (next() % INPUT_BOUND) as i64).collect();
+        // Strictly positive direction makes p(x(t)) non-decreasing for
+        // t ≥ 0 (all coefficients positive), guaranteeing a crossing.
+        let u: Vec<i64> = (0..self.m)
+            .map(|_| (next() % INPUT_BOUND) as i64 + 1)
+            .collect();
+        let (lo0, hi0) = (0i64, 8i64);
+        // Pick R strictly between p(x(lo0)) and p(x(hi0)).
+        let p_lo = self.eval_poly_int(&x0, &u, lo0, 0);
+        let p_hi = self.eval_poly_int(&x0, &u, hi0, 0);
+        debug_assert!(p_lo < p_hi);
+        let r = p_lo + 1 + (next() as i64).rem_euclid((p_hi - p_lo - 1).max(1));
+        let mut inputs = x0;
+        inputs.extend(u);
+        inputs.push(r);
+        inputs.push(lo0);
+        inputs.push(hi0);
+        inputs
+    }
+
+    /// Field-encoded inputs.
+    pub fn gen_inputs<F: Field>(&self, seed: u64) -> Vec<F> {
+        self.gen_raw_inputs(seed)
+            .into_iter()
+            .map(F::from_i64)
+            .collect()
+    }
+
+    /// Evaluates `p(x0 + (t_num/2^t_scale)·u)` exactly, returning the
+    /// integer `p(·)·2^(2·t_scale)` (numerator at scale `2·t_scale`).
+    fn eval_poly_int(&self, x0: &[i64], u: &[i64], t_num: i64, t_scale: u32) -> i64 {
+        let coeffs = self.coefficients();
+        // x_i numerator at scale t_scale.
+        let xs: Vec<i128> = x0
+            .iter()
+            .zip(u.iter())
+            .map(|(a, b)| (*a as i128) * (1i128 << t_scale) + (t_num as i128) * (*b as i128))
+            .collect();
+        let mut acc: i128 = 0;
+        for i in 0..self.m {
+            for j in i..self.m {
+                acc += coeffs[i][j] as i128 * xs[i] * xs[j];
+            }
+        }
+        i64::try_from(acc).expect("fits i64")
+    }
+
+    /// Native reference: returns `[root numerator at scale L]`.
+    pub fn reference(&self, inputs: &[i64]) -> Vec<i64> {
+        let m = self.m;
+        assert_eq!(inputs.len(), 2 * m + 3);
+        let x0 = &inputs[..m];
+        let u = &inputs[m..2 * m];
+        let r = inputs[2 * m];
+        // Track lo/hi as numerators at the current scale.
+        let (mut lo, mut hi) = (inputs[2 * m + 1] as i128, inputs[2 * m + 2] as i128);
+        let mut scale = 0u32;
+        for _ in 0..self.l {
+            // mid at scale+1.
+            let mid = lo + hi; // (lo + hi)/2 at scale+1 = lo + hi at scale.
+            scale += 1;
+            lo *= 2;
+            hi *= 2;
+            let f = self.eval_poly_int(x0, u, mid as i64, scale) as i128
+                - (r as i128) * (1i128 << (2 * scale));
+            if f < 0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Final lo at scale `scale == L`; the program reports lo·2^L.
+        let shift = self.l as u32 - scale;
+        vec![i64::try_from(lo << shift).expect("fits i64")]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_cc::lang::compile;
+    use zaatar_cc::numeric::decode_i64;
+    use zaatar_field::F128;
+
+    #[test]
+    fn matches_reference() {
+        let app = Bisection::small();
+        let compiled = compile::<F128>(&app.zsl(), &app.options()).unwrap();
+        for seed in 0..3u64 {
+            let raw = app.gen_raw_inputs(seed);
+            let inputs: Vec<F128> = app.gen_inputs(seed);
+            let asg = compiled
+                .solver
+                .solve(&inputs)
+                .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+            assert!(
+                compiled.ginger.is_satisfied(&asg),
+                "violated {:?}",
+                compiled.ginger.first_violation(&asg)
+            );
+            let got = decode_i64(asg.extract(compiled.solver.outputs())[0]).unwrap();
+            assert_eq!(vec![got], app.reference(&raw), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn interval_brackets_a_root() {
+        // After L iterations [lo, hi] still brackets the crossing and has
+        // width (hi0 − lo0)/2^L.
+        let app = Bisection { m: 3, l: 6 };
+        let raw = app.gen_raw_inputs(1);
+        let root = app.reference(&raw)[0];
+        let m = app.m;
+        let (x0, u, r) = (&raw[..m], &raw[m..2 * m], raw[2 * m]);
+        // The final bracket has numerator width hi0 − lo0 (the interval
+        // halves L times while the scale doubles L times).
+        let width = raw[2 * m + 2] - raw[2 * m + 1];
+        let f_lo = app.eval_poly_int(x0, u, root, app.l as u32) as i128
+            - (r as i128) * (1i128 << (2 * app.l));
+        let f_hi = app.eval_poly_int(x0, u, root + width, app.l as u32) as i128
+            - (r as i128) * (1i128 << (2 * app.l));
+        assert!(f_lo < 0, "f(lo) = {f_lo}");
+        assert!(f_hi >= 0, "f(hi) = {f_hi}");
+    }
+
+    #[test]
+    fn ginger_encoding_is_concise() {
+        // The poly eval folds into one constraint per iteration, so the
+        // Ginger constraint count is small while K₂ is ≈ m²/2 per
+        // iteration — the §4 near-degenerate regime.
+        let app = Bisection { m: 6, l: 3 };
+        let compiled = compile::<F128>(&app.zsl(), &app.options()).unwrap();
+        let stats = zaatar_cc::ginger_stats(&compiled.ginger);
+        // Each iteration: m materialized coords + 1 poly constraint +
+        // the comparison bits; K₂ must dominate per-iteration constraints.
+        assert!(
+            stats.k2_distinct >= app.l * app.m * (app.m + 1) / 2,
+            "K₂ = {} too small",
+            stats.k2_distinct
+        );
+    }
+
+    #[test]
+    fn width_settings_cover_paper_scale() {
+        // The paper-scale parameters need more than 128 bits → F220.
+        let paper = Bisection::paper();
+        assert!(paper.options().width > 32);
+        let small = Bisection::small();
+        assert!(small.options().width < 127, "small config fits F128");
+    }
+}

@@ -1,0 +1,226 @@
+//! The Fannkuch benchmark (benchmark (d), §5.1–5.2: `m` permutations).
+//!
+//! For each input permutation of `{1..p}`: repeatedly reverse the prefix
+//! whose length is the first element, until the first element is 1;
+//! count the flips. The output is the maximum flip count over the `m`
+//! permutations (the shootout benchmark's "pfannkuchen" number).
+//!
+//! Data-dependent prefix reversal is exactly the kind of indirect
+//! memory access §5.4 flags as expensive under constraint compilation:
+//! each position of the reversed prefix becomes a selector sum
+//! `Σⱼ (j == k−1−i)·cur[j]`, costing `Θ(p²)` per flip — the constant
+//! (~thousands of constraints per permutation) matches the paper's
+//! `2200·m` row in Fig. 9.
+
+use zaatar_cc::lang::CompileOptions;
+use zaatar_field::Field;
+
+/// Parameters: `m` permutations of `{1..p}`, with at most `flip_bound`
+/// flips counted per permutation.
+#[derive(Copy, Clone, Debug)]
+pub struct Fannkuch {
+    /// Number of permutations.
+    pub m: usize,
+    /// Permutation length (the paper uses 13).
+    pub p: usize,
+    /// Static bound on flips per permutation (required because the
+    /// constraint program must have a compile-time-known length).
+    pub flip_bound: usize,
+}
+
+impl Fannkuch {
+    /// The paper's configuration (`m = 100` permutations of `{1..13}`).
+    /// The flip bound 32 covers every 13-permutation the generator
+    /// produces.
+    pub fn paper() -> Self {
+        Fannkuch {
+            m: 100,
+            p: 13,
+            flip_bound: 32,
+        }
+    }
+
+    /// A scaled-down configuration.
+    pub fn small() -> Self {
+        Fannkuch {
+            m: 3,
+            p: 5,
+            flip_bound: 8,
+        }
+    }
+
+    /// All compared quantities are below `p + flip_bound`; 8-bit
+    /// comparisons keep the per-mux cost small.
+    pub fn options(&self) -> CompileOptions {
+        CompileOptions {
+            width: 8,
+            ..CompileOptions::default()
+        }
+    }
+
+    /// Generates the ZSL program.
+    pub fn zsl(&self) -> String {
+        let (m, p, b) = (self.m, self.p, self.flip_bound);
+        format!(
+            r"// Fannkuch: m={m} permutations of 1..{p}, flip bound {b}.
+input perm[{mp}];
+output maxflips;
+var best = 0;
+for t in 0..{m} {{
+    var cur[{p}];
+    for i in 0..{p} {{ cur[i] = perm[t*{p}+i]; }}
+    var flips = 0;
+    var active = 1;
+    for s in 0..{b} {{
+        var k = cur[0];
+        active = active * (k != 1);
+        var nxt[{p}];
+        for i in 0..{p} {{
+            var sel = 0;
+            for j in 0..{p} {{
+                sel = sel + (k - 1 - i == j) * cur[j];
+            }}
+            if (i < k) {{ nxt[i] = sel; }} else {{ nxt[i] = cur[i]; }}
+        }}
+        for i in 0..{p} {{
+            if (active == 1) {{ cur[i] = nxt[i]; }}
+        }}
+        flips = flips + active;
+    }}
+    if (best < flips) {{ best = flips; }}
+}}
+maxflips = best;
+",
+            mp = m * p,
+        )
+    }
+
+    /// Deterministic inputs: `m` Fisher–Yates-shuffled permutations.
+    pub fn gen_inputs<F: Field>(&self, seed: u64) -> Vec<F> {
+        self.gen_permutations(seed)
+            .into_iter()
+            .map(|v| F::from_u64(v as u64))
+            .collect()
+    }
+
+    /// The raw permutations backing [`Fannkuch::gen_inputs`].
+    pub fn gen_permutations(&self, seed: u64) -> Vec<i64> {
+        let mut state = seed.wrapping_mul(0xbf58_476d_1ce4_e5b9).wrapping_add(11);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut out = Vec::with_capacity(self.m * self.p);
+        for _ in 0..self.m {
+            let mut perm: Vec<i64> = (1..=self.p as i64).collect();
+            for i in (1..perm.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                perm.swap(i, j);
+            }
+            out.extend_from_slice(&perm);
+        }
+        out
+    }
+
+    /// Native reference: `[max flips]` (capped at `flip_bound`, like the
+    /// constraint program).
+    pub fn reference(&self, inputs: &[i64]) -> Vec<i64> {
+        let (m, p) = (self.m, self.p);
+        assert_eq!(inputs.len(), m * p);
+        let mut best = 0i64;
+        for t in 0..m {
+            let mut cur: Vec<i64> = inputs[t * p..(t + 1) * p].to_vec();
+            let mut flips = 0i64;
+            while cur[0] != 1 && flips < self.flip_bound as i64 {
+                let k = cur[0] as usize;
+                cur[..k].reverse();
+                flips += 1;
+            }
+            best = best.max(flips);
+        }
+        vec![best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_cc::lang::compile;
+    use zaatar_cc::numeric::decode_i64;
+    use zaatar_field::F61;
+
+    #[test]
+    fn matches_reference() {
+        let app = Fannkuch::small();
+        let compiled = compile::<F61>(&app.zsl(), &app.options()).unwrap();
+        for seed in 0..3u64 {
+            let perms = app.gen_permutations(seed);
+            let inputs: Vec<F61> = app.gen_inputs(seed);
+            let asg = compiled.solver.solve(&inputs).unwrap();
+            assert!(
+                compiled.ginger.is_satisfied(&asg),
+                "violated {:?}",
+                compiled.ginger.first_violation(&asg)
+            );
+            let got = decode_i64(asg.extract(compiled.solver.outputs())[0]).unwrap();
+            assert_eq!(vec![got], app.reference(&perms), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn known_flip_counts() {
+        // Permutation (1,...) needs 0 flips.
+        let id = Fannkuch {
+            m: 1,
+            p: 4,
+            flip_bound: 16,
+        };
+        assert_eq!(id.reference(&[1, 2, 3, 4]), vec![0]);
+        // (2,1,3,4): one flip.
+        assert_eq!(id.reference(&[2, 1, 3, 4]), vec![1]);
+        // (4,3,2,1) → reverse 4 → (1,2,3,4): one flip.
+        assert_eq!(id.reference(&[4, 3, 2, 1]), vec![1]);
+        // (3,1,2,4) → (2,1,3,4) → (1,2,3,4): two flips.
+        assert_eq!(id.reference(&[3, 1, 2, 4]), vec![2]);
+    }
+
+    #[test]
+    fn generated_permutations_are_valid() {
+        let app = Fannkuch {
+            m: 5,
+            p: 7,
+            flip_bound: 16,
+        };
+        let perms = app.gen_permutations(9);
+        for t in 0..app.m {
+            let mut seen = vec![false; app.p + 1];
+            for &v in &perms[t * app.p..(t + 1) * app.p] {
+                assert!((1..=app.p as i64).contains(&v));
+                assert!(!seen[v as usize], "duplicate in permutation");
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_scales_linearly_in_m() {
+        let a1 = Fannkuch {
+            m: 1,
+            p: 4,
+            flip_bound: 4,
+        };
+        let a3 = Fannkuch {
+            m: 3,
+            p: 4,
+            flip_bound: 4,
+        };
+        let c1 = compile::<F61>(&a1.zsl(), &a1.options()).unwrap();
+        let c3 = compile::<F61>(&a3.zsl(), &a3.options()).unwrap();
+        let s1 = zaatar_cc::ginger_stats(&c1.ginger);
+        let s3 = zaatar_cc::ginger_stats(&c3.ginger);
+        let ratio = s3.num_constraints as f64 / s1.num_constraints as f64;
+        assert!((2.5..3.5).contains(&ratio), "expected ≈3×, got {ratio}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Longest common subsequence (benchmark (e), §5.1–5.2: two strings of
+//! length `m`).
+//!
+//! The standard `O(m²)` dynamic program; each cell costs an equality
+//! test and two order comparisons, giving the `Θ(m²)` constraint counts
+//! of Fig. 9's LCS row.
+
+use zaatar_cc::lang::CompileOptions;
+use zaatar_field::Field;
+
+/// Parameters: two strings of length `m`.
+#[derive(Copy, Clone, Debug)]
+pub struct Lcs {
+    /// String length.
+    pub m: usize,
+}
+
+/// Alphabet size for generated inputs.
+const ALPHABET: u64 = 4;
+
+impl Lcs {
+    /// The paper's configuration (`m = 300`).
+    pub fn paper() -> Self {
+        Lcs { m: 300 }
+    }
+
+    /// A scaled-down configuration.
+    pub fn small() -> Self {
+        Lcs { m: 6 }
+    }
+
+    /// DP values are bounded by `m`, so narrow comparisons suffice.
+    pub fn options(&self) -> CompileOptions {
+        CompileOptions {
+            width: 16,
+            ..CompileOptions::default()
+        }
+    }
+
+    /// Generates the ZSL program.
+    pub fn zsl(&self) -> String {
+        let m = self.m;
+        let w = m + 1;
+        format!(
+            r"// Longest common subsequence, m={m}.
+input a[{m}];
+input b[{m}];
+output len;
+var dp[{ww}];
+for i in 1..{w} {{
+    for j in 1..{w} {{
+        var up = dp[(i-1)*{w}+j];
+        var left = dp[i*{w}+j-1];
+        var diag = dp[(i-1)*{w}+j-1];
+        var eq = (a[i-1] == b[j-1]);
+        var cand = diag + eq;
+        var mx = up;
+        if (mx < left) {{ mx = left; }}
+        if (mx < cand) {{ mx = cand; }}
+        dp[i*{w}+j] = mx;
+    }}
+}}
+len = dp[{m}*{w}+{m}];
+",
+            ww = w * w,
+        )
+    }
+
+    /// Deterministic inputs: two strings over a small alphabet.
+    pub fn gen_inputs<F: Field>(&self, seed: u64) -> Vec<F> {
+        let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(7);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..2 * self.m)
+            .map(|_| F::from_u64(next() % ALPHABET))
+            .collect()
+    }
+
+    /// Native reference: the LCS length.
+    pub fn reference(&self, inputs: &[i64]) -> Vec<i64> {
+        let m = self.m;
+        assert_eq!(inputs.len(), 2 * m);
+        let (a, b) = inputs.split_at(m);
+        let w = m + 1;
+        let mut dp = vec![0i64; w * w];
+        for i in 1..=m {
+            for j in 1..=m {
+                let up = dp[(i - 1) * w + j];
+                let left = dp[i * w + j - 1];
+                let diag = dp[(i - 1) * w + j - 1] + i64::from(a[i - 1] == b[j - 1]);
+                dp[i * w + j] = up.max(left).max(diag);
+            }
+        }
+        vec![dp[m * w + m]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_cc::lang::compile;
+    use zaatar_cc::numeric::decode_i64;
+    use zaatar_field::F61;
+
+    #[test]
+    fn matches_reference() {
+        let app = Lcs::small();
+        let compiled = compile::<F61>(&app.zsl(), &app.options()).unwrap();
+        for seed in 0..4u64 {
+            let inputs: Vec<F61> = app.gen_inputs(seed);
+            let asg = compiled.solver.solve(&inputs).unwrap();
+            assert!(compiled.ginger.is_satisfied(&asg));
+            let got = decode_i64(asg.extract(compiled.solver.outputs())[0]).unwrap();
+            let ins: Vec<i64> = inputs.iter().map(|v| decode_i64::<F61>(*v).unwrap()).collect();
+            assert_eq!(vec![got], app.reference(&ins), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn known_cases() {
+        let app = Lcs { m: 5 };
+        // "abcde" vs "abcde" → 5.
+        let same: Vec<i64> = vec![0, 1, 2, 3, 0, 0, 1, 2, 3, 0];
+        assert_eq!(app.reference(&same), vec![5]);
+        // Disjoint alphabets → 0.
+        let disjoint: Vec<i64> = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        assert_eq!(app.reference(&disjoint), vec![0]);
+        // "abcba" vs "bacab": LCS e.g. "aca"/"bcb" length 3.
+        let mixed: Vec<i64> = vec![0, 1, 2, 1, 0, 1, 0, 2, 0, 1];
+        assert_eq!(app.reference(&mixed), vec![3]);
+    }
+
+    #[test]
+    fn encoding_scales_quadratically() {
+        let c4 = compile::<F61>(&Lcs { m: 4 }.zsl(), &Lcs { m: 4 }.options()).unwrap();
+        let c8 = compile::<F61>(&Lcs { m: 8 }.zsl(), &Lcs { m: 8 }.options()).unwrap();
+        let s4 = zaatar_cc::ginger_stats(&c4.ginger);
+        let s8 = zaatar_cc::ginger_stats(&c8.ginger);
+        let ratio = s8.num_constraints as f64 / s4.num_constraints as f64;
+        assert!((3.0..6.0).contains(&ratio), "expected ≈4×, got {ratio}");
+    }
+}

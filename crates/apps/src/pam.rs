@@ -1,0 +1,210 @@
+//! Partitioning Around Medoids (PAM) clustering into two groups
+//! (benchmark (a), §5.1–5.2: `m` samples of `d` dimensions).
+//!
+//! The computation: squared Euclidean distances between all sample
+//! pairs, then an exhaustive search over medoid pairs `(c₁, c₂)` for the
+//! pair minimizing `Σ_p min(dist(p,c₁), dist(p,c₂))` — the classic PAM
+//! BUILD objective for `k = 2`. Encoding cost is dominated by the
+//! `O(m²d)` distance computation, matching the paper's `O(m²d)` row in
+//! Fig. 9.
+
+use zaatar_cc::lang::CompileOptions;
+use zaatar_field::Field;
+
+/// Parameters: `m` samples, `d` dimensions.
+#[derive(Copy, Clone, Debug)]
+pub struct Pam {
+    /// Sample count.
+    pub m: usize,
+    /// Dimensions per sample.
+    pub d: usize,
+}
+
+/// Coordinates are small non-negative integers below this bound.
+const COORD_BOUND: i64 = 16;
+
+impl Pam {
+    /// The paper's configuration (`m = 20`, `d = 128`; §5.2).
+    pub fn paper() -> Self {
+        Pam { m: 20, d: 128 }
+    }
+
+    /// A scaled-down configuration for tests and quick benches.
+    pub fn small() -> Self {
+        Pam { m: 5, d: 4 }
+    }
+
+    /// Compile options: costs fit comfortably in 32-bit comparisons.
+    pub fn options(&self) -> CompileOptions {
+        CompileOptions::default()
+    }
+
+    /// Upper bound (exclusive) on any candidate cost, used as the
+    /// initial "best".
+    fn cost_bound(&self) -> i64 {
+        (self.m as i64) * (self.d as i64) * (2 * COORD_BOUND) * (2 * COORD_BOUND) + 1
+    }
+
+    /// Generates the ZSL program.
+    pub fn zsl(&self) -> String {
+        let (m, d) = (self.m, self.d);
+        let big = self.cost_bound();
+        format!(
+            r"// PAM clustering: m={m} samples, d={d} dims, k=2 medoids.
+input x[{xd}];
+output med1;
+output med2;
+output best;
+var dist[{mm}];
+for i in 0..{m} {{
+    for j in 0..{m} {{
+        var dd = 0;
+        for k in 0..{d} {{
+            dd = dd + (x[i*{d}+k] - x[j*{d}+k]) * (x[i*{d}+k] - x[j*{d}+k]);
+        }}
+        dist[i*{m}+j] = dd;
+    }}
+}}
+var bc = {big};
+var b1 = 0;
+var b2 = 0;
+for c1 in 0..{m} {{
+    for c2 in 0..{m} {{
+        if (c1 < c2) {{
+            var cost = 0;
+            for p in 0..{m} {{
+                if (dist[p*{m}+c1] < dist[p*{m}+c2]) {{
+                    cost = cost + dist[p*{m}+c1];
+                }} else {{
+                    cost = cost + dist[p*{m}+c2];
+                }}
+            }}
+            if (cost < bc) {{ bc = cost; b1 = c1; b2 = c2; }}
+        }}
+    }}
+}}
+med1 = b1;
+med2 = b2;
+best = bc;
+",
+            xd = m * d,
+            mm = m * m,
+        )
+    }
+
+    /// Deterministic input generation: `m·d` coordinates.
+    pub fn gen_inputs<F: Field>(&self, seed: u64) -> Vec<F> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..self.m * self.d)
+            .map(|_| F::from_i64((next() % COORD_BOUND as u64) as i64))
+            .collect()
+    }
+
+    /// Native reference: returns `[med1, med2, best]`.
+    pub fn reference(&self, inputs: &[i64]) -> Vec<i64> {
+        let (m, d) = (self.m, self.d);
+        assert_eq!(inputs.len(), m * d);
+        let mut dist = vec![0i64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                let mut dd = 0;
+                for k in 0..d {
+                    let diff = inputs[i * d + k] - inputs[j * d + k];
+                    dd += diff * diff;
+                }
+                dist[i * m + j] = dd;
+            }
+        }
+        let mut best = self.cost_bound();
+        let (mut b1, mut b2) = (0i64, 0i64);
+        for c1 in 0..m {
+            for c2 in c1 + 1..m {
+                let cost: i64 = (0..m)
+                    .map(|p| dist[p * m + c1].min(dist[p * m + c2]))
+                    .sum();
+                if cost < best {
+                    best = cost;
+                    b1 = c1 as i64;
+                    b2 = c2 as i64;
+                }
+            }
+        }
+        vec![b1, b2, best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_cc::lang::compile;
+    use zaatar_cc::numeric::decode_i64;
+    use zaatar_field::{F61, PrimeField};
+
+    fn run_app(app: &Pam, seed: u64) -> (Vec<i64>, Vec<i64>) {
+        let compiled = compile::<F61>(&app.zsl(), &app.options()).expect("compiles");
+        let inputs: Vec<F61> = app.gen_inputs(seed);
+        let asg = compiled.solver.solve(&inputs).expect("solves");
+        assert!(
+            compiled.ginger.is_satisfied(&asg),
+            "violated constraint {:?}",
+            compiled.ginger.first_violation(&asg)
+        );
+        let outs: Vec<i64> = asg
+            .extract(compiled.solver.outputs())
+            .into_iter()
+            .map(|v| decode_i64(v).expect("small output"))
+            .collect();
+        let ins_i: Vec<i64> = inputs
+            .iter()
+            .map(|v| decode_i64::<F61>(*v).unwrap())
+            .collect();
+        (outs, app.reference(&ins_i))
+    }
+
+    #[test]
+    fn matches_reference() {
+        let app = Pam::small();
+        for seed in 0..3 {
+            let (got, expect) = run_app(&app, seed);
+            assert_eq!(got, expect, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn known_instance() {
+        // Two tight clusters; medoids must split them.
+        let app = Pam { m: 4, d: 1 };
+        let inputs = [0i64, 1, 10, 11];
+        let out = app.reference(&inputs);
+        let (m1, m2) = (out[0], out[1]);
+        assert!((m1 < 2) != (m2 < 2), "one medoid per cluster: {out:?}");
+        assert_eq!(out[2], 2, "each non-medoid at distance 1");
+    }
+
+    #[test]
+    fn encoding_scales_with_m2d() {
+        let small = Pam { m: 3, d: 2 };
+        let big = Pam { m: 6, d: 4 };
+        let cs = compile::<F61>(&small.zsl(), &small.options()).unwrap();
+        let cb = compile::<F61>(&big.zsl(), &big.options()).unwrap();
+        let rs = zaatar_cc::ginger_stats(&cs.ginger);
+        let rb = zaatar_cc::ginger_stats(&cb.ginger);
+        // m²d grew 8×; constraints should grow superlinearly.
+        assert!(rb.num_constraints > 4 * rs.num_constraints);
+        assert!(rb.k2_distinct > rs.k2_distinct);
+    }
+
+    #[test]
+    fn paper_params() {
+        let p = Pam::paper();
+        assert_eq!((p.m, p.d), (20, 128));
+        assert_eq!(p.m * p.d, 2560, "the paper's 2560 data points");
+        let _ = F61::NUM_BITS;
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-validation of the benchmark reference implementations against
+//! independently-written algorithms, plus invariants of the generated
+//! instances.
+
+use proptest::prelude::*;
+use zaatar_apps::apsp::Apsp;
+use zaatar_apps::bisection::Bisection;
+use zaatar_apps::fannkuch::Fannkuch;
+use zaatar_apps::lcs::Lcs;
+use zaatar_apps::pam::Pam;
+
+/// Bellman–Ford from a single source (independent of Floyd–Warshall).
+fn bellman_ford(m: usize, w: &[i64], src: usize) -> Vec<i64> {
+    let mut dist = vec![i64::MAX / 4; m];
+    dist[src] = 0;
+    for _ in 0..m {
+        for u in 0..m {
+            for v in 0..m {
+                let alt = dist[u] + w[u * m + v];
+                if alt < dist[v] {
+                    dist[v] = alt;
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Exponential-time LCS for tiny strings.
+fn lcs_brute(a: &[i64], b: &[i64]) -> i64 {
+    fn go(a: &[i64], b: &[i64]) -> i64 {
+        match (a.split_last(), b.split_last()) {
+            (Some((x, ra)), Some((y, rb))) if x == y => 1 + go(ra, rb),
+            (Some((_, ra)), Some((_, rb))) => go(ra, b).max(go(a, rb)),
+            _ => 0,
+        }
+    }
+    go(a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Floyd–Warshall agrees with per-source Bellman–Ford.
+    #[test]
+    fn apsp_matches_bellman_ford(seed in any::<u64>()) {
+        let app = Apsp { m: 5 };
+        let w = app.gen_numerators(seed);
+        let fw = app.reference(&w);
+        for src in 0..app.m {
+            let bf = bellman_ford(app.m, &w, src);
+            for v in 0..app.m {
+                // Unreachable pairs: both are "large", exact sentinel
+                // differs, so compare only reachable distances.
+                if fw[src * app.m + v] < (1 << 24) {
+                    prop_assert_eq!(fw[src * app.m + v], bf[v], "{}->{}", src, v);
+                }
+            }
+        }
+    }
+
+    /// The DP agrees with the exponential recursion for tiny strings.
+    #[test]
+    fn lcs_matches_brute_force(
+        a in prop::collection::vec(0i64..3, 5),
+        b in prop::collection::vec(0i64..3, 5),
+    ) {
+        let app = Lcs { m: 5 };
+        let mut inputs = a.clone();
+        inputs.extend(b.clone());
+        prop_assert_eq!(app.reference(&inputs)[0], lcs_brute(&a, &b));
+    }
+
+    /// LCS monotonicity: appending the same symbol to both strings
+    /// increases the LCS by exactly one.
+    #[test]
+    fn lcs_appending_common_symbol(
+        a in prop::collection::vec(0i64..4, 4),
+        b in prop::collection::vec(0i64..4, 4),
+        s in 0i64..4,
+    ) {
+        let base = {
+            let app = Lcs { m: 4 };
+            let mut inputs = a.clone();
+            inputs.extend(b.clone());
+            app.reference(&inputs)[0]
+        };
+        let extended = {
+            let app = Lcs { m: 5 };
+            let mut inputs = a.clone();
+            inputs.push(s);
+            inputs.extend(b.clone());
+            inputs.push(s);
+            app.reference(&inputs)[0]
+        };
+        prop_assert_eq!(extended, base + 1);
+    }
+
+    /// PAM's returned cost is exactly the cost of its returned medoids,
+    /// and no other pair beats it (checked with an independently coded
+    /// distance routine, looping in transposed order).
+    #[test]
+    fn pam_returns_the_optimum(seed in any::<u64>()) {
+        let app = Pam { m: 5, d: 3 };
+        let inputs: Vec<i64> = zaatar_apps::Suite::Pam(app)
+            .gen_inputs::<zaatar_field::F128>(seed)
+            .iter()
+            .map(|v| zaatar_cc::numeric::decode_i64(*v).unwrap())
+            .collect();
+        let out = app.reference(&inputs);
+        let (m1, m2, best) = (out[0] as usize, out[1] as usize, out[2]);
+        let dist = |i: usize, j: usize| -> i64 {
+            (0..app.d)
+                .map(|k| {
+                    let diff = inputs[i * app.d + k] - inputs[j * app.d + k];
+                    diff * diff
+                })
+                .sum()
+        };
+        let cost = |c1: usize, c2: usize| -> i64 {
+            (0..app.m).map(|p| dist(p, c1).min(dist(p, c2))).sum()
+        };
+        prop_assert_eq!(cost(m1, m2), best, "claimed cost must be real");
+        for c1 in 0..app.m {
+            for c2 in c1 + 1..app.m {
+                prop_assert!(cost(c1, c2) >= best, "({c1},{c2}) beats the claim");
+            }
+        }
+    }
+
+    /// Fannkuch outputs are within the flip bound and zero exactly when
+    /// every permutation starts with 1... (weaker: identity-only input
+    /// gives zero).
+    #[test]
+    fn fannkuch_bounds(seed in any::<u64>()) {
+        let app = Fannkuch { m: 4, p: 5, flip_bound: 12 };
+        let perms = app.gen_permutations(seed);
+        let out = app.reference(&perms)[0];
+        prop_assert!((0..=app.flip_bound as i64).contains(&out));
+        // Identity permutations → zero flips.
+        let ident: Vec<i64> = (0..app.m).flat_map(|_| 1..=app.p as i64).collect();
+        prop_assert_eq!(app.reference(&ident), vec![0]);
+    }
+
+    /// Bisection maintains its bracket invariant for arbitrary seeds.
+    #[test]
+    fn bisection_bracket_invariant(seed in any::<u64>()) {
+        let app = Bisection { m: 3, l: 5 };
+        let raw = app.gen_raw_inputs(seed);
+        let root = app.reference(&raw)[0];
+        // The root numerator stays inside the initial interval, scaled.
+        let lo0 = raw[2 * app.m + 1] << app.l;
+        let hi0 = raw[2 * app.m + 2] << app.l;
+        prop_assert!((lo0..hi0).contains(&root), "root {root} outside [{lo0},{hi0})");
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benches for the protocol phases: the prover's quotient
+//! computation, query answering, commitment, and the verifier's query
+//! generation and checking — on a real compiled benchmark (LCS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zaatar_apps::{build, Suite};
+use zaatar_core::commit::{decommit, CommitmentKey};
+use zaatar_core::pcp::{PcpParams, ZaatarPcp};
+use zaatar_core::qap::Qap;
+use zaatar_crypto::ChaChaPrg;
+use zaatar_field::F61;
+
+fn protocol_phases(c: &mut Criterion) {
+    let app = Suite::Lcs(zaatar_apps::lcs::Lcs { m: 8 });
+    let art = build::<F61>(&app);
+    let inputs: Vec<F61> = app.gen_inputs(1);
+    let asg = art.compiled.solver.solve(&inputs).unwrap();
+    let ext = art.quad.extend_assignment(&asg);
+    let qap = Qap::new(&art.quad.system);
+    let witness = qap.witness(&ext);
+    let io: Vec<F61> = qap
+        .var_map()
+        .inputs()
+        .iter()
+        .chain(qap.var_map().outputs())
+        .map(|v| ext.get(*v))
+        .collect();
+    let pcp = ZaatarPcp::new(qap, PcpParams::light());
+
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(10);
+
+    group.bench_function("witness_solve", |b| {
+        b.iter(|| {
+            let a = art.compiled.solver.solve(black_box(&inputs)).unwrap();
+            black_box(art.quad.extend_assignment(&a))
+        })
+    });
+
+    group.bench_function("prover_compute_h", |b| {
+        b.iter(|| black_box(pcp.qap().compute_h(&witness)))
+    });
+
+    let proof = pcp.prove(&witness).unwrap();
+    let mut prg = ChaChaPrg::from_u64_seed(2);
+    let queries = pcp.generate_queries(&mut prg);
+
+    group.bench_function("verifier_generate_queries", |b| {
+        b.iter(|| {
+            let mut p = ChaChaPrg::from_u64_seed(3);
+            black_box(pcp.generate_queries(&mut p))
+        })
+    });
+
+    group.bench_function("prover_answer_queries", |b| {
+        b.iter(|| black_box(pcp.answer(&proof, &queries)))
+    });
+
+    let responses = pcp.answer(&proof, &queries);
+    group.bench_function("verifier_pcp_check", |b| {
+        b.iter(|| black_box(pcp.check(&queries, &responses, &io)))
+    });
+
+    // Commitment phases on the z-oracle.
+    let mut prg = ChaChaPrg::from_u64_seed(4);
+    let key = CommitmentKey::<F61>::generate(proof.z.len(), &mut prg);
+    group.bench_function("prover_commit", |b| {
+        b.iter(|| black_box(CommitmentKey::<F61>::commit(&key.enc_r, &proof.z)))
+    });
+    let zq = queries.z_queries();
+    let (t, alphas) = key.consistency_query(&zq, &mut prg);
+    let commitment = CommitmentKey::<F61>::commit(&key.enc_r, &proof.z);
+    let d = decommit(&proof.z, &zq, &t);
+    group.bench_function("verifier_decommit_check", |b| {
+        b.iter(|| black_box(key.verify(&commitment, &d.answers, d.t_answer, &alphas)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, protocol_phases);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Reproduces the §5.1 microbenchmark table: per-operation costs
+//! `e, d, h, f_lazy, f, f_div, c` for the 128-bit and 220-bit fields.
+//!
+//! ```text
+//! cargo run --release -p zaatar-bench --bin microbench
+//! ```
+
+use zaatar_bench::{fmt_secs, print_table};
+use zaatar_core::cost::{measure_micro_params, MicroParams};
+use zaatar_field::{F128, F220};
+
+fn row(label: &str, m: &MicroParams) -> Vec<String> {
+    vec![
+        label.to_string(),
+        fmt_secs(m.e),
+        fmt_secs(m.d),
+        fmt_secs(m.h),
+        fmt_secs(m.f_lazy),
+        fmt_secs(m.f),
+        fmt_secs(m.f_div),
+        fmt_secs(m.c),
+    ]
+}
+
+fn main() {
+    println!("== Section 5.1 microbenchmarks (1000-op averages) ==\n");
+    let m128 = measure_micro_params::<F128>();
+    let m220 = measure_micro_params::<F220>();
+    print_table(
+        &["field size", "e", "d", "h", "f_lazy", "f", "f_div", "c"],
+        &[
+            row("128 bits (measured)", &m128),
+            row("220 bits (measured)", &m220),
+            row("128 bits (paper)", &MicroParams::paper_128()),
+            row("220 bits (paper)", &MicroParams::paper_220()),
+        ],
+    );
+    println!(
+        "\nShape checks: e/f = {:.0} (paper: {:.0}), d/e = {:.1} (paper: {:.1}), f_div/f = {:.0} (paper: {:.0})",
+        m128.e / m128.f,
+        MicroParams::paper_128().e / MicroParams::paper_128().f,
+        m128.d / m128.e,
+        MicroParams::paper_128().d / MicroParams::paper_128().e,
+        m128.f_div / m128.f,
+        MicroParams::paper_128().f_div / MicroParams::paper_128().f,
+    );
+}

@@ -1,0 +1,125 @@
+//! Cost-model validation (§5.1: "we use our cost model to validate our
+//! experimental results for Zaatar; we find that the empirical CPU costs
+//! are 5-15% larger than the model's predictions").
+//!
+//! Both provers are *measured* here — including the Ginger baseline,
+//! which is feasible only at tiny sizes because its proof vector is
+//! `|Z| + |Z|²` — and compared against the Fig. 3 model rows evaluated
+//! with host-measured microbenchmark parameters. This grounds every
+//! model-estimated Ginger number in Figs. 4/7/8.
+
+use std::time::Instant;
+
+use zaatar_apps::{build, Suite};
+use zaatar_bench::{fmt_secs, print_table};
+use zaatar_cc::linearize_io;
+use zaatar_core::argument::{run_batched_argument, run_batched_ginger_argument};
+use zaatar_core::cost::{measure_micro_params, ComputationSpec, CostModel};
+use zaatar_core::ginger::GingerPcp;
+use zaatar_core::pcp::{PcpParams, ZaatarPcp};
+use zaatar_core::qap::Qap;
+use zaatar_field::F61;
+
+fn main() {
+    // The F61-paired 256-bit group keeps measured Ginger runs feasible;
+    // the model is evaluated with the same group's measured parameters,
+    // so the comparison is internally consistent.
+    let micro = measure_micro_params::<F61>();
+    let model = CostModel::new(micro);
+    println!("== Cost-model validation: measured vs Fig. 3 predictions ==\n");
+
+    let apps = vec![
+        Suite::Lcs(zaatar_apps::lcs::Lcs { m: 3 }),
+        Suite::Apsp(zaatar_apps::apsp::Apsp { m: 3 }),
+        Suite::Bisection(zaatar_apps::bisection::Bisection { m: 3, l: 3 }),
+    ];
+    let mut rows = Vec::new();
+    for app in apps {
+        let art = build::<F61>(&app);
+        let inputs: Vec<F61> = app.gen_inputs(1);
+        let asg = art.compiled.solver.solve(&inputs).expect("solvable");
+
+        // --- Zaatar, measured ---
+        let ext = art.quad.extend_assignment(&asg);
+        let qap = Qap::new(&art.quad.system);
+        let zpcp = ZaatarPcp::new(qap, PcpParams::default());
+        let w = zpcp.qap().witness(&ext);
+        let io: Vec<F61> = zpcp
+            .qap()
+            .var_map()
+            .inputs()
+            .iter()
+            .chain(zpcp.qap().var_map().outputs())
+            .map(|v| ext.get(*v))
+            .collect();
+        let start = Instant::now();
+        let zproof = zpcp.prove(&w).expect("honest");
+        let z_construct = start.elapsed().as_secs_f64();
+        let zres = run_batched_argument(&zpcp, &[zproof], &[io], 3);
+        assert!(zres.accepted[0], "{}", app.name());
+        let z_measured = z_construct
+            + zres.prover.crypto.as_secs_f64()
+            + zres.prover.answer_queries.as_secs_f64();
+
+        // --- Ginger, measured ---
+        let lin = linearize_io(&art.compiled.ginger);
+        let gpcp = GingerPcp::new(&lin.system, PcpParams::default());
+        let gext = lin.extend_assignment(&asg);
+        let (z, gio) = gpcp.split_assignment(&gext);
+        let start = Instant::now();
+        let gproof = gpcp.prove(z);
+        let g_construct = start.elapsed().as_secs_f64();
+        let gres = run_batched_ginger_argument(&gpcp, &[gproof], &[gio], 4);
+        assert!(gres.accepted[0], "{} (ginger)", app.name());
+        let g_measured = g_construct
+            + gres.prover.crypto.as_secs_f64()
+            + gres.prover.answer_queries.as_secs_f64();
+
+        // --- Model predictions ---
+        let spec = spec(&art, &app);
+        let z_model = model.zaatar_prover_total(&spec) - spec.t_local;
+        let g_model = model.ginger_prover_total(&spec) - spec.t_local;
+
+        rows.push(vec![
+            app.name().to_string(),
+            app.params(),
+            fmt_secs(z_measured),
+            fmt_secs(z_model),
+            format!("{:+.0}%", 100.0 * (z_measured / z_model - 1.0)),
+            fmt_secs(g_measured),
+            fmt_secs(g_model),
+            format!("{:+.0}%", 100.0 * (g_measured / g_model - 1.0)),
+        ]);
+    }
+    print_table(
+        &[
+            "computation",
+            "params",
+            "Zaatar meas",
+            "Zaatar model",
+            "dev",
+            "Ginger meas",
+            "Ginger model",
+            "dev",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe paper reports measured Zaatar 5-15% above its model; deviations here\n\
+         reflect the same order-of-magnitude agreement that justifies estimating\n\
+         Ginger through the model at sizes where running it is infeasible."
+    );
+}
+
+fn spec(art: &zaatar_apps::AppArtifacts<F61>, app: &Suite) -> ComputationSpec {
+    let g = &art.ginger_stats;
+    ComputationSpec {
+        t_local: zaatar_bench::time_local(app, 1),
+        z_ginger: g.num_unbound as f64,
+        c_ginger: g.num_constraints as f64,
+        k: g.k_terms as f64,
+        k2: g.k2_distinct as f64,
+        n_inputs: g.num_inputs as f64,
+        n_outputs: g.num_outputs as f64,
+    }
+}

@@ -1,0 +1,341 @@
+//! The evaluation harness: shared measurement machinery behind the
+//! per-figure binaries (`figure4` … `figure9`, `microbench`,
+//! `cost_model`).
+//!
+//! Methodology follows §5.1–5.2: Zaatar is *measured* end-to-end at the
+//! configured scale, Ginger is *estimated* from the Fig. 3 cost model
+//! parameterized with host-measured microbenchmarks (the paper does
+//! exactly this: "we use estimates, rather than empirics, because the
+//! computations would be too expensive under Ginger"), and paper-scale
+//! numbers are additionally projected from the model so every figure can
+//! report both a measured shape and a paper-scale comparison.
+
+use std::time::Instant;
+
+use zaatar_apps::{build, AppArtifacts, Suite};
+use zaatar_cc::numeric::decode_i64;
+use zaatar_cc::Assignment;
+use zaatar_core::argument::{Prover, Verifier};
+use zaatar_core::cost::ComputationSpec;
+use zaatar_core::pcp::{PcpParams, ZaatarPcp};
+use zaatar_core::qap::Qap;
+use zaatar_crypto::{ChaChaPrg, HasGroup};
+use zaatar_field::PrimeField;
+
+/// Measurement scale, selected with the `ZAATAR_SCALE` environment
+/// variable (`tiny` | `small` | `medium` | `paper`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal sizes — seconds per figure (CI-friendly).
+    Tiny,
+    /// Default sizes — tens of seconds per figure.
+    Small,
+    /// Larger sizes — minutes per figure.
+    Medium,
+    /// The paper's exact §5.2 configurations. Only `figure9` (pure
+    /// compilation, no crypto) is practical at this scale; the
+    /// runtime-measuring figures would take the paper's minutes-per-
+    /// instance times β.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `ZAATAR_SCALE` (defaults to `Small`).
+    pub fn from_env() -> Scale {
+        match std::env::var("ZAATAR_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("medium") => Scale::Medium,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+
+    /// The five benchmarks at this scale (the paper's Fig. 4
+    /// configurations, scaled down by a constant factor).
+    pub fn suite(&self) -> Vec<Suite> {
+        use zaatar_apps::suite::Suite as S;
+        if matches!(self, Scale::Paper) {
+            return vec![
+                S::Pam(zaatar_apps::pam::Pam::paper()),
+                S::Bisection(zaatar_apps::bisection::Bisection::paper()),
+                S::Apsp(zaatar_apps::apsp::Apsp::paper()),
+                S::Fannkuch(zaatar_apps::fannkuch::Fannkuch::paper()),
+                S::Lcs(zaatar_apps::lcs::Lcs::paper()),
+            ];
+        }
+        let (pam, bis, apsp, fan, lcs) = match self {
+            Scale::Tiny => ((4, 3), (3, 3), 4, (2, 4, 4), 5),
+            Scale::Small => ((6, 8), (6, 4), 6, (3, 5, 8), 10),
+            Scale::Medium | Scale::Paper => ((10, 16), (12, 6), 10, (6, 7, 12), 24),
+        };
+        vec![
+            S::Pam(zaatar_apps::pam::Pam { m: pam.0, d: pam.1 }),
+            S::Bisection(zaatar_apps::bisection::Bisection { m: bis.0, l: bis.1 }),
+            S::Apsp(zaatar_apps::apsp::Apsp { m: apsp }),
+            S::Fannkuch(zaatar_apps::fannkuch::Fannkuch {
+                m: fan.0,
+                p: fan.1,
+                flip_bound: fan.2,
+            }),
+            S::Lcs(zaatar_apps::lcs::Lcs { m: lcs }),
+        ]
+    }
+
+    /// Three input sizes per benchmark for the Fig. 8 scaling sweep
+    /// (each doubles `m`, as in the paper).
+    pub fn scaling_sizes(&self, app: &Suite) -> Vec<usize> {
+        let m = app.m();
+        let s0 = m.div_ceil(4).max(2);
+        let s1 = m.div_ceil(2).max(s0 + 1);
+        let s2 = m.max(s1 + 1);
+        vec![s0, s1, s2]
+    }
+}
+
+/// One benchmark's full measurement at a given batch size.
+#[derive(Clone, Debug)]
+pub struct MeasuredRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Parameter string.
+    pub params: String,
+    /// Native execution time per instance, seconds.
+    pub t_local: f64,
+    /// Prover: constraint solving per instance.
+    pub solve: f64,
+    /// Prover: proof-vector construction per instance.
+    pub construct: f64,
+    /// Prover: commitment crypto per instance.
+    pub crypto: f64,
+    /// Prover: query answering per instance.
+    pub answer: f64,
+    /// Verifier: batch setup (keys + queries), total.
+    pub v_setup: f64,
+    /// Verifier: per-instance checking.
+    pub v_per_instance: f64,
+    /// Encoding spec for the cost model.
+    pub spec: ComputationSpec,
+    /// All instances verified correctly.
+    pub all_accepted: bool,
+    /// Batch size used.
+    pub beta: usize,
+}
+
+impl MeasuredRun {
+    /// Prover end-to-end per instance.
+    pub fn prover_total(&self) -> f64 {
+        self.solve + self.construct + self.crypto + self.answer
+    }
+}
+
+/// Extracts the cost-model spec from compiled artifacts plus a measured
+/// local time.
+pub fn spec_of<F: PrimeField>(art: &AppArtifacts<F>, t_local: f64) -> ComputationSpec {
+    let g = &art.ginger_stats;
+    ComputationSpec {
+        t_local,
+        z_ginger: g.num_unbound as f64,
+        c_ginger: g.num_constraints as f64,
+        k: g.k_terms as f64,
+        k2: g.k2_distinct as f64,
+        n_inputs: g.num_inputs as f64,
+        n_outputs: g.num_outputs as f64,
+    }
+}
+
+/// Times the native reference implementation (averaged over repeats).
+pub fn time_local(app: &Suite, seed: u64) -> f64 {
+    let inputs: Vec<i64> = raw_inputs(app, seed);
+    // Warm up once, then time.
+    std::hint::black_box(app.reference(&inputs));
+    let reps = 10;
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(app.reference(&inputs));
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// The integer inputs corresponding to [`Suite::gen_inputs`].
+pub fn raw_inputs(app: &Suite, seed: u64) -> Vec<i64> {
+    app.gen_inputs::<zaatar_field::F128>(seed)
+        .iter()
+        .map(|v| decode_i64(*v).expect("benchmark inputs are small"))
+        .collect()
+}
+
+/// Runs the complete batched argument for `beta` instances of `app`,
+/// measuring every phase. `F` must be a field with a paired commitment
+/// group.
+pub fn measure_app<F: PrimeField + HasGroup>(
+    app: &Suite,
+    beta: usize,
+    seed: u64,
+    pcp_params: PcpParams,
+) -> MeasuredRun {
+    let art = build::<F>(app);
+    let t_local = time_local(app, seed);
+
+    // Witnesses (prover's "solve constraints" phase).
+    let start = Instant::now();
+    let assignments: Vec<Assignment<F>> = (0..beta)
+        .map(|i| {
+            let inputs: Vec<F> = app.gen_inputs(seed + i as u64);
+            let asg = art
+                .compiled
+                .solver
+                .solve(&inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            art.quad.extend_assignment(&asg)
+        })
+        .collect();
+    let solve_total = start.elapsed().as_secs_f64();
+
+    let qap = Qap::new(&art.quad.system);
+    let ios: Vec<Vec<F>> = assignments
+        .iter()
+        .map(|asg| {
+            qap.var_map()
+                .inputs()
+                .iter()
+                .chain(qap.var_map().outputs())
+                .map(|v| asg.get(*v))
+                .collect()
+        })
+        .collect();
+    let witnesses: Vec<_> = assignments.iter().map(|a| qap.witness(a)).collect();
+    let pcp = ZaatarPcp::new(qap, pcp_params);
+
+    let mut prg = ChaChaPrg::from_u64_seed(seed ^ 0xbead);
+    let mut verifier = Verifier::setup(&pcp, &mut prg);
+    let mut prover = Prover::new(&pcp);
+    let proofs: Vec<_> = witnesses
+        .iter()
+        .map(|w| prover.construct_proof(w))
+        .collect();
+    let (enc_z, enc_h) = {
+        let (a, b) = verifier.commit_request();
+        (a.to_vec(), b.to_vec())
+    };
+    let commitments: Vec<_> = proofs
+        .iter()
+        .map(|p| prover.commit(p, &enc_z, &enc_h))
+        .collect();
+    let request = verifier.decommit_request();
+    let responses: Vec<_> = proofs.iter().map(|p| prover.respond(p, &request)).collect();
+    drop(request);
+    let mut all_accepted = true;
+    for ((c, (dz, dh)), io) in commitments.iter().zip(&responses).zip(&ios) {
+        all_accepted &= verifier.check_instance(c, dz, dh, io);
+    }
+
+    let b = beta as f64;
+    MeasuredRun {
+        name: app.name(),
+        params: app.params(),
+        t_local,
+        solve: solve_total / b,
+        construct: prover.timings.construct_proof.as_secs_f64() / b,
+        crypto: prover.timings.crypto.as_secs_f64() / b,
+        answer: prover.timings.answer_queries.as_secs_f64() / b,
+        v_setup: verifier.timings.setup_total().as_secs_f64(),
+        v_per_instance: verifier.timings.check.as_secs_f64() / b,
+        spec: spec_of(&art, t_local),
+        all_accepted,
+        beta,
+    }
+}
+
+/// Formats a duration in engineering units.
+pub fn fmt_secs(s: f64) -> String {
+    if s == 0.0 {
+        "0".to_string()
+    } else if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{:.2} s", s)
+    } else if s < 7200.0 {
+        format!("{:.1} min", s / 60.0)
+    } else if s < 86400.0 * 3.0 {
+        format!("{:.1} h", s / 3600.0)
+    } else {
+        format!("{:.1} days", s / 86400.0)
+    }
+}
+
+/// Formats a dimensionless count with thousands grouping of powers
+/// (`1.2e9`-style for large values).
+pub fn fmt_count(x: f64) -> String {
+    if x < 1e4 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Prints a simple aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (cell, w) in cells.iter().zip(&widths) {
+            out.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::F61;
+
+    #[test]
+    fn measure_smallest_app_end_to_end() {
+        let app = Scale::Tiny.suite().remove(4); // LCS, the cheapest.
+        let run = measure_app::<F61>(&app, 2, 0, PcpParams::light());
+        assert!(run.all_accepted);
+        assert!(run.prover_total() > 0.0);
+        assert!(run.v_setup > 0.0);
+        assert_eq!(run.beta, 2);
+    }
+
+    #[test]
+    fn scale_suites_have_five_benchmarks() {
+        for scale in [Scale::Tiny, Scale::Small, Scale::Medium] {
+            assert_eq!(scale.suite().len(), 5);
+        }
+    }
+
+    #[test]
+    fn scaling_sizes_are_increasing() {
+        let scale = Scale::Small;
+        for app in scale.suite() {
+            let sizes = scale.scaling_sizes(&app);
+            assert_eq!(sizes.len(), 3);
+            assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(2e-9), "2.0 ns");
+        assert_eq!(fmt_secs(0.005), "5.0 ms");
+        assert_eq!(fmt_secs(90.0), "90.00 s");
+        assert_eq!(fmt_count(120.0), "120");
+    }
+}

@@ -1,0 +1,878 @@
+//! The gadget builder: constructs a [`GingerSystem`] and, in lockstep, a
+//! deterministic witness solver.
+//!
+//! Each gadget emits (a) constraints and (b) a *solver step* describing
+//! how the prover computes the gadget's auxiliary variables from earlier
+//! values. Running the steps in order (step Á of Fig. 1) executes the
+//! computation and produces the satisfying assignment `z`.
+//!
+//! The gadget inventory matches the constructs the paper's compiler
+//! supports (§2.2): field operations, if-then-else (multiplexers), logical
+//! tests and connectives, `!=` via an auxiliary inverse, and order
+//! comparisons via `O(log |F|)`-size bit decompositions.
+
+use zaatar_field::PrimeField;
+
+use crate::ir::{
+    Assignment, GingerConstraint, GingerSystem, Kind, LinComb, VarId, VarRegistry,
+};
+
+/// Why witness generation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The supplied input vector has the wrong length.
+    InputCount {
+        /// Inputs expected by the system.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// A value did not fit the declared bit width (e.g. a comparison
+    /// operand out of range).
+    RangeOverflow {
+        /// The step index that failed.
+        step: usize,
+        /// The width that was exceeded.
+        width: usize,
+    },
+    /// Division by zero in a solver division step.
+    DivisionByZero {
+        /// The step index that failed.
+        step: usize,
+    },
+}
+
+impl core::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SolveError::InputCount { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            SolveError::RangeOverflow { step, width } => {
+                write!(f, "step {step}: value exceeds {width} bits")
+            }
+            SolveError::DivisionByZero { step } => write!(f, "step {step}: division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// One deterministic witness-computation step.
+#[derive(Clone, Debug)]
+enum SolveStep<F> {
+    /// `target ← lc`.
+    AssignLin { target: VarId, lc: LinComb<F> },
+    /// `target ← a · b`.
+    Product {
+        target: VarId,
+        a: LinComb<F>,
+        b: LinComb<F>,
+    },
+    /// `target ← Σ aₖ·bₖ`.
+    SumOfProducts {
+        target: VarId,
+        pairs: Vec<(LinComb<F>, LinComb<F>)>,
+    },
+    /// `target ← of⁻¹` (or 0 when `of = 0`).
+    InverseOrZero { target: VarId, of: LinComb<F> },
+    /// `target ← (of ≠ 0)` as 0/1.
+    NonZeroFlag { target: VarId, of: LinComb<F> },
+    /// Little-endian bit decomposition of the canonical value of `of`;
+    /// fails if the value needs more than `targets.len()` bits.
+    Bits { targets: Vec<VarId>, of: LinComb<F> },
+    /// `target ← num / den`; fails on zero denominator.
+    Divide {
+        target: VarId,
+        num: LinComb<F>,
+        den: LinComb<F>,
+    },
+}
+
+/// Builds a [`GingerSystem`] plus its witness solver.
+pub struct Builder<F> {
+    vars: VarRegistry,
+    constraints: Vec<GingerConstraint<F>>,
+    steps: Vec<SolveStep<F>>,
+    inputs: Vec<VarId>,
+    outputs: Vec<VarId>,
+}
+
+impl<F: PrimeField> Default for Builder<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: PrimeField> Builder<F> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Builder {
+            vars: VarRegistry::default(),
+            constraints: Vec::new(),
+            steps: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Declares an input variable `X`; inputs are bound positionally at
+    /// solve time.
+    pub fn alloc_input(&mut self) -> LinComb<F> {
+        let v = self.vars.alloc(Kind::Input);
+        self.inputs.push(v);
+        LinComb::var(v)
+    }
+
+    /// Declares `n` inputs.
+    pub fn alloc_inputs(&mut self, n: usize) -> Vec<LinComb<F>> {
+        (0..n).map(|_| self.alloc_input()).collect()
+    }
+
+    /// Binds an output variable `Y` to the value of `lc`, adding the
+    /// equality constraint and the solver step that computes it.
+    pub fn bind_output(&mut self, lc: &LinComb<F>) -> VarId {
+        let y = self.vars.alloc(Kind::Output);
+        self.constraints
+            .push(GingerConstraint::linear(lc.sub(&LinComb::var(y))));
+        self.steps.push(SolveStep::AssignLin {
+            target: y,
+            lc: lc.clone(),
+        });
+        self.outputs.push(y);
+        y
+    }
+
+    /// Allocates an unconstrained auxiliary variable (internal).
+    fn aux(&mut self) -> VarId {
+        self.vars.alloc(Kind::Aux)
+    }
+
+    /// Expands the product of two linear combinations into a degree-2
+    /// term list plus a linear part.
+    fn expand_product(a: &LinComb<F>, b: &LinComb<F>) -> (Vec<(VarId, VarId, F)>, LinComb<F>) {
+        let mut quad: Vec<(VarId, VarId, F)> = Vec::new();
+        for (va, ca) in a.terms() {
+            for (vb, cb) in b.terms() {
+                let (lo, hi) = if va <= vb { (*va, *vb) } else { (*vb, *va) };
+                let coeff = *ca * *cb;
+                if let Some(entry) = quad.iter_mut().find(|(i, j, _)| *i == lo && *j == hi) {
+                    entry.2 += coeff;
+                } else {
+                    quad.push((lo, hi, coeff));
+                }
+            }
+        }
+        quad.retain(|(_, _, c)| !c.is_zero());
+        let linear = b
+            .scale(a.constant_term())
+            .add(&a.scale(b.constant_term()))
+            .add_constant(-a.constant_term() * b.constant_term());
+        (quad, linear)
+    }
+
+    /// Enforces `lc = 0`.
+    pub fn enforce_zero(&mut self, lc: &LinComb<F>) {
+        self.constraints.push(GingerConstraint::linear(lc.clone()));
+    }
+
+    /// Enforces `a = b`.
+    pub fn enforce_eq(&mut self, a: &LinComb<F>, b: &LinComb<F>) {
+        self.enforce_zero(&a.sub(b));
+    }
+
+    /// Enforces `a · b = c` as one Ginger constraint.
+    pub fn enforce_product(&mut self, a: &LinComb<F>, b: &LinComb<F>, c: &LinComb<F>) {
+        let (quad, linear) = Self::expand_product(a, b);
+        self.constraints.push(GingerConstraint {
+            quad,
+            linear: linear.sub(c),
+        });
+    }
+
+    /// Multiplies two combinations, returning a fresh variable holding
+    /// the product (one constraint).
+    pub fn mul(&mut self, a: &LinComb<F>, b: &LinComb<F>) -> LinComb<F> {
+        // Constant folding: products with a constant are free.
+        if a.is_constant() {
+            return b.scale(a.constant_term());
+        }
+        if b.is_constant() {
+            return a.scale(b.constant_term());
+        }
+        let v = self.aux();
+        self.enforce_product(a, b, &LinComb::var(v));
+        self.steps.push(SolveStep::Product {
+            target: v,
+            a: a.clone(),
+            b: b.clone(),
+        });
+        LinComb::var(v)
+    }
+
+    /// Squares a combination.
+    pub fn square(&mut self, a: &LinComb<F>) -> LinComb<F> {
+        self.mul(&a.clone(), &a.clone())
+    }
+
+    /// Materializes a linear combination into a fresh variable with the
+    /// constraint `v = lc` (the per-assignment variable of the paper's
+    /// Fairplay-descended compiler).
+    pub fn materialize(&mut self, lc: &LinComb<F>) -> LinComb<F> {
+        let v = self.aux();
+        self.enforce_zero(&lc.sub(&LinComb::var(v)));
+        self.steps.push(SolveStep::AssignLin {
+            target: v,
+            lc: lc.clone(),
+        });
+        LinComb::var(v)
+    }
+
+    /// Computes `Σ aₖ·bₖ` as a *single* Ginger constraint with one new
+    /// variable — the encoding the paper's compiler uses for dot products
+    /// and sums of squares (this is what makes `K₂` grow; see §4's
+    /// degenerate-case discussion).
+    pub fn sum_of_products(&mut self, pairs: &[(LinComb<F>, LinComb<F>)]) -> LinComb<F> {
+        let v = self.aux();
+        let mut quad_total: Vec<(VarId, VarId, F)> = Vec::new();
+        let mut linear_total = LinComb::zero();
+        for (a, b) in pairs {
+            let (quad, linear) = Self::expand_product(a, b);
+            for (i, j, c) in quad {
+                if let Some(entry) = quad_total
+                    .iter_mut()
+                    .find(|(qi, qj, _)| *qi == i && *qj == j)
+                {
+                    entry.2 += c;
+                } else {
+                    quad_total.push((i, j, c));
+                }
+            }
+            linear_total = linear_total.add(&linear);
+        }
+        quad_total.retain(|(_, _, c)| !c.is_zero());
+        self.constraints.push(GingerConstraint {
+            quad: quad_total,
+            linear: linear_total.sub(&LinComb::var(v)),
+        });
+        self.steps.push(SolveStep::SumOfProducts {
+            target: v,
+            pairs: pairs.to_vec(),
+        });
+        LinComb::var(v)
+    }
+
+    /// Asserts `a ≠ 0` with the paper's single-constraint encoding
+    /// `{0 = a·M − 1}` (§2.2).
+    pub fn assert_nonzero(&mut self, a: &LinComb<F>) {
+        let m = self.aux();
+        self.steps.push(SolveStep::InverseOrZero {
+            target: m,
+            of: a.clone(),
+        });
+        self.enforce_product(a, &LinComb::var(m), &LinComb::constant(F::ONE));
+    }
+
+    /// Computes the 0/1 flag `a ≠ 0` (two constraints, two auxiliaries).
+    pub fn is_nonzero(&mut self, a: &LinComb<F>) -> LinComb<F> {
+        let m = self.aux();
+        let r = self.aux();
+        self.steps.push(SolveStep::InverseOrZero {
+            target: m,
+            of: a.clone(),
+        });
+        self.steps.push(SolveStep::NonZeroFlag {
+            target: r,
+            of: a.clone(),
+        });
+        let r_lc = LinComb::var(r);
+        // a·m = r and a·(1 − r) = 0.
+        self.enforce_product(a, &LinComb::var(m), &r_lc);
+        let one_minus_r = LinComb::constant(F::ONE).sub(&r_lc);
+        self.enforce_product(a, &one_minus_r, &LinComb::zero());
+        r_lc
+    }
+
+    /// Computes the 0/1 flag `a == b`.
+    pub fn is_eq(&mut self, a: &LinComb<F>, b: &LinComb<F>) -> LinComb<F> {
+        let neq = self.is_nonzero(&a.sub(b));
+        LinComb::constant(F::ONE).sub(&neq)
+    }
+
+    /// Decomposes `lc` into `width` little-endian bits, each constrained
+    /// boolean, with a recomposition constraint — `width + 1` constraints
+    /// total (the `O(log |F|)` pseudoconstraint expansion of §2.2).
+    pub fn bit_decompose(&mut self, lc: &LinComb<F>, width: usize) -> Vec<LinComb<F>> {
+        assert!(
+            (width as u32) < F::NUM_BITS,
+            "bit width must fit below the field size"
+        );
+        let bits: Vec<VarId> = (0..width).map(|_| self.aux()).collect();
+        self.steps.push(SolveStep::Bits {
+            targets: bits.clone(),
+            of: lc.clone(),
+        });
+        let mut recomposed = LinComb::zero();
+        let mut pow = F::ONE;
+        for b in &bits {
+            let b_lc = LinComb::var(*b);
+            // b·(b − 1) = 0.
+            let b_minus_one = b_lc.add_constant(-F::ONE);
+            self.enforce_product(&b_lc, &b_minus_one, &LinComb::zero());
+            recomposed = recomposed.add(&b_lc.scale(pow));
+            pow = pow.double();
+        }
+        self.enforce_eq(&recomposed, lc);
+        bits.into_iter().map(LinComb::var).collect()
+    }
+
+    /// Computes the 0/1 flag `a < b`, where `b − a` is guaranteed by the
+    /// caller to lie in `(−2^width, 2^width)`.
+    ///
+    /// Encoding: `s = (b − a − 1) + 2^width ∈ [0, 2^(width+1))`; then
+    /// `a < b ⟺ bit width of s is set`. Costs `width + 2` constraints.
+    pub fn less_than(&mut self, a: &LinComb<F>, b: &LinComb<F>, width: usize) -> LinComb<F> {
+        let two_w = F::from_u64(2).pow(width as u64);
+        let s = b.sub(a).add_constant(two_w - F::ONE);
+        let bits = self.bit_decompose(&s, width + 1);
+        bits[width].clone()
+    }
+
+    /// Computes the 0/1 flag `a <= b` under the same range contract as
+    /// [`Builder::less_than`].
+    pub fn less_eq(&mut self, a: &LinComb<F>, b: &LinComb<F>, width: usize) -> LinComb<F> {
+        let lt = self.less_than(b, a, width);
+        LinComb::constant(F::ONE).sub(&lt)
+    }
+
+    /// Multiplexer: `cond ? then : otherwise` for a 0/1 `cond`
+    /// (if-then-else, §2.2).
+    pub fn mux(
+        &mut self,
+        cond: &LinComb<F>,
+        then: &LinComb<F>,
+        otherwise: &LinComb<F>,
+    ) -> LinComb<F> {
+        let delta = self.mul(cond, &then.sub(otherwise));
+        otherwise.add(&delta)
+    }
+
+    /// Logical AND of two 0/1 flags.
+    pub fn and(&mut self, a: &LinComb<F>, b: &LinComb<F>) -> LinComb<F> {
+        self.mul(a, b)
+    }
+
+    /// Logical OR of two 0/1 flags: `a + b − a·b`.
+    pub fn or(&mut self, a: &LinComb<F>, b: &LinComb<F>) -> LinComb<F> {
+        let ab = self.mul(a, b);
+        a.add(b).sub(&ab)
+    }
+
+    /// Logical NOT of a 0/1 flag.
+    pub fn not(&self, a: &LinComb<F>) -> LinComb<F> {
+        LinComb::constant(F::ONE).sub(a)
+    }
+
+    /// The smaller of `a` and `b` under the [`Builder::less_than`] range
+    /// contract.
+    pub fn min(&mut self, a: &LinComb<F>, b: &LinComb<F>, width: usize) -> LinComb<F> {
+        let a_lt_b = self.less_than(a, b, width);
+        self.mux(&a_lt_b, a, b)
+    }
+
+    /// Data-dependent array read `values[index]` via a selector sum
+    /// `Σⱼ (index == j)·values[j]` — the "natural translation" of
+    /// indirect memory access that §5.4 calls out: it costs Θ(n)
+    /// equality gadgets *per access*, which is why the ZSL compiler
+    /// rejects dynamic indices unless explicitly enabled.
+    ///
+    /// The result is the selected element when `0 ≤ index < n`, and 0
+    /// otherwise (no selector matches).
+    pub fn select(&mut self, values: &[LinComb<F>], index: &LinComb<F>) -> LinComb<F> {
+        let mut acc = LinComb::zero();
+        for (j, v) in values.iter().enumerate() {
+            let is_j = self.is_eq(index, &LinComb::constant(F::from_u64(j as u64)));
+            let term = self.mul(&is_j, v);
+            acc = acc.add(&term);
+        }
+        acc
+    }
+
+    /// Exact field division `num/den`, constraining `den·q = num`.
+    pub fn div(&mut self, num: &LinComb<F>, den: &LinComb<F>) -> LinComb<F> {
+        let q = self.aux();
+        self.steps.push(SolveStep::Divide {
+            target: q,
+            num: num.clone(),
+            den: den.clone(),
+        });
+        self.enforce_product(den, &LinComb::var(q), num);
+        LinComb::var(q)
+    }
+
+    /// Finishes the build, returning the constraint system and solver.
+    pub fn finish(self) -> (GingerSystem<F>, WitnessSolver<F>) {
+        let num_vars = self.vars.len();
+        let sys = GingerSystem {
+            vars: self.vars,
+            constraints: self.constraints,
+        };
+        let solver = WitnessSolver {
+            num_vars,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            steps: self.steps,
+        };
+        (sys, solver)
+    }
+
+    /// Current constraint count.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Current variable count.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+}
+
+/// Executes the recorded solver steps to produce a satisfying assignment
+/// (the prover's step Á in Fig. 1).
+#[derive(Clone, Debug)]
+pub struct WitnessSolver<F> {
+    num_vars: usize,
+    inputs: Vec<VarId>,
+    outputs: Vec<VarId>,
+    steps: Vec<SolveStep<F>>,
+}
+
+impl<F: PrimeField> WitnessSolver<F> {
+    /// Number of declared inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The output variables, in binding order.
+    pub fn outputs(&self) -> &[VarId] {
+        &self.outputs
+    }
+
+    /// The input variables, in declaration order.
+    pub fn inputs(&self) -> &[VarId] {
+        &self.inputs
+    }
+
+    /// Computes the full assignment from the given input values.
+    pub fn solve(&self, inputs: &[F]) -> Result<Assignment<F>, SolveError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(SolveError::InputCount {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let mut asg = Assignment::zeroed(self.num_vars);
+        for (v, x) in self.inputs.iter().zip(inputs.iter()) {
+            asg.set(*v, *x);
+        }
+        for (idx, step) in self.steps.iter().enumerate() {
+            match step {
+                SolveStep::AssignLin { target, lc } => {
+                    let v = lc.eval(&asg);
+                    asg.set(*target, v);
+                }
+                SolveStep::Product { target, a, b } => {
+                    let v = a.eval(&asg) * b.eval(&asg);
+                    asg.set(*target, v);
+                }
+                SolveStep::SumOfProducts { target, pairs } => {
+                    let v: F = pairs
+                        .iter()
+                        .map(|(a, b)| a.eval(&asg) * b.eval(&asg))
+                        .sum();
+                    asg.set(*target, v);
+                }
+                SolveStep::InverseOrZero { target, of } => {
+                    let v = of.eval(&asg).inverse().unwrap_or(F::ZERO);
+                    asg.set(*target, v);
+                }
+                SolveStep::NonZeroFlag { target, of } => {
+                    let v = if of.eval(&asg).is_zero() {
+                        F::ZERO
+                    } else {
+                        F::ONE
+                    };
+                    asg.set(*target, v);
+                }
+                SolveStep::Bits { targets, of } => {
+                    let words = of.eval(&asg).to_canonical_words();
+                    let width = targets.len();
+                    // Verify the value fits in `width` bits.
+                    for (wi, w) in words.iter().enumerate() {
+                        for bit in 0..64 {
+                            let pos = wi * 64 + bit;
+                            if pos >= width && (w >> bit) & 1 == 1 {
+                                return Err(SolveError::RangeOverflow { step: idx, width });
+                            }
+                        }
+                    }
+                    for (i, t) in targets.iter().enumerate() {
+                        let w = words.get(i / 64).copied().unwrap_or(0);
+                        let bit = (w >> (i % 64)) & 1;
+                        asg.set(*t, F::from_u64(bit));
+                    }
+                }
+                SolveStep::Divide { target, num, den } => {
+                    let d = den.eval(&asg);
+                    let inv = d
+                        .inverse()
+                        .ok_or(SolveError::DivisionByZero { step: idx })?;
+                    asg.set(*target, num.eval(&asg) * inv);
+                }
+            }
+        }
+        Ok(asg)
+    }
+
+    /// Solves and extracts just the output values.
+    pub fn run(&self, inputs: &[F]) -> Result<Vec<F>, SolveError> {
+        let asg = self.solve(inputs)?;
+        Ok(asg.extract(&self.outputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::{Field, F61};
+
+    fn f(x: i64) -> F61 {
+        F61::from_i64(x)
+    }
+
+    /// Helper: build, solve, assert satisfied, return assignment.
+    fn solve_ok(builder: Builder<F61>, sys_inputs: &[F61]) -> (GingerSystem<F61>, Assignment<F61>, Vec<VarId>) {
+        let (sys, solver) = builder.finish();
+        let asg = solver.solve(sys_inputs).expect("solvable");
+        assert!(
+            sys.is_satisfied(&asg),
+            "violated constraint {:?}",
+            sys.first_violation(&asg)
+        );
+        let outs = solver.outputs().to_vec();
+        (sys, asg, outs)
+    }
+
+    #[test]
+    fn decrement_by_three() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        b.bind_output(&x.add_constant(f(-3)));
+        let (_, asg, outs) = solve_ok(b, &[f(10)]);
+        assert_eq!(asg.get(outs[0]), f(7));
+    }
+
+    #[test]
+    fn multiplication_gadget() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let p = b.mul(&x, &y);
+        b.bind_output(&p);
+        let (_, asg, outs) = solve_ok(b, &[f(6), f(7)]);
+        assert_eq!(asg.get(outs[0]), f(42));
+    }
+
+    #[test]
+    fn constant_multiplication_is_free() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let five = LinComb::constant(f(5));
+        let p = b.mul(&x, &five);
+        assert_eq!(b.num_constraints(), 0, "constant mul adds no constraint");
+        b.bind_output(&p);
+        let (_, asg, outs) = solve_ok(b, &[f(8)]);
+        assert_eq!(asg.get(outs[0]), f(40));
+    }
+
+    #[test]
+    fn product_of_lincombs_expands() {
+        // (x + 2)(y − 3) = xy − 3x + 2y − 6, one quad term.
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let p = b.mul(&x.add_constant(f(2)), &y.add_constant(f(-3)));
+        b.bind_output(&p);
+        let (sys, asg, outs) = solve_ok(b, &[f(10), f(5)]);
+        assert_eq!(asg.get(outs[0]), f(24));
+        assert_eq!(sys.constraints[0].quad.len(), 1);
+    }
+
+    #[test]
+    fn sum_of_products_single_constraint() {
+        // Squared distance: (a−c)² + (b−d)², one constraint, 3 distinct
+        // quadratic monomials per squared difference.
+        let mut b = Builder::<F61>::new();
+        let ins = b.alloc_inputs(4);
+        let d0 = ins[0].sub(&ins[2]);
+        let d1 = ins[1].sub(&ins[3]);
+        let pairs = vec![(d0.clone(), d0), (d1.clone(), d1)];
+        let dist = b.sum_of_products(&pairs);
+        assert_eq!(b.num_constraints(), 1);
+        b.bind_output(&dist);
+        let (_, asg, outs) = solve_ok(b, &[f(5), f(1), f(2), f(5)]);
+        assert_eq!(asg.get(outs[0]), f(9 + 16));
+    }
+
+    #[test]
+    fn is_nonzero_flag() {
+        for (input, expect) in [(0i64, 0i64), (5, 1), (-3, 1)] {
+            let mut b = Builder::<F61>::new();
+            let x = b.alloc_input();
+            let flag = b.is_nonzero(&x);
+            b.bind_output(&flag);
+            let (_, asg, outs) = solve_ok(b, &[f(input)]);
+            assert_eq!(asg.get(outs[0]), f(expect), "input={input}");
+        }
+    }
+
+    #[test]
+    fn is_nonzero_rejects_cheating_flag() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let flag = b.is_nonzero(&x);
+        b.bind_output(&flag);
+        let (sys, solver) = b.finish();
+        let mut asg = solver.solve(&[f(7)]).unwrap();
+        // Flip the flag variable (aux var r): find it via the output
+        // binding and overwrite.
+        let out = solver.outputs()[0];
+        asg.set(out, F61::ZERO);
+        // The output equality constraint now fails.
+        assert!(!sys.is_satisfied(&asg));
+    }
+
+    #[test]
+    fn assert_nonzero_single_constraint() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        b.assert_nonzero(&x);
+        assert_eq!(b.num_constraints(), 1);
+        let (sys, solver) = b.finish();
+        let good = solver.solve(&[f(3)]).unwrap();
+        assert!(sys.is_satisfied(&good));
+        let bad = solver.solve(&[f(0)]).unwrap();
+        assert!(!sys.is_satisfied(&bad), "zero input cannot satisfy a·m=1");
+    }
+
+    #[test]
+    fn is_eq_flag() {
+        for (a, b_, expect) in [(4i64, 4i64, 1i64), (4, 5, 0)] {
+            let mut b = Builder::<F61>::new();
+            let x = b.alloc_input();
+            let y = b.alloc_input();
+            let e = b.is_eq(&x, &y);
+            b.bind_output(&e);
+            let (_, asg, outs) = solve_ok(b, &[f(a), f(b_)]);
+            assert_eq!(asg.get(outs[0]), f(expect));
+        }
+    }
+
+    #[test]
+    fn bit_decomposition() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let bits = b.bit_decompose(&x, 6);
+        for bit in &bits {
+            b.bind_output(bit);
+        }
+        let (_, asg, outs) = solve_ok(b, &[f(0b101101)]);
+        let got: Vec<u64> = outs
+            .iter()
+            .map(|o| asg.get(*o).to_canonical_words()[0])
+            .collect();
+        assert_eq!(got, vec![1, 0, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bit_decomposition_overflow_errors() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        b.bit_decompose(&x, 4);
+        let (_, solver) = b.finish();
+        let err = solver.solve(&[f(16)]).unwrap_err();
+        assert!(matches!(err, SolveError::RangeOverflow { width: 4, .. }));
+        assert!(solver.solve(&[f(15)]).is_ok());
+    }
+
+    #[test]
+    fn less_than_all_cases() {
+        for (a, b_, expect) in [
+            (3i64, 7i64, 1i64),
+            (7, 3, 0),
+            (5, 5, 0),
+            (-4, 2, 1),
+            (2, -4, 0),
+            (-6, -5, 1),
+        ] {
+            let mut b = Builder::<F61>::new();
+            let x = b.alloc_input();
+            let y = b.alloc_input();
+            let lt = b.less_than(&x, &y, 8);
+            b.bind_output(&lt);
+            let (_, asg, outs) = solve_ok(b, &[f(a), f(b_)]);
+            assert_eq!(asg.get(outs[0]), f(expect), "a={a} b={b_}");
+        }
+    }
+
+    #[test]
+    fn less_eq_boundary() {
+        for (a, b_, expect) in [(5i64, 5i64, 1i64), (5, 4, 0), (4, 5, 1)] {
+            let mut b = Builder::<F61>::new();
+            let x = b.alloc_input();
+            let y = b.alloc_input();
+            let le = b.less_eq(&x, &y, 8);
+            b.bind_output(&le);
+            let (_, asg, outs) = solve_ok(b, &[f(a), f(b_)]);
+            assert_eq!(asg.get(outs[0]), f(expect), "a={a} b={b_}");
+        }
+    }
+
+    #[test]
+    fn comparison_cost_is_logarithmic() {
+        // §2.2: order comparisons expand to O(log |F|) constraints.
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let before = b.num_constraints();
+        b.less_than(&x, &y, 32);
+        let added = b.num_constraints() - before;
+        assert_eq!(added, 32 + 2, "w+1 bit constraints + recomposition");
+    }
+
+    #[test]
+    fn mux_selects() {
+        for (c, expect) in [(1i64, 10i64), (0, 20)] {
+            let mut b = Builder::<F61>::new();
+            let cond = b.alloc_input();
+            let t = LinComb::constant(f(10));
+            let e = LinComb::constant(f(20));
+            let m = b.mux(&cond, &t, &e);
+            b.bind_output(&m);
+            let (_, asg, outs) = solve_ok(b, &[f(c)]);
+            assert_eq!(asg.get(outs[0]), f(expect));
+        }
+    }
+
+    #[test]
+    fn logical_connectives() {
+        for (a, b_, and_e, or_e) in [(0i64, 0i64, 0i64, 0i64), (0, 1, 0, 1), (1, 0, 0, 1), (1, 1, 1, 1)]
+        {
+            let mut b = Builder::<F61>::new();
+            let x = b.alloc_input();
+            let y = b.alloc_input();
+            let an = b.and(&x, &y);
+            let orr = b.or(&x, &y);
+            let no = b.not(&x);
+            b.bind_output(&an);
+            b.bind_output(&orr);
+            b.bind_output(&no);
+            let (_, asg, outs) = solve_ok(b, &[f(a), f(b_)]);
+            assert_eq!(asg.get(outs[0]), f(and_e), "and {a} {b_}");
+            assert_eq!(asg.get(outs[1]), f(or_e), "or {a} {b_}");
+            assert_eq!(asg.get(outs[2]), f(1 - a), "not {a}");
+        }
+    }
+
+    #[test]
+    fn min_gadget() {
+        for (a, b_, expect) in [(3i64, 9i64, 3i64), (9, 3, 3), (-2, 5, -2), (4, 4, 4)] {
+            let mut b = Builder::<F61>::new();
+            let x = b.alloc_input();
+            let y = b.alloc_input();
+            let m = b.min(&x, &y, 8);
+            b.bind_output(&m);
+            let (_, asg, outs) = solve_ok(b, &[f(a), f(b_)]);
+            assert_eq!(asg.get(outs[0]), f(expect), "min({a},{b_})");
+        }
+    }
+
+    #[test]
+    fn division_gadget() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let q = b.div(&x, &y);
+        b.bind_output(&q);
+        let (_, asg, outs) = solve_ok(b, &[f(84), f(2)]);
+        assert_eq!(asg.get(outs[0]), f(42));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let q = b.div(&x, &y);
+        b.bind_output(&q);
+        let (_, solver) = b.finish();
+        assert!(matches!(
+            solver.solve(&[f(1), f(0)]),
+            Err(SolveError::DivisionByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn input_count_mismatch() {
+        let mut b = Builder::<F61>::new();
+        b.alloc_inputs(3);
+        let (_, solver) = b.finish();
+        assert_eq!(
+            solver.solve(&[f(1)]),
+            Err(SolveError::InputCount {
+                expected: 3,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn select_gadget_reads_dynamically() {
+        for (idx, expect) in [(0i64, 10i64), (2, 30), (3, 40), (9, 0)] {
+            let mut b = Builder::<F61>::new();
+            let i = b.alloc_input();
+            let values: Vec<LinComb<F61>> =
+                [10, 20, 30, 40].iter().map(|&v| LinComb::constant(f(v))).collect();
+            let sel = b.select(&values, &i);
+            b.bind_output(&sel);
+            let (_, asg, outs) = solve_ok(b, &[f(idx)]);
+            assert_eq!(asg.get(outs[0]), f(expect), "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn select_cost_is_linear_in_array_size() {
+        // §5.4's point: each dynamic access costs Θ(n) constraints.
+        let count = |n: usize| {
+            let mut b = Builder::<F61>::new();
+            let i = b.alloc_input();
+            let values: Vec<LinComb<F61>> =
+                (0..n).map(|v| LinComb::constant(f(v as i64))).collect();
+            b.select(&values, &i);
+            b.num_constraints()
+        };
+        let c8 = count(8);
+        let c16 = count(16);
+        assert!(c16 >= 2 * c8 - 2, "c8={c8} c16={c16}");
+    }
+
+    #[test]
+    fn run_returns_outputs_in_order() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        b.bind_output(&x.scale(f(2)));
+        b.bind_output(&x.scale(f(3)));
+        let (_, solver) = b.finish();
+        assert_eq!(solver.run(&[f(5)]).unwrap(), vec![f(10), f(15)]);
+    }
+}

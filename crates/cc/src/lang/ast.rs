@@ -1,0 +1,114 @@
+//! The ZSL abstract syntax tree.
+
+/// Binary operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (exact field division)
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation of a 0/1 value.
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Ident(String),
+    /// Array element `name[index]`; the index must be a compile-time
+    /// constant after loop unrolling (§5.4: data-dependent indices are
+    /// out of scope).
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var name = init;` or `var name[n];` — local declaration (arrays
+    /// initialize to zero).
+    Var {
+        /// Variable name.
+        name: String,
+        /// Array size, if an array.
+        size: Option<usize>,
+        /// Initializer (scalars only).
+        init: Option<Expr>,
+    },
+    /// `name = expr;` or `name[i] = expr;`.
+    Assign {
+        /// Target name.
+        name: String,
+        /// Element index for array targets.
+        index: Option<Expr>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `for v in lo..hi { ... }` — bounds must be compile-time constants;
+    /// the loop is unrolled.
+    For {
+        /// Loop variable (a compile-time constant inside the body).
+        var: String,
+        /// Inclusive lower bound expression.
+        lo: Expr,
+        /// Exclusive upper bound expression.
+        hi: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) { ... } else { ... }` — a constant condition selects a
+    /// branch at compile time; otherwise both branches run and assigned
+    /// variables are merged with multiplexers.
+    If {
+        /// The condition.
+        cond: Expr,
+        /// Then-branch body.
+        then_body: Vec<Stmt>,
+        /// Else-branch body (may be empty).
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// A parsed ZSL program.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Declared inputs: `(name, array size)`.
+    pub inputs: Vec<(String, Option<usize>)>,
+    /// Declared outputs: `(name, array size)`.
+    pub outputs: Vec<(String, Option<usize>)>,
+    /// Statements.
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,1027 @@
+//! The ZSL flattening compiler: a symbolic interpreter over the gadget
+//! [`Builder`].
+//!
+//! The compiler *executes* the program over symbolic values (linear
+//! combinations): bounded loops unroll naturally, compile-time-constant
+//! conditionals select a branch, and data-dependent conditionals execute
+//! both branches and merge every assigned variable through a multiplexer.
+//! The output is a straight-line [`GingerSystem`] plus a witness solver —
+//! the "list of assignment statements" form of \[16\].
+
+use std::collections::HashMap;
+
+use zaatar_field::PrimeField;
+
+use crate::builder::{Builder, WitnessSolver};
+use crate::ir::{GingerSystem, LinComb};
+use crate::numeric::decode_i64;
+
+use super::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use super::parser::parse;
+
+/// Compilation options.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Bit width used for order comparisons (`<`, `<=`, `>`, `>=`): the
+    /// difference of any two compared values must fit in this many bits.
+    /// The paper's benchmarks use 32-bit signed operands.
+    pub width: usize,
+    /// Materialize every assignment statement into a fresh constraint
+    /// variable (the Fairplay-descended behaviour of the paper's
+    /// compiler, which "turns a program into a list of assignment
+    /// statements" and gives `|C_ginger| ≈ |Z_ginger|`, §4 fn. 6).
+    /// Disabling it propagates values symbolically — a more aggressive
+    /// optimization than the paper's, kept for ablation.
+    pub materialize: bool,
+    /// Allow data-dependent array reads, compiled as Θ(n) selector sums
+    /// (the "natural translation" §5.4 warns produces "an excessive
+    /// number of constraints"). Off by default: the compiler rejects
+    /// dynamic indices with an error instead.
+    pub dynamic_indexing: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            width: 32,
+            materialize: true,
+            dynamic_indexing: false,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Symbolic-propagation mode (ablation; see `materialize`).
+    pub fn symbolic() -> Self {
+        CompileOptions {
+            width: 32,
+            materialize: false,
+            dynamic_indexing: false,
+        }
+    }
+}
+
+/// A compilation error with a source line where available.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// Human-readable description.
+    pub msg: String,
+    /// 1-based source line (0 when synthesized after parsing).
+    pub line: usize,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(msg: impl Into<String>, line: usize) -> Self {
+        CompileError {
+            msg: msg.into(),
+            line,
+        }
+    }
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled ZSL program: the Ginger constraint system and its witness
+/// solver.
+#[derive(Debug)]
+pub struct Compiled<F> {
+    /// The general degree-2 constraint system.
+    pub ginger: GingerSystem<F>,
+    /// Witness generator (runs the computation).
+    pub solver: WitnessSolver<F>,
+}
+
+/// A symbolic value in the compiler's environment.
+#[derive(Clone, Debug, PartialEq)]
+enum Value<F> {
+    /// A field-valued scalar.
+    Scalar(LinComb<F>),
+    /// A fixed-size array of scalars.
+    Array(Vec<LinComb<F>>),
+    /// A compile-time integer (loop variables).
+    Const(i64),
+}
+
+/// An undoable write, recorded while compiling a data-dependent branch
+/// so the two branch states can be diffed and merged without cloning the
+/// whole environment (generated benchmarks carry arrays of 10⁵ elements;
+/// whole-environment clones per `if` would make compilation quadratic).
+#[derive(Clone, Debug)]
+enum Undo<F> {
+    /// A scalar (or whole-value) overwrite.
+    Scalar {
+        lvl: usize,
+        name: String,
+        old: Value<F>,
+    },
+    /// An array element overwrite.
+    Element {
+        lvl: usize,
+        name: String,
+        idx: usize,
+        old: LinComb<F>,
+    },
+}
+
+/// A write target, for diffing branch effects.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Target {
+    Scalar(usize, String),
+    Element(usize, String, usize),
+}
+
+struct Ctx<'o, F: PrimeField> {
+    b: Builder<F>,
+    scopes: Vec<HashMap<String, Value<F>>>,
+    opts: &'o CompileOptions,
+    /// Write logs for data-dependent branches currently being compiled
+    /// (one per nesting level).
+    undo_stack: Vec<Vec<Undo<F>>>,
+}
+
+impl<'o, F: PrimeField> Ctx<'o, F> {
+    fn err(msg: impl Into<String>) -> CompileError {
+        CompileError::new(msg, 0)
+    }
+
+    fn lookup(&self, name: &str) -> Result<&Value<F>, CompileError> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .ok_or_else(|| Self::err(format!("unknown variable '{name}'")))
+    }
+
+    fn assign(&mut self, name: &str, value: Value<F>) -> Result<(), CompileError> {
+        let n = self.scopes.len();
+        for (rev_i, scope) in self.scopes.iter_mut().rev().enumerate() {
+            if let Some(slot) = scope.get_mut(name) {
+                if let Some(log) = self.undo_stack.last_mut() {
+                    log.push(Undo::Scalar {
+                        lvl: n - 1 - rev_i,
+                        name: name.to_string(),
+                        old: slot.clone(),
+                    });
+                }
+                *slot = value;
+                return Ok(());
+            }
+        }
+        Err(Self::err(format!("assignment to undeclared variable '{name}'")))
+    }
+
+    /// Writes one array element, recording the old value when inside a
+    /// branch.
+    fn assign_element(
+        &mut self,
+        name: &str,
+        idx: i64,
+        value: LinComb<F>,
+    ) -> Result<(), CompileError> {
+        let n = self.scopes.len();
+        for (rev_i, scope) in self.scopes.iter_mut().rev().enumerate() {
+            if let Some(slot) = scope.get_mut(name) {
+                return match slot {
+                    Value::Array(elems) => {
+                        let len = elems.len();
+                        match usize::try_from(idx).ok().filter(|i| *i < len) {
+                            Some(iu) => {
+                                if let Some(log) = self.undo_stack.last_mut() {
+                                    log.push(Undo::Element {
+                                        lvl: n - 1 - rev_i,
+                                        name: name.to_string(),
+                                        idx: iu,
+                                        old: elems[iu].clone(),
+                                    });
+                                }
+                                elems[iu] = value;
+                                Ok(())
+                            }
+                            None => Err(Self::err(format!(
+                                "index {idx} out of range for '{name}' (length {len})"
+                            ))),
+                        }
+                    }
+                    _ => Err(Self::err(format!("'{name}' is not an array"))),
+                };
+            }
+        }
+        Err(Self::err(format!(
+            "assignment to undeclared variable '{name}'"
+        )))
+    }
+
+    /// Reads the current value at a write target.
+    fn read_target(&self, t: &Target) -> Value<F> {
+        match t {
+            Target::Scalar(lvl, name) => self.scopes[*lvl][name].clone(),
+            Target::Element(lvl, name, idx) => match &self.scopes[*lvl][name] {
+                Value::Array(elems) => Value::Scalar(elems[*idx].clone()),
+                _ => unreachable!("element target points at an array"),
+            },
+        }
+    }
+
+    /// Writes a merged value back to a target (recording into any
+    /// enclosing branch's log, which makes nested ifs compose).
+    fn write_target(&mut self, t: &Target, v: Value<F>) -> Result<(), CompileError> {
+        match t {
+            Target::Scalar(lvl, name) => {
+                if let Some(log) = self.undo_stack.last_mut() {
+                    log.push(Undo::Scalar {
+                        lvl: *lvl,
+                        name: name.clone(),
+                        old: self.scopes[*lvl][name].clone(),
+                    });
+                }
+                *self
+                    .scopes[*lvl]
+                    .get_mut(name)
+                    .expect("target exists") = v;
+                Ok(())
+            }
+            Target::Element(lvl, name, idx) => {
+                let lc = match v {
+                    Value::Scalar(lc) => lc,
+                    Value::Const(n) => LinComb::constant(F::from_i64(n)),
+                    Value::Array(_) => {
+                        return Err(Self::err(format!(
+                            "branch type mismatch for '{name}'"
+                        )))
+                    }
+                };
+                if let Some(log) = self.undo_stack.last_mut() {
+                    let old = match &self.scopes[*lvl][name] {
+                        Value::Array(elems) => elems[*idx].clone(),
+                        _ => unreachable!("element target points at an array"),
+                    };
+                    log.push(Undo::Element {
+                        lvl: *lvl,
+                        name: name.clone(),
+                        idx: *idx,
+                        old,
+                    });
+                }
+                match self.scopes[*lvl].get_mut(name).expect("target exists") {
+                    Value::Array(elems) => elems[*idx] = lc,
+                    _ => unreachable!("element target points at an array"),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs a branch body in its own scope with write logging; returns
+    /// the touched outer-scope targets with their in-branch values, then
+    /// rolls every write back.
+    fn exec_branch(
+        &mut self,
+        body: &[Stmt],
+    ) -> Result<Vec<(Target, Value<F>)>, CompileError> {
+        let base_len = self.scopes.len();
+        self.scopes.push(HashMap::new());
+        self.undo_stack.push(Vec::new());
+        let result = self.exec_all(body);
+        let log = self.undo_stack.pop().expect("pushed above");
+        self.scopes.pop();
+        result?;
+        // Collect final values of touched outer-scope targets, in first-
+        // write order, deduplicated.
+        let mut seen = std::collections::HashSet::new();
+        let mut touched = Vec::new();
+        for entry in &log {
+            let target = match entry {
+                Undo::Scalar { lvl, name, .. } => Target::Scalar(*lvl, name.clone()),
+                Undo::Element { lvl, name, idx, .. } => {
+                    Target::Element(*lvl, name.clone(), *idx)
+                }
+            };
+            let lvl = match &target {
+                Target::Scalar(l, _) | Target::Element(l, _, _) => *l,
+            };
+            if lvl < base_len && seen.insert(target.clone()) {
+                touched.push((target.clone(), self.read_target(&target)));
+            }
+        }
+        // Roll back in reverse so earlier old-values win.
+        for entry in log.into_iter().rev() {
+            match entry {
+                Undo::Scalar { lvl, name, old } => {
+                    if lvl < base_len {
+                        self.scopes[lvl].insert(name, old);
+                    }
+                }
+                Undo::Element { lvl, name, idx, old } => {
+                    if lvl < base_len {
+                        if let Some(Value::Array(elems)) = self.scopes[lvl].get_mut(&name) {
+                            elems[idx] = old;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(touched)
+    }
+
+    fn declare(&mut self, name: &str, value: Value<F>) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("at least one scope");
+        if scope.contains_key(name) {
+            return Err(Self::err(format!("duplicate declaration of '{name}'")));
+        }
+        scope.insert(name.to_string(), value);
+        Ok(())
+    }
+
+    /// Tries to evaluate an expression to a compile-time integer.
+    fn const_eval(&self, e: &Expr) -> Option<i64> {
+        match e {
+            Expr::Num(n) => Some(*n),
+            Expr::Ident(name) => match self.lookup(name).ok()? {
+                Value::Const(n) => Some(*n),
+                Value::Scalar(lc) if lc.is_constant() => decode_i64(lc.constant_term()),
+                _ => None,
+            },
+            Expr::Unary(UnOp::Neg, inner) => self.const_eval(inner).map(|n| -n),
+            Expr::Unary(UnOp::Not, inner) => {
+                self.const_eval(inner).map(|n| i64::from(n == 0))
+            }
+            Expr::Binary(op, l, r) => {
+                let (a, b) = (self.const_eval(l)?, self.const_eval(r)?);
+                Some(match op {
+                    BinOp::Add => a.checked_add(b)?,
+                    BinOp::Sub => a.checked_sub(b)?,
+                    BinOp::Mul => a.checked_mul(b)?,
+                    BinOp::Div => a.checked_div(b)?,
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Le => i64::from(a <= b),
+                    BinOp::Gt => i64::from(a > b),
+                    BinOp::Ge => i64::from(a >= b),
+                    BinOp::Eq => i64::from(a == b),
+                    BinOp::Ne => i64::from(a != b),
+                    BinOp::And => i64::from(a != 0 && b != 0),
+                    BinOp::Or => i64::from(a != 0 || b != 0),
+                })
+            }
+            Expr::Index(_, _) => None,
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<LinComb<F>, CompileError> {
+        match e {
+            Expr::Num(n) => Ok(LinComb::constant(F::from_i64(*n))),
+            Expr::Ident(name) => match self.lookup(name)? {
+                Value::Scalar(lc) => Ok(lc.clone()),
+                Value::Const(n) => Ok(LinComb::constant(F::from_i64(*n))),
+                Value::Array(_) => Err(Self::err(format!("array '{name}' used as a scalar"))),
+            },
+            Expr::Index(name, idx) => {
+                if let Some(i) = self.const_eval(idx) {
+                    return match self.lookup(name)? {
+                        Value::Array(elems) => {
+                            let len = elems.len();
+                            usize::try_from(i)
+                                .ok()
+                                .and_then(|i| elems.get(i))
+                                .cloned()
+                                .ok_or_else(|| {
+                                    Self::err(format!(
+                                        "index {i} out of range for '{name}' (length {len})"
+                                    ))
+                                })
+                        }
+                        _ => Err(Self::err(format!("'{name}' is not an array"))),
+                    };
+                }
+                if !self.opts.dynamic_indexing {
+                    return Err(Self::err(format!(
+                        "index into '{name}' is not a compile-time constant \
+                         (data-dependent indices cost Θ(n) constraints per access, \
+                         paper §5.4; opt in with CompileOptions::dynamic_indexing)"
+                    )));
+                }
+                // The Θ(n) selector-sum translation.
+                let idx_lc = self.eval(idx)?;
+                let elems = match self.lookup(name)? {
+                    Value::Array(elems) => elems.clone(),
+                    _ => return Err(Self::err(format!("'{name}' is not an array"))),
+                };
+                Ok(self.b.select(&elems, &idx_lc))
+            }
+            Expr::Unary(UnOp::Neg, inner) => Ok(self.eval(inner)?.scale(-F::ONE)),
+            Expr::Unary(UnOp::Not, inner) => {
+                let v = self.eval(inner)?;
+                Ok(self.b.not(&v))
+            }
+            Expr::Binary(op, l, r) => {
+                // Fold sums of products (`a*b + c*d + …`) into a single
+                // multi-term Ginger constraint, as the paper's compiler
+                // does for dot products and polynomial evaluations (§4's
+                // K₂ accounting depends on this). Handled before constant
+                // folding so that arbitrarily long (possibly deeply
+                // left-nested) chains never recurse.
+                if matches!(op, BinOp::Add | BinOp::Sub) {
+                    return self.eval_sum(e);
+                }
+                // Fold fully-constant subtrees.
+                if let Some(n) = self.const_eval(e) {
+                    return Ok(LinComb::constant(F::from_i64(n)));
+                }
+                let lv = self.eval(l)?;
+                let rv = self.eval(r)?;
+                let w = self.opts.width;
+                Ok(match op {
+                    BinOp::Add => lv.add(&rv),
+                    BinOp::Sub => lv.sub(&rv),
+                    BinOp::Mul => self.b.mul(&lv, &rv),
+                    BinOp::Div => {
+                        if rv.is_constant() {
+                            let inv = rv.constant_term().inverse().ok_or_else(|| {
+                                Self::err("division by constant zero".to_string())
+                            })?;
+                            lv.scale(inv)
+                        } else {
+                            self.b.div(&lv, &rv)
+                        }
+                    }
+                    BinOp::Lt => self.b.less_than(&lv, &rv, w),
+                    BinOp::Gt => self.b.less_than(&rv, &lv, w),
+                    BinOp::Le => self.b.less_eq(&lv, &rv, w),
+                    BinOp::Ge => self.b.less_eq(&rv, &lv, w),
+                    BinOp::Eq => self.b.is_eq(&lv, &rv),
+                    BinOp::Ne => self.b.is_nonzero(&lv.sub(&rv)),
+                    BinOp::And => self.b.and(&lv, &rv),
+                    BinOp::Or => self.b.or(&lv, &rv),
+                })
+            }
+        }
+    }
+
+    /// Evaluates an `Add`/`Sub` tree by collecting product leaves and a
+    /// linear remainder; two or more products become one
+    /// `sum_of_products` constraint.
+    fn eval_sum(&mut self, e: &Expr) -> Result<LinComb<F>, CompileError> {
+        let mut products: Vec<(LinComb<F>, LinComb<F>)> = Vec::new();
+        let mut linear = LinComb::zero();
+        self.collect_sum(e, F::ONE, &mut products, &mut linear)?;
+        let folded = match products.len() {
+            0 => LinComb::zero(),
+            1 => {
+                let (a, b) = &products[0];
+                self.b.mul(a, b)
+            }
+            _ => self.b.sum_of_products(&products),
+        };
+        Ok(folded.add(&linear))
+    }
+
+    /// Iterative worklist over the (possibly very deep) `Add`/`Sub`
+    /// spine: generated programs can contain tens of thousands of terms
+    /// in one expression (e.g. the bisection benchmark's dense
+    /// polynomial), so recursion per term is not an option.
+    fn collect_sum(
+        &mut self,
+        e: &Expr,
+        sign: F,
+        products: &mut Vec<(LinComb<F>, LinComb<F>)>,
+        linear: &mut LinComb<F>,
+    ) -> Result<(), CompileError> {
+        let mut work: Vec<(&Expr, F)> = vec![(e, sign)];
+        while let Some((e, sign)) = work.pop() {
+            match e {
+                Expr::Binary(BinOp::Add, l, r) => {
+                    work.push((l, sign));
+                    work.push((r, sign));
+                }
+                Expr::Binary(BinOp::Sub, l, r) => {
+                    work.push((l, sign));
+                    work.push((r, -sign));
+                }
+                Expr::Unary(UnOp::Neg, inner) => work.push((inner, -sign)),
+                Expr::Binary(BinOp::Mul, l, r) => {
+                    // Constant folding happens at the factor level, so
+                    // the chain itself is never recursed into.
+                    let lv = self.eval(l)?;
+                    let rv = self.eval(r)?;
+                    if lv.is_constant() {
+                        *linear = linear.add(&rv.scale(lv.constant_term() * sign));
+                    } else if rv.is_constant() {
+                        *linear = linear.add(&lv.scale(rv.constant_term() * sign));
+                    } else {
+                        products.push((lv.scale(sign), rv));
+                    }
+                }
+                _ => {
+                    let v = self.eval(e)?;
+                    *linear = linear.add(&v.scale(sign));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the `materialize` option to an assigned value: anything
+    /// that is not already a constant or a bare variable gets its own
+    /// constraint variable (paper fn. 6: one new variable per
+    /// constraint).
+    fn store(&mut self, lc: LinComb<F>) -> LinComb<F> {
+        if !self.opts.materialize || lc.is_constant() || lc.as_single_var().is_some() {
+            return lc;
+        }
+        self.b.materialize(&lc)
+    }
+
+    fn exec_all(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.exec(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Var { name, size, init } => {
+                let value = match (size, init) {
+                    (Some(n), _) => Value::Array(vec![LinComb::zero(); *n]),
+                    (None, Some(e)) => {
+                        let v = self.eval(e)?;
+                        Value::Scalar(self.store(v))
+                    }
+                    (None, None) => Value::Scalar(LinComb::zero()),
+                };
+                self.declare(name, value)
+            }
+            Stmt::Assign { name, index, value } => {
+                let v = self.eval(value)?;
+                let v = self.store(v);
+                match index {
+                    None => {
+                        // Preserve array-ness check.
+                        if matches!(self.lookup(name)?, Value::Array(_)) {
+                            return Err(Self::err(format!(
+                                "cannot assign scalar to array '{name}'"
+                            )));
+                        }
+                        self.assign(name, Value::Scalar(v))
+                    }
+                    Some(idx) => {
+                        let i = self.const_eval(idx).ok_or_else(|| {
+                            Self::err(format!(
+                                "index into '{name}' is not a compile-time constant"
+                            ))
+                        })?;
+                        self.assign_element(name, i, v)
+                    }
+                }
+            }
+            Stmt::For { var, lo, hi, body } => {
+                let lo = self
+                    .const_eval(lo)
+                    .ok_or_else(|| Self::err("loop lower bound must be a constant"))?;
+                let hi = self
+                    .const_eval(hi)
+                    .ok_or_else(|| Self::err("loop upper bound must be a constant"))?;
+                for i in lo..hi {
+                    self.scopes.push(HashMap::new());
+                    self.declare(var, Value::Const(i))?;
+                    self.exec_all(body)?;
+                    self.scopes.pop();
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if let Some(c) = self.const_eval(cond) {
+                    // Compile-time branch selection.
+                    self.scopes.push(HashMap::new());
+                    let result = if c != 0 {
+                        self.exec_all(then_body)
+                    } else {
+                        self.exec_all(else_body)
+                    };
+                    self.scopes.pop();
+                    return result;
+                }
+                let cond_lc = self.eval(cond)?;
+                // Execute each branch against a write log, rolling the
+                // writes back afterwards; only the touched targets are
+                // merged (whole-environment clones would make compiling
+                // array-heavy programs quadratic).
+                let then_touched = self.exec_branch(then_body)?;
+                let else_touched = self.exec_branch(else_body)?;
+                // Union of targets, then-branch order first.
+                let mut targets: Vec<Target> = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for (t, _) in then_touched.iter().chain(else_touched.iter()) {
+                    if seen.insert(t.clone()) {
+                        targets.push(t.clone());
+                    }
+                }
+                let then_map: HashMap<&Target, &Value<F>> =
+                    then_touched.iter().map(|(t, v)| (t, v)).collect();
+                let else_map: HashMap<&Target, &Value<F>> =
+                    else_touched.iter().map(|(t, v)| (t, v)).collect();
+                for target in &targets {
+                    let base = self.read_target(target);
+                    let tv = then_map.get(target).copied().unwrap_or(&base).clone();
+                    let ev = else_map.get(target).copied().unwrap_or(&base).clone();
+                    if tv == ev {
+                        continue;
+                    }
+                    let name = match target {
+                        Target::Scalar(_, n) | Target::Element(_, n, _) => n.clone(),
+                    };
+                    let merged = self.merge_values(&cond_lc, tv, ev, &name)?;
+                    self.write_target(target, merged)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn merge_values(
+        &mut self,
+        cond: &LinComb<F>,
+        tv: Value<F>,
+        ev: Value<F>,
+        name: &str,
+    ) -> Result<Value<F>, CompileError> {
+        let as_lc = |v: &Value<F>| -> Option<LinComb<F>> {
+            match v {
+                Value::Scalar(lc) => Some(lc.clone()),
+                Value::Const(n) => Some(LinComb::constant(F::from_i64(*n))),
+                Value::Array(_) => None,
+            }
+        };
+        match (&tv, &ev) {
+            (Value::Array(ta), Value::Array(ea)) => {
+                if ta.len() != ea.len() {
+                    return Err(Self::err(format!(
+                        "conflicting sizes for array '{name}' across branches"
+                    )));
+                }
+                let merged: Vec<LinComb<F>> = ta
+                    .iter()
+                    .zip(ea.iter())
+                    .map(|(t, e)| {
+                        if t == e {
+                            t.clone()
+                        } else {
+                            self.b.mux(cond, t, e)
+                        }
+                    })
+                    .collect();
+                Ok(Value::Array(merged))
+            }
+            _ => {
+                let t = as_lc(&tv)
+                    .ok_or_else(|| Self::err(format!("branch type mismatch for '{name}'")))?;
+                let e = as_lc(&ev)
+                    .ok_or_else(|| Self::err(format!("branch type mismatch for '{name}'")))?;
+                Ok(Value::Scalar(self.b.mux(cond, &t, &e)))
+            }
+        }
+    }
+}
+
+/// Compiles ZSL source into a Ginger constraint system and witness
+/// solver.
+pub fn compile<F: PrimeField>(
+    src: &str,
+    opts: &CompileOptions,
+) -> Result<Compiled<F>, CompileError> {
+    let program = parse(src)?;
+    compile_program(&program, opts)
+}
+
+/// Compiles a parsed [`Program`].
+pub fn compile_program<F: PrimeField>(
+    program: &Program,
+    opts: &CompileOptions,
+) -> Result<Compiled<F>, CompileError> {
+    let mut ctx = Ctx::<F> {
+        b: Builder::new(),
+        scopes: vec![HashMap::new()],
+        opts,
+        undo_stack: Vec::new(),
+    };
+    // Inputs first, positionally.
+    for (name, size) in &program.inputs {
+        let value = match size {
+            Some(n) => Value::Array(ctx.b.alloc_inputs(*n)),
+            None => Value::Scalar(ctx.b.alloc_input()),
+        };
+        ctx.declare(name, value)?;
+    }
+    // Outputs start as zeros; programs overwrite them.
+    for (name, size) in &program.outputs {
+        let value = match size {
+            Some(n) => Value::Array(vec![LinComb::zero(); *n]),
+            None => Value::Scalar(LinComb::zero()),
+        };
+        ctx.declare(name, value)?;
+    }
+    ctx.exec_all(&program.body)?;
+    // Bind outputs in declaration order.
+    for (name, _) in &program.outputs {
+        let value = ctx.lookup(name)?.clone();
+        match value {
+            Value::Scalar(lc) => {
+                ctx.b.bind_output(&lc);
+            }
+            Value::Const(n) => {
+                ctx.b.bind_output(&LinComb::constant(F::from_i64(n)));
+            }
+            Value::Array(elems) => {
+                for lc in elems {
+                    ctx.b.bind_output(&lc);
+                }
+            }
+        }
+    }
+    let (ginger, solver) = ctx.b.finish();
+    Ok(Compiled { ginger, solver })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::{Field, F61};
+
+    fn f(x: i64) -> F61 {
+        F61::from_i64(x)
+    }
+
+    fn run(src: &str, inputs: &[i64]) -> Vec<F61> {
+        let c = compile::<F61>(src, &CompileOptions::default()).expect("compiles");
+        let ins: Vec<F61> = inputs.iter().map(|&v| f(v)).collect();
+        let asg = c.solver.solve(&ins).expect("solves");
+        assert!(
+            c.ginger.is_satisfied(&asg),
+            "violated constraint {:?}",
+            c.ginger.first_violation(&asg)
+        );
+        asg.extract(c.solver.outputs())
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let out = run("input a; input b; output y; y = a * b + a - 3;", &[6, 7]);
+        assert_eq!(out, vec![f(45)]);
+    }
+
+    #[test]
+    fn decrement_by_three_example() {
+        // The paper's §2.1 running example.
+        let out = run("input x; output y; y = x - 3;", &[10]);
+        assert_eq!(out, vec![f(7)]);
+    }
+
+    #[test]
+    fn loops_unroll() {
+        let src = "
+            input a[4]; output sum;
+            var t = 0;
+            for i in 0..4 { t = t + a[i]; }
+            sum = t;
+        ";
+        assert_eq!(run(src, &[1, 2, 3, 4]), vec![f(10)]);
+    }
+
+    #[test]
+    fn nested_loops_with_arithmetic_bounds() {
+        let src = "
+            input a[6]; output s;
+            var t = 0;
+            for i in 0..2 {
+                for j in 0..3 { t = t + a[i * 3 + j]; }
+            }
+            s = t;
+        ";
+        assert_eq!(run(src, &[1, 2, 3, 4, 5, 6]), vec![f(21)]);
+    }
+
+    #[test]
+    fn data_dependent_if_merges() {
+        let src = "
+            input a; input b; output y;
+            if (a < b) { y = a; } else { y = b; }
+        ";
+        assert_eq!(run(src, &[3, 9]), vec![f(3)]);
+        assert_eq!(run(src, &[9, 3]), vec![f(3)]);
+    }
+
+    #[test]
+    fn if_without_else() {
+        let src = "
+            input a; output y;
+            y = 10;
+            if (a == 5) { y = 99; }
+        ";
+        assert_eq!(run(src, &[5]), vec![f(99)]);
+        assert_eq!(run(src, &[4]), vec![f(10)]);
+    }
+
+    #[test]
+    fn constant_condition_selects_branch_without_mux() {
+        let src = "
+            input a; output y;
+            if (1 < 2) { y = a; } else { y = 0; }
+        ";
+        let c = compile::<F61>(src, &CompileOptions::default()).unwrap();
+        // No comparison gadget: only the output binding constraint.
+        assert_eq!(c.ginger.constraints.len(), 1);
+    }
+
+    #[test]
+    fn arrays_merge_across_branches() {
+        let src = "
+            input a; output y[2];
+            var t[2];
+            t[0] = 1; t[1] = 2;
+            if (a != 0) { t[0] = 7; }
+            y[0] = t[0]; y[1] = t[1];
+        ";
+        assert_eq!(run(src, &[5]), vec![f(7), f(2)]);
+        assert_eq!(run(src, &[0]), vec![f(1), f(2)]);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let src = "
+            input a; input b; output y;
+            y = (a <= b) && (a != 3) || (b == 0);
+        ";
+        assert_eq!(run(src, &[2, 5]), vec![f(1)]);
+        assert_eq!(run(src, &[3, 5]), vec![f(0)]);
+        assert_eq!(run(src, &[7, 0]), vec![f(1)]);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let src = "
+            input a; output y;
+            if (a < 0 - 2) { y = 0 - a; } else { y = a; }
+        ";
+        assert_eq!(run(src, &[-5]), vec![f(5)]);
+        assert_eq!(run(src, &[4]), vec![f(4)]);
+    }
+
+    #[test]
+    fn unary_operators() {
+        let src = "input a; output y; y = -a + 10;";
+        assert_eq!(run(src, &[3]), vec![f(7)]);
+        let src2 = "input a; output y; y = !(a == 3);";
+        assert_eq!(run(src2, &[3]), vec![f(0)]);
+        assert_eq!(run(src2, &[4]), vec![f(1)]);
+    }
+
+    #[test]
+    fn division_by_constant_is_free() {
+        let src = "input a; output y; y = a / 4;";
+        // In symbolic mode the scaled value needs no constraint beyond
+        // the output binding; materialize mode adds the assignment var.
+        let c = compile::<F61>(src, &CompileOptions::symbolic()).unwrap();
+        assert_eq!(c.ginger.constraints.len(), 1, "only the output binding");
+        let c = compile::<F61>(src, &CompileOptions::default()).unwrap();
+        assert_eq!(c.ginger.constraints.len(), 2, "assignment + binding");
+        // 8/4 = 2 exactly in the field.
+        assert_eq!(run(src, &[8]), vec![f(2)]);
+    }
+
+    #[test]
+    fn materialize_mode_assigns_one_var_per_statement() {
+        let src = "
+            input a; output y;
+            var t = a + 1;
+            var u = t + a;
+            y = u;
+        ";
+        let sym = compile::<F61>(src, &CompileOptions::symbolic()).unwrap();
+        let mat = compile::<F61>(src, &CompileOptions::default()).unwrap();
+        assert!(mat.ginger.constraints.len() > sym.ginger.constraints.len());
+        // Both compute the same function.
+        let ins = vec![f(5)];
+        assert_eq!(
+            mat.solver.run(&ins).unwrap(),
+            sym.solver.run(&ins).unwrap()
+        );
+    }
+
+    #[test]
+    fn sum_of_products_folds_into_one_constraint() {
+        // A dot product in one expression: one multi-term constraint
+        // (plus the assignment and output binding).
+        let src = "
+            input a[3]; input b[3]; output y;
+            y = a[0]*b[0] + a[1]*b[1] + a[2]*b[2];
+        ";
+        let c = compile::<F61>(src, &CompileOptions::symbolic()).unwrap();
+        assert_eq!(c.ginger.constraints.len(), 2, "sum constraint + binding");
+        let stats = crate::stats::ginger_stats(&c.ginger);
+        assert_eq!(stats.k2_distinct, 3);
+        assert_eq!(run(src, &[1, 2, 3, 4, 5, 6]), vec![f(32)]);
+    }
+
+    #[test]
+    fn division_by_variable_constrains() {
+        let src = "input a; input b; output y; y = a / b;";
+        assert_eq!(run(src, &[84, 2]), vec![f(42)]);
+    }
+
+    #[test]
+    fn output_array() {
+        let src = "
+            input a[3]; output y[3];
+            for i in 0..3 { y[i] = a[i] * a[i]; }
+        ";
+        assert_eq!(run(src, &[1, 2, 3]), vec![f(1), f(4), f(9)]);
+    }
+
+    #[test]
+    fn scalar_output_left_unassigned_is_zero() {
+        assert_eq!(run("input a; output y;", &[5]), vec![f(0)]);
+    }
+
+    #[test]
+    fn error_unknown_variable() {
+        let err = compile::<F61>("input a; output y; y = q;", &CompileOptions::default())
+            .unwrap_err();
+        assert!(err.msg.contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn error_non_constant_index() {
+        let err = compile::<F61>(
+            "input a[4]; input i; output y; y = a[i];",
+            &CompileOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("compile-time constant"), "{err}");
+    }
+
+    #[test]
+    fn error_index_out_of_range() {
+        let err = compile::<F61>(
+            "input a[2]; output y; y = a[5];",
+            &CompileOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn error_duplicate_declaration() {
+        let err = compile::<F61>(
+            "input a; output y; var t = 1; var t = 2;",
+            &CompileOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn loop_scoped_vars_do_not_leak() {
+        let err = compile::<F61>(
+            "input a; output y; for i in 0..2 { var t = a; } y = t;",
+            &CompileOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn loop_variable_in_expressions() {
+        let src = "
+            output y;
+            var t = 0;
+            for i in 1..5 { t = t + i * i; }
+            y = t;
+        ";
+        assert_eq!(run(src, &[]), vec![f(30)]);
+    }
+
+    #[test]
+    fn shadowing_in_nested_scope() {
+        let src = "
+            input a; output y;
+            var t = 1;
+            for i in 0..1 { var u = t + a; t = u; }
+            y = t;
+        ";
+        assert_eq!(run(src, &[4]), vec![f(5)]);
+    }
+}

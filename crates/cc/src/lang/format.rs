@@ -1,0 +1,255 @@
+//! A pretty-printer for ZSL programs.
+//!
+//! Emits canonical source that re-parses to the identical AST — useful
+//! for debugging generated programs (the benchmark generators emit
+//! thousands of lines) and tested by a parse→print→parse round-trip
+//! property.
+
+use core::fmt::Write as _;
+
+use super::ast::{BinOp, Expr, Program, Stmt, UnOp};
+
+/// Operator precedence for minimal parenthesization (higher binds
+/// tighter), mirroring the parser's grammar levels.
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Formats an expression with minimal parentheses.
+pub fn format_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e, 0);
+    out
+}
+
+fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
+    match e {
+        Expr::Num(n) => {
+            if *n < 0 {
+                // Negative literals are spelled `(0 - k)` so the printed
+                // form stays within the grammar the parser accepts.
+                let _ = write!(out, "(0 - {})", -n);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Expr::Ident(name) => out.push_str(name),
+        Expr::Index(name, idx) => {
+            let _ = write!(out, "{name}[");
+            write_expr(out, idx, 0);
+            out.push(']');
+        }
+        Expr::Unary(op, inner) => {
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            // Unary binds tighter than any binary operator.
+            write_expr(out, inner, 6);
+        }
+        Expr::Binary(op, l, r) => {
+            let prec = precedence(*op);
+            let needs_parens = prec < parent_prec
+                // Comparisons don't associate in the grammar.
+                || (prec == 3 && parent_prec == 3);
+            if needs_parens {
+                out.push('(');
+            }
+            write_expr(out, l, prec);
+            let _ = write!(out, " {} ", op_str(*op));
+            // Right side of left-associative operators needs one more
+            // level (so `a - (b - c)` keeps its parentheses).
+            write_expr(out, r, prec + 1);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Formats a whole program.
+pub fn format_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (name, size) in &p.inputs {
+        match size {
+            Some(n) => {
+                let _ = writeln!(out, "input {name}[{n}];");
+            }
+            None => {
+                let _ = writeln!(out, "input {name};");
+            }
+        }
+    }
+    for (name, size) in &p.outputs {
+        match size {
+            Some(n) => {
+                let _ = writeln!(out, "output {name}[{n}];");
+            }
+            None => {
+                let _ = writeln!(out, "output {name};");
+            }
+        }
+    }
+    for s in &p.body {
+        write_stmt(&mut out, s, 0);
+    }
+    out
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Var { name, size, init } => match (size, init) {
+            (Some(n), _) => {
+                let _ = writeln!(out, "{pad}var {name}[{n}];");
+            }
+            (None, Some(e)) => {
+                let _ = writeln!(out, "{pad}var {name} = {};", format_expr(e));
+            }
+            (None, None) => {
+                let _ = writeln!(out, "{pad}var {name};");
+            }
+        },
+        Stmt::Assign { name, index, value } => match index {
+            Some(i) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{name}[{}] = {};",
+                    format_expr(i),
+                    format_expr(value)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{pad}{name} = {};", format_expr(value));
+            }
+        },
+        Stmt::For { var, lo, hi, body } => {
+            let _ = writeln!(
+                out,
+                "{pad}for {var} in {}..{} {{",
+                format_expr(lo),
+                format_expr(hi)
+            );
+            for s in body {
+                write_stmt(out, s, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", format_expr(cond));
+            for s in then_body {
+                write_stmt(out, s, indent + 1);
+            }
+            if else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_body {
+                    write_stmt(out, s, indent + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse;
+    use super::*;
+
+    fn round_trip(src: &str) {
+        let ast1 = parse(src).expect("parses");
+        let printed = format_program(&ast1);
+        let ast2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(ast1, ast2, "printed form:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_benchmark_style_programs() {
+        round_trip(
+            "input a[4]; output y; var t = 0;
+             for i in 0..4 { t = t + a[i] * a[i]; }
+             if (t < 10) { y = t; } else { y = 10; }",
+        );
+    }
+
+    #[test]
+    fn round_trips_precedence() {
+        round_trip("input a; input b; output y; y = a + b * a - b / 2;");
+        round_trip("input a; input b; output y; y = (a + b) * (a - b);");
+        round_trip("input a; input b; output y; y = a - (b - 3);");
+        round_trip("input a; input b; output y; y = !(a < b) && (a != 3 || b == 1);");
+    }
+
+    #[test]
+    fn round_trips_unary_and_negative_literals() {
+        round_trip("input a; output y; y = -a + 3;");
+        round_trip("input a; output y; if (a < 0 - 5) { y = -a; }");
+    }
+
+    #[test]
+    fn round_trips_nested_control_flow() {
+        round_trip(
+            "input a[2]; output y[2];
+             for i in 0..2 {
+                 if (a[i] == 0) { y[i] = 1; } else { if (a[i] < 0) { y[i] = 2; } }
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trips_generated_benchmarks() {
+        // The real generators' output must round-trip too.
+        for src in [
+            crate::lang::parse(&test_apps_pam()).map(|p| format_program(&p)),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let a = parse(&src).expect("reparse");
+            let b = parse(&format_program(&a)).expect("re-reparse");
+            assert_eq!(a, b);
+        }
+    }
+
+    /// A PAM-like generated snippet (the apps crate depends on this one,
+    /// not vice versa, so a representative excerpt is inlined).
+    fn test_apps_pam() -> String {
+        "input x[12];\noutput best;\nvar dist[9];\nfor i in 0..3 {\n    for j in 0..3 {\n        var dd = 0;\n        for k in 0..4 {\n            dd = dd + (x[i*4+k] - x[j*4+k]) * (x[i*4+k] - x[j*4+k]);\n        }\n        dist[i*3+j] = dd;\n    }\n}\nbest = dist[1];\n".to_string()
+    }
+
+    #[test]
+    fn expression_formatting() {
+        let ast = parse("input a; output y; y = a * (a + 1);").unwrap();
+        let printed = format_program(&ast);
+        assert!(printed.contains("y = a * (a + 1);"), "{printed}");
+    }
+}

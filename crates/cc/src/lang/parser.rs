@@ -1,0 +1,528 @@
+//! Lexer and recursive-descent parser for ZSL.
+
+use super::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use super::compile::CompileError;
+
+/// Lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    KwInput,
+    KwOutput,
+    KwVar,
+    KwFor,
+    KwIn,
+    KwIf,
+    KwElse,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Assign,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    DotDot,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(msg, self.line)
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(Tok, usize)>, CompileError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'0'..=b'9' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let text = core::str::from_utf8(&self.src[start..self.pos])
+                        .expect("digits are valid UTF-8");
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("integer literal too large: {text}")))?;
+                    out.push((Tok::Num(n), self.line));
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len()
+                        && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let text = core::str::from_utf8(&self.src[start..self.pos])
+                        .expect("idents are valid UTF-8");
+                    let tok = match text {
+                        "input" => Tok::KwInput,
+                        "output" => Tok::KwOutput,
+                        "var" => Tok::KwVar,
+                        "for" => Tok::KwFor,
+                        "in" => Tok::KwIn,
+                        "if" => Tok::KwIf,
+                        "else" => Tok::KwElse,
+                        _ => Tok::Ident(text.to_string()),
+                    };
+                    out.push((tok, self.line));
+                }
+                _ => {
+                    let two = (c, self.peek(1));
+                    let (tok, len) = match two {
+                        (b'=', Some(b'=')) => (Tok::EqEq, 2),
+                        (b'!', Some(b'=')) => (Tok::NotEq, 2),
+                        (b'<', Some(b'=')) => (Tok::Le, 2),
+                        (b'>', Some(b'=')) => (Tok::Ge, 2),
+                        (b'&', Some(b'&')) => (Tok::AndAnd, 2),
+                        (b'|', Some(b'|')) => (Tok::OrOr, 2),
+                        (b'.', Some(b'.')) => (Tok::DotDot, 2),
+                        (b'+', _) => (Tok::Plus, 1),
+                        (b'-', _) => (Tok::Minus, 1),
+                        (b'*', _) => (Tok::Star, 1),
+                        (b'/', _) => (Tok::Slash, 1),
+                        (b'(', _) => (Tok::LParen, 1),
+                        (b')', _) => (Tok::RParen, 1),
+                        (b'{', _) => (Tok::LBrace, 1),
+                        (b'}', _) => (Tok::RBrace, 1),
+                        (b'[', _) => (Tok::LBracket, 1),
+                        (b']', _) => (Tok::RBracket, 1),
+                        (b';', _) => (Tok::Semi, 1),
+                        (b'=', _) => (Tok::Assign, 1),
+                        (b'<', _) => (Tok::Lt, 1),
+                        (b'>', _) => (Tok::Gt, 1),
+                        (b'!', _) => (Tok::Bang, 1),
+                        _ => return Err(self.error(format!("unexpected character '{}'", c as char))),
+                    };
+                    out.push((tok, self.line));
+                    self.pos += len;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(msg, self.line())
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), CompileError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            Some(t) => Err(self.error(format!("expected {tok:?}, found {t:?}"))),
+            None => Err(self.error(format!("expected {tok:?}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => Ok(name),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        // Declarations first.
+        loop {
+            match self.peek() {
+                Some(Tok::KwInput) => {
+                    self.next();
+                    let (name, size) = self.parse_decl_tail()?;
+                    prog.inputs.push((name, size));
+                }
+                Some(Tok::KwOutput) => {
+                    self.next();
+                    let (name, size) = self.parse_decl_tail()?;
+                    prog.outputs.push((name, size));
+                }
+                _ => break,
+            }
+        }
+        while self.peek().is_some() {
+            prog.body.push(self.parse_stmt()?);
+        }
+        Ok(prog)
+    }
+
+    fn parse_decl_tail(&mut self) -> Result<(String, Option<usize>), CompileError> {
+        let name = self.expect_ident()?;
+        let size = if self.peek() == Some(&Tok::LBracket) {
+            self.next();
+            let n = match self.next() {
+                Some(Tok::Num(n)) if n > 0 => n as usize,
+                other => return Err(self.error(format!("expected array size, found {other:?}"))),
+            };
+            self.expect(Tok::RBracket)?;
+            Some(n)
+        } else {
+            None
+        };
+        self.expect(Tok::Semi)?;
+        Ok((name, size))
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.error("unterminated block"));
+            }
+            body.push(self.parse_stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(body)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek() {
+            Some(Tok::KwVar) => {
+                self.next();
+                let name = self.expect_ident()?;
+                if self.peek() == Some(&Tok::LBracket) {
+                    self.next();
+                    let n = match self.next() {
+                        Some(Tok::Num(n)) if n > 0 => n as usize,
+                        other => {
+                            return Err(self.error(format!("expected array size, found {other:?}")))
+                        }
+                    };
+                    self.expect(Tok::RBracket)?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Var {
+                        name,
+                        size: Some(n),
+                        init: None,
+                    })
+                } else {
+                    let init = if self.peek() == Some(&Tok::Assign) {
+                        self.next();
+                        Some(self.parse_expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Var {
+                        name,
+                        size: None,
+                        init,
+                    })
+                }
+            }
+            Some(Tok::KwFor) => {
+                self.next();
+                let var = self.expect_ident()?;
+                self.expect(Tok::KwIn)?;
+                let lo = self.parse_expr()?;
+                self.expect(Tok::DotDot)?;
+                let hi = self.parse_expr()?;
+                let body = self.parse_block()?;
+                Ok(Stmt::For { var, lo, hi, body })
+            }
+            Some(Tok::KwIf) => {
+                self.next();
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                let then_body = self.parse_block()?;
+                let else_body = if self.peek() == Some(&Tok::KwElse) {
+                    self.next();
+                    if self.peek() == Some(&Tok::KwIf) {
+                        vec![self.parse_stmt()?]
+                    } else {
+                        self.parse_block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.expect_ident()?;
+                let index = if self.peek() == Some(&Tok::LBracket) {
+                    self.next();
+                    let e = self.parse_expr()?;
+                    self.expect(Tok::RBracket)?;
+                    Some(e)
+                } else {
+                    None
+                };
+                self.expect(Tok::Assign)?;
+                let value = self.parse_expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Assign { name, index, value })
+            }
+            other => Err(self.error(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.next();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.next();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            Some(Tok::EqEq) => BinOp::Eq,
+            Some(Tok::NotEq) => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.parse_add()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.next();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Bang) => {
+                self.next();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LBracket) {
+                    self.next();
+                    let idx = self.parse_expr()?;
+                    self.expect(Tok::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses ZSL source into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut parser = Parser { toks, pos: 0 };
+    parser.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse("input a; input b[4]; output y;").unwrap();
+        assert_eq!(p.inputs, vec![("a".into(), None), ("b".into(), Some(4))]);
+        assert_eq!(p.outputs, vec![("y".into(), None)]);
+        assert!(p.body.is_empty());
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let p = parse("input a; output y; y = a + 2 * 3;").unwrap();
+        match &p.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Binary(BinOp::Add, _, rhs) => {
+                    assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("wrong tree: {other:?}"),
+            },
+            other => panic!("wrong stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_and_if() {
+        let src = "
+            input a[2]; output y;
+            var t = 0;
+            for i in 0..2 {
+                if (a[i] < 5) { t = t + a[i]; } else { t = t + 5; }
+            }
+            y = t;
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.body.len(), 3);
+        assert!(matches!(p.body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let src = "input a; output y; if (a < 1) { y = 0; } else if (a < 2) { y = 1; } else { y = 2; }";
+        let p = parse(src).unwrap();
+        match &p.body[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("wrong stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_logical_ops_and_unary() {
+        let p = parse("input a; input b; output y; y = !(a < b) && (a != b || b == 3);").unwrap();
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse("// leading\ninput a; // trailing\noutput y;\ny = a; // done").unwrap();
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("input a;\noutput y;\ny = @;").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn error_on_missing_semi() {
+        assert!(parse("input a; output y; y = a").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_block() {
+        assert!(parse("input a; output y; for i in 0..2 { y = a;").is_err());
+    }
+}

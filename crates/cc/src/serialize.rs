@@ -1,0 +1,379 @@
+//! Text serialization for constraint systems (`.zcs`).
+//!
+//! The paper's toolchain compiled SFDL once and stored the constraints
+//! for reuse across batches; this module provides the same workflow: a
+//! line-oriented, human-inspectable format for [`GingerSystem`] and
+//! [`QuadSystem`], with strict validation on load.
+//!
+//! Format sketch (`#`-comments allowed):
+//!
+//! ```text
+//! zcs 1 ginger
+//! vars IIAAO           # one letter per variable: I/O/A
+//! c q 0*2*1 3*3*2 | l 4:-1 | k 0x5   # quad terms | linear terms | constant
+//! ...
+//! ```
+
+use zaatar_field::PrimeField;
+
+use crate::ir::{
+    Assignment, GingerConstraint, GingerSystem, Kind, LinComb, QuadConstraint, QuadSystem, VarId,
+    VarRegistry,
+};
+
+/// Errors from parsing a `.zcs` document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZcsError {
+    /// Description of the problem.
+    pub msg: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl core::fmt::Display for ZcsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "zcs line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ZcsError {}
+
+fn err(msg: impl Into<String>, line: usize) -> ZcsError {
+    ZcsError {
+        msg: msg.into(),
+        line,
+    }
+}
+
+fn field_to_hex<F: PrimeField>(x: F) -> String {
+    format!("{x}")
+}
+
+fn field_from_hex<F: PrimeField>(s: &str, line: usize) -> Result<F, ZcsError> {
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| err(format!("expected 0x-prefixed field element, got '{s}'"), line))?;
+    if digits.is_empty() || digits.len() > 16 * F::NUM_WORDS {
+        return Err(err(format!("bad field element '{s}'"), line));
+    }
+    let mut words = vec![0u64; F::NUM_WORDS];
+    for (i, ch) in digits.bytes().rev().enumerate() {
+        let v = (ch as char)
+            .to_digit(16)
+            .ok_or_else(|| err(format!("bad hex digit in '{s}'"), line))? as u64;
+        words[i / 16] |= v << (4 * (i % 16));
+    }
+    F::from_canonical_words(&words).ok_or_else(|| err(format!("unreduced element '{s}'"), line))
+}
+
+fn lincomb_to_string<F: PrimeField>(lc: &LinComb<F>) -> String {
+    let mut parts: Vec<String> = lc
+        .terms()
+        .iter()
+        .map(|(v, c)| format!("{}:{}", v.0, field_to_hex(*c)))
+        .collect();
+    if !lc.constant_term().is_zero() {
+        parts.push(format!("k:{}", field_to_hex(lc.constant_term())));
+    }
+    if parts.is_empty() {
+        "0".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+fn lincomb_from_str<F: PrimeField>(
+    s: &str,
+    num_vars: usize,
+    line: usize,
+) -> Result<LinComb<F>, ZcsError> {
+    let mut lc = LinComb::zero();
+    let s = s.trim();
+    if s == "0" {
+        return Ok(lc);
+    }
+    for part in s.split_whitespace() {
+        let (head, value) = part
+            .split_once(':')
+            .ok_or_else(|| err(format!("bad term '{part}'"), line))?;
+        let coeff = field_from_hex::<F>(value, line)?;
+        if head == "k" {
+            lc = lc.add_constant(coeff);
+        } else {
+            let idx: usize = head
+                .parse()
+                .map_err(|_| err(format!("bad variable index '{head}'"), line))?;
+            if idx >= num_vars {
+                return Err(err(format!("variable {idx} out of range"), line));
+            }
+            lc = lc.add(&LinComb::scaled_var(VarId(idx), coeff));
+        }
+    }
+    Ok(lc)
+}
+
+fn vars_to_string(vars: &VarRegistry) -> String {
+    (0..vars.len())
+        .map(|i| match vars.kind(VarId(i)) {
+            Kind::Input => 'I',
+            Kind::Output => 'O',
+            Kind::Aux => 'A',
+        })
+        .collect()
+}
+
+fn vars_from_str(s: &str, line: usize) -> Result<VarRegistry, ZcsError> {
+    let mut vars = VarRegistry::default();
+    for ch in s.chars() {
+        let kind = match ch {
+            'I' => Kind::Input,
+            'O' => Kind::Output,
+            'A' => Kind::Aux,
+            other => return Err(err(format!("bad variable kind '{other}'"), line)),
+        };
+        vars.alloc(kind);
+    }
+    Ok(vars)
+}
+
+/// Serializes a Ginger (general degree-2) system.
+pub fn ginger_to_zcs<F: PrimeField>(sys: &GingerSystem<F>) -> String {
+    let mut out = String::new();
+    out.push_str("zcs 1 ginger\n");
+    out.push_str(&format!("vars {}\n", vars_to_string(&sys.vars)));
+    for c in &sys.constraints {
+        let quad: Vec<String> = c
+            .quad
+            .iter()
+            .map(|(i, j, coeff)| format!("{}*{}:{}", i.0, j.0, field_to_hex(*coeff)))
+            .collect();
+        out.push_str(&format!(
+            "c {} | {}\n",
+            if quad.is_empty() {
+                "0".to_string()
+            } else {
+                quad.join(" ")
+            },
+            lincomb_to_string(&c.linear)
+        ));
+    }
+    out
+}
+
+/// Parses a Ginger system.
+pub fn ginger_from_zcs<F: PrimeField>(text: &str) -> Result<GingerSystem<F>, ZcsError> {
+    let mut lines = numbered_lines(text);
+    let (line_no, header) = lines
+        .next()
+        .ok_or_else(|| err("empty document", 1))?;
+    if header != "zcs 1 ginger" {
+        return Err(err(format!("bad header '{header}'"), line_no));
+    }
+    let (line_no, vars_line) = lines.next().ok_or_else(|| err("missing vars", line_no))?;
+    let vars = parse_vars_line(vars_line, line_no)?;
+    let num_vars = vars.len();
+    let mut constraints = Vec::new();
+    for (line_no, line) in lines {
+        let rest = line
+            .strip_prefix("c ")
+            .ok_or_else(|| err(format!("expected constraint line, got '{line}'"), line_no))?;
+        let (quad_str, linear_str) = rest
+            .split_once('|')
+            .ok_or_else(|| err("constraint missing '|'", line_no))?;
+        let mut quad = Vec::new();
+        let quad_str = quad_str.trim();
+        if quad_str != "0" {
+            for term in quad_str.split_whitespace() {
+                let (pair, coeff_str) = term
+                    .split_once(':')
+                    .ok_or_else(|| err(format!("bad quad term '{term}'"), line_no))?;
+                let (i, j) = pair
+                    .split_once('*')
+                    .ok_or_else(|| err(format!("bad quad pair '{pair}'"), line_no))?;
+                let i: usize = i
+                    .parse()
+                    .map_err(|_| err(format!("bad index '{i}'"), line_no))?;
+                let j: usize = j
+                    .parse()
+                    .map_err(|_| err(format!("bad index '{j}'"), line_no))?;
+                if i >= num_vars || j >= num_vars {
+                    return Err(err("quad index out of range", line_no));
+                }
+                quad.push((VarId(i), VarId(j), field_from_hex::<F>(coeff_str, line_no)?));
+            }
+        }
+        constraints.push(GingerConstraint {
+            quad,
+            linear: lincomb_from_str(linear_str, num_vars, line_no)?,
+        });
+    }
+    Ok(GingerSystem { vars, constraints })
+}
+
+/// Serializes a quadratic-form system.
+pub fn quad_to_zcs<F: PrimeField>(sys: &QuadSystem<F>) -> String {
+    let mut out = String::new();
+    out.push_str("zcs 1 quad\n");
+    out.push_str(&format!("vars {}\n", vars_to_string(&sys.vars)));
+    for c in &sys.constraints {
+        out.push_str(&format!(
+            "c {} | {} | {}\n",
+            lincomb_to_string(&c.a),
+            lincomb_to_string(&c.b),
+            lincomb_to_string(&c.c)
+        ));
+    }
+    out
+}
+
+/// Parses a quadratic-form system.
+pub fn quad_from_zcs<F: PrimeField>(text: &str) -> Result<QuadSystem<F>, ZcsError> {
+    let mut lines = numbered_lines(text);
+    let (line_no, header) = lines
+        .next()
+        .ok_or_else(|| err("empty document", 1))?;
+    if header != "zcs 1 quad" {
+        return Err(err(format!("bad header '{header}'"), line_no));
+    }
+    let (line_no, vars_line) = lines.next().ok_or_else(|| err("missing vars", line_no))?;
+    let vars = parse_vars_line(vars_line, line_no)?;
+    let num_vars = vars.len();
+    let mut constraints = Vec::new();
+    for (line_no, line) in lines {
+        let rest = line
+            .strip_prefix("c ")
+            .ok_or_else(|| err(format!("expected constraint line, got '{line}'"), line_no))?;
+        let mut parts = rest.splitn(3, '|');
+        let a = parts
+            .next()
+            .ok_or_else(|| err("missing p_A", line_no))?;
+        let b = parts
+            .next()
+            .ok_or_else(|| err("missing p_B", line_no))?;
+        let c = parts
+            .next()
+            .ok_or_else(|| err("missing p_C", line_no))?;
+        constraints.push(QuadConstraint {
+            a: lincomb_from_str(a, num_vars, line_no)?,
+            b: lincomb_from_str(b, num_vars, line_no)?,
+            c: lincomb_from_str(c, num_vars, line_no)?,
+        });
+    }
+    Ok(QuadSystem { vars, constraints })
+}
+
+fn parse_vars_line(line: &str, line_no: usize) -> Result<VarRegistry, ZcsError> {
+    let rest = line
+        .strip_prefix("vars ")
+        .ok_or_else(|| err(format!("expected 'vars', got '{line}'"), line_no))?;
+    vars_from_str(rest.trim(), line_no)
+}
+
+fn numbered_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// Checks an assignment against a parsed quad system (convenience for
+/// loaded artifacts).
+pub fn check_assignment<F: PrimeField>(sys: &QuadSystem<F>, asg: &Assignment<F>) -> bool {
+    sys.is_satisfied(asg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::transform::ginger_to_quad;
+    use zaatar_field::{Field, F61};
+
+    fn sample() -> (GingerSystem<F61>, Assignment<F61>) {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let p = b.mul(&x.add_constant(F61::from_i64(-2)), &y);
+        let lt = b.less_than(&x, &y, 6);
+        b.bind_output(&p.add(&lt));
+        let (sys, solver) = b.finish();
+        let asg = solver
+            .solve(&[F61::from_u64(5), F61::from_u64(9)])
+            .unwrap();
+        (sys, asg)
+    }
+
+    #[test]
+    fn ginger_round_trip() {
+        let (sys, asg) = sample();
+        let text = ginger_to_zcs(&sys);
+        let back: GingerSystem<F61> = ginger_from_zcs(&text).unwrap();
+        assert_eq!(back.constraints, sys.constraints);
+        assert_eq!(back.vars.len(), sys.vars.len());
+        assert!(back.is_satisfied(&asg));
+        // And the loaded system still rejects bad assignments.
+        let mut bad = asg.clone();
+        bad.set(VarId(0), F61::from_u64(6));
+        assert!(!back.is_satisfied(&bad));
+    }
+
+    #[test]
+    fn quad_round_trip() {
+        let (sys, asg) = sample();
+        let t = ginger_to_quad(&sys);
+        let text = quad_to_zcs(&t.system);
+        let back: QuadSystem<F61> = quad_from_zcs(&text).unwrap();
+        assert_eq!(back.constraints, t.system.constraints);
+        let ext = t.extend_assignment(&asg);
+        assert!(check_assignment(&back, &ext));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (sys, _) = sample();
+        let text = ginger_to_zcs(&sys);
+        let with_noise = format!("# compiled artifact\n\n{text}\n# end\n");
+        assert!(ginger_from_zcs::<F61>(&with_noise).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(ginger_from_zcs::<F61>("").is_err());
+        assert!(ginger_from_zcs::<F61>("zcs 1 quad\nvars A\n").is_err());
+        assert!(ginger_from_zcs::<F61>("zcs 1 ginger\nvars X\n").is_err());
+        assert!(
+            ginger_from_zcs::<F61>("zcs 1 ginger\nvars AA\nc 0*9:0x1 | 0\n").is_err(),
+            "out-of-range variable index"
+        );
+        assert!(
+            ginger_from_zcs::<F61>("zcs 1 ginger\nvars AA\nc 0 | 0:0xffffffffffffffff\n")
+                .is_err(),
+            "unreduced field element"
+        );
+        assert!(quad_from_zcs::<F61>("zcs 1 ginger\nvars A\n").is_err());
+    }
+
+    #[test]
+    fn loaded_system_drives_the_protocol() {
+        // Compile → save → load → QAP still proves/rejects correctly is
+        // covered by reusing ir-level equality above; here just confirm
+        // the kinds survive (the QAP ordering depends on them).
+        let (sys, _) = sample();
+        let text = ginger_to_zcs(&sys);
+        let back: GingerSystem<F61> = ginger_from_zcs(&text).unwrap();
+        for i in 0..sys.vars.len() {
+            assert_eq!(back.vars.kind(VarId(i)), sys.vars.kind(VarId(i)));
+        }
+    }
+
+    #[test]
+    fn field_hex_round_trips() {
+        for v in [0u64, 1, 42, u64::MAX >> 4] {
+            let x = F61::from_u64(v);
+            let s = field_to_hex(x);
+            assert_eq!(field_from_hex::<F61>(&s, 1).unwrap(), x);
+        }
+        assert!(field_from_hex::<F61>("17", 1).is_err(), "missing 0x");
+        assert!(field_from_hex::<F61>("0xzz", 1).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Property tests for the constraint compiler: random programs and
+//! random gadget circuits must always produce constraint systems whose
+//! solver-generated witnesses satisfy them, whose transforms preserve
+//! satisfiability, and whose outputs match direct evaluation.
+
+use proptest::prelude::*;
+use zaatar_cc::lang::{compile, CompileOptions};
+use zaatar_cc::numeric::decode_i64;
+use zaatar_cc::{ginger_stats, ginger_to_quad, ginger_to_quad_optimized, linearize_io, Builder};
+use zaatar_field::{Field, F61};
+
+/// A small random expression AST over two inputs `a`, `b` and constants.
+#[derive(Clone, Debug)]
+enum E {
+    A,
+    B,
+    Const(i8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+}
+
+impl E {
+    fn to_zsl(&self) -> String {
+        match self {
+            E::A => "a".into(),
+            E::B => "b".into(),
+            E::Const(c) => {
+                if *c < 0 {
+                    format!("(0 - {})", -(*c as i64))
+                } else {
+                    format!("{c}")
+                }
+            }
+            E::Add(l, r) => format!("({} + {})", l.to_zsl(), r.to_zsl()),
+            E::Sub(l, r) => format!("({} - {})", l.to_zsl(), r.to_zsl()),
+            E::Mul(l, r) => format!("({} * {})", l.to_zsl(), r.to_zsl()),
+            E::Lt(l, r) => format!("({} < {})", l.to_zsl(), r.to_zsl()),
+            E::Eq(l, r) => format!("({} == {})", l.to_zsl(), r.to_zsl()),
+        }
+    }
+
+    /// Direct evaluation over i128 (wide enough for depth-4 products of
+    /// 8-bit values).
+    fn eval(&self, a: i128, b: i128) -> i128 {
+        match self {
+            E::A => a,
+            E::B => b,
+            E::Const(c) => *c as i128,
+            E::Add(l, r) => l.eval(a, b) + r.eval(a, b),
+            E::Sub(l, r) => l.eval(a, b) - r.eval(a, b),
+            E::Mul(l, r) => l.eval(a, b) * r.eval(a, b),
+            E::Lt(l, r) => i128::from(l.eval(a, b) < r.eval(a, b)),
+            E::Eq(l, r) => i128::from(l.eval(a, b) == r.eval(a, b)),
+        }
+    }
+
+    /// Magnitude bound used to keep comparisons inside the gadget width.
+    fn bound(&self) -> i128 {
+        match self {
+            E::A | E::B => 127,
+            E::Const(_) => 127,
+            E::Add(l, r) | E::Sub(l, r) => l.bound() + r.bound(),
+            E::Mul(l, r) => l.bound() * r.bound(),
+            E::Lt(_, _) | E::Eq(_, _) => 1,
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::A),
+        Just(E::B),
+        any::<i8>().prop_map(E::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Mul(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Lt(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Eq(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random expressions compile, solve, satisfy their constraints, and
+    /// equal direct evaluation — in both compiler modes.
+    #[test]
+    fn compiled_expressions_match_direct_evaluation(
+        e in arb_expr(),
+        a in -100i64..100,
+        b in -100i64..100,
+    ) {
+        // Comparisons inside need |lhs − rhs| < 2^width; bound crudely.
+        prop_assume!(e.bound() < (1 << 40));
+        let src = format!("input a; input b; output y; y = {};", e.to_zsl());
+        let expect = e.eval(a as i128, b as i128);
+        for opts in [CompileOptions { width: 44, materialize: true, ..CompileOptions::default() },
+                     CompileOptions { width: 44, materialize: false, ..CompileOptions::default() }] {
+            let compiled = compile::<F61>(&src, &opts).expect("compiles");
+            let ins = vec![F61::from_i64(a), F61::from_i64(b)];
+            let asg = compiled.solver.solve(&ins).expect("solves");
+            prop_assert!(compiled.ginger.is_satisfied(&asg));
+            let y = decode_i64(asg.extract(compiled.solver.outputs())[0]).expect("small");
+            prop_assert_eq!(y as i128, expect, "{}", src);
+        }
+    }
+
+    /// The §4 transform preserves (un)satisfiability on random circuits.
+    #[test]
+    fn transform_preserves_satisfiability(
+        e in arb_expr(),
+        a in -50i64..50,
+        b in -50i64..50,
+        corrupt in any::<bool>(),
+    ) {
+        prop_assume!(e.bound() < (1 << 40));
+        let src = format!("input a; input b; output y; y = {};", e.to_zsl());
+        let opts = CompileOptions { width: 44, materialize: true, ..CompileOptions::default() };
+        let compiled = compile::<F61>(&src, &opts).expect("compiles");
+        let ins = vec![F61::from_i64(a), F61::from_i64(b)];
+        let mut asg = compiled.solver.solve(&ins).expect("solves");
+        if corrupt {
+            let out = compiled.solver.outputs()[0];
+            asg.set(out, asg.get(out) + F61::ONE);
+        }
+        let sat_g = compiled.ginger.is_satisfied(&asg);
+        for t in [ginger_to_quad(&compiled.ginger), ginger_to_quad_optimized(&compiled.ginger)] {
+            let ext = t.extend_assignment(&asg);
+            prop_assert_eq!(t.system.is_satisfied(&ext), sat_g);
+        }
+        let lin = linearize_io(&compiled.ginger);
+        prop_assert_eq!(lin.system.is_satisfied(&lin.extend_assignment(&asg)), sat_g);
+    }
+
+    /// Fig. 3's size relations hold for arbitrary compiled circuits.
+    #[test]
+    fn size_relations_hold(e in arb_expr()) {
+        let src = format!("input a; input b; output y; y = {};", e.to_zsl());
+        let opts = CompileOptions { width: 44, materialize: true, ..CompileOptions::default() };
+        let compiled = compile::<F61>(&src, &opts).expect("compiles");
+        let g = ginger_stats(&compiled.ginger);
+        let t = ginger_to_quad(&compiled.ginger);
+        let z = zaatar_cc::quad_stats(&t.system);
+        prop_assert_eq!(z.num_unbound, g.num_unbound + g.k2_distinct);
+        prop_assert_eq!(z.num_constraints, g.num_constraints + g.k2_distinct);
+        prop_assert_eq!(t.k2(), g.k2_distinct);
+    }
+
+    /// The comparison gadget agrees with native `<` across its full
+    /// contracted range.
+    #[test]
+    fn less_than_gadget_is_correct(a in -(1i64 << 20)..(1i64 << 20), b in -(1i64 << 20)..(1i64 << 20)) {
+        let mut builder = Builder::<F61>::new();
+        let x = builder.alloc_input();
+        let y = builder.alloc_input();
+        let lt = builder.less_than(&x, &y, 22);
+        builder.bind_output(&lt);
+        let (sys, solver) = builder.finish();
+        let asg = solver.solve(&[F61::from_i64(a), F61::from_i64(b)]).unwrap();
+        prop_assert!(sys.is_satisfied(&asg));
+        let got = asg.extract(solver.outputs())[0];
+        prop_assert_eq!(got, F61::from_u64(u64::from(a < b)));
+    }
+
+    /// `is_eq` / `is_nonzero` agree with native equality.
+    #[test]
+    fn equality_gadget_is_correct(a in any::<i32>(), b in any::<i32>()) {
+        let mut builder = Builder::<F61>::new();
+        let x = builder.alloc_input();
+        let y = builder.alloc_input();
+        let eq = builder.is_eq(&x, &y);
+        builder.bind_output(&eq);
+        let (sys, solver) = builder.finish();
+        let asg = solver
+            .solve(&[F61::from_i64(a as i64), F61::from_i64(b as i64)])
+            .unwrap();
+        prop_assert!(sys.is_satisfied(&asg));
+        prop_assert_eq!(
+            asg.extract(solver.outputs())[0],
+            F61::from_u64(u64::from(a == b))
+        );
+    }
+
+    /// Bit decomposition round-trips arbitrary values in range.
+    #[test]
+    fn bit_decompose_recomposes(v in 0u64..(1 << 48)) {
+        let mut builder = Builder::<F61>::new();
+        let x = builder.alloc_input();
+        let bits = builder.bit_decompose(&x, 48);
+        let (sys, solver) = builder.finish();
+        let asg = solver.solve(&[F61::from_u64(v)]).unwrap();
+        prop_assert!(sys.is_satisfied(&asg));
+        let mut recomposed = 0u64;
+        for (i, bit) in bits.iter().enumerate() {
+            let val = bit.eval(&asg);
+            prop_assert!(val == F61::ZERO || val == F61::ONE);
+            if val == F61::ONE {
+                recomposed |= 1 << i;
+            }
+        }
+        prop_assert_eq!(recomposed, v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The pretty-printer round-trips random expression programs.
+    #[test]
+    fn formatter_round_trips(e in arb_expr()) {
+        use zaatar_cc::lang::{format_program, parse};
+        let src = format!("input a; input b; output y; y = {};", e.to_zsl());
+        let ast1 = parse(&src).expect("parses");
+        let printed = format_program(&ast1);
+        let ast2 = parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        prop_assert_eq!(ast1, ast2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Ginger's linear commitment primitive: Commit + Multidecommit (§2.2).
+//!
+//! The verifier encrypts a random vector `r` and sends `Enc(r)`; the
+//! prover homomorphically evaluates its linear function on the
+//! ciphertexts and returns `e = Enc(π(r))` — this binds the prover to a
+//! fixed `π` *before* it sees any queries. At decommit time the verifier
+//! sends the PCP queries `q₁…q_µ` **plus** a consistency query
+//! `t = r + α₁q₁ + … + α_µq_µ` with secret random `{αᵢ}`; a prover whose
+//! answers are inconsistent with the committed function passes the check
+//!
+//! ```text
+//! Dec(e) == g^(π(t) − Σ αᵢ·π(qᵢ))
+//! ```
+//!
+//! only with small probability (\[53, Apdx A.2\]). Exponent arithmetic
+//! coincides with field arithmetic because the group order equals the
+//! field modulus (see `zaatar_crypto::group`).
+
+use zaatar_crypto::{ChaChaPrg, Ciphertext, ElGamal, HasGroup, KeyPair};
+use zaatar_field::Field;
+
+/// The verifier's commitment key for one linear oracle of a fixed
+/// length: the ElGamal keypair, the secret vector `r`, and the
+/// encrypted vector to ship to the prover.
+pub struct CommitmentKey<F: HasGroup> {
+    kp: KeyPair<F>,
+    r: Vec<F>,
+    /// `Enc(r)`, sent to the prover once per batch.
+    pub enc_r: Vec<Ciphertext>,
+}
+
+impl<F: HasGroup> CommitmentKey<F> {
+    /// Generates a key for oracles of length `len`.
+    pub fn generate(len: usize, prg: &mut ChaChaPrg) -> Self {
+        let kp = KeyPair::generate(prg);
+        let r: Vec<F> = prg.field_vec(len);
+        let enc_r = ElGamal::<F>::encrypt_vec(kp.public(), &r, prg);
+        CommitmentKey { kp, r, enc_r }
+    }
+
+    /// Oracle length this key supports.
+    pub fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// True if the key is for zero-length oracles.
+    pub fn is_empty(&self) -> bool {
+        self.r.is_empty()
+    }
+
+    /// **Prover side**: computes the commitment `Enc(π(r)) = ∏ Enc(rᵢ)^(uᵢ)`
+    /// for proof vector `u` (the prover sees only `enc_r`).
+    pub fn commit(enc_r: &[Ciphertext], u: &[F]) -> Ciphertext {
+        ElGamal::<F>::inner_product(enc_r, u)
+    }
+
+    /// **Verifier side**: builds the consistency query
+    /// `t = r + Σ αᵢ·qᵢ` for the given PCP queries, returning `(t, α)`
+    /// (the `α` stay secret with the verifier).
+    pub fn consistency_query(&self, queries: &[&[F]], prg: &mut ChaChaPrg) -> (Vec<F>, Vec<F>) {
+        let alphas: Vec<F> = prg.field_vec(queries.len());
+        let mut t = self.r.clone();
+        for (q, alpha) in queries.iter().zip(alphas.iter()) {
+            debug_assert_eq!(q.len(), t.len(), "query length mismatch");
+            for (slot, qi) in t.iter_mut().zip(q.iter()) {
+                *slot += *alpha * *qi;
+            }
+        }
+        (t, alphas)
+    }
+
+    /// **Verifier side**: checks the prover's decommitment: `answers` to
+    /// the PCP queries, `t_answer = π(t)`, against the commitment
+    /// ciphertext.
+    pub fn verify(
+        &self,
+        commitment: &Ciphertext,
+        answers: &[F],
+        t_answer: F,
+        alphas: &[F],
+    ) -> bool {
+        debug_assert_eq!(answers.len(), alphas.len());
+        let folded: F = answers
+            .iter()
+            .zip(alphas.iter())
+            .map(|(a, alpha)| *a * *alpha)
+            .sum();
+        let expected = t_answer - folded;
+        ElGamal::<F>::decrypt_to_group(&self.kp, commitment) == ElGamal::<F>::encode(expected)
+    }
+}
+
+/// A prover's decommitment for one oracle: PCP answers plus the
+/// consistency answer.
+#[derive(Clone, Debug)]
+pub struct Decommitment<F> {
+    /// Answers to the PCP queries, in order.
+    pub answers: Vec<F>,
+    /// `π(t)`.
+    pub t_answer: F,
+}
+
+/// **Prover side**: answers PCP queries and the consistency query for
+/// proof vector `u`.
+pub fn decommit<F: Field>(u: &[F], queries: &[&[F]], t: &[F]) -> Decommitment<F> {
+    let dot = |q: &[F]| -> F { q.iter().zip(u.iter()).map(|(a, b)| *a * *b).sum() };
+    Decommitment {
+        answers: queries.iter().map(|q| dot(q)).collect(),
+        t_answer: dot(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::{Field, F61};
+
+    fn setup(n: usize, nq: usize, seed: u64) -> (CommitmentKey<F61>, Vec<F61>, Vec<Vec<F61>>, ChaChaPrg) {
+        let mut prg = ChaChaPrg::from_u64_seed(seed);
+        let key = CommitmentKey::<F61>::generate(n, &mut prg);
+        let u: Vec<F61> = prg.field_vec(n);
+        let queries: Vec<Vec<F61>> = (0..nq).map(|_| prg.field_vec(n)).collect();
+        (key, u, queries, prg)
+    }
+
+    #[test]
+    fn honest_decommit_verifies() {
+        let (key, u, queries, mut prg) = setup(8, 5, 1);
+        let commitment = CommitmentKey::commit(&key.enc_r, &u);
+        let qrefs: Vec<&[F61]> = queries.iter().map(|q| q.as_slice()).collect();
+        let (t, alphas) = key.consistency_query(&qrefs, &mut prg);
+        let d = decommit(&u, &qrefs, &t);
+        assert!(key.verify(&commitment, &d.answers, d.t_answer, &alphas));
+    }
+
+    #[test]
+    fn lying_about_one_answer_fails() {
+        let (key, u, queries, mut prg) = setup(8, 5, 2);
+        let commitment = CommitmentKey::commit(&key.enc_r, &u);
+        let qrefs: Vec<&[F61]> = queries.iter().map(|q| q.as_slice()).collect();
+        let (t, alphas) = key.consistency_query(&qrefs, &mut prg);
+        let mut d = decommit(&u, &qrefs, &t);
+        d.answers[2] += F61::ONE;
+        assert!(!key.verify(&commitment, &d.answers, d.t_answer, &alphas));
+    }
+
+    #[test]
+    fn answering_with_different_function_fails() {
+        // Commit with u, answer with u'.
+        let (key, u, queries, mut prg) = setup(6, 4, 3);
+        let commitment = CommitmentKey::commit(&key.enc_r, &u);
+        let mut u2 = u.clone();
+        u2[0] += F61::ONE;
+        let qrefs: Vec<&[F61]> = queries.iter().map(|q| q.as_slice()).collect();
+        let (t, alphas) = key.consistency_query(&qrefs, &mut prg);
+        let d = decommit(&u2, &qrefs, &t);
+        assert!(!key.verify(&commitment, &d.answers, d.t_answer, &alphas));
+    }
+
+    #[test]
+    fn tampered_t_answer_fails() {
+        let (key, u, queries, mut prg) = setup(6, 4, 4);
+        let commitment = CommitmentKey::commit(&key.enc_r, &u);
+        let qrefs: Vec<&[F61]> = queries.iter().map(|q| q.as_slice()).collect();
+        let (t, alphas) = key.consistency_query(&qrefs, &mut prg);
+        let mut d = decommit(&u, &qrefs, &t);
+        d.t_answer += F61::ONE;
+        assert!(!key.verify(&commitment, &d.answers, d.t_answer, &alphas));
+    }
+
+    #[test]
+    fn zero_vector_commits() {
+        let (key, _, queries, mut prg) = setup(5, 3, 5);
+        let u = vec![F61::ZERO; 5];
+        let commitment = CommitmentKey::commit(&key.enc_r, &u);
+        let qrefs: Vec<&[F61]> = queries.iter().map(|q| q.as_slice()).collect();
+        let (t, alphas) = key.consistency_query(&qrefs, &mut prg);
+        let d = decommit(&u, &qrefs, &t);
+        assert!(key.verify(&commitment, &d.answers, d.t_answer, &alphas));
+        assert!(d.answers.iter().all(|a| a.is_zero()));
+    }
+
+    #[test]
+    fn one_key_serves_many_instances() {
+        // Batching: the same enc_r and queries, different proof vectors.
+        let (key, _, queries, mut prg) = setup(7, 4, 6);
+        let qrefs: Vec<&[F61]> = queries.iter().map(|q| q.as_slice()).collect();
+        let (t, alphas) = key.consistency_query(&qrefs, &mut prg);
+        for seed in 0..3u64 {
+            let mut p2 = ChaChaPrg::from_u64_seed(100 + seed);
+            let u: Vec<F61> = p2.field_vec(7);
+            let commitment = CommitmentKey::commit(&key.enc_r, &u);
+            let d = decommit(&u, &qrefs, &t);
+            assert!(key.verify(&commitment, &d.answers, d.t_answer, &alphas));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The Zaatar verified-computation protocol (Setty et al., EuroSys 2013).
+//!
+//! This crate implements the paper's primary contribution and its
+//! baseline:
+//!
+//! * [`qap`] — Quadratic Arithmetic Programs built from quadratic-form
+//!   constraints (App. A.1): the variable polynomials `{Aᵢ, Bᵢ, Cᵢ}`, the
+//!   divisor polynomial `D(t)`, and the prover's quotient
+//!   `H(t) = P_w(t)/D(t)` computed with FFT-based polynomial arithmetic
+//!   (App. A.3);
+//! * [`pcp`] — the QAP-based **linear PCP** of Fig. 10: linearity tests
+//!   plus the divisibility correction test, with self-corrected queries;
+//! * [`ginger`] — the baseline **classical linear PCP** used by
+//!   Ginger/Pepper (proof vector `(z, z ⊗ z)`, §2.2): linearity,
+//!   quadratic-correction, and circuit tests;
+//! * [`commit`] — Ginger's linear commitment primitive
+//!   (commit + multidecommit) over exponential ElGamal, which turns either
+//!   PCP into an efficient argument (§2.2);
+//! * [`argument`] — the batched end-to-end argument system: the verifier
+//!   amortizes query construction over β instances of the same
+//!   computation (§2.2), and per-phase timings feed the Fig. 5 table;
+//! * [`cost`] — the analytic cost model of Fig. 3 for both systems,
+//!   parameterized by measured microbenchmarks (§5.1), used to estimate
+//!   Ginger at scales where running it is infeasible — exactly as the
+//!   paper itself does;
+//! * [`parallel`] — the distributed/parallel prover (§5.2, Fig. 6),
+//!   sharding a batch across worker threads.
+
+pub mod argument;
+pub mod commit;
+pub mod cost;
+pub mod ginger;
+pub mod network;
+pub mod parallel;
+pub mod pcp;
+pub mod qap;
+pub mod session;
+pub mod soundness;
+pub mod wire;
+
+pub use argument::{
+    run_batched_argument, run_batched_ginger_argument, ArgumentParams, BatchResult, Prover,
+    ProverTimings, Verifier,
+};
+pub use commit::{CommitmentKey, Decommitment};
+pub use cost::{measure_micro_params, ComputationSpec, CostModel, MicroParams, ProtocolParams};
+pub use ginger::{GingerPcp, GingerProof};
+pub use pcp::{PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
+pub use network::{queries_from_seed, zaatar_network_costs, NetworkCosts};
+pub use qap::{Qap, QapEvals, QapWitness};
+pub use session::{SessionProver, SessionVerifier};

@@ -1,0 +1,540 @@
+//! The QAP-based linear PCP of Fig. 10.
+//!
+//! A correct proof oracle is `π = (π_z, π_h)` where `π_z(·) = ⟨·, z⟩` for
+//! a satisfying assignment `z` and `π_h(·) = ⟨·, h⟩` for the coefficients
+//! of the quotient `H(t)`. The verifier:
+//!
+//! 1. issues `ρ_lin` **linearity query** triples to each oracle
+//!    (`q₇ = q₅ + q₆`, checking `π(q₅) + π(q₆) = π(q₇)`),
+//! 2. issues **divisibility correction queries**: for random `τ`,
+//!    `q₁ = q_a + q₅`, `q₂ = q_b + q₅`, `q₃ = q_c + q₅` (self-corrected
+//!    evaluations of `Σzᵢ·Aᵢ(τ)` etc.) and `q₄ = q_d + q₈` with
+//!    `q_d = (1, τ, …, τ^{|C|})`,
+//! 3. checks `D(τ)·(π(q₄) − π(q₈)) = A_τ·B_τ − C_τ`.
+//!
+//! The whole procedure repeats `ρ` times; §A.2 shows soundness error
+//! `κ^ρ < 9.6×10⁻⁷` for `ρ_lin = 20`, `ρ = 8`.
+
+use zaatar_crypto::ChaChaPrg;
+use zaatar_field::{Field, PrimeField};
+use zaatar_poly::domain::EvalDomain;
+
+use crate::qap::{Qap, QapWitness};
+
+/// PCP repetition parameters (App. A.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PcpParams {
+    /// Outer repetitions `ρ`.
+    pub rho: usize,
+    /// Linearity-test iterations `ρ_lin` per repetition.
+    pub rho_lin: usize,
+}
+
+impl Default for PcpParams {
+    /// The paper's production parameters: `ρ = 8`, `ρ_lin = 20`
+    /// (soundness error `< 9.6×10⁻⁷`, App. A.2).
+    fn default() -> Self {
+        PcpParams { rho: 8, rho_lin: 20 }
+    }
+}
+
+impl PcpParams {
+    /// Reduced parameters for fast tests (higher soundness error).
+    pub fn light() -> Self {
+        PcpParams { rho: 2, rho_lin: 3 }
+    }
+
+    /// Total queries per repetition: `ℓ' = 6·ρ_lin + 4` (Fig. 3).
+    pub fn queries_per_rep(&self) -> usize {
+        6 * self.rho_lin + 4
+    }
+
+    /// Total queries `ρ·ℓ'`.
+    pub fn total_queries(&self) -> usize {
+        self.rho * self.queries_per_rep()
+    }
+}
+
+/// The prover's proof vector `u = (z, h)` viewed as two linear oracles.
+#[derive(Clone, Debug)]
+pub struct ZaatarProof<F> {
+    /// The purported satisfying assignment (oracle `π_z`).
+    pub z: Vec<F>,
+    /// The quotient coefficients (oracle `π_h`).
+    pub h: Vec<F>,
+}
+
+impl<F: Field> ZaatarProof<F> {
+    /// `π_z(q) = ⟨q, z⟩`.
+    pub fn query_z(&self, q: &[F]) -> F {
+        dot(q, &self.z)
+    }
+
+    /// `π_h(q) = ⟨q, h⟩`.
+    pub fn query_h(&self, q: &[F]) -> F {
+        dot(q, &self.h)
+    }
+
+    /// Total proof-vector length `|Z| + |C| + 1`.
+    pub fn len(&self) -> usize {
+        self.z.len() + self.h.len()
+    }
+
+    /// True if both oracles are empty.
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty() && self.h.is_empty()
+    }
+}
+
+fn dot<F: Field>(a: &[F], b: &[F]) -> F {
+    debug_assert_eq!(a.len(), b.len(), "query length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| *x * *y).sum()
+}
+
+/// One repetition's queries (verifier secrets included).
+#[derive(Clone, Debug)]
+struct Rep<F> {
+    /// `ρ_lin` triples for the z-oracle: `[q₅, q₆, q₇]`.
+    lin_z: Vec<[Vec<F>; 3]>,
+    /// `ρ_lin` triples for the h-oracle: `[q₈, q₉, q₁₀]`.
+    lin_h: Vec<[Vec<F>; 3]>,
+    /// Self-corrected divisibility queries.
+    q1: Vec<F>,
+    q2: Vec<F>,
+    q3: Vec<F>,
+    q4: Vec<F>,
+    /// `D(τ)`.
+    d_tau: F,
+    /// Bound-variable evaluations (`A₀(τ)` and io rows), for the check.
+    a_bound: Vec<F>,
+    b_bound: Vec<F>,
+    c_bound: Vec<F>,
+}
+
+/// A full query set (`ρ` repetitions). Built once per batch; the same
+/// queries verify every instance (§2.2).
+#[derive(Clone, Debug)]
+pub struct QuerySet<F> {
+    reps: Vec<Rep<F>>,
+}
+
+impl<F: Field> QuerySet<F> {
+    /// All z-oracle queries in canonical order (per repetition: the
+    /// linearity triples flattened, then `q₁, q₂, q₃`).
+    pub fn z_queries(&self) -> Vec<&[F]> {
+        let mut out = Vec::new();
+        for rep in &self.reps {
+            for triple in &rep.lin_z {
+                for q in triple {
+                    out.push(q.as_slice());
+                }
+            }
+            out.push(rep.q1.as_slice());
+            out.push(rep.q2.as_slice());
+            out.push(rep.q3.as_slice());
+        }
+        out
+    }
+
+    /// All h-oracle queries in canonical order (per repetition: the
+    /// linearity triples flattened, then `q₄`).
+    pub fn h_queries(&self) -> Vec<&[F]> {
+        let mut out = Vec::new();
+        for rep in &self.reps {
+            for triple in &rep.lin_h {
+                for q in triple {
+                    out.push(q.as_slice());
+                }
+            }
+            out.push(rep.q4.as_slice());
+        }
+        out
+    }
+
+    /// Number of repetitions.
+    pub fn num_reps(&self) -> usize {
+        self.reps.len()
+    }
+}
+
+/// The prover's answers, in the same canonical order as
+/// [`QuerySet::z_queries`] / [`QuerySet::h_queries`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PcpResponses<F> {
+    /// Answers to the z-oracle queries.
+    pub z_answers: Vec<F>,
+    /// Answers to the h-oracle queries.
+    pub h_answers: Vec<F>,
+}
+
+/// The QAP-based linear PCP for one computation (Fig. 10).
+#[derive(Clone, Debug)]
+pub struct ZaatarPcp<F, D> {
+    qap: Qap<F, D>,
+    params: PcpParams,
+}
+
+impl<F: PrimeField, D: EvalDomain<F>> ZaatarPcp<F, D> {
+    /// Wraps a QAP with PCP parameters.
+    pub fn new(qap: Qap<F, D>, params: PcpParams) -> Self {
+        ZaatarPcp { qap, params }
+    }
+
+    /// The underlying QAP.
+    pub fn qap(&self) -> &Qap<F, D> {
+        &self.qap
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> PcpParams {
+        self.params
+    }
+
+    /// Builds a correct proof from a satisfying witness. Returns `None`
+    /// if the witness does not satisfy the constraints.
+    pub fn prove(&self, witness: &QapWitness<F>) -> Option<ZaatarProof<F>> {
+        let h = self.qap.compute_h(witness)?;
+        Some(ZaatarProof {
+            z: witness.z.clone(),
+            h,
+        })
+    }
+
+    /// Builds the proof a *cheating* prover would ship for a
+    /// non-satisfying witness (the quotient ignores the remainder).
+    pub fn prove_unchecked(&self, witness: &QapWitness<F>) -> ZaatarProof<F> {
+        ZaatarProof {
+            z: witness.z.clone(),
+            h: self.qap.compute_h_unchecked(witness),
+        }
+    }
+
+    /// The verifier's query generation (Fig. 10), deriving all
+    /// randomness from `prg`.
+    pub fn generate_queries(&self, prg: &mut ChaChaPrg) -> QuerySet<F> {
+        let n_prime = self.qap.var_map().num_unbound();
+        let n_h = self.qap.degree() + 1;
+        let mut reps = Vec::with_capacity(self.params.rho);
+        for _ in 0..self.params.rho {
+            let mut lin_z = Vec::with_capacity(self.params.rho_lin);
+            let mut lin_h = Vec::with_capacity(self.params.rho_lin);
+            for _ in 0..self.params.rho_lin {
+                let q5: Vec<F> = prg.field_vec(n_prime);
+                let q6: Vec<F> = prg.field_vec(n_prime);
+                let q7 = add_vecs(&q5, &q6);
+                lin_z.push([q5, q6, q7]);
+                let q8: Vec<F> = prg.field_vec(n_h);
+                let q9: Vec<F> = prg.field_vec(n_h);
+                let q10 = add_vecs(&q8, &q9);
+                lin_h.push([q8, q9, q10]);
+            }
+            // Divisibility correction queries.
+            let tau: F = prg.field_element();
+            let evals = self.qap.evals_at(tau);
+            let q5 = &lin_z[0][0];
+            let q8 = &lin_h[0][0];
+            let q1 = add_vecs(&evals.qa, q5);
+            let q2 = add_vecs(&evals.qb, q5);
+            let q3 = add_vecs(&evals.qc, q5);
+            let mut qd = Vec::with_capacity(n_h);
+            let mut acc = F::ONE;
+            for _ in 0..n_h {
+                qd.push(acc);
+                acc *= tau;
+            }
+            let q4 = add_vecs(&qd, q8);
+            reps.push(Rep {
+                lin_z,
+                lin_h,
+                q1,
+                q2,
+                q3,
+                q4,
+                d_tau: evals.d_tau,
+                a_bound: evals.a_bound,
+                b_bound: evals.b_bound,
+                c_bound: evals.c_bound,
+            });
+        }
+        QuerySet { reps }
+    }
+
+    /// The prover's response computation (issuing `ℓ'` inner products
+    /// against the proof vector).
+    pub fn answer(&self, proof: &ZaatarProof<F>, queries: &QuerySet<F>) -> PcpResponses<F> {
+        PcpResponses {
+            z_answers: queries
+                .z_queries()
+                .iter()
+                .map(|q| proof.query_z(q))
+                .collect(),
+            h_answers: queries
+                .h_queries()
+                .iter()
+                .map(|q| proof.query_h(q))
+                .collect(),
+        }
+    }
+
+    /// The verifier's decision procedure (Fig. 10) for one instance with
+    /// bound io values `io` (inputs then outputs, in QAP order).
+    pub fn check(&self, queries: &QuerySet<F>, responses: &PcpResponses<F>, io: &[F]) -> bool {
+        let rho_lin = self.params.rho_lin;
+        let per_rep_z = 3 * rho_lin + 3;
+        let per_rep_h = 3 * rho_lin + 1;
+        if responses.z_answers.len() != queries.reps.len() * per_rep_z
+            || responses.h_answers.len() != queries.reps.len() * per_rep_h
+        {
+            return false;
+        }
+        for (ri, rep) in queries.reps.iter().enumerate() {
+            let z = &responses.z_answers[ri * per_rep_z..(ri + 1) * per_rep_z];
+            let h = &responses.h_answers[ri * per_rep_h..(ri + 1) * per_rep_h];
+            // Linearity tests.
+            for t in 0..rho_lin {
+                if z[3 * t] + z[3 * t + 1] != z[3 * t + 2] {
+                    return false;
+                }
+                if h[3 * t] + h[3 * t + 1] != h[3 * t + 2] {
+                    return false;
+                }
+            }
+            // Divisibility correction test.
+            let pz_q5 = z[0]; // First linearity triple's q5 response.
+            let ph_q8 = h[0];
+            let (r1, r2, r3) = (z[3 * rho_lin], z[3 * rho_lin + 1], z[3 * rho_lin + 2]);
+            let r4 = h[3 * rho_lin];
+            let bound = |b: &[F]| -> F {
+                b[0] + io
+                    .iter()
+                    .zip(&b[1..])
+                    .map(|(w, a)| *w * *a)
+                    .sum::<F>()
+            };
+            let a_tau = r1 - pz_q5 + bound(&rep.a_bound);
+            let b_tau = r2 - pz_q5 + bound(&rep.b_bound);
+            let c_tau = r3 - pz_q5 + bound(&rep.c_bound);
+            if rep.d_tau * (r4 - ph_q8) != a_tau * b_tau - c_tau {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn add_vecs<F: Field>(a: &[F], b: &[F]) -> Vec<F> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| *x + *y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_cc::{ginger_to_quad, Builder, QuadSystem};
+    use zaatar_field::F61;
+    use zaatar_poly::{ArithDomain, Radix2Domain};
+
+    fn f(x: i64) -> F61 {
+        F61::from_i64(x)
+    }
+
+    /// y = min(a², b²) — exercises mul, comparison, mux.
+    fn build() -> (QuadSystem<F61>, zaatar_cc::builder::WitnessSolver<F61>, zaatar_cc::transform::QuadTransform<F61>) {
+        let mut b = Builder::<F61>::new();
+        let a = b.alloc_input();
+        let bb = b.alloc_input();
+        let a2 = b.square(&a);
+        let b2 = b.square(&bb);
+        let m = b.min(&a2, &b2, 16);
+        b.bind_output(&m);
+        let (sys, solver) = b.finish();
+        let t = ginger_to_quad(&sys);
+        (t.system.clone(), solver, t)
+    }
+
+    fn setup(
+        inputs: &[F61],
+    ) -> (
+        ZaatarPcp<F61, Radix2Domain<F61>>,
+        QapWitness<F61>,
+        Vec<F61>,
+    ) {
+        let (sys, solver, t) = build();
+        let asg = solver.solve(inputs).unwrap();
+        let ext = t.extend_assignment(&asg);
+        assert!(sys.is_satisfied(&ext));
+        let qap = Qap::new(&sys);
+        let w = qap.witness(&ext);
+        let io = {
+            let m = qap.var_map();
+            let mut io = Vec::new();
+            for v in m.inputs() {
+                io.push(ext.get(*v));
+            }
+            for v in m.outputs() {
+                io.push(ext.get(*v));
+            }
+            io
+        };
+        (ZaatarPcp::new(qap, PcpParams::light()), w, io)
+    }
+
+    #[test]
+    fn completeness() {
+        let (pcp, w, io) = setup(&[f(3), f(-5)]);
+        let proof = pcp.prove(&w).expect("honest witness proves");
+        let mut prg = ChaChaPrg::from_u64_seed(1);
+        let queries = pcp.generate_queries(&mut prg);
+        let responses = pcp.answer(&proof, &queries);
+        assert!(pcp.check(&queries, &responses, &io));
+    }
+
+    #[test]
+    fn completeness_many_seeds() {
+        let (pcp, w, io) = setup(&[f(7), f(2)]);
+        let proof = pcp.prove(&w).unwrap();
+        for seed in 0..20u64 {
+            let mut prg = ChaChaPrg::from_u64_seed(seed);
+            let queries = pcp.generate_queries(&mut prg);
+            let responses = pcp.answer(&proof, &queries);
+            assert!(pcp.check(&queries, &responses, &io), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn wrong_output_rejected() {
+        let (pcp, w, mut io) = setup(&[f(3), f(4)]);
+        let proof = pcp.prove_unchecked(&w);
+        // Claim a different output.
+        let last = io.len() - 1;
+        io[last] += F61::ONE;
+        let mut rejections = 0;
+        for seed in 0..30u64 {
+            let mut prg = ChaChaPrg::from_u64_seed(seed);
+            let queries = pcp.generate_queries(&mut prg);
+            let responses = pcp.answer(&proof, &queries);
+            if !pcp.check(&queries, &responses, &io) {
+                rejections += 1;
+            }
+        }
+        assert_eq!(rejections, 30, "every seed must reject a wrong output");
+    }
+
+    #[test]
+    fn corrupted_witness_rejected() {
+        let (pcp, mut w, io) = setup(&[f(3), f(4)]);
+        w.z[0] += F61::ONE;
+        let proof = pcp.prove_unchecked(&w);
+        let mut rejections = 0;
+        for seed in 0..30u64 {
+            let mut prg = ChaChaPrg::from_u64_seed(seed);
+            let queries = pcp.generate_queries(&mut prg);
+            let responses = pcp.answer(&proof, &queries);
+            if !pcp.check(&queries, &responses, &io) {
+                rejections += 1;
+            }
+        }
+        assert!(rejections >= 29, "only {rejections}/30 rejected");
+    }
+
+    #[test]
+    fn nonlinear_oracle_rejected() {
+        // A prover answering with a non-linear function fails linearity
+        // tests with noticeable probability; with several repetitions the
+        // probability of acceptance across many seeds is negligible.
+        let (pcp, w, io) = setup(&[f(1), f(2)]);
+        let honest = pcp.prove(&w).unwrap();
+        let mut rejections = 0;
+        for seed in 0..20u64 {
+            let mut prg = ChaChaPrg::from_u64_seed(seed);
+            let queries = pcp.generate_queries(&mut prg);
+            let mut responses = pcp.answer(&honest, &queries);
+            // Corrupt every response by squaring it (simulates a
+            // non-linear oracle).
+            for r in responses.z_answers.iter_mut() {
+                *r = r.square() + F61::ONE;
+            }
+            if !pcp.check(&queries, &responses, &io) {
+                rejections += 1;
+            }
+        }
+        assert_eq!(rejections, 20);
+    }
+
+    #[test]
+    fn tampered_single_response_rejected() {
+        let (pcp, w, io) = setup(&[f(2), f(2)]);
+        let proof = pcp.prove(&w).unwrap();
+        let mut prg = ChaChaPrg::from_u64_seed(5);
+        let queries = pcp.generate_queries(&mut prg);
+        let mut responses = pcp.answer(&proof, &queries);
+        responses.h_answers[0] += F61::ONE;
+        assert!(!pcp.check(&queries, &responses, &io));
+    }
+
+    #[test]
+    fn response_length_mismatch_rejected() {
+        let (pcp, w, io) = setup(&[f(2), f(3)]);
+        let proof = pcp.prove(&w).unwrap();
+        let mut prg = ChaChaPrg::from_u64_seed(9);
+        let queries = pcp.generate_queries(&mut prg);
+        let mut responses = pcp.answer(&proof, &queries);
+        responses.z_answers.pop();
+        assert!(!pcp.check(&queries, &responses, &io));
+    }
+
+    #[test]
+    fn query_counts_match_figure3() {
+        let (pcp, _, _) = setup(&[f(1), f(1)]);
+        let mut prg = ChaChaPrg::from_u64_seed(3);
+        let queries = pcp.generate_queries(&mut prg);
+        let params = pcp.params();
+        // ℓ' = 6ρlin + 4 queries per repetition, split 3ρlin+3 / 3ρlin+1.
+        assert_eq!(
+            queries.z_queries().len(),
+            params.rho * (3 * params.rho_lin + 3)
+        );
+        assert_eq!(
+            queries.h_queries().len(),
+            params.rho * (3 * params.rho_lin + 1)
+        );
+        assert_eq!(
+            queries.z_queries().len() + queries.h_queries().len(),
+            params.total_queries()
+        );
+    }
+
+    #[test]
+    fn works_on_arith_domain() {
+        let (sys, solver, t) = build();
+        let asg = solver.solve(&[f(4), f(6)]).unwrap();
+        let ext = t.extend_assignment(&asg);
+        let qap = Qap::with_domain(&sys, ArithDomain::<F61>::new(sys.constraints.len()));
+        let w = qap.witness(&ext);
+        let io: Vec<F61> = qap
+            .var_map()
+            .inputs()
+            .iter()
+            .chain(qap.var_map().outputs())
+            .map(|v| ext.get(*v))
+            .collect();
+        let pcp = ZaatarPcp::new(qap, PcpParams::light());
+        let proof = pcp.prove(&w).unwrap();
+        let mut prg = ChaChaPrg::from_u64_seed(11);
+        let queries = pcp.generate_queries(&mut prg);
+        let responses = pcp.answer(&proof, &queries);
+        assert!(pcp.check(&queries, &responses, &io));
+        // Tamper and reject.
+        let mut bad = responses.clone();
+        bad.z_answers[0] -= F61::ONE;
+        assert!(!pcp.check(&queries, &bad, &io));
+    }
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = PcpParams::default();
+        assert_eq!(p.rho, 8);
+        assert_eq!(p.rho_lin, 20);
+        assert_eq!(p.queries_per_rep(), 124);
+    }
+}

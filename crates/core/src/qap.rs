@@ -1,0 +1,509 @@
+//! Quadratic Arithmetic Programs over quadratic-form constraints
+//! (App. A.1).
+//!
+//! Given a constraint set in quadratic form (`p_A·p_B = p_C` per
+//! constraint), the QAP packages the coefficient structure as three
+//! families of polynomials `{Aᵢ(t), Bᵢ(t), Cᵢ(t)}` interpolated through
+//! the per-constraint coefficients at the domain points `{σⱼ}` with the
+//! extra condition `Aᵢ(0) = Bᵢ(0) = Cᵢ(0) = 0`, plus the divisor
+//! polynomial `D(t) = ∏(t − σⱼ)`. Claim A.1: `D(t)` divides
+//! `P_w(t) = (Σwᵢ·Aᵢ)(Σwᵢ·Bᵢ) − (Σwᵢ·Cᵢ)` iff `w = (x, y, z)` satisfies
+//! the constraints.
+//!
+//! Variable indexing follows App. A.1: index 0 is the constant term row
+//! (`w₀ = 1`), indices `1..=n'` are the unbound variables `Z`, and
+//! `n'+1..=n` are the bound input/output variables `X, Y`.
+
+use zaatar_cc::{Assignment, Kind, LinComb, QuadSystem, VarId};
+use zaatar_field::PrimeField;
+use zaatar_poly::domain::EvalDomain;
+use zaatar_poly::{Radix2Domain, SparsePoly};
+
+/// Maps between the constraint system's `VarId`s and QAP indices.
+#[derive(Clone, Debug)]
+pub struct QapVarMap {
+    /// QAP index (1-based among variables; 0 is the constant row) for
+    /// each `VarId`.
+    index_of: Vec<usize>,
+    /// Number of unbound (`Z`) variables.
+    num_unbound: usize,
+    /// Input variables in declaration order.
+    inputs: Vec<VarId>,
+    /// Output variables in declaration order.
+    outputs: Vec<VarId>,
+}
+
+impl QapVarMap {
+    fn new<F: PrimeField>(sys: &QuadSystem<F>) -> Self {
+        let mut index_of = vec![0usize; sys.vars.len()];
+        let mut next = 1;
+        // Z variables first (indices 1..=n').
+        for v in sys.vars.of_kind(Kind::Aux) {
+            index_of[v.0] = next;
+            next += 1;
+        }
+        let num_unbound = next - 1;
+        let inputs = sys.vars.of_kind(Kind::Input);
+        let outputs = sys.vars.of_kind(Kind::Output);
+        for v in inputs.iter().chain(outputs.iter()) {
+            index_of[v.0] = next;
+            next += 1;
+        }
+        QapVarMap {
+            index_of,
+            num_unbound,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// QAP index of a constraint variable.
+    pub fn index(&self, v: VarId) -> usize {
+        self.index_of[v.0]
+    }
+
+    /// Number of unbound variables `n'`.
+    pub fn num_unbound(&self) -> usize {
+        self.num_unbound
+    }
+
+    /// Total variable count `n` (excluding the constant row).
+    pub fn num_vars(&self) -> usize {
+        self.index_of.len()
+    }
+
+    /// The input variables, in order.
+    pub fn inputs(&self) -> &[VarId] {
+        &self.inputs
+    }
+
+    /// The output variables, in order.
+    pub fn outputs(&self) -> &[VarId] {
+        &self.outputs
+    }
+}
+
+/// A witness split into the QAP's bound/unbound layout.
+#[derive(Clone, Debug)]
+pub struct QapWitness<F> {
+    /// The unbound assignment `z` (QAP indices `1..=n'`).
+    pub z: Vec<F>,
+    /// The bound input/output values (QAP indices `n'+1..=n`).
+    pub io: Vec<F>,
+}
+
+impl<F: PrimeField> QapWitness<F> {
+    /// The full `w` vector indexed by QAP index (`w[0] = 1`).
+    pub fn full(&self) -> Vec<F> {
+        let mut w = Vec::with_capacity(1 + self.z.len() + self.io.len());
+        w.push(F::ONE);
+        w.extend_from_slice(&self.z);
+        w.extend_from_slice(&self.io);
+        w
+    }
+}
+
+/// The `{Aᵢ(τ)}` evaluations the verifier needs for query construction
+/// (App. A.3), split into the unbound part (the queries `q_a`, `q_b`,
+/// `q_c`) and the bound part (folded into the check's `Σ wᵢ·Aᵢ(τ)` terms).
+#[derive(Clone, Debug)]
+pub struct QapEvals<F> {
+    /// `(A₁(τ), …, A_{n'}(τ))` — the query `q_a`.
+    pub qa: Vec<F>,
+    /// `(B₁(τ), …, B_{n'}(τ))` — the query `q_b`.
+    pub qb: Vec<F>,
+    /// `(C₁(τ), …, C_{n'}(τ))` — the query `q_c`.
+    pub qc: Vec<F>,
+    /// `A₀(τ)` and `Aᵢ(τ)` for the bound (io) indices, in io order.
+    pub a_bound: Vec<F>,
+    /// Same for `B`.
+    pub b_bound: Vec<F>,
+    /// Same for `C`.
+    pub c_bound: Vec<F>,
+    /// `D(τ)`.
+    pub d_tau: F,
+}
+
+impl<F: PrimeField> QapEvals<F> {
+    /// `A₀(τ) + Σ_{bound i} wᵢ·Aᵢ(τ)` for io values `w` (the verifier's
+    /// three-operations-per-input-and-output cost, §4).
+    pub fn bound_a(&self, io: &[F]) -> F {
+        self.a_bound[0]
+            + io.iter()
+                .zip(&self.a_bound[1..])
+                .map(|(w, a)| *w * *a)
+                .sum::<F>()
+    }
+
+    /// Bound part for `B`.
+    pub fn bound_b(&self, io: &[F]) -> F {
+        self.b_bound[0]
+            + io.iter()
+                .zip(&self.b_bound[1..])
+                .map(|(w, a)| *w * *a)
+                .sum::<F>()
+    }
+
+    /// Bound part for `C`.
+    pub fn bound_c(&self, io: &[F]) -> F {
+        self.c_bound[0]
+            + io.iter()
+                .zip(&self.c_bound[1..])
+                .map(|(w, a)| *w * *a)
+                .sum::<F>()
+    }
+}
+
+/// A QAP instance: the sparse variable-constraint matrices of App. A.1
+/// in evaluation representation, over a chosen domain.
+#[derive(Clone, Debug)]
+pub struct Qap<F, D = Radix2Domain<F>> {
+    domain: D,
+    /// Row `i` holds variable `i`'s values `{(j, aᵢⱼ)}` (QAP indexing;
+    /// row 0 is the constant row).
+    a_rows: Vec<SparsePoly<F>>,
+    b_rows: Vec<SparsePoly<F>>,
+    c_rows: Vec<SparsePoly<F>>,
+    var_map: QapVarMap,
+    /// Real (unpadded) constraint count.
+    num_constraints: usize,
+}
+
+impl<F: PrimeField> Qap<F, Radix2Domain<F>> {
+    /// Builds the QAP over the NTT-friendly subgroup domain (the fast
+    /// path; see DESIGN.md §3 for why this preserves the construction).
+    pub fn new(sys: &QuadSystem<F>) -> Self {
+        let domain = Radix2Domain::new(sys.constraints.len().max(1));
+        Self::with_domain(sys, domain)
+    }
+}
+
+impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
+    /// Builds the QAP over an explicit domain, which must have at least
+    /// as many points as constraints (extra points become trivially
+    /// satisfied padding constraints `0·0 = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is smaller than the constraint count.
+    pub fn with_domain(sys: &QuadSystem<F>, domain: D) -> Self {
+        assert!(
+            domain.size() >= sys.constraints.len(),
+            "domain must cover all constraints"
+        );
+        let var_map = QapVarMap::new(sys);
+        let n = var_map.num_vars();
+        let mut a_rows = vec![SparsePoly::zero(); n + 1];
+        let mut b_rows = vec![SparsePoly::zero(); n + 1];
+        let mut c_rows = vec![SparsePoly::zero(); n + 1];
+        for (j, constraint) in sys.constraints.iter().enumerate() {
+            let fill = |rows: &mut Vec<SparsePoly<F>>, lc: &LinComb<F>| {
+                if !lc.constant_term().is_zero() {
+                    rows[0].add_at(j, lc.constant_term());
+                }
+                for (v, coeff) in lc.terms() {
+                    rows[var_map.index(*v)].add_at(j, *coeff);
+                }
+            };
+            fill(&mut a_rows, &constraint.a);
+            fill(&mut b_rows, &constraint.b);
+            fill(&mut c_rows, &constraint.c);
+        }
+        Qap {
+            domain,
+            a_rows,
+            b_rows,
+            c_rows,
+            var_map,
+            num_constraints: sys.constraints.len(),
+        }
+    }
+
+    /// The evaluation domain.
+    pub fn domain(&self) -> &D {
+        &self.domain
+    }
+
+    /// The variable mapping.
+    pub fn var_map(&self) -> &QapVarMap {
+        &self.var_map
+    }
+
+    /// Degree of the divisor polynomial = padded constraint count; the
+    /// quotient `H` has this degree, so `h` has `degree + 1` entries.
+    pub fn degree(&self) -> usize {
+        self.domain.size()
+    }
+
+    /// Real constraint count before padding.
+    pub fn num_constraints(&self) -> usize {
+        self.num_constraints
+    }
+
+    /// Splits a full assignment into the QAP witness layout.
+    pub fn witness(&self, asg: &Assignment<F>) -> QapWitness<F> {
+        let m = &self.var_map;
+        let mut z = vec![F::ZERO; m.num_unbound()];
+        for (v, idx) in m.index_of.iter().enumerate() {
+            if *idx >= 1 && *idx <= m.num_unbound() {
+                z[*idx - 1] = asg.get(VarId(v));
+            }
+        }
+        let io: Vec<F> = m
+            .inputs
+            .iter()
+            .chain(m.outputs.iter())
+            .map(|v| asg.get(*v))
+            .collect();
+        QapWitness { z, io }
+    }
+
+    /// Per-constraint inner products `Σᵢ wᵢ·mᵢⱼ` for a full `w`
+    /// (including padding zeros beyond the real constraints).
+    fn combine_rows(&self, rows: &[SparsePoly<F>], w: &[F]) -> Vec<F> {
+        let mut acc = vec![F::ZERO; self.domain.size()];
+        for (row, wi) in rows.iter().zip(w.iter()) {
+            row.accumulate_into(*wi, &mut acc);
+        }
+        acc
+    }
+
+    /// The prover's quotient computation (App. A.3): interpolates
+    /// `A(t), B(t), C(t)` from their per-constraint values, forms
+    /// `P_w = A·B − C`, and divides by `D(t)`.
+    ///
+    /// Returns the coefficients of `H(t)` (length `degree() + 1`), or
+    /// `None` if the division leaves a remainder — i.e. `w` is not a
+    /// satisfying assignment.
+    pub fn compute_h(&self, witness: &QapWitness<F>) -> Option<Vec<F>> {
+        let w = witness.full();
+        let a_vals = self.combine_rows(&self.a_rows, &w);
+        let b_vals = self.combine_rows(&self.b_rows, &w);
+        let c_vals = self.combine_rows(&self.c_rows, &w);
+        let a_poly = self.domain.interpolate_zero_pinned(&a_vals);
+        let b_poly = self.domain.interpolate_zero_pinned(&b_vals);
+        let c_poly = self.domain.interpolate_zero_pinned(&c_vals);
+        let p = &(&a_poly * &b_poly) - &c_poly;
+        let (h, rem) = self.domain.divide_by_vanishing(&p);
+        if !rem.is_zero() {
+            return None;
+        }
+        let mut coeffs = h.into_coeffs();
+        coeffs.resize(self.degree() + 1, F::ZERO);
+        Some(coeffs)
+    }
+
+    /// Like [`Qap::compute_h`] but returns the (useless) quotient even
+    /// when the remainder is non-zero — what a *cheating* prover would
+    /// ship. Used by the soundness experiments.
+    pub fn compute_h_unchecked(&self, witness: &QapWitness<F>) -> Vec<F> {
+        let w = witness.full();
+        let a_vals = self.combine_rows(&self.a_rows, &w);
+        let b_vals = self.combine_rows(&self.b_rows, &w);
+        let c_vals = self.combine_rows(&self.c_rows, &w);
+        let a_poly = self.domain.interpolate_zero_pinned(&a_vals);
+        let b_poly = self.domain.interpolate_zero_pinned(&b_vals);
+        let c_poly = self.domain.interpolate_zero_pinned(&c_vals);
+        let p = &(&a_poly * &b_poly) - &c_poly;
+        let (h, _rem) = self.domain.divide_by_vanishing(&p);
+        let mut coeffs = h.into_coeffs();
+        coeffs.resize(self.degree() + 1, F::ZERO);
+        coeffs
+    }
+
+    /// The verifier's evaluations at a random point `τ` (App. A.3):
+    /// computes every `Aᵢ(τ), Bᵢ(τ), Cᵢ(τ)` via the zero-pinned Lagrange
+    /// basis plus one sparse pass over the matrices, and `D(τ)`.
+    pub fn evals_at(&self, tau: F) -> QapEvals<F> {
+        let basis = self.domain.zero_pinned_coeffs_at(tau);
+        let n_prime = self.var_map.num_unbound();
+        let eval_row = |row: &SparsePoly<F>| row.dot(&basis);
+        let unbound = |rows: &[SparsePoly<F>]| -> Vec<F> {
+            rows[1..=n_prime].iter().map(eval_row).collect()
+        };
+        let bound = |rows: &[SparsePoly<F>]| -> Vec<F> {
+            core::iter::once(&rows[0])
+                .chain(rows[n_prime + 1..].iter())
+                .map(eval_row)
+                .collect()
+        };
+        QapEvals {
+            qa: unbound(&self.a_rows),
+            qb: unbound(&self.b_rows),
+            qc: unbound(&self.c_rows),
+            a_bound: bound(&self.a_rows),
+            b_bound: bound(&self.b_rows),
+            c_bound: bound(&self.c_rows),
+            d_tau: self.domain.vanishing_at(tau),
+        }
+    }
+
+    /// Evaluates `P_w(τ)` directly from a witness (test/diagnostic path):
+    /// `(⟨qa,z⟩ + bound_a)·(⟨qb,z⟩ + bound_b) − (⟨qc,z⟩ + bound_c)`.
+    pub fn p_at(&self, evals: &QapEvals<F>, witness: &QapWitness<F>) -> F {
+        let dot = |q: &[F], z: &[F]| -> F { q.iter().zip(z).map(|(a, b)| *a * *b).sum() };
+        let a = dot(&evals.qa, &witness.z) + evals.bound_a(&witness.io);
+        let b = dot(&evals.qb, &witness.z) + evals.bound_b(&witness.io);
+        let c = dot(&evals.qc, &witness.z) + evals.bound_c(&witness.io);
+        a * b - c
+    }
+
+    /// Total non-zero entries across the three matrices (bounded by
+    /// `K + 3K₂` per App. A.3).
+    pub fn nonzeros(&self) -> usize {
+        let count = |rows: &[SparsePoly<F>]| rows.iter().map(|r| r.weight()).sum::<usize>();
+        count(&self.a_rows) + count(&self.b_rows) + count(&self.c_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_cc::{ginger_to_quad, Builder};
+    use zaatar_field::{Field, F61};
+    use zaatar_poly::ArithDomain;
+
+    fn f(x: i64) -> F61 {
+        F61::from_i64(x)
+    }
+
+    /// A small computation: y = (a·b + 3)², via the full cc pipeline.
+    fn small_system() -> (QuadSystem<F61>, Vec<Assignment<F61>>) {
+        let mut b = Builder::<F61>::new();
+        let x1 = b.alloc_input();
+        let x2 = b.alloc_input();
+        let prod = b.mul(&x1, &x2);
+        let shifted = prod.add_constant(f(3));
+        let sq = b.square(&shifted);
+        b.bind_output(&sq);
+        let (sys, solver) = b.finish();
+        let t = ginger_to_quad(&sys);
+        let mut assignments = Vec::new();
+        for inputs in [[f(2), f(5)], [f(0), f(0)], [f(-1), f(7)]] {
+            let asg = solver.solve(&inputs).unwrap();
+            assignments.push(t.extend_assignment(&asg));
+        }
+        (t.system, assignments)
+    }
+
+    #[test]
+    fn honest_witness_divides() {
+        let (sys, asgs) = small_system();
+        let qap = Qap::new(&sys);
+        for asg in &asgs {
+            assert!(sys.is_satisfied(asg));
+            let w = qap.witness(asg);
+            assert!(qap.compute_h(&w).is_some());
+        }
+    }
+
+    #[test]
+    fn broken_witness_does_not_divide() {
+        let (sys, asgs) = small_system();
+        let qap = Qap::new(&sys);
+        let mut w = qap.witness(&asgs[0]);
+        w.z[0] += F61::ONE;
+        assert!(qap.compute_h(&w).is_none());
+    }
+
+    #[test]
+    fn wrong_output_does_not_divide() {
+        let (sys, asgs) = small_system();
+        let qap = Qap::new(&sys);
+        let mut w = qap.witness(&asgs[0]);
+        let last = w.io.len() - 1;
+        w.io[last] += F61::ONE;
+        assert!(qap.compute_h(&w).is_none());
+    }
+
+    #[test]
+    fn divisibility_identity_at_random_point() {
+        // D(τ)·H(τ) == P_w(τ) for honest witnesses (Claim A.1 forward).
+        let (sys, asgs) = small_system();
+        let qap = Qap::new(&sys);
+        let w = qap.witness(&asgs[0]);
+        let h = qap.compute_h(&w).unwrap();
+        for tau_raw in [12345u64, 999, 0xabcdef01] {
+            let tau = F61::from_u64(tau_raw);
+            let evals = qap.evals_at(tau);
+            let h_tau: F61 = h
+                .iter()
+                .rev()
+                .fold(F61::ZERO, |acc, c| acc * tau + *c);
+            assert_eq!(evals.d_tau * h_tau, qap.p_at(&evals, &w));
+        }
+    }
+
+    #[test]
+    fn cheating_h_fails_at_random_point() {
+        let (sys, asgs) = small_system();
+        let qap = Qap::new(&sys);
+        let mut w = qap.witness(&asgs[0]);
+        let last = w.io.len() - 1;
+        w.io[last] += F61::ONE;
+        let h = qap.compute_h_unchecked(&w);
+        // With overwhelming probability over τ the check fails.
+        let mut failures = 0;
+        for tau_raw in 1..50u64 {
+            let tau = F61::from_u64(tau_raw * 7919);
+            let evals = qap.evals_at(tau);
+            let h_tau: F61 = h.iter().rev().fold(F61::ZERO, |acc, c| acc * tau + *c);
+            if evals.d_tau * h_tau != qap.p_at(&evals, &w) {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 48, "only {failures}/49 checks failed");
+    }
+
+    #[test]
+    fn arith_domain_agrees_with_radix2() {
+        let (sys, asgs) = small_system();
+        let q1 = Qap::new(&sys);
+        let q2 = Qap::with_domain(&sys, ArithDomain::<F61>::new(sys.constraints.len()));
+        let w1 = q1.witness(&asgs[0]);
+        let w2 = q2.witness(&asgs[0]);
+        assert!(q1.compute_h(&w1).is_some());
+        assert!(q2.compute_h(&w2).is_some());
+        // And both reject a broken witness.
+        let mut wb = q2.witness(&asgs[0]);
+        wb.z[0] += F61::ONE;
+        assert!(q2.compute_h(&wb).is_none());
+    }
+
+    #[test]
+    fn variable_ordering_unbound_first() {
+        let (sys, _) = small_system();
+        let qap = Qap::new(&sys);
+        let m = qap.var_map();
+        // All aux variables map below all io variables.
+        let n_prime = m.num_unbound();
+        for v in sys.vars.of_kind(Kind::Aux) {
+            assert!(m.index(v) >= 1 && m.index(v) <= n_prime);
+        }
+        for v in sys.vars.of_kind(Kind::Input) {
+            assert!(m.index(v) > n_prime);
+        }
+    }
+
+    #[test]
+    fn h_length_matches_figure3() {
+        // |h| = |C| + 1 (padded degree here).
+        let (sys, asgs) = small_system();
+        let qap = Qap::new(&sys);
+        let w = qap.witness(&asgs[0]);
+        let h = qap.compute_h(&w).unwrap();
+        assert_eq!(h.len(), qap.degree() + 1);
+    }
+
+    #[test]
+    fn padding_constraints_are_benign() {
+        // Domain larger than constraints: still complete and sound.
+        let (sys, asgs) = small_system();
+        let qap = Qap::with_domain(&sys, Radix2Domain::new(sys.constraints.len() * 4));
+        let w = qap.witness(&asgs[1]);
+        assert!(qap.compute_h(&w).is_some());
+        let mut wb = w.clone();
+        wb.z[1] += F61::ONE;
+        assert!(qap.compute_h(&wb).is_none());
+    }
+}

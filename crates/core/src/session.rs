@@ -1,0 +1,273 @@
+//! A message-level session driver: the complete batched argument run
+//! purely through encoded byte messages, as it would cross a real
+//! network.
+//!
+//! Both endpoints hold the public computation (the PCP structure); the
+//! verifier's secrets (`r`, `α`, the decryption key) never leave
+//! [`SessionVerifier`], and the prover's witnesses never leave
+//! [`SessionProver`]. PCP queries travel as a 32-byte seed
+//! (\[53, Apdx A.3\]); `Enc(r)` and the consistency queries are explicit.
+
+use zaatar_crypto::{ChaChaPrg, Ciphertext, HasGroup};
+use zaatar_field::PrimeField;
+use zaatar_poly::domain::EvalDomain;
+
+use crate::commit::{decommit, CommitmentKey, Decommitment};
+use crate::network::queries_from_seed;
+use crate::pcp::{PcpResponses, QuerySet, ZaatarPcp, ZaatarProof};
+use crate::wire::{Reader, WireError, Writer};
+
+/// The verifier endpoint of a session.
+pub struct SessionVerifier<'p, F: HasGroup, D> {
+    pcp: &'p ZaatarPcp<F, D>,
+    key_z: CommitmentKey<F>,
+    key_h: CommitmentKey<F>,
+    query_seed: [u8; 32],
+    queries: QuerySet<F>,
+    t_z: Vec<F>,
+    t_h: Vec<F>,
+    alphas_z: Vec<F>,
+    alphas_h: Vec<F>,
+    /// Total bytes sent by the verifier.
+    pub bytes_sent: u64,
+    /// Total bytes received by the verifier.
+    pub bytes_received: u64,
+}
+
+/// The prover endpoint of a session.
+pub struct SessionProver<'p, F: HasGroup, D> {
+    pcp: &'p ZaatarPcp<F, D>,
+    enc_r_z: Vec<Ciphertext>,
+    enc_r_h: Vec<Ciphertext>,
+    queries: Option<QuerySet<F>>,
+    t_z: Vec<F>,
+    t_h: Vec<F>,
+}
+
+impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionVerifier<'p, F, D> {
+    /// Batch setup; all verifier secrets are drawn from `prg`.
+    pub fn new(pcp: &'p ZaatarPcp<F, D>, prg: &mut ChaChaPrg) -> Self {
+        let n_z = pcp.qap().var_map().num_unbound();
+        let n_h = pcp.qap().degree() + 1;
+        let key_z = CommitmentKey::generate(n_z, prg);
+        let key_h = CommitmentKey::generate(n_h, prg);
+        let query_seed = crate::network::fresh_seed(prg);
+        let queries = queries_from_seed(pcp, query_seed);
+        let (t_z, alphas_z) = key_z.consistency_query(&queries.z_queries(), prg);
+        let (t_h, alphas_h) = key_h.consistency_query(&queries.h_queries(), prg);
+        SessionVerifier {
+            pcp,
+            key_z,
+            key_h,
+            query_seed,
+            queries,
+            t_z,
+            t_h,
+            alphas_z,
+            alphas_h,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Message 1 (V → P): `Enc(r_z) ‖ Enc(r_h) ‖ seed ‖ t_z ‖ t_h`.
+    pub fn setup_message(&mut self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(self.key_z.enc_r.len() as u32);
+        for ct in &self.key_z.enc_r {
+            w.put_ciphertext::<F>(ct);
+        }
+        w.put_u32(self.key_h.enc_r.len() as u32);
+        for ct in &self.key_h.enc_r {
+            w.put_ciphertext::<F>(ct);
+        }
+        w.put_bytes(&self.query_seed);
+        w.put_field_vec(&self.t_z);
+        w.put_field_vec(&self.t_h);
+        let bytes = w.finish();
+        self.bytes_sent += bytes.len() as u64;
+        bytes
+    }
+
+    /// Verifies one instance's message 2 (P → V). `io` is inputs then
+    /// outputs in QAP order.
+    pub fn verify_instance(&mut self, message: &[u8], io: &[F]) -> Result<bool, WireError> {
+        self.bytes_received += message.len() as u64;
+        let ((cz, ch), dz, dh) = crate::wire::decode_prover_message::<F>(message)?;
+        let ok = self
+            .key_z
+            .verify(&cz, &dz.answers, dz.t_answer, &self.alphas_z)
+            && self
+                .key_h
+                .verify(&ch, &dh.answers, dh.t_answer, &self.alphas_h)
+            && self.pcp.check(
+                &self.queries,
+                &PcpResponses {
+                    z_answers: dz.answers,
+                    h_answers: dh.answers,
+                },
+                io,
+            );
+        Ok(ok)
+    }
+}
+
+impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
+    /// A prover endpoint awaiting the setup message.
+    pub fn new(pcp: &'p ZaatarPcp<F, D>) -> Self {
+        SessionProver {
+            pcp,
+            enc_r_z: Vec::new(),
+            enc_r_h: Vec::new(),
+            queries: None,
+            t_z: Vec::new(),
+            t_h: Vec::new(),
+        }
+    }
+
+    /// Processes message 1, regenerating the PCP queries from the seed.
+    pub fn receive_setup(&mut self, message: &[u8]) -> Result<(), WireError> {
+        let mut r = Reader::new(message);
+        let nz = r.get_u32()? as usize;
+        self.enc_r_z = (0..nz)
+            .map(|_| r.get_ciphertext::<F>())
+            .collect::<Result<_, _>>()?;
+        let nh = r.get_u32()? as usize;
+        self.enc_r_h = (0..nh)
+            .map(|_| r.get_ciphertext::<F>())
+            .collect::<Result<_, _>>()?;
+        let mut seed = [0u8; 32];
+        seed.copy_from_slice(r.get_bytes(32)?);
+        self.t_z = r.get_field_vec()?;
+        self.t_h = r.get_field_vec()?;
+        r.finish()?;
+        self.queries = Some(queries_from_seed(self.pcp, seed));
+        Ok(())
+    }
+
+    /// Produces one instance's message 2: commitments + decommitments
+    /// for a proof.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SessionProver::receive_setup`].
+    pub fn instance_message(&self, proof: &ZaatarProof<F>) -> Vec<u8> {
+        let queries = self
+            .queries
+            .as_ref()
+            .expect("receive_setup must run before proving");
+        let commitments = (
+            CommitmentKey::<F>::commit(&self.enc_r_z, &proof.z),
+            CommitmentKey::<F>::commit(&self.enc_r_h, &proof.h),
+        );
+        let dz: Decommitment<F> = decommit(&proof.z, &queries.z_queries(), &self.t_z);
+        let dh: Decommitment<F> = decommit(&proof.h, &queries.h_queries(), &self.t_h);
+        crate::wire::encode_prover_message(&commitments, &dz, &dh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcp::PcpParams;
+    use crate::qap::Qap;
+    use zaatar_cc::{ginger_to_quad, Builder};
+    use zaatar_field::{Field, F61};
+
+    fn fixture(
+        inputs: &[[i64; 2]],
+    ) -> (
+        ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>,
+        Vec<ZaatarProof<F61>>,
+        Vec<Vec<F61>>,
+    ) {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let p = b.mul(&x, &y);
+        let e = b.is_eq(&x, &y);
+        b.bind_output(&p.add(&e));
+        let (sys, solver) = b.finish();
+        let t = ginger_to_quad(&sys);
+        let qap = Qap::new(&t.system);
+        let pcp = ZaatarPcp::new(qap, PcpParams::light());
+        let mut proofs = Vec::new();
+        let mut ios = Vec::new();
+        for pair in inputs {
+            let asg = solver
+                .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
+                .unwrap();
+            let ext = t.extend_assignment(&asg);
+            let w = pcp.qap().witness(&ext);
+            proofs.push(pcp.prove(&w).unwrap());
+            ios.push(
+                pcp.qap()
+                    .var_map()
+                    .inputs()
+                    .iter()
+                    .chain(pcp.qap().var_map().outputs())
+                    .map(|v| ext.get(*v))
+                    .collect(),
+            );
+        }
+        (pcp, proofs, ios)
+    }
+
+    #[test]
+    fn full_session_over_bytes() {
+        let (pcp, proofs, ios) = fixture(&[[3, 7], [5, 5], [0, 9]]);
+        let mut prg = ChaChaPrg::from_u64_seed(0x5e55);
+        let mut verifier = SessionVerifier::new(&pcp, &mut prg);
+        let mut prover = SessionProver::new(&pcp);
+        // Everything crosses the boundary as bytes.
+        let setup = verifier.setup_message();
+        prover.receive_setup(&setup).unwrap();
+        for (proof, io) in proofs.iter().zip(&ios) {
+            let msg = prover.instance_message(proof);
+            assert!(verifier.verify_instance(&msg, io).unwrap());
+        }
+        assert!(verifier.bytes_sent > 0);
+        assert!(verifier.bytes_received > 0);
+    }
+
+    #[test]
+    fn corrupted_wire_message_rejected_or_errors() {
+        let (pcp, proofs, ios) = fixture(&[[2, 4]]);
+        let mut prg = ChaChaPrg::from_u64_seed(0x5e56);
+        let mut verifier = SessionVerifier::new(&pcp, &mut prg);
+        let mut prover = SessionProver::new(&pcp);
+        prover.receive_setup(&verifier.setup_message()).unwrap();
+        let mut msg = prover.instance_message(&proofs[0]);
+        // Flip a byte in the middle (inside an answer).
+        let mid = msg.len() / 2;
+        msg[mid] ^= 0x01;
+        match verifier.verify_instance(&msg, &ios[0]) {
+            Ok(accepted) => assert!(!accepted, "corrupted message accepted"),
+            Err(_) => {} // Malformed encoding is also a fine outcome.
+        }
+    }
+
+    #[test]
+    fn wrong_claimed_io_rejected_over_wire() {
+        let (pcp, proofs, mut ios) = fixture(&[[6, 6]]);
+        let mut prg = ChaChaPrg::from_u64_seed(0x5e57);
+        let mut verifier = SessionVerifier::new(&pcp, &mut prg);
+        let mut prover = SessionProver::new(&pcp);
+        prover.receive_setup(&verifier.setup_message()).unwrap();
+        let msg = prover.instance_message(&proofs[0]);
+        let last = ios[0].len() - 1;
+        ios[0][last] += F61::ONE;
+        assert!(!verifier.verify_instance(&msg, &ios[0]).unwrap());
+    }
+
+    #[test]
+    fn truncated_setup_errors() {
+        let (pcp, _, _) = fixture(&[[1, 1]]);
+        let mut prg = ChaChaPrg::from_u64_seed(0x5e58);
+        let mut verifier = SessionVerifier::new(&pcp, &mut prg);
+        let mut prover = SessionProver::new(&pcp);
+        let mut setup = verifier.setup_message();
+        setup.truncate(setup.len() - 3);
+        assert!(prover.receive_setup(&setup).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! Wire encoding for protocol messages.
+//!
+//! A minimal length-prefixed binary format for everything that crosses
+//! the verifier/prover boundary — proof-independent enough to be a
+//! transport layer, and used by the tests to validate the analytic
+//! byte counts in [`crate::network`] against real encoded sizes.
+
+use zaatar_crypto::{Ciphertext, HasGroup};
+use zaatar_field::PrimeField;
+
+use crate::commit::Decommitment;
+use crate::pcp::ZaatarProof;
+
+/// Encoding/decoding errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes.
+    Truncated,
+    /// A field element or group element failed validation.
+    Invalid,
+    /// Trailing bytes after a complete message.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::Invalid => write!(f, "invalid element encoding"),
+            WireError::TrailingBytes => write!(f, "trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Finishes, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a u32 length/count.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes raw bytes (fixed-width; the reader must know the length).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes one field element (canonical bytes, fixed width).
+    pub fn put_field<F: PrimeField>(&mut self, x: F) {
+        self.buf.extend_from_slice(&x.to_bytes_le());
+    }
+
+    /// Writes a length-prefixed field vector.
+    pub fn put_field_vec<F: PrimeField>(&mut self, xs: &[F]) {
+        self.put_u32(xs.len() as u32);
+        for x in xs {
+            self.put_field(*x);
+        }
+    }
+
+    /// Writes a ciphertext (two group elements, fixed width).
+    pub fn put_ciphertext<F: HasGroup>(&mut self, ct: &Ciphertext) {
+        let g = F::group();
+        self.buf.extend_from_slice(&g.elem_to_bytes(&ct.c1));
+        self.buf.extend_from_slice(&g.elem_to_bytes(&ct.c2));
+    }
+}
+
+/// A byte reader.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Asserts the message was fully consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a u32.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Reads one field element.
+    pub fn get_field<F: PrimeField>(&mut self) -> Result<F, WireError> {
+        let b = self.take(8 * F::NUM_WORDS)?;
+        F::from_bytes_le(b).ok_or(WireError::Invalid)
+    }
+
+    /// Reads a length-prefixed field vector.
+    pub fn get_field_vec<F: PrimeField>(&mut self) -> Result<Vec<F>, WireError> {
+        let n = self.get_u32()? as usize;
+        // Guard against absurd lengths before allocating.
+        if n > self.buf.len() / (8 * F::NUM_WORDS).max(1) + 1 {
+            return Err(WireError::Truncated);
+        }
+        (0..n).map(|_| self.get_field()).collect()
+    }
+
+    /// Reads a ciphertext.
+    pub fn get_ciphertext<F: HasGroup>(&mut self) -> Result<Ciphertext, WireError> {
+        let g = F::group();
+        let c1 = g
+            .elem_from_bytes(self.take(g.elem_bytes())?)
+            .ok_or(WireError::Invalid)?;
+        let c2 = g
+            .elem_from_bytes(self.take(g.elem_bytes())?)
+            .ok_or(WireError::Invalid)?;
+        Ok(Ciphertext { c1, c2 })
+    }
+}
+
+/// Encodes a Zaatar proof (for storage/transport; the prover normally
+/// keeps it local and ships only commitments and answers).
+pub fn encode_proof<F: PrimeField>(proof: &ZaatarProof<F>) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_field_vec(&proof.z);
+    w.put_field_vec(&proof.h);
+    w.finish()
+}
+
+/// Decodes a Zaatar proof.
+pub fn decode_proof<F: PrimeField>(bytes: &[u8]) -> Result<ZaatarProof<F>, WireError> {
+    let mut r = Reader::new(bytes);
+    let z = r.get_field_vec()?;
+    let h = r.get_field_vec()?;
+    r.finish()?;
+    Ok(ZaatarProof { z, h })
+}
+
+/// Encodes the prover's per-instance message (step 2 + step 4):
+/// commitments plus both decommitments.
+pub fn encode_prover_message<F: HasGroup + PrimeField>(
+    commitments: &(Ciphertext, Ciphertext),
+    dz: &Decommitment<F>,
+    dh: &Decommitment<F>,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_ciphertext::<F>(&commitments.0);
+    w.put_ciphertext::<F>(&commitments.1);
+    w.put_field_vec(&dz.answers);
+    w.put_field(dz.t_answer);
+    w.put_field_vec(&dh.answers);
+    w.put_field(dh.t_answer);
+    w.finish()
+}
+
+/// Decodes the prover's per-instance message.
+#[allow(clippy::type_complexity)]
+pub fn decode_prover_message<F: HasGroup + PrimeField>(
+    bytes: &[u8],
+) -> Result<((Ciphertext, Ciphertext), Decommitment<F>, Decommitment<F>), WireError> {
+    let mut r = Reader::new(bytes);
+    let c1 = r.get_ciphertext::<F>()?;
+    let c2 = r.get_ciphertext::<F>()?;
+    let za = r.get_field_vec()?;
+    let zt = r.get_field()?;
+    let ha = r.get_field_vec()?;
+    let ht = r.get_field()?;
+    r.finish()?;
+    Ok((
+        (c1, c2),
+        Decommitment {
+            answers: za,
+            t_answer: zt,
+        },
+        Decommitment {
+            answers: ha,
+            t_answer: ht,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commit::{decommit, CommitmentKey};
+    use crate::network::zaatar_network_costs;
+    use crate::pcp::{PcpParams, ZaatarPcp};
+    use crate::qap::Qap;
+    use zaatar_cc::{ginger_to_quad, Builder};
+    use zaatar_crypto::ChaChaPrg;
+    use zaatar_field::{Field, F61};
+
+    fn fixture() -> (
+        ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>,
+        ZaatarProof<F61>,
+        Vec<F61>,
+    ) {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let p = b.mul(&x, &y);
+        let lt = b.less_than(&x, &y, 8);
+        b.bind_output(&p.add(&lt));
+        let (sys, solver) = b.finish();
+        let t = ginger_to_quad(&sys);
+        let asg = solver.solve(&[F61::from_u64(3), F61::from_u64(9)]).unwrap();
+        let ext = t.extend_assignment(&asg);
+        let qap = Qap::new(&t.system);
+        let w = qap.witness(&ext);
+        let io = qap
+            .var_map()
+            .inputs()
+            .iter()
+            .chain(qap.var_map().outputs())
+            .map(|v| ext.get(*v))
+            .collect();
+        let pcp = ZaatarPcp::new(qap, PcpParams::light());
+        let proof = pcp.prove(&w).unwrap();
+        (pcp, proof, io)
+    }
+
+    #[test]
+    fn proof_round_trips() {
+        let (_, proof, _) = fixture();
+        let bytes = encode_proof(&proof);
+        let back: ZaatarProof<F61> = decode_proof(&bytes).unwrap();
+        assert_eq!(back.z, proof.z);
+        assert_eq!(back.h, proof.h);
+    }
+
+    #[test]
+    fn proof_decode_rejects_corruption() {
+        let (_, proof, _) = fixture();
+        let mut bytes = encode_proof(&proof);
+        // Truncation.
+        bytes.pop();
+        assert!(decode_proof::<F61>(&bytes).is_err());
+        // Unreduced element: all-ones word exceeds the 61-bit modulus.
+        let mut bytes = encode_proof(&proof);
+        for b in bytes.iter_mut().skip(4).take(8) {
+            *b = 0xff;
+        }
+        assert!(matches!(decode_proof::<F61>(&bytes), Err(WireError::Invalid)));
+        // Trailing garbage.
+        let mut bytes = encode_proof(&proof);
+        bytes.push(0);
+        assert!(matches!(decode_proof::<F61>(&bytes), Err(WireError::TrailingBytes)));
+    }
+
+    #[test]
+    fn prover_message_round_trips_and_verifies() {
+        let (pcp, proof, io) = fixture();
+        let mut prg = ChaChaPrg::from_u64_seed(5);
+        let mut verifier = crate::argument::Verifier::setup(&pcp, &mut prg);
+        let (ez, eh) = {
+            let (a, b) = verifier.commit_request();
+            (a.to_vec(), b.to_vec())
+        };
+        let commitments = (
+            CommitmentKey::<F61>::commit(&ez, &proof.z),
+            CommitmentKey::<F61>::commit(&eh, &proof.h),
+        );
+        let req = verifier.decommit_request();
+        let dz = decommit(&proof.z, &req.z_queries, req.t_z);
+        let dh = decommit(&proof.h, &req.h_queries, req.t_h);
+        drop(req);
+        // Serialize, deserialize, verify.
+        let bytes = encode_prover_message(&commitments, &dz, &dh);
+        let (c2, dz2, dh2) = decode_prover_message::<F61>(&bytes).unwrap();
+        assert!(verifier.check_instance(&c2, &dz2, &dh2, &io));
+    }
+
+    #[test]
+    fn encoded_size_matches_network_model() {
+        // The analytic per-instance P→V byte count equals the real
+        // encoded size, up to the length prefixes (4 bytes per vector).
+        let (pcp, proof, _) = fixture();
+        let mut prg = ChaChaPrg::from_u64_seed(6);
+        let key_z = CommitmentKey::<F61>::generate(proof.z.len(), &mut prg);
+        let key_h = CommitmentKey::<F61>::generate(proof.h.len(), &mut prg);
+        let queries = pcp.generate_queries(&mut prg);
+        let (tz, _) = key_z.consistency_query(&queries.z_queries(), &mut prg);
+        let (th, _) = key_h.consistency_query(&queries.h_queries(), &mut prg);
+        let commitments = (
+            CommitmentKey::<F61>::commit(&key_z.enc_r, &proof.z),
+            CommitmentKey::<F61>::commit(&key_h.enc_r, &proof.h),
+        );
+        let dz = decommit(&proof.z, &queries.z_queries(), &tz);
+        let dh = decommit(&proof.h, &queries.h_queries(), &th);
+        let encoded = encode_prover_message(&commitments, &dz, &dh).len() as u64;
+        let model = zaatar_network_costs(&pcp, 1, 256, true).p_to_v;
+        let prefixes = 2 * 4; // Two length-prefixed vectors.
+        assert_eq!(encoded, model + prefixes);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the protocol core: Claim A.1 (divisibility iff
+//! satisfiability) and PCP completeness/soundness over random circuits,
+//! witnesses, and query seeds.
+
+use proptest::prelude::*;
+use zaatar_cc::{ginger_to_quad, Builder, LinComb};
+use zaatar_core::pcp::{PcpParams, ZaatarPcp};
+use zaatar_core::qap::Qap;
+use zaatar_crypto::ChaChaPrg;
+use zaatar_field::{Field, F61};
+
+/// A random arithmetic circuit over `n_in` inputs described by a list of
+/// gate specs: each gate multiplies two prior values (by index) and adds
+/// a constant.
+#[derive(Clone, Debug)]
+struct Circuit {
+    n_in: usize,
+    gates: Vec<(usize, usize, i64)>,
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..4, prop::collection::vec((any::<u8>(), any::<u8>(), -4i64..4), 1..8)).prop_map(
+        |(n_in, raw)| {
+            let mut gates = Vec::new();
+            for (i, (a, b, c)) in raw.into_iter().enumerate() {
+                let avail = n_in + i;
+                gates.push(((a as usize) % avail, (b as usize) % avail, c));
+            }
+            Circuit { n_in, gates }
+        },
+    )
+}
+
+/// Builds the circuit, returning the PCP, an honest witness, and io.
+fn build(
+    c: &Circuit,
+    inputs: &[i64],
+) -> (
+    ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>,
+    zaatar_core::qap::QapWitness<F61>,
+    Vec<F61>,
+) {
+    let mut b = Builder::<F61>::new();
+    let mut values: Vec<LinComb<F61>> = (0..c.n_in).map(|_| b.alloc_input()).collect();
+    for (i, j, add) in &c.gates {
+        let v = b.mul(&values[*i].clone(), &values[*j].clone());
+        values.push(v.add_constant(F61::from_i64(*add)));
+    }
+    let last = values.last().expect("at least inputs").clone();
+    b.bind_output(&last);
+    let (sys, solver) = b.finish();
+    let t = ginger_to_quad(&sys);
+    let ins: Vec<F61> = inputs.iter().map(|&v| F61::from_i64(v)).collect();
+    let asg = solver.solve(&ins).expect("solvable");
+    let ext = t.extend_assignment(&asg);
+    let qap = Qap::new(&t.system);
+    let w = qap.witness(&ext);
+    let io: Vec<F61> = qap
+        .var_map()
+        .inputs()
+        .iter()
+        .chain(qap.var_map().outputs())
+        .map(|v| ext.get(*v))
+        .collect();
+    (ZaatarPcp::new(qap, PcpParams::light()), w, io)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Claim A.1, forward: honest witnesses always divide.
+    #[test]
+    fn honest_witnesses_divide(c in arb_circuit(), a in -20i64..20, b in -20i64..20) {
+        let inputs: Vec<i64> = (0..c.n_in).map(|i| if i % 2 == 0 { a } else { b }).collect();
+        let (pcp, w, _) = build(&c, &inputs);
+        prop_assert!(pcp.qap().compute_h(&w).is_some());
+    }
+
+    /// Claim A.1, converse: perturbing any single witness coordinate
+    /// breaks divisibility (unless the perturbed assignment happens to
+    /// satisfy, which a single-coordinate field perturbation of a
+    /// functional circuit cannot).
+    #[test]
+    fn perturbed_witnesses_do_not_divide(
+        c in arb_circuit(),
+        a in -20i64..20,
+        idx in any::<u16>(),
+        delta in 1u64..1000,
+    ) {
+        let inputs: Vec<i64> = (0..c.n_in).map(|_| a).collect();
+        let (pcp, mut w, _) = build(&c, &inputs);
+        prop_assume!(!w.z.is_empty());
+        let i = (idx as usize) % w.z.len();
+        w.z[i] += F61::from_u64(delta);
+        prop_assert!(pcp.qap().compute_h(&w).is_none());
+    }
+
+    /// PCP completeness over random circuits and seeds.
+    #[test]
+    fn pcp_completeness(c in arb_circuit(), seed in any::<u64>(), a in -20i64..20) {
+        let inputs: Vec<i64> = (0..c.n_in).map(|i| a + i as i64).collect();
+        let (pcp, w, io) = build(&c, &inputs);
+        let proof = pcp.prove(&w).expect("honest");
+        let mut prg = ChaChaPrg::from_u64_seed(seed);
+        let queries = pcp.generate_queries(&mut prg);
+        let responses = pcp.answer(&proof, &queries);
+        prop_assert!(pcp.check(&queries, &responses, &io));
+    }
+
+    /// PCP soundness: a wrong claimed output is rejected (statistically;
+    /// with ρ=2 repetitions over a 61-bit field the per-seed failure
+    /// probability is negligible, so we assert outright).
+    #[test]
+    fn pcp_rejects_wrong_output(c in arb_circuit(), seed in any::<u64>(), a in -20i64..20) {
+        let inputs: Vec<i64> = (0..c.n_in).map(|_| a).collect();
+        let (pcp, w, mut io) = build(&c, &inputs);
+        let proof = pcp.prove_unchecked(&w);
+        let last = io.len() - 1;
+        io[last] += F61::ONE;
+        let mut prg = ChaChaPrg::from_u64_seed(seed);
+        let queries = pcp.generate_queries(&mut prg);
+        let responses = pcp.answer(&proof, &queries);
+        prop_assert!(!pcp.check(&queries, &responses, &io));
+    }
+
+    /// The divisibility identity D(τ)·H(τ) = P_w(τ) holds at arbitrary
+    /// evaluation points for honest witnesses.
+    #[test]
+    fn divisibility_identity(c in arb_circuit(), tau_raw in any::<u64>()) {
+        let inputs: Vec<i64> = (0..c.n_in).map(|i| i as i64 + 1).collect();
+        let (pcp, w, _) = build(&c, &inputs);
+        let h = pcp.qap().compute_h(&w).expect("honest");
+        let tau = F61::from_u64(tau_raw);
+        let evals = pcp.qap().evals_at(tau);
+        let h_tau: F61 = h.iter().rev().fold(F61::ZERO, |acc, coeff| acc * tau + *coeff);
+        prop_assert_eq!(evals.d_tau * h_tau, pcp.qap().p_at(&evals, &w));
+    }
+}

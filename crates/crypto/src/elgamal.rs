@@ -1,0 +1,245 @@
+//! Exponential ElGamal over a Schnorr group.
+//!
+//! Ginger's linear commitment (§2.2) needs homomorphic — *not* fully
+//! homomorphic — encryption: the verifier encrypts a random vector `r`,
+//! and the prover computes `Enc(π(r))` for its linear function `π` using
+//! only ciphertext multiplications and scalar exponentiations. Messages
+//! live "in the exponent" (`Enc(m) = (gᵏ, gᵐ·hᵏ)`), so decryption yields
+//! `gᵐ` rather than `m` — sufficient, because the verifier only ever
+//! checks `gᵐ` against an exponent it can compute itself.
+
+use crate::chacha::ChaChaPrg;
+use crate::group::{GroupElem, HasGroup, SchnorrGroup};
+
+/// An ElGamal ciphertext `(gᵏ, gᵐ·hᵏ)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ciphertext {
+    /// `gᵏ`.
+    pub c1: GroupElem,
+    /// `gᵐ·hᵏ`.
+    pub c2: GroupElem,
+}
+
+/// An ElGamal keypair: secret exponent `s` (a field element) and public
+/// key `h = gˢ`.
+#[derive(Clone, Debug)]
+pub struct KeyPair<F> {
+    sk: F,
+    pk: GroupElem,
+}
+
+impl<F: HasGroup> KeyPair<F> {
+    /// Generates a keypair from the supplied PRG.
+    pub fn generate(prg: &mut ChaChaPrg) -> Self {
+        let sk: F = prg.field_element();
+        let pk = F::group().gen_pow(&sk.exponent_words());
+        KeyPair { sk, pk }
+    }
+
+    /// The public key `h = gˢ`.
+    pub fn public(&self) -> &GroupElem {
+        &self.pk
+    }
+}
+
+/// The exponential ElGamal scheme bound to the group paired with field
+/// `F` ([`HasGroup`]).
+pub struct ElGamal<F> {
+    _marker: core::marker::PhantomData<F>,
+}
+
+impl<F: HasGroup> ElGamal<F> {
+    fn group() -> &'static SchnorrGroup {
+        F::group()
+    }
+
+    /// Encrypts the field element `m` under `pk` with randomness from
+    /// `prg`: `(gᵏ, gᵐ·hᵏ)`.
+    pub fn encrypt(pk: &GroupElem, m: F, prg: &mut ChaChaPrg) -> Ciphertext {
+        let g = Self::group();
+        let k: F = prg.field_element();
+        let c1 = g.gen_pow(&k.exponent_words());
+        let gm = g.gen_pow(&m.exponent_words());
+        let hk = g.pow(pk, &k.exponent_words());
+        Ciphertext {
+            c1,
+            c2: g.mul(&gm, &hk),
+        }
+    }
+
+    /// Encrypts a whole vector (the commitment's `Enc(r)` step).
+    pub fn encrypt_vec(pk: &GroupElem, ms: &[F], prg: &mut ChaChaPrg) -> Vec<Ciphertext> {
+        ms.iter().map(|m| Self::encrypt(pk, *m, prg)).collect()
+    }
+
+    /// Decrypts to the *group encoding* `gᵐ` of the message.
+    pub fn decrypt_to_group(kp: &KeyPair<F>, ct: &Ciphertext) -> GroupElem {
+        let g = Self::group();
+        // gᵐ = c2 · c1^(−s).
+        let c1_neg_s = g.pow_neg(&ct.c1, &kp.sk.exponent_words());
+        g.mul(&ct.c2, &c1_neg_s)
+    }
+
+    /// The group encoding `gᵐ` of a known message (for comparisons
+    /// against decryptions).
+    pub fn encode(m: F) -> GroupElem {
+        Self::group().gen_pow(&m.exponent_words())
+    }
+
+    /// Homomorphic addition of plaintexts: `Enc(m₁)·Enc(m₂) = Enc(m₁+m₂)`.
+    pub fn add(a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let g = Self::group();
+        Ciphertext {
+            c1: g.mul(&a.c1, &b.c1),
+            c2: g.mul(&a.c2, &b.c2),
+        }
+    }
+
+    /// Homomorphic scalar multiplication: `Enc(m)^c = Enc(m·c)`.
+    pub fn scale(a: &Ciphertext, c: F) -> Ciphertext {
+        let g = Self::group();
+        let e = c.exponent_words();
+        Ciphertext {
+            c1: g.pow(&a.c1, &e),
+            c2: g.pow(&a.c2, &e),
+        }
+    }
+
+    /// Homomorphic inner product: `∏ Enc(rᵢ)^(uᵢ) = Enc(⟨r, u⟩)` — the
+    /// prover's entire commitment computation (§2.2, "apply its function
+    /// to an encrypted vector").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn inner_product(cts: &[Ciphertext], scalars: &[F]) -> Ciphertext {
+        assert_eq!(cts.len(), scalars.len(), "length mismatch");
+        let g = Self::group();
+        let mut acc = Ciphertext {
+            c1: g.identity(),
+            c2: g.identity(),
+        };
+        for (ct, s) in cts.iter().zip(scalars.iter()) {
+            if s.is_zero() {
+                continue;
+            }
+            let term = Self::scale(ct, *s);
+            acc = Self::add(&acc, &term);
+        }
+        acc
+    }
+
+    /// The trivial encryption of zero (identity ciphertext).
+    pub fn zero() -> Ciphertext {
+        let g = Self::group();
+        Ciphertext {
+            c1: g.identity(),
+            c2: g.identity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::{Field, F61};
+
+    type Eg = ElGamal<F61>;
+
+    fn setup() -> (KeyPair<F61>, ChaChaPrg) {
+        let mut prg = ChaChaPrg::from_u64_seed(0xe16a);
+        let kp = KeyPair::generate(&mut prg);
+        (kp, prg)
+    }
+
+    #[test]
+    fn decrypt_recovers_encoding() {
+        let (kp, mut prg) = setup();
+        for v in [0u64, 1, 42, 0xffff_ffff] {
+            let m = F61::from_u64(v);
+            let ct = Eg::encrypt(kp.public(), m, &mut prg);
+            assert_eq!(Eg::decrypt_to_group(&kp, &ct), Eg::encode(m), "v={v}");
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let (kp, mut prg) = setup();
+        let m = F61::from_u64(9);
+        let a = Eg::encrypt(kp.public(), m, &mut prg);
+        let b = Eg::encrypt(kp.public(), m, &mut prg);
+        assert_ne!(a, b, "two encryptions of the same message must differ");
+        assert_eq!(Eg::decrypt_to_group(&kp, &a), Eg::decrypt_to_group(&kp, &b));
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let (kp, mut prg) = setup();
+        let (m1, m2) = (F61::from_u64(100), F61::from_u64(23));
+        let c1 = Eg::encrypt(kp.public(), m1, &mut prg);
+        let c2 = Eg::encrypt(kp.public(), m2, &mut prg);
+        let sum = Eg::add(&c1, &c2);
+        assert_eq!(Eg::decrypt_to_group(&kp, &sum), Eg::encode(m1 + m2));
+    }
+
+    #[test]
+    fn scalar_homomorphism() {
+        let (kp, mut prg) = setup();
+        let m = F61::from_u64(7);
+        let c = F61::from_u64(6);
+        let ct = Eg::encrypt(kp.public(), m, &mut prg);
+        let scaled = Eg::scale(&ct, c);
+        assert_eq!(Eg::decrypt_to_group(&kp, &scaled), Eg::encode(m * c));
+    }
+
+    #[test]
+    fn scalar_homomorphism_wraps_with_field() {
+        // Scaling by a "negative" field element must wrap exactly like
+        // field arithmetic — this is where a mismatched group order would
+        // break.
+        let (kp, mut prg) = setup();
+        let m = F61::from_u64(5);
+        let c = -F61::from_u64(2);
+        let ct = Eg::encrypt(kp.public(), m, &mut prg);
+        let scaled = Eg::scale(&ct, c);
+        assert_eq!(Eg::decrypt_to_group(&kp, &scaled), Eg::encode(m * c));
+    }
+
+    #[test]
+    fn inner_product_homomorphism() {
+        let (kp, mut prg) = setup();
+        let r: Vec<F61> = (1..=6u64).map(|i| F61::from_u64(i * 1000 + 3)).collect();
+        let u: Vec<F61> = (1..=6u64).map(|i| F61::from_u64(i * 7)).collect();
+        let cts = Eg::encrypt_vec(kp.public(), &r, &mut prg);
+        let ct = Eg::inner_product(&cts, &u);
+        let expect: F61 = r.iter().zip(u.iter()).map(|(a, b)| *a * *b).sum();
+        assert_eq!(Eg::decrypt_to_group(&kp, &ct), Eg::encode(expect));
+    }
+
+    #[test]
+    fn inner_product_skips_zero_scalars() {
+        let (kp, mut prg) = setup();
+        let r = vec![F61::from_u64(11), F61::from_u64(22)];
+        let u = vec![F61::ZERO, F61::from_u64(3)];
+        let cts = Eg::encrypt_vec(kp.public(), &r, &mut prg);
+        let ct = Eg::inner_product(&cts, &u);
+        assert_eq!(Eg::decrypt_to_group(&kp, &ct), Eg::encode(F61::from_u64(66)));
+    }
+
+    #[test]
+    fn zero_ciphertext_decrypts_to_identity() {
+        let (kp, _) = setup();
+        assert_eq!(
+            Eg::decrypt_to_group(&kp, &Eg::zero()),
+            Eg::encode(F61::ZERO)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn inner_product_length_mismatch_panics() {
+        let (kp, mut prg) = setup();
+        let cts = Eg::encrypt_vec(kp.public(), &[F61::ONE], &mut prg);
+        let _ = Eg::inner_product(&cts, &[]);
+    }
+}

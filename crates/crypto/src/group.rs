@@ -1,0 +1,402 @@
+//! Schnorr groups: prime-order subgroups of `Z_p*` matched to each PCP
+//! field.
+//!
+//! The linear commitment's consistency check compares field-side linear
+//! combinations with exponent-side homomorphic combinations, so the
+//! subgroup order **must equal the field modulus** — otherwise exponent
+//! arithmetic (mod the group order) and field arithmetic (mod `p_F`)
+//! disagree and the check breaks. Each group below was generated as
+//! `p = 2·k·q + 1` with `q` the corresponding field modulus (1024-bit `p`
+//! for the production fields, matching the paper's "ElGamal with 1024-bit
+//! keys", §5.1; 256-bit for the test field) and a generator
+//! `g = h^((p−1)/q)` of order exactly `q`.
+
+use std::sync::OnceLock;
+
+use zaatar_field::{PrimeField, F128, F220, F61};
+
+use crate::mp::{is_zero, MontCtx};
+
+/// An element of a [`SchnorrGroup`], stored in Montgomery form at the
+/// group's width. Elements are only meaningful relative to the group that
+/// produced them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupElem {
+    mont: Vec<u64>,
+}
+
+impl GroupElem {
+    /// Raw Montgomery words (used for serialization and hashing).
+    pub fn words(&self) -> &[u64] {
+        &self.mont
+    }
+}
+
+impl SchnorrGroup {
+    /// Serializes an element to canonical little-endian bytes
+    /// (`8 × width` bytes).
+    pub fn elem_to_bytes(&self, e: &GroupElem) -> Vec<u8> {
+        self.ctx
+            .from_mont(&e.mont)
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect()
+    }
+
+    /// Deserializes an element from canonical little-endian bytes;
+    /// `None` on wrong length or unreduced value.
+    pub fn elem_from_bytes(&self, bytes: &[u8]) -> Option<GroupElem> {
+        if bytes.len() != 8 * self.ctx.width() {
+            return None;
+        }
+        let words: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        if crate::mp::geq(&words, self.ctx.modulus()) {
+            return None;
+        }
+        Some(GroupElem {
+            mont: self.ctx.to_mont(&words),
+        })
+    }
+
+    /// Serialized element size in bytes.
+    pub fn elem_bytes(&self) -> usize {
+        8 * self.ctx.width()
+    }
+}
+
+/// A prime-order subgroup of `Z_p*` with order equal to a PCP field
+/// modulus.
+#[derive(Clone, Debug)]
+pub struct SchnorrGroup {
+    ctx: MontCtx,
+    generator: GroupElem,
+    order: Vec<u64>,
+}
+
+impl SchnorrGroup {
+    /// Builds a group from its modulus, generator, and subgroup order
+    /// (all canonical little-endian words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator is not of the claimed order (checked via
+    /// `g^q == 1` and `g != 1`).
+    pub fn new(modulus: Vec<u64>, generator: Vec<u64>, order: Vec<u64>) -> Self {
+        let ctx = MontCtx::new(modulus);
+        let gen_mont = ctx.to_mont(&generator);
+        let group = SchnorrGroup {
+            generator: GroupElem {
+                mont: gen_mont.clone(),
+            },
+            order,
+            ctx,
+        };
+        assert!(
+            group.generator.mont != group.ctx.one(),
+            "generator must not be the identity"
+        );
+        let gq = group.ctx.mont_pow(&gen_mont, &group.order);
+        assert!(
+            gq == group.ctx.one(),
+            "generator order does not divide the subgroup order"
+        );
+        group
+    }
+
+    /// The group generator `g`.
+    pub fn generator(&self) -> GroupElem {
+        self.generator.clone()
+    }
+
+    /// The identity element.
+    pub fn identity(&self) -> GroupElem {
+        GroupElem {
+            mont: self.ctx.one(),
+        }
+    }
+
+    /// The subgroup order (equal to the paired field's modulus).
+    pub fn order(&self) -> &[u64] {
+        &self.order
+    }
+
+    /// The modulus, as canonical little-endian words.
+    pub fn modulus_words(&self) -> Vec<u64> {
+        self.ctx.modulus().to_vec()
+    }
+
+    /// Modulus bit width (e.g. 1024 for production groups).
+    pub fn modulus_bits(&self) -> u32 {
+        let m = self.ctx.modulus();
+        let top = *m.last().expect("non-empty modulus");
+        (m.len() as u32) * 64 - top.leading_zeros()
+    }
+
+    /// Group operation: `a · b mod p`.
+    pub fn mul(&self, a: &GroupElem, b: &GroupElem) -> GroupElem {
+        GroupElem {
+            mont: self.ctx.mont_mul(&a.mont, &b.mont),
+        }
+    }
+
+    /// Exponentiation by a multi-word exponent (canonical words,
+    /// typically a field element's canonical representation).
+    pub fn pow(&self, base: &GroupElem, exp: &[u64]) -> GroupElem {
+        GroupElem {
+            mont: self.ctx.mont_pow(&base.mont, exp),
+        }
+    }
+
+    /// `g^exp` for the group generator.
+    pub fn gen_pow(&self, exp: &[u64]) -> GroupElem {
+        self.pow(&self.generator, exp)
+    }
+
+    /// Inverts an element of the prime-order subgroup via
+    /// `a⁻¹ = a^(q−1)`.
+    pub fn invert(&self, a: &GroupElem) -> GroupElem {
+        let mut exp = self.order.to_vec();
+        // q is odd (it is a prime field modulus), so no borrow.
+        exp[0] -= 1;
+        self.pow(a, &exp)
+    }
+
+    /// Exponentiates by the *negation* of `exp` in the exponent group:
+    /// `a^(q − exp)`. Requires `exp < q` and `exp != 0` handled by caller
+    /// semantics (`exp == 0` yields `a^q = 1`, which is correct).
+    pub fn pow_neg(&self, base: &GroupElem, exp: &[u64]) -> GroupElem {
+        if is_zero(exp) {
+            return self.identity();
+        }
+        let mut neg = self.order.to_vec();
+        let borrow = crate::mp::sub_assign(&mut neg, exp);
+        assert_eq!(borrow, 0, "exponent must be below the group order");
+        self.pow(base, &neg)
+    }
+}
+
+/// Associates a PCP field with its matching Schnorr group.
+///
+/// Implemented for all three shipped fields; the group is constructed
+/// once per process and cached.
+pub trait HasGroup: PrimeField {
+    /// The Schnorr group whose subgroup order equals this field's modulus.
+    fn group() -> &'static SchnorrGroup;
+
+    /// Convenience: this field element's canonical words, usable directly
+    /// as a group exponent.
+    fn exponent_words(&self) -> Vec<u64> {
+        self.to_canonical_words()
+    }
+}
+
+/// 1024-bit group paired with `F128` (`p = 2·k·q₁₂₈ + 1`).
+const F128_GROUP_MODULUS: [u64; 16] = [
+    0xd86b8480fe01262b,
+    0x2aeaf6c97d5f5e61,
+    0x75caa18caac75c93,
+    0xfba0ea13191953fc,
+    0xd2bc6ecc2c09fbc3,
+    0x94ba93ecba9e1554,
+    0x6a74859ef7485c95,
+    0x5e597c3c68852913,
+    0xa07f0a335b78044e,
+    0x145ecfacda9a821d,
+    0x7dec3bf2a7c84bd8,
+    0x2445de0e708de965,
+    0x1d3d501fe99be6e6,
+    0x8d2e063b1b1c3795,
+    0x1202b324eab82fdb,
+    0x8e802683c80bad2a,
+];
+
+const F128_GROUP_GEN: [u64; 16] = [
+    0x91a29d75620f698e,
+    0xc202b8a322b29b44,
+    0xa4a472e993b579a5,
+    0xb38af0c1db755bd9,
+    0x5d5d746a11de2761,
+    0xb2f009b10280dbef,
+    0xe8a3ce0ade3f6245,
+    0xfaec3ca476bd77d0,
+    0x4ff26a75c7afae8f,
+    0xe6e98cf8f8948686,
+    0xfec525429531dec8,
+    0x399c2d5869786ae7,
+    0x7618d72f65f0136d,
+    0x28ee3f64f394cc91,
+    0x4c84d3c194ec9154,
+    0x0f056540c6338b47,
+];
+
+/// 1024-bit group paired with `F220`.
+const F220_GROUP_MODULUS: [u64; 16] = [
+    0x3475e8bb2d69f6fd,
+    0xe15ceaa6d21ea082,
+    0x15b30634157d7228,
+    0x2cddb017566bfb41,
+    0xb8b737a50309df51,
+    0xd3c7743c8dd48812,
+    0x773b3a6651cf7b6d,
+    0x9c4f709d437e6617,
+    0xa881c4230fa0c6c1,
+    0x5930211c9215e137,
+    0x83bb3222b9430ff5,
+    0xf82ecbf61cfe810d,
+    0x6de8d7e2350af079,
+    0xebff38f8e0495daf,
+    0x420b41fdca84d024,
+    0xb25a537464a5f999,
+];
+
+const F220_GROUP_GEN: [u64; 16] = [
+    0x7b39927e73b5c6c0,
+    0x52d7610e6fbc106d,
+    0xe13f1f91243357d3,
+    0x2da116336cf081ff,
+    0xa8f77fc162f67b7c,
+    0x4ef48fd449d41e57,
+    0x640def1f69a21e2d,
+    0x7b5d56b90b59cedb,
+    0xf12dc6da880fa213,
+    0x58fccd385fd1c2d4,
+    0x16d56d726eb1a204,
+    0x146811369cd5bddf,
+    0x302fd5cc7b88ec36,
+    0xbd0c495f0a3ca173,
+    0x8216d96bef33ce69,
+    0xa4daac68115c9d22,
+];
+
+/// 256-bit group paired with the `F61` test field (small keys keep unit
+/// tests fast; production fields use 1024-bit groups).
+const F61_GROUP_MODULUS: [u64; 4] = [
+    0x614a33842324c141,
+    0x54c9fcd5a424ff8c,
+    0xba9fefa303bd7bbf,
+    0xfa8c5cb35d9b7de4,
+];
+
+const F61_GROUP_GEN: [u64; 4] = [
+    0x1b5da75de9436749,
+    0x1637e6faeb4032f8,
+    0x229b8b7cf94fb931,
+    0x0736eda29b0c6661,
+];
+
+impl HasGroup for F128 {
+    fn group() -> &'static SchnorrGroup {
+        static GROUP: OnceLock<SchnorrGroup> = OnceLock::new();
+        GROUP.get_or_init(|| {
+            SchnorrGroup::new(
+                F128_GROUP_MODULUS.to_vec(),
+                F128_GROUP_GEN.to_vec(),
+                F128::modulus_words(),
+            )
+        })
+    }
+}
+
+impl HasGroup for F220 {
+    fn group() -> &'static SchnorrGroup {
+        static GROUP: OnceLock<SchnorrGroup> = OnceLock::new();
+        GROUP.get_or_init(|| {
+            SchnorrGroup::new(
+                F220_GROUP_MODULUS.to_vec(),
+                F220_GROUP_GEN.to_vec(),
+                F220::modulus_words(),
+            )
+        })
+    }
+}
+
+impl HasGroup for F61 {
+    fn group() -> &'static SchnorrGroup {
+        static GROUP: OnceLock<SchnorrGroup> = OnceLock::new();
+        GROUP.get_or_init(|| {
+            SchnorrGroup::new(
+                F61_GROUP_MODULUS.to_vec(),
+                F61_GROUP_GEN.to_vec(),
+                F61::modulus_words(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::Field;
+
+    #[test]
+    fn generator_orders_check_out() {
+        // Constructing each group runs the order assertions.
+        assert_eq!(F61::group().modulus_bits(), 256);
+        assert_eq!(F128::group().modulus_bits(), 1024);
+        assert_eq!(F220::group().modulus_bits(), 1024);
+    }
+
+    #[test]
+    fn exponent_arithmetic_matches_field() {
+        // g^a · g^b == g^(a+b) with field addition — the property the
+        // commitment protocol depends on.
+        let g = F61::group();
+        let a = F61::from_u64(0x1234_5678_9abc);
+        let b = F61::from_u64(0xdead_beef_0042);
+        let ga = g.gen_pow(&a.exponent_words());
+        let gb = g.gen_pow(&b.exponent_words());
+        let gsum = g.gen_pow(&(a + b).exponent_words());
+        assert_eq!(g.mul(&ga, &gb), gsum);
+    }
+
+    #[test]
+    fn exponent_wraparound_matches_field() {
+        // Field addition that wraps mod q must agree with group exponents.
+        let g = F61::group();
+        let a = -F61::from_u64(3); // q − 3
+        let b = F61::from_u64(10);
+        let lhs = g.mul(&g.gen_pow(&a.exponent_words()), &g.gen_pow(&b.exponent_words()));
+        assert_eq!(lhs, g.gen_pow(&F61::from_u64(7).exponent_words()));
+    }
+
+    #[test]
+    fn pow_in_exponent_matches_field_mul() {
+        let g = F61::group();
+        let a = F61::from_u64(123456789);
+        let c = F61::from_u64(987654321);
+        let ga = g.gen_pow(&a.exponent_words());
+        assert_eq!(
+            g.pow(&ga, &c.exponent_words()),
+            g.gen_pow(&(a * c).exponent_words())
+        );
+    }
+
+    #[test]
+    fn inversion_cancels() {
+        let g = F61::group();
+        let x = g.gen_pow(&[42]);
+        let xi = g.invert(&x);
+        assert_eq!(g.mul(&x, &xi), g.identity());
+    }
+
+    #[test]
+    fn pow_neg_is_inverse_power() {
+        let g = F61::group();
+        let e = F61::from_u64(777);
+        let direct = g.gen_pow(&e.exponent_words());
+        let neg = g.pow_neg(&g.generator(), &e.exponent_words());
+        assert_eq!(g.mul(&direct, &neg), g.identity());
+        assert_eq!(g.pow_neg(&g.generator(), &[0, 0]), g.identity());
+    }
+
+    #[test]
+    fn identity_behaviour() {
+        let g = F61::group();
+        let x = g.gen_pow(&[7]);
+        assert_eq!(g.mul(&x, &g.identity()), x);
+        assert_eq!(g.gen_pow(&[0]), g.identity());
+    }
+}

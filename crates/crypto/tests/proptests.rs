@@ -1,0 +1,106 @@
+//! Property tests for the multiprecision and group substrates.
+
+use proptest::prelude::*;
+use zaatar_crypto::mp::MontCtx;
+use zaatar_crypto::{ChaChaPrg, ElGamal, HasGroup, KeyPair};
+use zaatar_field::{Field, F61};
+
+/// The Mersenne prime 2^127 − 1 gives an exact u128 reference.
+const P: u128 = (1 << 127) - 1;
+
+fn words(x: u128) -> Vec<u64> {
+    vec![x as u64, (x >> 64) as u64]
+}
+
+/// Reference multiplication mod 2^127 − 1 via 256-bit folding.
+fn mulmod(a: u128, b: u128) -> u128 {
+    let (a0, a1) = (a & u64::MAX as u128, a >> 64);
+    let (b0, b1) = (b & u64::MAX as u128, b >> 64);
+    let ll = a0 * b0;
+    let m1 = a0 * b1;
+    let m2 = a1 * b0;
+    let hh = a1 * b1;
+    let s1 = ll.wrapping_add(m1 << 64);
+    let c1 = u128::from(s1 < ll);
+    let lo = s1.wrapping_add(m2 << 64);
+    let c2 = u128::from(lo < s1);
+    let hi = hh + (m1 >> 64) + (m2 >> 64) + c1 + c2;
+    // value = hi·2^128 + lo; 2^127 ≡ 1 → 2^128 ≡ 2.
+    ((lo & P) + (lo >> 127) + 2 * (hi % P)) % P
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Montgomery multiplication matches the u128 reference.
+    #[test]
+    fn mont_mul_matches_reference(a in 0u128..P, b in 0u128..P) {
+        let ctx = MontCtx::new(words(P));
+        let am = ctx.to_mont(&words(a));
+        let bm = ctx.to_mont(&words(b));
+        let got = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+        prop_assert_eq!(got, words(mulmod(a, b)));
+    }
+
+    /// Fermat's little theorem via modexp.
+    #[test]
+    fn fermat_holds(a in 1u128..P) {
+        let ctx = MontCtx::new(words(P));
+        let exp = words(P - 1);
+        prop_assert_eq!(ctx.pow(&words(a), &exp), words(1));
+    }
+
+    /// Exponent laws in the Schnorr group: g^(a+b) = g^a·g^b and
+    /// (g^a)^b = g^(a·b), with field arithmetic on exponents.
+    #[test]
+    fn group_exponent_laws(a in any::<u64>(), b in any::<u64>()) {
+        let g = F61::group();
+        let (fa, fb) = (F61::from_u64(a), F61::from_u64(b));
+        let ga = g.gen_pow(&fa.exponent_words());
+        let gb = g.gen_pow(&fb.exponent_words());
+        prop_assert_eq!(
+            g.mul(&ga, &gb),
+            g.gen_pow(&(fa + fb).exponent_words())
+        );
+        prop_assert_eq!(
+            g.pow(&ga, &fb.exponent_words()),
+            g.gen_pow(&(fa * fb).exponent_words())
+        );
+    }
+
+    /// ElGamal: Dec(Enc(m)) = g^m and the homomorphisms hold for random
+    /// messages and scalars.
+    #[test]
+    fn elgamal_homomorphisms(m1 in any::<u64>(), m2 in any::<u64>(), c in any::<u64>(), seed in any::<u64>()) {
+        let mut prg = ChaChaPrg::from_u64_seed(seed);
+        let kp = KeyPair::<F61>::generate(&mut prg);
+        let (m1, m2, c) = (F61::from_u64(m1), F61::from_u64(m2), F61::from_u64(c));
+        let ct1 = ElGamal::<F61>::encrypt(kp.public(), m1, &mut prg);
+        let ct2 = ElGamal::<F61>::encrypt(kp.public(), m2, &mut prg);
+        prop_assert_eq!(ElGamal::<F61>::decrypt_to_group(&kp, &ct1), ElGamal::<F61>::encode(m1));
+        let sum = ElGamal::<F61>::add(&ct1, &ct2);
+        prop_assert_eq!(ElGamal::<F61>::decrypt_to_group(&kp, &sum), ElGamal::<F61>::encode(m1 + m2));
+        let scaled = ElGamal::<F61>::scale(&ct1, c);
+        prop_assert_eq!(ElGamal::<F61>::decrypt_to_group(&kp, &scaled), ElGamal::<F61>::encode(m1 * c));
+    }
+
+    /// Group element serialization round-trips.
+    #[test]
+    fn group_serialization_round_trips(e in any::<u64>()) {
+        let g = F61::group();
+        let x = g.gen_pow(&[e]);
+        let bytes = g.elem_to_bytes(&x);
+        prop_assert_eq!(bytes.len(), g.elem_bytes());
+        prop_assert_eq!(g.elem_from_bytes(&bytes), Some(x));
+    }
+
+    /// ChaCha stream determinism.
+    #[test]
+    fn chacha_determinism(seed in any::<u64>(), n in 1usize..64) {
+        let mut a = ChaChaPrg::from_u64_seed(seed);
+        let mut b = ChaChaPrg::from_u64_seed(seed);
+        let xs: Vec<u64> = (0..n).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..n).map(|_| b.next_u64()).collect();
+        prop_assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,161 @@
+//! Primitive multi-word (`[u64; N]`) arithmetic helpers.
+//!
+//! These are the carry-propagating building blocks used by the Montgomery
+//! arithmetic in [`crate::fp`]. All helpers are branch-light and operate on
+//! fixed-size limb arrays in little-endian limb order.
+
+/// Computes `a + b + carry`, returning the low word and the new carry.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Computes `a - b - borrow`, returning the low word and the new borrow
+/// (0 or 1).
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Computes `acc + a * b + carry`, returning the low word and the new carry.
+#[inline(always)]
+pub const fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = acc as u128 + (a as u128) * (b as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Adds `b` into `a`, returning the final carry out.
+#[inline]
+pub fn add_assign<const N: usize>(a: &mut [u64; N], b: &[u64; N]) -> u64 {
+    let mut carry = 0;
+    for i in 0..N {
+        let (lo, c) = adc(a[i], b[i], carry);
+        a[i] = lo;
+        carry = c;
+    }
+    carry
+}
+
+/// Subtracts `b` from `a`, returning the final borrow out.
+#[inline]
+pub fn sub_assign<const N: usize>(a: &mut [u64; N], b: &[u64; N]) -> u64 {
+    let mut borrow = 0;
+    for i in 0..N {
+        let (lo, bo) = sbb(a[i], b[i], borrow);
+        a[i] = lo;
+        borrow = bo;
+    }
+    borrow
+}
+
+/// Returns `true` if `a >= b` when both are interpreted as little-endian
+/// multi-word integers.
+#[inline]
+pub fn geq<const N: usize>(a: &[u64; N], b: &[u64; N]) -> bool {
+    for i in (0..N).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` if every limb of `a` is zero.
+#[inline]
+pub fn is_zero<const N: usize>(a: &[u64; N]) -> bool {
+    a.iter().all(|&x| x == 0)
+}
+
+/// Shifts `a` right by one bit in place.
+#[inline]
+pub fn shr1<const N: usize>(a: &mut [u64; N]) {
+    let mut carry = 0u64;
+    for i in (0..N).rev() {
+        let next = a[i] << 63;
+        a[i] = (a[i] >> 1) | carry;
+        carry = next;
+    }
+}
+
+/// Returns the bit at position `i` (little-endian bit order).
+#[inline]
+pub fn bit<const N: usize>(a: &[u64; N], i: usize) -> bool {
+    (a[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Returns the position of the highest set bit, or `None` if `a` is zero.
+#[inline]
+pub fn highest_bit<const N: usize>(a: &[u64; N]) -> Option<usize> {
+    for i in (0..N).rev() {
+        if a[i] != 0 {
+            return Some(i * 64 + 63 - a[i].leading_zeros() as usize);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 3), (6, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 2, 1), (2, 0));
+        assert_eq!(sbb(0, u64::MAX, 1), (0, 1));
+    }
+
+    #[test]
+    fn mac_max_operands() {
+        // The extreme case must not overflow the u128 accumulator.
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        // max + max*max + max = 2^128 - 1.
+        assert_eq!(lo, u64::MAX);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a: [u64; 3] = [0xdead_beef, u64::MAX, 7];
+        let b: [u64; 3] = [1, u64::MAX, 0];
+        let mut c = a;
+        let carry = add_assign(&mut c, &b);
+        assert_eq!(carry, 0);
+        let borrow = sub_assign(&mut c, &b);
+        assert_eq!(borrow, 0);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn geq_ordering() {
+        assert!(geq(&[1u64, 2], &[5, 1]));
+        assert!(!geq(&[5u64, 1], &[1, 2]));
+        assert!(geq(&[3u64, 3], &[3, 3]));
+    }
+
+    #[test]
+    fn shr1_shifts_across_limbs() {
+        let mut a: [u64; 2] = [0, 1];
+        shr1(&mut a);
+        assert_eq!(a, [1 << 63, 0]);
+    }
+
+    #[test]
+    fn highest_bit_positions() {
+        assert_eq!(highest_bit(&[0u64, 0]), None);
+        assert_eq!(highest_bit(&[1u64, 0]), Some(0));
+        assert_eq!(highest_bit(&[0u64, 0x10]), Some(68));
+    }
+}

@@ -1,0 +1,156 @@
+//! Concrete field parameter tables.
+//!
+//! All three moduli have the form `p = c·2³² + 1` (2-adicity 32), so radix-2
+//! NTT domains of up to 2³² points exist — large enough for any constraint
+//! set this system can hold in memory. The Montgomery constants below were
+//! generated offline with an independent big-integer implementation
+//! (Miller–Rabin primality, `R² mod p`, `−p⁻¹ mod 2⁶⁴`, and a root of unity
+//! `g^((p−1)/2³²)` for the quadratic non-residue `g = 3`) and are
+//! cross-checked by this crate's unit tests.
+
+use crate::traits::FpParams;
+
+/// Parameters for the 128-bit benchmark field (§5.1).
+///
+/// `p = 340282366920938463463374607393113505793`.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Hash)]
+pub struct F128Params;
+
+impl FpParams<2> for F128Params {
+    const MODULUS: [u64; 2] = [0xfffffff700000001, 0xffffffffffffffff];
+    const R: [u64; 2] = [0x00000008ffffffff, 0x0000000000000000];
+    const R2: [u64; 2] = [0xffffffee00000001, 0x0000000000000050];
+    const INV: u64 = 0xfffffff6ffffffff;
+    const NUM_BITS: u32 = 128;
+    const TWO_ADICITY: u32 = 32;
+    const GENERATOR: u64 = 3;
+    const ROOT_OF_UNITY: [u64; 2] = [0xf6d4a0e8a19262da, 0x0c368304ae2a8df0];
+}
+
+/// Parameters for the 220-bit field used by the rational benchmark (§5.1).
+///
+/// `p = 1684996666696914987166688442938726917102321526408785780056090738689`.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Hash)]
+pub struct F220Params;
+
+impl FpParams<4> for F220Params {
+    const MODULUS: [u64; 4] = [
+        0xfffffffd00000001,
+        0xffffffffffffffff,
+        0xffffffffffffffff,
+        0x000000000fffffff,
+    ];
+    const R: [u64; 4] = [
+        0xfffffff000000000,
+        0x000000000000002f,
+        0x0000000000000000,
+        0x0000000000000000,
+    ];
+    const R2: [u64; 4] = [
+        0x0000000000000000,
+        0xfffffa0000000100,
+        0x00000000000008ff,
+        0x0000000000000000,
+    ];
+    const INV: u64 = 0xfffffffcffffffff;
+    const NUM_BITS: u32 = 220;
+    const TWO_ADICITY: u32 = 32;
+    const GENERATOR: u64 = 3;
+    const ROOT_OF_UNITY: [u64; 4] = [
+        0xd069324ae8011c00,
+        0xd5816408d08b311a,
+        0xf6441141ec8c3b06,
+        0x000000000b849f2b,
+    ];
+}
+
+/// Parameters for the 61-bit test field.
+///
+/// `p = 2305842979148922881`; small enough for `u128` reference arithmetic.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Hash)]
+pub struct F61Params;
+
+impl FpParams<1> for F61Params {
+    const MODULUS: [u64; 1] = [0x1ffffff900000001];
+    const R: [u64; 1] = [0x00000037fffffff8];
+    const R2: [u64; 1] = [0x0002aa7fffff9e40];
+    const INV: u64 = 0x1ffffff8ffffffff;
+    const NUM_BITS: u32 = 61;
+    const TWO_ADICITY: u32 = 32;
+    const GENERATOR: u64 = 3;
+    const ROOT_OF_UNITY: [u64; 1] = [0x19d4a9c5f6ca5841];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limbs::{geq, sub_assign};
+    use crate::{Field, PrimeField, F128, F220, F61};
+
+    /// `R` constants must equal `from_u64(1)`'s Montgomery limbs.
+    #[test]
+    fn r_constant_is_montgomery_one() {
+        assert_eq!(F128::ONE.mont_limbs(), F128Params::R);
+        assert_eq!(F220::ONE.mont_limbs(), F220Params::R);
+        assert_eq!(F61::ONE.mont_limbs(), F61Params::R);
+    }
+
+    /// `INV * MODULUS[0] ≡ −1 (mod 2⁶⁴)`.
+    #[test]
+    fn inv_constants() {
+        fn check<const N: usize, P: FpParams<N>>() {
+            assert_eq!(P::INV.wrapping_mul(P::MODULUS[0]), u64::MAX);
+        }
+        check::<2, F128Params>();
+        check::<4, F220Params>();
+        check::<1, F61Params>();
+    }
+
+    /// The stored roots of unity are canonical (reduced) values.
+    #[test]
+    fn roots_are_reduced() {
+        fn check<const N: usize, P: FpParams<N>>() {
+            assert!(geq(&P::MODULUS, &P::ROOT_OF_UNITY));
+            let mut diff = P::MODULUS;
+            sub_assign(&mut diff, &P::ROOT_OF_UNITY);
+            assert!(diff.iter().any(|&w| w != 0));
+        }
+        check::<2, F128Params>();
+        check::<4, F220Params>();
+        check::<1, F61Params>();
+    }
+
+    /// `R² mod p` constants verified via field arithmetic: converting the
+    /// canonical value 1 must give Montgomery limbs equal to `R`.
+    #[test]
+    fn r2_constants_round_trip() {
+        let one = F128::from_canonical_limbs([1, 0]).unwrap();
+        assert_eq!(one, F128::ONE);
+        let one = F220::from_canonical_limbs([1, 0, 0, 0]).unwrap();
+        assert_eq!(one, F220::ONE);
+        let one = F61::from_canonical_limbs([1]).unwrap();
+        assert_eq!(one, F61::ONE);
+    }
+
+    /// The generator constant must be a quadratic non-residue:
+    /// `g^((p−1)/2) == −1`.
+    #[test]
+    fn generator_is_nonresidue() {
+        fn check<F: PrimeField>() {
+            let g = F::multiplicative_generator();
+            let mut exp = F::modulus_words();
+            // (p − 1) / 2: p is odd so subtracting one clears bit 0.
+            exp[0] -= 1;
+            let mut carry = 0u64;
+            for w in exp.iter_mut().rev() {
+                let new_carry = *w & 1;
+                *w = (*w >> 1) | (carry << 63);
+                carry = new_carry;
+            }
+            assert_eq!(g.pow_words(&exp), -F::ONE);
+        }
+        check::<F61>();
+        check::<F128>();
+        check::<F220>();
+    }
+}

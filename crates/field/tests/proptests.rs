@@ -1,0 +1,127 @@
+//! Property-based tests of the field axioms across all three shipped fields.
+
+use proptest::prelude::*;
+use zaatar_field::{Field, PrimeField, F128, F220, F61};
+
+/// Strategy producing an arbitrary element of `F` from four random words.
+fn arb_field<F: Field>() -> impl Strategy<Value = F> {
+    any::<[u64; 4]>().prop_map(|words| {
+        let mut i = 0;
+        F::random_from(move || {
+            let w = words[i % 4].wrapping_add(i as u64).rotate_left(i as u32);
+            i += 1;
+            w
+        })
+    })
+}
+
+macro_rules! field_axioms {
+    ($modname:ident, $F:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn add_commutes(a in arb_field::<$F>(), b in arb_field::<$F>()) {
+                    prop_assert_eq!(a + b, b + a);
+                }
+
+                #[test]
+                fn mul_commutes(a in arb_field::<$F>(), b in arb_field::<$F>()) {
+                    prop_assert_eq!(a * b, b * a);
+                }
+
+                #[test]
+                fn add_associates(
+                    a in arb_field::<$F>(),
+                    b in arb_field::<$F>(),
+                    c in arb_field::<$F>(),
+                ) {
+                    prop_assert_eq!((a + b) + c, a + (b + c));
+                }
+
+                #[test]
+                fn mul_associates(
+                    a in arb_field::<$F>(),
+                    b in arb_field::<$F>(),
+                    c in arb_field::<$F>(),
+                ) {
+                    prop_assert_eq!((a * b) * c, a * (b * c));
+                }
+
+                #[test]
+                fn mul_distributes(
+                    a in arb_field::<$F>(),
+                    b in arb_field::<$F>(),
+                    c in arb_field::<$F>(),
+                ) {
+                    prop_assert_eq!(a * (b + c), a * b + a * c);
+                }
+
+                #[test]
+                fn sub_is_add_neg(a in arb_field::<$F>(), b in arb_field::<$F>()) {
+                    prop_assert_eq!(a - b, a + (-b));
+                }
+
+                #[test]
+                fn double_and_square(a in arb_field::<$F>()) {
+                    prop_assert_eq!(a.double(), a + a);
+                    prop_assert_eq!(a.square(), a * a);
+                }
+
+                #[test]
+                fn inverse_cancels(a in arb_field::<$F>()) {
+                    if let Some(inv) = a.inverse() {
+                        prop_assert_eq!(a * inv, <$F>::ONE);
+                    } else {
+                        prop_assert!(a.is_zero());
+                    }
+                }
+
+                #[test]
+                fn pow_adds_exponents(a in arb_field::<$F>(), e1 in 0u64..64, e2 in 0u64..64) {
+                    prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+                }
+
+                #[test]
+                fn serialization_round_trips(a in arb_field::<$F>()) {
+                    let bytes = a.to_bytes_le();
+                    prop_assert_eq!(<$F>::from_bytes_le(&bytes), Some(a));
+                }
+
+                #[test]
+                fn canonical_words_round_trip(a in arb_field::<$F>()) {
+                    let words = a.to_canonical_words();
+                    prop_assert_eq!(<$F>::from_canonical_words(&words), Some(a));
+                }
+            }
+        }
+    };
+}
+
+field_axioms!(f61, F61);
+field_axioms!(f128, F128);
+field_axioms!(f220, F220);
+
+mod f61_reference {
+    use super::*;
+
+    const P61: u128 = 0x1ffffff900000001;
+
+    proptest! {
+        /// The generic Montgomery pipeline agrees with plain u128 arithmetic
+        /// on the single-limb field for all of (+, −, ×).
+        #[test]
+        fn agrees_with_u128(a in 0u128..P61, b in 0u128..P61) {
+            let (fa, fb) = (F61::from_u128(a), F61::from_u128(b));
+            prop_assert_eq!(fa + fb, F61::from_u128((a + b) % P61));
+            prop_assert_eq!(fa - fb, F61::from_u128((a + P61 - b) % P61));
+            prop_assert_eq!(fa * fb, F61::from_u128(a * b % P61));
+        }
+
+        #[test]
+        fn from_u64_reduces(x in any::<u64>()) {
+            prop_assert_eq!(F61::from_u64(x), F61::from_u128(x as u128 % P61));
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Dense coefficient-form polynomials.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use zaatar_field::{Field, PrimeField};
+
+use crate::fft;
+
+/// A dense univariate polynomial, little-endian coefficients
+/// (`coeffs[i]` multiplies `tⁱ`), always normalized so the leading
+/// coefficient is non-zero (the zero polynomial has an empty vector).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DensePoly<F> {
+    coeffs: Vec<F>,
+}
+
+impl<F: Field> DensePoly<F> {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        DensePoly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: F) -> Self {
+        Self::from_coeffs(vec![c])
+    }
+
+    /// Builds a polynomial from little-endian coefficients, trimming
+    /// trailing zeros.
+    pub fn from_coeffs(mut coeffs: Vec<F>) -> Self {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        DensePoly { coeffs }
+    }
+
+    /// The monomial `c · tᵈ`.
+    pub fn monomial(c: F, degree: usize) -> Self {
+        if c.is_zero() {
+            return Self::zero();
+        }
+        let mut coeffs = vec![F::ZERO; degree + 1];
+        coeffs[degree] = c;
+        DensePoly { coeffs }
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// The coefficient vector (little-endian, trimmed).
+    pub fn coeffs(&self) -> &[F] {
+        &self.coeffs
+    }
+
+    /// Consumes the polynomial, returning its coefficients.
+    pub fn into_coeffs(self) -> Vec<F> {
+        self.coeffs
+    }
+
+    /// The coefficient of `tⁱ` (zero beyond the degree).
+    pub fn coeff(&self, i: usize) -> F {
+        self.coeffs.get(i).copied().unwrap_or(F::ZERO)
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn evaluate(&self, x: F) -> F {
+        let mut acc = F::ZERO;
+        for c in self.coeffs.iter().rev() {
+            acc = acc * x + *c;
+        }
+        acc
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, s: F) -> Self {
+        if s.is_zero() {
+            return Self::zero();
+        }
+        Self::from_coeffs(self.coeffs.iter().map(|c| *c * s).collect())
+    }
+
+    /// Schoolbook multiplication, `O(n·m)`.
+    pub fn mul_naive(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![F::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] += *a * *b;
+            }
+        }
+        Self::from_coeffs(out)
+    }
+
+    /// The formal derivative.
+    pub fn derivative(&self) -> Self {
+        if self.coeffs.len() <= 1 {
+            return Self::zero();
+        }
+        Self::from_coeffs(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, c)| *c * F::from_u64(i as u64 + 1))
+                .collect(),
+        )
+    }
+
+    /// Long division: returns `(quotient, remainder)` with
+    /// `self = q·divisor + r` and `deg r < deg divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        if self.coeffs.len() < divisor.coeffs.len() {
+            return (Self::zero(), self.clone());
+        }
+        let mut rem = self.coeffs.clone();
+        let dlead = *divisor.coeffs.last().expect("nonzero divisor");
+        let dlead_inv = dlead.inverse().expect("leading coefficient nonzero");
+        let dlen = divisor.coeffs.len();
+        let qlen = rem.len() - dlen + 1;
+        let mut quot = vec![F::ZERO; qlen];
+        for k in (0..qlen).rev() {
+            let coeff = rem[k + dlen - 1] * dlead_inv;
+            quot[k] = coeff;
+            if coeff.is_zero() {
+                continue;
+            }
+            for (j, d) in divisor.coeffs.iter().enumerate() {
+                rem[k + j] -= coeff * *d;
+            }
+        }
+        rem.truncate(dlen - 1);
+        (Self::from_coeffs(quot), Self::from_coeffs(rem))
+    }
+
+    /// Builds `∏ (t − rᵢ)` from the given roots (naive `O(n²)`).
+    pub fn from_roots(roots: &[F]) -> Self {
+        let mut coeffs = vec![F::ONE];
+        for r in roots {
+            // Multiply by (t − r): new[i] = old[i−1] − r·old[i].
+            coeffs.push(F::ZERO);
+            for i in (0..coeffs.len()).rev() {
+                let shifted = if i > 0 { coeffs[i - 1] } else { F::ZERO };
+                coeffs[i] = shifted - *r * coeffs[i];
+            }
+        }
+        Self::from_coeffs(coeffs)
+    }
+}
+
+impl<F: Field> DensePoly<F> {
+    /// Textbook Lagrange interpolation, `O(n²)` — the reference
+    /// implementation the fast subproduct-tree and NTT paths are tested
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if points and values differ in length or points repeat.
+    pub fn lagrange_interpolate(points: &[F], values: &[F]) -> Self {
+        assert_eq!(points.len(), values.len(), "length mismatch");
+        let mut acc = Self::zero();
+        for (j, (xj, yj)) in points.iter().zip(values.iter()).enumerate() {
+            // ℓⱼ(t) = ∏_{k≠j} (t − xₖ)/(xⱼ − xₖ).
+            let mut numer = Self::constant(F::ONE);
+            let mut denom = F::ONE;
+            for (k, xk) in points.iter().enumerate() {
+                if k == j {
+                    continue;
+                }
+                numer = numer.mul_naive(&Self::from_coeffs(vec![-*xk, F::ONE]));
+                denom *= *xj - *xk;
+            }
+            let scale = *yj
+                * denom
+                    .inverse()
+                    .expect("interpolation points must be distinct");
+            acc = &acc + &numer.scale(scale);
+        }
+        acc
+    }
+}
+
+impl<F: PrimeField> DensePoly<F> {
+    /// Multiplication, choosing NTT for large operands and schoolbook for
+    /// small ones.
+    pub fn mul(&self, other: &Self) -> Self {
+        const NAIVE_CUTOFF: usize = 64;
+        if self.coeffs.len().min(other.coeffs.len()) < NAIVE_CUTOFF {
+            return self.mul_naive(other);
+        }
+        Self::from_coeffs(fft::fft_mul(&self.coeffs, &other.coeffs))
+    }
+}
+
+impl<F: Field> fmt::Debug for DensePoly<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}*t")?,
+                _ => write!(f, "{c}*t^{i}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<F: Field> Add for &DensePoly<F> {
+    type Output = DensePoly<F>;
+
+    fn add(self, rhs: Self) -> DensePoly<F> {
+        let (long, short) = if self.coeffs.len() >= rhs.coeffs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = long.coeffs.clone();
+        for (o, s) in out.iter_mut().zip(short.coeffs.iter()) {
+            *o += *s;
+        }
+        DensePoly::from_coeffs(out)
+    }
+}
+
+impl<F: Field> Sub for &DensePoly<F> {
+    type Output = DensePoly<F>;
+
+    fn sub(self, rhs: Self) -> DensePoly<F> {
+        let mut out = self.coeffs.clone();
+        if out.len() < rhs.coeffs.len() {
+            out.resize(rhs.coeffs.len(), F::ZERO);
+        }
+        for (o, s) in out.iter_mut().zip(rhs.coeffs.iter()) {
+            *o -= *s;
+        }
+        DensePoly::from_coeffs(out)
+    }
+}
+
+impl<F: Field> Neg for &DensePoly<F> {
+    type Output = DensePoly<F>;
+
+    fn neg(self) -> DensePoly<F> {
+        DensePoly {
+            coeffs: self.coeffs.iter().map(|c| -*c).collect(),
+        }
+    }
+}
+
+impl<F: Field> AddAssign<&DensePoly<F>> for DensePoly<F> {
+    fn add_assign(&mut self, rhs: &DensePoly<F>) {
+        *self = &*self + rhs;
+    }
+}
+
+impl<F: Field> SubAssign<&DensePoly<F>> for DensePoly<F> {
+    fn sub_assign(&mut self, rhs: &DensePoly<F>) {
+        *self = &*self - rhs;
+    }
+}
+
+impl<F: PrimeField> Mul for &DensePoly<F> {
+    type Output = DensePoly<F>;
+
+    fn mul(self, rhs: Self) -> DensePoly<F> {
+        DensePoly::mul(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::F61;
+
+    fn poly(cs: &[u64]) -> DensePoly<F61> {
+        DensePoly::from_coeffs(cs.iter().map(|&c| F61::from_u64(c)).collect())
+    }
+
+    #[test]
+    fn normalization_trims_zeros() {
+        let p = DensePoly::from_coeffs(vec![F61::from_u64(1), F61::ZERO, F61::ZERO]);
+        assert_eq!(p.degree(), Some(0));
+        let z = DensePoly::from_coeffs(vec![F61::ZERO; 4]);
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+    }
+
+    #[test]
+    fn evaluate_horner() {
+        // 2 + 3t + t^2 at t=5 → 2 + 15 + 25 = 42.
+        let p = poly(&[2, 3, 1]);
+        assert_eq!(p.evaluate(F61::from_u64(5)), F61::from_u64(42));
+        assert_eq!(DensePoly::<F61>::zero().evaluate(F61::from_u64(9)), F61::ZERO);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = poly(&[1, 2, 3]);
+        let b = poly(&[9, 0, 0, 7]);
+        let s = &a + &b;
+        assert_eq!(&s - &b, a);
+        assert_eq!(&s - &a, b);
+    }
+
+    #[test]
+    fn add_cancels_leading_terms() {
+        let a = poly(&[1, 2, 3]);
+        let b = &DensePoly::zero() - &poly(&[0, 0, 3]);
+        let s = &a + &b;
+        assert_eq!(s.degree(), Some(1));
+    }
+
+    #[test]
+    fn mul_naive_matches_known_product() {
+        // (1 + t)(1 − t) = 1 − t².
+        let a = poly(&[1, 1]);
+        let b = &poly(&[1]) - &poly(&[0, 1]);
+        let prod = a.mul_naive(&b);
+        assert_eq!(prod, &poly(&[1]) - &poly(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let a = poly(&[5, 4, 3, 2, 1]);
+        let d = poly(&[7, 0, 2]);
+        let (q, r) = a.div_rem(&d);
+        let back = &q.mul_naive(&d) + &r;
+        assert_eq!(back, a);
+        assert!(r.degree().map_or(true, |rd| rd < d.degree().unwrap()));
+    }
+
+    #[test]
+    fn div_rem_exact_division() {
+        let d = poly(&[1, 1]); // t + 1
+        let q = poly(&[2, 0, 5]); // 5t² + 2
+        let a = d.mul_naive(&q);
+        let (q2, r2) = a.div_rem(&d);
+        assert_eq!(q2, q);
+        assert!(r2.is_zero());
+    }
+
+    #[test]
+    fn div_rem_small_dividend() {
+        let a = poly(&[3]);
+        let d = poly(&[1, 2, 3]);
+        let (q, r) = a.div_rem(&d);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn derivative_basic() {
+        // d/dt (7 + 3t + 5t³) = 3 + 15t².
+        let p = poly(&[7, 3, 0, 5]);
+        assert_eq!(p.derivative(), poly(&[3, 0, 15]));
+        assert!(poly(&[9]).derivative().is_zero());
+    }
+
+    #[test]
+    fn monomial_and_constant() {
+        assert_eq!(DensePoly::monomial(F61::from_u64(3), 2), poly(&[0, 0, 3]));
+        assert!(DensePoly::monomial(F61::ZERO, 5).is_zero());
+        assert_eq!(DensePoly::constant(F61::from_u64(4)).degree(), Some(0));
+    }
+
+    #[test]
+    fn scale_by_zero_and_one() {
+        let p = poly(&[1, 2, 3]);
+        assert!(p.scale(F61::ZERO).is_zero());
+        assert_eq!(p.scale(F61::ONE), p);
+        assert_eq!(p.scale(F61::from_u64(2)), poly(&[2, 4, 6]));
+    }
+}

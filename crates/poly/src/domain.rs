@@ -1,0 +1,624 @@
+//! Evaluation domains: the distinguished points `σ₁, …, σ_|C|` at which the
+//! QAP's variable polynomials are defined (App. A.1).
+//!
+//! The protocol permits *any* distinct non-zero `σⱼ` (App. A.3). Two
+//! instantiations are provided:
+//!
+//! * [`Radix2Domain`] — a multiplicative subgroup `{ωʲ}` of power-of-two
+//!   order. Interpolation/evaluation are plain NTTs and the divisor
+//!   polynomial is `tⁿ − 1`, whose coefficient-form division is `O(n)`.
+//!   This is the fast path used by the prover.
+//! * [`ArithDomain`] — the paper's literal choice `σⱼ = 1, 2, …, |C|`
+//!   (an arithmetic progression, §A.3), with the incremental barycentric
+//!   weight recurrence the paper describes. Interpolation uses the
+//!   subproduct-tree machinery of [`crate::fast`].
+//!
+//! Both also provide the *zero-pinned* variants required by the QAP
+//! construction, which additionally fixes `f(0) = 0` (App. A.1 requires
+//! `Aᵢ(0) = Bᵢ(0) = Cᵢ(0) = 0`), raising the interpolant degree to `n`.
+
+use zaatar_field::{batch_inverse, PrimeField};
+
+use crate::dense::DensePoly;
+use crate::fast::ProductTree;
+use crate::fft;
+
+/// An evaluation domain of `n` distinct non-zero points.
+pub trait EvalDomain<F: PrimeField>: Clone + Send + Sync {
+    /// Number of points.
+    fn size(&self) -> usize;
+
+    /// The `j`-th point (0-based).
+    fn element(&self, j: usize) -> F;
+
+    /// All points, in order.
+    fn elements(&self) -> Vec<F> {
+        (0..self.size()).map(|j| self.element(j)).collect()
+    }
+
+    /// Evaluates the divisor polynomial `D(t) = ∏ (t − σⱼ)` at `tau`.
+    fn vanishing_at(&self, tau: F) -> F;
+
+    /// The divisor polynomial in coefficient form.
+    fn vanishing_poly(&self) -> DensePoly<F>;
+
+    /// Interpolates the unique degree-`< n` polynomial through
+    /// `(σⱼ, evals[j])`.
+    fn interpolate(&self, evals: &[F]) -> DensePoly<F>;
+
+    /// Evaluates `poly` at every domain point.
+    fn evaluate(&self, poly: &DensePoly<F>) -> Vec<F>;
+
+    /// The Lagrange basis evaluated at `tau`: returns `(ℓ₀(τ), …, ℓ_{n−1}(τ))`
+    /// in `O(n)` field operations (barycentric form, one batched inversion).
+    fn lagrange_coeffs_at(&self, tau: F) -> Vec<F>;
+
+    /// Divides `poly` by the vanishing polynomial, returning
+    /// `(quotient, remainder)`.
+    fn divide_by_vanishing(&self, poly: &DensePoly<F>) -> (DensePoly<F>, DensePoly<F>);
+
+    /// Interpolates with the extra condition `f(0) = 0`, producing the
+    /// degree-`≤ n` polynomial with `f(σⱼ) = evals[j]` (App. A.1).
+    fn interpolate_zero_pinned(&self, evals: &[F]) -> DensePoly<F> {
+        // f(t) = t·g(t) where g interpolates evals[j]/σⱼ.
+        let mut scaled: Vec<F> = self.elements();
+        batch_inverse(&mut scaled);
+        for (s, e) in scaled.iter_mut().zip(evals.iter()) {
+            *s *= *e;
+        }
+        let g = self.interpolate(&scaled);
+        let mut coeffs = g.into_coeffs();
+        coeffs.insert(0, F::ZERO);
+        DensePoly::from_coeffs(coeffs)
+    }
+
+    /// The zero-pinned basis evaluated at `tau`: `Lⱼ(τ) = ℓⱼ(τ)·τ/σⱼ`,
+    /// satisfying `Lⱼ(0) = 0` and `Lⱼ(σₖ) = δⱼₖ`.
+    fn zero_pinned_coeffs_at(&self, tau: F) -> Vec<F> {
+        let mut inv_points = self.elements();
+        batch_inverse(&mut inv_points);
+        self.lagrange_coeffs_at(tau)
+            .into_iter()
+            .zip(inv_points)
+            .map(|(l, si)| l * tau * si)
+            .collect()
+    }
+}
+
+/// A multiplicative-subgroup domain `{ωʲ : 0 ≤ j < n}` with `n = 2ᵏ`.
+#[derive(Clone, Debug)]
+pub struct Radix2Domain<F> {
+    log_size: u32,
+    size: usize,
+    group_gen: F,
+    group_gen_inv: F,
+}
+
+impl<F: PrimeField> Radix2Domain<F> {
+    /// Builds a domain of the smallest power-of-two size `>= min_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the needed size exceeds the field's 2-adic capacity.
+    pub fn new(min_size: usize) -> Self {
+        let size = fft::next_pow2(min_size.max(1));
+        let log_size = size.trailing_zeros();
+        let group_gen = F::root_of_unity_of_order(log_size)
+            .expect("domain size exceeds field two-adicity");
+        Radix2Domain {
+            log_size,
+            size,
+            group_gen,
+            group_gen_inv: group_gen.inverse().expect("roots of unity are nonzero"),
+        }
+    }
+
+    /// The subgroup generator ω.
+    pub fn group_gen(&self) -> F {
+        self.group_gen
+    }
+
+    /// log₂ of the domain size.
+    pub fn log_size(&self) -> u32 {
+        self.log_size
+    }
+}
+
+impl<F: PrimeField> EvalDomain<F> for Radix2Domain<F> {
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn element(&self, j: usize) -> F {
+        self.group_gen.pow(j as u64)
+    }
+
+    fn elements(&self) -> Vec<F> {
+        let mut out = Vec::with_capacity(self.size);
+        let mut acc = F::ONE;
+        for _ in 0..self.size {
+            out.push(acc);
+            acc *= self.group_gen;
+        }
+        out
+    }
+
+    fn vanishing_at(&self, tau: F) -> F {
+        tau.pow(self.size as u64) - F::ONE
+    }
+
+    fn vanishing_poly(&self) -> DensePoly<F> {
+        let mut coeffs = vec![F::ZERO; self.size + 1];
+        coeffs[0] = -F::ONE;
+        coeffs[self.size] = F::ONE;
+        DensePoly::from_coeffs(coeffs)
+    }
+
+    fn interpolate(&self, evals: &[F]) -> DensePoly<F> {
+        assert_eq!(evals.len(), self.size, "evaluation count mismatch");
+        let mut a = evals.to_vec();
+        fft::intt(&mut a);
+        DensePoly::from_coeffs(a)
+    }
+
+    fn evaluate(&self, poly: &DensePoly<F>) -> Vec<F> {
+        assert!(
+            poly.coeffs().len() <= self.size,
+            "polynomial degree exceeds domain size"
+        );
+        let mut a = poly.coeffs().to_vec();
+        a.resize(self.size, F::ZERO);
+        fft::ntt(&mut a);
+        a
+    }
+
+    fn lagrange_coeffs_at(&self, tau: F) -> Vec<F> {
+        // ℓⱼ(τ) = (τⁿ − 1)·ωʲ / (n·(τ − ωʲ)).
+        let n = self.size;
+        let z = self.vanishing_at(tau);
+        if z.is_zero() {
+            // τ is itself a domain point: indicator vector.
+            let mut out = vec![F::ZERO; n];
+            let mut acc = F::ONE;
+            for slot in out.iter_mut() {
+                if acc == tau {
+                    *slot = F::ONE;
+                    return out;
+                }
+                acc *= self.group_gen;
+            }
+            unreachable!("vanishing(τ)=0 implies τ is in the domain");
+        }
+        let mut denoms = Vec::with_capacity(n);
+        let mut acc = F::ONE;
+        for _ in 0..n {
+            denoms.push(tau - acc);
+            acc *= self.group_gen;
+        }
+        batch_inverse(&mut denoms);
+        let z_over_n = z * F::from_u64(n as u64).inverse().expect("n < p");
+        let mut out = Vec::with_capacity(n);
+        let mut omega_j = F::ONE;
+        for d in denoms {
+            out.push(z_over_n * omega_j * d);
+            omega_j *= self.group_gen;
+        }
+        out
+    }
+
+    fn divide_by_vanishing(&self, poly: &DensePoly<F>) -> (DensePoly<F>, DensePoly<F>) {
+        // Division by tⁿ − 1 in coefficient form: q[i] = p[i+n] + q[i+n].
+        let n = self.size;
+        let coeffs = poly.coeffs();
+        if coeffs.len() <= n {
+            return (DensePoly::zero(), poly.clone());
+        }
+        let qlen = coeffs.len() - n;
+        let mut q = vec![F::ZERO; qlen];
+        for i in (0..qlen).rev() {
+            let upper = if i + n < qlen { q[i + n] } else { F::ZERO };
+            q[i] = coeffs[i + n] + upper;
+        }
+        // The remainder is r[i] = p[i] + q[i], because q·(tⁿ − 1)
+        // contributes −q[i] at position i.
+        let mut r = vec![F::ZERO; n];
+        for (i, slot) in r.iter_mut().enumerate() {
+            *slot = coeffs[i] + q.get(i).copied().unwrap_or(F::ZERO);
+        }
+        let quotient = DensePoly::from_coeffs(q);
+        let remainder = DensePoly::from_coeffs(r);
+        (quotient, remainder)
+    }
+
+    fn interpolate_zero_pinned(&self, evals: &[F]) -> DensePoly<F> {
+        // Domain elements are ωʲ; their inverses are ω^{−j}, avoiding the
+        // generic batched inversion.
+        assert_eq!(evals.len(), self.size, "evaluation count mismatch");
+        let mut scaled = Vec::with_capacity(self.size);
+        let mut inv = F::ONE;
+        for e in evals {
+            scaled.push(*e * inv);
+            inv *= self.group_gen_inv;
+        }
+        let g = self.interpolate(&scaled);
+        let mut coeffs = g.into_coeffs();
+        coeffs.insert(0, F::ZERO);
+        DensePoly::from_coeffs(coeffs)
+    }
+}
+
+/// The paper's arithmetic-progression domain `σⱼ = start + j·step`
+/// (defaulting to `1, 2, …, n`, §A.3).
+#[derive(Clone, Debug)]
+pub struct ArithDomain<F> {
+    points: Vec<F>,
+    /// Barycentric weights `vⱼ = 1/∏_{k≠j}(σⱼ − σₖ)`, computed by the
+    /// incremental recurrence of §A.3.
+    weights: Vec<F>,
+}
+
+impl<F: PrimeField> ArithDomain<F> {
+    /// The domain `σⱼ = 1, …, n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        let points: Vec<F> = (1..=n as u64).map(F::from_u64).collect();
+        // 1/vⱼ follows the recurrence (1/v_{j+1}) = (1/vⱼ)·(−j)/(n−j)
+        // with 1/v₁ = (−1)^(n−1)·(n−1)!  (σ indexed from 1).
+        let mut inv_weights = Vec::with_capacity(n);
+        let mut acc = F::ONE;
+        for k in 1..n as u64 {
+            acc *= F::from_u64(k);
+        }
+        if (n - 1) % 2 == 1 {
+            acc = -acc;
+        }
+        inv_weights.push(acc);
+        for j in 1..n as u64 {
+            // Multiply by −j, divide by (n − j): two field ops plus the
+            // batched inversion below (matching the (f_div + 3f)·|C| cost).
+            acc *= -F::from_u64(j);
+            let denom = F::from_u64(n as u64 - j);
+            acc *= denom.inverse().expect("nonzero");
+            inv_weights.push(acc);
+        }
+        let mut weights = inv_weights;
+        batch_inverse(&mut weights);
+        ArithDomain { points, weights }
+    }
+
+    /// The barycentric weights `vⱼ`.
+    pub fn weights(&self) -> &[F] {
+        &self.weights
+    }
+
+    fn tree(&self) -> ProductTree<F> {
+        ProductTree::new(&self.points)
+    }
+}
+
+impl<F: PrimeField> EvalDomain<F> for ArithDomain<F> {
+    fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    fn element(&self, j: usize) -> F {
+        self.points[j]
+    }
+
+    fn elements(&self) -> Vec<F> {
+        self.points.clone()
+    }
+
+    fn vanishing_at(&self, tau: F) -> F {
+        self.points.iter().map(|p| tau - *p).product()
+    }
+
+    fn vanishing_poly(&self) -> DensePoly<F> {
+        self.tree().root().clone()
+    }
+
+    fn interpolate(&self, evals: &[F]) -> DensePoly<F> {
+        assert_eq!(evals.len(), self.points.len(), "evaluation count mismatch");
+        self.tree().interpolate(evals)
+    }
+
+    fn evaluate(&self, poly: &DensePoly<F>) -> Vec<F> {
+        self.tree().multi_eval(poly)
+    }
+
+    fn lagrange_coeffs_at(&self, tau: F) -> Vec<F> {
+        // ℓⱼ(τ) = ℓ(τ)·vⱼ/(τ − σⱼ) with ℓ(τ) = ∏(τ − σₖ).
+        let n = self.points.len();
+        let mut denoms: Vec<F> = self.points.iter().map(|p| tau - *p).collect();
+        if let Some(hit) = denoms.iter().position(|d| d.is_zero()) {
+            let mut out = vec![F::ZERO; n];
+            out[hit] = F::ONE;
+            return out;
+        }
+        let ell: F = denoms.iter().copied().product();
+        batch_inverse(&mut denoms);
+        denoms
+            .into_iter()
+            .zip(self.weights.iter())
+            .map(|(d, v)| ell * *v * d)
+            .collect()
+    }
+
+    fn divide_by_vanishing(&self, poly: &DensePoly<F>) -> (DensePoly<F>, DensePoly<F>) {
+        poly.div_rem_fast(&self.vanishing_poly())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::{Field, F128, F61};
+
+    fn poly61(cs: &[u64]) -> DensePoly<F61> {
+        DensePoly::from_coeffs(cs.iter().map(|&c| F61::from_u64(c)).collect())
+    }
+
+    #[test]
+    fn radix2_round_trip() {
+        let d = Radix2Domain::<F61>::new(13);
+        assert_eq!(d.size(), 16);
+        let p = poly61(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let evals = d.evaluate(&p);
+        assert_eq!(d.interpolate(&evals), p);
+    }
+
+    #[test]
+    fn radix2_elements_are_distinct_nonzero() {
+        let d = Radix2Domain::<F61>::new(8);
+        let els = d.elements();
+        for (i, e) in els.iter().enumerate() {
+            assert!(!e.is_zero());
+            assert_eq!(*e, d.element(i));
+            for f in &els[i + 1..] {
+                assert_ne!(e, f);
+            }
+        }
+    }
+
+    #[test]
+    fn radix2_vanishing() {
+        let d = Radix2Domain::<F61>::new(8);
+        for e in d.elements() {
+            assert!(d.vanishing_at(e).is_zero());
+        }
+        let tau = F61::from_u64(12345);
+        assert_eq!(d.vanishing_at(tau), d.vanishing_poly().evaluate(tau));
+    }
+
+    #[test]
+    fn radix2_lagrange_coeffs() {
+        let d = Radix2Domain::<F61>::new(8);
+        let tau = F61::from_u64(987654321);
+        let coeffs = d.lagrange_coeffs_at(tau);
+        // Σ f(σⱼ)·ℓⱼ(τ) = f(τ) for f of degree < n.
+        let p = poly61(&[2, 7, 1, 8, 2, 8, 1, 8]);
+        let evals = d.evaluate(&p);
+        let via_basis: F61 = evals
+            .iter()
+            .zip(coeffs.iter())
+            .map(|(e, l)| *e * *l)
+            .sum();
+        assert_eq!(via_basis, p.evaluate(tau));
+    }
+
+    #[test]
+    fn radix2_lagrange_at_domain_point() {
+        let d = Radix2Domain::<F61>::new(4);
+        let coeffs = d.lagrange_coeffs_at(d.element(2));
+        assert_eq!(coeffs[2], F61::ONE);
+        assert!(coeffs.iter().enumerate().all(|(i, c)| i == 2 || c.is_zero()));
+    }
+
+    #[test]
+    fn radix2_divide_by_vanishing_exact() {
+        let d = Radix2Domain::<F61>::new(4);
+        let q = poly61(&[5, 6, 7, 8, 9]);
+        let prod = q.mul_naive(&d.vanishing_poly());
+        let (q2, r) = d.divide_by_vanishing(&prod);
+        assert_eq!(q2, q);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn radix2_divide_by_vanishing_with_remainder() {
+        let d = Radix2Domain::<F61>::new(4);
+        let p = poly61(&[1, 2, 3, 4, 5, 6, 7]);
+        let (q, r) = d.divide_by_vanishing(&p);
+        let back = &q.mul_naive(&d.vanishing_poly()) + &r;
+        assert_eq!(back, p);
+        assert!(r.degree().unwrap() < 4);
+    }
+
+    #[test]
+    fn zero_pinned_interpolation() {
+        fn check<D: EvalDomain<F61>>(d: &D) {
+            let evals: Vec<F61> = (0..d.size() as u64).map(|i| F61::from_u64(i * 3 + 1)).collect();
+            let f = d.interpolate_zero_pinned(&evals);
+            assert!(f.evaluate(F61::ZERO).is_zero());
+            assert!(f.degree().unwrap() <= d.size());
+            for (j, e) in evals.iter().enumerate() {
+                assert_eq!(f.evaluate(d.element(j)), *e);
+            }
+        }
+        check(&Radix2Domain::<F61>::new(8));
+        check(&ArithDomain::<F61>::new(7));
+    }
+
+    #[test]
+    fn zero_pinned_coeffs_consistent() {
+        fn check<D: EvalDomain<F61>>(d: &D) {
+            let evals: Vec<F61> = (0..d.size() as u64).map(|i| F61::from_u64(i + 2)).collect();
+            let f = d.interpolate_zero_pinned(&evals);
+            let tau = F61::from_u64(0xabcdef);
+            let basis = d.zero_pinned_coeffs_at(tau);
+            let via: F61 = evals.iter().zip(basis.iter()).map(|(e, l)| *e * *l).sum();
+            assert_eq!(via, f.evaluate(tau));
+        }
+        check(&Radix2Domain::<F61>::new(8));
+        check(&ArithDomain::<F61>::new(9));
+    }
+
+    #[test]
+    fn arith_domain_points() {
+        let d = ArithDomain::<F128>::new(5);
+        assert_eq!(d.elements(), (1..=5u64).map(F128::from_u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn arith_weights_match_definition() {
+        let d = ArithDomain::<F61>::new(6);
+        for j in 0..6 {
+            let mut prod = F61::ONE;
+            for k in 0..6 {
+                if k != j {
+                    prod *= d.element(j) - d.element(k);
+                }
+            }
+            assert_eq!(d.weights()[j] * prod, F61::ONE, "j={j}");
+        }
+    }
+
+    #[test]
+    fn arith_round_trip() {
+        let d = ArithDomain::<F61>::new(9);
+        let p = poly61(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let evals = d.evaluate(&p);
+        assert_eq!(d.interpolate(&evals), p);
+    }
+
+    #[test]
+    fn arith_lagrange_coeffs() {
+        let d = ArithDomain::<F61>::new(7);
+        let tau = F61::from_u64(424242);
+        let coeffs = d.lagrange_coeffs_at(tau);
+        let p = poly61(&[9, 8, 7, 6, 5, 4, 3]);
+        let evals = d.evaluate(&p);
+        let via: F61 = evals.iter().zip(coeffs.iter()).map(|(e, l)| *e * *l).sum();
+        assert_eq!(via, p.evaluate(tau));
+    }
+
+    #[test]
+    fn arith_lagrange_at_domain_point() {
+        let d = ArithDomain::<F61>::new(5);
+        let coeffs = d.lagrange_coeffs_at(F61::from_u64(3));
+        assert_eq!(coeffs[2], F61::ONE);
+        assert_eq!(coeffs.iter().filter(|c| !c.is_zero()).count(), 1);
+    }
+
+    #[test]
+    fn domains_agree_on_divisibility_outcome() {
+        // The same witness-derived product must be divisible on both
+        // domains of equal size (shape parity between the fast path and the
+        // paper's literal domain).
+        let n = 8;
+        let r2 = Radix2Domain::<F61>::new(n);
+        let ar = ArithDomain::<F61>::new(n);
+        let evals: Vec<F61> = (0..n as u64).map(|i| F61::from_u64(i * i + 1)).collect();
+        for d in [&r2 as &dyn DomainDyn, &ar as &dyn DomainDyn] {
+            let f = d.interp(&evals);
+            let z = d.vanish();
+            let prod = f.mul_naive(&z);
+            let (_, r) = prod.div_rem(&z);
+            assert!(r.is_zero());
+        }
+    }
+
+    /// Object-safe helper for the cross-domain test.
+    trait DomainDyn {
+        fn interp(&self, evals: &[F61]) -> DensePoly<F61>;
+        fn vanish(&self) -> DensePoly<F61>;
+    }
+
+    impl DomainDyn for Radix2Domain<F61> {
+        fn interp(&self, evals: &[F61]) -> DensePoly<F61> {
+            self.interpolate(evals)
+        }
+        fn vanish(&self) -> DensePoly<F61> {
+            self.vanishing_poly()
+        }
+    }
+
+    impl DomainDyn for ArithDomain<F61> {
+        fn interp(&self, evals: &[F61]) -> DensePoly<F61> {
+            self.interpolate(evals)
+        }
+        fn vanish(&self) -> DensePoly<F61> {
+            self.vanishing_poly()
+        }
+    }
+}
+
+impl<F: PrimeField> Radix2Domain<F> {
+    /// Alternative quotient computation via coset evaluation, the
+    /// standard QAP-prover trick: evaluate the (degree < 2n) polynomial
+    /// on the coset `g·H₂ₙ`, divide pointwise by the vanishing values
+    /// `(g·ω_{2n}ʲ)ⁿ − 1 = gⁿ·(−1)ʲ − 1` (which never vanish on a proper
+    /// coset), and interpolate back. Mathematically identical to
+    /// [`EvalDomain::divide_by_vanishing`] when the division is exact;
+    /// kept as a cross-check and for the ablation bench.
+    ///
+    /// Returns `None` if the input's degree does not permit an exact
+    /// quotient representation (degree ≥ 2n) — callers should fall back
+    /// to the coefficient method for the general case.
+    pub fn divide_by_vanishing_coset(&self, poly: &DensePoly<F>) -> Option<DensePoly<F>> {
+        let n = self.size;
+        let deg = poly.degree()?;
+        if deg < n {
+            return Some(DensePoly::zero());
+        }
+        if deg >= 2 * n {
+            return None;
+        }
+        let big = 2 * n;
+        let shift = F::multiplicative_generator();
+        let mut evals = poly.coeffs().to_vec();
+        evals.resize(big, F::ZERO);
+        crate::fft::coset_ntt(&mut evals, shift);
+        // Vanishing values on the coset: (g·ω₂ₙʲ)ⁿ − 1 = gⁿ·(−1)ʲ − 1.
+        let gn = shift.pow(n as u64);
+        let v_even = (gn - F::ONE).inverse().expect("proper coset");
+        let v_odd = (-gn - F::ONE).inverse().expect("proper coset");
+        for (j, e) in evals.iter_mut().enumerate() {
+            *e *= if j % 2 == 0 { v_even } else { v_odd };
+        }
+        crate::fft::coset_intt(&mut evals, shift);
+        Some(DensePoly::from_coeffs(evals))
+    }
+}
+
+#[cfg(test)]
+mod coset_tests {
+    use super::*;
+    use zaatar_field::{Field, F61};
+
+    #[test]
+    fn coset_division_matches_coefficient_division() {
+        let d = Radix2Domain::<F61>::new(8);
+        // Exact multiple of the vanishing polynomial.
+        let q = DensePoly::from_coeffs((1..=8u64).map(F61::from_u64).collect());
+        let prod = q.mul_naive(&d.vanishing_poly());
+        let via_coset = d.divide_by_vanishing_coset(&prod).expect("degree fits");
+        let (via_coeff, rem) = d.divide_by_vanishing(&prod);
+        assert!(rem.is_zero());
+        assert_eq!(via_coset, via_coeff);
+    }
+
+    #[test]
+    fn coset_division_degree_limits() {
+        let d = Radix2Domain::<F61>::new(4);
+        // Degree < n → zero quotient.
+        let small = DensePoly::from_coeffs(vec![F61::from_u64(3); 3]);
+        assert!(d
+            .divide_by_vanishing_coset(&small)
+            .expect("fits")
+            .is_zero());
+        // Degree ≥ 2n → unsupported by this path.
+        let big = DensePoly::from_coeffs(vec![F61::from_u64(1); 10]);
+        assert!(d.divide_by_vanishing_coset(&big).is_none());
+    }
+}

@@ -1,0 +1,330 @@
+//! Asymptotically fast polynomial algorithms: power-series inversion,
+//! fast division with remainder, subproduct trees, multipoint evaluation,
+//! and fast interpolation.
+//!
+//! The paper's prover costs (`3·f·|C|·log²|C|`, Fig. 3) assume FFT-based
+//! interpolation [Knuth §4.6.4], polynomial multiplication [Cooley–Tukey],
+//! and polynomial division (App. A.3, citing Mateer's thesis). For domains
+//! that are multiplicative subgroups the `domain` module uses plain NTTs;
+//! for the paper's literal arithmetic-progression domain `σⱼ = 1..|C|`,
+//! this module provides the general `O(M(n)·log n)` machinery
+//! (von zur Gathen & Gerhard, ch. 10).
+
+use zaatar_field::PrimeField;
+
+use crate::dense::DensePoly;
+use crate::fft::fft_mul;
+
+/// Computes the power-series inverse of `f` modulo `t^precision` by Newton
+/// iteration: `g ← g·(2 − f·g) mod t^(2k)`.
+///
+/// # Panics
+///
+/// Panics if the constant term of `f` is zero (not invertible as a series).
+pub fn inv_series<F: PrimeField>(f: &DensePoly<F>, precision: usize) -> DensePoly<F> {
+    let c0 = f.coeff(0);
+    let c0_inv = c0
+        .inverse()
+        .expect("series inversion requires a unit constant term");
+    let mut g = vec![c0_inv];
+    let mut k = 1;
+    while k < precision {
+        k = (2 * k).min(precision.next_power_of_two());
+        // g ← g·(2 − f·g) mod t^k.
+        let f_trunc: Vec<F> = f.coeffs().iter().copied().take(k).collect();
+        let fg = fft_mul(&f_trunc, &g);
+        let mut two_minus = vec![F::ZERO; k];
+        for (i, slot) in two_minus.iter_mut().enumerate() {
+            let v = fg.get(i).copied().unwrap_or(F::ZERO);
+            *slot = -v;
+        }
+        two_minus[0] += F::from_u64(2);
+        let mut next = fft_mul(&g, &two_minus);
+        next.truncate(k);
+        g = next;
+        if k >= precision {
+            break;
+        }
+    }
+    g.truncate(precision);
+    DensePoly::from_coeffs(g)
+}
+
+/// Fast division with remainder via the reversal trick:
+/// `a = q·b + r` with `deg r < deg b`, in `O(M(n))`.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+pub fn fast_div_rem<F: PrimeField>(
+    a: &DensePoly<F>,
+    b: &DensePoly<F>,
+) -> (DensePoly<F>, DensePoly<F>) {
+    assert!(!b.is_zero(), "division by the zero polynomial");
+    let (da, db) = match (a.degree(), b.degree()) {
+        (None, _) => return (DensePoly::zero(), DensePoly::zero()),
+        (Some(da), Some(db)) if da < db => return (DensePoly::zero(), a.clone()),
+        (Some(da), Some(db)) => (da, db),
+        (_, None) => unreachable!("b nonzero has a degree"),
+    };
+    let qdeg = da - db;
+    // rev(a) = rev(b)·rev(q) mod t^(qdeg+1); solve for rev(q).
+    let rev = |p: &DensePoly<F>, d: usize| {
+        let mut c: Vec<F> = p.coeffs().to_vec();
+        c.resize(d + 1, F::ZERO);
+        c.reverse();
+        DensePoly::from_coeffs(c)
+    };
+    let ra = rev(a, da);
+    let rb = rev(b, db);
+    let rb_inv = inv_series(&rb, qdeg + 1);
+    let mut rq = fft_mul(ra.coeffs(), rb_inv.coeffs());
+    rq.truncate(qdeg + 1);
+    rq.resize(qdeg + 1, F::ZERO);
+    rq.reverse();
+    let q = DensePoly::from_coeffs(rq);
+    let r = a - &(&q * b);
+    debug_assert!(r.degree().is_none_or(|dr| dr < db));
+    (q, r)
+}
+
+/// A subproduct tree over a point set: level 0 holds the linear factors
+/// `(t − σⱼ)`, each higher level the product of its two children; the root
+/// is `M(t) = ∏ (t − σⱼ)`.
+pub struct ProductTree<F> {
+    /// `levels[k]` holds the degree-`2^k` subproducts (last may be partial).
+    levels: Vec<Vec<DensePoly<F>>>,
+    points: Vec<F>,
+}
+
+impl<F: PrimeField> ProductTree<F> {
+    /// Builds the tree over the given points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn new(points: &[F]) -> Self {
+        assert!(!points.is_empty(), "product tree needs at least one point");
+        let leaves: Vec<DensePoly<F>> = points
+            .iter()
+            .map(|p| DensePoly::from_coeffs(vec![-*p, F::ONE]))
+            .collect();
+        let mut levels = vec![leaves];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    &pair[0] * &pair[1]
+                } else {
+                    pair[0].clone()
+                });
+            }
+            levels.push(next);
+        }
+        ProductTree {
+            levels,
+            points: points.to_vec(),
+        }
+    }
+
+    /// The root product `M(t) = ∏ (t − σⱼ)`.
+    pub fn root(&self) -> &DensePoly<F> {
+        &self.levels.last().expect("nonempty")[0]
+    }
+
+    /// The points the tree was built over.
+    pub fn points(&self) -> &[F] {
+        &self.points
+    }
+
+    /// Evaluates `poly` at every tree point via a remainder tree,
+    /// `O(M(n)·log n)`.
+    pub fn multi_eval(&self, poly: &DensePoly<F>) -> Vec<F> {
+        let depth = self.levels.len();
+        // Walk down the tree keeping remainders.
+        let mut current = vec![poly.div_rem_fast(self.root()).1];
+        for level in (0..depth - 1).rev() {
+            let mut next = Vec::with_capacity(self.levels[level].len());
+            for (i, node) in self.levels[level].iter().enumerate() {
+                let parent = &current[i / 2];
+                // A partial (odd-tail) node equals its parent; skip the
+                // division when degrees already fit.
+                let r = if parent
+                    .degree()
+                    .is_none_or(|dp| node.degree().is_some_and(|dn| dp < dn))
+                {
+                    parent.clone()
+                } else {
+                    parent.div_rem_fast(node).1
+                };
+                next.push(r);
+            }
+            current = next;
+        }
+        current
+            .iter()
+            .zip(self.points.iter())
+            .map(|(r, _)| r.coeff(0))
+            .collect()
+    }
+
+    /// Interpolates the unique polynomial of degree `< n` passing through
+    /// `(σⱼ, evalsⱼ)`, in `O(M(n)·log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evals.len()` differs from the point count.
+    pub fn interpolate(&self, evals: &[F]) -> DensePoly<F> {
+        assert_eq!(evals.len(), self.points.len(), "evaluation count mismatch");
+        // Weights: 1/M'(σⱼ).
+        let m_prime = self.root().derivative();
+        let mut denoms = self.multi_eval(&m_prime);
+        zaatar_field::batch_inverse(&mut denoms);
+        let scaled: Vec<F> = evals
+            .iter()
+            .zip(denoms.iter())
+            .map(|(e, d)| *e * *d)
+            .collect();
+        // Combine bottom-up: node value = left·M_right + right·M_left.
+        let mut current: Vec<DensePoly<F>> = scaled
+            .iter()
+            .map(|s| DensePoly::constant(*s))
+            .collect();
+        for level in 0..self.levels.len() - 1 {
+            let nodes = &self.levels[level];
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            let mut i = 0;
+            while i < current.len() {
+                if i + 1 < current.len() {
+                    let combined =
+                        &(&current[i] * &nodes[i + 1]) + &(&current[i + 1] * &nodes[i]);
+                    next.push(combined);
+                } else {
+                    next.push(current[i].clone());
+                }
+                i += 2;
+            }
+            current = next;
+        }
+        current.into_iter().next().expect("nonempty tree")
+    }
+}
+
+impl<F: PrimeField> DensePoly<F> {
+    /// Division with remainder, using the fast algorithm for large inputs
+    /// and schoolbook long division otherwise.
+    pub fn div_rem_fast(&self, divisor: &Self) -> (Self, Self) {
+        const NAIVE_CUTOFF: usize = 64;
+        if divisor.coeffs().len() < NAIVE_CUTOFF || self.coeffs().len() < NAIVE_CUTOFF {
+            self.div_rem(divisor)
+        } else {
+            fast_div_rem(self, divisor)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::{Field, F61};
+
+    fn poly(cs: &[i64]) -> DensePoly<F61> {
+        DensePoly::from_coeffs(cs.iter().map(|&c| F61::from_i64(c)).collect())
+    }
+
+    #[test]
+    fn inv_series_small() {
+        // 1/(1 − t) = 1 + t + t² + ... .
+        let f = poly(&[1, -1]);
+        let g = inv_series(&f, 6);
+        assert_eq!(g, poly(&[1, 1, 1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn inv_series_verifies_product() {
+        let f = poly(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let n = 33;
+        let g = inv_series(&f, n);
+        let mut prod = fft_mul(f.coeffs(), g.coeffs());
+        prod.truncate(n);
+        assert_eq!(prod[0], F61::ONE);
+        assert!(prod[1..].iter().all(|c| c.is_zero()));
+    }
+
+    #[test]
+    fn fast_div_rem_matches_naive() {
+        let a: Vec<F61> = (0..200u64).map(|i| F61::from_u64(i * 7 + 13)).collect();
+        let b: Vec<F61> = (0..70u64).map(|i| F61::from_u64(i * 3 + 5)).collect();
+        let a = DensePoly::from_coeffs(a);
+        let b = DensePoly::from_coeffs(b);
+        let (qf, rf) = fast_div_rem(&a, &b);
+        let (qn, rn) = a.div_rem(&b);
+        assert_eq!(qf, qn);
+        assert_eq!(rf, rn);
+    }
+
+    #[test]
+    fn fast_div_rem_degenerate() {
+        let a = poly(&[1, 2]);
+        let b = poly(&[5, 4, 3]);
+        let (q, r) = fast_div_rem(&a, &b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+        let (q, r) = fast_div_rem(&DensePoly::zero(), &b);
+        assert!(q.is_zero() && r.is_zero());
+    }
+
+    #[test]
+    fn product_tree_root() {
+        let pts: Vec<F61> = (1..=5u64).map(F61::from_u64).collect();
+        let tree = ProductTree::new(&pts);
+        let expect = DensePoly::from_roots(&pts);
+        assert_eq!(tree.root(), &expect);
+    }
+
+    #[test]
+    fn multi_eval_matches_horner() {
+        let pts: Vec<F61> = (1..=37u64).map(|i| F61::from_u64(i * i + 1)).collect();
+        let tree = ProductTree::new(&pts);
+        let p = DensePoly::from_coeffs((0..120u64).map(F61::from_u64).collect());
+        let fast = tree.multi_eval(&p);
+        for (pt, v) in pts.iter().zip(fast.iter()) {
+            assert_eq!(p.evaluate(*pt), *v);
+        }
+    }
+
+    #[test]
+    fn multi_eval_low_degree_poly() {
+        let pts: Vec<F61> = (1..=9u64).map(F61::from_u64).collect();
+        let tree = ProductTree::new(&pts);
+        let p = poly(&[4, 2]);
+        let vals = tree.multi_eval(&p);
+        for (pt, v) in pts.iter().zip(vals.iter()) {
+            assert_eq!(p.evaluate(*pt), *v);
+        }
+    }
+
+    #[test]
+    fn interpolate_round_trips() {
+        let pts: Vec<F61> = (1..=33u64).map(F61::from_u64).collect();
+        let tree = ProductTree::new(&pts);
+        let p = DensePoly::from_coeffs((0..33u64).map(|i| F61::from_u64(i * 5 + 2)).collect());
+        let evals: Vec<F61> = pts.iter().map(|x| p.evaluate(*x)).collect();
+        assert_eq!(tree.interpolate(&evals), p);
+    }
+
+    #[test]
+    fn interpolate_single_point() {
+        let tree = ProductTree::new(&[F61::from_u64(4)]);
+        let p = tree.interpolate(&[F61::from_u64(9)]);
+        assert_eq!(p, DensePoly::constant(F61::from_u64(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation count mismatch")]
+    fn interpolate_wrong_length_panics() {
+        let tree = ProductTree::new(&[F61::ONE, F61::from_u64(2)]);
+        let _ = tree.interpolate(&[F61::ONE]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Sparse polynomials in *value* (Lagrange) representation.
+//!
+//! App. A.3 observes (after Gennaro et al.) that the per-variable QAP
+//! polynomials `Aᵢ(t)` are best represented by their non-zero evaluations
+//! `{(j, aᵢⱼ)}` on the constraint domain — a variable typically appears in
+//! only a handful of constraints, so these lists are short. Evaluating
+//! `Aᵢ(τ)` is then a sparse dot product against the Lagrange basis at `τ`.
+
+use zaatar_field::Field;
+
+/// A polynomial represented by its non-zero values at the points of some
+/// evaluation domain: `values[k] = (j, f(σⱼ))`, strictly increasing in `j`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SparsePoly<F> {
+    entries: Vec<(usize, F)>,
+}
+
+impl<F: Field> SparsePoly<F> {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        SparsePoly {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from `(domain index, value)` pairs; entries with zero value
+    /// are dropped and indices must be strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are not strictly increasing.
+    pub fn from_entries(entries: Vec<(usize, F)>) -> Self {
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0, "sparse entries must be strictly increasing");
+        }
+        SparsePoly {
+            entries: entries.into_iter().filter(|(_, v)| !v.is_zero()).collect(),
+        }
+    }
+
+    /// Appends an entry; index must exceed all existing ones.
+    pub fn push(&mut self, index: usize, value: F) {
+        if value.is_zero() {
+            return;
+        }
+        if let Some((last, _)) = self.entries.last() {
+            assert!(*last < index, "sparse entries must be strictly increasing");
+        }
+        self.entries.push((index, value));
+    }
+
+    /// Adds `value` at `index`, merging with an existing entry if present
+    /// (used when one variable appears several times in one constraint).
+    pub fn add_at(&mut self, index: usize, value: F) {
+        match self.entries.binary_search_by_key(&index, |(i, _)| *i) {
+            Ok(pos) => {
+                self.entries[pos].1 += value;
+                if self.entries[pos].1.is_zero() {
+                    self.entries.remove(pos);
+                }
+            }
+            Err(pos) => {
+                if !value.is_zero() {
+                    self.entries.insert(pos, (index, value));
+                }
+            }
+        }
+    }
+
+    /// The non-zero `(index, value)` entries.
+    pub fn entries(&self) -> &[(usize, F)] {
+        &self.entries
+    }
+
+    /// Number of non-zero entries.
+    pub fn weight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if there are no non-zero entries.
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value at domain index `j` (zero if absent).
+    pub fn value_at(&self, j: usize) -> F {
+        match self.entries.binary_search_by_key(&j, |(i, _)| *i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => F::ZERO,
+        }
+    }
+
+    /// Sparse dot product against a dense basis vector: with `basis[j] =
+    /// Lⱼ(τ)` this computes the polynomial's evaluation at `τ` in
+    /// `O(weight)` multiplications (the verifier's query-construction inner
+    /// loop, App. A.3).
+    pub fn dot(&self, basis: &[F]) -> F {
+        self.entries
+            .iter()
+            .map(|(j, v)| basis[*j] * *v)
+            .sum()
+    }
+
+    /// Expands into a dense value vector over a domain of `n` points.
+    pub fn to_dense_values(&self, n: usize) -> Vec<F> {
+        let mut out = vec![F::ZERO; n];
+        for (j, v) in &self.entries {
+            out[*j] = *v;
+        }
+        out
+    }
+
+    /// Accumulates `scale · self` into a dense value vector.
+    pub fn accumulate_into(&self, scale: F, acc: &mut [F]) {
+        if scale.is_zero() {
+            return;
+        }
+        for (j, v) in &self.entries {
+            acc[*j] += scale * *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::F61;
+
+    fn f(x: u64) -> F61 {
+        F61::from_u64(x)
+    }
+
+    #[test]
+    fn construction_drops_zeros() {
+        let s = SparsePoly::from_entries(vec![(0, f(1)), (3, F61::ZERO), (5, f(2))]);
+        assert_eq!(s.weight(), 2);
+        assert_eq!(s.value_at(0), f(1));
+        assert_eq!(s.value_at(3), F61::ZERO);
+        assert_eq!(s.value_at(5), f(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_entries_panic() {
+        let _ = SparsePoly::from_entries(vec![(5, f(1)), (3, f(2))]);
+    }
+
+    #[test]
+    fn add_at_merges_and_cancels() {
+        let mut s = SparsePoly::zero();
+        s.add_at(4, f(3));
+        s.add_at(2, f(1));
+        s.add_at(4, f(7));
+        assert_eq!(s.value_at(4), f(10));
+        assert_eq!(s.entries(), &[(2, f(1)), (4, f(10))]);
+        s.add_at(2, -f(1));
+        assert_eq!(s.weight(), 1);
+        assert!(s.value_at(2).is_zero());
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        let s = SparsePoly::from_entries(vec![(1, f(2)), (3, f(5))]);
+        let basis: Vec<F61> = (10..16u64).map(f).collect();
+        assert_eq!(s.dot(&basis), f(11 * 2 + 13 * 5));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let s = SparsePoly::from_entries(vec![(0, f(9)), (2, f(4))]);
+        assert_eq!(
+            s.to_dense_values(4),
+            vec![f(9), F61::ZERO, f(4), F61::ZERO]
+        );
+    }
+
+    #[test]
+    fn accumulate_scales() {
+        let s = SparsePoly::from_entries(vec![(1, f(3))]);
+        let mut acc = vec![F61::ZERO; 3];
+        s.accumulate_into(f(2), &mut acc);
+        s.accumulate_into(F61::ZERO, &mut acc);
+        assert_eq!(acc[1], f(6));
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut s = SparsePoly::zero();
+        s.push(0, f(1));
+        s.push(9, F61::ZERO);
+        s.push(9, f(2));
+        assert_eq!(s.weight(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for polynomial arithmetic invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use zaatar_field::{Field, F61};
+use zaatar_poly::domain::EvalDomain;
+use zaatar_poly::fast::{fast_div_rem, ProductTree};
+use zaatar_poly::{ArithDomain, DensePoly, Radix2Domain};
+
+fn arb_poly(max_len: usize) -> impl Strategy<Value = DensePoly<F61>> {
+    vec(any::<u64>(), 0..max_len)
+        .prop_map(|cs| DensePoly::from_coeffs(cs.into_iter().map(F61::from_u64).collect()))
+}
+
+fn arb_elem() -> impl Strategy<Value = F61> {
+    any::<u64>().prop_map(F61::from_u64)
+}
+
+proptest! {
+    #[test]
+    fn mul_matches_naive(a in arb_poly(80), b in arb_poly(80)) {
+        prop_assert_eq!(a.mul(&b), a.mul_naive(&b));
+    }
+
+    #[test]
+    fn mul_evaluates_pointwise(a in arb_poly(40), b in arb_poly(40), x in arb_elem()) {
+        prop_assert_eq!(a.mul(&b).evaluate(x), a.evaluate(x) * b.evaluate(x));
+    }
+
+    #[test]
+    fn add_evaluates_pointwise(a in arb_poly(40), b in arb_poly(40), x in arb_elem()) {
+        prop_assert_eq!((&a + &b).evaluate(x), a.evaluate(x) + b.evaluate(x));
+    }
+
+    #[test]
+    fn div_rem_invariant(a in arb_poly(60), b in arb_poly(20)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q.mul_naive(&b) + &r, a);
+        if let Some(rd) = r.degree() {
+            prop_assert!(rd < b.degree().unwrap());
+        }
+    }
+
+    #[test]
+    fn fast_div_agrees_with_naive(a in arb_poly(100), b in arb_poly(40)) {
+        prop_assume!(!b.is_zero());
+        let (qf, rf) = fast_div_rem(&a, &b);
+        let (qn, rn) = a.div_rem(&b);
+        prop_assert_eq!(qf, qn);
+        prop_assert_eq!(rf, rn);
+    }
+
+    #[test]
+    fn radix2_interpolation_round_trip(evals in vec(any::<u64>(), 16)) {
+        let d = Radix2Domain::<F61>::new(16);
+        let evals: Vec<F61> = evals.into_iter().map(F61::from_u64).collect();
+        let p = d.interpolate(&evals);
+        prop_assert!(p.degree().map_or(true, |dg| dg < 16));
+        prop_assert_eq!(d.evaluate(&p), evals);
+    }
+
+    #[test]
+    fn arith_interpolation_round_trip(evals in vec(any::<u64>(), 11)) {
+        let d = ArithDomain::<F61>::new(11);
+        let evals: Vec<F61> = evals.into_iter().map(F61::from_u64).collect();
+        let p = d.interpolate(&evals);
+        for (j, e) in evals.iter().enumerate() {
+            prop_assert_eq!(p.evaluate(d.element(j)), *e);
+        }
+    }
+
+    #[test]
+    fn lagrange_basis_reconstructs_evaluation(
+        coeffs in vec(any::<u64>(), 1..16),
+        tau in arb_elem(),
+    ) {
+        let d = Radix2Domain::<F61>::new(16);
+        let p = DensePoly::from_coeffs(coeffs.into_iter().map(F61::from_u64).collect());
+        let evals = d.evaluate(&p);
+        let basis = d.lagrange_coeffs_at(tau);
+        let via: F61 = evals.iter().zip(basis.iter()).map(|(e, l)| *e * *l).sum();
+        prop_assert_eq!(via, p.evaluate(tau));
+    }
+
+    #[test]
+    fn zero_pinned_agrees_across_domains(evals in vec(any::<u64>(), 8), tau in arb_elem()) {
+        // Both domains produce polynomials with f(0)=0 hitting the evals;
+        // their zero-pinned basis must reconstruct f(τ).
+        let evals: Vec<F61> = evals.into_iter().map(F61::from_u64).collect();
+        for_each_domain(&evals, tau)?;
+    }
+
+    #[test]
+    fn from_roots_vanishes_exactly_at_roots(roots in vec(1u64..1000, 1..12), probe in arb_elem()) {
+        let roots: Vec<F61> = roots.into_iter().map(F61::from_u64).collect();
+        let p = DensePoly::from_roots(&roots);
+        prop_assert_eq!(p.degree(), Some(roots.len()));
+        for r in &roots {
+            prop_assert!(p.evaluate(*r).is_zero());
+        }
+        if !roots.contains(&probe) {
+            prop_assert!(!p.evaluate(probe).is_zero());
+        }
+    }
+
+    #[test]
+    fn product_tree_multi_eval(points in vec(1u64..10_000, 1..24), coeffs in vec(any::<u64>(), 1..40)) {
+        let mut pts: Vec<u64> = points;
+        pts.sort_unstable();
+        pts.dedup();
+        let pts: Vec<F61> = pts.into_iter().map(F61::from_u64).collect();
+        let tree = ProductTree::new(&pts);
+        let p = DensePoly::from_coeffs(coeffs.into_iter().map(F61::from_u64).collect());
+        let vals = tree.multi_eval(&p);
+        for (pt, v) in pts.iter().zip(vals.iter()) {
+            prop_assert_eq!(p.evaluate(*pt), *v);
+        }
+    }
+
+    #[test]
+    fn divide_by_vanishing_round_trip(coeffs in vec(any::<u64>(), 0..40)) {
+        let d = Radix2Domain::<F61>::new(8);
+        let p = DensePoly::from_coeffs(coeffs.into_iter().map(F61::from_u64).collect());
+        let (q, r) = d.divide_by_vanishing(&p);
+        let back = &q.mul_naive(&d.vanishing_poly()) + &r;
+        prop_assert_eq!(back, p);
+        prop_assert!(r.degree().map_or(true, |rd| rd < 8));
+    }
+}
+
+fn for_each_domain(evals: &[F61], tau: F61) -> Result<(), TestCaseError> {
+    let d1 = Radix2Domain::<F61>::new(evals.len());
+    let d2 = ArithDomain::<F61>::new(evals.len());
+    let f1 = d1.interpolate_zero_pinned(evals);
+    let f2 = d2.interpolate_zero_pinned(evals);
+    prop_assert!(f1.evaluate(F61::ZERO).is_zero());
+    prop_assert!(f2.evaluate(F61::ZERO).is_zero());
+    let b1 = d1.zero_pinned_coeffs_at(tau);
+    let via1: F61 = evals.iter().zip(b1.iter()).map(|(e, l)| *e * *l).sum();
+    prop_assert_eq!(via1, f1.evaluate(tau));
+    let b2 = d2.zero_pinned_coeffs_at(tau);
+    let via2: F61 = evals.iter().zip(b2.iter()).map(|(e, l)| *e * *l).sum();
+    prop_assert_eq!(via2, f2.evaluate(tau));
+    Ok(())
+}
+
+proptest! {
+    /// The subproduct-tree interpolation agrees with textbook Lagrange.
+    #[test]
+    fn fast_interpolation_matches_lagrange(values in vec(any::<u64>(), 9)) {
+        let d = ArithDomain::<F61>::new(9);
+        let values: Vec<F61> = values.into_iter().map(F61::from_u64).collect();
+        let fast = d.interpolate(&values);
+        let naive = DensePoly::lagrange_interpolate(&d.elements(), &values);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// The NTT interpolation agrees with textbook Lagrange on the
+    /// subgroup points.
+    #[test]
+    fn ntt_interpolation_matches_lagrange(values in vec(any::<u64>(), 8)) {
+        let d = Radix2Domain::<F61>::new(8);
+        let values: Vec<F61> = values.into_iter().map(F61::from_u64).collect();
+        let fast = d.interpolate(&values);
+        let naive = DensePoly::lagrange_interpolate(&d.elements(), &values);
+        prop_assert_eq!(fast, naive);
+    }
+}

@@ -1,0 +1,100 @@
+//! Batch verification of a realistic workload: the verifier outsources
+//! β instances of all-pairs shortest paths (one of the paper's
+//! benchmarks) and amortizes its query-construction cost over the batch
+//! (§2.2's batching model — "large-scale simulations in scientific
+//! computing often have repeated structure").
+//!
+//! ```text
+//! cargo run --release --example batch_outsourcing
+//! ```
+
+use zaatar::apps::{build, Suite};
+use zaatar::apps::apsp::Apsp;
+use zaatar::core::argument::{Prover, Verifier};
+use zaatar::core::pcp::{PcpParams, ZaatarPcp};
+use zaatar::core::qap::Qap;
+use zaatar::crypto::ChaChaPrg;
+use zaatar::field::F128;
+
+fn main() {
+    let beta = 8;
+    let app = Suite::Apsp(Apsp { m: 5 });
+    println!("outsourcing {beta} instances of {} ({})", app.name(), app.params());
+
+    let art = build::<F128>(&app);
+    println!(
+        "encoding: |Z_ginger| = {}, |C_zaatar| = {}, proof length {} (Ginger's would be {})",
+        art.ginger_stats.num_unbound,
+        art.zaatar_stats.num_constraints,
+        art.zaatar_stats.zaatar_proof_len(),
+        art.ginger_stats.ginger_proof_len(),
+    );
+
+    let qap = Qap::new(&art.quad.system);
+    let pcp = ZaatarPcp::new(qap, PcpParams::default());
+
+    // Verifier: one-time batch setup (commitment keys + queries).
+    let mut prg = ChaChaPrg::from_u64_seed(2024);
+    let mut verifier = Verifier::setup(&pcp, &mut prg);
+    let mut prover = Prover::new(&pcp);
+
+    // Prover: solve, prove, and commit each instance.
+    let mut proofs = Vec::new();
+    let mut ios = Vec::new();
+    for i in 0..beta {
+        let inputs: Vec<F128> = app.gen_inputs(i as u64);
+        let start = std::time::Instant::now();
+        let asg = art.compiled.solver.solve(&inputs).expect("solvable");
+        prover.record_solve_time(start.elapsed());
+        let ext = art.quad.extend_assignment(&asg);
+        let witness = pcp.qap().witness(&ext);
+        proofs.push(prover.construct_proof(&witness));
+        ios.push(
+            pcp.qap()
+                .var_map()
+                .inputs()
+                .iter()
+                .chain(pcp.qap().var_map().outputs())
+                .map(|v| ext.get(*v))
+                .collect::<Vec<F128>>(),
+        );
+    }
+    let (enc_z, enc_h) = {
+        let (a, b) = verifier.commit_request();
+        (a.to_vec(), b.to_vec())
+    };
+    let commitments: Vec<_> = proofs
+        .iter()
+        .map(|p| prover.commit(p, &enc_z, &enc_h))
+        .collect();
+
+    // Decommit and check every instance against the SAME query set.
+    let request = verifier.decommit_request();
+    let responses: Vec<_> = proofs.iter().map(|p| prover.respond(p, &request)).collect();
+    drop(request);
+    let mut accepted = 0;
+    for ((c, (dz, dh)), io) in commitments.iter().zip(&responses).zip(&ios) {
+        if verifier.check_instance(c, dz, dh, io) {
+            accepted += 1;
+        }
+    }
+    println!("accepted {accepted}/{beta} instances");
+    assert_eq!(accepted, beta);
+
+    // The economics of batching (§2.2's break-even notion).
+    let setup = verifier.timings.setup_total().as_secs_f64();
+    let per = verifier.timings.check.as_secs_f64() / beta as f64;
+    println!(
+        "verifier: setup {:.3} s (amortized {:.3} s/instance at beta={beta}), checks {:.4} s/instance",
+        setup,
+        setup / beta as f64,
+        per
+    );
+    println!(
+        "prover:   solve {:.3?}, construct {:.3?}, crypto {:.3?}, answer {:.3?} (batch totals)",
+        prover.timings.solve,
+        prover.timings.construct_proof,
+        prover.timings.crypto,
+        prover.timings.answer_queries,
+    );
+}

@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the Zaatar workspace.
+pub use zaatar_apps as apps;
+pub use zaatar_cc as cc;
+pub use zaatar_core as core;
+pub use zaatar_crypto as crypto;
+pub use zaatar_field as field;
+pub use zaatar_poly as poly;

@@ -1,0 +1,227 @@
+//! A gallery of ZSL programs checked end-to-end: compile, solve, verify
+//! constraints, and compare outputs against a direct Rust evaluation.
+
+use zaatar::cc::lang::{compile, CompileOptions};
+use zaatar::cc::numeric::decode_i64;
+use zaatar::field::{Field, F128};
+
+fn run(src: &str, inputs: &[i64]) -> Vec<i64> {
+    run_opts(src, inputs, &CompileOptions::default())
+}
+
+fn run_opts(src: &str, inputs: &[i64], opts: &CompileOptions) -> Vec<i64> {
+    let compiled = compile::<F128>(src, opts).expect("compiles");
+    let ins: Vec<F128> = inputs.iter().map(|&v| F128::from_i64(v)).collect();
+    let asg = compiled.solver.solve(&ins).expect("solves");
+    assert!(
+        compiled.ginger.is_satisfied(&asg),
+        "constraint {:?} violated",
+        compiled.ginger.first_violation(&asg)
+    );
+    asg.extract(compiled.solver.outputs())
+        .into_iter()
+        .map(|v| decode_i64(v).expect("small output"))
+        .collect()
+}
+
+#[test]
+fn polynomial_evaluation() {
+    // Horner evaluation of a degree-4 polynomial.
+    let src = r"
+        input c[5];
+        input x;
+        output y;
+        var acc = c[4];
+        for i in 0..4 {
+            acc = acc * x + c[3 - i];
+        }
+        y = acc;
+    ";
+    // p(t) = 1 + 2t + 3t² + 4t³ + 5t⁴ at t = 2 → 129.
+    assert_eq!(run(src, &[1, 2, 3, 4, 5, 2]), vec![129]);
+}
+
+#[test]
+fn integer_square_root_by_search() {
+    let src = r"
+        input n;
+        output root;
+        var r = 0;
+        for c in 1..12 {
+            if (c * c <= n) { r = c; }
+        }
+        root = r;
+    ";
+    assert_eq!(run(src, &[0]), vec![0]);
+    assert_eq!(run(src, &[1]), vec![1]);
+    assert_eq!(run(src, &[99]), vec![9]);
+    assert_eq!(run(src, &[121]), vec![11]);
+}
+
+#[test]
+fn bubble_sort() {
+    let src = r"
+        input a[5];
+        output s[5];
+        var t[5];
+        for i in 0..5 { t[i] = a[i]; }
+        for pass in 0..4 {
+            for i in 0..4 {
+                if (t[i+1] < t[i]) {
+                    var tmp = t[i];
+                    t[i] = t[i+1];
+                    t[i+1] = tmp;
+                }
+            }
+        }
+        for i in 0..5 { s[i] = t[i]; }
+    ";
+    assert_eq!(run(src, &[5, 3, 9, 1, 7]), vec![1, 3, 5, 7, 9]);
+    assert_eq!(run(src, &[-2, 0, -5, 4, 4]), vec![-5, -2, 0, 4, 4]);
+}
+
+#[test]
+fn matrix_vector_product() {
+    let src = r"
+        input a[6];
+        input v[3];
+        output out[2];
+        for i in 0..2 {
+            out[i] = a[i*3]*v[0] + a[i*3+1]*v[1] + a[i*3+2]*v[2];
+        }
+    ";
+    // [[1,2,3],[4,5,6]]·[1,1,1] = [6, 15].
+    assert_eq!(run(src, &[1, 2, 3, 4, 5, 6, 1, 1, 1]), vec![6, 15]);
+}
+
+#[test]
+fn counting_with_predicates() {
+    let src = r"
+        input a[6];
+        input lo;
+        input hi;
+        output count;
+        var c = 0;
+        for i in 0..6 {
+            c = c + ((lo <= a[i]) && (a[i] < hi));
+        }
+        count = c;
+    ";
+    // a = [1,5,9,5,2,8], range [3,8): the two 5s qualify.
+    assert_eq!(run(src, &[1, 5, 9, 5, 2, 8, 3, 8]), vec![2]);
+}
+
+#[test]
+fn counting_with_predicates_correct() {
+    let src = r"
+        input a[4];
+        output count;
+        var c = 0;
+        for i in 0..4 {
+            c = c + ((2 <= a[i]) && (a[i] < 8));
+        }
+        count = c;
+    ";
+    assert_eq!(run(src, &[1, 2, 7, 8]), vec![2]);
+}
+
+#[test]
+fn fibonacci() {
+    let src = r"
+        input n0;
+        input n1;
+        output f;
+        var a = n0;
+        var b = n1;
+        for i in 0..10 {
+            var c = a + b;
+            a = b;
+            b = c;
+        }
+        f = b;
+    ";
+    // fib: 1,1,2,3,5,8,13,21,34,55,89,144 → after 10 steps from (1,1): 144.
+    assert_eq!(run(src, &[1, 1]), vec![144]);
+}
+
+#[test]
+fn gcd_bounded_euclid() {
+    // Subtraction-based GCD with a bounded iteration count.
+    let src = r"
+        input a;
+        input b;
+        output g;
+        var x = a;
+        var y = b;
+        for i in 0..24 {
+            if ((x != 0) && (y != 0)) {
+                if (x < y) { y = y - x; } else { x = x - y; }
+            }
+        }
+        if (x == 0) { g = y; } else { g = x; }
+    ";
+    assert_eq!(run(src, &[12, 18]), vec![6]);
+    assert_eq!(run(src, &[7, 13]), vec![1]);
+    assert_eq!(run(src, &[24, 24]), vec![24]);
+}
+
+#[test]
+fn symbolic_and_materialized_agree_everywhere() {
+    let cases: [(&str, &[i64]); 2] = [
+        (
+            "input a; input b; output y; y = (a + b) * (a - b) + a / 2;",
+            &[8, 2],
+        ),
+        (
+            "input a; output y; var t = a; for i in 0..3 { t = t * t; } y = t;",
+            &[3],
+        ),
+    ];
+    for (src, inputs) in cases {
+        let m = run_opts(src, inputs, &CompileOptions::default());
+        let s = run_opts(src, inputs, &CompileOptions::symbolic());
+        assert_eq!(m, s, "{src}");
+    }
+}
+
+#[test]
+fn wide_comparisons() {
+    // 60-bit operands, exercising the wide bit-decomposition path.
+    let src = "input a; input b; output y; y = a < b;";
+    let opts = CompileOptions {
+        width: 62,
+        ..CompileOptions::default()
+    };
+    let big = 1i64 << 59;
+    assert_eq!(run_opts(src, &[big - 1, big], &opts), vec![1]);
+    assert_eq!(run_opts(src, &[big, big - 1], &opts), vec![0]);
+    assert_eq!(run_opts(src, &[-big, big], &opts), vec![1]);
+}
+
+#[test]
+fn dynamic_indexing_opt_in() {
+    // The §5.4 "natural translation": data-dependent reads cost Θ(n)
+    // constraints per access, and are rejected unless opted into.
+    let src = r"
+        input a[6];
+        input i;
+        output y;
+        y = a[i] * 2;
+    ";
+    // Default: rejected with the paper's rationale.
+    let err = zaatar::cc::lang::compile::<F128>(src, &CompileOptions::default()).unwrap_err();
+    assert!(err.msg.contains("5.4"), "{err}");
+    // Opt-in: works, at linear cost.
+    let opts = CompileOptions {
+        dynamic_indexing: true,
+        ..CompileOptions::default()
+    };
+    assert_eq!(run_opts(src, &[10, 20, 30, 40, 50, 60, 4], &opts), vec![100]);
+    assert_eq!(run_opts(src, &[10, 20, 30, 40, 50, 60, 0], &opts), vec![20]);
+    // Cost scales with the array length.
+    let big = "input a[60]; input i; output y; y = a[i];";
+    let small = "input a[6]; input i; output y; y = a[i];";
+    let cb = zaatar::cc::lang::compile::<F128>(big, &opts).unwrap();
+    let cs = zaatar::cc::lang::compile::<F128>(small, &opts).unwrap();
+    assert!(cb.ginger.constraints.len() > 5 * cs.ginger.constraints.len());
+}
