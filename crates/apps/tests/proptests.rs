@@ -1,13 +1,36 @@
 //! Cross-validation of the benchmark reference implementations against
 //! independently-written algorithms, plus invariants of the generated
-//! instances.
+//! instances. Driven by a small in-tree deterministic generator (the
+//! build must work offline, so no external proptest dependency).
 
-use proptest::prelude::*;
 use zaatar_apps::apsp::Apsp;
 use zaatar_apps::bisection::Bisection;
 use zaatar_apps::fannkuch::Fannkuch;
 use zaatar_apps::lcs::Lcs;
 use zaatar_apps::pam::Pam;
+
+/// Deterministic splitmix64 generator standing in for proptest.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn symbols(&mut self, n: usize, alphabet: i64) -> Vec<i64> {
+        (0..n).map(|_| (self.next_u64() % alphabet as u64) as i64).collect()
+    }
+}
+
+const CASES: usize = 32;
 
 /// Bellman–Ford from a single source (independent of Floyd–Warshall).
 fn bellman_ford(m: usize, w: &[i64], src: usize) -> Vec<i64> {
@@ -38,12 +61,12 @@ fn lcs_brute(a: &[i64], b: &[i64]) -> i64 {
     go(a, b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Floyd–Warshall agrees with per-source Bellman–Ford.
-    #[test]
-    fn apsp_matches_bellman_ford(seed in any::<u64>()) {
+/// Floyd–Warshall agrees with per-source Bellman–Ford.
+#[test]
+fn apsp_matches_bellman_ford() {
+    let mut g = Gen::new(1);
+    for _ in 0..CASES {
+        let seed = g.next_u64();
         let app = Apsp { m: 5 };
         let w = app.gen_numerators(seed);
         let fw = app.reference(&w);
@@ -53,32 +76,36 @@ proptest! {
                 // Unreachable pairs: both are "large", exact sentinel
                 // differs, so compare only reachable distances.
                 if fw[src * app.m + v] < (1 << 24) {
-                    prop_assert_eq!(fw[src * app.m + v], bf[v], "{}->{}", src, v);
+                    assert_eq!(fw[src * app.m + v], bf[v], "{src}->{v}");
                 }
             }
         }
     }
+}
 
-    /// The DP agrees with the exponential recursion for tiny strings.
-    #[test]
-    fn lcs_matches_brute_force(
-        a in prop::collection::vec(0i64..3, 5),
-        b in prop::collection::vec(0i64..3, 5),
-    ) {
+/// The DP agrees with the exponential recursion for tiny strings.
+#[test]
+fn lcs_matches_brute_force() {
+    let mut g = Gen::new(2);
+    for _ in 0..CASES {
+        let a = g.symbols(5, 3);
+        let b = g.symbols(5, 3);
         let app = Lcs { m: 5 };
         let mut inputs = a.clone();
         inputs.extend(b.clone());
-        prop_assert_eq!(app.reference(&inputs)[0], lcs_brute(&a, &b));
+        assert_eq!(app.reference(&inputs)[0], lcs_brute(&a, &b));
     }
+}
 
-    /// LCS monotonicity: appending the same symbol to both strings
-    /// increases the LCS by exactly one.
-    #[test]
-    fn lcs_appending_common_symbol(
-        a in prop::collection::vec(0i64..4, 4),
-        b in prop::collection::vec(0i64..4, 4),
-        s in 0i64..4,
-    ) {
+/// LCS monotonicity: appending the same symbol to both strings increases
+/// the LCS by exactly one.
+#[test]
+fn lcs_appending_common_symbol() {
+    let mut g = Gen::new(3);
+    for _ in 0..CASES {
+        let a = g.symbols(4, 4);
+        let b = g.symbols(4, 4);
+        let s = (g.next_u64() % 4) as i64;
         let base = {
             let app = Lcs { m: 4 };
             let mut inputs = a.clone();
@@ -93,14 +120,18 @@ proptest! {
             inputs.push(s);
             app.reference(&inputs)[0]
         };
-        prop_assert_eq!(extended, base + 1);
+        assert_eq!(extended, base + 1);
     }
+}
 
-    /// PAM's returned cost is exactly the cost of its returned medoids,
-    /// and no other pair beats it (checked with an independently coded
-    /// distance routine, looping in transposed order).
-    #[test]
-    fn pam_returns_the_optimum(seed in any::<u64>()) {
+/// PAM's returned cost is exactly the cost of its returned medoids, and
+/// no other pair beats it (checked with an independently coded distance
+/// routine, looping in transposed order).
+#[test]
+fn pam_returns_the_optimum() {
+    let mut g = Gen::new(4);
+    for _ in 0..CASES {
+        let seed = g.next_u64();
         let app = Pam { m: 5, d: 3 };
         let inputs: Vec<i64> = zaatar_apps::Suite::Pam(app)
             .gen_inputs::<zaatar_field::F128>(seed)
@@ -120,37 +151,49 @@ proptest! {
         let cost = |c1: usize, c2: usize| -> i64 {
             (0..app.m).map(|p| dist(p, c1).min(dist(p, c2))).sum()
         };
-        prop_assert_eq!(cost(m1, m2), best, "claimed cost must be real");
+        assert_eq!(cost(m1, m2), best, "claimed cost must be real");
         for c1 in 0..app.m {
             for c2 in c1 + 1..app.m {
-                prop_assert!(cost(c1, c2) >= best, "({c1},{c2}) beats the claim");
+                assert!(cost(c1, c2) >= best, "({c1},{c2}) beats the claim");
             }
         }
     }
+}
 
-    /// Fannkuch outputs are within the flip bound and zero exactly when
-    /// every permutation starts with 1... (weaker: identity-only input
-    /// gives zero).
-    #[test]
-    fn fannkuch_bounds(seed in any::<u64>()) {
-        let app = Fannkuch { m: 4, p: 5, flip_bound: 12 };
+/// Fannkuch outputs are within the flip bound and zero exactly when
+/// every permutation starts with 1... (weaker: identity-only input gives
+/// zero).
+#[test]
+fn fannkuch_bounds() {
+    let mut g = Gen::new(5);
+    for _ in 0..CASES {
+        let seed = g.next_u64();
+        let app = Fannkuch {
+            m: 4,
+            p: 5,
+            flip_bound: 12,
+        };
         let perms = app.gen_permutations(seed);
         let out = app.reference(&perms)[0];
-        prop_assert!((0..=app.flip_bound as i64).contains(&out));
+        assert!((0..=app.flip_bound as i64).contains(&out));
         // Identity permutations → zero flips.
         let ident: Vec<i64> = (0..app.m).flat_map(|_| 1..=app.p as i64).collect();
-        prop_assert_eq!(app.reference(&ident), vec![0]);
+        assert_eq!(app.reference(&ident), vec![0]);
     }
+}
 
-    /// Bisection maintains its bracket invariant for arbitrary seeds.
-    #[test]
-    fn bisection_bracket_invariant(seed in any::<u64>()) {
+/// Bisection maintains its bracket invariant for arbitrary seeds.
+#[test]
+fn bisection_bracket_invariant() {
+    let mut g = Gen::new(6);
+    for _ in 0..CASES {
+        let seed = g.next_u64();
         let app = Bisection { m: 3, l: 5 };
         let raw = app.gen_raw_inputs(seed);
         let root = app.reference(&raw)[0];
         // The root numerator stays inside the initial interval, scaled.
         let lo0 = raw[2 * app.m + 1] << app.l;
         let hi0 = raw[2 * app.m + 2] << app.l;
-        prop_assert!((lo0..hi0).contains(&root), "root {root} outside [{lo0},{hi0})");
+        assert!((lo0..hi0).contains(&root), "root {root} outside [{lo0},{hi0})");
     }
 }

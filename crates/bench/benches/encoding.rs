@@ -1,10 +1,11 @@
-//! Criterion benches for the headline encoding ablation: proof-vector
+//! Benches for the headline encoding ablation: proof-vector
 //! construction under Zaatar's `(z, h)` vs Ginger's `(z, z⊗z)`, plus the
-//! §4 transform variants.
+//! §4 transform variants. On the in-tree harness
+//! (`zaatar_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use zaatar_apps::{build, Suite};
+use zaatar_bench::harness::BenchGroup;
 use zaatar_cc::{ginger_to_quad, ginger_to_quad_optimized, linearize_io};
 use zaatar_core::ginger::GingerPcp;
 use zaatar_core::pcp::{PcpParams, ZaatarPcp};
@@ -13,9 +14,8 @@ use zaatar_field::F61;
 
 /// Proof construction: Zaatar's FFT-based quotient vs Ginger's outer
 /// product, on the same computation at growing sizes.
-fn proof_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("proof_construction");
-    group.sample_size(10);
+fn proof_construction() {
+    let mut group = BenchGroup::new("proof_construction");
     for m in [4usize, 8] {
         let app = Suite::Lcs(zaatar_apps::lcs::Lcs { m });
         let art = build::<F61>(&app);
@@ -26,35 +26,28 @@ fn proof_construction(c: &mut Criterion) {
         let qap = Qap::new(&art.quad.system);
         let witness = qap.witness(&ext);
         let pcp = ZaatarPcp::new(qap, PcpParams::light());
-        group.bench_with_input(BenchmarkId::new("zaatar_z_h", m), &m, |b, _| {
-            b.iter(|| black_box(pcp.prove(&witness)))
-        });
+        group.bench(&format!("zaatar_z_h/{m}"), || black_box(pcp.prove(&witness)));
         // Ginger path: (z, z⊗z) over the io-linearized system.
         let lin = linearize_io(&art.compiled.ginger);
         let gext = lin.extend_assignment(&asg);
         let gpcp = GingerPcp::new(&lin.system, PcpParams::light());
         let (z, _) = gpcp.split_assignment(&gext);
-        group.bench_with_input(BenchmarkId::new("ginger_z_zz", m), &m, |b, _| {
-            b.iter(|| black_box(gpcp.prove(z.clone())))
-        });
+        group.bench(&format!("ginger_z_zz/{m}"), || black_box(gpcp.prove(z.clone())));
     }
-    group.finish();
 }
 
 /// The §4 transform: mechanical vs single-product-optimized.
-fn transform_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ginger_to_quad");
-    group.sample_size(10);
+fn transform_variants() {
+    let mut group = BenchGroup::new("ginger_to_quad");
     let app = Suite::Apsp(zaatar_apps::apsp::Apsp { m: 6 });
     let art = build::<F61>(&app);
-    group.bench_function("mechanical", |b| {
-        b.iter(|| black_box(ginger_to_quad(&art.compiled.ginger)))
+    group.bench("mechanical", || black_box(ginger_to_quad(&art.compiled.ginger)));
+    group.bench("optimized", || {
+        black_box(ginger_to_quad_optimized(&art.compiled.ginger))
     });
-    group.bench_function("optimized", |b| {
-        b.iter(|| black_box(ginger_to_quad_optimized(&art.compiled.ginger)))
-    });
-    group.finish();
 }
 
-criterion_group!(benches, proof_construction, transform_variants);
-criterion_main!(benches);
+fn main() {
+    proof_construction();
+    transform_variants();
+}

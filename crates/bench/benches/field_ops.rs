@@ -1,67 +1,62 @@
-//! Criterion benches for the §5.1 field/crypto primitive operations.
+//! Benches for the §5.1 field/crypto primitive operations, on the
+//! in-tree harness (`zaatar_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use zaatar_bench::harness::BenchGroup;
 use zaatar_crypto::{ChaChaPrg, ElGamal, KeyPair};
 use zaatar_field::{Field, F128, F220, F61};
 
-fn field_mul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("field_mul");
-    group.sample_size(40);
+fn field_mul() {
+    let mut group = BenchGroup::new("field_mul");
     let mut prg = ChaChaPrg::from_u64_seed(1);
     let a128: F128 = prg.field_element();
     let b128: F128 = prg.field_element();
-    group.bench_function("f128", |b| b.iter(|| black_box(a128) * black_box(b128)));
+    group.bench("f128", || black_box(a128) * black_box(b128));
     let a220: F220 = prg.field_element();
     let b220: F220 = prg.field_element();
-    group.bench_function("f220", |b| b.iter(|| black_box(a220) * black_box(b220)));
+    group.bench("f220", || black_box(a220) * black_box(b220));
     let a61: F61 = prg.field_element();
     let b61: F61 = prg.field_element();
-    group.bench_function("f61", |b| b.iter(|| black_box(a61) * black_box(b61)));
-    group.finish();
+    group.bench("f61", || black_box(a61) * black_box(b61));
 }
 
-fn field_inverse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("field_inverse");
-    group.sample_size(20);
+fn field_inverse() {
+    let mut group = BenchGroup::new("field_inverse");
     let mut prg = ChaChaPrg::from_u64_seed(2);
     let a: F128 = prg.field_element();
-    group.bench_function("f128", |b| b.iter(|| black_box(a).inverse()));
-    group.finish();
+    group.bench("f128", || black_box(a).inverse());
 }
 
-fn prg_element(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prg_field_element");
-    group.sample_size(30);
+fn prg_element() {
+    let mut group = BenchGroup::new("prg_field_element");
     let mut prg = ChaChaPrg::from_u64_seed(3);
-    group.bench_function("f128", |b| b.iter(|| black_box(prg.field_element::<F128>())));
-    group.finish();
+    group.bench("f128", || black_box(prg.field_element::<F128>()));
 }
 
-fn elgamal_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("elgamal");
-    group.sample_size(10);
+fn elgamal_ops() {
+    let mut group = BenchGroup::new("elgamal");
     let mut prg = ChaChaPrg::from_u64_seed(4);
     // The 256-bit test group keeps the bench quick; the 1024-bit
     // production group is exercised by the figure binaries.
     let kp = KeyPair::<F61>::generate(&mut prg);
     let m: F61 = prg.field_element();
-    group.bench_function("encrypt_f61_group", |b| {
-        b.iter(|| ElGamal::<F61>::encrypt(kp.public(), black_box(m), &mut prg))
+    group.bench("encrypt_f61_group", || {
+        ElGamal::<F61>::encrypt(kp.public(), black_box(m), &mut prg)
     });
     let ct = ElGamal::<F61>::encrypt(kp.public(), m, &mut prg);
-    group.bench_function("decrypt_f61_group", |b| {
-        b.iter(|| ElGamal::<F61>::decrypt_to_group(&kp, black_box(&ct)))
+    group.bench("decrypt_f61_group", || {
+        ElGamal::<F61>::decrypt_to_group(&kp, black_box(&ct))
     });
     let s: F61 = prg.field_element();
-    group.bench_function("homomorphic_scale_add", |b| {
-        b.iter(|| {
-            let t = ElGamal::<F61>::scale(black_box(&ct), black_box(s));
-            ElGamal::<F61>::add(&t, &ct)
-        })
+    group.bench("homomorphic_scale_add", || {
+        let t = ElGamal::<F61>::scale(black_box(&ct), black_box(s));
+        ElGamal::<F61>::add(&t, &ct)
     });
-    group.finish();
 }
 
-criterion_group!(benches, field_mul, field_inverse, prg_element, elgamal_ops);
-criterion_main!(benches);
+fn main() {
+    field_mul();
+    field_inverse();
+    prg_element();
+    elgamal_ops();
+}

@@ -1,79 +1,65 @@
-//! Criterion benches for the polynomial machinery behind the prover's
-//! quotient computation (App. A.3): NTT, interpolation, multiplication,
-//! and the two domain flavours.
+//! Benches for the polynomial machinery behind the prover's quotient
+//! computation (App. A.3): NTT, interpolation, multiplication, and the
+//! two domain flavours. On the in-tree harness (`zaatar_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use zaatar_bench::harness::BenchGroup;
 use zaatar_crypto::ChaChaPrg;
 use zaatar_field::F128;
 use zaatar_poly::domain::EvalDomain;
 use zaatar_poly::{fft, ArithDomain, DensePoly, Radix2Domain};
 
-fn ntt_sizes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ntt");
-    group.sample_size(20);
+fn ntt_sizes() {
+    let mut group = BenchGroup::new("ntt");
     let mut prg = ChaChaPrg::from_u64_seed(7);
     for log_n in [8u32, 10, 12] {
         let n = 1usize << log_n;
         let data: Vec<F128> = prg.field_vec(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut a = data.clone();
-                fft::ntt(&mut a);
-                black_box(a)
-            })
+        group.bench(&format!("{n}"), || {
+            let mut a = data.clone();
+            fft::ntt(&mut a);
+            black_box(a)
         });
     }
-    group.finish();
 }
 
-fn poly_mul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("poly_mul");
-    group.sample_size(15);
+fn poly_mul() {
+    let mut group = BenchGroup::new("poly_mul");
     let mut prg = ChaChaPrg::from_u64_seed(8);
     for n in [256usize, 1024] {
         let a = DensePoly::from_coeffs(prg.field_vec::<F128>(n));
-        let b_ = DensePoly::from_coeffs(prg.field_vec::<F128>(n));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(&a) * black_box(&b_))
-        });
+        let b = DensePoly::from_coeffs(prg.field_vec::<F128>(n));
+        group.bench(&format!("{n}"), || black_box(&a) * black_box(&b));
     }
-    group.finish();
 }
 
-fn interpolation_domains(c: &mut Criterion) {
+fn interpolation_domains() {
     // The DESIGN.md §5 domain ablation: subgroup (NTT) vs the paper's
     // literal arithmetic progression (subproduct tree).
-    let mut group = c.benchmark_group("interpolate_zero_pinned");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("interpolate_zero_pinned");
     let mut prg = ChaChaPrg::from_u64_seed(9);
     let n = 256usize;
     let evals: Vec<F128> = prg.field_vec(n);
     let radix2 = Radix2Domain::<F128>::new(n);
     let arith = ArithDomain::<F128>::new(n);
-    group.bench_function("radix2_256", |b| {
-        b.iter(|| black_box(radix2.interpolate_zero_pinned(&evals)))
-    });
-    group.bench_function("arith_256", |b| {
-        b.iter(|| black_box(arith.interpolate_zero_pinned(&evals)))
-    });
-    group.finish();
+    group.bench("radix2_256", || black_box(radix2.interpolate_zero_pinned(&evals)));
+    group.bench("arith_256", || black_box(arith.interpolate_zero_pinned(&evals)));
 }
 
-fn lagrange_basis(c: &mut Criterion) {
+fn lagrange_basis() {
     // The verifier's per-τ query-construction primitive.
-    let mut group = c.benchmark_group("lagrange_coeffs_at");
-    group.sample_size(20);
+    let mut group = BenchGroup::new("lagrange_coeffs_at");
     let mut prg = ChaChaPrg::from_u64_seed(10);
     let tau: F128 = prg.field_element();
     for n in [1024usize, 4096] {
         let d = Radix2Domain::<F128>::new(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(d.lagrange_coeffs_at(tau)))
-        });
+        group.bench(&format!("{n}"), || black_box(d.lagrange_coeffs_at(tau)));
     }
-    group.finish();
 }
 
-criterion_group!(benches, ntt_sizes, poly_mul, interpolation_domains, lagrange_basis);
-criterion_main!(benches);
+fn main() {
+    ntt_sizes();
+    poly_mul();
+    interpolation_domains();
+    lagrange_basis();
+}

@@ -1,17 +1,18 @@
-//! Criterion benches for the protocol phases: the prover's quotient
-//! computation, query answering, commitment, and the verifier's query
-//! generation and checking — on a real compiled benchmark (LCS).
+//! Benches for the protocol phases: the prover's quotient computation,
+//! query answering, commitment, and the verifier's query generation and
+//! checking — on a real compiled benchmark (LCS). On the in-tree harness
+//! (`zaatar_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use zaatar_apps::{build, Suite};
+use zaatar_bench::harness::BenchGroup;
 use zaatar_core::commit::{decommit, CommitmentKey};
 use zaatar_core::pcp::{PcpParams, ZaatarPcp};
 use zaatar_core::qap::Qap;
 use zaatar_crypto::ChaChaPrg;
 use zaatar_field::F61;
 
-fn protocol_phases(c: &mut Criterion) {
+fn protocol_phases() {
     let app = Suite::Lcs(zaatar_apps::lcs::Lcs { m: 8 });
     let art = build::<F61>(&app);
     let inputs: Vec<F61> = app.gen_inputs(1);
@@ -28,56 +29,46 @@ fn protocol_phases(c: &mut Criterion) {
         .collect();
     let pcp = ZaatarPcp::new(qap, PcpParams::light());
 
-    let mut group = c.benchmark_group("protocol");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("protocol");
 
-    group.bench_function("witness_solve", |b| {
-        b.iter(|| {
-            let a = art.compiled.solver.solve(black_box(&inputs)).unwrap();
-            black_box(art.quad.extend_assignment(&a))
-        })
+    group.bench("witness_solve", || {
+        let a = art.compiled.solver.solve(black_box(&inputs)).unwrap();
+        black_box(art.quad.extend_assignment(&a))
     });
 
-    group.bench_function("prover_compute_h", |b| {
-        b.iter(|| black_box(pcp.qap().compute_h(&witness)))
-    });
+    group.bench("prover_compute_h", || black_box(pcp.qap().compute_h(&witness)));
 
     let proof = pcp.prove(&witness).unwrap();
     let mut prg = ChaChaPrg::from_u64_seed(2);
     let queries = pcp.generate_queries(&mut prg);
 
-    group.bench_function("verifier_generate_queries", |b| {
-        b.iter(|| {
-            let mut p = ChaChaPrg::from_u64_seed(3);
-            black_box(pcp.generate_queries(&mut p))
-        })
+    group.bench("verifier_generate_queries", || {
+        let mut p = ChaChaPrg::from_u64_seed(3);
+        black_box(pcp.generate_queries(&mut p))
     });
 
-    group.bench_function("prover_answer_queries", |b| {
-        b.iter(|| black_box(pcp.answer(&proof, &queries)))
-    });
+    group.bench("prover_answer_queries", || black_box(pcp.answer(&proof, &queries)));
 
     let responses = pcp.answer(&proof, &queries);
-    group.bench_function("verifier_pcp_check", |b| {
-        b.iter(|| black_box(pcp.check(&queries, &responses, &io)))
+    group.bench("verifier_pcp_check", || {
+        black_box(pcp.check(&queries, &responses, &io))
     });
 
     // Commitment phases on the z-oracle.
     let mut prg = ChaChaPrg::from_u64_seed(4);
     let key = CommitmentKey::<F61>::generate(proof.z.len(), &mut prg);
-    group.bench_function("prover_commit", |b| {
-        b.iter(|| black_box(CommitmentKey::<F61>::commit(&key.enc_r, &proof.z)))
+    group.bench("prover_commit", || {
+        black_box(CommitmentKey::<F61>::commit(&key.enc_r, &proof.z))
     });
     let zq = queries.z_queries();
     let (t, alphas) = key.consistency_query(&zq, &mut prg);
     let commitment = CommitmentKey::<F61>::commit(&key.enc_r, &proof.z);
     let d = decommit(&proof.z, &zq, &t);
-    group.bench_function("verifier_decommit_check", |b| {
-        b.iter(|| black_box(key.verify(&commitment, &d.answers, d.t_answer, &alphas)))
+    group.bench("verifier_decommit_check", || {
+        black_box(key.verify(&commitment, &d.answers, d.t_answer, &alphas))
     });
-
-    group.finish();
 }
 
-criterion_group!(benches, protocol_phases);
-criterion_main!(benches);
+fn main() {
+    protocol_phases();
+}

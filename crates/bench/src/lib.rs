@@ -12,6 +12,8 @@
 
 use std::time::Instant;
 
+pub mod harness;
+
 use zaatar_apps::{build, AppArtifacts, Suite};
 use zaatar_cc::numeric::decode_i64;
 use zaatar_cc::Assignment;

@@ -1,13 +1,39 @@
-//! Property tests for the constraint compiler: random programs and
+//! Property-style tests for the constraint compiler: random programs and
 //! random gadget circuits must always produce constraint systems whose
 //! solver-generated witnesses satisfy them, whose transforms preserve
-//! satisfiability, and whose outputs match direct evaluation.
+//! satisfiability, and whose outputs match direct evaluation. Driven by
+//! a small in-tree deterministic generator (the build must work offline,
+//! so no external proptest dependency).
 
-use proptest::prelude::*;
 use zaatar_cc::lang::{compile, CompileOptions};
 use zaatar_cc::numeric::decode_i64;
 use zaatar_cc::{ginger_stats, ginger_to_quad, ginger_to_quad_optimized, linearize_io, Builder};
 use zaatar_field::{Field, F61};
+
+/// Deterministic splitmix64 generator standing in for proptest.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % ((hi - lo) as u64)) as i64
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// A small random expression AST over two inputs `a`, `b` and constants.
 #[derive(Clone, Debug)]
@@ -42,7 +68,7 @@ impl E {
         }
     }
 
-    /// Direct evaluation over i128 (wide enough for depth-4 products of
+    /// Direct evaluation over i128 (wide enough for depth-3 products of
     /// 8-bit values).
     fn eval(&self, a: i128, b: i128) -> i128 {
         match self {
@@ -69,60 +95,79 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::A),
-        Just(E::B),
-        any::<i8>().prop_map(E::Const),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Add(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Sub(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Mul(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Lt(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Eq(Box::new(l), Box::new(r))),
-        ]
-    })
+/// A random expression of bounded depth.
+fn arb_expr(g: &mut Gen, depth: u32) -> E {
+    if depth == 0 || g.next_u64().is_multiple_of(4) {
+        return match g.next_u64() % 3 {
+            0 => E::A,
+            1 => E::B,
+            _ => E::Const(g.next_u64() as i8),
+        };
+    }
+    let l = Box::new(arb_expr(g, depth - 1));
+    let r = Box::new(arb_expr(g, depth - 1));
+    match g.next_u64() % 5 {
+        0 => E::Add(l, r),
+        1 => E::Sub(l, r),
+        2 => E::Mul(l, r),
+        3 => E::Lt(l, r),
+        _ => E::Eq(l, r),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random expression whose magnitude bound keeps comparisons inside
+/// the gadget width.
+fn arb_bounded_expr(g: &mut Gen) -> E {
+    loop {
+        let e = arb_expr(g, 3);
+        if e.bound() < (1 << 40) {
+            return e;
+        }
+    }
+}
 
-    /// Random expressions compile, solve, satisfy their constraints, and
-    /// equal direct evaluation — in both compiler modes.
-    #[test]
-    fn compiled_expressions_match_direct_evaluation(
-        e in arb_expr(),
-        a in -100i64..100,
-        b in -100i64..100,
-    ) {
-        // Comparisons inside need |lhs − rhs| < 2^width; bound crudely.
-        prop_assume!(e.bound() < (1 << 40));
+/// Random expressions compile, solve, satisfy their constraints, and
+/// equal direct evaluation — in both compiler modes.
+#[test]
+fn compiled_expressions_match_direct_evaluation() {
+    let mut g = Gen::new(1);
+    for _ in 0..48 {
+        let e = arb_bounded_expr(&mut g);
+        let a = g.range_i64(-100, 100);
+        let b = g.range_i64(-100, 100);
         let src = format!("input a; input b; output y; y = {};", e.to_zsl());
         let expect = e.eval(a as i128, b as i128);
-        for opts in [CompileOptions { width: 44, materialize: true, ..CompileOptions::default() },
-                     CompileOptions { width: 44, materialize: false, ..CompileOptions::default() }] {
+        for materialize in [true, false] {
+            let opts = CompileOptions {
+                width: 44,
+                materialize,
+                ..CompileOptions::default()
+            };
             let compiled = compile::<F61>(&src, &opts).expect("compiles");
             let ins = vec![F61::from_i64(a), F61::from_i64(b)];
             let asg = compiled.solver.solve(&ins).expect("solves");
-            prop_assert!(compiled.ginger.is_satisfied(&asg));
+            assert!(compiled.ginger.is_satisfied(&asg));
             let y = decode_i64(asg.extract(compiled.solver.outputs())[0]).expect("small");
-            prop_assert_eq!(y as i128, expect, "{}", src);
+            assert_eq!(y as i128, expect, "{src}");
         }
     }
+}
 
-    /// The §4 transform preserves (un)satisfiability on random circuits.
-    #[test]
-    fn transform_preserves_satisfiability(
-        e in arb_expr(),
-        a in -50i64..50,
-        b in -50i64..50,
-        corrupt in any::<bool>(),
-    ) {
-        prop_assume!(e.bound() < (1 << 40));
+/// The §4 transform preserves (un)satisfiability on random circuits.
+#[test]
+fn transform_preserves_satisfiability() {
+    let mut g = Gen::new(2);
+    for _ in 0..48 {
+        let e = arb_bounded_expr(&mut g);
+        let a = g.range_i64(-50, 50);
+        let b = g.range_i64(-50, 50);
+        let corrupt = g.bool();
         let src = format!("input a; input b; output y; y = {};", e.to_zsl());
-        let opts = CompileOptions { width: 44, materialize: true, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            width: 44,
+            materialize: true,
+            ..CompileOptions::default()
+        };
         let compiled = compile::<F61>(&src, &opts).expect("compiles");
         let ins = vec![F61::from_i64(a), F61::from_i64(b)];
         let mut asg = compiled.solver.solve(&ins).expect("solves");
@@ -131,32 +176,48 @@ proptest! {
             asg.set(out, asg.get(out) + F61::ONE);
         }
         let sat_g = compiled.ginger.is_satisfied(&asg);
-        for t in [ginger_to_quad(&compiled.ginger), ginger_to_quad_optimized(&compiled.ginger)] {
+        for t in [
+            ginger_to_quad(&compiled.ginger),
+            ginger_to_quad_optimized(&compiled.ginger),
+        ] {
             let ext = t.extend_assignment(&asg);
-            prop_assert_eq!(t.system.is_satisfied(&ext), sat_g);
+            assert_eq!(t.system.is_satisfied(&ext), sat_g);
         }
         let lin = linearize_io(&compiled.ginger);
-        prop_assert_eq!(lin.system.is_satisfied(&lin.extend_assignment(&asg)), sat_g);
+        assert_eq!(lin.system.is_satisfied(&lin.extend_assignment(&asg)), sat_g);
     }
+}
 
-    /// Fig. 3's size relations hold for arbitrary compiled circuits.
-    #[test]
-    fn size_relations_hold(e in arb_expr()) {
+/// Fig. 3's size relations hold for arbitrary compiled circuits.
+#[test]
+fn size_relations_hold() {
+    let mut g = Gen::new(3);
+    for _ in 0..48 {
+        let e = arb_expr(&mut g, 3);
         let src = format!("input a; input b; output y; y = {};", e.to_zsl());
-        let opts = CompileOptions { width: 44, materialize: true, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            width: 44,
+            materialize: true,
+            ..CompileOptions::default()
+        };
         let compiled = compile::<F61>(&src, &opts).expect("compiles");
-        let g = ginger_stats(&compiled.ginger);
+        let stats = ginger_stats(&compiled.ginger);
         let t = ginger_to_quad(&compiled.ginger);
         let z = zaatar_cc::quad_stats(&t.system);
-        prop_assert_eq!(z.num_unbound, g.num_unbound + g.k2_distinct);
-        prop_assert_eq!(z.num_constraints, g.num_constraints + g.k2_distinct);
-        prop_assert_eq!(t.k2(), g.k2_distinct);
+        assert_eq!(z.num_unbound, stats.num_unbound + stats.k2_distinct);
+        assert_eq!(z.num_constraints, stats.num_constraints + stats.k2_distinct);
+        assert_eq!(t.k2(), stats.k2_distinct);
     }
+}
 
-    /// The comparison gadget agrees with native `<` across its full
-    /// contracted range.
-    #[test]
-    fn less_than_gadget_is_correct(a in -(1i64 << 20)..(1i64 << 20), b in -(1i64 << 20)..(1i64 << 20)) {
+/// The comparison gadget agrees with native `<` across its full
+/// contracted range.
+#[test]
+fn less_than_gadget_is_correct() {
+    let mut g = Gen::new(4);
+    for _ in 0..64 {
+        let a = g.range_i64(-(1 << 20), 1 << 20);
+        let b = g.range_i64(-(1 << 20), 1 << 20);
         let mut builder = Builder::<F61>::new();
         let x = builder.alloc_input();
         let y = builder.alloc_input();
@@ -164,14 +225,20 @@ proptest! {
         builder.bind_output(&lt);
         let (sys, solver) = builder.finish();
         let asg = solver.solve(&[F61::from_i64(a), F61::from_i64(b)]).unwrap();
-        prop_assert!(sys.is_satisfied(&asg));
+        assert!(sys.is_satisfied(&asg));
         let got = asg.extract(solver.outputs())[0];
-        prop_assert_eq!(got, F61::from_u64(u64::from(a < b)));
+        assert_eq!(got, F61::from_u64(u64::from(a < b)));
     }
+}
 
-    /// `is_eq` / `is_nonzero` agree with native equality.
-    #[test]
-    fn equality_gadget_is_correct(a in any::<i32>(), b in any::<i32>()) {
+/// `is_eq` / `is_nonzero` agree with native equality.
+#[test]
+fn equality_gadget_is_correct() {
+    let mut g = Gen::new(5);
+    for case in 0..64 {
+        let a = g.next_u64() as i32;
+        // Mix in genuinely equal pairs (random i32s almost never collide).
+        let b = if case % 4 == 0 { a } else { g.next_u64() as i32 };
         let mut builder = Builder::<F61>::new();
         let x = builder.alloc_input();
         let y = builder.alloc_input();
@@ -181,46 +248,49 @@ proptest! {
         let asg = solver
             .solve(&[F61::from_i64(a as i64), F61::from_i64(b as i64)])
             .unwrap();
-        prop_assert!(sys.is_satisfied(&asg));
-        prop_assert_eq!(
+        assert!(sys.is_satisfied(&asg));
+        assert_eq!(
             asg.extract(solver.outputs())[0],
             F61::from_u64(u64::from(a == b))
         );
     }
+}
 
-    /// Bit decomposition round-trips arbitrary values in range.
-    #[test]
-    fn bit_decompose_recomposes(v in 0u64..(1 << 48)) {
+/// Bit decomposition round-trips arbitrary values in range.
+#[test]
+fn bit_decompose_recomposes() {
+    let mut g = Gen::new(6);
+    for _ in 0..48 {
+        let v = g.next_u64() % (1 << 48);
         let mut builder = Builder::<F61>::new();
         let x = builder.alloc_input();
         let bits = builder.bit_decompose(&x, 48);
         let (sys, solver) = builder.finish();
         let asg = solver.solve(&[F61::from_u64(v)]).unwrap();
-        prop_assert!(sys.is_satisfied(&asg));
+        assert!(sys.is_satisfied(&asg));
         let mut recomposed = 0u64;
         for (i, bit) in bits.iter().enumerate() {
             let val = bit.eval(&asg);
-            prop_assert!(val == F61::ZERO || val == F61::ONE);
+            assert!(val == F61::ZERO || val == F61::ONE);
             if val == F61::ONE {
                 recomposed |= 1 << i;
             }
         }
-        prop_assert_eq!(recomposed, v);
+        assert_eq!(recomposed, v);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The pretty-printer round-trips random expression programs.
-    #[test]
-    fn formatter_round_trips(e in arb_expr()) {
-        use zaatar_cc::lang::{format_program, parse};
+/// The pretty-printer round-trips random expression programs.
+#[test]
+fn formatter_round_trips() {
+    use zaatar_cc::lang::{format_program, parse};
+    let mut g = Gen::new(7);
+    for _ in 0..128 {
+        let e = arb_expr(&mut g, 3);
         let src = format!("input a; input b; output y; y = {};", e.to_zsl());
         let ast1 = parse(&src).expect("parses");
         let printed = format_program(&ast1);
-        let ast2 = parse(&printed)
-            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
-        prop_assert_eq!(ast1, ast2);
+        let ast2 = parse(&printed).unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        assert_eq!(ast1, ast2);
     }
 }

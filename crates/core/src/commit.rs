@@ -79,7 +79,11 @@ impl<F: HasGroup> CommitmentKey<F> {
         t_answer: F,
         alphas: &[F],
     ) -> bool {
-        debug_assert_eq!(answers.len(), alphas.len());
+        // `answers` comes off the wire; a count mismatch is an invalid
+        // decommitment, not a programming error.
+        if answers.len() != alphas.len() {
+            return false;
+        }
         let folded: F = answers
             .iter()
             .zip(alphas.iter())

@@ -34,6 +34,7 @@ pub mod network;
 pub mod parallel;
 pub mod pcp;
 pub mod qap;
+pub mod runtime;
 pub mod session;
 pub mod soundness;
 pub mod wire;
@@ -48,4 +49,7 @@ pub use ginger::{GingerPcp, GingerProof};
 pub use pcp::{PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
 pub use network::{queries_from_seed, zaatar_network_costs, NetworkCosts};
 pub use qap::{Qap, QapEvals, QapWitness};
-pub use session::{SessionProver, SessionVerifier};
+pub use runtime::{
+    run_session_prover, run_session_verifier, ProverStats, SessionReport, VerifyOutcome,
+};
+pub use session::{SessionError, SessionProver, SessionVerifier};

@@ -1,0 +1,428 @@
+//! Session drivers over a fault-tolerant [`Transport`]: the batched
+//! argument protocol run across a real (or deliberately hostile)
+//! channel, with retransmission and per-instance graceful degradation.
+//!
+//! The message sequence mirrors [`crate::session`]:
+//!
+//! ```text
+//! V → P   SETUP (seq 0)        commitment keys, query seed, t-vectors
+//! P → V   SETUP_ACK (seq 0)    or ERROR if the setup failed validation
+//! V → P   INSTANCE_REQ (seq i+1, payload = LE32 instance index)
+//! P → V   INSTANCE_RESP        commitments + decommitments
+//! V → P   DONE                 best-effort session close
+//! ```
+//!
+//! Every exchange is idempotent — the setup is deterministic state, and
+//! each instance response is computed once and cached — so the retry
+//! layer may retransmit freely, and duplicates or reordered frames are
+//! resolved by the frame `seq`. A lost or mangled *instance* costs only
+//! that instance ([`VerifyOutcome::TimedOut`] / `Malformed`); the batch
+//! carries on, which is the graceful-degradation contract the batched
+//! argument wants (β instances amortize one setup, so aborting β−1 good
+//! instances over one bad one would forfeit the amortization).
+
+use std::time::{Duration, Instant};
+
+use zaatar_crypto::{ChaChaPrg, HasGroup};
+use zaatar_field::PrimeField;
+use zaatar_poly::domain::EvalDomain;
+use zaatar_transport::{exchange, Frame, RetryPolicy, Transport, TransportError};
+
+use crate::pcp::{ZaatarPcp, ZaatarProof};
+use crate::session::{SessionError, SessionProver, SessionVerifier};
+use crate::wire::WireError;
+
+/// Frame `msg_type` values of the session protocol.
+pub mod msg {
+    /// V → P: the batch setup message.
+    pub const SETUP: u8 = 1;
+    /// P → V: setup received and validated.
+    pub const SETUP_ACK: u8 = 2;
+    /// V → P: request for one instance's proof message.
+    pub const INSTANCE_REQ: u8 = 3;
+    /// P → V: one instance's commitments + decommitments.
+    pub const INSTANCE_RESP: u8 = 4;
+    /// Either direction: a typed failure report (payload = error code).
+    pub const ERROR: u8 = 5;
+    /// V → P: the session is over (best effort).
+    pub const DONE: u8 = 6;
+}
+
+/// Error codes carried in [`msg::ERROR`] payloads.
+pub mod errcode {
+    /// The message failed wire-format or structure validation.
+    pub const MALFORMED: u8 = 1;
+    /// An instance request arrived before a valid setup.
+    pub const NO_SETUP: u8 = 2;
+    /// The requested instance index is outside the prover's batch.
+    pub const BAD_INDEX: u8 = 3;
+}
+
+/// The verifier's verdict on one instance of the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The proof message verified: commitments consistent, PCP checks
+    /// passed for the claimed io.
+    Accepted,
+    /// A well-formed proof message failed verification.
+    Rejected,
+    /// The message decoded as garbage, or the prover reported an error
+    /// for this instance.
+    Malformed(WireError),
+    /// No usable response within the retry policy's deadline.
+    TimedOut,
+}
+
+impl VerifyOutcome {
+    /// True only for [`VerifyOutcome::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, VerifyOutcome::Accepted)
+    }
+}
+
+/// What a full verifier session produced: one verdict per instance plus
+/// channel health counters.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// Per-instance verdicts, in batch order.
+    pub outcomes: Vec<VerifyOutcome>,
+    /// Retransmissions across all exchanges (0 on a clean channel).
+    pub retransmits: u64,
+    /// Wall-clock duration of the whole session.
+    pub elapsed: Duration,
+}
+
+impl SessionReport {
+    /// True if every instance was accepted.
+    pub fn all_accepted(&self) -> bool {
+        self.outcomes.iter().all(VerifyOutcome::is_accepted)
+    }
+}
+
+/// Runs the verifier's side of a batched argument session over
+/// `transport`, claiming the io vectors in `ios`.
+///
+/// Setup failure (the one message the whole batch depends on) is the
+/// only fatal path. After setup, per-instance failures degrade to their
+/// [`VerifyOutcome`] and the loop continues — except a closed channel,
+/// which times out the current and all remaining instances.
+pub fn run_session_verifier<F, D, T>(
+    transport: &mut T,
+    pcp: &ZaatarPcp<F, D>,
+    ios: &[Vec<F>],
+    policy: &RetryPolicy,
+    prg: &mut ChaChaPrg,
+) -> Result<SessionReport, SessionError>
+where
+    F: HasGroup + PrimeField,
+    D: EvalDomain<F>,
+    T: Transport,
+{
+    let started = Instant::now();
+    let mut verifier = SessionVerifier::new(pcp, prg);
+    let mut retry_prg = prg.fork(1);
+    let mut retransmits = 0u64;
+
+    let setup = Frame::new(msg::SETUP, 0, verifier.setup_message());
+    let ack = exchange(transport, &setup, &[msg::SETUP_ACK, msg::ERROR], policy, &mut retry_prg)?;
+    retransmits += ack.retransmits as u64;
+    if ack.response.msg_type == msg::ERROR {
+        return Err(SessionError::Peer(
+            ack.response.payload.first().copied().unwrap_or(0),
+        ));
+    }
+
+    let mut outcomes = Vec::with_capacity(ios.len());
+    let mut channel_gone = false;
+    for (i, io) in ios.iter().enumerate() {
+        if channel_gone {
+            outcomes.push(VerifyOutcome::TimedOut);
+            continue;
+        }
+        let req = Frame::new(
+            msg::INSTANCE_REQ,
+            (i + 1) as u32,
+            (i as u32).to_le_bytes().to_vec(),
+        );
+        let outcome = match exchange(
+            transport,
+            &req,
+            &[msg::INSTANCE_RESP, msg::ERROR],
+            policy,
+            &mut retry_prg,
+        ) {
+            Ok(out) => {
+                retransmits += out.retransmits as u64;
+                if out.response.msg_type == msg::ERROR {
+                    VerifyOutcome::Malformed(WireError::Invalid)
+                } else {
+                    match verifier.verify_instance(&out.response.payload, io) {
+                        Ok(true) => VerifyOutcome::Accepted,
+                        Ok(false) => VerifyOutcome::Rejected,
+                        Err(e) => VerifyOutcome::Malformed(e),
+                    }
+                }
+            }
+            Err(TransportError::TimedOut) => VerifyOutcome::TimedOut,
+            Err(_) => {
+                // Peer gone for good: no later instance can fare better.
+                channel_gone = true;
+                VerifyOutcome::TimedOut
+            }
+        };
+        outcomes.push(outcome);
+    }
+
+    // Best effort: let the prover loop exit promptly instead of idling
+    // out. Loss here is harmless.
+    let _ = transport.send(&Frame::new(msg::DONE, u32::MAX, Vec::new()));
+
+    Ok(SessionReport {
+        outcomes,
+        retransmits,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Counters from one prover serving session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProverStats {
+    /// Instance responses served, retransmissions included.
+    pub responses_served: u64,
+    /// ERROR frames sent back (malformed setup, bad index, …).
+    pub errors_reported: u64,
+}
+
+/// Serves proofs over `transport` until the verifier sends DONE, the
+/// channel closes, or `idle_timeout` passes without any valid frame.
+///
+/// The loop never panics on channel input: malformed setups and
+/// out-of-range instance requests are answered with typed ERROR frames,
+/// and the cached responses make every reply idempotent under
+/// retransmission.
+pub fn run_session_prover<F, D, T>(
+    transport: &mut T,
+    pcp: &ZaatarPcp<F, D>,
+    proofs: &[ZaatarProof<F>],
+    idle_timeout: Duration,
+) -> Result<ProverStats, SessionError>
+where
+    F: HasGroup + PrimeField,
+    D: EvalDomain<F>,
+    T: Transport,
+{
+    let mut prover = SessionProver::new(pcp);
+    let mut cache: Vec<Option<Vec<u8>>> = vec![None; proofs.len()];
+    let mut stats = ProverStats::default();
+
+    loop {
+        let frame = match transport.recv(Instant::now() + idle_timeout) {
+            Ok(frame) => frame,
+            // An idle or closed channel ends the serving loop normally:
+            // the verifier is done or gone, and either way there is
+            // nobody left to serve.
+            Err(TransportError::TimedOut) | Err(TransportError::Closed) => return Ok(stats),
+            Err(e) => return Err(e.into()),
+        };
+        match frame.msg_type {
+            msg::SETUP => {
+                let reply = match prover.receive_setup(&frame.payload) {
+                    Ok(()) => {
+                        // A (possibly retransmitted) setup invalidates
+                        // any responses cached under the previous one.
+                        cache.iter_mut().for_each(|slot| *slot = None);
+                        Frame::new(msg::SETUP_ACK, frame.seq, Vec::new())
+                    }
+                    Err(_) => {
+                        stats.errors_reported += 1;
+                        Frame::new(msg::ERROR, frame.seq, vec![errcode::MALFORMED])
+                    }
+                };
+                transport.send(&reply)?;
+            }
+            msg::INSTANCE_REQ => {
+                let reply = match parse_index(&frame.payload, proofs.len()) {
+                    Err(code) => {
+                        stats.errors_reported += 1;
+                        Frame::new(msg::ERROR, frame.seq, vec![code])
+                    }
+                    Ok(idx) => {
+                        let cached = match &cache[idx] {
+                            Some(bytes) => Ok(bytes.clone()),
+                            None => prover
+                                .instance_message(&proofs[idx])
+                                .inspect(|bytes| cache[idx] = Some(bytes.clone())),
+                        };
+                        match cached {
+                            Ok(bytes) => {
+                                stats.responses_served += 1;
+                                Frame::new(msg::INSTANCE_RESP, frame.seq, bytes)
+                            }
+                            Err(SessionError::SetupNotReceived) => {
+                                stats.errors_reported += 1;
+                                Frame::new(msg::ERROR, frame.seq, vec![errcode::NO_SETUP])
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                };
+                transport.send(&reply)?;
+            }
+            msg::DONE => return Ok(stats),
+            // Unknown frame types from this or a future protocol
+            // version: ignore rather than abort.
+            _ => {}
+        }
+    }
+}
+
+fn parse_index(payload: &[u8], batch: usize) -> Result<usize, u8> {
+    let bytes: [u8; 4] = payload.try_into().map_err(|_| errcode::MALFORMED)?;
+    let idx = u32::from_le_bytes(bytes) as usize;
+    if idx >= batch {
+        return Err(errcode::BAD_INDEX);
+    }
+    Ok(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcp::PcpParams;
+    use crate::qap::Qap;
+    use zaatar_cc::{ginger_to_quad, Builder};
+    use zaatar_field::{Field, F61};
+    use zaatar_transport::loopback_transport_pair;
+
+    #[allow(clippy::type_complexity)]
+    fn fixture(
+        inputs: &[[i64; 2]],
+    ) -> (
+        ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>,
+        Vec<ZaatarProof<F61>>,
+        Vec<Vec<F61>>,
+    ) {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let p = b.mul(&x, &y);
+        b.bind_output(&p);
+        let (sys, solver) = b.finish();
+        let t = ginger_to_quad(&sys);
+        let qap = Qap::new(&t.system);
+        let pcp = ZaatarPcp::new(qap, PcpParams::light());
+        let mut proofs = Vec::new();
+        let mut ios = Vec::new();
+        for pair in inputs {
+            let asg = solver
+                .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
+                .unwrap();
+            let ext = t.extend_assignment(&asg);
+            let w = pcp.qap().witness(&ext);
+            proofs.push(pcp.prove(&w).unwrap());
+            ios.push(
+                pcp.qap()
+                    .var_map()
+                    .inputs()
+                    .iter()
+                    .chain(pcp.qap().var_map().outputs())
+                    .map(|v| ext.get(*v))
+                    .collect(),
+            );
+        }
+        (pcp, proofs, ios)
+    }
+
+    #[test]
+    fn clean_loopback_session_accepts_all() {
+        let (pcp, proofs, ios) = fixture(&[[2, 3], [4, 5], [6, 7]]);
+        let (mut vt, mut pt) = loopback_transport_pair();
+        let pcp2 = pcp.clone();
+        let server = std::thread::spawn(move || {
+            run_session_prover(&mut pt, &pcp2, &proofs, Duration::from_secs(5)).unwrap()
+        });
+        let mut prg = ChaChaPrg::from_u64_seed(0xA11CE);
+        let report =
+            run_session_verifier(&mut vt, &pcp, &ios, &RetryPolicy::fast(), &mut prg).unwrap();
+        assert!(report.all_accepted(), "{:?}", report.outcomes);
+        assert_eq!(report.retransmits, 0);
+        let stats = server.join().unwrap();
+        assert_eq!(stats.responses_served, 3);
+        assert_eq!(stats.errors_reported, 0);
+    }
+
+    #[test]
+    fn lying_instance_degrades_not_aborts() {
+        let (pcp, proofs, mut ios) = fixture(&[[2, 3], [4, 5], [6, 7]]);
+        // Claim a wrong output for the middle instance only.
+        let last = ios[1].len() - 1;
+        ios[1][last] += F61::ONE;
+        let (mut vt, mut pt) = loopback_transport_pair();
+        let pcp2 = pcp.clone();
+        let server = std::thread::spawn(move || {
+            run_session_prover(&mut pt, &pcp2, &proofs, Duration::from_secs(5)).unwrap()
+        });
+        let mut prg = ChaChaPrg::from_u64_seed(0xA11CF);
+        let report =
+            run_session_verifier(&mut vt, &pcp, &ios, &RetryPolicy::fast(), &mut prg).unwrap();
+        assert_eq!(report.outcomes[0], VerifyOutcome::Accepted);
+        assert_eq!(report.outcomes[1], VerifyOutcome::Rejected);
+        assert_eq!(report.outcomes[2], VerifyOutcome::Accepted);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn verifier_without_prover_times_out_with_verdicts() {
+        let (pcp, _, ios) = fixture(&[[1, 2], [3, 4]]);
+        let (mut vt, _pt) = loopback_transport_pair();
+        let policy = RetryPolicy {
+            deadline: Duration::from_millis(150),
+            initial_timeout: Duration::from_millis(20),
+            backoff_factor: 2,
+            max_timeout: Duration::from_millis(40),
+            max_retransmits: 2,
+        };
+        let mut prg = ChaChaPrg::from_u64_seed(0xA11D0);
+        let err = run_session_verifier(&mut vt, &pcp, &ios, &policy, &mut prg).unwrap_err();
+        // Setup is the one fatal exchange: no prover, typed error out.
+        assert_eq!(err, SessionError::Transport(TransportError::TimedOut));
+    }
+
+    #[test]
+    fn out_of_range_instance_request_gets_typed_error() {
+        let (pcp, proofs, ios) = fixture(&[[5, 5]]);
+        let (mut vt, mut pt) = loopback_transport_pair();
+        let pcp2 = pcp.clone();
+        let server = std::thread::spawn(move || {
+            run_session_prover(&mut pt, &pcp2, &proofs, Duration::from_secs(5)).unwrap()
+        });
+        // Drive the protocol by hand: valid setup, then a request for
+        // instance 7 of a 1-instance batch.
+        let mut prg = ChaChaPrg::from_u64_seed(0xA11D1);
+        let mut verifier = SessionVerifier::new(&pcp, &mut prg);
+        let mut retry_prg = prg.fork(1);
+        let policy = RetryPolicy::fast();
+        let setup = Frame::new(msg::SETUP, 0, verifier.setup_message());
+        let ack = exchange(&mut vt, &setup, &[msg::SETUP_ACK], &policy, &mut retry_prg).unwrap();
+        assert_eq!(ack.response.msg_type, msg::SETUP_ACK);
+        let req = Frame::new(msg::INSTANCE_REQ, 1, 7u32.to_le_bytes().to_vec());
+        let resp = exchange(&mut vt, &req, &[msg::INSTANCE_RESP, msg::ERROR], &policy, &mut retry_prg)
+            .unwrap();
+        assert_eq!(resp.response.msg_type, msg::ERROR);
+        assert_eq!(resp.response.payload, vec![errcode::BAD_INDEX]);
+        // A garbage-length index payload is MALFORMED, not a crash.
+        let req = Frame::new(msg::INSTANCE_REQ, 2, vec![1, 2, 3]);
+        let resp = exchange(&mut vt, &req, &[msg::INSTANCE_RESP, msg::ERROR], &policy, &mut retry_prg)
+            .unwrap();
+        assert_eq!(resp.response.payload, vec![errcode::MALFORMED]);
+        // And the real instance still verifies afterwards.
+        let req = Frame::new(msg::INSTANCE_REQ, 3, 0u32.to_le_bytes().to_vec());
+        let resp = exchange(&mut vt, &req, &[msg::INSTANCE_RESP, msg::ERROR], &policy, &mut retry_prg)
+            .unwrap();
+        assert_eq!(resp.response.msg_type, msg::INSTANCE_RESP);
+        assert!(verifier.verify_instance(&resp.response.payload, &ios[0]).unwrap());
+        vt.send(&Frame::new(msg::DONE, u32::MAX, Vec::new())).unwrap();
+        let stats = server.join().unwrap();
+        assert_eq!(stats.errors_reported, 2);
+    }
+}

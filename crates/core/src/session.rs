@@ -12,10 +12,61 @@ use zaatar_crypto::{ChaChaPrg, Ciphertext, HasGroup};
 use zaatar_field::PrimeField;
 use zaatar_poly::domain::EvalDomain;
 
+use zaatar_transport::TransportError;
+
 use crate::commit::{decommit, CommitmentKey, Decommitment};
 use crate::network::queries_from_seed;
 use crate::pcp::{PcpResponses, QuerySet, ZaatarPcp, ZaatarProof};
 use crate::wire::{Reader, WireError, Writer};
+
+/// Everything that can go wrong while running a session, typed so a
+/// driver can degrade gracefully instead of aborting the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// An operation that needs the setup message ran before it arrived
+    /// (e.g. [`SessionProver::instance_message`]).
+    SetupNotReceived,
+    /// The channel failed: timeout after all retransmits, peer gone,
+    /// or an OS-level error.
+    Transport(TransportError),
+    /// A message arrived intact (framing CRC passed) but its contents
+    /// failed protocol validation.
+    Wire(WireError),
+    /// The peer reported a failure of its own (the error code travels
+    /// in the message payload).
+    Peer(u8),
+    /// The peer violated the message sequence in a way retransmission
+    /// cannot fix.
+    Protocol(&'static str),
+}
+
+impl core::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SessionError::SetupNotReceived => {
+                write!(f, "setup message has not been received yet")
+            }
+            SessionError::Transport(e) => write!(f, "transport failure: {e}"),
+            SessionError::Wire(e) => write!(f, "malformed message: {e}"),
+            SessionError::Peer(code) => write!(f, "peer reported error code {code}"),
+            SessionError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<TransportError> for SessionError {
+    fn from(e: TransportError) -> Self {
+        SessionError::Transport(e)
+    }
+}
+
+impl From<WireError> for SessionError {
+    fn from(e: WireError) -> Self {
+        SessionError::Wire(e)
+    }
+}
 
 /// The verifier endpoint of a session.
 pub struct SessionVerifier<'p, F: HasGroup, D> {
@@ -126,43 +177,73 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
     }
 
     /// Processes message 1, regenerating the PCP queries from the seed.
+    ///
+    /// The message is untrusted: every announced count is validated
+    /// against the count the shared PCP structure dictates *before*
+    /// anything is allocated or decoded, so a malicious length prefix
+    /// cannot force a large allocation or leave the prover in a
+    /// half-initialised state (`self` is only updated once the whole
+    /// message has validated).
     pub fn receive_setup(&mut self, message: &[u8]) -> Result<(), WireError> {
+        let expect_nz = self.pcp.qap().var_map().num_unbound() as u32;
+        let expect_nh = (self.pcp.qap().degree() + 1) as u32;
         let mut r = Reader::new(message);
-        let nz = r.get_u32()? as usize;
-        self.enc_r_z = (0..nz)
+        let nz = r.get_u32()?;
+        if nz != expect_nz {
+            return Err(WireError::CountMismatch { expected: expect_nz, got: nz });
+        }
+        let enc_r_z: Vec<Ciphertext> = (0..nz)
             .map(|_| r.get_ciphertext::<F>())
             .collect::<Result<_, _>>()?;
-        let nh = r.get_u32()? as usize;
-        self.enc_r_h = (0..nh)
+        let nh = r.get_u32()?;
+        if nh != expect_nh {
+            return Err(WireError::CountMismatch { expected: expect_nh, got: nh });
+        }
+        let enc_r_h: Vec<Ciphertext> = (0..nh)
             .map(|_| r.get_ciphertext::<F>())
             .collect::<Result<_, _>>()?;
         let mut seed = [0u8; 32];
         seed.copy_from_slice(r.get_bytes(32)?);
-        self.t_z = r.get_field_vec()?;
-        self.t_h = r.get_field_vec()?;
+        let t_z = r.get_field_vec()?;
+        if t_z.len() as u32 != expect_nz {
+            return Err(WireError::CountMismatch {
+                expected: expect_nz,
+                got: t_z.len() as u32,
+            });
+        }
+        let t_h = r.get_field_vec()?;
+        if t_h.len() as u32 != expect_nh {
+            return Err(WireError::CountMismatch {
+                expected: expect_nh,
+                got: t_h.len() as u32,
+            });
+        }
         r.finish()?;
+        self.enc_r_z = enc_r_z;
+        self.enc_r_h = enc_r_h;
+        self.t_z = t_z;
+        self.t_h = t_h;
         self.queries = Some(queries_from_seed(self.pcp, seed));
         Ok(())
     }
 
+    /// True once a valid setup message has been processed.
+    pub fn is_ready(&self) -> bool {
+        self.queries.is_some()
+    }
+
     /// Produces one instance's message 2: commitments + decommitments
-    /// for a proof.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called before [`SessionProver::receive_setup`].
-    pub fn instance_message(&self, proof: &ZaatarProof<F>) -> Vec<u8> {
-        let queries = self
-            .queries
-            .as_ref()
-            .expect("receive_setup must run before proving");
+    /// for a proof. Fails with [`SessionError::SetupNotReceived`] when
+    /// called before [`SessionProver::receive_setup`] has succeeded.
+    pub fn instance_message(&self, proof: &ZaatarProof<F>) -> Result<Vec<u8>, SessionError> {
+        let queries = self.queries.as_ref().ok_or(SessionError::SetupNotReceived)?;
         let commitments = (
             CommitmentKey::<F>::commit(&self.enc_r_z, &proof.z),
             CommitmentKey::<F>::commit(&self.enc_r_h, &proof.h),
         );
         let dz: Decommitment<F> = decommit(&proof.z, &queries.z_queries(), &self.t_z);
         let dh: Decommitment<F> = decommit(&proof.h, &queries.h_queries(), &self.t_h);
-        crate::wire::encode_prover_message(&commitments, &dz, &dh)
+        Ok(crate::wire::encode_prover_message(&commitments, &dz, &dh))
     }
 }
 
@@ -174,6 +255,7 @@ mod tests {
     use zaatar_cc::{ginger_to_quad, Builder};
     use zaatar_field::{Field, F61};
 
+    #[allow(clippy::type_complexity)]
     fn fixture(
         inputs: &[[i64; 2]],
     ) -> (
@@ -223,7 +305,7 @@ mod tests {
         let setup = verifier.setup_message();
         prover.receive_setup(&setup).unwrap();
         for (proof, io) in proofs.iter().zip(&ios) {
-            let msg = prover.instance_message(proof);
+            let msg = prover.instance_message(proof).unwrap();
             assert!(verifier.verify_instance(&msg, io).unwrap());
         }
         assert!(verifier.bytes_sent > 0);
@@ -237,13 +319,13 @@ mod tests {
         let mut verifier = SessionVerifier::new(&pcp, &mut prg);
         let mut prover = SessionProver::new(&pcp);
         prover.receive_setup(&verifier.setup_message()).unwrap();
-        let mut msg = prover.instance_message(&proofs[0]);
+        let mut msg = prover.instance_message(&proofs[0]).unwrap();
         // Flip a byte in the middle (inside an answer).
         let mid = msg.len() / 2;
         msg[mid] ^= 0x01;
-        match verifier.verify_instance(&msg, &ios[0]) {
-            Ok(accepted) => assert!(!accepted, "corrupted message accepted"),
-            Err(_) => {} // Malformed encoding is also a fine outcome.
+        // Malformed encoding (Err) is also a fine outcome.
+        if let Ok(accepted) = verifier.verify_instance(&msg, &ios[0]) {
+            assert!(!accepted, "corrupted message accepted");
         }
     }
 
@@ -254,7 +336,7 @@ mod tests {
         let mut verifier = SessionVerifier::new(&pcp, &mut prg);
         let mut prover = SessionProver::new(&pcp);
         prover.receive_setup(&verifier.setup_message()).unwrap();
-        let msg = prover.instance_message(&proofs[0]);
+        let msg = prover.instance_message(&proofs[0]).unwrap();
         let last = ios[0].len() - 1;
         ios[0][last] += F61::ONE;
         assert!(!verifier.verify_instance(&msg, &ios[0]).unwrap());
@@ -269,5 +351,46 @@ mod tests {
         let mut setup = verifier.setup_message();
         setup.truncate(setup.len() - 3);
         assert!(prover.receive_setup(&setup).is_err());
+        // A failed setup leaves the prover unready, and proving without
+        // setup is an error, not a panic.
+        assert!(!prover.is_ready());
+    }
+
+    #[test]
+    fn proving_before_setup_is_an_error_not_a_panic() {
+        let (pcp, proofs, _) = fixture(&[[2, 3]]);
+        let prover = SessionProver::new(&pcp);
+        assert_eq!(
+            prover.instance_message(&proofs[0]).unwrap_err(),
+            SessionError::SetupNotReceived
+        );
+    }
+
+    #[test]
+    fn malicious_setup_counts_are_refused_before_allocation() {
+        let (pcp, _, _) = fixture(&[[4, 5]]);
+        let mut prg = ChaChaPrg::from_u64_seed(0x5e59);
+        let mut verifier = SessionVerifier::new(&pcp, &mut prg);
+        let mut prover = SessionProver::new(&pcp);
+        let setup = verifier.setup_message();
+        // Overwrite the leading ciphertext count with an absurd value:
+        // the prover must refuse on the count check alone (the message
+        // is far too short to back it, and the structure pins the real
+        // count anyway).
+        let mut evil = setup.clone();
+        evil[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            prover.receive_setup(&evil),
+            Err(WireError::CountMismatch { .. })
+        ));
+        assert!(!prover.is_ready());
+        // An off-by-one count is refused just the same.
+        let real = u32::from_le_bytes(setup[..4].try_into().unwrap());
+        let mut evil = setup;
+        evil[..4].copy_from_slice(&(real + 1).to_le_bytes());
+        assert!(matches!(
+            prover.receive_setup(&evil),
+            Err(WireError::CountMismatch { .. })
+        ));
     }
 }

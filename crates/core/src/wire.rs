@@ -12,7 +12,7 @@ use crate::commit::Decommitment;
 use crate::pcp::ZaatarProof;
 
 /// Encoding/decoding errors.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WireError {
     /// Ran out of bytes.
     Truncated,
@@ -20,6 +20,15 @@ pub enum WireError {
     Invalid,
     /// Trailing bytes after a complete message.
     TrailingBytes,
+    /// A length prefix disagrees with the count the protocol structure
+    /// dictates (e.g. a setup message advertising the wrong number of
+    /// commitment-key ciphertexts for the agreed computation).
+    CountMismatch {
+        /// Count implied by the PCP structure.
+        expected: u32,
+        /// Count announced on the wire.
+        got: u32,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -28,6 +37,9 @@ impl core::fmt::Display for WireError {
             WireError::Truncated => write!(f, "truncated message"),
             WireError::Invalid => write!(f, "invalid element encoding"),
             WireError::TrailingBytes => write!(f, "trailing bytes"),
+            WireError::CountMismatch { expected, got } => {
+                write!(f, "length prefix {got} where the protocol dictates {expected}")
+            }
         }
     }
 }
@@ -139,11 +151,20 @@ impl<'a> Reader<'a> {
         F::from_bytes_le(b).ok_or(WireError::Invalid)
     }
 
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     /// Reads a length-prefixed field vector.
+    ///
+    /// The announced count is checked against the bytes actually left
+    /// in the message *before* any allocation, so a malicious length
+    /// prefix (`0xFFFFFFFF` on a 100-byte message) costs nothing.
     pub fn get_field_vec<F: PrimeField>(&mut self) -> Result<Vec<F>, WireError> {
         let n = self.get_u32()? as usize;
-        // Guard against absurd lengths before allocating.
-        if n > self.buf.len() / (8 * F::NUM_WORDS).max(1) + 1 {
+        let elem_bytes = 8 * F::NUM_WORDS;
+        if n > self.remaining() / elem_bytes.max(1) {
             return Err(WireError::Truncated);
         }
         (0..n).map(|_| self.get_field()).collect()

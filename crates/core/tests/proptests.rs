@@ -1,13 +1,35 @@
-//! Property tests for the protocol core: Claim A.1 (divisibility iff
-//! satisfiability) and PCP completeness/soundness over random circuits,
-//! witnesses, and query seeds.
+//! Property-style tests for the protocol core: Claim A.1 (divisibility
+//! iff satisfiability) and PCP completeness/soundness over random
+//! circuits, witnesses, and query seeds. Driven by a small in-tree
+//! deterministic generator (the build must work offline, so no external
+//! proptest dependency).
 
-use proptest::prelude::*;
 use zaatar_cc::{ginger_to_quad, Builder, LinComb};
 use zaatar_core::pcp::{PcpParams, ZaatarPcp};
 use zaatar_core::qap::Qap;
 use zaatar_crypto::ChaChaPrg;
 use zaatar_field::{Field, F61};
+
+/// Deterministic splitmix64 generator standing in for proptest.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % ((hi - lo) as u64)) as i64
+    }
+}
 
 /// A random arithmetic circuit over `n_in` inputs described by a list of
 /// gate specs: each gate multiplies two prior values (by index) and adds
@@ -18,17 +40,19 @@ struct Circuit {
     gates: Vec<(usize, usize, i64)>,
 }
 
-fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    (2usize..4, prop::collection::vec((any::<u8>(), any::<u8>(), -4i64..4), 1..8)).prop_map(
-        |(n_in, raw)| {
-            let mut gates = Vec::new();
-            for (i, (a, b, c)) in raw.into_iter().enumerate() {
-                let avail = n_in + i;
-                gates.push(((a as usize) % avail, (b as usize) % avail, c));
-            }
-            Circuit { n_in, gates }
-        },
-    )
+fn arb_circuit(g: &mut Gen) -> Circuit {
+    let n_in = 2 + (g.next_u64() % 2) as usize;
+    let n_gates = 1 + (g.next_u64() % 7) as usize;
+    let mut gates = Vec::new();
+    for i in 0..n_gates {
+        let avail = n_in + i;
+        gates.push((
+            (g.next_u64() as usize) % avail,
+            (g.next_u64() as usize) % avail,
+            g.range_i64(-4, 4),
+        ));
+    }
+    Circuit { n_in, gates }
 }
 
 /// Builds the circuit, returning the PCP, an honest witness, and io.
@@ -65,53 +89,72 @@ fn build(
     (ZaatarPcp::new(qap, PcpParams::light()), w, io)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// Claim A.1, forward: honest witnesses always divide.
-    #[test]
-    fn honest_witnesses_divide(c in arb_circuit(), a in -20i64..20, b in -20i64..20) {
+/// Claim A.1, forward: honest witnesses always divide.
+#[test]
+fn honest_witnesses_divide() {
+    let mut g = Gen::new(1);
+    for _ in 0..CASES {
+        let c = arb_circuit(&mut g);
+        let a = g.range_i64(-20, 20);
+        let b = g.range_i64(-20, 20);
         let inputs: Vec<i64> = (0..c.n_in).map(|i| if i % 2 == 0 { a } else { b }).collect();
         let (pcp, w, _) = build(&c, &inputs);
-        prop_assert!(pcp.qap().compute_h(&w).is_some());
+        assert!(pcp.qap().compute_h(&w).is_some());
     }
+}
 
-    /// Claim A.1, converse: perturbing any single witness coordinate
-    /// breaks divisibility (unless the perturbed assignment happens to
-    /// satisfy, which a single-coordinate field perturbation of a
-    /// functional circuit cannot).
-    #[test]
-    fn perturbed_witnesses_do_not_divide(
-        c in arb_circuit(),
-        a in -20i64..20,
-        idx in any::<u16>(),
-        delta in 1u64..1000,
-    ) {
+/// Claim A.1, converse: perturbing any single witness coordinate breaks
+/// divisibility (unless the perturbed assignment happens to satisfy,
+/// which a single-coordinate field perturbation of a functional circuit
+/// cannot).
+#[test]
+fn perturbed_witnesses_do_not_divide() {
+    let mut g = Gen::new(2);
+    for _ in 0..CASES {
+        let c = arb_circuit(&mut g);
+        let a = g.range_i64(-20, 20);
         let inputs: Vec<i64> = (0..c.n_in).map(|_| a).collect();
         let (pcp, mut w, _) = build(&c, &inputs);
-        prop_assume!(!w.z.is_empty());
-        let i = (idx as usize) % w.z.len();
+        if w.z.is_empty() {
+            continue;
+        }
+        let i = (g.next_u64() as usize) % w.z.len();
+        let delta = 1 + g.next_u64() % 999;
         w.z[i] += F61::from_u64(delta);
-        prop_assert!(pcp.qap().compute_h(&w).is_none());
+        assert!(pcp.qap().compute_h(&w).is_none());
     }
+}
 
-    /// PCP completeness over random circuits and seeds.
-    #[test]
-    fn pcp_completeness(c in arb_circuit(), seed in any::<u64>(), a in -20i64..20) {
+/// PCP completeness over random circuits and seeds.
+#[test]
+fn pcp_completeness() {
+    let mut g = Gen::new(3);
+    for _ in 0..CASES {
+        let c = arb_circuit(&mut g);
+        let seed = g.next_u64();
+        let a = g.range_i64(-20, 20);
         let inputs: Vec<i64> = (0..c.n_in).map(|i| a + i as i64).collect();
         let (pcp, w, io) = build(&c, &inputs);
         let proof = pcp.prove(&w).expect("honest");
         let mut prg = ChaChaPrg::from_u64_seed(seed);
         let queries = pcp.generate_queries(&mut prg);
         let responses = pcp.answer(&proof, &queries);
-        prop_assert!(pcp.check(&queries, &responses, &io));
+        assert!(pcp.check(&queries, &responses, &io));
     }
+}
 
-    /// PCP soundness: a wrong claimed output is rejected (statistically;
-    /// with ρ=2 repetitions over a 61-bit field the per-seed failure
-    /// probability is negligible, so we assert outright).
-    #[test]
-    fn pcp_rejects_wrong_output(c in arb_circuit(), seed in any::<u64>(), a in -20i64..20) {
+/// PCP soundness: a wrong claimed output is rejected (statistically;
+/// with ρ=2 repetitions over a 61-bit field the per-seed failure
+/// probability is negligible, so we assert outright).
+#[test]
+fn pcp_rejects_wrong_output() {
+    let mut g = Gen::new(4);
+    for _ in 0..CASES {
+        let c = arb_circuit(&mut g);
+        let seed = g.next_u64();
+        let a = g.range_i64(-20, 20);
         let inputs: Vec<i64> = (0..c.n_in).map(|_| a).collect();
         let (pcp, w, mut io) = build(&c, &inputs);
         let proof = pcp.prove_unchecked(&w);
@@ -120,19 +163,23 @@ proptest! {
         let mut prg = ChaChaPrg::from_u64_seed(seed);
         let queries = pcp.generate_queries(&mut prg);
         let responses = pcp.answer(&proof, &queries);
-        prop_assert!(!pcp.check(&queries, &responses, &io));
+        assert!(!pcp.check(&queries, &responses, &io));
     }
+}
 
-    /// The divisibility identity D(τ)·H(τ) = P_w(τ) holds at arbitrary
-    /// evaluation points for honest witnesses.
-    #[test]
-    fn divisibility_identity(c in arb_circuit(), tau_raw in any::<u64>()) {
+/// The divisibility identity D(τ)·H(τ) = P_w(τ) holds at arbitrary
+/// evaluation points for honest witnesses.
+#[test]
+fn divisibility_identity() {
+    let mut g = Gen::new(5);
+    for _ in 0..CASES {
+        let c = arb_circuit(&mut g);
+        let tau = F61::from_u64(g.next_u64());
         let inputs: Vec<i64> = (0..c.n_in).map(|i| i as i64 + 1).collect();
         let (pcp, w, _) = build(&c, &inputs);
         let h = pcp.qap().compute_h(&w).expect("honest");
-        let tau = F61::from_u64(tau_raw);
         let evals = pcp.qap().evals_at(tau);
         let h_tau: F61 = h.iter().rev().fold(F61::ZERO, |acc, coeff| acc * tau + *coeff);
-        prop_assert_eq!(evals.d_tau * h_tau, pcp.qap().p_at(&evals, &w));
+        assert_eq!(evals.d_tau * h_tau, pcp.qap().p_at(&evals, &w));
     }
 }

@@ -1,12 +1,35 @@
-//! Property tests for the multiprecision and group substrates.
+//! Property-style tests for the multiprecision and group substrates,
+//! driven by a small in-tree deterministic generator (the build must
+//! work offline, so no external proptest dependency).
 
-use proptest::prelude::*;
 use zaatar_crypto::mp::MontCtx;
 use zaatar_crypto::{ChaChaPrg, ElGamal, HasGroup, KeyPair};
 use zaatar_field::{Field, F61};
 
 /// The Mersenne prime 2^127 − 1 gives an exact u128 reference.
 const P: u128 = (1 << 127) - 1;
+
+/// Deterministic splitmix64 generator standing in for proptest.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn u128_below(&mut self, bound: u128) -> u128 {
+        let raw = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        raw % bound
+    }
+}
 
 fn words(x: u128) -> Vec<u64> {
     vec![x as u64, (x >> 64) as u64]
@@ -29,78 +52,105 @@ fn mulmod(a: u128, b: u128) -> u128 {
     ((lo & P) + (lo >> 127) + 2 * (hi % P)) % P
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Montgomery multiplication matches the u128 reference.
-    #[test]
-    fn mont_mul_matches_reference(a in 0u128..P, b in 0u128..P) {
-        let ctx = MontCtx::new(words(P));
+/// Montgomery multiplication matches the u128 reference.
+#[test]
+fn mont_mul_matches_reference() {
+    let ctx = MontCtx::new(words(P));
+    let mut g = Gen::new(1);
+    for _ in 0..64 {
+        let a = g.u128_below(P);
+        let b = g.u128_below(P);
         let am = ctx.to_mont(&words(a));
         let bm = ctx.to_mont(&words(b));
         let got = ctx.from_mont(&ctx.mont_mul(&am, &bm));
-        prop_assert_eq!(got, words(mulmod(a, b)));
+        assert_eq!(got, words(mulmod(a, b)));
     }
+}
 
-    /// Fermat's little theorem via modexp.
-    #[test]
-    fn fermat_holds(a in 1u128..P) {
-        let ctx = MontCtx::new(words(P));
-        let exp = words(P - 1);
-        prop_assert_eq!(ctx.pow(&words(a), &exp), words(1));
+/// Fermat's little theorem via modexp.
+#[test]
+fn fermat_holds() {
+    let ctx = MontCtx::new(words(P));
+    let exp = words(P - 1);
+    let mut g = Gen::new(2);
+    for _ in 0..16 {
+        let a = 1 + g.u128_below(P - 1);
+        assert_eq!(ctx.pow(&words(a), &exp), words(1));
     }
+}
 
-    /// Exponent laws in the Schnorr group: g^(a+b) = g^a·g^b and
-    /// (g^a)^b = g^(a·b), with field arithmetic on exponents.
-    #[test]
-    fn group_exponent_laws(a in any::<u64>(), b in any::<u64>()) {
-        let g = F61::group();
-        let (fa, fb) = (F61::from_u64(a), F61::from_u64(b));
+/// Exponent laws in the Schnorr group: g^(a+b) = g^a·g^b and
+/// (g^a)^b = g^(a·b), with field arithmetic on exponents.
+#[test]
+fn group_exponent_laws() {
+    let g = F61::group();
+    let mut gen = Gen::new(3);
+    for _ in 0..32 {
+        let (fa, fb) = (F61::from_u64(gen.next_u64()), F61::from_u64(gen.next_u64()));
         let ga = g.gen_pow(&fa.exponent_words());
         let gb = g.gen_pow(&fb.exponent_words());
-        prop_assert_eq!(
-            g.mul(&ga, &gb),
-            g.gen_pow(&(fa + fb).exponent_words())
-        );
-        prop_assert_eq!(
+        assert_eq!(g.mul(&ga, &gb), g.gen_pow(&(fa + fb).exponent_words()));
+        assert_eq!(
             g.pow(&ga, &fb.exponent_words()),
             g.gen_pow(&(fa * fb).exponent_words())
         );
     }
+}
 
-    /// ElGamal: Dec(Enc(m)) = g^m and the homomorphisms hold for random
-    /// messages and scalars.
-    #[test]
-    fn elgamal_homomorphisms(m1 in any::<u64>(), m2 in any::<u64>(), c in any::<u64>(), seed in any::<u64>()) {
-        let mut prg = ChaChaPrg::from_u64_seed(seed);
+/// ElGamal: Dec(Enc(m)) = g^m and the homomorphisms hold for random
+/// messages and scalars.
+#[test]
+fn elgamal_homomorphisms() {
+    let mut gen = Gen::new(4);
+    for _ in 0..24 {
+        let mut prg = ChaChaPrg::from_u64_seed(gen.next_u64());
         let kp = KeyPair::<F61>::generate(&mut prg);
-        let (m1, m2, c) = (F61::from_u64(m1), F61::from_u64(m2), F61::from_u64(c));
+        let m1 = F61::from_u64(gen.next_u64());
+        let m2 = F61::from_u64(gen.next_u64());
+        let c = F61::from_u64(gen.next_u64());
         let ct1 = ElGamal::<F61>::encrypt(kp.public(), m1, &mut prg);
         let ct2 = ElGamal::<F61>::encrypt(kp.public(), m2, &mut prg);
-        prop_assert_eq!(ElGamal::<F61>::decrypt_to_group(&kp, &ct1), ElGamal::<F61>::encode(m1));
+        assert_eq!(
+            ElGamal::<F61>::decrypt_to_group(&kp, &ct1),
+            ElGamal::<F61>::encode(m1)
+        );
         let sum = ElGamal::<F61>::add(&ct1, &ct2);
-        prop_assert_eq!(ElGamal::<F61>::decrypt_to_group(&kp, &sum), ElGamal::<F61>::encode(m1 + m2));
+        assert_eq!(
+            ElGamal::<F61>::decrypt_to_group(&kp, &sum),
+            ElGamal::<F61>::encode(m1 + m2)
+        );
         let scaled = ElGamal::<F61>::scale(&ct1, c);
-        prop_assert_eq!(ElGamal::<F61>::decrypt_to_group(&kp, &scaled), ElGamal::<F61>::encode(m1 * c));
+        assert_eq!(
+            ElGamal::<F61>::decrypt_to_group(&kp, &scaled),
+            ElGamal::<F61>::encode(m1 * c)
+        );
     }
+}
 
-    /// Group element serialization round-trips.
-    #[test]
-    fn group_serialization_round_trips(e in any::<u64>()) {
-        let g = F61::group();
-        let x = g.gen_pow(&[e]);
+/// Group element serialization round-trips.
+#[test]
+fn group_serialization_round_trips() {
+    let g = F61::group();
+    let mut gen = Gen::new(5);
+    for _ in 0..64 {
+        let x = g.gen_pow(&[gen.next_u64()]);
         let bytes = g.elem_to_bytes(&x);
-        prop_assert_eq!(bytes.len(), g.elem_bytes());
-        prop_assert_eq!(g.elem_from_bytes(&bytes), Some(x));
+        assert_eq!(bytes.len(), g.elem_bytes());
+        assert_eq!(g.elem_from_bytes(&bytes), Some(x));
     }
+}
 
-    /// ChaCha stream determinism.
-    #[test]
-    fn chacha_determinism(seed in any::<u64>(), n in 1usize..64) {
+/// ChaCha stream determinism.
+#[test]
+fn chacha_determinism() {
+    let mut gen = Gen::new(6);
+    for _ in 0..32 {
+        let seed = gen.next_u64();
+        let n = 1 + (gen.next_u64() as usize % 63);
         let mut a = ChaChaPrg::from_u64_seed(seed);
         let mut b = ChaChaPrg::from_u64_seed(seed);
         let xs: Vec<u64> = (0..n).map(|_| a.next_u64()).collect();
         let ys: Vec<u64> = (0..n).map(|_| b.next_u64()).collect();
-        prop_assert_eq!(xs, ys);
+        assert_eq!(xs, ys);
     }
 }

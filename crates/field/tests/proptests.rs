@@ -1,98 +1,122 @@
-//! Property-based tests of the field axioms across all three shipped fields.
+//! Property-style tests of the field axioms across all three shipped
+//! fields, driven by a small in-tree deterministic generator (the build
+//! must work offline, so no external proptest dependency).
 
-use proptest::prelude::*;
 use zaatar_field::{Field, PrimeField, F128, F220, F61};
 
-/// Strategy producing an arbitrary element of `F` from four random words.
-fn arb_field<F: Field>() -> impl Strategy<Value = F> {
-    any::<[u64; 4]>().prop_map(|words| {
-        let mut i = 0;
-        F::random_from(move || {
-            let w = words[i % 4].wrapping_add(i as u64).rotate_left(i as u32);
-            i += 1;
-            w
-        })
-    })
+/// Deterministic splitmix64 generator standing in for proptest.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn field<F: Field>(&mut self) -> F {
+        F::random_from(|| self.next_u64())
+    }
 }
+
+const CASES: usize = 256;
 
 macro_rules! field_axioms {
     ($modname:ident, $F:ty) => {
         mod $modname {
             use super::*;
 
-            proptest! {
-                #[test]
-                fn add_commutes(a in arb_field::<$F>(), b in arb_field::<$F>()) {
-                    prop_assert_eq!(a + b, b + a);
+            #[test]
+            fn add_and_mul_commute() {
+                let mut g = Gen::new(1);
+                for _ in 0..CASES {
+                    let (a, b): ($F, $F) = (g.field(), g.field());
+                    assert_eq!(a + b, b + a);
+                    assert_eq!(a * b, b * a);
                 }
+            }
 
-                #[test]
-                fn mul_commutes(a in arb_field::<$F>(), b in arb_field::<$F>()) {
-                    prop_assert_eq!(a * b, b * a);
+            #[test]
+            fn add_and_mul_associate() {
+                let mut g = Gen::new(2);
+                for _ in 0..CASES {
+                    let (a, b, c): ($F, $F, $F) = (g.field(), g.field(), g.field());
+                    assert_eq!((a + b) + c, a + (b + c));
+                    assert_eq!((a * b) * c, a * (b * c));
                 }
+            }
 
-                #[test]
-                fn add_associates(
-                    a in arb_field::<$F>(),
-                    b in arb_field::<$F>(),
-                    c in arb_field::<$F>(),
-                ) {
-                    prop_assert_eq!((a + b) + c, a + (b + c));
+            #[test]
+            fn mul_distributes() {
+                let mut g = Gen::new(3);
+                for _ in 0..CASES {
+                    let (a, b, c): ($F, $F, $F) = (g.field(), g.field(), g.field());
+                    assert_eq!(a * (b + c), a * b + a * c);
                 }
+            }
 
-                #[test]
-                fn mul_associates(
-                    a in arb_field::<$F>(),
-                    b in arb_field::<$F>(),
-                    c in arb_field::<$F>(),
-                ) {
-                    prop_assert_eq!((a * b) * c, a * (b * c));
+            #[test]
+            fn sub_is_add_neg() {
+                let mut g = Gen::new(4);
+                for _ in 0..CASES {
+                    let (a, b): ($F, $F) = (g.field(), g.field());
+                    assert_eq!(a - b, a + (-b));
                 }
+            }
 
-                #[test]
-                fn mul_distributes(
-                    a in arb_field::<$F>(),
-                    b in arb_field::<$F>(),
-                    c in arb_field::<$F>(),
-                ) {
-                    prop_assert_eq!(a * (b + c), a * b + a * c);
+            #[test]
+            fn double_and_square() {
+                let mut g = Gen::new(5);
+                for _ in 0..CASES {
+                    let a: $F = g.field();
+                    assert_eq!(a.double(), a + a);
+                    assert_eq!(a.square(), a * a);
                 }
+            }
 
-                #[test]
-                fn sub_is_add_neg(a in arb_field::<$F>(), b in arb_field::<$F>()) {
-                    prop_assert_eq!(a - b, a + (-b));
-                }
-
-                #[test]
-                fn double_and_square(a in arb_field::<$F>()) {
-                    prop_assert_eq!(a.double(), a + a);
-                    prop_assert_eq!(a.square(), a * a);
-                }
-
-                #[test]
-                fn inverse_cancels(a in arb_field::<$F>()) {
+            #[test]
+            fn inverse_cancels() {
+                let mut g = Gen::new(6);
+                for _ in 0..CASES {
+                    let a: $F = g.field();
                     if let Some(inv) = a.inverse() {
-                        prop_assert_eq!(a * inv, <$F>::ONE);
+                        assert_eq!(a * inv, <$F>::ONE);
                     } else {
-                        prop_assert!(a.is_zero());
+                        assert!(a.is_zero());
                     }
                 }
+            }
 
-                #[test]
-                fn pow_adds_exponents(a in arb_field::<$F>(), e1 in 0u64..64, e2 in 0u64..64) {
-                    prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+            #[test]
+            fn pow_adds_exponents() {
+                let mut g = Gen::new(7);
+                for _ in 0..CASES {
+                    let a: $F = g.field();
+                    let e1 = g.range_u64(0, 64);
+                    let e2 = g.range_u64(0, 64);
+                    assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
                 }
+            }
 
-                #[test]
-                fn serialization_round_trips(a in arb_field::<$F>()) {
+            #[test]
+            fn serialization_round_trips() {
+                let mut g = Gen::new(8);
+                for _ in 0..CASES {
+                    let a: $F = g.field();
                     let bytes = a.to_bytes_le();
-                    prop_assert_eq!(<$F>::from_bytes_le(&bytes), Some(a));
-                }
-
-                #[test]
-                fn canonical_words_round_trip(a in arb_field::<$F>()) {
+                    assert_eq!(<$F>::from_bytes_le(&bytes), Some(a));
                     let words = a.to_canonical_words();
-                    prop_assert_eq!(<$F>::from_canonical_words(&words), Some(a));
+                    assert_eq!(<$F>::from_canonical_words(&words), Some(a));
                 }
             }
         }
@@ -108,20 +132,31 @@ mod f61_reference {
 
     const P61: u128 = 0x1ffffff900000001;
 
-    proptest! {
-        /// The generic Montgomery pipeline agrees with plain u128 arithmetic
-        /// on the single-limb field for all of (+, −, ×).
-        #[test]
-        fn agrees_with_u128(a in 0u128..P61, b in 0u128..P61) {
+    /// The generic Montgomery pipeline agrees with plain u128 arithmetic
+    /// on the single-limb field for all of (+, −, ×).
+    #[test]
+    fn agrees_with_u128() {
+        let mut g = Gen::new(9);
+        for _ in 0..CASES {
+            let a = u128::from(g.next_u64()) % P61;
+            let b = u128::from(g.next_u64()) % P61;
             let (fa, fb) = (F61::from_u128(a), F61::from_u128(b));
-            prop_assert_eq!(fa + fb, F61::from_u128((a + b) % P61));
-            prop_assert_eq!(fa - fb, F61::from_u128((a + P61 - b) % P61));
-            prop_assert_eq!(fa * fb, F61::from_u128(a * b % P61));
+            assert_eq!(fa + fb, F61::from_u128((a + b) % P61));
+            assert_eq!(fa - fb, F61::from_u128((a + P61 - b) % P61));
+            assert_eq!(fa * fb, F61::from_u128(a * b % P61));
         }
+    }
 
-        #[test]
-        fn from_u64_reduces(x in any::<u64>()) {
-            prop_assert_eq!(F61::from_u64(x), F61::from_u128(x as u128 % P61));
+    #[test]
+    fn from_u64_reduces() {
+        let mut g = Gen::new(10);
+        for _ in 0..CASES {
+            let x = g.next_u64();
+            assert_eq!(F61::from_u64(x), F61::from_u128(u128::from(x) % P61));
+        }
+        // Boundary values.
+        for x in [0, 1, u64::MAX, P61 as u64, P61 as u64 - 1] {
+            assert_eq!(F61::from_u64(x), F61::from_u128(u128::from(x) % P61));
         }
     }
 }

@@ -353,7 +353,7 @@ mod tests {
         let (q, r) = a.div_rem(&d);
         let back = &q.mul_naive(&d) + &r;
         assert_eq!(back, a);
-        assert!(r.degree().map_or(true, |rd| rd < d.degree().unwrap()));
+        assert!(r.degree().is_none_or(|rd| rd < d.degree().unwrap()));
     }
 
     #[test]

@@ -1,169 +1,246 @@
-//! Property tests for polynomial arithmetic invariants.
+//! Property-style tests for polynomial arithmetic invariants, driven by
+//! a small in-tree deterministic generator (the build must work offline,
+//! so no external proptest dependency).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use zaatar_field::{Field, F61};
 use zaatar_poly::domain::EvalDomain;
 use zaatar_poly::fast::{fast_div_rem, ProductTree};
 use zaatar_poly::{ArithDomain, DensePoly, Radix2Domain};
 
-fn arb_poly(max_len: usize) -> impl Strategy<Value = DensePoly<F61>> {
-    vec(any::<u64>(), 0..max_len)
-        .prop_map(|cs| DensePoly::from_coeffs(cs.into_iter().map(F61::from_u64).collect()))
+/// Deterministic splitmix64 generator standing in for proptest.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn usize_below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    fn elem(&mut self) -> F61 {
+        F61::from_u64(self.next_u64())
+    }
+
+    fn elems(&mut self, n: usize) -> Vec<F61> {
+        (0..n).map(|_| self.elem()).collect()
+    }
+
+    fn poly(&mut self, max_len: usize) -> DensePoly<F61> {
+        let n = self.usize_below(max_len);
+        DensePoly::from_coeffs(self.elems(n))
+    }
 }
 
-fn arb_elem() -> impl Strategy<Value = F61> {
-    any::<u64>().prop_map(F61::from_u64)
+const CASES: usize = 48;
+
+#[test]
+fn mul_matches_naive() {
+    let mut g = Gen::new(1);
+    for _ in 0..CASES {
+        let a = g.poly(80);
+        let b = g.poly(80);
+        assert_eq!(a.mul(&b), a.mul_naive(&b));
+    }
 }
 
-proptest! {
-    #[test]
-    fn mul_matches_naive(a in arb_poly(80), b in arb_poly(80)) {
-        prop_assert_eq!(a.mul(&b), a.mul_naive(&b));
+#[test]
+fn mul_and_add_evaluate_pointwise() {
+    let mut g = Gen::new(2);
+    for _ in 0..CASES {
+        let a = g.poly(40);
+        let b = g.poly(40);
+        let x = g.elem();
+        assert_eq!(a.mul(&b).evaluate(x), a.evaluate(x) * b.evaluate(x));
+        assert_eq!((&a + &b).evaluate(x), a.evaluate(x) + b.evaluate(x));
     }
+}
 
-    #[test]
-    fn mul_evaluates_pointwise(a in arb_poly(40), b in arb_poly(40), x in arb_elem()) {
-        prop_assert_eq!(a.mul(&b).evaluate(x), a.evaluate(x) * b.evaluate(x));
-    }
-
-    #[test]
-    fn add_evaluates_pointwise(a in arb_poly(40), b in arb_poly(40), x in arb_elem()) {
-        prop_assert_eq!((&a + &b).evaluate(x), a.evaluate(x) + b.evaluate(x));
-    }
-
-    #[test]
-    fn div_rem_invariant(a in arb_poly(60), b in arb_poly(20)) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn div_rem_invariant() {
+    let mut g = Gen::new(3);
+    let mut checked = 0;
+    while checked < CASES {
+        let a = g.poly(60);
+        let b = g.poly(20);
+        if b.is_zero() {
+            continue;
+        }
+        checked += 1;
         let (q, r) = a.div_rem(&b);
-        prop_assert_eq!(&q.mul_naive(&b) + &r, a);
+        assert_eq!(&q.mul_naive(&b) + &r, a);
         if let Some(rd) = r.degree() {
-            prop_assert!(rd < b.degree().unwrap());
+            assert!(rd < b.degree().unwrap());
         }
     }
+}
 
-    #[test]
-    fn fast_div_agrees_with_naive(a in arb_poly(100), b in arb_poly(40)) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn fast_div_agrees_with_naive() {
+    let mut g = Gen::new(4);
+    let mut checked = 0;
+    while checked < CASES {
+        let a = g.poly(100);
+        let b = g.poly(40);
+        if b.is_zero() {
+            continue;
+        }
+        checked += 1;
         let (qf, rf) = fast_div_rem(&a, &b);
         let (qn, rn) = a.div_rem(&b);
-        prop_assert_eq!(qf, qn);
-        prop_assert_eq!(rf, rn);
+        assert_eq!(qf, qn);
+        assert_eq!(rf, rn);
     }
+}
 
-    #[test]
-    fn radix2_interpolation_round_trip(evals in vec(any::<u64>(), 16)) {
-        let d = Radix2Domain::<F61>::new(16);
-        let evals: Vec<F61> = evals.into_iter().map(F61::from_u64).collect();
+#[test]
+fn radix2_interpolation_round_trip() {
+    let mut g = Gen::new(5);
+    let d = Radix2Domain::<F61>::new(16);
+    for _ in 0..CASES {
+        let evals = g.elems(16);
         let p = d.interpolate(&evals);
-        prop_assert!(p.degree().map_or(true, |dg| dg < 16));
-        prop_assert_eq!(d.evaluate(&p), evals);
+        assert!(p.degree().is_none_or(|dg| dg < 16));
+        assert_eq!(d.evaluate(&p), evals);
     }
+}
 
-    #[test]
-    fn arith_interpolation_round_trip(evals in vec(any::<u64>(), 11)) {
-        let d = ArithDomain::<F61>::new(11);
-        let evals: Vec<F61> = evals.into_iter().map(F61::from_u64).collect();
+#[test]
+fn arith_interpolation_round_trip() {
+    let mut g = Gen::new(6);
+    let d = ArithDomain::<F61>::new(11);
+    for _ in 0..CASES {
+        let evals = g.elems(11);
         let p = d.interpolate(&evals);
         for (j, e) in evals.iter().enumerate() {
-            prop_assert_eq!(p.evaluate(d.element(j)), *e);
+            assert_eq!(p.evaluate(d.element(j)), *e);
         }
     }
+}
 
-    #[test]
-    fn lagrange_basis_reconstructs_evaluation(
-        coeffs in vec(any::<u64>(), 1..16),
-        tau in arb_elem(),
-    ) {
-        let d = Radix2Domain::<F61>::new(16);
-        let p = DensePoly::from_coeffs(coeffs.into_iter().map(F61::from_u64).collect());
+#[test]
+fn lagrange_basis_reconstructs_evaluation() {
+    let mut g = Gen::new(7);
+    let d = Radix2Domain::<F61>::new(16);
+    for _ in 0..CASES {
+        let n = 1 + g.usize_below(15);
+        let p = DensePoly::from_coeffs(g.elems(n));
+        let tau = g.elem();
         let evals = d.evaluate(&p);
         let basis = d.lagrange_coeffs_at(tau);
         let via: F61 = evals.iter().zip(basis.iter()).map(|(e, l)| *e * *l).sum();
-        prop_assert_eq!(via, p.evaluate(tau));
+        assert_eq!(via, p.evaluate(tau));
     }
+}
 
-    #[test]
-    fn zero_pinned_agrees_across_domains(evals in vec(any::<u64>(), 8), tau in arb_elem()) {
-        // Both domains produce polynomials with f(0)=0 hitting the evals;
-        // their zero-pinned basis must reconstruct f(τ).
-        let evals: Vec<F61> = evals.into_iter().map(F61::from_u64).collect();
-        for_each_domain(&evals, tau)?;
+/// Both domains produce polynomials with f(0)=0 hitting the evals;
+/// their zero-pinned basis must reconstruct f(τ).
+#[test]
+fn zero_pinned_agrees_across_domains() {
+    let mut g = Gen::new(8);
+    for _ in 0..CASES {
+        let evals = g.elems(8);
+        let tau = g.elem();
+        let d1 = Radix2Domain::<F61>::new(evals.len());
+        let d2 = ArithDomain::<F61>::new(evals.len());
+        let f1 = d1.interpolate_zero_pinned(&evals);
+        let f2 = d2.interpolate_zero_pinned(&evals);
+        assert!(f1.evaluate(F61::ZERO).is_zero());
+        assert!(f2.evaluate(F61::ZERO).is_zero());
+        let b1 = d1.zero_pinned_coeffs_at(tau);
+        let via1: F61 = evals.iter().zip(b1.iter()).map(|(e, l)| *e * *l).sum();
+        assert_eq!(via1, f1.evaluate(tau));
+        let b2 = d2.zero_pinned_coeffs_at(tau);
+        let via2: F61 = evals.iter().zip(b2.iter()).map(|(e, l)| *e * *l).sum();
+        assert_eq!(via2, f2.evaluate(tau));
     }
+}
 
-    #[test]
-    fn from_roots_vanishes_exactly_at_roots(roots in vec(1u64..1000, 1..12), probe in arb_elem()) {
+#[test]
+fn from_roots_vanishes_exactly_at_roots() {
+    let mut g = Gen::new(9);
+    for _ in 0..CASES {
+        let n = 1 + g.usize_below(11);
+        let mut roots: Vec<u64> = (0..n).map(|_| 1 + g.next_u64() % 999).collect();
+        roots.sort_unstable();
+        roots.dedup();
         let roots: Vec<F61> = roots.into_iter().map(F61::from_u64).collect();
+        let probe = g.elem();
         let p = DensePoly::from_roots(&roots);
-        prop_assert_eq!(p.degree(), Some(roots.len()));
+        assert_eq!(p.degree(), Some(roots.len()));
         for r in &roots {
-            prop_assert!(p.evaluate(*r).is_zero());
+            assert!(p.evaluate(*r).is_zero());
         }
         if !roots.contains(&probe) {
-            prop_assert!(!p.evaluate(probe).is_zero());
+            assert!(!p.evaluate(probe).is_zero());
         }
     }
+}
 
-    #[test]
-    fn product_tree_multi_eval(points in vec(1u64..10_000, 1..24), coeffs in vec(any::<u64>(), 1..40)) {
-        let mut pts: Vec<u64> = points;
+#[test]
+fn product_tree_multi_eval() {
+    let mut g = Gen::new(10);
+    for _ in 0..CASES {
+        let n = 1 + g.usize_below(23);
+        let mut pts: Vec<u64> = (0..n).map(|_| 1 + g.next_u64() % 9_999).collect();
         pts.sort_unstable();
         pts.dedup();
         let pts: Vec<F61> = pts.into_iter().map(F61::from_u64).collect();
         let tree = ProductTree::new(&pts);
-        let p = DensePoly::from_coeffs(coeffs.into_iter().map(F61::from_u64).collect());
+        let k = 1 + g.usize_below(39);
+        let p = DensePoly::from_coeffs(g.elems(k));
         let vals = tree.multi_eval(&p);
         for (pt, v) in pts.iter().zip(vals.iter()) {
-            prop_assert_eq!(p.evaluate(*pt), *v);
+            assert_eq!(p.evaluate(*pt), *v);
         }
     }
+}
 
-    #[test]
-    fn divide_by_vanishing_round_trip(coeffs in vec(any::<u64>(), 0..40)) {
-        let d = Radix2Domain::<F61>::new(8);
-        let p = DensePoly::from_coeffs(coeffs.into_iter().map(F61::from_u64).collect());
+#[test]
+fn divide_by_vanishing_round_trip() {
+    let mut g = Gen::new(11);
+    let d = Radix2Domain::<F61>::new(8);
+    for _ in 0..CASES {
+        let p = g.poly(40);
         let (q, r) = d.divide_by_vanishing(&p);
         let back = &q.mul_naive(&d.vanishing_poly()) + &r;
-        prop_assert_eq!(back, p);
-        prop_assert!(r.degree().map_or(true, |rd| rd < 8));
+        assert_eq!(back, p);
+        assert!(r.degree().is_none_or(|rd| rd < 8));
     }
 }
 
-fn for_each_domain(evals: &[F61], tau: F61) -> Result<(), TestCaseError> {
-    let d1 = Radix2Domain::<F61>::new(evals.len());
-    let d2 = ArithDomain::<F61>::new(evals.len());
-    let f1 = d1.interpolate_zero_pinned(evals);
-    let f2 = d2.interpolate_zero_pinned(evals);
-    prop_assert!(f1.evaluate(F61::ZERO).is_zero());
-    prop_assert!(f2.evaluate(F61::ZERO).is_zero());
-    let b1 = d1.zero_pinned_coeffs_at(tau);
-    let via1: F61 = evals.iter().zip(b1.iter()).map(|(e, l)| *e * *l).sum();
-    prop_assert_eq!(via1, f1.evaluate(tau));
-    let b2 = d2.zero_pinned_coeffs_at(tau);
-    let via2: F61 = evals.iter().zip(b2.iter()).map(|(e, l)| *e * *l).sum();
-    prop_assert_eq!(via2, f2.evaluate(tau));
-    Ok(())
+/// The subproduct-tree interpolation agrees with textbook Lagrange.
+#[test]
+fn fast_interpolation_matches_lagrange() {
+    let mut g = Gen::new(12);
+    let d = ArithDomain::<F61>::new(9);
+    for _ in 0..CASES {
+        let values = g.elems(9);
+        let fast = d.interpolate(&values);
+        let naive = DensePoly::lagrange_interpolate(&d.elements(), &values);
+        assert_eq!(fast, naive);
+    }
 }
 
-proptest! {
-    /// The subproduct-tree interpolation agrees with textbook Lagrange.
-    #[test]
-    fn fast_interpolation_matches_lagrange(values in vec(any::<u64>(), 9)) {
-        let d = ArithDomain::<F61>::new(9);
-        let values: Vec<F61> = values.into_iter().map(F61::from_u64).collect();
+/// The NTT interpolation agrees with textbook Lagrange on the subgroup
+/// points.
+#[test]
+fn ntt_interpolation_matches_lagrange() {
+    let mut g = Gen::new(13);
+    let d = Radix2Domain::<F61>::new(8);
+    for _ in 0..CASES {
+        let values = g.elems(8);
         let fast = d.interpolate(&values);
         let naive = DensePoly::lagrange_interpolate(&d.elements(), &values);
-        prop_assert_eq!(fast, naive);
-    }
-
-    /// The NTT interpolation agrees with textbook Lagrange on the
-    /// subgroup points.
-    #[test]
-    fn ntt_interpolation_matches_lagrange(values in vec(any::<u64>(), 8)) {
-        let d = Radix2Domain::<F61>::new(8);
-        let values: Vec<F61> = values.into_iter().map(F61::from_u64).collect();
-        let fast = d.interpolate(&values);
-        let naive = DensePoly::lagrange_interpolate(&d.elements(), &values);
-        prop_assert_eq!(fast, naive);
+        assert_eq!(fast, naive);
     }
 }

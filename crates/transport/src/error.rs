@@ -1,0 +1,57 @@
+//! The transport failure taxonomy.
+
+/// A transport-level failure.
+///
+/// Frame *corruption* is deliberately absent: corrupted frames are
+/// discarded by the CRC check inside the framing layer (and counted in
+/// [`crate::TransportStats`]), so from the caller's perspective a
+/// corrupted message is indistinguishable from a lost one — it surfaces
+/// as [`TransportError::TimedOut`] at the retry layer, which is exactly
+/// the failure model an adversarial channel forces anyway.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// No (valid) frame arrived before the deadline.
+    TimedOut,
+    /// The peer closed the connection or dropped its endpoint.
+    Closed,
+    /// A frame header announced a payload larger than the configured
+    /// cap; the frame was refused before any allocation.
+    TooLarge {
+        /// Announced payload length.
+        len: u32,
+        /// Configured maximum.
+        max: u32,
+    },
+    /// An OS-level I/O error other than timeout/close.
+    Io(std::io::ErrorKind),
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransportError::TimedOut => write!(f, "timed out waiting for a frame"),
+            TransportError::Closed => write!(f, "connection closed"),
+            TransportError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            TransportError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::TimedOut
+            }
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => TransportError::Closed,
+            kind => TransportError::Io(kind),
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Deterministic fault injection for any [`Link`].
+//!
+//! [`FaultyLink`] wraps a link and perturbs *sent* chunks according to a
+//! schedule derived entirely from a ChaCha seed, so every failure a test
+//! observes can be replayed from its seed alone. Faults model the
+//! classic unreliable-channel repertoire: drops, bit flips, truncations,
+//! duplications, reorders, and delays.
+
+use std::time::{Duration, Instant};
+
+use zaatar_crypto::ChaChaPrg;
+
+use crate::error::TransportError;
+use crate::link::Link;
+
+/// The kinds of fault the injector can apply to one sent chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The chunk is silently discarded.
+    Drop,
+    /// One random bit of the chunk is flipped.
+    Corrupt,
+    /// Only a strict prefix of the chunk is delivered.
+    Truncate,
+    /// The chunk is delivered twice.
+    Duplicate,
+    /// The chunk is held back and delivered after the next send (a
+    /// drop, if nothing further is ever sent).
+    Reorder,
+    /// Delivery is delayed by a seeded duration up to the configured
+    /// maximum.
+    Delay,
+}
+
+impl FaultKind {
+    /// All six kinds, for sweep enumeration.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Drop,
+        FaultKind::Corrupt,
+        FaultKind::Truncate,
+        FaultKind::Duplicate,
+        FaultKind::Reorder,
+        FaultKind::Delay,
+    ];
+}
+
+/// Per-kind injection rates in permille of sent chunks, plus bounds.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Probability (‰) that a sent chunk is dropped.
+    pub drop_permille: u16,
+    /// Probability (‰) that a sent chunk has one bit flipped.
+    pub corrupt_permille: u16,
+    /// Probability (‰) that a sent chunk is truncated.
+    pub truncate_permille: u16,
+    /// Probability (‰) that a sent chunk is duplicated.
+    pub duplicate_permille: u16,
+    /// Probability (‰) that a sent chunk is reordered past its successor.
+    pub reorder_permille: u16,
+    /// Probability (‰) that a sent chunk is delayed.
+    pub delay_permille: u16,
+    /// Upper bound on an injected delay.
+    pub max_delay: Duration,
+}
+
+impl FaultConfig {
+    /// No probabilistic faults; combine with
+    /// [`FaultyLink::inject_at`] for surgical single-fault scenarios.
+    pub fn none() -> Self {
+        FaultConfig {
+            drop_permille: 0,
+            corrupt_permille: 0,
+            truncate_permille: 0,
+            duplicate_permille: 0,
+            reorder_permille: 0,
+            delay_permille: 0,
+            max_delay: Duration::from_millis(20),
+        }
+    }
+
+    /// A uniformly hostile channel: each fault kind at the given rate.
+    pub fn uniform(permille: u16, max_delay: Duration) -> Self {
+        FaultConfig {
+            drop_permille: permille,
+            corrupt_permille: permille,
+            truncate_permille: permille,
+            duplicate_permille: permille,
+            reorder_permille: permille,
+            delay_permille: permille,
+            max_delay,
+        }
+    }
+}
+
+/// Counters of faults actually applied, for assertions and reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Chunks discarded.
+    pub dropped: u64,
+    /// Chunks with a flipped bit.
+    pub corrupted: u64,
+    /// Chunks truncated.
+    pub truncated: u64,
+    /// Chunks duplicated.
+    pub duplicated: u64,
+    /// Chunks reordered.
+    pub reordered: u64,
+    /// Chunks delayed.
+    pub delayed: u64,
+}
+
+impl FaultStats {
+    /// Total number of faults applied.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.corrupted + self.truncated + self.duplicated + self.reordered
+            + self.delayed
+    }
+}
+
+/// A [`Link`] wrapper that perturbs outgoing chunks per a seeded,
+/// replayable schedule. Incoming bytes pass through untouched — wrap
+/// both endpoints to fault both directions.
+pub struct FaultyLink<L: Link> {
+    inner: L,
+    prg: ChaChaPrg,
+    config: FaultConfig,
+    /// Surgical injections: (send index, fault) pairs applied on top of
+    /// the probabilistic schedule.
+    targeted: Vec<(u64, FaultKind)>,
+    sent: u64,
+    held: Option<Vec<u8>>,
+    stats: FaultStats,
+}
+
+impl<L: Link> FaultyLink<L> {
+    /// Wraps `inner`; every fault decision derives from `seed`.
+    pub fn new(inner: L, seed: u64, config: FaultConfig) -> Self {
+        FaultyLink {
+            inner,
+            prg: ChaChaPrg::from_u64_seed(seed),
+            config,
+            targeted: Vec::new(),
+            sent: 0,
+            held: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Forces `kind` onto the `index`-th sent chunk (0-based).
+    pub fn inject_at(&mut self, index: u64, kind: FaultKind) {
+        self.targeted.push((index, kind));
+    }
+
+    /// Faults applied so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn decide(&mut self) -> Option<FaultKind> {
+        let idx = self.sent;
+        if let Some(pos) = self.targeted.iter().position(|(i, _)| *i == idx) {
+            return Some(self.targeted.remove(pos).1);
+        }
+        let roll = (self.prg.next_u32() % 1000) as u16;
+        let rates = [
+            (FaultKind::Drop, self.config.drop_permille),
+            (FaultKind::Corrupt, self.config.corrupt_permille),
+            (FaultKind::Truncate, self.config.truncate_permille),
+            (FaultKind::Duplicate, self.config.duplicate_permille),
+            (FaultKind::Reorder, self.config.reorder_permille),
+            (FaultKind::Delay, self.config.delay_permille),
+        ];
+        let mut acc = 0u16;
+        for (kind, rate) in rates {
+            acc = acc.saturating_add(rate);
+            if roll < acc {
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    fn deliver(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.inner.send_bytes(bytes)?;
+        if let Some(held) = self.held.take() {
+            self.inner.send_bytes(&held)?;
+        }
+        Ok(())
+    }
+}
+
+impl<L: Link> Link for FaultyLink<L> {
+    fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        let fault = self.decide();
+        self.sent += 1;
+        match fault {
+            None => self.deliver(bytes),
+            Some(FaultKind::Drop) => {
+                self.stats.dropped += 1;
+                Ok(())
+            }
+            Some(FaultKind::Corrupt) => {
+                self.stats.corrupted += 1;
+                let mut copy = bytes.to_vec();
+                if !copy.is_empty() {
+                    let bit = self.prg.next_u64() as usize % (copy.len() * 8);
+                    copy[bit / 8] ^= 1 << (bit % 8);
+                }
+                self.deliver(&copy)
+            }
+            Some(FaultKind::Truncate) => {
+                self.stats.truncated += 1;
+                let keep = if bytes.is_empty() {
+                    0
+                } else {
+                    self.prg.next_u64() as usize % bytes.len()
+                };
+                self.deliver(&bytes[..keep])
+            }
+            Some(FaultKind::Duplicate) => {
+                self.stats.duplicated += 1;
+                self.deliver(bytes)?;
+                self.inner.send_bytes(bytes)
+            }
+            Some(FaultKind::Reorder) => {
+                self.stats.reordered += 1;
+                // Hold this chunk; it rides out with the next send. If a
+                // chunk is already held, release it now so at most one
+                // chunk is ever in flight backwards.
+                if let Some(prev) = self.held.replace(bytes.to_vec()) {
+                    self.inner.send_bytes(&prev)?;
+                }
+                Ok(())
+            }
+            Some(FaultKind::Delay) => {
+                self.stats.delayed += 1;
+                let max = self.config.max_delay.as_micros().max(1) as u64;
+                let wait = Duration::from_micros(self.prg.next_u64() % max);
+                std::thread::sleep(wait);
+                self.deliver(bytes)
+            }
+        }
+    }
+
+    fn recv_bytes(&mut self, deadline: Instant) -> Result<Vec<u8>, TransportError> {
+        self.inner.recv_bytes(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::loopback_pair;
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_millis(100)
+    }
+
+    #[test]
+    fn targeted_drop_loses_exactly_that_chunk() {
+        let (a, mut b) = loopback_pair();
+        let mut faulty = FaultyLink::new(a, 1, FaultConfig::none());
+        faulty.inject_at(1, FaultKind::Drop);
+        faulty.send_bytes(b"one").unwrap();
+        faulty.send_bytes(b"two").unwrap();
+        faulty.send_bytes(b"three").unwrap();
+        assert_eq!(b.recv_bytes(soon()).unwrap(), b"one");
+        assert_eq!(b.recv_bytes(soon()).unwrap(), b"three");
+        assert_eq!(faulty.stats().dropped, 1);
+    }
+
+    #[test]
+    fn targeted_corrupt_flips_exactly_one_bit() {
+        let (a, mut b) = loopback_pair();
+        let mut faulty = FaultyLink::new(a, 2, FaultConfig::none());
+        faulty.inject_at(0, FaultKind::Corrupt);
+        let payload = vec![0u8; 100];
+        faulty.send_bytes(&payload).unwrap();
+        let got = b.recv_bytes(soon()).unwrap();
+        let flipped: u32 = got.iter().zip(&payload).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn targeted_duplicate_and_reorder() {
+        let (a, mut b) = loopback_pair();
+        let mut faulty = FaultyLink::new(a, 3, FaultConfig::none());
+        faulty.inject_at(0, FaultKind::Duplicate);
+        faulty.inject_at(2, FaultKind::Reorder);
+        faulty.send_bytes(b"one").unwrap();
+        faulty.send_bytes(b"two").unwrap();
+        faulty.send_bytes(b"three").unwrap();
+        faulty.send_bytes(b"four").unwrap();
+        let mut got = Vec::new();
+        while let Ok(chunk) = b.recv_bytes(soon()) {
+            got.push(chunk);
+        }
+        assert_eq!(got, vec![
+            b"one".to_vec(),
+            b"one".to_vec(),
+            b"two".to_vec(),
+            b"four".to_vec(),
+            b"three".to_vec(),
+        ]);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let (a, mut b) = loopback_pair();
+            let mut faulty =
+                FaultyLink::new(a, 42, FaultConfig::uniform(150, Duration::from_millis(1)));
+            for i in 0..50u8 {
+                faulty.send_bytes(&[i; 8]).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Ok(chunk) = b.recv_bytes(Instant::now()) {
+                got.push(chunk);
+            }
+            (got, faulty.stats())
+        };
+        let (got1, stats1) = run();
+        let (got2, stats2) = run();
+        assert_eq!(got1, got2);
+        assert_eq!(stats1, stats2);
+        assert!(stats1.total() > 0);
+    }
+}

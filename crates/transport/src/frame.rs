@@ -1,0 +1,311 @@
+//! Length-prefixed frames with a magic/version/type header and a CRC-32
+//! integrity check, plus an incremental decoder that resynchronises on
+//! corrupted input by scanning for the next plausible header.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic        0x5A54 ("ZT")
+//!      2     1  version      currently 1
+//!      3     1  msg_type     opaque to the transport; the session
+//!                            runtime assigns meanings
+//!      4     4  seq          request/response correlation number
+//!      8     4  payload_len
+//!     12     4  header_crc   crc32 over bytes [0..12]
+//!     16     4  payload_crc  crc32 over the payload
+//!     20     …  payload
+//! ```
+//!
+//! Two CRCs, not one, and that matters: the header CRC lets the decoder
+//! validate `payload_len` *before* committing to wait for that many
+//! bytes. With a single whole-frame CRC, a bit flip in the length field
+//! creates a phantom frame the decoder would stall on — waiting for
+//! megabytes that never come while swallowing all later traffic. With a
+//! self-checking header, any corrupted header is discarded immediately:
+//! the decoder drops one byte and rescans, re-locking onto the next
+//! intact frame even mid-stream.
+
+/// Frame magic: "ZT" for Zaatar Transport.
+pub const MAGIC: u16 = 0x5A54;
+/// Current wire-format version.
+pub const VERSION: u8 = 1;
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 20;
+/// Default cap on a single frame's payload (16 MiB). Setup messages for
+/// large computations are the biggest legitimate frames; this bound is
+/// generous for them while refusing adversarial multi-gigabyte length
+/// prefixes before any allocation happens.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 16 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// A single protocol message: an opaque type tag, a correlation number,
+/// and a byte payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Message-type tag; the session runtime defines the values.
+    pub msg_type: u8,
+    /// Correlation number binding responses to requests, so stale
+    /// retransmitted replies can be recognised and ignored.
+    pub seq: u32,
+    /// Message body.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(msg_type: u8, seq: u32, payload: Vec<u8>) -> Self {
+        Frame { msg_type, seq, payload }
+    }
+
+    /// Serialises the frame: header with its CRC, payload CRC, payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(self.msg_type);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&out[..12]).to_le_bytes());
+        out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Incremental frame decoder over an unreliable byte stream.
+///
+/// Feed it raw bytes with [`FrameDecoder::push`] and drain complete
+/// frames with [`FrameDecoder::next_frame`]. Invalid input (bad magic,
+/// unknown version, CRC mismatch, oversized length prefix) never
+/// produces an error: the decoder skips forward one byte at a time until
+/// it re-locks onto a valid header, counting the discarded garbage in
+/// [`FrameDecoder::corrupt_events`]. Lost messages are the retry
+/// layer's problem, by design.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_payload: u32,
+    corrupt_events: u64,
+}
+
+impl FrameDecoder {
+    /// Decoder with the given payload cap.
+    pub fn new(max_payload: u32) -> Self {
+        FrameDecoder { buf: Vec::new(), max_payload, corrupt_events: 0 }
+    }
+
+    /// Appends raw bytes received from the link.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of times the decoder hit invalid input and had to resync.
+    pub fn corrupt_events(&self) -> u64 {
+        self.corrupt_events
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete, CRC-valid frame, or `None` if the
+    /// buffer holds no complete frame yet.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        loop {
+            // Scan forward to the next candidate magic.
+            let start = self.buf.windows(2).position(|w| w == MAGIC.to_le_bytes());
+            match start {
+                None => {
+                    // No magic anywhere: everything buffered except a
+                    // possible final half-magic byte is garbage.
+                    if !self.buf.is_empty() {
+                        self.corrupt_events += 1;
+                        let keep = usize::from(self.buf.last() == Some(&MAGIC.to_le_bytes()[0]));
+                        self.buf.drain(..self.buf.len() - keep);
+                    }
+                    return None;
+                }
+                Some(0) => {}
+                Some(skip) => {
+                    self.corrupt_events += 1;
+                    self.buf.drain(..skip);
+                }
+            }
+            if self.buf.len() < HEADER_LEN {
+                return None;
+            }
+            // The header CRC vouches for the length field, so waiting
+            // for `len` payload bytes is safe from phantom frames.
+            let header_crc = u32::from_le_bytes(self.buf[12..16].try_into().unwrap());
+            let version = self.buf[2];
+            let len = u32::from_le_bytes(self.buf[8..12].try_into().unwrap());
+            if crc32(&self.buf[..12]) != header_crc
+                || version != VERSION
+                || len > self.max_payload
+            {
+                self.resync();
+                continue;
+            }
+            let total = HEADER_LEN + len as usize;
+            if self.buf.len() < total {
+                return None;
+            }
+            let payload_crc = u32::from_le_bytes(self.buf[16..20].try_into().unwrap());
+            if crc32(&self.buf[HEADER_LEN..total]) != payload_crc {
+                self.resync();
+                continue;
+            }
+            let frame = Frame {
+                msg_type: self.buf[3],
+                seq: u32::from_le_bytes(self.buf[4..8].try_into().unwrap()),
+                payload: self.buf[HEADER_LEN..total].to_vec(),
+            };
+            self.buf.drain(..total);
+            return Some(frame);
+        }
+    }
+
+    /// Discards one byte so the scan re-locks on the next magic.
+    fn resync(&mut self) {
+        self.corrupt_events += 1;
+        self.buf.drain(..1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip() {
+        let f = Frame::new(3, 42, vec![1, 2, 3, 4, 5]);
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.push(&f.encode());
+        assert_eq!(dec.next_frame(), Some(f));
+        assert_eq!(dec.next_frame(), None);
+        assert_eq!(dec.corrupt_events(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let f = Frame::new(1, 7, (0..=255u8).collect());
+        let bytes = f.encode();
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+        for b in &bytes[..bytes.len() - 1] {
+            dec.push(&[*b]);
+            assert_eq!(dec.next_frame(), None);
+        }
+        dec.push(&bytes[bytes.len() - 1..]);
+        assert_eq!(dec.next_frame(), Some(f));
+    }
+
+    #[test]
+    fn bit_flip_is_dropped_and_stream_resyncs() {
+        let a = Frame::new(1, 1, vec![9; 33]);
+        let b = Frame::new(2, 2, vec![8; 17]);
+        for flip_at in [0usize, 5, 16, 40] {
+            let mut bytes = a.encode();
+            bytes[flip_at] ^= 0x10;
+            bytes.extend_from_slice(&b.encode());
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+            dec.push(&bytes);
+            // The corrupted first frame must never surface; the intact
+            // second frame must.
+            assert_eq!(dec.next_frame(), Some(b.clone()), "flip at {flip_at}");
+            assert_eq!(dec.next_frame(), None);
+            assert!(dec.corrupt_events() > 0);
+        }
+    }
+
+    #[test]
+    fn truncated_frame_followed_by_valid_frames() {
+        // A truncated frame is indistinguishable from a partial one, so
+        // the decoder first waits for the announced byte count; once
+        // later traffic (here, a retransmission) fills it, the CRC fails
+        // and the decoder resyncs onto the intact frames.
+        let a = Frame::new(1, 1, vec![7; 64]);
+        let b = Frame::new(2, 2, vec![6; 12]);
+        let mut bytes = a.encode();
+        bytes.truncate(30); // lose the tail of `a`
+        bytes.extend_from_slice(&b.encode());
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame(), None); // still waiting for `a`'s tail
+        dec.push(&b.encode());
+        assert_eq!(dec.next_frame(), Some(b.clone()));
+        assert_eq!(dec.next_frame(), Some(b));
+        assert!(dec.corrupt_events() > 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_without_allocation() {
+        // Craft a header whose length field announces 4 GiB and whose
+        // header CRC is *valid*, so only the payload cap can refuse it.
+        let mut bytes = Frame::new(1, 1, vec![]).encode();
+        bytes[8..12].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
+        let crc = crc32(&bytes[..12]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame(), None);
+        assert!(dec.corrupt_events() > 0);
+        // The decoder must not be waiting for 4 GiB of payload.
+        assert!(dec.buffered() < 32);
+    }
+
+    #[test]
+    fn corrupted_length_field_does_not_stall_the_stream() {
+        // A bit flip in the length field must not create a phantom frame
+        // that swallows later traffic: the header CRC catches it and the
+        // very next intact frame decodes.
+        let mut bytes = Frame::new(1, 1, vec![3; 24]).encode();
+        bytes[10] ^= 0x40; // announce ~4 MiB of payload (< cap)
+        let b = Frame::new(2, 2, vec![4; 8]);
+        bytes.extend_from_slice(&b.encode());
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame(), Some(b));
+    }
+
+    #[test]
+    fn garbage_between_frames_is_skipped() {
+        let f = Frame::new(5, 99, vec![1, 2, 3]);
+        let mut bytes = vec![0xAA; 37];
+        bytes.extend_from_slice(&f.encode());
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame(), Some(f));
+    }
+}

@@ -1,0 +1,144 @@
+//! The [`Transport`] trait and its framing-over-a-[`Link`]
+//! implementation.
+
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Instant;
+
+use crate::error::TransportError;
+use crate::fault::{FaultConfig, FaultyLink};
+use crate::frame::{Frame, FrameDecoder, DEFAULT_MAX_PAYLOAD};
+use crate::link::{loopback_pair, Link, LoopbackLink, TcpLink};
+
+/// Traffic and corruption counters for one transport endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Raw bytes handed to the link (headers included).
+    pub bytes_sent: u64,
+    /// Raw bytes received from the link (garbage included).
+    pub bytes_received: u64,
+    /// Valid frames sent.
+    pub frames_sent: u64,
+    /// Valid frames received.
+    pub frames_received: u64,
+    /// Resync events: corrupted, truncated, or oversized input the
+    /// decoder had to skip past.
+    pub corrupt_events: u64,
+}
+
+/// A reliable-enough message channel: sends and receives whole
+/// [`Frame`]s, silently discarding corrupted input. Retransmission on
+/// loss is the caller's job (see [`crate::RetryPolicy`]).
+pub trait Transport {
+    /// Sends one frame.
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError>;
+
+    /// Receives the next valid frame, blocking until `deadline`.
+    fn recv(&mut self, deadline: Instant) -> Result<Frame, TransportError>;
+
+    /// Traffic counters so far.
+    fn stats(&self) -> TransportStats;
+}
+
+/// Frames messages over any [`Link`].
+pub struct FramedTransport<L: Link> {
+    link: L,
+    decoder: FrameDecoder,
+    stats: TransportStats,
+}
+
+impl<L: Link> FramedTransport<L> {
+    /// Wraps `link` with the default 16 MiB payload cap.
+    pub fn new(link: L) -> Self {
+        Self::with_max_payload(link, DEFAULT_MAX_PAYLOAD)
+    }
+
+    /// Wraps `link` with an explicit payload cap.
+    pub fn with_max_payload(link: L, max_payload: u32) -> Self {
+        FramedTransport {
+            link,
+            decoder: FrameDecoder::new(max_payload),
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// The underlying link, e.g. to inspect [`FaultyLink`] stats.
+    pub fn link(&self) -> &L {
+        &self.link
+    }
+
+    /// Mutable access to the underlying link, e.g. to schedule targeted
+    /// faults after construction.
+    pub fn link_mut(&mut self) -> &mut L {
+        &mut self.link
+    }
+}
+
+impl<L: Link> Transport for FramedTransport<L> {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        let bytes = frame.encode();
+        self.stats.bytes_sent += bytes.len() as u64;
+        self.stats.frames_sent += 1;
+        self.link.send_bytes(&bytes)
+    }
+
+    fn recv(&mut self, deadline: Instant) -> Result<Frame, TransportError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame() {
+                self.stats.frames_received += 1;
+                self.stats.corrupt_events = self.decoder.corrupt_events();
+                return Ok(frame);
+            }
+            self.stats.corrupt_events = self.decoder.corrupt_events();
+            let chunk = self.link.recv_bytes(deadline)?;
+            self.stats.bytes_received += chunk.len() as u64;
+            self.decoder.push(&chunk);
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+/// Framed transport over TCP.
+pub type TcpTransport = FramedTransport<TcpLink>;
+
+/// Framed transport over the in-memory loopback.
+pub type LoopbackTransport = FramedTransport<LoopbackLink>;
+
+/// Framed transport over a fault-injecting link.
+pub type FaultyTransport<L> = FramedTransport<FaultyLink<L>>;
+
+impl TcpTransport {
+    /// Connects to a listening peer.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr).map_err(TransportError::from)?;
+        Ok(FramedTransport::new(TcpLink::new(stream)?))
+    }
+
+    /// Accepts one connection from `listener`.
+    pub fn accept(listener: &TcpListener) -> Result<Self, TransportError> {
+        let (stream, _) = listener.accept().map_err(TransportError::from)?;
+        Ok(FramedTransport::new(TcpLink::new(stream)?))
+    }
+}
+
+/// A connected pair of in-memory framed transports.
+pub fn loopback_transport_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let (a, b) = loopback_pair();
+    (FramedTransport::new(a), FramedTransport::new(b))
+}
+
+/// A connected in-memory pair whose two directions inject faults from
+/// `seed` and `seed + 1` respectively. Targeted faults can be added via
+/// [`FramedTransport::link_mut`].
+pub fn faulty_loopback_pair(
+    seed: u64,
+    config: FaultConfig,
+) -> (FaultyTransport<LoopbackLink>, FaultyTransport<LoopbackLink>) {
+    let (a, b) = loopback_pair();
+    (
+        FramedTransport::new(FaultyLink::new(a, seed, config.clone())),
+        FramedTransport::new(FaultyLink::new(b, seed.wrapping_add(1), config)),
+    )
+}

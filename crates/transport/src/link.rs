@@ -1,0 +1,180 @@
+//! Byte-pipe abstraction underneath the framing layer.
+//!
+//! A [`Link`] moves opaque byte chunks with arbitrary re-chunking; it
+//! promises nothing about integrity or delivery. Two implementations
+//! ship here — [`TcpLink`] over `std::net` and the in-memory
+//! [`LoopbackLink`] — and [`crate::FaultyLink`] wraps either to inject
+//! faults deterministically.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::error::TransportError;
+
+/// An unreliable, unframed byte channel.
+pub trait Link {
+    /// Sends one chunk of bytes. Chunk boundaries need not survive.
+    fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), TransportError>;
+
+    /// Receives some bytes, blocking until data arrives, the peer
+    /// closes, or `deadline` passes ([`TransportError::TimedOut`]).
+    fn recv_bytes(&mut self, deadline: Instant) -> Result<Vec<u8>, TransportError>;
+}
+
+/// A [`Link`] over a connected TCP stream.
+pub struct TcpLink {
+    stream: TcpStream,
+}
+
+impl TcpLink {
+    /// Wraps a connected stream. `TCP_NODELAY` is enabled so the small
+    /// request/response frames of the session protocol are not held
+    /// back by Nagle's algorithm.
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(TcpLink { stream })
+    }
+}
+
+impl Link for TcpLink {
+    fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn recv_bytes(&mut self, deadline: Instant) -> Result<Vec<u8>, TransportError> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(TransportError::TimedOut);
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        let mut buf = [0u8; 64 * 1024];
+        match self.stream.read(&mut buf) {
+            Ok(0) => Err(TransportError::Closed),
+            Ok(n) => Ok(buf[..n].to_vec()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[derive(Default)]
+struct LoopbackState {
+    chunks: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct LoopbackQueue {
+    state: Mutex<LoopbackState>,
+    ready: Condvar,
+}
+
+/// One endpoint of an in-memory duplex channel; see [`loopback_pair`].
+pub struct LoopbackLink {
+    tx: Arc<LoopbackQueue>,
+    rx: Arc<LoopbackQueue>,
+}
+
+/// Creates a connected pair of in-memory endpoints. Dropping one
+/// endpoint closes the channel for the survivor.
+pub fn loopback_pair() -> (LoopbackLink, LoopbackLink) {
+    let a = Arc::new(LoopbackQueue::default());
+    let b = Arc::new(LoopbackQueue::default());
+    (
+        LoopbackLink { tx: a.clone(), rx: b.clone() },
+        LoopbackLink { tx: b, rx: a },
+    )
+}
+
+impl Link for LoopbackLink {
+    fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut state = self.tx.state.lock().unwrap();
+        if state.closed {
+            return Err(TransportError::Closed);
+        }
+        state.chunks.push_back(bytes.to_vec());
+        self.tx.ready.notify_all();
+        Ok(())
+    }
+
+    fn recv_bytes(&mut self, deadline: Instant) -> Result<Vec<u8>, TransportError> {
+        let mut state = self.rx.state.lock().unwrap();
+        loop {
+            if let Some(chunk) = state.chunks.pop_front() {
+                return Ok(chunk);
+            }
+            if state.closed {
+                return Err(TransportError::Closed);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(TransportError::TimedOut);
+            }
+            let (next, timed_out) = self.rx.ready.wait_timeout(state, remaining).unwrap();
+            state = next;
+            if timed_out.timed_out() && state.chunks.is_empty() {
+                return Err(TransportError::TimedOut);
+            }
+        }
+    }
+}
+
+impl Drop for LoopbackLink {
+    fn drop(&mut self) {
+        // Wake a peer blocked in recv and mark both directions closed.
+        for queue in [&self.tx, &self.rx] {
+            queue.state.lock().unwrap().closed = true;
+            queue.ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_millis(200)
+    }
+
+    #[test]
+    fn loopback_round_trip_both_directions() {
+        let (mut a, mut b) = loopback_pair();
+        a.send_bytes(b"ping").unwrap();
+        assert_eq!(b.recv_bytes(soon()).unwrap(), b"ping");
+        b.send_bytes(b"pong").unwrap();
+        assert_eq!(a.recv_bytes(soon()).unwrap(), b"pong");
+    }
+
+    #[test]
+    fn loopback_recv_times_out() {
+        let (_a, mut b) = loopback_pair();
+        let start = Instant::now();
+        let deadline = Instant::now() + Duration::from_millis(30);
+        assert_eq!(b.recv_bytes(deadline), Err(TransportError::TimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn loopback_drop_closes_peer() {
+        let (a, mut b) = loopback_pair();
+        drop(a);
+        assert_eq!(b.recv_bytes(soon()), Err(TransportError::Closed));
+        assert_eq!(b.send_bytes(b"x"), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn loopback_unblocks_waiting_peer_on_drop() {
+        let (a, mut b) = loopback_pair();
+        let handle = std::thread::spawn(move || {
+            b.recv_bytes(Instant::now() + Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(a);
+        assert_eq!(handle.join().unwrap(), Err(TransportError::Closed));
+    }
+}

@@ -1,0 +1,244 @@
+//! Retransmission policy: deadlines, exponential backoff with seeded
+//! jitter, and bounded retransmits over any [`Transport`].
+
+use std::time::{Duration, Instant};
+
+use zaatar_crypto::ChaChaPrg;
+
+use crate::error::TransportError;
+use crate::frame::Frame;
+use crate::framed::Transport;
+
+/// When and how often to retransmit an unanswered request.
+///
+/// The protocol this drives is request/response with idempotent
+/// handlers, so retransmitting is always safe: a duplicate request
+/// re-elicits a byte-identical response, and stale responses are
+/// recognised by their `seq` and dropped.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total budget for one exchange, across all retransmits. Once it
+    /// expires the exchange fails with [`TransportError::TimedOut`].
+    pub deadline: Duration,
+    /// Wait after the first transmission before retransmitting.
+    pub initial_timeout: Duration,
+    /// Multiplier applied to the wait after each retransmission.
+    pub backoff_factor: u32,
+    /// Cap on the per-attempt wait, so backoff cannot outgrow the
+    /// deadline's usefulness.
+    pub max_timeout: Duration,
+    /// Retransmissions allowed after the initial send.
+    pub max_retransmits: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_secs(10),
+            initial_timeout: Duration::from_millis(100),
+            backoff_factor: 2,
+            max_timeout: Duration::from_secs(2),
+            max_retransmits: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy tuned for in-process tests: short waits, same shape.
+    pub fn fast() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_secs(5),
+            initial_timeout: Duration::from_millis(25),
+            backoff_factor: 2,
+            max_timeout: Duration::from_millis(400),
+            max_retransmits: 10,
+        }
+    }
+
+    /// Per-attempt wait: `initial * factor^attempt`, capped, plus a
+    /// seeded jitter of up to a quarter of the base wait (decorrelates
+    /// retransmission storms without hurting determinism under a fixed
+    /// seed).
+    pub fn timeout_for_attempt(&self, attempt: u32, prg: &mut ChaChaPrg) -> Duration {
+        let factor = self.backoff_factor.max(1).saturating_pow(attempt);
+        let base = self
+            .initial_timeout
+            .saturating_mul(factor)
+            .min(self.max_timeout);
+        let jitter_budget = (base.as_micros() / 4) as u64;
+        let jitter = if jitter_budget == 0 { 0 } else { prg.next_u64() % jitter_budget };
+        base + Duration::from_micros(jitter)
+    }
+}
+
+/// The result of a successful [`exchange`].
+#[derive(Clone, Debug)]
+pub struct ExchangeOutcome {
+    /// The matched response.
+    pub response: Frame,
+    /// How many retransmissions the request needed.
+    pub retransmits: u32,
+}
+
+/// Sends `request` and waits for a response whose `seq` matches and
+/// whose type is one of `expect`, retransmitting per `policy`.
+///
+/// Frames with a non-matching `seq` (stale responses to earlier,
+/// already-answered requests, or duplicates conjured by the channel)
+/// are discarded without counting against the timeout budget beyond
+/// the time they took to arrive.
+pub fn exchange<T: Transport>(
+    transport: &mut T,
+    request: &Frame,
+    expect: &[u8],
+    policy: &RetryPolicy,
+    prg: &mut ChaChaPrg,
+) -> Result<ExchangeOutcome, TransportError> {
+    let overall = Instant::now() + policy.deadline;
+    let mut retransmits = 0u32;
+    for attempt in 0..=policy.max_retransmits {
+        if Instant::now() >= overall {
+            break;
+        }
+        if attempt > 0 {
+            retransmits += 1;
+        }
+        transport.send(request)?;
+        let wait = policy.timeout_for_attempt(attempt, prg);
+        let attempt_deadline = (Instant::now() + wait).min(overall);
+        loop {
+            match transport.recv(attempt_deadline) {
+                Ok(frame) => {
+                    if frame.seq == request.seq && expect.contains(&frame.msg_type) {
+                        return Ok(ExchangeOutcome { response: frame, retransmits });
+                    }
+                    // Stale or unexpected: ignore and keep waiting.
+                }
+                Err(TransportError::TimedOut) => break,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Err(TransportError::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultKind};
+    use crate::framed::{faulty_loopback_pair, loopback_transport_pair};
+
+    fn echo_server<T: Transport>(transport: &mut T, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut served = 0;
+        while served < n {
+            match transport.recv(deadline) {
+                Ok(frame) => {
+                    let reply = Frame::new(frame.msg_type + 1, frame.seq, frame.payload);
+                    transport.send(&reply).unwrap();
+                    served += 1;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_without_faults_needs_no_retransmits() {
+        let (mut client, mut server) = loopback_transport_pair();
+        let handle = std::thread::spawn(move || echo_server(&mut server, 1));
+        let mut prg = ChaChaPrg::from_u64_seed(1);
+        let out = exchange(
+            &mut client,
+            &Frame::new(10, 1, b"hello".to_vec()),
+            &[11],
+            &RetryPolicy::fast(),
+            &mut prg,
+        )
+        .unwrap();
+        assert_eq!(out.response.payload, b"hello");
+        assert_eq!(out.retransmits, 0);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn exchange_recovers_from_a_dropped_request() {
+        let (mut client, mut server) = faulty_loopback_pair(7, FaultConfig::none());
+        client.link_mut().inject_at(0, FaultKind::Drop);
+        // The server sees only the retransmission, so serve 1.
+        let handle = std::thread::spawn(move || echo_server(&mut server, 1));
+        let mut prg = ChaChaPrg::from_u64_seed(2);
+        let out = exchange(
+            &mut client,
+            &Frame::new(10, 5, b"again".to_vec()),
+            &[11],
+            &RetryPolicy::fast(),
+            &mut prg,
+        )
+        .unwrap();
+        assert_eq!(out.response.payload, b"again");
+        assert!(out.retransmits >= 1);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn exchange_ignores_stale_seq() {
+        let (mut client, mut server) = loopback_transport_pair();
+        let handle = std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let frame = server.recv(deadline).unwrap();
+            // A stale response first, then the real one.
+            server.send(&Frame::new(11, frame.seq.wrapping_sub(1), b"stale".to_vec())).unwrap();
+            server.send(&Frame::new(11, frame.seq, b"fresh".to_vec())).unwrap();
+        });
+        let mut prg = ChaChaPrg::from_u64_seed(3);
+        let out = exchange(
+            &mut client,
+            &Frame::new(10, 9, vec![]),
+            &[11],
+            &RetryPolicy::fast(),
+            &mut prg,
+        )
+        .unwrap();
+        assert_eq!(out.response.payload, b"fresh");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn exchange_times_out_against_a_dead_peer() {
+        let (mut client, _server) = loopback_transport_pair();
+        let policy = RetryPolicy {
+            deadline: Duration::from_millis(200),
+            initial_timeout: Duration::from_millis(20),
+            backoff_factor: 2,
+            max_timeout: Duration::from_millis(50),
+            max_retransmits: 3,
+        };
+        let mut prg = ChaChaPrg::from_u64_seed(4);
+        let start = Instant::now();
+        let err = exchange(&mut client, &Frame::new(10, 1, vec![]), &[11], &policy, &mut prg);
+        assert_eq!(err.unwrap_err(), TransportError::TimedOut);
+        // Bounded: must give up within the deadline plus one max wait.
+        assert!(start.elapsed() < Duration::from_millis(400));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            deadline: Duration::from_secs(1),
+            initial_timeout: Duration::from_millis(10),
+            backoff_factor: 2,
+            max_timeout: Duration::from_millis(40),
+            max_retransmits: 8,
+        };
+        let mut prg = ChaChaPrg::from_u64_seed(5);
+        let waits: Vec<Duration> =
+            (0..6).map(|a| policy.timeout_for_attempt(a, &mut prg)).collect();
+        // Base doubles 10 → 20 → 40 then caps at 40; jitter adds < 25%.
+        assert!(waits[0] >= Duration::from_millis(10) && waits[0] < Duration::from_millis(13));
+        assert!(waits[1] >= Duration::from_millis(20) && waits[1] < Duration::from_millis(25));
+        for w in &waits[2..] {
+            assert!(*w >= Duration::from_millis(40) && *w < Duration::from_millis(50));
+        }
+    }
+}

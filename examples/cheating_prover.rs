@@ -51,7 +51,7 @@ fn main() {
 
     // Honest baseline.
     let honest = pcp.prove(&witness).expect("satisfying witness");
-    let ok = run_batched_argument(&pcp, &[honest.clone()], &[io.clone()], 1);
+    let ok = run_batched_argument(&pcp, std::slice::from_ref(&honest), std::slice::from_ref(&io), 1);
     println!("honest prover:            accepted = {}", ok.accepted[0]);
     assert!(ok.accepted[0]);
 
@@ -59,7 +59,7 @@ fn main() {
     let mut lying_io = io.clone();
     let last = lying_io.len() - 1;
     lying_io[last] += F128::ONE;
-    let r1 = run_batched_argument(&pcp, &[honest.clone()], &[lying_io], 2);
+    let r1 = run_batched_argument(&pcp, std::slice::from_ref(&honest), &[lying_io], 2);
     println!("wrong claimed output:     accepted = {}", r1.accepted[0]);
     assert!(!r1.accepted[0]);
 
@@ -67,7 +67,7 @@ fn main() {
     let mut bad_witness = witness.clone();
     bad_witness.z[0] += F128::ONE;
     let forged = pcp.prove_unchecked(&bad_witness);
-    let r2 = run_batched_argument(&pcp, &[forged], &[io.clone()], 3);
+    let r2 = run_batched_argument(&pcp, &[forged], std::slice::from_ref(&io), 3);
     println!("corrupted witness:        accepted = {}", r2.accepted[0]);
     assert!(!r2.accepted[0]);
 

@@ -5,3 +5,4 @@ pub use zaatar_core as core;
 pub use zaatar_crypto as crypto;
 pub use zaatar_field as field;
 pub use zaatar_poly as poly;
+pub use zaatar_transport as transport;

@@ -10,6 +10,7 @@ use zaatar::core::qap::Qap;
 use zaatar::field::{Field, F61};
 
 /// Builds proofs + ios for a batch of instances of one app.
+#[allow(clippy::type_complexity)]
 fn prepare(
     app: &Suite,
     seeds: &[u64],

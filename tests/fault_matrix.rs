@@ -1,0 +1,272 @@
+//! The fault matrix: a seeded sweep of single-fault and hostile-channel
+//! scenarios over the full session runtime, asserting the three
+//! robustness invariants of the transport work:
+//!
+//! 1. the verifier never accepts an invalid proof, no matter what the
+//!    channel does;
+//! 2. no fault combination panics either endpoint;
+//! 3. every session terminates within its configured deadline, with a
+//!    typed verdict per instance.
+//!
+//! The sweep enumerates {drop, corrupt, truncate, duplicate, reorder,
+//! delay} × {verifier→prover, prover→verifier} × {setup exchange,
+//! instance exchange} × 42 seeds × {honest, lying} — 1008 scenarios,
+//! each fully determined by its coordinates, so any failure replays
+//! exactly from the printed scenario tuple.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zaatar_cc::{ginger_to_quad, Builder};
+use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
+use zaatar_core::qap::Qap;
+use zaatar_core::runtime::{run_session_prover, run_session_verifier, VerifyOutcome};
+use zaatar_crypto::ChaChaPrg;
+use zaatar_field::{Field, F61};
+use zaatar_transport::{
+    faulty_loopback_pair, FaultConfig, FaultKind, RetryPolicy,
+};
+
+type Pcp = ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>;
+
+struct Fixture {
+    pcp: Pcp,
+    proofs: Vec<ZaatarProof<F61>>,
+    ios: Vec<Vec<F61>>,
+}
+
+fn fixture() -> Fixture {
+    let mut b = Builder::<F61>::new();
+    let x = b.alloc_input();
+    let y = b.alloc_input();
+    let p = b.mul(&x, &y);
+    b.bind_output(&p);
+    let (sys, solver) = b.finish();
+    let t = ginger_to_quad(&sys);
+    let qap = Qap::new(&t.system);
+    let pcp = ZaatarPcp::new(qap, PcpParams::light());
+    let mut proofs = Vec::new();
+    let mut ios = Vec::new();
+    for pair in [[3i64, 7], [5, 11]] {
+        let asg = solver
+            .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
+            .unwrap();
+        let ext = t.extend_assignment(&asg);
+        let w = pcp.qap().witness(&ext);
+        proofs.push(pcp.prove(&w).unwrap());
+        ios.push(
+            pcp.qap()
+                .var_map()
+                .inputs()
+                .iter()
+                .chain(pcp.qap().var_map().outputs())
+                .map(|v| ext.get(*v))
+                .collect(),
+        );
+    }
+    Fixture { pcp, proofs, ios }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Scenario {
+    seed: u64,
+    kind: FaultKind,
+    /// true: fault the verifier→prover direction; false: prover→verifier.
+    fault_v_to_p: bool,
+    /// Which send (0-based) on the faulted side gets the fault: 0 lands
+    /// on the setup exchange, 1 on the first instance exchange.
+    target_send: u64,
+    /// false: the verifier claims a wrong output for instance 1.
+    honest: bool,
+}
+
+#[derive(Default)]
+struct Tally {
+    scenarios: u64,
+    instances: u64,
+    accepted: u64,
+    timed_out: u64,
+    fatal_sessions: u64,
+}
+
+fn run_scenario(fx: &Arc<Fixture>, sc: Scenario, tally: &mut Tally) {
+    let policy = RetryPolicy {
+        deadline: Duration::from_secs(5),
+        initial_timeout: Duration::from_millis(10),
+        backoff_factor: 2,
+        max_timeout: Duration::from_millis(200),
+        max_retransmits: 10,
+    };
+    let config = FaultConfig {
+        max_delay: Duration::from_millis(20),
+        ..FaultConfig::none()
+    };
+    let (mut vt, mut pt) = faulty_loopback_pair(sc.seed, config);
+    if sc.fault_v_to_p {
+        vt.link_mut().inject_at(sc.target_send, sc.kind);
+    } else {
+        pt.link_mut().inject_at(sc.target_send, sc.kind);
+    }
+
+    let fx2 = fx.clone();
+    let server = std::thread::spawn(move || {
+        run_session_prover(&mut pt, &fx2.pcp, &fx2.proofs, Duration::from_secs(8))
+    });
+
+    let mut ios = fx.ios.clone();
+    if !sc.honest {
+        let last = ios[1].len() - 1;
+        ios[1][last] += F61::ONE;
+    }
+    let mut prg = ChaChaPrg::from_u64_seed(sc.seed ^ 0xFA17);
+    let started = Instant::now();
+    let result = run_session_verifier(&mut vt, &fx.pcp, &ios, &policy, &mut prg);
+    let elapsed = started.elapsed();
+
+    // Invariant 3: bounded termination. Setup (1 exchange) + 2 instance
+    // exchanges, each deadline-capped at 5s.
+    assert!(
+        elapsed < Duration::from_secs(16),
+        "{sc:?}: session ran {elapsed:?}"
+    );
+
+    tally.scenarios += 1;
+    match result {
+        Ok(report) => {
+            assert_eq!(report.outcomes.len(), ios.len(), "{sc:?}");
+            for (i, outcome) in report.outcomes.iter().enumerate() {
+                tally.instances += 1;
+                match outcome {
+                    VerifyOutcome::Accepted => {
+                        // Invariant 1: a lying claim must never verify.
+                        assert!(
+                            sc.honest || i != 1,
+                            "{sc:?}: accepted an invalid proof claim"
+                        );
+                        tally.accepted += 1;
+                    }
+                    VerifyOutcome::Rejected => {
+                        // A single channel fault never mutates a message
+                        // undetected (CRC), so an honest instance must
+                        // never be rejected — only lost.
+                        assert!(
+                            !(sc.honest || i != 1),
+                            "{sc:?}: rejected an honest instance"
+                        );
+                    }
+                    VerifyOutcome::Malformed(e) => {
+                        panic!("{sc:?}: instance {i} malformed: {e}");
+                    }
+                    VerifyOutcome::TimedOut => tally.timed_out += 1,
+                }
+            }
+        }
+        // A fatal session error is legitimate only when the fault hit
+        // the setup exchange hard enough to exhaust its retries — which
+        // a single injected fault cannot, so count and bound it.
+        Err(_) => tally.fatal_sessions += 1,
+    }
+
+    // Invariant 2 (prover side): the serving loop exits cleanly, never
+    // panics, never returns a fatal error on channel garbage.
+    server
+        .join()
+        .unwrap_or_else(|_| panic!("{sc:?}: prover panicked"))
+        .unwrap_or_else(|e| panic!("{sc:?}: prover fatal error {e}"));
+}
+
+#[test]
+fn fault_matrix_sweep() {
+    let fx = Arc::new(fixture());
+    let mut scenarios = Vec::new();
+    let mut flip = false;
+    for seed in 0..42u64 {
+        for kind in FaultKind::ALL {
+            for fault_v_to_p in [true, false] {
+                for target_send in [0u64, 1] {
+                    flip = !flip;
+                    scenarios.push(Scenario {
+                        seed: seed * 1000 + kind as u64 * 10 + target_send,
+                        kind,
+                        fault_v_to_p,
+                        target_send,
+                        honest: flip,
+                    });
+                }
+            }
+        }
+    }
+    assert!(scenarios.len() >= 1000, "sweep too small: {}", scenarios.len());
+
+    // Shard the sweep across workers; each scenario is self-contained.
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    let chunks: Vec<Vec<Scenario>> = scenarios
+        .chunks(scenarios.len().div_ceil(workers))
+        .map(<[Scenario]>::to_vec)
+        .collect();
+    let handles: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let fx = fx.clone();
+            std::thread::spawn(move || {
+                let mut tally = Tally::default();
+                for sc in chunk {
+                    run_scenario(&fx, sc, &mut tally);
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut total = Tally::default();
+    for handle in handles {
+        let tally = handle.join().expect("worker panicked (scenario inside panicked)");
+        total.scenarios += tally.scenarios;
+        total.instances += tally.instances;
+        total.accepted += tally.accepted;
+        total.timed_out += tally.timed_out;
+        total.fatal_sessions += tally.fatal_sessions;
+    }
+
+    assert_eq!(total.scenarios, scenarios.len() as u64);
+    // A single injected fault is always recoverable by retransmission:
+    // no session may fail fatally, and instance-level timeouts should
+    // not occur at all (allow a whisker of slack for loaded machines).
+    assert_eq!(total.fatal_sessions, 0, "sessions failed fatally");
+    assert!(
+        total.timed_out * 100 <= total.instances,
+        "{} of {} instances timed out",
+        total.timed_out,
+        total.instances
+    );
+    // Sanity: honest scenarios dominate accepts — roughly 3 of every 4
+    // instances across the sweep (all honest + instance 0 of lying).
+    assert!(total.accepted * 2 > total.instances, "too few accepts: {}/{}", total.accepted, total.instances);
+}
+
+/// The same machinery under sustained hostility rather than surgical
+/// single faults: every fault kind active at once in both directions.
+#[test]
+fn hostile_channel_session_keeps_its_verdicts_straight() {
+    let fx = Arc::new(fixture());
+    for seed in [1u64, 2, 3] {
+        let config = FaultConfig::uniform(50, Duration::from_millis(5));
+        let (mut vt, mut pt) = faulty_loopback_pair(seed.wrapping_mul(0x9E3779B9), config);
+        let fx2 = fx.clone();
+        let server = std::thread::spawn(move || {
+            run_session_prover(&mut pt, &fx2.pcp, &fx2.proofs, Duration::from_secs(10))
+        });
+        let mut ios = fx.ios.clone();
+        let last = ios[1].len() - 1;
+        ios[1][last] += F61::ONE; // instance 1 lies
+        let policy = RetryPolicy::fast();
+        let mut prg = ChaChaPrg::from_u64_seed(seed);
+        let report = run_session_verifier(&mut vt, &fx.pcp, &ios, &policy, &mut prg)
+            .expect("hostile channel at 5% rates must still complete setup");
+        // Instance 1's lie must never verify; instance 0 must never be
+        // rejected (though it may time out on a bad enough run).
+        assert_ne!(report.outcomes[1], VerifyOutcome::Accepted, "seed {seed}");
+        assert_ne!(report.outcomes[0], VerifyOutcome::Rejected, "seed {seed}");
+        server.join().unwrap().unwrap();
+    }
+}

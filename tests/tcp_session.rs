@@ -1,0 +1,108 @@
+//! End-to-end batched argument over real TCP on localhost: the
+//! acceptance test for the transport + session-runtime stack.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use zaatar_cc::{ginger_to_quad, Builder};
+use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
+use zaatar_core::qap::Qap;
+use zaatar_core::runtime::{run_session_prover, run_session_verifier, VerifyOutcome};
+use zaatar_crypto::ChaChaPrg;
+use zaatar_field::{Field, F61};
+use zaatar_transport::{RetryPolicy, TcpTransport};
+
+type Pcp = ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>;
+
+fn fixture(inputs: &[[i64; 2]]) -> (Pcp, Vec<ZaatarProof<F61>>, Vec<Vec<F61>>) {
+    let mut b = Builder::<F61>::new();
+    let x = b.alloc_input();
+    let y = b.alloc_input();
+    let p = b.mul(&x, &y);
+    let e = b.is_eq(&x, &y);
+    b.bind_output(&p.add(&e));
+    let (sys, solver) = b.finish();
+    let t = ginger_to_quad(&sys);
+    let qap = Qap::new(&t.system);
+    let pcp = ZaatarPcp::new(qap, PcpParams::light());
+    let mut proofs = Vec::new();
+    let mut ios = Vec::new();
+    for pair in inputs {
+        let asg = solver
+            .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
+            .unwrap();
+        let ext = t.extend_assignment(&asg);
+        let w = pcp.qap().witness(&ext);
+        proofs.push(pcp.prove(&w).unwrap());
+        ios.push(
+            pcp.qap()
+                .var_map()
+                .inputs()
+                .iter()
+                .chain(pcp.qap().var_map().outputs())
+                .map(|v| ext.get(*v))
+                .collect(),
+        );
+    }
+    (pcp, proofs, ios)
+}
+
+#[test]
+fn batched_argument_over_localhost_tcp() {
+    let (pcp, proofs, ios) = fixture(&[[3, 7], [5, 5], [0, 9], [12, 12]]);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let pcp2 = pcp.clone();
+    let server = std::thread::spawn(move || {
+        let mut transport = TcpTransport::accept(&listener).unwrap();
+        run_session_prover(&mut transport, &pcp2, &proofs, Duration::from_secs(10)).unwrap()
+    });
+
+    let mut transport = TcpTransport::connect(addr).unwrap();
+    let mut prg = ChaChaPrg::from_u64_seed(0x7C9);
+    let report = run_session_verifier(
+        &mut transport,
+        &pcp,
+        &ios,
+        &RetryPolicy::default(),
+        &mut prg,
+    )
+    .unwrap();
+
+    assert!(report.all_accepted(), "{:?}", report.outcomes);
+    assert_eq!(report.retransmits, 0, "localhost TCP should be clean");
+    let stats = server.join().unwrap();
+    assert_eq!(stats.responses_served, 4);
+    assert_eq!(stats.errors_reported, 0);
+}
+
+#[test]
+fn lying_claim_rejected_over_tcp() {
+    let (pcp, proofs, mut ios) = fixture(&[[2, 8], [6, 6]]);
+    let last = ios[0].len() - 1;
+    ios[0][last] += F61::ONE;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let pcp2 = pcp.clone();
+    let server = std::thread::spawn(move || {
+        let mut transport = TcpTransport::accept(&listener).unwrap();
+        run_session_prover(&mut transport, &pcp2, &proofs, Duration::from_secs(10)).unwrap()
+    });
+
+    let mut transport = TcpTransport::connect(addr).unwrap();
+    let mut prg = ChaChaPrg::from_u64_seed(0x7CA);
+    let report = run_session_verifier(
+        &mut transport,
+        &pcp,
+        &ios,
+        &RetryPolicy::default(),
+        &mut prg,
+    )
+    .unwrap();
+
+    assert_eq!(report.outcomes[0], VerifyOutcome::Rejected);
+    assert_eq!(report.outcomes[1], VerifyOutcome::Accepted);
+    server.join().unwrap();
+}

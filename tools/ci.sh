@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification, runnable fully offline (no registry access):
+#
+#   tools/ci.sh
+#
+# 1. release build of the whole workspace;
+# 2. the complete test suite (unit, property, integration, and the
+#    1000+-scenario fault-injection sweep);
+# 3. clippy over every target (libs, tests, benches, examples) with
+#    warnings promoted to errors.
+#
+# CI and pre-commit hooks should run exactly this script; anything it
+# accepts is mergeable by the repo's own standard.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --locked
+
+echo "==> cargo test"
+cargo test -q --workspace --locked
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo "==> tier-1 green"
