@@ -1,0 +1,275 @@
+//! Emits (or validates) the repo's per-phase performance baseline,
+//! `BENCH_seed.json`: one JSON document with the zaatar-obs registry's
+//! timings for every protocol phase (QAP build, H(t) quotient, PCP
+//! prove/answer/check, commitment, full session round-trip), the
+//! registry's counters, and a serial-vs-parallel batch-proving
+//! comparison.
+//!
+//! ```text
+//! cargo run --release -p zaatar-bench --bin bench_baseline -- --out BENCH_seed.json
+//! cargo run --release -p zaatar-bench --bin bench_baseline -- --smoke --out t.json
+//! cargo run --release -p zaatar-bench --bin bench_baseline -- --validate t.json
+//! ```
+//!
+//! `--smoke` shrinks the workload to seconds for CI; `--validate`
+//! parses an existing baseline with [`zaatar_obs::json`] and checks the
+//! `zaatar-bench-baseline/v1` schema, exiting non-zero on any mismatch.
+//! All timings are honest measurements on the current host; the
+//! `host.parallelism` field records how many cores produced them.
+
+use std::time::{Duration, Instant};
+
+use zaatar_cc::{ginger_to_quad, Builder};
+use zaatar_core::pcp::{PcpParams, ZaatarPcp};
+use zaatar_core::qap::{Qap, QapWitness};
+use zaatar_core::runtime::{prove_batch, run_session_prover, run_session_verifier};
+use zaatar_crypto::ChaChaPrg;
+use zaatar_field::{Field, F61};
+use zaatar_obs::json::{self, Value};
+use zaatar_transport::{loopback_transport_pair, RetryPolicy};
+
+/// Schema identifier written into (and required from) every baseline.
+const SCHEMA: &str = "zaatar-bench-baseline/v1";
+
+/// Phase timers the baseline must carry (ISSUE acceptance list: QAP
+/// build, H(t), prove, answer, check, commit, session round-trip).
+const REQUIRED_PHASES: [&str; 7] = [
+    "qap.build",
+    "qap.compute_h",
+    "pcp.prove",
+    "pcp.answer",
+    "pcp.check",
+    "commit.commit",
+    "runtime.session",
+];
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(args.next().expect("--out requires a path")),
+            "--validate" => validate = Some(args.next().expect("--validate requires a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_baseline [--smoke] [--out PATH] | --validate PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate {
+        match validate_baseline(&path) {
+            Ok(()) => println!("{path}: valid {SCHEMA}"),
+            Err(e) => {
+                eprintln!("{path}: INVALID baseline: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let doc = run_baseline(smoke);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &doc).expect("write baseline");
+            println!("wrote {path}");
+        }
+        None => println!("{doc}"),
+    }
+}
+
+/// A multiplication-chain circuit big enough that every phase timer
+/// records non-trivial work, small enough to run in seconds.
+#[allow(clippy::type_complexity)]
+fn build_workload(
+    chain: usize,
+    batch: usize,
+) -> (
+    ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>,
+    Vec<QapWitness<F61>>,
+    Vec<Vec<F61>>,
+) {
+    let mut b = Builder::<F61>::new();
+    let x = b.alloc_input();
+    let y = b.alloc_input();
+    let mut acc = b.mul(&x, &y);
+    for _ in 0..chain {
+        acc = b.mul(&acc, &x);
+        let s = acc.add(&y);
+        acc = b.mul(&s, &y);
+    }
+    b.bind_output(&acc);
+    let (sys, solver) = b.finish();
+    let t = ginger_to_quad(&sys);
+    let qap = Qap::new(&t.system);
+    let pcp = ZaatarPcp::new(qap, PcpParams::light());
+    let mut witnesses = Vec::new();
+    let mut ios = Vec::new();
+    for i in 0..batch {
+        let asg = solver
+            .solve(&[F61::from_i64(2 + i as i64), F61::from_i64(3 + i as i64)])
+            .expect("solvable");
+        let ext = t.extend_assignment(&asg);
+        witnesses.push(pcp.qap().witness(&ext));
+        ios.push(
+            pcp.qap()
+                .var_map()
+                .inputs()
+                .iter()
+                .chain(pcp.qap().var_map().outputs())
+                .map(|v| ext.get(*v))
+                .collect(),
+        );
+    }
+    (pcp, witnesses, ios)
+}
+
+/// Runs the measured workload and renders the baseline document.
+fn run_baseline(smoke: bool) -> String {
+    let (chain, batch, workers) = if smoke { (8, 4, 2) } else { (160, 16, 8) };
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    zaatar_obs::global().reset();
+
+    let (pcp, witnesses, ios) = build_workload(chain, batch);
+
+    // Serial vs parallel batch proving, timed directly (wall clock) so
+    // the comparison is independent of the phase timers it populates.
+    let start = Instant::now();
+    let serial = prove_batch(&pcp, &witnesses, 1);
+    let serial_ns = start.elapsed().as_nanos() as u64;
+    assert!(serial.iter().all(Option::is_some), "honest witnesses");
+    let start = Instant::now();
+    let parallel = prove_batch(&pcp, &witnesses, workers);
+    let parallel_ns = start.elapsed().as_nanos() as u64;
+    assert!(parallel.iter().all(Option::is_some), "honest witnesses");
+    let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
+
+    // Full session round-trip over an in-memory transport, populating
+    // the commit/answer/check/runtime.session timers.
+    let (mut vt, mut pt) = loopback_transport_pair();
+    let pcp2 = pcp.clone();
+    let proofs: Vec<_> = parallel.into_iter().map(Option::unwrap).collect();
+    let server = std::thread::spawn(move || {
+        run_session_prover(&mut pt, &pcp2, &proofs, Duration::from_secs(30)).expect("prover")
+    });
+    let mut prg = ChaChaPrg::from_u64_seed(0x5EED);
+    let report = run_session_verifier(&mut vt, &pcp, &ios, &RetryPolicy::fast(), &mut prg)
+        .expect("verifier session");
+    assert!(report.all_accepted(), "baseline batch must verify");
+    server.join().expect("prover thread");
+
+    let snap = zaatar_obs::snapshot();
+    for phase in REQUIRED_PHASES {
+        assert!(
+            snap.timers.get(phase).is_some_and(|t| t.count > 0),
+            "workload failed to exercise phase timer {phase}"
+        );
+    }
+
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"schema\": {},\n", json::escape(SCHEMA)));
+    s.push_str(&format!("  \"host\": {{\"parallelism\": {host}}},\n"));
+    s.push_str(&format!(
+        "  \"workload\": {{\"circuit\": \"mul-chain\", \"chain\": {chain}, \"batch\": {batch}, \"smoke\": {smoke}}},\n"
+    ));
+    s.push_str("  \"phases\": {\n");
+    for (i, phase) in REQUIRED_PHASES.iter().enumerate() {
+        let t = &snap.timers[*phase];
+        s.push_str(&format!(
+            "    {}: {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            json::escape(phase),
+            t.count,
+            t.total_ns,
+            t.mean_ns,
+            t.min_ns,
+            t.max_ns,
+            t.p50_ns,
+            t.p99_ns,
+            if i + 1 < REQUIRED_PHASES.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"parallel\": {{\"batch\": {batch}, \"workers\": {workers}, \"serial_ns\": {serial_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}}},\n"
+    ));
+    // The registry's full snapshot (all timers + counters), for
+    // drill-down beyond the required phases.
+    s.push_str(&format!("  \"metrics\": {}\n", snap.to_json()));
+    s.push_str("}\n");
+    s
+}
+
+/// Checks that `path` holds a structurally valid `zaatar-bench-baseline/v1`
+/// document. Every failure names the offending field.
+fn validate_baseline(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parse: {e}"))?;
+    let root = doc.as_object().ok_or("root is not an object")?;
+
+    match root.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("schema is {s:?}, expected {SCHEMA:?}")),
+        None => return Err("missing string field \"schema\"".into()),
+    }
+
+    let host = root
+        .get("host")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"host\"")?;
+    match host.get("parallelism").and_then(Value::as_u64) {
+        Some(p) if p >= 1 => {}
+        _ => return Err("host.parallelism must be an integer >= 1".into()),
+    }
+
+    let phases = root
+        .get("phases")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"phases\"")?;
+    for name in REQUIRED_PHASES {
+        let t = phases
+            .get(name)
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("phases.{name} missing or not an object"))?;
+        for field in ["count", "total_ns", "mean_ns", "min_ns", "max_ns", "p50_ns", "p99_ns"] {
+            if t.get(field).and_then(Value::as_u64).is_none() {
+                return Err(format!("phases.{name}.{field} missing or not an integer"));
+            }
+        }
+        if t["count"].as_u64() == Some(0) {
+            return Err(format!("phases.{name}.count is 0 — phase never ran"));
+        }
+    }
+
+    let par = root
+        .get("parallel")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"parallel\"")?;
+    for field in ["batch", "workers", "serial_ns", "parallel_ns"] {
+        match par.get(field).and_then(Value::as_u64) {
+            Some(v) if v >= 1 => {}
+            _ => return Err(format!("parallel.{field} must be an integer >= 1")),
+        }
+    }
+    match par.get("speedup").and_then(Value::as_f64) {
+        Some(s) if s > 0.0 => {}
+        _ => return Err("parallel.speedup must be a positive number".into()),
+    }
+
+    let metrics = root
+        .get("metrics")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"metrics\"")?;
+    let counters = metrics
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"metrics.counters\"")?;
+    match counters.get("pcp.prove.calls").and_then(Value::as_u64) {
+        Some(n) if n >= 1 => {}
+        _ => return Err("metrics.counters[\"pcp.prove.calls\"] must be >= 1".into()),
+    }
+    Ok(())
+}

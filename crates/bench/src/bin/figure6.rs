@@ -13,9 +13,10 @@ use std::time::Instant;
 
 use zaatar_apps::build;
 use zaatar_bench::{print_table, Scale};
-use zaatar_core::parallel::{parallel_map, HardwareConfig};
+use zaatar_core::parallel::HardwareConfig;
 use zaatar_core::pcp::{PcpParams, ZaatarPcp};
 use zaatar_core::qap::Qap;
+use zaatar_core::runtime::prove_batch;
 use zaatar_field::F128;
 
 fn main() {
@@ -106,9 +107,8 @@ fn time_batch(
     workers: usize,
 ) -> f64 {
     let start = Instant::now();
-    let proofs = parallel_map(witnesses.to_vec(), workers, |w| {
-        pcp.prove(&w).expect("honest witness")
-    });
+    let proofs = prove_batch(pcp, witnesses, workers);
+    assert!(proofs.iter().all(Option::is_some), "honest witnesses");
     std::hint::black_box(proofs);
     start.elapsed().as_secs_f64()
 }

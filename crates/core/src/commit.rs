@@ -32,6 +32,7 @@ pub struct CommitmentKey<F: HasGroup> {
 impl<F: HasGroup> CommitmentKey<F> {
     /// Generates a key for oracles of length `len`.
     pub fn generate(len: usize, prg: &mut ChaChaPrg) -> Self {
+        let _span = zaatar_obs::time("commit.keygen");
         let kp = KeyPair::generate(prg);
         let r: Vec<F> = prg.field_vec(len);
         let enc_r = ElGamal::<F>::encrypt_vec(kp.public(), &r, prg);
@@ -51,6 +52,7 @@ impl<F: HasGroup> CommitmentKey<F> {
     /// **Prover side**: computes the commitment `Enc(π(r)) = ∏ Enc(rᵢ)^(uᵢ)`
     /// for proof vector `u` (the prover sees only `enc_r`).
     pub fn commit(enc_r: &[Ciphertext], u: &[F]) -> Ciphertext {
+        let _span = zaatar_obs::time("commit.commit");
         ElGamal::<F>::inner_product(enc_r, u)
     }
 
@@ -58,6 +60,7 @@ impl<F: HasGroup> CommitmentKey<F> {
     /// `t = r + Σ αᵢ·qᵢ` for the given PCP queries, returning `(t, α)`
     /// (the `α` stay secret with the verifier).
     pub fn consistency_query(&self, queries: &[&[F]], prg: &mut ChaChaPrg) -> (Vec<F>, Vec<F>) {
+        let _span = zaatar_obs::time("commit.consistency_query");
         let alphas: Vec<F> = prg.field_vec(queries.len());
         let mut t = self.r.clone();
         for (q, alpha) in queries.iter().zip(alphas.iter()) {
@@ -79,6 +82,7 @@ impl<F: HasGroup> CommitmentKey<F> {
         t_answer: F,
         alphas: &[F],
     ) -> bool {
+        let _span = zaatar_obs::time("commit.verify");
         // `answers` comes off the wire; a count mismatch is an invalid
         // decommitment, not a programming error.
         if answers.len() != alphas.len() {

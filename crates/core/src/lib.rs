@@ -50,6 +50,7 @@ pub use pcp::{PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
 pub use network::{queries_from_seed, zaatar_network_costs, NetworkCosts};
 pub use qap::{Qap, QapEvals, QapWitness};
 pub use runtime::{
-    run_session_prover, run_session_verifier, ProverStats, SessionReport, VerifyOutcome,
+    prove_batch, run_session_prover, run_session_verifier, ProverStats, SessionReport,
+    VerifyOutcome,
 };
 pub use session::{SessionError, SessionProver, SessionVerifier};

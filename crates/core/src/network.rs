@@ -78,12 +78,14 @@ pub fn queries_from_seed<F: PrimeField, D: EvalDomain<F>>(
     pcp: &ZaatarPcp<F, D>,
     seed: [u8; 32],
 ) -> QuerySet<F> {
+    zaatar_obs::counter("network.seed_derivations").inc();
     let mut prg = ChaChaPrg::from_seed(seed);
     pcp.generate_queries(&mut prg)
 }
 
 /// The per-batch query-generation seed, drawn by the verifier.
 pub fn fresh_seed(prg: &mut ChaChaPrg) -> [u8; 32] {
+    zaatar_obs::counter("network.seeds_drawn").inc();
     let mut seed = [0u8; 32];
     prg.fill_bytes(&mut seed);
     seed

@@ -8,7 +8,11 @@
 //! crypto-acceleration factor (DESIGN.md §3 documents this
 //! substitution).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A hardware configuration in the paper's Fig. 6 notation (`4C`,
 /// `15C+15G`, …).
@@ -54,12 +58,25 @@ impl core::fmt::Display for HardwareConfig {
     }
 }
 
-/// Applies `f` to every item using up to `workers` threads (work-stealing
-/// over a shared index), preserving output order.
+/// One output cell, written by exactly one worker (the one that claimed
+/// its index) and read only after all workers have joined — the
+/// claim/join protocol in [`parallel_map`] is what makes the `Sync`
+/// assertion sound, with no per-item lock on the hot path.
+struct Slot<V>(UnsafeCell<Option<V>>);
+
+// SAFETY: each slot index is claimed by exactly one worker via
+// `fetch_add` on the shared cursor, so writes never alias; the scope
+// join orders every write before the single-threaded drain.
+unsafe impl<V: Send> Sync for Slot<V> {}
+
+/// Applies `f` to every item using up to `workers` threads (chunked
+/// work-stealing over a shared cursor), preserving output order.
 ///
 /// # Panics
 ///
-/// Propagates panics from `f`.
+/// If `f` panics on any item, the first panic payload is re-raised on
+/// the calling thread once all workers have stopped; remaining items
+/// are abandoned, not half-processed into the output.
 pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -71,32 +88,60 @@ where
         return items.into_iter().map(f).collect();
     }
     let n = items.len();
-    let slots: Vec<std::sync::Mutex<(Option<T>, Option<R>)>> = items
+    // Chunked claiming amortizes the shared-cursor contention: each
+    // fetch_add hands a worker a run of consecutive indices, sized so
+    // every worker still gets several turns (load balance) without an
+    // atomic RMW per item.
+    let chunk = (n / (workers * 8)).max(1);
+    let inputs: Vec<Slot<T>> = items
         .into_iter()
-        .map(|t| std::sync::Mutex::new((Some(t), None)))
+        .map(|t| Slot(UnsafeCell::new(Some(t))))
         .collect();
+    let outputs: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
     let next = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                while !panicked.load(Ordering::Relaxed) {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        if panicked.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        // SAFETY: index i belongs to this worker's
+                        // claimed chunk; no other worker touches it.
+                        let item = unsafe { (*inputs[i].0.get()).take() }
+                            .expect("each index claimed once");
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(r) => unsafe { *outputs[i].0.get() = Some(r) },
+                            Err(payload) => {
+                                // Keep only the first payload; siblings
+                                // just stop at the next flag check.
+                                let mut guard =
+                                    first_panic.lock().expect("panic slot lock");
+                                if guard.is_none() {
+                                    *guard = Some(payload);
+                                }
+                                panicked.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
                 }
-                let mut slot = slots[i].lock().expect("no poisoning across workers");
-                let item = slot.0.take().expect("each index visited once");
-                slot.1 = Some(f(item));
             });
         }
     });
-    slots
+    if let Some(payload) = first_panic.into_inner().expect("workers joined") {
+        resume_unwind(payload);
+    }
+    outputs
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("workers joined")
-                .1
-                .expect("all slots filled")
-        })
+        .map(|slot| slot.0.into_inner().expect("all slots filled"))
         .collect()
 }
 
@@ -176,6 +221,57 @@ mod tests {
     fn gpu_factor() {
         assert_eq!(HardwareConfig::cpus(4).gpu_latency_factor(), 1.0);
         assert_eq!(HardwareConfig::with_gpus(4, 4).gpu_latency_factor(), 0.8);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_original_payload() {
+        // The caller sees the worker's own panic message — not a
+        // mutex-poisoning artifact from a sibling thread.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..100).collect::<Vec<i32>>(), 4, |x| {
+                if x == 37 {
+                    panic!("item 37 exploded");
+                }
+                x * 2
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string payload>");
+        assert!(msg.contains("item 37 exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn panic_with_single_worker_also_propagates() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(vec![1, 2, 3], 1, |x| {
+                if x == 2 {
+                    panic!("sequential path panics too");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn concurrent_panics_surface_exactly_one_payload() {
+        // Every item panics; the caller still gets one faithful payload
+        // and the process does not abort from a double panic.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..64).collect::<Vec<i32>>(), 8, |x| -> i32 {
+                panic!("worker panic on {x}");
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("worker panic on"), "got: {msg}");
     }
 
     #[test]

@@ -193,6 +193,8 @@ impl<F: PrimeField, D: EvalDomain<F>> ZaatarPcp<F, D> {
     /// Builds a correct proof from a satisfying witness. Returns `None`
     /// if the witness does not satisfy the constraints.
     pub fn prove(&self, witness: &QapWitness<F>) -> Option<ZaatarProof<F>> {
+        let _span = zaatar_obs::time("pcp.prove");
+        zaatar_obs::counter("pcp.prove.calls").inc();
         let h = self.qap.compute_h(witness)?;
         Some(ZaatarProof {
             z: witness.z.clone(),
@@ -212,6 +214,7 @@ impl<F: PrimeField, D: EvalDomain<F>> ZaatarPcp<F, D> {
     /// The verifier's query generation (Fig. 10), deriving all
     /// randomness from `prg`.
     pub fn generate_queries(&self, prg: &mut ChaChaPrg) -> QuerySet<F> {
+        let _span = zaatar_obs::time("pcp.generate_queries");
         let n_prime = self.qap.var_map().num_unbound();
         let n_h = self.qap.degree() + 1;
         let mut reps = Vec::with_capacity(self.params.rho);
@@ -262,6 +265,7 @@ impl<F: PrimeField, D: EvalDomain<F>> ZaatarPcp<F, D> {
     /// The prover's response computation (issuing `ℓ'` inner products
     /// against the proof vector).
     pub fn answer(&self, proof: &ZaatarProof<F>, queries: &QuerySet<F>) -> PcpResponses<F> {
+        let _span = zaatar_obs::time("pcp.answer");
         PcpResponses {
             z_answers: queries
                 .z_queries()
@@ -279,6 +283,7 @@ impl<F: PrimeField, D: EvalDomain<F>> ZaatarPcp<F, D> {
     /// The verifier's decision procedure (Fig. 10) for one instance with
     /// bound io values `io` (inputs then outputs, in QAP order).
     pub fn check(&self, queries: &QuerySet<F>, responses: &PcpResponses<F>, io: &[F]) -> bool {
+        let _span = zaatar_obs::time("pcp.check");
         let rho_lin = self.params.rho_lin;
         let per_rep_z = 3 * rho_lin + 3;
         let per_rep_h = 3 * rho_lin + 1;

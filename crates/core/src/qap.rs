@@ -187,6 +187,7 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
     ///
     /// Panics if the domain is smaller than the constraint count.
     pub fn with_domain(sys: &QuadSystem<F>, domain: D) -> Self {
+        let _span = zaatar_obs::time("qap.build");
         assert!(
             domain.size() >= sys.constraints.len(),
             "domain must cover all constraints"
@@ -276,6 +277,7 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
     /// `None` if the division leaves a remainder — i.e. `w` is not a
     /// satisfying assignment.
     pub fn compute_h(&self, witness: &QapWitness<F>) -> Option<Vec<F>> {
+        let _span = zaatar_obs::time("qap.compute_h");
         let w = witness.full();
         let a_vals = self.combine_rows(&self.a_rows, &w);
         let b_vals = self.combine_rows(&self.b_rows, &w);
@@ -315,6 +317,7 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
     /// computes every `Aᵢ(τ), Bᵢ(τ), Cᵢ(τ)` via the zero-pinned Lagrange
     /// basis plus one sparse pass over the matrices, and `D(τ)`.
     pub fn evals_at(&self, tau: F) -> QapEvals<F> {
+        let _span = zaatar_obs::time("qap.evals_at");
         let basis = self.domain.zero_pinned_coeffs_at(tau);
         let n_prime = self.var_map.num_unbound();
         let eval_row = |row: &SparsePoly<F>| row.dot(&basis);

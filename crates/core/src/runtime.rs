@@ -28,7 +28,9 @@ use zaatar_field::PrimeField;
 use zaatar_poly::domain::EvalDomain;
 use zaatar_transport::{exchange, Frame, RetryPolicy, Transport, TransportError};
 
+use crate::parallel::parallel_map;
 use crate::pcp::{ZaatarPcp, ZaatarProof};
+use crate::qap::QapWitness;
 use crate::session::{SessionError, SessionProver, SessionVerifier};
 use crate::wire::WireError;
 
@@ -56,6 +58,29 @@ pub mod errcode {
     pub const NO_SETUP: u8 = 2;
     /// The requested instance index is outside the prover's batch.
     pub const BAD_INDEX: u8 = 3;
+}
+
+/// Builds the proofs for a batch of witnesses across `workers` threads
+/// (the paper's "embarrassingly parallel instances", §5.2), preserving
+/// batch order. Per-instance results mirror [`ZaatarPcp::prove`]: a
+/// non-satisfying witness yields `None` for that instance only, so one
+/// bad instance cannot sink the batch — the same graceful-degradation
+/// contract the session layer gives verdicts.
+///
+/// This is the batch entry point [`run_session_prover`] callers should
+/// use instead of a serial `pcp.prove` loop.
+pub fn prove_batch<F, D>(
+    pcp: &ZaatarPcp<F, D>,
+    witnesses: &[QapWitness<F>],
+    workers: usize,
+) -> Vec<Option<ZaatarProof<F>>>
+where
+    F: PrimeField,
+    D: EvalDomain<F>,
+{
+    let _span = zaatar_obs::time("runtime.prove_batch");
+    zaatar_obs::counter("runtime.prove_batch.instances").add(witnesses.len() as u64);
+    parallel_map(witnesses.iter().collect(), workers, |w| pcp.prove(w))
 }
 
 /// The verifier's verdict on one instance of the batch.
@@ -118,12 +143,19 @@ where
     D: EvalDomain<F>,
     T: Transport,
 {
+    // Instance indexes travel as LE32 and frame seqs reserve 0 for the
+    // setup, so a batch the u32 space cannot address is refused up
+    // front instead of silently aliasing instances.
+    if ios.len() >= u32::MAX as usize {
+        return Err(SessionError::Wire(WireError::TooLong { len: ios.len() }));
+    }
+    let _span = zaatar_obs::time("runtime.session");
     let started = Instant::now();
     let mut verifier = SessionVerifier::new(pcp, prg);
     let mut retry_prg = prg.fork(1);
     let mut retransmits = 0u64;
 
-    let setup = Frame::new(msg::SETUP, 0, verifier.setup_message());
+    let setup = Frame::new(msg::SETUP, 0, verifier.setup_message()?);
     let ack = exchange(transport, &setup, &[msg::SETUP_ACK, msg::ERROR], policy, &mut retry_prg)?;
     retransmits += ack.retransmits as u64;
     if ack.response.msg_type == msg::ERROR {
@@ -170,6 +202,14 @@ where
                 VerifyOutcome::TimedOut
             }
         };
+        match outcome {
+            VerifyOutcome::Accepted => zaatar_obs::counter("runtime.verifier.accepted").inc(),
+            VerifyOutcome::Rejected => zaatar_obs::counter("runtime.verifier.rejected").inc(),
+            VerifyOutcome::Malformed(_) => {
+                zaatar_obs::counter("runtime.verifier.malformed").inc()
+            }
+            VerifyOutcome::TimedOut => zaatar_obs::counter("runtime.verifier.timed_out").inc(),
+        }
         outcomes.push(outcome);
     }
 
@@ -177,6 +217,7 @@ where
     // out. Loss here is harmless.
     let _ = transport.send(&Frame::new(msg::DONE, u32::MAX, Vec::new()));
 
+    zaatar_obs::counter("runtime.verifier.retransmits").add(retransmits);
     Ok(SessionReport {
         outcomes,
         retransmits,
@@ -235,6 +276,7 @@ where
                     }
                     Err(_) => {
                         stats.errors_reported += 1;
+                        zaatar_obs::counter("runtime.prover.errors_reported").inc();
                         Frame::new(msg::ERROR, frame.seq, vec![errcode::MALFORMED])
                     }
                 };
@@ -244,6 +286,7 @@ where
                 let reply = match parse_index(&frame.payload, proofs.len()) {
                     Err(code) => {
                         stats.errors_reported += 1;
+                        zaatar_obs::counter("runtime.prover.errors_reported").inc();
                         Frame::new(msg::ERROR, frame.seq, vec![code])
                     }
                     Ok(idx) => {
@@ -256,10 +299,12 @@ where
                         match cached {
                             Ok(bytes) => {
                                 stats.responses_served += 1;
+                                zaatar_obs::counter("runtime.prover.responses_served").inc();
                                 Frame::new(msg::INSTANCE_RESP, frame.seq, bytes)
                             }
                             Err(SessionError::SetupNotReceived) => {
                                 stats.errors_reported += 1;
+                        zaatar_obs::counter("runtime.prover.errors_reported").inc();
                                 Frame::new(msg::ERROR, frame.seq, vec![errcode::NO_SETUP])
                             }
                             Err(e) => return Err(e),
@@ -311,15 +356,14 @@ mod tests {
         let t = ginger_to_quad(&sys);
         let qap = Qap::new(&t.system);
         let pcp = ZaatarPcp::new(qap, PcpParams::light());
-        let mut proofs = Vec::new();
+        let mut witnesses = Vec::new();
         let mut ios = Vec::new();
         for pair in inputs {
             let asg = solver
                 .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
                 .unwrap();
             let ext = t.extend_assignment(&asg);
-            let w = pcp.qap().witness(&ext);
-            proofs.push(pcp.prove(&w).unwrap());
+            witnesses.push(pcp.qap().witness(&ext));
             ios.push(
                 pcp.qap()
                     .var_map()
@@ -330,7 +374,46 @@ mod tests {
                     .collect(),
             );
         }
+        let proofs = prove_batch(&pcp, &witnesses, 4)
+            .into_iter()
+            .map(|p| p.expect("satisfying witness"))
+            .collect();
         (pcp, proofs, ios)
+    }
+
+    #[test]
+    fn prove_batch_matches_serial_and_isolates_bad_witnesses() {
+        let (pcp, _, _) = fixture(&[[2, 3]]);
+        // Rebuild a couple of witnesses directly, one of them corrupted.
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let p = b.mul(&x, &y);
+        b.bind_output(&p);
+        let (sys, solver) = b.finish();
+        let t = ginger_to_quad(&sys);
+        let mut witnesses = Vec::new();
+        for pair in [[2i64, 3], [4, 5], [6, 7]] {
+            let asg = solver
+                .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
+                .unwrap();
+            witnesses.push(pcp.qap().witness(&t.extend_assignment(&asg)));
+        }
+        // Corrupt the middle witness: it alone must yield None.
+        witnesses[1].z[0] += F61::ONE;
+        let parallel = prove_batch(&pcp, &witnesses, 4);
+        let serial: Vec<_> = witnesses.iter().map(|w| pcp.prove(w)).collect();
+        assert_eq!(parallel.len(), 3);
+        assert!(parallel[0].is_some());
+        assert!(parallel[1].is_none(), "bad witness must not prove");
+        assert!(parallel[2].is_some());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(
+                p.as_ref().map(|pr| (&pr.z, &pr.h)),
+                s.as_ref().map(|pr| (&pr.z, &pr.h)),
+                "parallel and serial proofs must agree"
+            );
+        }
     }
 
     #[test]
@@ -402,7 +485,7 @@ mod tests {
         let mut verifier = SessionVerifier::new(&pcp, &mut prg);
         let mut retry_prg = prg.fork(1);
         let policy = RetryPolicy::fast();
-        let setup = Frame::new(msg::SETUP, 0, verifier.setup_message());
+        let setup = Frame::new(msg::SETUP, 0, verifier.setup_message().unwrap());
         let ack = exchange(&mut vt, &setup, &[msg::SETUP_ACK], &policy, &mut retry_prg).unwrap();
         assert_eq!(ack.response.msg_type, msg::SETUP_ACK);
         let req = Frame::new(msg::INSTANCE_REQ, 1, 7u32.to_le_bytes().to_vec());

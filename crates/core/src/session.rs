@@ -122,22 +122,26 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionVerifier<'p, F, D> {
     }
 
     /// Message 1 (V → P): `Enc(r_z) ‖ Enc(r_h) ‖ seed ‖ t_z ‖ t_h`.
-    pub fn setup_message(&mut self) -> Vec<u8> {
+    ///
+    /// Fails with [`WireError::TooLong`] if a commitment key is too
+    /// large for the u32 length prefixes (a computation the wire format
+    /// cannot carry), rather than truncating a count.
+    pub fn setup_message(&mut self) -> Result<Vec<u8>, WireError> {
         let mut w = Writer::new();
-        w.put_u32(self.key_z.enc_r.len() as u32);
+        w.put_len(self.key_z.enc_r.len())?;
         for ct in &self.key_z.enc_r {
             w.put_ciphertext::<F>(ct);
         }
-        w.put_u32(self.key_h.enc_r.len() as u32);
+        w.put_len(self.key_h.enc_r.len())?;
         for ct in &self.key_h.enc_r {
             w.put_ciphertext::<F>(ct);
         }
         w.put_bytes(&self.query_seed);
-        w.put_field_vec(&self.t_z);
-        w.put_field_vec(&self.t_h);
+        w.put_field_vec(&self.t_z)?;
+        w.put_field_vec(&self.t_h)?;
         let bytes = w.finish();
         self.bytes_sent += bytes.len() as u64;
-        bytes
+        Ok(bytes)
     }
 
     /// Verifies one instance's message 2 (P → V). `io` is inputs then
@@ -185,8 +189,15 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
     /// half-initialised state (`self` is only updated once the whole
     /// message has validated).
     pub fn receive_setup(&mut self, message: &[u8]) -> Result<(), WireError> {
-        let expect_nz = self.pcp.qap().var_map().num_unbound() as u32;
-        let expect_nh = (self.pcp.qap().degree() + 1) as u32;
+        // Checked conversions: a computation whose structural counts
+        // exceed u32 cannot be carried by this wire format at all, so
+        // refuse outright instead of comparing against truncated values.
+        let nz_structural = self.pcp.qap().var_map().num_unbound();
+        let nh_structural = self.pcp.qap().degree() + 1;
+        let expect_nz =
+            u32::try_from(nz_structural).map_err(|_| WireError::TooLong { len: nz_structural })?;
+        let expect_nh =
+            u32::try_from(nh_structural).map_err(|_| WireError::TooLong { len: nh_structural })?;
         let mut r = Reader::new(message);
         let nz = r.get_u32()?;
         if nz != expect_nz {
@@ -204,15 +215,16 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
             .collect::<Result<_, _>>()?;
         let mut seed = [0u8; 32];
         seed.copy_from_slice(r.get_bytes(32)?);
+        // get_field_vec reads a u32 prefix, so these lengths fit u32.
         let t_z = r.get_field_vec()?;
-        if t_z.len() as u32 != expect_nz {
+        if t_z.len() != nz_structural {
             return Err(WireError::CountMismatch {
                 expected: expect_nz,
                 got: t_z.len() as u32,
             });
         }
         let t_h = r.get_field_vec()?;
-        if t_h.len() as u32 != expect_nh {
+        if t_h.len() != nh_structural {
             return Err(WireError::CountMismatch {
                 expected: expect_nh,
                 got: t_h.len() as u32,
@@ -241,9 +253,13 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
             CommitmentKey::<F>::commit(&self.enc_r_z, &proof.z),
             CommitmentKey::<F>::commit(&self.enc_r_h, &proof.h),
         );
+        // Query answering — the same phase argument::Prover::respond
+        // times as `answer_queries`.
+        let answer_span = zaatar_obs::time("pcp.answer");
         let dz: Decommitment<F> = decommit(&proof.z, &queries.z_queries(), &self.t_z);
         let dh: Decommitment<F> = decommit(&proof.h, &queries.h_queries(), &self.t_h);
-        Ok(crate::wire::encode_prover_message(&commitments, &dz, &dh))
+        drop(answer_span);
+        Ok(crate::wire::encode_prover_message(&commitments, &dz, &dh)?)
     }
 }
 
@@ -302,7 +318,7 @@ mod tests {
         let mut verifier = SessionVerifier::new(&pcp, &mut prg);
         let mut prover = SessionProver::new(&pcp);
         // Everything crosses the boundary as bytes.
-        let setup = verifier.setup_message();
+        let setup = verifier.setup_message().unwrap();
         prover.receive_setup(&setup).unwrap();
         for (proof, io) in proofs.iter().zip(&ios) {
             let msg = prover.instance_message(proof).unwrap();
@@ -318,7 +334,7 @@ mod tests {
         let mut prg = ChaChaPrg::from_u64_seed(0x5e56);
         let mut verifier = SessionVerifier::new(&pcp, &mut prg);
         let mut prover = SessionProver::new(&pcp);
-        prover.receive_setup(&verifier.setup_message()).unwrap();
+        prover.receive_setup(&verifier.setup_message().unwrap()).unwrap();
         let mut msg = prover.instance_message(&proofs[0]).unwrap();
         // Flip a byte in the middle (inside an answer).
         let mid = msg.len() / 2;
@@ -335,7 +351,7 @@ mod tests {
         let mut prg = ChaChaPrg::from_u64_seed(0x5e57);
         let mut verifier = SessionVerifier::new(&pcp, &mut prg);
         let mut prover = SessionProver::new(&pcp);
-        prover.receive_setup(&verifier.setup_message()).unwrap();
+        prover.receive_setup(&verifier.setup_message().unwrap()).unwrap();
         let msg = prover.instance_message(&proofs[0]).unwrap();
         let last = ios[0].len() - 1;
         ios[0][last] += F61::ONE;
@@ -348,7 +364,7 @@ mod tests {
         let mut prg = ChaChaPrg::from_u64_seed(0x5e58);
         let mut verifier = SessionVerifier::new(&pcp, &mut prg);
         let mut prover = SessionProver::new(&pcp);
-        let mut setup = verifier.setup_message();
+        let mut setup = verifier.setup_message().unwrap();
         setup.truncate(setup.len() - 3);
         assert!(prover.receive_setup(&setup).is_err());
         // A failed setup leaves the prover unready, and proving without
@@ -372,7 +388,7 @@ mod tests {
         let mut prg = ChaChaPrg::from_u64_seed(0x5e59);
         let mut verifier = SessionVerifier::new(&pcp, &mut prg);
         let mut prover = SessionProver::new(&pcp);
-        let setup = verifier.setup_message();
+        let setup = verifier.setup_message().unwrap();
         // Overwrite the leading ciphertext count with an absurd value:
         // the prover must refuse on the count check alone (the message
         // is far too short to back it, and the structure pins the real

@@ -29,6 +29,13 @@ pub enum WireError {
         /// Count announced on the wire.
         got: u32,
     },
+    /// A length does not fit the wire format's u32 prefix. Writing the
+    /// length as `len as u32` would silently truncate it and produce a
+    /// frame the peer misparses; the encoder refuses instead.
+    TooLong {
+        /// The length that overflowed the prefix.
+        len: usize,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -39,6 +46,9 @@ impl core::fmt::Display for WireError {
             WireError::TrailingBytes => write!(f, "trailing bytes"),
             WireError::CountMismatch { expected, got } => {
                 write!(f, "length prefix {got} where the protocol dictates {expected}")
+            }
+            WireError::TooLong { len } => {
+                write!(f, "length {len} exceeds the u32 wire prefix")
             }
         }
     }
@@ -78,6 +88,14 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Writes a length prefix, checked: a count that does not fit the
+    /// u32 prefix is an error, never a silent truncation.
+    pub fn put_len(&mut self, len: usize) -> Result<(), WireError> {
+        let v = u32::try_from(len).map_err(|_| WireError::TooLong { len })?;
+        self.put_u32(v);
+        Ok(())
+    }
+
     /// Writes raw bytes (fixed-width; the reader must know the length).
     pub fn put_bytes(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
@@ -88,12 +106,13 @@ impl Writer {
         self.buf.extend_from_slice(&x.to_bytes_le());
     }
 
-    /// Writes a length-prefixed field vector.
-    pub fn put_field_vec<F: PrimeField>(&mut self, xs: &[F]) {
-        self.put_u32(xs.len() as u32);
+    /// Writes a length-prefixed field vector (checked length prefix).
+    pub fn put_field_vec<F: PrimeField>(&mut self, xs: &[F]) -> Result<(), WireError> {
+        self.put_len(xs.len())?;
         for x in xs {
             self.put_field(*x);
         }
+        Ok(())
     }
 
     /// Writes a ciphertext (two group elements, fixed width).
@@ -185,11 +204,11 @@ impl<'a> Reader<'a> {
 
 /// Encodes a Zaatar proof (for storage/transport; the prover normally
 /// keeps it local and ships only commitments and answers).
-pub fn encode_proof<F: PrimeField>(proof: &ZaatarProof<F>) -> Vec<u8> {
+pub fn encode_proof<F: PrimeField>(proof: &ZaatarProof<F>) -> Result<Vec<u8>, WireError> {
     let mut w = Writer::new();
-    w.put_field_vec(&proof.z);
-    w.put_field_vec(&proof.h);
-    w.finish()
+    w.put_field_vec(&proof.z)?;
+    w.put_field_vec(&proof.h)?;
+    Ok(w.finish())
 }
 
 /// Decodes a Zaatar proof.
@@ -207,15 +226,15 @@ pub fn encode_prover_message<F: HasGroup + PrimeField>(
     commitments: &(Ciphertext, Ciphertext),
     dz: &Decommitment<F>,
     dh: &Decommitment<F>,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, WireError> {
     let mut w = Writer::new();
     w.put_ciphertext::<F>(&commitments.0);
     w.put_ciphertext::<F>(&commitments.1);
-    w.put_field_vec(&dz.answers);
+    w.put_field_vec(&dz.answers)?;
     w.put_field(dz.t_answer);
-    w.put_field_vec(&dh.answers);
+    w.put_field_vec(&dh.answers)?;
     w.put_field(dh.t_answer);
-    w.finish()
+    Ok(w.finish())
 }
 
 /// Decodes the prover's per-instance message.
@@ -287,7 +306,7 @@ mod tests {
     #[test]
     fn proof_round_trips() {
         let (_, proof, _) = fixture();
-        let bytes = encode_proof(&proof);
+        let bytes = encode_proof(&proof).unwrap();
         let back: ZaatarProof<F61> = decode_proof(&bytes).unwrap();
         assert_eq!(back.z, proof.z);
         assert_eq!(back.h, proof.h);
@@ -296,18 +315,18 @@ mod tests {
     #[test]
     fn proof_decode_rejects_corruption() {
         let (_, proof, _) = fixture();
-        let mut bytes = encode_proof(&proof);
+        let mut bytes = encode_proof(&proof).unwrap();
         // Truncation.
         bytes.pop();
         assert!(decode_proof::<F61>(&bytes).is_err());
         // Unreduced element: all-ones word exceeds the 61-bit modulus.
-        let mut bytes = encode_proof(&proof);
+        let mut bytes = encode_proof(&proof).unwrap();
         for b in bytes.iter_mut().skip(4).take(8) {
             *b = 0xff;
         }
         assert!(matches!(decode_proof::<F61>(&bytes), Err(WireError::Invalid)));
         // Trailing garbage.
-        let mut bytes = encode_proof(&proof);
+        let mut bytes = encode_proof(&proof).unwrap();
         bytes.push(0);
         assert!(matches!(decode_proof::<F61>(&bytes), Err(WireError::TrailingBytes)));
     }
@@ -330,9 +349,57 @@ mod tests {
         let dh = decommit(&proof.h, &req.h_queries, req.t_h);
         drop(req);
         // Serialize, deserialize, verify.
-        let bytes = encode_prover_message(&commitments, &dz, &dh);
+        let bytes = encode_prover_message(&commitments, &dz, &dh).unwrap();
         let (c2, dz2, dh2) = decode_prover_message::<F61>(&bytes).unwrap();
         assert!(verifier.check_instance(&c2, &dz2, &dh2, &io));
+    }
+
+    #[test]
+    fn empty_and_singleton_vectors_round_trip() {
+        // Length prefixes at the small boundary: 0 and 1 elements.
+        for xs in [vec![], vec![F61::from_u64(42)]] {
+            let mut w = Writer::new();
+            w.put_field_vec(&xs).unwrap();
+            let bytes = w.finish();
+            assert_eq!(bytes.len(), 4 + 8 * xs.len());
+            let mut r = Reader::new(&bytes);
+            let back: Vec<F61> = r.get_field_vec().unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, xs);
+        }
+    }
+
+    #[test]
+    fn length_prefix_near_u32_max_boundary() {
+        // The largest representable count still encodes...
+        let mut w = Writer::new();
+        w.put_len(u32::MAX as usize).unwrap();
+        assert_eq!(w.finish(), u32::MAX.to_le_bytes());
+        // ...and one past it is a typed error, not a silent wrap to 0.
+        let mut w = Writer::new();
+        let over = u32::MAX as usize + 1;
+        assert_eq!(w.put_len(over), Err(WireError::TooLong { len: over }));
+        assert!(w.is_empty(), "failed put_len must write nothing");
+        assert_eq!(
+            w.put_len(usize::MAX),
+            Err(WireError::TooLong { len: usize::MAX })
+        );
+    }
+
+    #[test]
+    fn zero_length_prefix_is_not_a_wraparound() {
+        // A reader seeing prefix 0 gets an empty vector — the state a
+        // 2³²-element vector would have silently produced before the
+        // checked prefix. The encoder now refuses that input, so prefix
+        // 0 always means "empty".
+        let mut w = Writer::new();
+        w.put_field_vec::<F61>(&[]).unwrap();
+        w.put_field(F61::from_u64(7));
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_field_vec::<F61>().unwrap().is_empty());
+        assert_eq!(r.get_field::<F61>().unwrap(), F61::from_u64(7));
+        r.finish().unwrap();
     }
 
     #[test]
@@ -352,7 +419,7 @@ mod tests {
         );
         let dz = decommit(&proof.z, &queries.z_queries(), &tz);
         let dh = decommit(&proof.h, &queries.h_queries(), &th);
-        let encoded = encode_prover_message(&commitments, &dz, &dh).len() as u64;
+        let encoded = encode_prover_message(&commitments, &dz, &dh).unwrap().len() as u64;
         let model = zaatar_network_costs(&pcp, 1, 256, true).p_to_v;
         let prefixes = 2 * 4; // Two length-prefixed vectors.
         assert_eq!(encoded, model + prefixes);

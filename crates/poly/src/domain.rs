@@ -155,6 +155,7 @@ impl<F: PrimeField> EvalDomain<F> for Radix2Domain<F> {
     }
 
     fn interpolate(&self, evals: &[F]) -> DensePoly<F> {
+        let _span = zaatar_obs::time("poly.interpolate");
         assert_eq!(evals.len(), self.size, "evaluation count mismatch");
         let mut a = evals.to_vec();
         fft::intt(&mut a);
@@ -207,6 +208,7 @@ impl<F: PrimeField> EvalDomain<F> for Radix2Domain<F> {
     }
 
     fn divide_by_vanishing(&self, poly: &DensePoly<F>) -> (DensePoly<F>, DensePoly<F>) {
+        let _span = zaatar_obs::time("poly.divide_by_vanishing");
         // Division by tⁿ − 1 in coefficient form: q[i] = p[i+n] + q[i+n].
         let n = self.size;
         let coeffs = poly.coeffs();
@@ -318,6 +320,7 @@ impl<F: PrimeField> EvalDomain<F> for ArithDomain<F> {
     }
 
     fn interpolate(&self, evals: &[F]) -> DensePoly<F> {
+        let _span = zaatar_obs::time("poly.interpolate");
         assert_eq!(evals.len(), self.points.len(), "evaluation count mismatch");
         self.tree().interpolate(evals)
     }
@@ -345,6 +348,7 @@ impl<F: PrimeField> EvalDomain<F> for ArithDomain<F> {
     }
 
     fn divide_by_vanishing(&self, poly: &DensePoly<F>) -> (DensePoly<F>, DensePoly<F>) {
+        let _span = zaatar_obs::time("poly.divide_by_vanishing");
         poly.div_rem_fast(&self.vanishing_poly())
     }
 }

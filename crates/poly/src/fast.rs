@@ -141,6 +141,7 @@ impl<F: PrimeField> ProductTree<F> {
     /// Evaluates `poly` at every tree point via a remainder tree,
     /// `O(M(n)·log n)`.
     pub fn multi_eval(&self, poly: &DensePoly<F>) -> Vec<F> {
+        let _span = zaatar_obs::time("poly.multi_eval");
         let depth = self.levels.len();
         // Walk down the tree keeping remainders.
         let mut current = vec![poly.div_rem_fast(self.root()).1];
@@ -176,6 +177,7 @@ impl<F: PrimeField> ProductTree<F> {
     ///
     /// Panics if `evals.len()` differs from the point count.
     pub fn interpolate(&self, evals: &[F]) -> DensePoly<F> {
+        let _span = zaatar_obs::time("poly.tree_interpolate");
         assert_eq!(evals.len(), self.points.len(), "evaluation count mismatch");
         // Weights: 1/M'(σⱼ).
         let m_prime = self.root().derivative();

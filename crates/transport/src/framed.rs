@@ -71,6 +71,18 @@ impl<L: Link> FramedTransport<L> {
     pub fn link_mut(&mut self) -> &mut L {
         &mut self.link
     }
+
+    /// Folds the decoder's resync count into the local stats and the
+    /// global metrics (which only take the delta, since the decoder
+    /// reports a running total).
+    fn bump_corrupt_events(&mut self) {
+        let total = self.decoder.corrupt_events();
+        let delta = total - self.stats.corrupt_events;
+        if delta > 0 {
+            zaatar_obs::counter("transport.corrupt_events").add(delta);
+        }
+        self.stats.corrupt_events = total;
+    }
 }
 
 impl<L: Link> Transport for FramedTransport<L> {
@@ -78,6 +90,8 @@ impl<L: Link> Transport for FramedTransport<L> {
         let bytes = frame.encode();
         self.stats.bytes_sent += bytes.len() as u64;
         self.stats.frames_sent += 1;
+        zaatar_obs::counter("transport.frames_sent").inc();
+        zaatar_obs::counter("transport.bytes_sent").add(bytes.len() as u64);
         self.link.send_bytes(&bytes)
     }
 
@@ -85,12 +99,14 @@ impl<L: Link> Transport for FramedTransport<L> {
         loop {
             if let Some(frame) = self.decoder.next_frame() {
                 self.stats.frames_received += 1;
-                self.stats.corrupt_events = self.decoder.corrupt_events();
+                zaatar_obs::counter("transport.frames_received").inc();
+                self.bump_corrupt_events();
                 return Ok(frame);
             }
-            self.stats.corrupt_events = self.decoder.corrupt_events();
+            self.bump_corrupt_events();
             let chunk = self.link.recv_bytes(deadline)?;
             self.stats.bytes_received += chunk.len() as u64;
+            zaatar_obs::counter("transport.bytes_received").add(chunk.len() as u64);
             self.decoder.push(&chunk);
         }
     }

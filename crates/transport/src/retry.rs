@@ -94,6 +94,8 @@ pub fn exchange<T: Transport>(
     policy: &RetryPolicy,
     prg: &mut ChaChaPrg,
 ) -> Result<ExchangeOutcome, TransportError> {
+    zaatar_obs::counter("transport.exchanges").inc();
+    let _span = zaatar_obs::time("transport.exchange");
     let overall = Instant::now() + policy.deadline;
     let mut retransmits = 0u32;
     for attempt in 0..=policy.max_retransmits {
@@ -102,6 +104,7 @@ pub fn exchange<T: Transport>(
         }
         if attempt > 0 {
             retransmits += 1;
+            zaatar_obs::counter("transport.retransmits").inc();
         }
         transport.send(request)?;
         let wait = policy.timeout_for_attempt(attempt, prg);

@@ -18,7 +18,7 @@ use zaatar::cc::lang::{compile, CompileOptions};
 use zaatar::cc::ginger_to_quad;
 use zaatar::core::pcp::{PcpParams, ZaatarPcp};
 use zaatar::core::qap::Qap;
-use zaatar::core::runtime::{run_session_prover, run_session_verifier};
+use zaatar::core::runtime::{prove_batch, run_session_prover, run_session_verifier};
 use zaatar::crypto::ChaChaPrg;
 use zaatar::field::{Field, F61};
 use zaatar::transport::{RetryPolicy, TcpTransport, Transport};
@@ -37,15 +37,16 @@ fn main() {
     let pcp = ZaatarPcp::new(qap, PcpParams::light());
 
     // 2. The prover executes a batch of β = 4 instances and constructs
-    //    its proof vectors (step 2 of Fig. 1).
+    //    its proof vectors (step 2 of Fig. 1) — in parallel: instances
+    //    are independent, so proof construction shards across workers.
     let batch: Vec<[i64; 2]> = vec![[3, 7], [5, 5], [0, 9], [12, 12]];
-    let mut proofs = Vec::new();
+    let mut witnesses = Vec::new();
     let mut ios = Vec::new();
     for pair in &batch {
         let inputs: Vec<F61> = pair.iter().map(|&v| F61::from_i64(v)).collect();
         let asg = compiled.solver.solve(&inputs).expect("solvable");
         let ext = quad.extend_assignment(&asg);
-        proofs.push(pcp.prove(&pcp.qap().witness(&ext)).expect("honest prover"));
+        witnesses.push(pcp.qap().witness(&ext));
         ios.push(
             pcp.qap()
                 .var_map()
@@ -56,6 +57,11 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
     }
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let proofs: Vec<_> = prove_batch(&pcp, &witnesses, workers)
+        .into_iter()
+        .map(|p| p.expect("honest prover"))
+        .collect();
 
     // 3. The prover listens on localhost and serves the batch.
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");

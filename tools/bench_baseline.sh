@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates the committed performance baseline, `BENCH_seed.json`,
+# then runs the in-tree `cargo bench` groups for eyeball comparison:
+#
+#   tools/bench_baseline.sh            # full baseline (seconds)
+#   tools/bench_baseline.sh --smoke    # CI-sized workload
+#
+# The baseline is emitted and schema-checked by the `bench_baseline`
+# binary (see crates/bench/src/bin/bench_baseline.rs); timings come
+# from the zaatar-obs metrics registry instrumenting the real protocol
+# hot paths, not from separate stopwatch code. Fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+OUT="BENCH_seed.json"
+
+echo "==> bench_baseline → ${OUT}"
+cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
+    "${ARGS[@]}" --out "${OUT}"
+cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
+    --validate "${OUT}"
+
+echo "==> cargo bench (in-tree harness, median-of-samples)"
+cargo bench -p zaatar-bench --locked
+
+echo "==> baseline written to ${OUT}"

@@ -23,4 +23,10 @@ cargo test -q --workspace --locked
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --locked -- -D warnings
 
+echo "==> bench smoke (baseline emit + schema validation)"
+cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
+    --smoke --out target/bench_smoke.json
+cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
+    --validate target/bench_smoke.json
+
 echo "==> tier-1 green"
