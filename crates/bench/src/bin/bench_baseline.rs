@@ -13,9 +13,13 @@
 //!
 //! `--smoke` shrinks the workload to seconds for CI; `--validate`
 //! parses an existing baseline with [`zaatar_obs::json`] and checks the
-//! `zaatar-bench-baseline/v1` schema, exiting non-zero on any mismatch.
+//! `zaatar-bench-baseline/v2` schema, exiting non-zero on any mismatch.
 //! All timings are honest measurements on the current host; the
 //! `host.parallelism` field records how many cores produced them.
+//!
+//! Schema v2 (PR 3) adds an `ntt` section: cold (first-use, includes the
+//! twiddle-table build) vs. warm per-size transform timings from the
+//! kernel layer's plan cache, plus the cache hit/miss counters.
 
 use std::time::{Duration, Instant};
 
@@ -29,7 +33,7 @@ use zaatar_obs::json::{self, Value};
 use zaatar_transport::{loopback_transport_pair, RetryPolicy};
 
 /// Schema identifier written into (and required from) every baseline.
-const SCHEMA: &str = "zaatar-bench-baseline/v1";
+const SCHEMA: &str = "zaatar-bench-baseline/v2";
 
 /// Phase timers the baseline must carry (ISSUE acceptance list: QAP
 /// build, H(t), prove, answer, check, commit, session round-trip).
@@ -128,11 +132,61 @@ fn build_workload(
     (pcp, witnesses, ios)
 }
 
+/// One row of the `ntt` section: per-size transform timings off the
+/// plan cache. `cold` is the first-ever use of the size in this process
+/// (twiddle-table build included), `warm_*` are means over the repeats.
+struct NttSample {
+    log2: u32,
+    cold_forward_ns: u64,
+    warm_forward_ns: u64,
+    warm_inverse_ns: u64,
+}
+
+/// Times the NTT kernel layer at several sizes. Must run before the main
+/// workload so the `cold` numbers really are first use.
+fn bench_ntt(smoke: bool) -> (Vec<NttSample>, u64) {
+    let logs: &[u32] = if smoke { &[8, 10, 12] } else { &[10, 12, 14, 16] };
+    let reps: u64 = if smoke { 3 } else { 10 };
+    let mut samples = Vec::new();
+    for &log2 in logs {
+        let n = 1usize << log2;
+        let base: Vec<F61> = (0..n as u64)
+            .map(|i| F61::from_u64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1))
+            .collect();
+        let mut a = base.clone();
+        let start = Instant::now();
+        zaatar_poly::fft::ntt(&mut a);
+        let cold_forward_ns = (start.elapsed().as_nanos() as u64).max(1);
+        let (mut warm_f, mut warm_i) = (0u64, 0u64);
+        for _ in 0..reps {
+            let mut x = base.clone();
+            let t = Instant::now();
+            zaatar_poly::fft::ntt(&mut x);
+            warm_f += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            zaatar_poly::fft::intt(&mut x);
+            warm_i += t.elapsed().as_nanos() as u64;
+            assert_eq!(x, base, "ntt/intt round trip at 2^{log2}");
+        }
+        samples.push(NttSample {
+            log2,
+            cold_forward_ns,
+            warm_forward_ns: (warm_f / reps).max(1),
+            warm_inverse_ns: (warm_i / reps).max(1),
+        });
+    }
+    (samples, reps)
+}
+
 /// Runs the measured workload and renders the baseline document.
 fn run_baseline(smoke: bool) -> String {
     let (chain, batch, workers) = if smoke { (8, 4, 2) } else { (160, 16, 8) };
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     zaatar_obs::global().reset();
+
+    // NTT microbenchmark first: its cold column must see the sizes
+    // before the protocol workload (or anything else) warms the cache.
+    let (ntt_samples, ntt_reps) = bench_ntt(smoke);
 
     let (pcp, witnesses, ios) = build_workload(chain, batch);
 
@@ -196,6 +250,30 @@ fn run_baseline(smoke: bool) -> String {
     s.push_str(&format!(
         "  \"parallel\": {{\"batch\": {batch}, \"workers\": {workers}, \"serial_ns\": {serial_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}}},\n"
     ));
+    let cache_hits = snap
+        .counters
+        .get("poly.ntt.twiddle_cache_hit")
+        .copied()
+        .unwrap_or(0);
+    let cache_misses = snap
+        .counters
+        .get("poly.ntt.twiddle_cache_miss")
+        .copied()
+        .unwrap_or(0);
+    s.push_str(&format!(
+        "  \"ntt\": {{\"field\": \"F61\", \"reps\": {ntt_reps}, \"twiddle_cache_hit\": {cache_hits}, \"twiddle_cache_miss\": {cache_misses}, \"sizes\": [\n"
+    ));
+    for (i, smp) in ntt_samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"log2\": {}, \"cold_forward_ns\": {}, \"warm_forward_ns\": {}, \"warm_inverse_ns\": {}}}{}\n",
+            smp.log2,
+            smp.cold_forward_ns,
+            smp.warm_forward_ns,
+            smp.warm_inverse_ns,
+            if i + 1 < ntt_samples.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]},\n");
     // The registry's full snapshot (all timers + counters), for
     // drill-down beyond the required phases.
     s.push_str(&format!("  \"metrics\": {}\n", snap.to_json()));
@@ -259,6 +337,41 @@ fn validate_baseline(path: &str) -> Result<(), String> {
         _ => return Err("parallel.speedup must be a positive number".into()),
     }
 
+    let ntt = root
+        .get("ntt")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"ntt\"")?;
+    match ntt.get("reps").and_then(Value::as_u64) {
+        Some(r) if r >= 1 => {}
+        _ => return Err("ntt.reps must be an integer >= 1".into()),
+    }
+    match ntt.get("twiddle_cache_hit").and_then(Value::as_u64) {
+        Some(h) if h >= 1 => {}
+        _ => return Err("ntt.twiddle_cache_hit must be >= 1 — cache never reused".into()),
+    }
+    match ntt.get("twiddle_cache_miss").and_then(Value::as_u64) {
+        Some(m) if m >= 1 => {}
+        _ => return Err("ntt.twiddle_cache_miss must be >= 1 — tables never built".into()),
+    }
+    let sizes = ntt
+        .get("sizes")
+        .and_then(Value::as_array)
+        .ok_or("missing array \"ntt.sizes\"")?;
+    if sizes.is_empty() {
+        return Err("ntt.sizes must be non-empty".into());
+    }
+    for (i, entry) in sizes.iter().enumerate() {
+        let e = entry
+            .as_object()
+            .ok_or_else(|| format!("ntt.sizes[{i}] is not an object"))?;
+        for field in ["log2", "cold_forward_ns", "warm_forward_ns", "warm_inverse_ns"] {
+            match e.get(field).and_then(Value::as_u64) {
+                Some(v) if v >= 1 => {}
+                _ => return Err(format!("ntt.sizes[{i}].{field} must be an integer >= 1")),
+            }
+        }
+    }
+
     let metrics = root
         .get("metrics")
         .and_then(Value::as_object)
@@ -270,6 +383,17 @@ fn validate_baseline(path: &str) -> Result<(), String> {
     match counters.get("pcp.prove.calls").and_then(Value::as_u64) {
         Some(n) if n >= 1 => {}
         _ => return Err("metrics.counters[\"pcp.prove.calls\"] must be >= 1".into()),
+    }
+    match counters
+        .get("poly.ntt.twiddle_cache_hit")
+        .and_then(Value::as_u64)
+    {
+        Some(n) if n >= 1 => {}
+        _ => {
+            return Err(
+                "metrics.counters[\"poly.ntt.twiddle_cache_hit\"] must be >= 1".into(),
+            )
+        }
     }
     Ok(())
 }

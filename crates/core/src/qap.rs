@@ -269,12 +269,15 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
         acc
     }
 
-    /// The prover's quotient computation (App. A.3): interpolates
-    /// `A(t), B(t), C(t)` from their per-constraint values, forms
-    /// `P_w = A·B − C`, and divides by `D(t)`.
+    /// The prover's quotient computation (App. A.3): combines the sparse
+    /// rows into the per-constraint values of `A`, `B`, `C` and hands
+    /// them to the domain's quotient kernel
+    /// ([`EvalDomain::quotient_zero_pinned`]), which checks divisibility
+    /// pointwise and computes `H = P_w/D` — via coset transforms on the
+    /// NTT fast path.
     ///
     /// Returns the coefficients of `H(t)` (length `degree() + 1`), or
-    /// `None` if the division leaves a remainder — i.e. `w` is not a
+    /// `None` if `D(t)` does not divide `P_w(t)` — i.e. `w` is not a
     /// satisfying assignment.
     pub fn compute_h(&self, witness: &QapWitness<F>) -> Option<Vec<F>> {
         let _span = zaatar_obs::time("qap.compute_h");
@@ -282,14 +285,9 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
         let a_vals = self.combine_rows(&self.a_rows, &w);
         let b_vals = self.combine_rows(&self.b_rows, &w);
         let c_vals = self.combine_rows(&self.c_rows, &w);
-        let a_poly = self.domain.interpolate_zero_pinned(&a_vals);
-        let b_poly = self.domain.interpolate_zero_pinned(&b_vals);
-        let c_poly = self.domain.interpolate_zero_pinned(&c_vals);
-        let p = &(&a_poly * &b_poly) - &c_poly;
-        let (h, rem) = self.domain.divide_by_vanishing(&p);
-        if !rem.is_zero() {
-            return None;
-        }
+        let h = self
+            .domain
+            .quotient_zero_pinned(&a_vals, &b_vals, &c_vals)?;
         let mut coeffs = h.into_coeffs();
         coeffs.resize(self.degree() + 1, F::ZERO);
         Some(coeffs)
@@ -297,7 +295,11 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
 
     /// Like [`Qap::compute_h`] but returns the (useless) quotient even
     /// when the remainder is non-zero — what a *cheating* prover would
-    /// ship. Used by the soundness experiments.
+    /// ship. Used by the soundness experiments. Deliberately kept on the
+    /// explicit interpolate → multiply → divide route: the coset quotient
+    /// kernel has no well-defined output for a non-divisible `P_w`, while
+    /// this path's truncated Euclidean quotient is stable across kernel
+    /// rewrites.
     pub fn compute_h_unchecked(&self, witness: &QapWitness<F>) -> Vec<F> {
         let w = witness.full();
         let a_vals = self.combine_rows(&self.a_rows, &w);

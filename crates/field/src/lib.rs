@@ -28,6 +28,7 @@ pub mod batch;
 pub mod fp;
 pub mod limbs;
 pub mod params;
+pub mod testutil;
 pub mod traits;
 
 pub use batch::batch_inverse;

@@ -1,0 +1,41 @@
+//! Deterministic test-input generation shared by the property and
+//! differential test harnesses across the workspace (the build must work
+//! offline, so no external proptest/rand dependency). Not a CSPRNG.
+
+use crate::Field;
+
+/// A splitmix64 sequence with a fixed seed: the standard stand-in for a
+/// property-test generator in this repo.
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Starts the sequence at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `lo..hi` (upper bound exclusive; modulo bias is fine
+    /// for test generation).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniform-ish field element.
+    pub fn field<F: Field>(&mut self) -> F {
+        F::random_from(|| self.next_u64())
+    }
+
+    /// `n` field elements.
+    pub fn field_vec<F: Field>(&mut self, n: usize) -> Vec<F> {
+        (0..n).map(|_| self.field()).collect()
+    }
+}

@@ -119,6 +119,111 @@ macro_rules! field_axioms {
                     assert_eq!(<$F>::from_canonical_words(&words), Some(a));
                 }
             }
+
+            /// Montgomery form round-trips exactly at the representation
+            /// edges — 0, 1, p−1 — and for random limb patterns: the NTT
+            /// kernels lean on `to/from_canonical_words` agreeing with
+            /// the arithmetic everywhere, not just in the bulk.
+            #[test]
+            fn montgomery_round_trips_at_edges() {
+                let p_minus_1 = {
+                    let mut w = <$F>::modulus_words();
+                    w[0] -= 1; // modulus is odd, no borrow
+                    w
+                };
+                // 0 and 1 in canonical words.
+                let zero = <$F>::from_canonical_words(&vec![0; p_minus_1.len()])
+                    .expect("zero is canonical");
+                assert!(zero.is_zero());
+                assert_eq!(zero, <$F>::ZERO);
+                let mut one_words = vec![0; p_minus_1.len()];
+                one_words[0] = 1;
+                let one = <$F>::from_canonical_words(&one_words).expect("one is canonical");
+                assert_eq!(one, <$F>::ONE);
+                // p−1 ≡ −1: round-trips and behaves like −1 arithmetically.
+                let top = <$F>::from_canonical_words(&p_minus_1).expect("p-1 is canonical");
+                assert_eq!(top.to_canonical_words(), p_minus_1);
+                assert_eq!(top, -<$F>::ONE);
+                assert_eq!(top + <$F>::ONE, <$F>::ZERO);
+                assert_eq!(top * top, <$F>::ONE);
+                // The modulus itself is not canonical.
+                assert_eq!(<$F>::from_canonical_words(&<$F>::modulus_words()), None);
+                // Random limb patterns: reject or round-trip, never mangle.
+                let mut g = Gen::new(11);
+                for _ in 0..CASES {
+                    let words: Vec<u64> =
+                        (0..p_minus_1.len()).map(|_| g.next_u64()).collect();
+                    if let Some(x) = <$F>::from_canonical_words(&words) {
+                        assert_eq!(x.to_canonical_words(), words);
+                    }
+                }
+                // Elements from the arithmetic side round-trip too.
+                for _ in 0..CASES {
+                    let a: $F = g.field();
+                    let words = a.to_canonical_words();
+                    assert_eq!(<$F>::from_canonical_words(&words), Some(a));
+                }
+            }
+
+            /// `batch_inverse` must match per-element inversion with
+            /// zeros scattered anywhere in the batch (Montgomery's trick
+            /// multiplies prefixes, so an unskipped zero would poison
+            /// every later element).
+            #[test]
+            fn batch_inverse_with_zeros() {
+                use zaatar_field::batch_inverse;
+                let mut g = Gen::new(12);
+                // Adversarial fixed shapes: zeros at both ends, runs of
+                // zeros, alternating, singleton and all-zero batches.
+                let n = 17;
+                let mut shapes: Vec<Vec<bool>> = vec![
+                    vec![false; n],
+                    vec![true; n],
+                    (0..n).map(|i| i == 0).collect(),
+                    (0..n).map(|i| i == n - 1).collect(),
+                    (0..n).map(|i| i % 2 == 0).collect(),
+                    (0..n).map(|i| i < n / 2).collect(),
+                    vec![true],
+                    vec![false],
+                ];
+                // Plus random masks over random lengths.
+                for _ in 0..32 {
+                    let len = g.range_u64(0, 40) as usize;
+                    shapes.push((0..len).map(|_| g.next_u64() % 3 == 0).collect());
+                }
+                for mask in shapes {
+                    let vals: Vec<$F> = mask
+                        .iter()
+                        .map(|z| {
+                            if *z {
+                                <$F>::ZERO
+                            } else {
+                                // random_from may return 0; force nonzero
+                                // so the mask fully controls zero layout.
+                                let x: $F = g.field();
+                                if x.is_zero() {
+                                    <$F>::ONE
+                                } else {
+                                    x
+                                }
+                            }
+                        })
+                        .collect();
+                    let mut batched = vals.clone();
+                    batch_inverse(&mut batched);
+                    for (i, (orig, inv)) in vals.iter().zip(batched.iter()).enumerate() {
+                        if orig.is_zero() {
+                            assert!(inv.is_zero(), "zero slot {i} must stay zero");
+                        } else {
+                            assert_eq!(
+                                *inv,
+                                orig.inverse().expect("nonzero"),
+                                "slot {i} disagrees with scalar inversion"
+                            );
+                        }
+                    }
+                }
+            }
         }
     };
 }

@@ -83,6 +83,36 @@ pub trait EvalDomain<F: PrimeField>: Clone + Send + Sync {
             .map(|(l, si)| l * tau * si)
             .collect()
     }
+
+    /// The prover's quotient kernel (App. A.3): given the values of the
+    /// witness combinations `A`, `B`, `C` at the domain points, computes
+    /// `H = (Â·B̂ − Ĉ)/D` where `Â, B̂, Ĉ` are the zero-pinned
+    /// interpolants, or returns `None` when `D` does not divide `P_w`
+    /// (i.e. the witness does not satisfy the constraints).
+    ///
+    /// Divisibility is decided *before* the quotient is computed: since
+    /// the divisor has a simple root at every domain point, `D | P_w` iff
+    /// `a_vals[j]·b_vals[j] == c_vals[j]` at every point — an `O(n)`
+    /// check that no fast-division rewrite can weaken.
+    fn quotient_zero_pinned(
+        &self,
+        a_vals: &[F],
+        b_vals: &[F],
+        c_vals: &[F],
+    ) -> Option<DensePoly<F>> {
+        for j in 0..self.size() {
+            if a_vals[j] * b_vals[j] != c_vals[j] {
+                return None;
+            }
+        }
+        let a_poly = self.interpolate_zero_pinned(a_vals);
+        let b_poly = self.interpolate_zero_pinned(b_vals);
+        let c_poly = self.interpolate_zero_pinned(c_vals);
+        let p = &(&a_poly * &b_poly) - &c_poly;
+        let (h, rem) = self.divide_by_vanishing(&p);
+        debug_assert!(rem.is_zero(), "pointwise check guarantees exactness");
+        Some(h)
+    }
 }
 
 /// A multiplicative-subgroup domain `{ωʲ : 0 ≤ j < n}` with `n = 2ᵏ`.
@@ -246,6 +276,50 @@ impl<F: PrimeField> EvalDomain<F> for Radix2Domain<F> {
         let mut coeffs = g.into_coeffs();
         coeffs.insert(0, F::ZERO);
         DensePoly::from_coeffs(coeffs)
+    }
+
+    /// Coset fast path: with `D(t) = tⁿ − 1`, the quotient is recovered
+    /// from `2n` evaluations on the proper coset `g·H₂ₙ`, where `D` never
+    /// vanishes. Only `Â, B̂, Ĉ` (degree ≤ n) are transformed forward and
+    /// `H` (degree ≤ n < 2n) backward — the degree-`2n` product `P_w`
+    /// itself is never interpolated, so `2n` points suffice. This replaces
+    /// the size-`4n` transforms of the generic multiply-then-divide route
+    /// with size-`2n` ones.
+    fn quotient_zero_pinned(
+        &self,
+        a_vals: &[F],
+        b_vals: &[F],
+        c_vals: &[F],
+    ) -> Option<DensePoly<F>> {
+        let _span = zaatar_obs::time("poly.quotient");
+        let n = self.size;
+        for j in 0..n {
+            if a_vals[j] * b_vals[j] != c_vals[j] {
+                return None;
+            }
+        }
+        let big = 2 * n;
+        let shift = F::multiplicative_generator();
+        let to_coset = |vals: &[F]| {
+            let mut c = self.interpolate_zero_pinned(vals).into_coeffs();
+            c.resize(big, F::ZERO);
+            fft::coset_ntt(&mut c, shift);
+            c
+        };
+        let mut h = to_coset(a_vals);
+        let eb = to_coset(b_vals);
+        let ec = to_coset(c_vals);
+        // Vanishing values on the coset: (g·ω₂ₙʲ)ⁿ − 1 = gⁿ·(−1)ʲ − 1;
+        // two inverses cover all 2n points.
+        let gn = shift.pow(n as u64);
+        let v_even = (gn - F::ONE).inverse().expect("proper coset");
+        let v_odd = (-gn - F::ONE).inverse().expect("proper coset");
+        for (j, hj) in h.iter_mut().enumerate() {
+            let p = *hj * eb[j] - ec[j];
+            *hj = p * if j % 2 == 0 { v_even } else { v_odd };
+        }
+        fft::coset_intt(&mut h, shift);
+        Some(DensePoly::from_coeffs(h))
     }
 }
 
@@ -624,5 +698,36 @@ mod coset_tests {
         // Degree ≥ 2n → unsupported by this path.
         let big = DensePoly::from_coeffs(vec![F61::from_u64(1); 10]);
         assert!(d.divide_by_vanishing_coset(&big).is_none());
+    }
+
+    #[test]
+    fn quotient_kernel_matches_generic_route() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let d = Radix2Domain::<F61>::new(n);
+            let a_vals: Vec<F61> = (0..n as u64).map(|i| F61::from_u64(i * 5 + 3)).collect();
+            let b_vals: Vec<F61> = (0..n as u64).map(|i| F61::from_u64(i * i + 2)).collect();
+            let c_vals: Vec<F61> = a_vals.iter().zip(&b_vals).map(|(a, b)| *a * *b).collect();
+            let h = d
+                .quotient_zero_pinned(&a_vals, &b_vals, &c_vals)
+                .expect("pointwise-satisfying values divide exactly");
+            // Generic route: explicit interpolate → multiply → divide.
+            let a_poly = d.interpolate_zero_pinned(&a_vals);
+            let b_poly = d.interpolate_zero_pinned(&b_vals);
+            let c_poly = d.interpolate_zero_pinned(&c_vals);
+            let p = &(&a_poly * &b_poly) - &c_poly;
+            let (q, r) = d.divide_by_vanishing(&p);
+            assert!(r.is_zero(), "n={n}");
+            assert_eq!(h, q, "n={n}");
+        }
+    }
+
+    #[test]
+    fn quotient_kernel_rejects_nonsatisfying_values() {
+        let d = Radix2Domain::<F61>::new(4);
+        let a_vals = vec![F61::from_u64(2); 4];
+        let b_vals = vec![F61::from_u64(3); 4];
+        let mut c_vals: Vec<F61> = a_vals.iter().zip(&b_vals).map(|(a, b)| *a * *b).collect();
+        c_vals[2] += F61::ONE;
+        assert!(d.quotient_zero_pinned(&a_vals, &b_vals, &c_vals).is_none());
     }
 }

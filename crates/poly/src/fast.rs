@@ -13,10 +13,17 @@
 use zaatar_field::PrimeField;
 
 use crate::dense::DensePoly;
-use crate::fft::fft_mul;
+use crate::fft::{fft_mul, next_pow2};
+use crate::plan::plan_for_len;
 
 /// Computes the power-series inverse of `f` modulo `t^precision` by Newton
 /// iteration: `g ← g·(2 − f·g) mod t^(2k)`.
+///
+/// Both products in one step multiply the current length-`k` iterate `g`
+/// by a length-`2k` operand, so they share one transform size; the NTT
+/// spectrum of `g` is computed once per step and reused, and the two
+/// scratch buffers are allocated once for the whole iteration rather than
+/// per step.
 ///
 /// # Panics
 ///
@@ -27,23 +34,53 @@ pub fn inv_series<F: PrimeField>(f: &DensePoly<F>, precision: usize) -> DensePol
         .inverse()
         .expect("series inversion requires a unit constant term");
     let mut g = vec![c0_inv];
-    let mut k = 1;
-    while k < precision {
-        k = (2 * k).min(precision.next_power_of_two());
-        // g ← g·(2 − f·g) mod t^k.
-        let f_trunc: Vec<F> = f.coeffs().iter().copied().take(k).collect();
-        let fg = fft_mul(&f_trunc, &g);
-        let mut two_minus = vec![F::ZERO; k];
-        for (i, slot) in two_minus.iter_mut().enumerate() {
-            let v = fg.get(i).copied().unwrap_or(F::ZERO);
-            *slot = -v;
-        }
-        two_minus[0] += F::from_u64(2);
-        let mut next = fft_mul(&g, &two_minus);
-        next.truncate(k);
-        g = next;
-        if k >= precision {
-            break;
+    if precision > 1 {
+        let pmax = precision.next_power_of_two();
+        // Largest step multiplies len k by len 2k at size
+        // next_pow2(3k − 1) ≤ 4k ≤ 2·pmax.
+        let cap = next_pow2(2 * pmax);
+        let mut fa = vec![F::ZERO; cap];
+        let mut fb = vec![F::ZERO; cap];
+        let two = F::from_u64(2);
+        let mut k = 1usize;
+        while k < precision {
+            let k2 = (2 * k).min(pmax);
+            let nt = next_pow2(k2 + k - 1);
+            let plan = plan_for_len::<F>(nt);
+            // fb ← NTT(g); both products this step are len-k × len-k2
+            // multiplies at size nt, so this spectrum serves twice.
+            fb[..k].copy_from_slice(&g);
+            for slot in &mut fb[k..nt] {
+                *slot = F::ZERO;
+            }
+            plan.forward(&mut fb[..nt]);
+            // fa ← f·g via NTT(f mod t^k2) ∘ fb.
+            let take = k2.min(f.coeffs().len());
+            fa[..take].copy_from_slice(&f.coeffs()[..take]);
+            for slot in &mut fa[take..nt] {
+                *slot = F::ZERO;
+            }
+            plan.forward(&mut fa[..nt]);
+            for (x, y) in fa[..nt].iter_mut().zip(fb[..nt].iter()) {
+                *x *= *y;
+            }
+            plan.inverse(&mut fa[..nt]);
+            // fa ← e = 2 − f·g mod t^k2, then g ← g·e mod t^k2.
+            fa[0] = two - fa[0];
+            for slot in &mut fa[1..k2] {
+                *slot = -*slot;
+            }
+            for slot in &mut fa[k2..nt] {
+                *slot = F::ZERO;
+            }
+            plan.forward(&mut fa[..nt]);
+            for (x, y) in fa[..nt].iter_mut().zip(fb[..nt].iter()) {
+                *x *= *y;
+            }
+            plan.inverse(&mut fa[..nt]);
+            g.clear();
+            g.extend_from_slice(&fa[..k2]);
+            k = k2;
         }
     }
     g.truncate(precision);

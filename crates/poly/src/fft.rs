@@ -1,29 +1,21 @@
-//! Radix-2 number-theoretic transforms (NTTs) over FFT-friendly prime
-//! fields.
+//! Number-theoretic transforms (NTTs) over FFT-friendly prime fields.
 //!
 //! The prover's quotient computation (`H(t) = P_w(t)/D(t)`, App. A.3) uses
 //! FFT-based interpolation, multiplication, and division; all three reduce
-//! to the in-place iterative Cooley–Tukey transform implemented here. All
-//! shipped fields have 2-adicity 32, so domains up to 2³² points exist.
+//! to the in-place transform implemented by the kernel layer in
+//! [`crate::plan`]. The free functions here are thin instrumented wrappers:
+//! they fetch the cached [`crate::plan::NttPlan`] for the input length
+//! (building it on first use) and record `poly.ntt.forward` /
+//! `poly.ntt.inverse` timings. All shipped fields have 2-adicity 32, so
+//! domains up to 2³² points exist.
 
 use zaatar_field::PrimeField;
+
+use crate::plan::plan_for_len;
 
 /// Returns the smallest power of two `>= n` (minimum 1).
 pub fn next_pow2(n: usize) -> usize {
     n.next_power_of_two().max(1)
-}
-
-/// Bit-reversal permutation applied in place.
-fn bit_reverse<F>(a: &mut [F]) {
-    let n = a.len();
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i as u32).reverse_bits() >> (32 - bits);
-        let j = j as usize;
-        if i < j {
-            a.swap(i, j);
-        }
-    }
 }
 
 /// In-place forward NTT of a power-of-two-length slice: replaces
@@ -34,53 +26,23 @@ fn bit_reverse<F>(a: &mut [F]) {
 /// Panics if the length is not a power of two or exceeds the field's 2-adic
 /// subgroup capacity.
 pub fn ntt<F: PrimeField>(a: &mut [F]) {
-    ntt_inner(a, false);
+    if a.len() <= 1 {
+        return;
+    }
+    let plan = plan_for_len::<F>(a.len());
+    let _span = zaatar_obs::time("poly.ntt.forward");
+    plan.forward(a);
 }
 
 /// In-place inverse NTT: replaces evaluations at `{ωʲ}` (natural order)
 /// with coefficients.
 pub fn intt<F: PrimeField>(a: &mut [F]) {
-    ntt_inner(a, true);
-    let n_inv = F::from_u64(a.len() as u64)
-        .inverse()
-        .expect("domain size nonzero in field");
-    for x in a.iter_mut() {
-        *x *= n_inv;
-    }
-}
-
-fn ntt_inner<F: PrimeField>(a: &mut [F], invert: bool) {
-    let n = a.len();
-    if n <= 1 {
+    if a.len() <= 1 {
         return;
     }
-    assert!(n.is_power_of_two(), "NTT length must be a power of two");
-    let log_n = n.trailing_zeros();
-    assert!(
-        log_n <= F::TWO_ADICITY,
-        "NTT length exceeds field 2-adicity"
-    );
-    bit_reverse(a);
-    let mut root = F::root_of_unity_of_order(log_n).expect("2-adicity checked above");
-    if invert {
-        root = root.inverse().expect("roots of unity are nonzero");
-    }
-    // Stage twiddles: w_len = root^(n/len) generates the length-len subgroup.
-    let mut len = 2;
-    while len <= n {
-        let w_len = root.pow((n / len) as u64);
-        for start in (0..n).step_by(len) {
-            let mut w = F::ONE;
-            for k in 0..len / 2 {
-                let u = a[start + k];
-                let v = a[start + k + len / 2] * w;
-                a[start + k] = u + v;
-                a[start + k + len / 2] = u - v;
-                w *= w_len;
-            }
-        }
-        len <<= 1;
-    }
+    let plan = plan_for_len::<F>(a.len());
+    let _span = zaatar_obs::time("poly.ntt.inverse");
+    plan.inverse(a);
 }
 
 /// Multiplies two coefficient vectors via NTT, returning the product's

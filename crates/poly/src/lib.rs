@@ -12,16 +12,22 @@
 //!   barycentric Lagrange basis at a random point `τ` (App. A.3).
 //!
 //! This crate supplies those operations: dense polynomials ([`DensePoly`]),
-//! radix-2 NTTs ([`fft`]), evaluation domains with barycentric machinery
-//! ([`domain`]), and asymptotically fast division/multipoint algorithms
-//! ([`fast`]) for domains that are not multiplicative subgroups.
+//! cached NTT kernels ([`plan`]) with instrumented wrappers ([`fft`]),
+//! evaluation domains with barycentric machinery ([`domain`]), and
+//! asymptotically fast division/multipoint algorithms ([`fast`]) for
+//! domains that are not multiplicative subgroups. The [`parallel`] module
+//! holds the thread primitives shared by the kernel layer and the batch
+//! prover above it.
 
 pub mod dense;
 pub mod domain;
 pub mod fast;
 pub mod fft;
+pub mod parallel;
+pub mod plan;
 pub mod sparse;
 
 pub use dense::DensePoly;
 pub use domain::{ArithDomain, EvalDomain, Radix2Domain};
+pub use plan::{plan_for, plan_for_len, NttPlan};
 pub use sparse::SparsePoly;

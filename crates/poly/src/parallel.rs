@@ -1,0 +1,116 @@
+//! Shared-memory parallel primitives used by the NTT kernel layer and,
+//! via re-export, by `zaatar-core`'s batch prover (§5.2, Fig. 6).
+//!
+//! These used to live in `zaatar-core::parallel`, but the kernel layer
+//! in [`crate::plan`] needs them for intra-transform parallelism and
+//! `core` depends on `poly`, so the primitives live at the lower layer
+//! and `core::parallel` re-exports them unchanged.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One output cell, written by exactly one worker (the one that claimed
+/// its index) and read only after all workers have joined — the
+/// claim/join protocol in [`parallel_map`] is what makes the `Sync`
+/// assertion sound, with no per-item lock on the hot path.
+struct Slot<V>(UnsafeCell<Option<V>>);
+
+// SAFETY: each slot index is claimed by exactly one worker via
+// `fetch_add` on the shared cursor, so writes never alias; the scope
+// join orders every write before the single-threaded drain.
+unsafe impl<V: Send> Sync for Slot<V> {}
+
+/// Applies `f` to every item using up to `workers` threads (chunked
+/// work-stealing over a shared cursor), preserving output order.
+///
+/// # Panics
+///
+/// If `f` panics on any item, the first panic payload is re-raised on
+/// the calling thread once all workers have stopped; remaining items
+/// are abandoned, not half-processed into the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    // Chunked claiming amortizes the shared-cursor contention: each
+    // fetch_add hands a worker a run of consecutive indices, sized so
+    // every worker still gets several turns (load balance) without an
+    // atomic RMW per item.
+    let chunk = (n / (workers * 8)).max(1);
+    let inputs: Vec<Slot<T>> = items
+        .into_iter()
+        .map(|t| Slot(UnsafeCell::new(Some(t))))
+        .collect();
+    let outputs: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let next = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while !panicked.load(Ordering::Relaxed) {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        if panicked.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        // SAFETY: index i belongs to this worker's
+                        // claimed chunk; no other worker touches it.
+                        let item = unsafe { (*inputs[i].0.get()).take() }
+                            .expect("each index claimed once");
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(r) => unsafe { *outputs[i].0.get() = Some(r) },
+                            Err(payload) => {
+                                // Keep only the first payload; siblings
+                                // just stop at the next flag check.
+                                let mut guard =
+                                    first_panic.lock().expect("panic slot lock");
+                                if guard.is_none() {
+                                    *guard = Some(payload);
+                                }
+                                panicked.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(payload) = first_panic.into_inner().expect("workers joined") {
+        resume_unwind(payload);
+    }
+    outputs
+        .into_iter()
+        .map(|slot| slot.0.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+/// Splits `batch_size` instances across `workers` shards as evenly as
+/// possible (the per-machine subsets of §5.2).
+pub fn shard_batch(batch_size: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.max(1);
+    let base = batch_size / workers;
+    let extra = batch_size % workers;
+    let mut shards = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        shards.push(start..start + len);
+        start += len;
+    }
+    shards
+}

@@ -1,0 +1,256 @@
+//! Differential test harness for the polynomial kernel layer: every fast
+//! path is checked against a naive reference over seeded deterministic
+//! inputs, including adversarial shapes (leading zeros, all-zero tails,
+//! degrees exactly at power-of-two boundaries, constant polynomials).
+//!
+//! * `ntt`/`intt`/`coset_ntt`/`coset_intt` vs. an `O(n²)` Horner DFT,
+//!   sizes 1..=2^12;
+//! * `fast::inv_series` vs. schoolbook power-series long division;
+//! * `fast_div_rem`/`div_rem_fast` vs. schoolbook polynomial division,
+//!   across the naive/fast cutover.
+
+use zaatar::field::testutil::SplitMix64;
+use zaatar::field::{Field, PrimeField, F128, F61};
+use zaatar::poly::fast::{fast_div_rem, inv_series};
+use zaatar::poly::fft::{coset_intt, coset_ntt, fft_mul, intt, ntt};
+use zaatar::poly::DensePoly;
+
+// ---------------------------------------------------------------------
+// References
+// ---------------------------------------------------------------------
+
+/// `O(n²)` DFT: evaluate the coefficients at `shift·ωʲ` by Horner.
+fn naive_coset_dft<F: PrimeField>(coeffs: &[F], shift: F) -> Vec<F> {
+    let n = coeffs.len();
+    let root = F::root_of_unity_of_order(n.trailing_zeros()).expect("size fits 2-adicity");
+    (0..n)
+        .map(|j| {
+            let x = shift * root.pow(j as u64);
+            coeffs.iter().rev().fold(F::ZERO, |acc, c| acc * x + *c)
+        })
+        .collect()
+}
+
+fn naive_dft<F: PrimeField>(coeffs: &[F]) -> Vec<F> {
+    naive_coset_dft(coeffs, F::ONE)
+}
+
+/// Schoolbook power-series inversion: long division of `1` by `f`,
+/// term by term — `g[i] = (δ_{i,0} − Σ_{j=1..=i} f[j]·g[i−j]) / f[0]`.
+fn schoolbook_inv_series<F: PrimeField>(f: &DensePoly<F>, precision: usize) -> Vec<F> {
+    let f0_inv = f.coeff(0).inverse().expect("unit constant term");
+    let mut g: Vec<F> = Vec::with_capacity(precision);
+    for i in 0..precision {
+        let mut acc = if i == 0 { F::ONE } else { F::ZERO };
+        for j in 1..=i {
+            acc -= f.coeff(j) * g[i - j];
+        }
+        g.push(acc * f0_inv);
+    }
+    g
+}
+
+// ---------------------------------------------------------------------
+// Input shapes
+// ---------------------------------------------------------------------
+
+/// Deterministic test vectors of length `n`, one per adversarial shape.
+fn shapes<F: Field>(g: &mut SplitMix64, n: usize) -> Vec<(&'static str, Vec<F>)> {
+    let mut out: Vec<(&'static str, Vec<F>)> = Vec::new();
+    out.push(("random", g.field_vec(n)));
+    out.push(("all-zero", vec![F::ZERO; n]));
+    // "Leading zeros": high-order coefficients are zero.
+    let mut v = g.field_vec::<F>(n);
+    for slot in v.iter_mut().skip(n - n / 2) {
+        *slot = F::ZERO;
+    }
+    out.push(("leading-zeros", v));
+    // All-zero tail at the low end (polynomial divisible by tᵏ).
+    let mut v = g.field_vec::<F>(n);
+    for slot in v.iter_mut().take(n / 2) {
+        *slot = F::ZERO;
+    }
+    out.push(("zero-tail", v));
+    // Constant polynomial padded to length n.
+    let mut v = vec![F::ZERO; n];
+    v[0] = g.field();
+    out.push(("constant", v));
+    // Single top coefficient: degree exactly n−1 (the power-of-two
+    // boundary when n is a power of two).
+    let mut v = vec![F::ZERO; n];
+    v[n - 1] = g.field();
+    out.push(("monomial-top", v));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Transforms vs. the naive DFT
+// ---------------------------------------------------------------------
+
+fn check_transforms_at_size<F: PrimeField>(g: &mut SplitMix64, n: usize) {
+    let shift = F::multiplicative_generator();
+    for (shape, coeffs) in shapes::<F>(g, n) {
+        let mut a = coeffs.clone();
+        ntt(&mut a);
+        assert_eq!(a, naive_dft(&coeffs), "ntt n={n} shape={shape}");
+        intt(&mut a);
+        assert_eq!(a, coeffs, "intt n={n} shape={shape}");
+
+        let mut c = coeffs.clone();
+        coset_ntt(&mut c, shift);
+        assert_eq!(
+            c,
+            naive_coset_dft(&coeffs, shift),
+            "coset_ntt n={n} shape={shape}"
+        );
+        coset_intt(&mut c, shift);
+        assert_eq!(c, coeffs, "coset_intt n={n} shape={shape}");
+    }
+}
+
+/// Every power-of-two size 1..=2^8, every shape, against the full O(n²)
+/// reference.
+#[test]
+fn transforms_match_naive_dft_small_sizes() {
+    let mut g = SplitMix64::new(0x5EED_0001);
+    for log_n in 0..=8u32 {
+        check_transforms_at_size::<F61>(&mut g, 1 << log_n);
+    }
+}
+
+/// The large end of the required range (2^9..=2^12): one O(n²) reference
+/// check per size — still exact, just fewer shapes so the quadratic
+/// reference stays affordable under the dev profile.
+#[test]
+fn transforms_match_naive_dft_large_sizes() {
+    let mut g = SplitMix64::new(0x5EED_0002);
+    for log_n in 9..=12u32 {
+        let n = 1usize << log_n;
+        let coeffs = g.field_vec::<F61>(n);
+        let mut a = coeffs.clone();
+        ntt(&mut a);
+        assert_eq!(a, naive_dft(&coeffs), "ntt n={n}");
+        intt(&mut a);
+        assert_eq!(a, coeffs, "intt n={n}");
+        let shift = F61::multiplicative_generator();
+        let mut c = coeffs.clone();
+        coset_ntt(&mut c, shift);
+        coset_intt(&mut c, shift);
+        assert_eq!(c, coeffs, "coset round trip n={n}");
+    }
+}
+
+/// The multi-limb Montgomery field takes the same kernel paths.
+#[test]
+fn transforms_match_naive_dft_wide_field() {
+    let mut g = SplitMix64::new(0x5EED_0003);
+    for log_n in [0u32, 1, 4, 6, 9] {
+        check_transforms_at_size::<F128>(&mut g, 1 << log_n);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Series inversion and fast division vs. schoolbook
+// ---------------------------------------------------------------------
+
+/// `inv_series` against term-by-term long division, across precisions
+/// spanning the power-of-two boundaries and adversarial input shapes.
+#[test]
+fn inv_series_matches_schoolbook() {
+    let mut g = SplitMix64::new(0x5EED_0004);
+    for len in [1usize, 2, 3, 7, 16, 33, 63, 64, 65, 200] {
+        let mut coeffs = g.field_vec::<F61>(len);
+        if coeffs[0].is_zero() {
+            coeffs[0] = F61::ONE;
+        }
+        // Adversarial variant: zero out everything but the constant and
+        // top term (sparse input, long zero runs inside).
+        let mut sparse = vec![F61::ZERO; len];
+        sparse[0] = coeffs[0];
+        sparse[len - 1] = g.field();
+        for poly_coeffs in [coeffs, sparse] {
+            let f = DensePoly::from_coeffs(poly_coeffs);
+            for precision in [1usize, 2, 5, 31, 32, 33, 100] {
+                let fast = inv_series(&f, precision);
+                let slow = schoolbook_inv_series(&f, precision);
+                let fast_padded: Vec<F61> =
+                    (0..precision).map(|i| fast.coeff(i)).collect();
+                assert_eq!(
+                    fast_padded, slow,
+                    "inv_series len={len} precision={precision}"
+                );
+            }
+        }
+    }
+}
+
+/// `fast_div_rem` and the cutover wrapper `div_rem_fast` against
+/// schoolbook division, with degrees straddling the power-of-two and
+/// naive-cutoff boundaries and adversarial shapes.
+#[test]
+fn fast_division_matches_schoolbook() {
+    let mut g = SplitMix64::new(0x5EED_0005);
+    // (dividend length, divisor length) pairs: around the internal
+    // NAIVE_CUTOFF = 64, power-of-two boundaries, degenerate sizes.
+    let sizes = [
+        (1usize, 1usize),
+        (5, 2),
+        (8, 8),
+        (63, 31),
+        (64, 32),
+        (65, 33),
+        (128, 64),
+        (129, 65),
+        (200, 70),
+        (256, 1),
+        (40, 90), // deg a < deg b → zero quotient
+    ];
+    for (la, lb) in sizes {
+        let mut a_coeffs = g.field_vec::<F61>(la);
+        let mut b_coeffs = g.field_vec::<F61>(lb);
+        // Ensure the divisor's top coefficient is nonzero so the
+        // nominal degree is exact.
+        if b_coeffs[lb - 1].is_zero() {
+            b_coeffs[lb - 1] = F61::ONE;
+        }
+        // Adversarial: zero the top half of the dividend (leading
+        // zeros get trimmed — degree drops below the nominal length).
+        if la > 4 {
+            for slot in a_coeffs.iter_mut().skip(la - la / 4) {
+                *slot = F61::ZERO;
+            }
+        }
+        let a = DensePoly::from_coeffs(a_coeffs);
+        let b = DensePoly::from_coeffs(b_coeffs);
+        let (qn, rn) = a.div_rem(&b);
+        let (qf, rf) = fast_div_rem(&a, &b);
+        assert_eq!(qf, qn, "fast_div_rem quotient la={la} lb={lb}");
+        assert_eq!(rf, rn, "fast_div_rem remainder la={la} lb={lb}");
+        let (qc, rc) = a.div_rem_fast(&b);
+        assert_eq!(qc, qn, "div_rem_fast quotient la={la} lb={lb}");
+        assert_eq!(rc, rn, "div_rem_fast remainder la={la} lb={lb}");
+        // The defining identity, independently of the references.
+        let back = &(&qf * &b) + &rf;
+        assert_eq!(back, a, "q·b + r identity la={la} lb={lb}");
+    }
+}
+
+/// `fft_mul` against schoolbook convolution for shapes whose true degree
+/// sits far below the transform size.
+#[test]
+fn fft_mul_matches_schoolbook_adversarial() {
+    let mut g = SplitMix64::new(0x5EED_0006);
+    for (la, lb) in [(1usize, 1usize), (2, 3), (33, 31), (64, 64), (100, 3)] {
+        for (shape_a, a) in shapes::<F61>(&mut g, la) {
+            let b = g.field_vec::<F61>(lb);
+            let fast = fft_mul(&a, &b);
+            let mut slow = vec![F61::ZERO; la + lb - 1];
+            for (i, x) in a.iter().enumerate() {
+                for (j, y) in b.iter().enumerate() {
+                    slow[i + j] += *x * *y;
+                }
+            }
+            assert_eq!(fast, slow, "fft_mul la={la} lb={lb} shape={shape_a}");
+        }
+    }
+}

@@ -173,3 +173,31 @@ fn zero_proof_rejected_for_nontrivial_io() {
     let r = rejection_rate(&pcp, &proof, &io, 40);
     assert!(r >= 39, "only {r}/40 rejected the all-zero proof");
 }
+
+#[test]
+fn nonzero_remainder_quotient_rejected() {
+    // Regression guard for the quotient kernel (PR 3): when P_w is not
+    // divisible by D — the witness fails at least one constraint — the
+    // prover-side divisibility check must refuse to produce h, and a
+    // cheating prover that ships the unchecked quotient anyway must be
+    // rejected by the verifier. Kernel rewrites (coset transforms,
+    // radix-4 NTTs) must never silently weaken either side.
+    let (pcp, w, io) = fixture([11, 6]);
+    // Sanity: the honest witness passes the divisibility check.
+    assert!(pcp.qap().compute_h(&w).is_some(), "honest witness divides");
+    for idx in 0..w.z.len().min(4) {
+        let mut bad = w.clone();
+        bad.z[idx] += f(5);
+        assert!(
+            pcp.qap().compute_h(&bad).is_none(),
+            "non-divisible P_w (z[{idx}] corrupted) must fail compute_h"
+        );
+        // The cheater ships the remainder-truncated quotient anyway.
+        let proof = pcp.prove_unchecked(&bad);
+        let r = rejection_rate(&pcp, &proof, &io, 40);
+        assert!(
+            r >= 39,
+            "nonzero-remainder h via z[{idx}]: only {r}/40 rejected"
+        );
+    }
+}

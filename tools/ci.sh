@@ -6,7 +6,10 @@
 # 1. release build of the whole workspace;
 # 2. the complete test suite (unit, property, integration, and the
 #    1000+-scenario fault-injection sweep);
-# 3. clippy over every target (libs, tests, benches, examples) with
+# 3. the same suite again under the release profile — the differential
+#    polynomial harness must agree with the naive references with
+#    optimizations on, not just under the checked dev profile;
+# 4. clippy over every target (libs, tests, benches, examples) with
 #    warnings promoted to errors.
 #
 # CI and pre-commit hooks should run exactly this script; anything it
@@ -20,9 +23,14 @@ cargo build --release --workspace --locked
 echo "==> cargo test"
 cargo test -q --workspace --locked
 
+echo "==> cargo test --release"
+cargo test -q --workspace --locked --release
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --locked -- -D warnings
 
+# The validator enforces the full v2 schema, including the `ntt`
+# section (per-size timings, twiddle-cache hit/miss counters).
 echo "==> bench smoke (baseline emit + schema validation)"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
     --smoke --out target/bench_smoke.json
