@@ -13,18 +13,27 @@
 //!
 //! `--smoke` shrinks the workload to seconds for CI; `--validate`
 //! parses an existing baseline with [`zaatar_obs::json`] and checks the
-//! `zaatar-bench-baseline/v2` schema, exiting non-zero on any mismatch.
+//! `zaatar-bench-baseline/v3` schema, exiting non-zero on any mismatch.
 //! All timings are honest measurements on the current host; the
 //! `host.parallelism` field records how many cores produced them.
 //!
 //! Schema v2 (PR 3) adds an `ntt` section: cold (first-use, includes the
 //! twiddle-table build) vs. warm per-size transform timings from the
 //! kernel layer's plan cache, plus the cache hit/miss counters.
+//!
+//! Schema v3 (PR 4) adds a `pcp` section: the verifier's batch-amortized
+//! query setup cost (query generation + consistency queries, once per
+//! batch) divided across batch sizes β ∈ {1, 4, 16}, plus the batched
+//! answer kernel's per-instance cost and the `pcp.batch.query_reuse` /
+//! `commit.fixed_base_hit` counters. The validator enforces that the
+//! per-instance setup cost strictly decreases with β — the §2.2
+//! amortization claim, measured.
 
 use std::time::{Duration, Instant};
 
 use zaatar_cc::{ginger_to_quad, Builder};
-use zaatar_core::pcp::{PcpParams, ZaatarPcp};
+use zaatar_core::commit::CommitmentKey;
+use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
 use zaatar_core::qap::{Qap, QapWitness};
 use zaatar_core::runtime::{prove_batch, run_session_prover, run_session_verifier};
 use zaatar_crypto::ChaChaPrg;
@@ -33,7 +42,11 @@ use zaatar_obs::json::{self, Value};
 use zaatar_transport::{loopback_transport_pair, RetryPolicy};
 
 /// Schema identifier written into (and required from) every baseline.
-const SCHEMA: &str = "zaatar-bench-baseline/v2";
+const SCHEMA: &str = "zaatar-bench-baseline/v3";
+
+/// Batch sizes for the `pcp` amortization section. The endpoints (1 and
+/// 16) anchor the validator's strict-decrease check.
+const PCP_BATCH_SIZES: [usize; 3] = [1, 4, 16];
 
 /// Phase timers the baseline must carry (ISSUE acceptance list: QAP
 /// build, H(t), prove, answer, check, commit, session round-trip).
@@ -178,6 +191,71 @@ fn bench_ntt(smoke: bool) -> (Vec<NttSample>, u64) {
     (samples, reps)
 }
 
+/// One row of the `pcp` section: the verifier's once-per-batch query
+/// setup (PCP query generation + both consistency queries) spread over
+/// `batch` instances, plus the batched answer kernel's per-instance
+/// cost off the same packed query set.
+struct PcpBatchSample {
+    batch: usize,
+    setup_ns: u64,
+    per_instance_setup_ns: u64,
+    answer_ns_per_instance: u64,
+}
+
+/// Measures batch amortization of verifier query setup. The setup work
+/// is identical for every β (that is the point — §2.2 amortizes one
+/// generation over the whole batch), so the per-instance cost falls as
+/// `1/β`; medians over `reps` runs keep the measurement noise well
+/// below the 4× jumps between batch sizes.
+fn bench_pcp_amortization(
+    pcp: &ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>,
+    proofs: &[ZaatarProof<F61>],
+    smoke: bool,
+) -> Vec<PcpBatchSample> {
+    let reps: usize = if smoke { 3 } else { 5 };
+    let n_z = pcp.qap().var_map().num_unbound();
+    let n_h = pcp.qap().degree() + 1;
+    // Commitment keys are generated once per batch too, but their cost
+    // is dominated by ElGamal encryption and already reported under
+    // `commit.keygen`; the `pcp` section isolates the query pipeline.
+    let mut prg = ChaChaPrg::from_u64_seed(0xA11C);
+    let key_z = CommitmentKey::<F61>::generate(n_z, &mut prg);
+    let key_h = CommitmentKey::<F61>::generate(n_h, &mut prg);
+    PCP_BATCH_SIZES
+        .iter()
+        .map(|&beta| {
+            let mut setups: Vec<u64> = (0..reps)
+                .map(|r| {
+                    let mut prg = ChaChaPrg::from_u64_seed(0xBEE5 + r as u64);
+                    let start = Instant::now();
+                    let batch = pcp.generate_batch_queries(&mut prg);
+                    let _tz = key_z.consistency_query(&batch.queries().z_queries(), &mut prg);
+                    let _th = key_h.consistency_query(&batch.queries().h_queries(), &mut prg);
+                    start.elapsed().as_nanos() as u64
+                })
+                .collect();
+            setups.sort_unstable();
+            let setup_ns = setups[reps / 2].max(1);
+            // Answer β instances off ONE packed generation.
+            let mut prg = ChaChaPrg::from_u64_seed(0xBEE5);
+            let batch = pcp.generate_batch_queries(&mut prg);
+            let start = Instant::now();
+            for i in 0..beta {
+                let responses = batch.answer(&proofs[i % proofs.len()], 1);
+                assert!(!responses.z_answers.is_empty());
+            }
+            let answer_ns_per_instance =
+                (start.elapsed().as_nanos() as u64 / beta as u64).max(1);
+            PcpBatchSample {
+                batch: beta,
+                setup_ns,
+                per_instance_setup_ns: (setup_ns / beta as u64).max(1),
+                answer_ns_per_instance,
+            }
+        })
+        .collect()
+}
+
 /// Runs the measured workload and renders the baseline document.
 fn run_baseline(smoke: bool) -> String {
     let (chain, batch, workers) = if smoke { (8, 4, 2) } else { (160, 16, 8) };
@@ -215,6 +293,15 @@ fn run_baseline(smoke: bool) -> String {
         .expect("verifier session");
     assert!(report.all_accepted(), "baseline batch must verify");
     server.join().expect("prover thread");
+
+    // Batch-amortization measurement for the query pipeline (also
+    // populates the query-reuse and fixed-base counters the validator
+    // requires).
+    let pcp_proofs: Vec<ZaatarProof<F61>> = serial
+        .iter()
+        .map(|o| o.clone().expect("honest witnesses"))
+        .collect();
+    let pcp_samples = bench_pcp_amortization(&pcp, &pcp_proofs, smoke);
 
     let snap = zaatar_obs::snapshot();
     for phase in REQUIRED_PHASES {
@@ -274,6 +361,39 @@ fn run_baseline(smoke: bool) -> String {
         ));
     }
     s.push_str("  ]},\n");
+    let query_reuse = snap
+        .counters
+        .get("pcp.batch.query_reuse")
+        .copied()
+        .unwrap_or(0);
+    let fixed_base_hit = snap
+        .counters
+        .get("commit.fixed_base_hit")
+        .copied()
+        .unwrap_or(0);
+    let fixed_base_miss = snap
+        .counters
+        .get("commit.fixed_base_miss")
+        .copied()
+        .unwrap_or(0);
+    let params = pcp.params();
+    s.push_str(&format!(
+        "  \"pcp\": {{\"rho\": {}, \"rho_lin\": {}, \"total_queries\": {}, \"query_reuse\": {query_reuse}, \"fixed_base_hit\": {fixed_base_hit}, \"fixed_base_miss\": {fixed_base_miss}, \"batches\": [\n",
+        params.rho,
+        params.rho_lin,
+        params.total_queries(),
+    ));
+    for (i, smp) in pcp_samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"batch\": {}, \"setup_ns\": {}, \"per_instance_setup_ns\": {}, \"answer_ns_per_instance\": {}}}{}\n",
+            smp.batch,
+            smp.setup_ns,
+            smp.per_instance_setup_ns,
+            smp.answer_ns_per_instance,
+            if i + 1 < pcp_samples.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]},\n");
     // The registry's full snapshot (all timers + counters), for
     // drill-down beyond the required phases.
     s.push_str(&format!("  \"metrics\": {}\n", snap.to_json()));
@@ -281,8 +401,8 @@ fn run_baseline(smoke: bool) -> String {
     s
 }
 
-/// Checks that `path` holds a structurally valid `zaatar-bench-baseline/v1`
-/// document. Every failure names the offending field.
+/// Checks that `path` holds a structurally valid baseline document for
+/// the current [`SCHEMA`]. Every failure names the offending field.
 fn validate_baseline(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("parse: {e}"))?;
@@ -370,6 +490,58 @@ fn validate_baseline(path: &str) -> Result<(), String> {
                 _ => return Err(format!("ntt.sizes[{i}].{field} must be an integer >= 1")),
             }
         }
+    }
+
+    let pcp = root
+        .get("pcp")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"pcp\"")?;
+    for field in ["rho", "rho_lin", "total_queries", "query_reuse", "fixed_base_hit"] {
+        match pcp.get(field).and_then(Value::as_u64) {
+            Some(v) if v >= 1 => {}
+            _ => return Err(format!("pcp.{field} must be an integer >= 1")),
+        }
+    }
+    let batches = pcp
+        .get("batches")
+        .and_then(Value::as_array)
+        .ok_or("missing array \"pcp.batches\"")?;
+    if batches.len() < 2 {
+        return Err("pcp.batches needs at least two batch sizes".into());
+    }
+    let mut prev: Option<(u64, u64)> = None; // (batch, per_instance_setup_ns)
+    for (i, entry) in batches.iter().enumerate() {
+        let e = entry
+            .as_object()
+            .ok_or_else(|| format!("pcp.batches[{i}] is not an object"))?;
+        for field in ["batch", "setup_ns", "per_instance_setup_ns", "answer_ns_per_instance"] {
+            match e.get(field).and_then(Value::as_u64) {
+                Some(v) if v >= 1 => {}
+                _ => return Err(format!("pcp.batches[{i}].{field} must be an integer >= 1")),
+            }
+        }
+        let batch = e["batch"].as_u64().expect("checked above");
+        let per_instance = e["per_instance_setup_ns"].as_u64().expect("checked above");
+        if let Some((pb, pc)) = prev {
+            if batch <= pb {
+                return Err(format!("pcp.batches[{i}].batch {batch} not > previous {pb}"));
+            }
+            if per_instance >= pc {
+                return Err(format!(
+                    "pcp.batches[{i}].per_instance_setup_ns {per_instance} not < previous {pc} — \
+                     amortization must strictly reduce per-instance query cost"
+                ));
+            }
+        }
+        prev = Some((batch, per_instance));
+    }
+    let first = batches[0].as_object().expect("checked above");
+    let last = batches[batches.len() - 1].as_object().expect("checked above");
+    if first["batch"].as_u64() != Some(1) {
+        return Err("pcp.batches must start at batch size 1".into());
+    }
+    if last["batch"].as_u64() < Some(16) {
+        return Err("pcp.batches must reach batch size 16".into());
     }
 
     let metrics = root

@@ -22,9 +22,10 @@ use zaatar_crypto::{ChaChaPrg, Ciphertext, HasGroup};
 use zaatar_field::PrimeField;
 use zaatar_poly::domain::EvalDomain;
 
-use crate::commit::{decommit, CommitmentKey, Decommitment};
+use crate::commit::{decommit, decommit_packed, CommitmentKey, Decommitment};
 use crate::ginger::{GingerPcp, GingerProof, GingerResponses};
-use crate::pcp::{PcpParams, PcpResponses, QuerySet, ZaatarPcp, ZaatarProof};
+use crate::matvec::QueryMatrix;
+use crate::pcp::{BatchQuerySet, PcpParams, PcpResponses, QuerySet, ZaatarPcp, ZaatarProof};
 use crate::qap::QapWitness;
 
 /// Argument-level parameters.
@@ -77,7 +78,7 @@ pub struct Verifier<'p, F: HasGroup, D> {
     pcp: &'p ZaatarPcp<F, D>,
     key_z: CommitmentKey<F>,
     key_h: CommitmentKey<F>,
-    queries: QuerySet<F>,
+    batch: BatchQuerySet<F>,
     t_z: Vec<F>,
     t_h: Vec<F>,
     alphas_z: Vec<F>,
@@ -86,12 +87,18 @@ pub struct Verifier<'p, F: HasGroup, D> {
     pub timings: VerifierTimings,
 }
 
-/// What the verifier sends for decommitment (step 3).
+/// What the verifier sends for decommitment (step 3). The packed
+/// matrices carry the same queries as the slice views; the prover
+/// answers off the matrices with the blocked kernel.
 pub struct DecommitRequest<'v, F> {
     /// The PCP queries for the z-oracle, canonical order.
     pub z_queries: Vec<&'v [F]>,
     /// The PCP queries for the h-oracle, canonical order.
     pub h_queries: Vec<&'v [F]>,
+    /// The z-oracle queries packed for the blocked answer kernel.
+    pub z_matrix: &'v QueryMatrix<F>,
+    /// The h-oracle queries packed for the blocked answer kernel.
+    pub h_matrix: &'v QueryMatrix<F>,
     /// Consistency query for the z-oracle.
     pub t_z: &'v [F],
     /// Consistency query for the h-oracle.
@@ -108,13 +115,13 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Verifier<'p, F, D> {
         let key_h = CommitmentKey::generate(n_h, prg);
         let key_setup = start.elapsed();
         let start = Instant::now();
-        let queries = pcp.generate_queries(prg);
+        let batch = pcp.generate_batch_queries(prg);
         let (t_z, alphas_z) = {
-            let zq = queries.z_queries();
+            let zq = batch.queries().z_queries();
             key_z.consistency_query(&zq, prg)
         };
         let (t_h, alphas_h) = {
-            let hq = queries.h_queries();
+            let hq = batch.queries().h_queries();
             key_h.consistency_query(&hq, prg)
         };
         let query_setup = start.elapsed();
@@ -122,7 +129,7 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Verifier<'p, F, D> {
             pcp,
             key_z,
             key_h,
-            queries,
+            batch,
             t_z,
             t_h,
             alphas_z,
@@ -143,8 +150,10 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Verifier<'p, F, D> {
     /// Step 3's payload: queries plus consistency queries.
     pub fn decommit_request(&self) -> DecommitRequest<'_, F> {
         DecommitRequest {
-            z_queries: self.queries.z_queries(),
-            h_queries: self.queries.h_queries(),
+            z_queries: self.batch.queries().z_queries(),
+            h_queries: self.batch.queries().h_queries(),
+            z_matrix: self.batch.z_matrix(),
+            h_matrix: self.batch.h_matrix(),
             t_z: &self.t_z,
             t_h: &self.t_h,
         }
@@ -152,7 +161,12 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Verifier<'p, F, D> {
 
     /// The underlying query set.
     pub fn queries(&self) -> &QuerySet<F> {
-        &self.queries
+        self.batch.queries()
+    }
+
+    /// The batch-amortized (packed) query set.
+    pub fn batch_queries(&self) -> &BatchQuerySet<F> {
+        &self.batch
     }
 
     /// Step 5: checks one instance. `io` is inputs then outputs in QAP
@@ -181,7 +195,7 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Verifier<'p, F, D> {
                 z_answers: decommit_z.answers.clone(),
                 h_answers: decommit_h.answers.clone(),
             };
-            self.pcp.check(&self.queries, &responses, io)
+            self.pcp.check(self.batch.queries(), &responses, io)
         };
         self.timings.check += start.elapsed();
         ok
@@ -236,15 +250,17 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Prover<'p, F, D> {
     }
 
     /// Step 4: answers all queries for one instance (timed as "answer
-    /// queries").
+    /// queries") through the blocked matrix–vector kernel — one pass
+    /// over each oracle's proof vector serves the whole query set.
     pub fn respond(
         &mut self,
         proof: &ZaatarProof<F>,
         request: &DecommitRequest<'_, F>,
     ) -> (Decommitment<F>, Decommitment<F>) {
         let start = Instant::now();
-        let dz = decommit(&proof.z, &request.z_queries, request.t_z);
-        let dh = decommit(&proof.h, &request.h_queries, request.t_h);
+        zaatar_obs::counter("pcp.batch.query_reuse").inc();
+        let dz = decommit_packed(&proof.z, request.z_matrix, request.t_z, 1);
+        let dh = decommit_packed(&proof.h, request.h_matrix, request.t_h, 1);
         self.timings.answer_queries += start.elapsed();
         (dz, dh)
     }

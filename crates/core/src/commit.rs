@@ -19,6 +19,8 @@
 use zaatar_crypto::{ChaChaPrg, Ciphertext, ElGamal, HasGroup, KeyPair};
 use zaatar_field::Field;
 
+use crate::matvec::QueryMatrix;
+
 /// The verifier's commitment key for one linear oracle of a fixed
 /// length: the ElGamal keypair, the secret vector `r`, and the
 /// encrypted vector to ship to the prover.
@@ -109,12 +111,31 @@ pub struct Decommitment<F> {
 }
 
 /// **Prover side**: answers PCP queries and the consistency query for
-/// proof vector `u`.
+/// proof vector `u` — the serial reference path (one dense dot product
+/// per query). Production callers decommit through
+/// [`decommit_packed`]'s blocked kernel.
 pub fn decommit<F: Field>(u: &[F], queries: &[&[F]], t: &[F]) -> Decommitment<F> {
     let dot = |q: &[F]| -> F { q.iter().zip(u.iter()).map(|(a, b)| *a * *b).sum() };
     Decommitment {
         answers: queries.iter().map(|q| dot(q)).collect(),
         t_answer: dot(t),
+    }
+}
+
+/// **Prover side**: [`decommit`] over a pre-packed [`QueryMatrix`] — one
+/// blocked pass over `u` answers every query, sharded across up to
+/// `workers` threads. Output is identical to [`decommit`] on the same
+/// queries (exact field arithmetic commutes with re-association).
+pub fn decommit_packed<F: Field>(
+    u: &[F],
+    queries: &QueryMatrix<F>,
+    t: &[F],
+    workers: usize,
+) -> Decommitment<F> {
+    let _span = zaatar_obs::time("pcp.answer.matvec");
+    Decommitment {
+        answers: queries.matvec(u, workers),
+        t_answer: t.iter().zip(u.iter()).map(|(a, b)| *a * *b).sum(),
     }
 }
 
@@ -186,6 +207,22 @@ mod tests {
         let d = decommit(&u, &qrefs, &t);
         assert!(key.verify(&commitment, &d.answers, d.t_answer, &alphas));
         assert!(d.answers.iter().all(|a| a.is_zero()));
+    }
+
+    #[test]
+    fn packed_decommit_matches_serial_and_verifies() {
+        let (key, u, queries, mut prg) = setup(9, 6, 7);
+        let commitment = CommitmentKey::commit(&key.enc_r, &u);
+        let qrefs: Vec<&[F61]> = queries.iter().map(|q| q.as_slice()).collect();
+        let (t, alphas) = key.consistency_query(&qrefs, &mut prg);
+        let matrix = QueryMatrix::pack(&qrefs);
+        let serial = decommit(&u, &qrefs, &t);
+        for workers in [1usize, 4] {
+            let packed = decommit_packed(&u, &matrix, &t, workers);
+            assert_eq!(packed.answers, serial.answers, "workers={workers}");
+            assert_eq!(packed.t_answer, serial.t_answer);
+            assert!(key.verify(&commitment, &packed.answers, packed.t_answer, &alphas));
+        }
     }
 
     #[test]

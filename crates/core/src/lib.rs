@@ -30,6 +30,7 @@ pub mod argument;
 pub mod commit;
 pub mod cost;
 pub mod ginger;
+pub mod matvec;
 pub mod network;
 pub mod parallel;
 pub mod pcp;
@@ -46,11 +47,12 @@ pub use argument::{
 pub use commit::{CommitmentKey, Decommitment};
 pub use cost::{measure_micro_params, ComputationSpec, CostModel, MicroParams, ProtocolParams};
 pub use ginger::{GingerPcp, GingerProof};
-pub use pcp::{PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
+pub use matvec::QueryMatrix;
+pub use pcp::{BatchQuerySet, PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
 pub use network::{queries_from_seed, zaatar_network_costs, NetworkCosts};
 pub use qap::{Qap, QapEvals, QapWitness};
 pub use runtime::{
-    prove_batch, run_session_prover, run_session_verifier, ProverStats, SessionReport,
-    VerifyOutcome,
+    answer_batch, prove_batch, run_session_prover, run_session_verifier, ProverStats,
+    SessionReport, VerifyOutcome,
 };
 pub use session::{SessionError, SessionProver, SessionVerifier};

@@ -1,0 +1,183 @@
+//! Blocked matrix–vector kernel over query matrices.
+//!
+//! The prover's query-answering phase is a dense matrix–vector product:
+//! every one of the `ρ·(3ρ_lin+3)` z-oracle queries (and the h-oracle's
+//! `ρ·(3ρ_lin+1)`) is a length-`|Z|` (resp. `|C|+1`) dot product against
+//! the same proof vector. Answering them one `dot()` at a time re-reads
+//! the proof vector once per query and the scattered per-query `Vec`s
+//! defeat the cache entirely. [`QueryMatrix`] packs the queries into one
+//! contiguous row-major allocation so a single blocked pass over the
+//! proof vector answers every query: for each column block, the block of
+//! `v` stays resident while every row consumes it.
+//!
+//! Rows are sharded across workers with
+//! [`parallel_map`](crate::parallel::parallel_map); field addition is
+//! exact modular arithmetic, so re-associating the per-block partial sums
+//! cannot change any answer — batched results are bit-identical to the
+//! serial per-query path (locked down by `tests/batch_differential.rs`).
+
+use zaatar_field::Field;
+
+use crate::parallel::{parallel_map, shard_batch};
+
+/// Column-block width of the kernel. 256 elements of an 8-byte limb
+/// field is a 2 KiB stripe of `v` — comfortably L1-resident alongside
+/// the row stripes streaming past it.
+const BLOCK: usize = 256;
+
+/// A set of equal-length queries packed into one contiguous row-major
+/// matrix (one query per row).
+#[derive(Clone, Debug)]
+pub struct QueryMatrix<F> {
+    data: Vec<F>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<F: Field> QueryMatrix<F> {
+    /// Packs `rows` (all of length `cols`) into a contiguous matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the first row's.
+    pub fn pack(rows: &[&[F]]) -> Self {
+        let cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "query rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        QueryMatrix {
+            data,
+            rows: rows.len(),
+            cols,
+        }
+    }
+
+    /// Number of queries (rows).
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Query length (columns).
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True if the matrix holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// One packed row.
+    pub fn row(&self, r: usize) -> &[F] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The blocked matrix–vector product `M·v`: answers every query in
+    /// one pass over `v`, sharding rows across up to `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the query length.
+    pub fn matvec(&self, v: &[F], workers: usize) -> Vec<F> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        if self.rows == 0 {
+            return Vec::new();
+        }
+        let shards: Vec<std::ops::Range<usize>> = shard_batch(self.rows, workers.max(1))
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .collect();
+        let parts = parallel_map(shards, workers, |rows| self.matvec_rows(v, rows));
+        let mut out = Vec::with_capacity(self.rows);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// The kernel proper, for one shard of rows: column-blocked so each
+    /// stripe of `v` is loaded once and consumed by every row in the
+    /// shard before moving on.
+    fn matvec_rows(&self, v: &[F], rows: std::ops::Range<usize>) -> Vec<F> {
+        let mut acc = vec![F::ZERO; rows.len()];
+        let mut col = 0;
+        while col < self.cols {
+            let end = (col + BLOCK).min(self.cols);
+            let vb = &v[col..end];
+            for (slot, r) in acc.iter_mut().zip(rows.clone()) {
+                let row = &self.data[r * self.cols + col..r * self.cols + end];
+                let mut s = F::ZERO;
+                for (a, b) in row.iter().zip(vb.iter()) {
+                    s += *a * *b;
+                }
+                *slot += s;
+            }
+            col = end;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::testutil::SplitMix64;
+    use zaatar_field::F61;
+
+    fn dot(a: &[F61], b: &[F61]) -> F61 {
+        a.iter().zip(b.iter()).map(|(x, y)| *x * *y).sum()
+    }
+
+    #[test]
+    fn matvec_matches_per_row_dot() {
+        let mut gen = SplitMix64::new(0xbeef);
+        for (rows, cols) in [(1, 1), (3, 7), (17, 300), (64, 1030)] {
+            let queries: Vec<Vec<F61>> = (0..rows).map(|_| gen.field_vec(cols)).collect();
+            let refs: Vec<&[F61]> = queries.iter().map(|q| q.as_slice()).collect();
+            let m = QueryMatrix::pack(&refs);
+            let v: Vec<F61> = gen.field_vec(cols);
+            let expect: Vec<F61> = queries.iter().map(|q| dot(q, &v)).collect();
+            for workers in [1, 2, 8] {
+                assert_eq!(m.matvec(&v, workers), expect, "{rows}x{cols} w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_yields_no_answers() {
+        let m = QueryMatrix::<F61>::pack(&[]);
+        assert!(m.is_empty());
+        assert!(m.matvec(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let mut gen = SplitMix64::new(7);
+        let queries: Vec<Vec<F61>> = (0..5).map(|_| gen.field_vec(11)).collect();
+        let refs: Vec<&[F61]> = queries.iter().map(|q| q.as_slice()).collect();
+        let m = QueryMatrix::pack(&refs);
+        assert_eq!(m.num_rows(), 5);
+        assert_eq!(m.num_cols(), 11);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(m.row(i), q.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn wrong_vector_length_panics() {
+        let q = [F61::ONE; 4];
+        let m = QueryMatrix::pack(&[&q[..]]);
+        let _ = m.matvec(&[F61::ONE; 3], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_panic() {
+        let a = [F61::ONE; 4];
+        let b = [F61::ONE; 3];
+        let _ = QueryMatrix::pack(&[&a[..], &b[..]]);
+    }
+}

@@ -19,6 +19,7 @@ use zaatar_crypto::ChaChaPrg;
 use zaatar_field::{Field, PrimeField};
 use zaatar_poly::domain::EvalDomain;
 
+use crate::matvec::QueryMatrix;
 use crate::qap::{Qap, QapWitness};
 
 /// PCP repetition parameters (App. A.2).
@@ -39,7 +40,14 @@ impl Default for PcpParams {
 }
 
 impl PcpParams {
-    /// Reduced parameters for fast tests (higher soundness error).
+    /// Reduced parameters for fast tests: `ρ = 2`, `ρ_lin = 3`.
+    ///
+    /// These are **not** the Appendix A.2 production parameters — at
+    /// `ρ_lin = 3` the per-repetition error bound `κ` degrades to ≈ 0.5
+    /// (versus 0.177 at the paper's `ρ_lin = 20`), so the light
+    /// profile's PCP soundness error bound is only `κ² ≈ 0.25` per run.
+    /// Tests that rely on rejection therefore repeat over many seeds;
+    /// [`crate::soundness::light_profile_error`] computes the bound.
     pub fn light() -> Self {
         PcpParams { rho: 2, rho_lin: 3 }
     }
@@ -157,6 +165,69 @@ impl<F: Field> QuerySet<F> {
     }
 }
 
+/// A query set prepared for batch amortization: the queries of a
+/// [`QuerySet`] packed into contiguous [`QueryMatrix`] form, built once
+/// per batch and reused for every instance (§2.2's amortization model —
+/// the per-instance `τ` consistency data stays inside the wrapped
+/// [`QuerySet`], so [`ZaatarPcp::check`] works unchanged against batched
+/// answers).
+///
+/// Answering through [`BatchQuerySet::answer`] runs the blocked
+/// matrix–vector kernel: one pass over the proof vector serves all
+/// `ρ·(3ρ_lin+3)` z-queries (and all `ρ·(3ρ_lin+1)` h-queries), instead
+/// of one dense dot product per query. Answers are bit-identical to the
+/// serial [`ZaatarPcp::answer`] path (field addition is exact, so
+/// re-association cannot change a sum); `tests/batch_differential.rs`
+/// locks this down.
+#[derive(Clone, Debug)]
+pub struct BatchQuerySet<F> {
+    queries: QuerySet<F>,
+    z_matrix: QueryMatrix<F>,
+    h_matrix: QueryMatrix<F>,
+}
+
+impl<F: Field> BatchQuerySet<F> {
+    /// Packs a query set's queries into matrix form.
+    pub fn new(queries: QuerySet<F>) -> Self {
+        let z_matrix = QueryMatrix::pack(&queries.z_queries());
+        let h_matrix = QueryMatrix::pack(&queries.h_queries());
+        BatchQuerySet {
+            queries,
+            z_matrix,
+            h_matrix,
+        }
+    }
+
+    /// The wrapped query set (for [`ZaatarPcp::check`], consistency
+    /// queries, and wire encoding).
+    pub fn queries(&self) -> &QuerySet<F> {
+        &self.queries
+    }
+
+    /// The packed z-oracle queries, canonical order.
+    pub fn z_matrix(&self) -> &QueryMatrix<F> {
+        &self.z_matrix
+    }
+
+    /// The packed h-oracle queries, canonical order.
+    pub fn h_matrix(&self) -> &QueryMatrix<F> {
+        &self.h_matrix
+    }
+
+    /// Answers every query for one instance via the blocked kernel,
+    /// sharding query rows across up to `workers` threads. Each call
+    /// reuses the batch's packed queries; `pcp.batch.query_reuse` counts
+    /// the reuses and `pcp.answer.matvec` times the kernel.
+    pub fn answer(&self, proof: &ZaatarProof<F>, workers: usize) -> PcpResponses<F> {
+        let _span = zaatar_obs::time("pcp.answer.matvec");
+        zaatar_obs::counter("pcp.batch.query_reuse").inc();
+        PcpResponses {
+            z_answers: self.z_matrix.matvec(&proof.z, workers),
+            h_answers: self.h_matrix.matvec(&proof.h, workers),
+        }
+    }
+}
+
 /// The prover's answers, in the same canonical order as
 /// [`QuerySet::z_queries`] / [`QuerySet::h_queries`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -262,8 +333,18 @@ impl<F: PrimeField, D: EvalDomain<F>> ZaatarPcp<F, D> {
         QuerySet { reps }
     }
 
-    /// The prover's response computation (issuing `ℓ'` inner products
-    /// against the proof vector).
+    /// Packs a freshly generated query set for batch amortization
+    /// (generate once per batch, answer every instance off it).
+    pub fn generate_batch_queries(&self, prg: &mut ChaChaPrg) -> BatchQuerySet<F> {
+        BatchQuerySet::new(self.generate_queries(prg))
+    }
+
+    /// The prover's response computation: the **serial reference path**,
+    /// issuing one dense dot product per query. Production callers
+    /// ([`crate::argument`], [`crate::session`]) answer through
+    /// [`BatchQuerySet::answer`]'s blocked kernel instead; this path is
+    /// kept as the differential oracle the batched answers are locked
+    /// against (`tests/batch_differential.rs`).
     pub fn answer(&self, proof: &ZaatarProof<F>, queries: &QuerySet<F>) -> PcpResponses<F> {
         let _span = zaatar_obs::time("pcp.answer");
         PcpResponses {
@@ -278,6 +359,18 @@ impl<F: PrimeField, D: EvalDomain<F>> ZaatarPcp<F, D> {
                 .map(|q| proof.query_h(q))
                 .collect(),
         }
+    }
+
+    /// Batched answer path: one blocked pass over the proof vector per
+    /// oracle answers all `ρ·(ρ_lin·3+2)` queries of the repetition
+    /// structure. Identical output to [`ZaatarPcp::answer`].
+    pub fn answer_batched(
+        &self,
+        proof: &ZaatarProof<F>,
+        batch: &BatchQuerySet<F>,
+        workers: usize,
+    ) -> PcpResponses<F> {
+        batch.answer(proof, workers)
     }
 
     /// The verifier's decision procedure (Fig. 10) for one instance with
@@ -541,5 +634,68 @@ mod tests {
         assert_eq!(p.rho, 8);
         assert_eq!(p.rho_lin, 20);
         assert_eq!(p.queries_per_rep(), 124);
+    }
+
+    #[test]
+    fn appendix_a2_total_queries() {
+        // App. A.2's production point: ρ_lin = 20, ρ = 8 — ℓ' = 6·20 + 4
+        // queries per repetition, ρ·ℓ' = 992 in total.
+        let p = PcpParams { rho: 8, rho_lin: 20 };
+        assert_eq!(p.total_queries(), 992);
+        assert_eq!(p.total_queries(), PcpParams::default().total_queries());
+        // The light profile is a strict reduction of the same structure.
+        let light = PcpParams::light();
+        assert_eq!(light.total_queries(), 2 * (6 * 3 + 4));
+    }
+
+    #[test]
+    fn batched_answers_match_serial() {
+        let (pcp, w, io) = setup(&[f(6), f(-2)]);
+        let proof = pcp.prove(&w).expect("honest witness proves");
+        for seed in [0u64, 3, 17] {
+            let mut prg = ChaChaPrg::from_u64_seed(seed);
+            let batch = pcp.generate_batch_queries(&mut prg);
+            let mut prg2 = ChaChaPrg::from_u64_seed(seed);
+            let queries = pcp.generate_queries(&mut prg2);
+            let serial = pcp.answer(&proof, &queries);
+            for workers in [1usize, 4] {
+                let batched = pcp.answer_batched(&proof, &batch, workers);
+                assert_eq!(batched, serial, "seed={seed} workers={workers}");
+            }
+            assert!(pcp.check(batch.queries(), &batch.answer(&proof, 2), &io));
+        }
+    }
+
+    #[test]
+    fn batch_query_set_reuses_one_generation() {
+        // One generation serves many instances: every proof answered off
+        // the same BatchQuerySet verifies against the wrapped QuerySet.
+        let inputs: [[i64; 2]; 3] = [[2, 9], [5, 5], [-1, 8]];
+        let mut prg = ChaChaPrg::from_u64_seed(0xbaac);
+        let mut batchq = None;
+        for pair in inputs {
+            let (pcp, w, io) = setup(&[f(pair[0]), f(pair[1])]);
+            let batch = batchq.get_or_insert_with(|| pcp.generate_batch_queries(&mut prg));
+            let proof = pcp.prove(&w).unwrap();
+            let responses = batch.answer(&proof, 2);
+            assert!(pcp.check(batch.queries(), &responses, &io), "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn batch_matrices_mirror_canonical_order() {
+        let (pcp, _, _) = setup(&[f(1), f(2)]);
+        let mut prg = ChaChaPrg::from_u64_seed(23);
+        let batch = pcp.generate_batch_queries(&mut prg);
+        let z = batch.queries().z_queries();
+        let h = batch.queries().h_queries();
+        assert_eq!(batch.z_matrix().num_rows(), z.len());
+        assert_eq!(batch.h_matrix().num_rows(), h.len());
+        for (i, q) in z.iter().enumerate() {
+            assert_eq!(batch.z_matrix().row(i), *q);
+        }
+        for (i, q) in h.iter().enumerate() {
+            assert_eq!(batch.h_matrix().row(i), *q);
+        }
     }
 }

@@ -29,7 +29,7 @@ use zaatar_poly::domain::EvalDomain;
 use zaatar_transport::{exchange, Frame, RetryPolicy, Transport, TransportError};
 
 use crate::parallel::parallel_map;
-use crate::pcp::{ZaatarPcp, ZaatarProof};
+use crate::pcp::{BatchQuerySet, PcpResponses, ZaatarPcp, ZaatarProof};
 use crate::qap::QapWitness;
 use crate::session::{SessionError, SessionProver, SessionVerifier};
 use crate::wire::WireError;
@@ -81,6 +81,22 @@ where
     let _span = zaatar_obs::time("runtime.prove_batch");
     zaatar_obs::counter("runtime.prove_batch.instances").add(witnesses.len() as u64);
     parallel_map(witnesses.iter().collect(), workers, |w| pcp.prove(w))
+}
+
+/// Answers every instance of a batch off one amortized
+/// [`BatchQuerySet`], with instances sharded across `workers` threads
+/// (each instance is one blocked-kernel pass per oracle). The companion
+/// to [`prove_batch`] for the decommitment phase; output order matches
+/// `proofs`, and each entry is identical to the serial
+/// [`ZaatarPcp::answer`] on the same queries.
+pub fn answer_batch<F: zaatar_field::Field>(
+    batch: &BatchQuerySet<F>,
+    proofs: &[ZaatarProof<F>],
+    workers: usize,
+) -> Vec<PcpResponses<F>> {
+    let _span = zaatar_obs::time("runtime.answer_batch");
+    zaatar_obs::counter("runtime.answer_batch.instances").add(proofs.len() as u64);
+    parallel_map(proofs.iter().collect(), workers, |p| batch.answer(p, 1))
 }
 
 /// The verifier's verdict on one instance of the batch.

@@ -14,9 +14,9 @@ use zaatar_poly::domain::EvalDomain;
 
 use zaatar_transport::TransportError;
 
-use crate::commit::{decommit, CommitmentKey, Decommitment};
+use crate::commit::{decommit_packed, CommitmentKey, Decommitment};
 use crate::network::queries_from_seed;
-use crate::pcp::{PcpResponses, QuerySet, ZaatarPcp, ZaatarProof};
+use crate::pcp::{BatchQuerySet, PcpResponses, QuerySet, ZaatarPcp, ZaatarProof};
 use crate::wire::{Reader, WireError, Writer};
 
 /// Everything that can go wrong while running a session, typed so a
@@ -85,12 +85,14 @@ pub struct SessionVerifier<'p, F: HasGroup, D> {
     pub bytes_received: u64,
 }
 
-/// The prover endpoint of a session.
+/// The prover endpoint of a session. The seed-derived queries are
+/// packed once per setup ([`BatchQuerySet`]), so every instance of the
+/// batch is answered off the same matrices by the blocked kernel.
 pub struct SessionProver<'p, F: HasGroup, D> {
     pcp: &'p ZaatarPcp<F, D>,
     enc_r_z: Vec<Ciphertext>,
     enc_r_h: Vec<Ciphertext>,
-    queries: Option<QuerySet<F>>,
+    queries: Option<BatchQuerySet<F>>,
     t_z: Vec<F>,
     t_h: Vec<F>,
 }
@@ -235,7 +237,7 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
         self.enc_r_h = enc_r_h;
         self.t_z = t_z;
         self.t_h = t_h;
-        self.queries = Some(queries_from_seed(self.pcp, seed));
+        self.queries = Some(BatchQuerySet::new(queries_from_seed(self.pcp, seed)));
         Ok(())
     }
 
@@ -254,10 +256,12 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
             CommitmentKey::<F>::commit(&self.enc_r_h, &proof.h),
         );
         // Query answering — the same phase argument::Prover::respond
-        // times as `answer_queries`.
+        // times as `answer_queries`, through the blocked kernel off the
+        // batch-packed matrices.
         let answer_span = zaatar_obs::time("pcp.answer");
-        let dz: Decommitment<F> = decommit(&proof.z, &queries.z_queries(), &self.t_z);
-        let dh: Decommitment<F> = decommit(&proof.h, &queries.h_queries(), &self.t_h);
+        zaatar_obs::counter("pcp.batch.query_reuse").inc();
+        let dz: Decommitment<F> = decommit_packed(&proof.z, queries.z_matrix(), &self.t_z, 1);
+        let dh: Decommitment<F> = decommit_packed(&proof.h, queries.h_matrix(), &self.t_h, 1);
         drop(answer_span);
         Ok(crate::wire::encode_prover_message(&commitments, &dz, &dh)?)
     }

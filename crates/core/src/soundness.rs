@@ -79,6 +79,20 @@ pub fn argument_error(params: PcpParams, num_constraints: f64, field_bits: u32) 
         + commitment_error(params.total_queries(), field_bits)
 }
 
+/// The PCP soundness error bound of the **light test profile**
+/// ([`PcpParams::light`]: `ρ = 2`, `ρ_lin = 3`).
+///
+/// At `ρ_lin = 3` the optimizer balances `(1 − 3δ + 6δ²)³` against `6δ`
+/// just under `δ* ≈ 0.0904`, where the per-repetition bound `κ` only
+/// reaches ≈ 0.5 — far from the paper's 0.177 at `ρ_lin = 20` — so two
+/// repetitions give `κ² ≈ 0.25`. The light profile is a *test* profile:
+/// it exercises every protocol path (including rejection of malicious
+/// provers, which fail checks with overwhelming probability regardless
+/// of `κ`) but offers no production-grade soundness.
+pub fn light_profile_error(num_constraints: f64, field_bits: u32) -> f64 {
+    pcp_error(PcpParams::light(), num_constraints, field_bits)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +178,19 @@ mod tests {
     fn total_argument_error() {
         let err = argument_error(PcpParams::default(), 1e6, BITS);
         assert!(err < 1e-6, "total {err}");
+    }
+
+    #[test]
+    fn light_profile_error_is_weak_but_bounded() {
+        // ρ_lin = 3 caps the per-repetition bound near κ ≈ 0.5, so the
+        // light profile's two repetitions land around κ² ≈ 0.25 —
+        // documented as test-only soundness.
+        let (delta, k) = optimize_delta(PcpParams::light().rho_lin, 1e6, BITS);
+        assert!(delta < delta_star());
+        assert!((0.45..0.56).contains(&k), "light κ = {k}");
+        let err = light_profile_error(1e6, BITS);
+        assert!((0.20..0.32).contains(&err), "light κ² = {err}");
+        // Sanity: strictly worse than the paper profile.
+        assert!(err > pcp_error(PcpParams::default(), 1e6, BITS) * 1e4);
     }
 }

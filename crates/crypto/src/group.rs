@@ -11,7 +11,8 @@
 //! keys", §5.1; 256-bit for the test field) and a generator
 //! `g = h^((p−1)/q)` of order exactly `q`.
 
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
 
 use zaatar_field::{PrimeField, F128, F220, F61};
 
@@ -150,9 +151,10 @@ impl SchnorrGroup {
         }
     }
 
-    /// `g^exp` for the group generator.
+    /// `g^exp` for the group generator, served by the interned
+    /// fixed-base window table (built once per process per group).
     pub fn gen_pow(&self, exp: &[u64]) -> GroupElem {
-        self.pow(&self.generator, exp)
+        self.pow_fixed(self.generator_table(), exp)
     }
 
     /// Inverts an element of the prime-order subgroup via
@@ -175,6 +177,163 @@ impl SchnorrGroup {
         let borrow = crate::mp::sub_assign(&mut neg, exp);
         assert_eq!(borrow, 0, "exponent must be below the group order");
         self.pow(base, &neg)
+    }
+}
+
+/// Window width for fixed-base exponentiation. Four bits divides the
+/// 64-bit word size, so windows never straddle word boundaries.
+const WINDOW_BITS: usize = 4;
+
+/// Non-zero digits per window (`2^WINDOW_BITS − 1`).
+const DIGITS_PER_WINDOW: usize = (1 << WINDOW_BITS) - 1;
+
+/// A precomputed table for fixed-base windowed exponentiation: for every
+/// 4-bit window `w` and digit `d ∈ 1…15` it stores
+/// `base^(d · 2^(4w))`, so `base^e` becomes one table lookup and one
+/// group multiplication per non-zero window of `e` — no squarings at
+/// all. The table covers every exponent below the subgroup order
+/// (rounded up to a whole window); larger exponents fall back to
+/// square-and-multiply on the stored base.
+///
+/// Amortization: building the table costs `15 · ⌈bits/4⌉`
+/// multiplications, one-time per base, while each subsequent
+/// exponentiation drops from `~1.5 · bits` multiplications
+/// (square-and-multiply) to at most `⌈bits/4⌉`.
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    /// `entries[w · 15 + (d − 1)] = base^(d · 2^(4w))`, Montgomery form.
+    entries: Vec<Vec<u64>>,
+    /// The base itself (Montgomery form), for the oversized-exponent
+    /// fallback.
+    base: Vec<u64>,
+    num_windows: usize,
+}
+
+impl FixedBaseTable {
+    /// Number of 4-bit windows the table covers.
+    pub fn num_windows(&self) -> usize {
+        self.num_windows
+    }
+
+    /// Largest exponent bit index (exclusive) the table can serve
+    /// without falling back.
+    pub fn capacity_bits(&self) -> usize {
+        self.num_windows * WINDOW_BITS
+    }
+}
+
+/// Bit length of a little-endian multi-word integer (0 for zero).
+fn bit_len(words: &[u64]) -> usize {
+    words
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, w)| **w != 0)
+        .map(|(i, w)| i * 64 + 64 - w.leading_zeros() as usize)
+        .unwrap_or(0)
+}
+
+/// True if `exp` has any bit set at or above `bits`.
+fn exceeds(exp: &[u64], bits: usize) -> bool {
+    bit_len(exp) > bits
+}
+
+impl SchnorrGroup {
+    /// Builds a fixed-base window table for `base`, sized to cover any
+    /// exponent below the subgroup order. Use for bases that will be
+    /// raised to many exponents (the generator, an ElGamal public key
+    /// during vector encryption).
+    pub fn fixed_base_table(&self, base: &GroupElem) -> FixedBaseTable {
+        let _span = zaatar_obs::time("commit.fixed_base_build");
+        // Round the order's bit length up to whole windows; since
+        // WINDOW_BITS divides 64 this also guarantees whole-word
+        // coverage is a multiple of the window size.
+        let order_bits = bit_len(&self.order).max(1);
+        let num_windows = order_bits.div_ceil(WINDOW_BITS);
+        let mut entries = Vec::with_capacity(num_windows * DIGITS_PER_WINDOW);
+        // `cur` walks base^(2^(4w)); each window's entries are
+        // cur, cur², …, cur¹⁵ built with multiplications only.
+        let mut cur = base.mont.clone();
+        for _ in 0..num_windows {
+            let mut acc = cur.clone();
+            entries.push(acc.clone());
+            for _ in 2..=DIGITS_PER_WINDOW {
+                acc = self.ctx.mont_mul(&acc, &cur);
+                entries.push(acc.clone());
+            }
+            // acc == cur^15, so the next window's base cur^16 is one
+            // more multiplication.
+            cur = self.ctx.mont_mul(&acc, &cur);
+        }
+        FixedBaseTable {
+            entries,
+            base: base.mont.clone(),
+            num_windows,
+        }
+    }
+
+    /// `base^exp` via a precomputed [`FixedBaseTable`] for that base:
+    /// one lookup + multiplication per non-zero 4-bit window. Exponents
+    /// wider than the table's capacity (possible only for raw word
+    /// slices above the subgroup order) fall back to square-and-multiply
+    /// and stay correct.
+    pub fn pow_fixed(&self, table: &FixedBaseTable, exp: &[u64]) -> GroupElem {
+        if exceeds(exp, table.capacity_bits()) {
+            return GroupElem {
+                mont: self.ctx.mont_pow(&table.base, exp),
+            };
+        }
+        let mut acc: Option<Vec<u64>> = None;
+        for w in 0..table.num_windows {
+            let bit = w * WINDOW_BITS;
+            let word = bit / 64;
+            if word >= exp.len() {
+                break;
+            }
+            let digit = ((exp[word] >> (bit % 64)) & ((1 << WINDOW_BITS) - 1)) as usize;
+            if digit == 0 {
+                continue;
+            }
+            let entry = &table.entries[w * DIGITS_PER_WINDOW + digit - 1];
+            acc = Some(match acc {
+                Some(a) => self.ctx.mont_mul(&a, entry),
+                None => entry.clone(),
+            });
+        }
+        GroupElem {
+            mont: acc.unwrap_or_else(|| self.ctx.one()),
+        }
+    }
+
+    /// The interned fixed-base table for this group's generator.
+    ///
+    /// Tables are interned in a global registry keyed by
+    /// `(modulus, generator)` — the same `OnceLock` + `RwLock` +
+    /// `Box::leak` pattern as `zaatar_poly::plan` — so the (at most a
+    /// handful of) process-wide groups each pay the build cost once.
+    /// Registry hits are counted as `commit.fixed_base_hit`.
+    pub fn generator_table(&self) -> &'static FixedBaseTable {
+        static REGISTRY: OnceLock<RwLock<HashMap<Vec<u64>, &'static FixedBaseTable>>> =
+            OnceLock::new();
+        let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
+        // Key on modulus ++ generator so hypothetical same-modulus
+        // groups with different generators cannot collide.
+        let mut key = self.ctx.modulus().to_vec();
+        key.extend_from_slice(&self.generator.mont);
+        if let Some(table) = registry.read().expect("registry poisoned").get(&key) {
+            zaatar_obs::counter("commit.fixed_base_hit").inc();
+            return table;
+        }
+        let mut write = registry.write().expect("registry poisoned");
+        if let Some(table) = write.get(&key) {
+            zaatar_obs::counter("commit.fixed_base_hit").inc();
+            return table;
+        }
+        zaatar_obs::counter("commit.fixed_base_miss").inc();
+        let table: &'static FixedBaseTable =
+            Box::leak(Box::new(self.fixed_base_table(&self.generator)));
+        write.insert(key, table);
+        table
     }
 }
 
@@ -398,5 +557,57 @@ mod tests {
         let x = g.gen_pow(&[7]);
         assert_eq!(g.mul(&x, &g.identity()), x);
         assert_eq!(g.gen_pow(&[0]), g.identity());
+    }
+
+    #[test]
+    fn fixed_base_matches_square_and_multiply() {
+        let g = F61::group();
+        let table = g.fixed_base_table(&g.generator());
+        let mut gen = zaatar_field::testutil::SplitMix64::new(0xf1bb);
+        for _ in 0..32 {
+            let e = gen.field::<F61>().to_canonical_words();
+            assert_eq!(g.pow_fixed(&table, &e), g.pow(&g.generator(), &e));
+        }
+    }
+
+    #[test]
+    fn fixed_base_edge_exponents() {
+        let g = F61::group();
+        let table = g.fixed_base_table(&g.generator());
+        // 0, 1, and order − 1 stress the empty-window, single-window,
+        // and all-windows paths.
+        assert_eq!(g.pow_fixed(&table, &[0]), g.identity());
+        assert_eq!(g.pow_fixed(&table, &[1]), g.generator());
+        let mut qm1 = g.order().to_vec();
+        qm1[0] -= 1;
+        assert_eq!(g.pow_fixed(&table, &qm1), g.pow(&g.generator(), &qm1));
+    }
+
+    #[test]
+    fn fixed_base_oversized_exponent_falls_back() {
+        let g = F61::group();
+        let table = g.fixed_base_table(&g.generator());
+        // Wider than the table's capacity: must agree with the generic
+        // path via the stored-base fallback.
+        let e = vec![0x1234_5678_9abc_def0u64, 0xffff_0000_ffff_0000, 7];
+        assert!(8 * 8 * e.len() > table.capacity_bits());
+        assert_eq!(g.pow_fixed(&table, &e), g.pow(&g.generator(), &e));
+    }
+
+    #[test]
+    fn fixed_base_non_generator_base() {
+        let g = F61::group();
+        let base = g.gen_pow(&[0xdead_beef]);
+        let table = g.fixed_base_table(&base);
+        let e = F61::from_u64(0x1357_9bdf).to_canonical_words();
+        assert_eq!(g.pow_fixed(&table, &e), g.pow(&base, &e));
+    }
+
+    #[test]
+    fn generator_table_is_interned() {
+        let g = F61::group();
+        let a = g.generator_table() as *const FixedBaseTable;
+        let b = g.generator_table() as *const FixedBaseTable;
+        assert_eq!(a, b, "interned table must be a process-wide singleton");
     }
 }

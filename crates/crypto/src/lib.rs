@@ -26,5 +26,5 @@ pub mod primality;
 
 pub use chacha::ChaChaPrg;
 pub use elgamal::{Ciphertext, ElGamal, KeyPair};
-pub use group::{GroupElem, HasGroup, SchnorrGroup};
+pub use group::{FixedBaseTable, GroupElem, HasGroup, SchnorrGroup};
 pub use primality::is_probable_prime;

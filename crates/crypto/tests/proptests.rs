@@ -1,34 +1,19 @@
 //! Property-style tests for the multiprecision and group substrates,
-//! driven by a small in-tree deterministic generator (the build must
-//! work offline, so no external proptest dependency).
+//! driven by the workspace's shared deterministic generator
+//! (`zaatar_field::testutil::SplitMix64` — the build must work offline,
+//! so no external proptest dependency).
 
 use zaatar_crypto::mp::MontCtx;
 use zaatar_crypto::{ChaChaPrg, ElGamal, HasGroup, KeyPair};
-use zaatar_field::{Field, F61};
+use zaatar_field::testutil::SplitMix64;
+use zaatar_field::{PrimeField, F61};
 
 /// The Mersenne prime 2^127 − 1 gives an exact u128 reference.
 const P: u128 = (1 << 127) - 1;
 
-/// Deterministic splitmix64 generator standing in for proptest.
-struct Gen(u64);
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen(seed)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn u128_below(&mut self, bound: u128) -> u128 {
-        let raw = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
-        raw % bound
-    }
+fn u128_below(gen: &mut SplitMix64, bound: u128) -> u128 {
+    let raw = (u128::from(gen.next_u64()) << 64) | u128::from(gen.next_u64());
+    raw % bound
 }
 
 fn words(x: u128) -> Vec<u64> {
@@ -56,10 +41,10 @@ fn mulmod(a: u128, b: u128) -> u128 {
 #[test]
 fn mont_mul_matches_reference() {
     let ctx = MontCtx::new(words(P));
-    let mut g = Gen::new(1);
+    let mut g = SplitMix64::new(1);
     for _ in 0..64 {
-        let a = g.u128_below(P);
-        let b = g.u128_below(P);
+        let a = u128_below(&mut g, P);
+        let b = u128_below(&mut g, P);
         let am = ctx.to_mont(&words(a));
         let bm = ctx.to_mont(&words(b));
         let got = ctx.from_mont(&ctx.mont_mul(&am, &bm));
@@ -72,9 +57,9 @@ fn mont_mul_matches_reference() {
 fn fermat_holds() {
     let ctx = MontCtx::new(words(P));
     let exp = words(P - 1);
-    let mut g = Gen::new(2);
+    let mut g = SplitMix64::new(2);
     for _ in 0..16 {
-        let a = 1 + g.u128_below(P - 1);
+        let a = 1 + u128_below(&mut g, P - 1);
         assert_eq!(ctx.pow(&words(a), &exp), words(1));
     }
 }
@@ -84,9 +69,9 @@ fn fermat_holds() {
 #[test]
 fn group_exponent_laws() {
     let g = F61::group();
-    let mut gen = Gen::new(3);
+    let mut gen = SplitMix64::new(3);
     for _ in 0..32 {
-        let (fa, fb) = (F61::from_u64(gen.next_u64()), F61::from_u64(gen.next_u64()));
+        let (fa, fb): (F61, F61) = (gen.field(), gen.field());
         let ga = g.gen_pow(&fa.exponent_words());
         let gb = g.gen_pow(&fb.exponent_words());
         assert_eq!(g.mul(&ga, &gb), g.gen_pow(&(fa + fb).exponent_words()));
@@ -97,17 +82,72 @@ fn group_exponent_laws() {
     }
 }
 
+/// Fixed-base windowed exponentiation agrees with naive
+/// square-and-multiply on random exponents, for both the generator's
+/// interned table and a freshly built table over a random base.
+#[test]
+fn fixed_base_matches_naive_on_random_exponents() {
+    let g = F61::group();
+    let gen_table = g.generator_table();
+    let mut gen = SplitMix64::new(7);
+    for _ in 0..48 {
+        let e = gen.field::<F61>().to_canonical_words();
+        assert_eq!(g.pow_fixed(gen_table, &e), g.pow(&g.generator(), &e));
+    }
+    let base = g.gen_pow(&[gen.next_u64()]);
+    let table = g.fixed_base_table(&base);
+    for _ in 0..24 {
+        let e = gen.field::<F61>().to_canonical_words();
+        assert_eq!(g.pow_fixed(&table, &e), g.pow(&base, &e));
+    }
+}
+
+/// Fixed-base edge exponents: 0, 1, and order − 1 (the empty-window,
+/// single-window, and every-window-saturated cases).
+#[test]
+fn fixed_base_edge_exponents() {
+    let g = F61::group();
+    let mut gen = SplitMix64::new(8);
+    for _ in 0..4 {
+        let base = g.gen_pow(&[gen.next_u64() | 1]);
+        let table = g.fixed_base_table(&base);
+        assert_eq!(g.pow_fixed(&table, &[0]), g.identity());
+        assert_eq!(g.pow_fixed(&table, &[1]), base);
+        let mut order_m1 = g.order().to_vec();
+        order_m1[0] -= 1; // The order is an odd prime: no borrow.
+        assert_eq!(g.pow_fixed(&table, &order_m1), g.pow(&base, &order_m1));
+        // order − 1 is −1 in the exponent group, so multiplying by the
+        // base lands back on the identity.
+        assert_eq!(g.mul(&g.pow_fixed(&table, &order_m1), &base), g.identity());
+    }
+}
+
+/// Exponents wider than the table's coverage take the fallback path
+/// and still agree with the generic routine.
+#[test]
+fn fixed_base_oversized_exponents_fall_back() {
+    let g = F61::group();
+    let table = g.generator_table();
+    let mut gen = SplitMix64::new(9);
+    for extra in 1..4usize {
+        let e: Vec<u64> = (0..(table.capacity_bits() / 64 + extra))
+            .map(|_| gen.next_u64() | 1)
+            .collect();
+        assert_eq!(g.pow_fixed(table, &e), g.pow(&g.generator(), &e));
+    }
+}
+
 /// ElGamal: Dec(Enc(m)) = g^m and the homomorphisms hold for random
 /// messages and scalars.
 #[test]
 fn elgamal_homomorphisms() {
-    let mut gen = Gen::new(4);
+    let mut gen = SplitMix64::new(4);
     for _ in 0..24 {
         let mut prg = ChaChaPrg::from_u64_seed(gen.next_u64());
         let kp = KeyPair::<F61>::generate(&mut prg);
-        let m1 = F61::from_u64(gen.next_u64());
-        let m2 = F61::from_u64(gen.next_u64());
-        let c = F61::from_u64(gen.next_u64());
+        let m1: F61 = gen.field();
+        let m2: F61 = gen.field();
+        let c: F61 = gen.field();
         let ct1 = ElGamal::<F61>::encrypt(kp.public(), m1, &mut prg);
         let ct2 = ElGamal::<F61>::encrypt(kp.public(), m2, &mut prg);
         assert_eq!(
@@ -127,11 +167,40 @@ fn elgamal_homomorphisms() {
     }
 }
 
+/// ElGamal vector encryption (the fixed-base batch path) round-trips
+/// element-wise and preserves the inner-product homomorphism the
+/// commitment protocol relies on.
+#[test]
+fn elgamal_vector_round_trip_and_inner_product() {
+    let mut gen = SplitMix64::new(10);
+    for trial in 0..8 {
+        let mut prg = ChaChaPrg::from_u64_seed(gen.next_u64());
+        let kp = KeyPair::<F61>::generate(&mut prg);
+        // Lengths straddle the fixed-base batching threshold.
+        let n = 1 + (trial % 8);
+        let r: Vec<F61> = gen.field_vec(n);
+        let u: Vec<F61> = gen.field_vec(n);
+        let cts = ElGamal::<F61>::encrypt_vec(kp.public(), &r, &mut prg);
+        for (ct, m) in cts.iter().zip(&r) {
+            assert_eq!(
+                ElGamal::<F61>::decrypt_to_group(&kp, ct),
+                ElGamal::<F61>::encode(*m)
+            );
+        }
+        let ip = ElGamal::<F61>::inner_product(&cts, &u);
+        let expect: F61 = r.iter().zip(&u).map(|(a, b)| *a * *b).sum();
+        assert_eq!(
+            ElGamal::<F61>::decrypt_to_group(&kp, &ip),
+            ElGamal::<F61>::encode(expect)
+        );
+    }
+}
+
 /// Group element serialization round-trips.
 #[test]
 fn group_serialization_round_trips() {
     let g = F61::group();
-    let mut gen = Gen::new(5);
+    let mut gen = SplitMix64::new(5);
     for _ in 0..64 {
         let x = g.gen_pow(&[gen.next_u64()]);
         let bytes = g.elem_to_bytes(&x);
@@ -143,7 +212,7 @@ fn group_serialization_round_trips() {
 /// ChaCha stream determinism.
 #[test]
 fn chacha_determinism() {
-    let mut gen = Gen::new(6);
+    let mut gen = SplitMix64::new(6);
     for _ in 0..32 {
         let seed = gen.next_u64();
         let n = 1 + (gen.next_u64() as usize % 63);

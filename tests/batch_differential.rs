@@ -1,0 +1,188 @@
+//! Differential lockdown for the amortized batch query pipeline: the
+//! blocked matrix–vector kernel behind [`BatchQuerySet`] must produce
+//! answers **byte-identical** to the serial per-instance reference
+//! (`generate_queries` + `answer`, one dense dot product per query) on
+//! the same ChaCha seed. Field addition is exact, so re-association in
+//! the blocked kernel cannot change any sum — this test pins that
+//! guarantee at the serialization level, across worker counts, seeds,
+//! and the session-prover wire path.
+
+use zaatar::cc::{ginger_to_quad, Builder};
+use zaatar::core::commit::{decommit, decommit_packed};
+use zaatar::core::pcp::{BatchQuerySet, PcpParams, PcpResponses, ZaatarPcp, ZaatarProof};
+use zaatar::core::qap::Qap;
+use zaatar::core::runtime::answer_batch;
+use zaatar::core::session::{SessionProver, SessionVerifier};
+use zaatar::crypto::ChaChaPrg;
+use zaatar::field::{Field, PrimeField, F61};
+use zaatar::poly::Radix2Domain;
+
+type Pcp = ZaatarPcp<F61, Radix2Domain<F61>>;
+
+fn f(x: i64) -> F61 {
+    F61::from_i64(x)
+}
+
+/// y = (a − b)² + min(a, b): mul, square, and comparison gadgets give
+/// the QAP some width.
+fn fixture(inputs: &[[i64; 2]]) -> (Pcp, Vec<ZaatarProof<F61>>, Vec<Vec<F61>>) {
+    let mut b = Builder::<F61>::new();
+    let a = b.alloc_input();
+    let bb = b.alloc_input();
+    let d = a.sub(&bb);
+    let sq = b.mul(&d, &d);
+    let mn = b.min(&a, &bb, 10);
+    b.bind_output(&sq.add(&mn));
+    let (sys, solver) = b.finish();
+    let t = ginger_to_quad(&sys);
+    let qap = Qap::new(&t.system);
+    let pcp = ZaatarPcp::new(qap, PcpParams::light());
+    let mut proofs = Vec::new();
+    let mut ios = Vec::new();
+    for pair in inputs {
+        let asg = solver.solve(&[f(pair[0]), f(pair[1])]).unwrap();
+        let ext = t.extend_assignment(&asg);
+        let w = pcp.qap().witness(&ext);
+        let io: Vec<F61> = pcp
+            .qap()
+            .var_map()
+            .inputs()
+            .iter()
+            .chain(pcp.qap().var_map().outputs())
+            .map(|v| ext.get(*v))
+            .collect();
+        proofs.push(pcp.prove(&w).unwrap());
+        ios.push(io);
+    }
+    (pcp, proofs, ios)
+}
+
+fn response_bytes(r: &PcpResponses<F61>) -> Vec<u8> {
+    r.z_answers
+        .iter()
+        .chain(r.h_answers.iter())
+        .flat_map(|a| a.to_bytes_le())
+        .collect()
+}
+
+/// Core differential: per-instance serial answers vs batched kernel
+/// answers from the same seed, byte-for-byte, across worker counts.
+#[test]
+fn batched_answers_byte_identical_to_serial() {
+    let (pcp, proofs, _) = fixture(&[[3, 7], [10, 2], [0, 0], [-5, 5]]);
+    for seed in [0u64, 1, 0xdead_beef, 0x5eed] {
+        // Serial reference: fresh query generation per run.
+        let mut prg = ChaChaPrg::from_u64_seed(seed);
+        let queries = pcp.generate_queries(&mut prg);
+        let serial: Vec<_> = proofs.iter().map(|p| pcp.answer(p, &queries)).collect();
+        // Batched path: same seed, one packed generation for the batch.
+        for workers in [1usize, 2, 8] {
+            let mut prg = ChaChaPrg::from_u64_seed(seed);
+            let batch = pcp.generate_batch_queries(&mut prg);
+            for (p, reference) in proofs.iter().zip(&serial) {
+                let batched = pcp.answer_batched(p, &batch, workers);
+                assert_eq!(
+                    response_bytes(&batched),
+                    response_bytes(reference),
+                    "seed {seed}, workers {workers}"
+                );
+            }
+        }
+    }
+}
+
+/// The runtime's parallel batch answering agrees with the serial path
+/// instance-for-instance.
+#[test]
+fn runtime_answer_batch_matches_serial() {
+    let (pcp, proofs, _) = fixture(&[[1, 9], [6, 6], [2, 3]]);
+    let seed = 0xbabe;
+    let mut prg = ChaChaPrg::from_u64_seed(seed);
+    let queries = pcp.generate_queries(&mut prg);
+    let serial: Vec<_> = proofs.iter().map(|p| pcp.answer(p, &queries)).collect();
+    let batch = BatchQuerySet::new(queries);
+    for workers in [1usize, 4] {
+        let batched = answer_batch(&batch, &proofs, workers);
+        assert_eq!(batched.len(), serial.len());
+        for (b, s) in batched.iter().zip(&serial) {
+            assert_eq!(response_bytes(b), response_bytes(s), "workers {workers}");
+        }
+    }
+}
+
+/// Packed decommitment answers (the argument prover's production path)
+/// are byte-identical to serial decommitment over the same queries.
+#[test]
+fn packed_decommit_byte_identical_to_serial() {
+    let (pcp, proofs, _) = fixture(&[[4, 8]]);
+    let mut prg = ChaChaPrg::from_u64_seed(0x0dd);
+    let batch = pcp.generate_batch_queries(&mut prg);
+    let t_z: Vec<F61> = prg.field_vec(proofs[0].z.len());
+    let t_h: Vec<F61> = prg.field_vec(proofs[0].h.len());
+    let serial_z = decommit(&proofs[0].z, &batch.queries().z_queries(), &t_z);
+    let serial_h = decommit(&proofs[0].h, &batch.queries().h_queries(), &t_h);
+    for workers in [1usize, 3] {
+        let packed_z = decommit_packed(&proofs[0].z, batch.z_matrix(), &t_z, workers);
+        let packed_h = decommit_packed(&proofs[0].h, batch.h_matrix(), &t_h, workers);
+        let ser = |d: &zaatar::core::commit::Decommitment<F61>| -> Vec<u8> {
+            d.answers
+                .iter()
+                .chain(std::iter::once(&d.t_answer))
+                .flat_map(|a| a.to_bytes_le())
+                .collect()
+        };
+        assert_eq!(ser(&packed_z), ser(&serial_z), "z workers {workers}");
+        assert_eq!(ser(&packed_h), ser(&serial_h), "h workers {workers}");
+    }
+}
+
+/// Batched answers feed `check` exactly like serial answers: same
+/// accept verdicts on honest proofs, same reject verdicts on corrupted
+/// ones.
+#[test]
+fn check_verdicts_agree_between_paths() {
+    let (pcp, mut proofs, ios) = fixture(&[[3, 5], [7, 1]]);
+    proofs[1].z[0] += F61::ONE; // Corrupt the second instance.
+    for seed in [2u64, 21, 0xfeed] {
+        let mut prg = ChaChaPrg::from_u64_seed(seed);
+        let batch = pcp.generate_batch_queries(&mut prg);
+        for (p, io) in proofs.iter().zip(&ios) {
+            let serial = pcp.answer(p, batch.queries());
+            let batched = batch.answer(p, 2);
+            assert_eq!(
+                pcp.check(batch.queries(), &serial, io),
+                pcp.check(batch.queries(), &batched, io),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+/// The session-prover wire path (which answers through the packed
+/// kernel) produces messages a serial-thinking verifier accepts, and
+/// the whole seeded round trip is deterministic.
+#[test]
+fn session_prover_packed_path_round_trips() {
+    let (pcp, proofs, ios) = fixture(&[[2, 6], [9, 9]]);
+    let run = |seed: u64| -> (Vec<bool>, Vec<Vec<u8>>) {
+        let mut prg = ChaChaPrg::from_u64_seed(seed);
+        let mut verifier = SessionVerifier::new(&pcp, &mut prg);
+        let mut prover = SessionProver::new(&pcp);
+        let setup = verifier.setup_message().unwrap();
+        prover.receive_setup(&setup).unwrap();
+        let mut verdicts = Vec::new();
+        let mut messages = Vec::new();
+        for (p, io) in proofs.iter().zip(&ios) {
+            let msg = prover.instance_message(p).unwrap();
+            verdicts.push(verifier.verify_instance(&msg, io).unwrap());
+            messages.push(msg);
+        }
+        (verdicts, messages)
+    };
+    let (verdicts, messages) = run(0x5e55);
+    assert_eq!(verdicts, vec![true; 2]);
+    // Determinism: the same seed reproduces identical wire bytes.
+    let (verdicts2, messages2) = run(0x5e55);
+    assert_eq!(verdicts, verdicts2);
+    assert_eq!(messages, messages2);
+}

@@ -29,8 +29,16 @@ cargo test -q --workspace --locked --release
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --locked -- -D warnings
 
-# The validator enforces the full v2 schema, including the `ntt`
-# section (per-size timings, twiddle-cache hit/miss counters).
+# Soundness smoke: the malicious-prover suite (bad quotient,
+# non-linear oracle, equivocation, post-commit flip) must reject under
+# the release profile, where debug_asserts are compiled out and the
+# batched answer kernel runs its optimized code paths.
+echo "==> soundness smoke (malicious-prover suite, release)"
+cargo test -q -p zaatar --test malicious_prover --locked --release
+
+# The validator enforces the full v3 schema, including the `ntt` and
+# `pcp` sections (batch amortization must strictly reduce per-instance
+# query-setup cost).
 echo "==> bench smoke (baseline emit + schema validation)"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
     --smoke --out target/bench_smoke.json
