@@ -13,7 +13,7 @@
 //!
 //! `--smoke` shrinks the workload to seconds for CI; `--validate`
 //! parses an existing baseline with [`zaatar_obs::json`] and checks the
-//! `zaatar-bench-baseline/v3` schema, exiting non-zero on any mismatch.
+//! `zaatar-bench-baseline/v4` schema, exiting non-zero on any mismatch.
 //! All timings are honest measurements on the current host; the
 //! `host.parallelism` field records how many cores produced them.
 //!
@@ -28,6 +28,14 @@
 //! `commit.fixed_base_hit` counters. The validator enforces that the
 //! per-instance setup cost strictly decreases with β — the §2.2
 //! amortization claim, measured.
+//!
+//! Schema v4 (PR 5) adds a `mem` section: the staged prover pipeline's
+//! scratch-pool traffic (`mem.scratch.hit` / `mem.scratch.miss`) around
+//! a serial batch prove over ONE reused workspace at β ∈ {1, 16}, with
+//! the derived hit rate, per-instance pool misses (i.e. real
+//! allocations), per-instance prove time, and the workspace footprint.
+//! The validator enforces a non-zero scratch hit rate at β = 16 —
+//! buffer reuse across batch instances must actually happen.
 
 use std::time::{Duration, Instant};
 
@@ -35,14 +43,20 @@ use zaatar_cc::{ginger_to_quad, Builder};
 use zaatar_core::commit::CommitmentKey;
 use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
 use zaatar_core::qap::{Qap, QapWitness};
-use zaatar_core::runtime::{prove_batch, run_session_prover, run_session_verifier};
+use zaatar_core::runtime::{prove_batch, prove_batch_with, run_session_prover, run_session_verifier};
+use zaatar_core::workspace::ProverWorkspace;
 use zaatar_crypto::ChaChaPrg;
 use zaatar_field::{Field, F61};
 use zaatar_obs::json::{self, Value};
 use zaatar_transport::{loopback_transport_pair, RetryPolicy};
 
 /// Schema identifier written into (and required from) every baseline.
-const SCHEMA: &str = "zaatar-bench-baseline/v3";
+const SCHEMA: &str = "zaatar-bench-baseline/v4";
+
+/// Batch sizes for the `mem` scratch-reuse section: β = 1 shows the
+/// cold cost (every pool take is a miss), β = 16 shows steady-state
+/// reuse on one workspace.
+const MEM_BATCH_SIZES: [usize; 2] = [1, 16];
 
 /// Batch sizes for the `pcp` amortization section. The endpoints (1 and
 /// 16) anchor the validator's strict-decrease check.
@@ -256,6 +270,57 @@ fn bench_pcp_amortization(
         .collect()
 }
 
+/// One row of the `mem` section: scratch-pool traffic for a serial
+/// batch prove of `batch` instances over one fresh workspace.
+struct MemSample {
+    batch: usize,
+    scratch_hit: u64,
+    scratch_miss: u64,
+    hit_rate: f64,
+    allocs_per_instance: f64,
+    prove_ns_per_instance: u64,
+    footprint_bytes: usize,
+}
+
+/// Measures workspace reuse in the staged prover pipeline: for each β,
+/// proves β instances serially through `prove_batch_with` on one fresh
+/// [`ProverWorkspace`] and reads the `mem.scratch.{hit,miss}` counter
+/// deltas around the run. At β = 1 every take is a cold miss; at β = 16
+/// instances 2..16 are served from the pool, so the hit rate must be
+/// non-zero and per-instance allocations (pool misses) must drop.
+fn bench_mem_reuse(
+    pcp: &ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>,
+    witnesses: &[QapWitness<F61>],
+) -> Vec<MemSample> {
+    MEM_BATCH_SIZES
+        .iter()
+        .map(|&beta| {
+            let batch: Vec<QapWitness<F61>> = (0..beta)
+                .map(|i| witnesses[i % witnesses.len()].clone())
+                .collect();
+            let hit0 = zaatar_obs::counter("mem.scratch.hit").get();
+            let miss0 = zaatar_obs::counter("mem.scratch.miss").get();
+            let mut ws = ProverWorkspace::new();
+            let start = Instant::now();
+            let proofs = prove_batch_with(pcp, &batch, &mut ws);
+            let prove_ns_per_instance =
+                (start.elapsed().as_nanos() as u64 / beta as u64).max(1);
+            assert!(proofs.iter().all(Option::is_some), "honest witnesses");
+            let scratch_hit = zaatar_obs::counter("mem.scratch.hit").get() - hit0;
+            let scratch_miss = zaatar_obs::counter("mem.scratch.miss").get() - miss0;
+            MemSample {
+                batch: beta,
+                scratch_hit,
+                scratch_miss,
+                hit_rate: scratch_hit as f64 / (scratch_hit + scratch_miss).max(1) as f64,
+                allocs_per_instance: scratch_miss as f64 / beta as f64,
+                prove_ns_per_instance,
+                footprint_bytes: ws.footprint_bytes(),
+            }
+        })
+        .collect()
+}
+
 /// Runs the measured workload and renders the baseline document.
 fn run_baseline(smoke: bool) -> String {
     let (chain, batch, workers) = if smoke { (8, 4, 2) } else { (160, 16, 8) };
@@ -302,6 +367,11 @@ fn run_baseline(smoke: bool) -> String {
         .map(|o| o.clone().expect("honest witnesses"))
         .collect();
     let pcp_samples = bench_pcp_amortization(&pcp, &pcp_proofs, smoke);
+
+    // Scratch-pool reuse in the staged prover pipeline (one workspace,
+    // serial batch) — populates the mem.scratch counters the validator
+    // requires.
+    let mem_samples = bench_mem_reuse(&pcp, &witnesses);
 
     let snap = zaatar_obs::snapshot();
     for phase in REQUIRED_PHASES {
@@ -391,6 +461,28 @@ fn run_baseline(smoke: bool) -> String {
             smp.per_instance_setup_ns,
             smp.answer_ns_per_instance,
             if i + 1 < pcp_samples.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]},\n");
+    let high_water = snap
+        .gauges
+        .get("mem.scratch.high_water")
+        .copied()
+        .unwrap_or(0);
+    s.push_str(&format!(
+        "  \"mem\": {{\"high_water_bytes\": {high_water}, \"scratch\": [\n"
+    ));
+    for (i, smp) in mem_samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"batch\": {}, \"scratch_hit\": {}, \"scratch_miss\": {}, \"hit_rate\": {:.4}, \"allocs_per_instance\": {:.2}, \"prove_ns_per_instance\": {}, \"footprint_bytes\": {}}}{}\n",
+            smp.batch,
+            smp.scratch_hit,
+            smp.scratch_miss,
+            smp.hit_rate,
+            smp.allocs_per_instance,
+            smp.prove_ns_per_instance,
+            smp.footprint_bytes,
+            if i + 1 < mem_samples.len() { "," } else { "" },
         ));
     }
     s.push_str("  ]},\n");
@@ -542,6 +634,64 @@ fn validate_baseline(path: &str) -> Result<(), String> {
     }
     if last["batch"].as_u64() < Some(16) {
         return Err("pcp.batches must reach batch size 16".into());
+    }
+
+    let mem = root
+        .get("mem")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"mem\"")?;
+    if mem.get("high_water_bytes").and_then(Value::as_u64).is_none() {
+        return Err("mem.high_water_bytes must be an integer".into());
+    }
+    let scratch = mem
+        .get("scratch")
+        .and_then(Value::as_array)
+        .ok_or("missing array \"mem.scratch\"")?;
+    if scratch.len() < 2 {
+        return Err("mem.scratch needs at least two batch sizes".into());
+    }
+    for (i, entry) in scratch.iter().enumerate() {
+        let e = entry
+            .as_object()
+            .ok_or_else(|| format!("mem.scratch[{i}] is not an object"))?;
+        for field in ["batch", "scratch_hit", "scratch_miss", "prove_ns_per_instance", "footprint_bytes"] {
+            if e.get(field).and_then(Value::as_u64).is_none() {
+                return Err(format!("mem.scratch[{i}].{field} missing or not an integer"));
+            }
+        }
+        for field in ["hit_rate", "allocs_per_instance"] {
+            if e.get(field).and_then(Value::as_f64).is_none() {
+                return Err(format!("mem.scratch[{i}].{field} missing or not a number"));
+            }
+        }
+    }
+    let first = scratch[0].as_object().expect("checked above");
+    let last = scratch[scratch.len() - 1].as_object().expect("checked above");
+    if first["batch"].as_u64() != Some(1) {
+        return Err("mem.scratch must start at batch size 1".into());
+    }
+    if last["batch"].as_u64() < Some(16) {
+        return Err("mem.scratch must reach batch size 16".into());
+    }
+    match last["hit_rate"].as_f64() {
+        Some(r) if r > 0.0 => {}
+        _ => {
+            return Err(
+                "mem.scratch hit_rate at batch 16 must be > 0 — the staged pipeline \
+                 must serve repeat instances from the workspace pool"
+                    .into(),
+            )
+        }
+    }
+    let (first_allocs, last_allocs) = (
+        first["allocs_per_instance"].as_f64().expect("checked above"),
+        last["allocs_per_instance"].as_f64().expect("checked above"),
+    );
+    if last_allocs >= first_allocs {
+        return Err(format!(
+            "mem.scratch allocs_per_instance at batch 16 ({last_allocs}) not < batch 1 \
+             ({first_allocs}) — workspace reuse must amortize allocations"
+        ));
     }
 
     let metrics = root

@@ -27,6 +27,7 @@ use crate::ginger::{GingerPcp, GingerProof, GingerResponses};
 use crate::matvec::QueryMatrix;
 use crate::pcp::{BatchQuerySet, PcpParams, PcpResponses, QuerySet, ZaatarPcp, ZaatarProof};
 use crate::qap::QapWitness;
+use crate::workspace::ProverWorkspace;
 
 /// Argument-level parameters.
 #[derive(Copy, Clone, Debug, Default)]
@@ -202,24 +203,34 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Verifier<'p, F, D> {
     }
 }
 
-/// The prover's state for one batch.
+/// The prover's state for one batch: the PCP it proves against, the
+/// per-phase timing ledger, and the [`ProverWorkspace`] its pipeline
+/// stages lease buffers from. The four stages run per instance as
+/// **Witness → Quotient** ([`Prover::construct_proof`]), **Commit**
+/// ([`Prover::commit`]), **Answer** ([`Prover::respond`]); because the
+/// workspace lives on the prover, instance *i+1* reuses the buffers
+/// instance *i* returned to the pool.
 pub struct Prover<'p, F: HasGroup, D> {
     pcp: &'p ZaatarPcp<F, D>,
+    workspace: ProverWorkspace<F>,
     /// Phase timings.
     pub timings: ProverTimings,
 }
 
 impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Prover<'p, F, D> {
-    /// A prover bound to one computation's PCP.
+    /// A prover bound to one computation's PCP, with empty buffer pools
+    /// (they fill on the first instance).
     pub fn new(pcp: &'p ZaatarPcp<F, D>) -> Self {
         Prover {
             pcp,
+            workspace: ProverWorkspace::new(),
             timings: ProverTimings::default(),
         }
     }
 
-    /// Builds the proof vector for a satisfying witness (timed as
-    /// "construct u").
+    /// Pipeline stages 1–2 (**Witness**, **Quotient**): builds the proof
+    /// vector for a satisfying witness (timed as "construct u"), leasing
+    /// stage buffers from this prover's workspace.
     ///
     /// # Panics
     ///
@@ -229,13 +240,14 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Prover<'p, F, D> {
         let start = Instant::now();
         let proof = self
             .pcp
-            .prove(witness)
+            .prove_with(witness, &mut self.workspace)
             .expect("witness must satisfy the constraints");
         self.timings.construct_proof += start.elapsed();
         proof
     }
 
-    /// Step 2: commits to one instance's proof (timed as "crypto ops").
+    /// Pipeline stage 3 (**Commit**), step 2 of the argument: commits to
+    /// one instance's proof (timed as "crypto ops").
     pub fn commit(
         &mut self,
         proof: &ZaatarProof<F>,
@@ -249,9 +261,10 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Prover<'p, F, D> {
         (cz, ch)
     }
 
-    /// Step 4: answers all queries for one instance (timed as "answer
-    /// queries") through the blocked matrix–vector kernel — one pass
-    /// over each oracle's proof vector serves the whole query set.
+    /// Pipeline stage 4 (**Answer**), step 4 of the argument: answers
+    /// all queries for one instance (timed as "answer queries") through
+    /// the blocked matrix–vector kernel — one pass over each oracle's
+    /// proof vector serves the whole query set.
     pub fn respond(
         &mut self,
         proof: &ZaatarProof<F>,

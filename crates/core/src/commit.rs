@@ -132,9 +132,25 @@ pub fn decommit_packed<F: Field>(
     t: &[F],
     workers: usize,
 ) -> Decommitment<F> {
+    decommit_packed_into(u, queries, t, workers, Vec::new())
+}
+
+/// [`decommit_packed`] reusing a caller-supplied answer buffer (the
+/// Answer stage leases it from a [`crate::ProverWorkspace`] and returns
+/// it after encoding). The buffer is cleared and refilled; its capacity
+/// — not its contents — is what carries over between instances, so the
+/// output is identical to [`decommit_packed`].
+pub fn decommit_packed_into<F: Field>(
+    u: &[F],
+    queries: &QueryMatrix<F>,
+    t: &[F],
+    workers: usize,
+    mut answers: Vec<F>,
+) -> Decommitment<F> {
     let _span = zaatar_obs::time("pcp.answer.matvec");
+    queries.matvec_into(u, workers, &mut answers);
     Decommitment {
-        answers: queries.matvec(u, workers),
+        answers,
         t_answer: t.iter().zip(u.iter()).map(|(a, b)| *a * *b).sum(),
     }
 }

@@ -39,6 +39,7 @@ pub mod runtime;
 pub mod session;
 pub mod soundness;
 pub mod wire;
+pub mod workspace;
 
 pub use argument::{
     run_batched_argument, run_batched_ginger_argument, ArgumentParams, BatchResult, Prover,
@@ -50,9 +51,10 @@ pub use ginger::{GingerPcp, GingerProof};
 pub use matvec::QueryMatrix;
 pub use pcp::{BatchQuerySet, PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
 pub use network::{queries_from_seed, zaatar_network_costs, NetworkCosts};
-pub use qap::{Qap, QapEvals, QapWitness};
+pub use qap::{Qap, QapEvals, QapWitness, StagedWitness};
 pub use runtime::{
-    answer_batch, prove_batch, run_session_prover, run_session_verifier, ProverStats,
-    SessionReport, VerifyOutcome,
+    answer_batch, prove_batch, prove_batch_with, run_session_prover, run_session_verifier,
+    ProverStats, SessionReport, VerifyOutcome,
 };
 pub use session::{SessionError, SessionProver, SessionVerifier};
+pub use workspace::ProverWorkspace;

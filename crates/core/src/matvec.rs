@@ -81,20 +81,33 @@ impl<F: Field> QueryMatrix<F> {
     ///
     /// Panics if `v.len()` differs from the query length.
     pub fn matvec(&self, v: &[F], workers: usize) -> Vec<F> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.matvec_into(v, workers, &mut out);
+        out
+    }
+
+    /// [`QueryMatrix::matvec`] into a caller-owned buffer (cleared
+    /// first), so a batch loop reuses one answer vector's allocation
+    /// across instances. Results are identical to [`QueryMatrix::matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the query length.
+    pub fn matvec_into(&self, v: &[F], workers: usize, out: &mut Vec<F>) {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
+        out.clear();
         if self.rows == 0 {
-            return Vec::new();
+            return;
         }
         let shards: Vec<std::ops::Range<usize>> = shard_batch(self.rows, workers.max(1))
             .into_iter()
             .filter(|r| !r.is_empty())
             .collect();
         let parts = parallel_map(shards, workers, |rows| self.matvec_rows(v, rows));
-        let mut out = Vec::with_capacity(self.rows);
+        out.reserve(self.rows);
         for part in parts {
             out.extend(part);
         }
-        out
     }
 
     /// The kernel proper, for one shard of rows: column-blocked so each

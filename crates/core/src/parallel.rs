@@ -13,7 +13,7 @@
 //! also uses them for intra-transform parallelism; they are re-exported
 //! here unchanged for existing callers.
 
-pub use zaatar_poly::parallel::{parallel_map, shard_batch};
+pub use zaatar_poly::parallel::{effective_workers, parallel_map, parallel_map_with, shard_batch};
 
 /// A hardware configuration in the paper's Fig. 6 notation (`4C`,
 /// `15C+15G`, …).

@@ -21,6 +21,7 @@ use zaatar_poly::domain::EvalDomain;
 
 use crate::matvec::QueryMatrix;
 use crate::qap::{Qap, QapWitness};
+use crate::workspace::ProverWorkspace;
 
 /// PCP repetition parameters (App. A.2).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -264,9 +265,23 @@ impl<F: PrimeField, D: EvalDomain<F>> ZaatarPcp<F, D> {
     /// Builds a correct proof from a satisfying witness. Returns `None`
     /// if the witness does not satisfy the constraints.
     pub fn prove(&self, witness: &QapWitness<F>) -> Option<ZaatarProof<F>> {
+        self.prove_with(witness, &mut ProverWorkspace::new())
+    }
+
+    /// [`ZaatarPcp::prove`] over a caller-owned workspace: the Witness
+    /// and Quotient pipeline stages lease their transform and
+    /// accumulator buffers from `ws` instead of allocating, so a batch
+    /// loop (or a `parallel_map_with` worker) reuses one set of buffers
+    /// across every instance. Field arithmetic is exact, so the proof is
+    /// bit-identical to the allocating path.
+    pub fn prove_with(
+        &self,
+        witness: &QapWitness<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Option<ZaatarProof<F>> {
         let _span = zaatar_obs::time("pcp.prove");
         zaatar_obs::counter("pcp.prove.calls").inc();
-        let h = self.qap.compute_h(witness)?;
+        let h = self.qap.compute_h_with(witness, ws)?;
         Some(ZaatarProof {
             z: witness.z.clone(),
             h,

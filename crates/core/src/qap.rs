@@ -19,6 +19,8 @@ use zaatar_field::PrimeField;
 use zaatar_poly::domain::EvalDomain;
 use zaatar_poly::{Radix2Domain, SparsePoly};
 
+use crate::workspace::ProverWorkspace;
+
 /// Maps between the constraint system's `VarId`s and QAP indices.
 #[derive(Clone, Debug)]
 pub struct QapVarMap {
@@ -101,6 +103,17 @@ impl<F: PrimeField> QapWitness<F> {
         w.extend_from_slice(&self.io);
         w
     }
+}
+
+/// Output of the prover pipeline's Witness stage
+/// ([`Qap::witness_stage`]): the per-constraint values of `A`, `B`, `C`
+/// for one instance, held in workspace-leased buffers. Consume it with
+/// [`Qap::quotient_stage`], which recycles the buffers into the same
+/// workspace.
+pub struct StagedWitness<F> {
+    a_vals: Vec<F>,
+    b_vals: Vec<F>,
+    c_vals: Vec<F>,
 }
 
 /// The `{Aᵢ(τ)}` evaluations the verifier needs for query construction
@@ -259,38 +272,96 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
         QapWitness { z, io }
     }
 
-    /// Per-constraint inner products `Σᵢ wᵢ·mᵢⱼ` for a full `w`
-    /// (including padding zeros beyond the real constraints).
-    fn combine_rows(&self, rows: &[SparsePoly<F>], w: &[F]) -> Vec<F> {
-        let mut acc = vec![F::ZERO; self.domain.size()];
+    /// Per-constraint inner products `Σᵢ wᵢ·mᵢⱼ` for a full `w`, into a
+    /// buffer leased from `ws` (including padding zeros beyond the real
+    /// constraints).
+    fn combine_rows_into(
+        &self,
+        rows: &[SparsePoly<F>],
+        w: &[F],
+        ws: &mut ProverWorkspace<F>,
+    ) -> Vec<F> {
+        let mut acc = ws.scratch().take(self.domain.size(), F::ZERO);
         for (row, wi) in rows.iter().zip(w.iter()) {
             row.accumulate_into(*wi, &mut acc);
         }
         acc
     }
 
-    /// The prover's quotient computation (App. A.3): combines the sparse
-    /// rows into the per-constraint values of `A`, `B`, `C` and hands
-    /// them to the domain's quotient kernel
-    /// ([`EvalDomain::quotient_zero_pinned`]), which checks divisibility
-    /// pointwise and computes `H = P_w/D` — via coset transforms on the
-    /// NTT fast path.
+    /// Pipeline stage 1 — **Witness**: assembles the full `w` vector and
+    /// combines the sparse rows into the per-constraint values of `A`,
+    /// `B`, `C`, all in buffers leased from the workspace. The output is
+    /// consumed (and its buffers recycled) by [`Qap::quotient_stage`].
+    pub fn witness_stage(
+        &self,
+        witness: &QapWitness<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> StagedWitness<F> {
+        let z_len = witness.z.len();
+        let mut w = ws.scratch().take(1 + z_len + witness.io.len(), F::ZERO);
+        w[0] = F::ONE;
+        w[1..=z_len].clone_from_slice(&witness.z);
+        w[1 + z_len..].clone_from_slice(&witness.io);
+        let a_vals = self.combine_rows_into(&self.a_rows, &w, ws);
+        let b_vals = self.combine_rows_into(&self.b_rows, &w, ws);
+        let c_vals = self.combine_rows_into(&self.c_rows, &w, ws);
+        ws.scratch().put(w);
+        StagedWitness {
+            a_vals,
+            b_vals,
+            c_vals,
+        }
+    }
+
+    /// Pipeline stage 2 — **Quotient**: hands the staged per-constraint
+    /// values to the domain's quotient kernel
+    /// ([`EvalDomain::quotient_zero_pinned_scratch`], coset transforms
+    /// over workspace buffers on the NTT fast path) and returns the
+    /// staged buffers to the pool. `None` means the divisibility gate
+    /// failed — `w` is not a satisfying assignment.
+    pub fn quotient_stage(
+        &self,
+        staged: StagedWitness<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Option<Vec<F>> {
+        let h = self.domain.quotient_zero_pinned_scratch(
+            &staged.a_vals,
+            &staged.b_vals,
+            &staged.c_vals,
+            ws.scratch(),
+        );
+        ws.scratch().put(staged.c_vals);
+        ws.scratch().put(staged.b_vals);
+        ws.scratch().put(staged.a_vals);
+        debug_assert!(
+            h.as_ref().is_none_or(|h| h.len() == self.degree() + 1),
+            "quotient kernel must return degree()+1 coefficients"
+        );
+        h
+    }
+
+    /// The prover's quotient computation (App. A.3) — the Witness and
+    /// Quotient stages back to back over a caller-owned workspace, so a
+    /// batch loop reuses one set of buffers across every instance.
     ///
     /// Returns the coefficients of `H(t)` (length `degree() + 1`), or
     /// `None` if `D(t)` does not divide `P_w(t)` — i.e. `w` is not a
     /// satisfying assignment.
-    pub fn compute_h(&self, witness: &QapWitness<F>) -> Option<Vec<F>> {
+    pub fn compute_h_with(
+        &self,
+        witness: &QapWitness<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Option<Vec<F>> {
         let _span = zaatar_obs::time("qap.compute_h");
-        let w = witness.full();
-        let a_vals = self.combine_rows(&self.a_rows, &w);
-        let b_vals = self.combine_rows(&self.b_rows, &w);
-        let c_vals = self.combine_rows(&self.c_rows, &w);
-        let h = self
-            .domain
-            .quotient_zero_pinned(&a_vals, &b_vals, &c_vals)?;
-        let mut coeffs = h.into_coeffs();
-        coeffs.resize(self.degree() + 1, F::ZERO);
-        Some(coeffs)
+        let staged = self.witness_stage(witness, ws);
+        self.quotient_stage(staged, ws)
+    }
+
+    /// [`Qap::compute_h_with`] over a throwaway workspace — the
+    /// single-instance convenience path. Exact field arithmetic makes
+    /// the output identical either way.
+    pub fn compute_h(&self, witness: &QapWitness<F>) -> Option<Vec<F>> {
+        self.compute_h_with(witness, &mut ProverWorkspace::new())
     }
 
     /// Like [`Qap::compute_h`] but returns the (useless) quotient even
@@ -301,10 +372,11 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
     /// this path's truncated Euclidean quotient is stable across kernel
     /// rewrites.
     pub fn compute_h_unchecked(&self, witness: &QapWitness<F>) -> Vec<F> {
+        let mut ws = ProverWorkspace::new();
         let w = witness.full();
-        let a_vals = self.combine_rows(&self.a_rows, &w);
-        let b_vals = self.combine_rows(&self.b_rows, &w);
-        let c_vals = self.combine_rows(&self.c_rows, &w);
+        let a_vals = self.combine_rows_into(&self.a_rows, &w, &mut ws);
+        let b_vals = self.combine_rows_into(&self.b_rows, &w, &mut ws);
+        let c_vals = self.combine_rows_into(&self.c_rows, &w, &mut ws);
         let a_poly = self.domain.interpolate_zero_pinned(&a_vals);
         let b_poly = self.domain.interpolate_zero_pinned(&b_vals);
         let c_poly = self.domain.interpolate_zero_pinned(&c_vals);

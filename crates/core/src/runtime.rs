@@ -28,11 +28,12 @@ use zaatar_field::PrimeField;
 use zaatar_poly::domain::EvalDomain;
 use zaatar_transport::{exchange, Frame, RetryPolicy, Transport, TransportError};
 
-use crate::parallel::parallel_map;
+use crate::parallel::{parallel_map, parallel_map_with};
 use crate::pcp::{BatchQuerySet, PcpResponses, ZaatarPcp, ZaatarProof};
 use crate::qap::QapWitness;
 use crate::session::{SessionError, SessionProver, SessionVerifier};
 use crate::wire::WireError;
+use crate::workspace::ProverWorkspace;
 
 /// Frame `msg_type` values of the session protocol.
 pub mod msg {
@@ -80,7 +81,32 @@ where
 {
     let _span = zaatar_obs::time("runtime.prove_batch");
     zaatar_obs::counter("runtime.prove_batch.instances").add(witnesses.len() as u64);
-    parallel_map(witnesses.iter().collect(), workers, |w| pcp.prove(w))
+    parallel_map_with(
+        witnesses.iter().collect(),
+        workers,
+        ProverWorkspace::new,
+        |ws, w| pcp.prove_with(w, ws),
+    )
+}
+
+/// Serial [`prove_batch`] over a caller-owned workspace: every instance
+/// runs on the calling thread and leases its stage buffers from `ws`.
+/// This is the entry point for a long-lived prover that keeps one
+/// workspace across many sessions — the leak-guard suite pins
+/// `ws.footprint_bytes()` across hundreds of calls — and for callers
+/// that want allocation behaviour independent of worker scheduling.
+pub fn prove_batch_with<F, D>(
+    pcp: &ZaatarPcp<F, D>,
+    witnesses: &[QapWitness<F>],
+    ws: &mut ProverWorkspace<F>,
+) -> Vec<Option<ZaatarProof<F>>>
+where
+    F: PrimeField,
+    D: EvalDomain<F>,
+{
+    let _span = zaatar_obs::time("runtime.prove_batch");
+    zaatar_obs::counter("runtime.prove_batch.instances").add(witnesses.len() as u64);
+    witnesses.iter().map(|w| pcp.prove_with(w, ws)).collect()
 }
 
 /// Answers every instance of a batch off one amortized
@@ -271,6 +297,9 @@ where
     let mut prover = SessionProver::new(pcp);
     let mut cache: Vec<Option<Vec<u8>>> = vec![None; proofs.len()];
     let mut stats = ProverStats::default();
+    // One workspace for the whole serving loop: every instance response
+    // leases its Answer-stage buffers from the same pool.
+    let mut ws = ProverWorkspace::new();
 
     loop {
         let frame = match transport.recv(Instant::now() + idle_timeout) {
@@ -309,7 +338,7 @@ where
                         let cached = match &cache[idx] {
                             Some(bytes) => Ok(bytes.clone()),
                             None => prover
-                                .instance_message(&proofs[idx])
+                                .instance_message_with(&proofs[idx], &mut ws)
                                 .inspect(|bytes| cache[idx] = Some(bytes.clone())),
                         };
                         match cached {

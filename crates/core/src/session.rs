@@ -14,10 +14,11 @@ use zaatar_poly::domain::EvalDomain;
 
 use zaatar_transport::TransportError;
 
-use crate::commit::{decommit_packed, CommitmentKey, Decommitment};
+use crate::commit::{decommit_packed_into, CommitmentKey, Decommitment};
 use crate::network::queries_from_seed;
 use crate::pcp::{BatchQuerySet, PcpResponses, QuerySet, ZaatarPcp, ZaatarProof};
 use crate::wire::{Reader, WireError, Writer};
+use crate::workspace::ProverWorkspace;
 
 /// Everything that can go wrong while running a session, typed so a
 /// driver can degrade gracefully instead of aborting the batch.
@@ -250,6 +251,19 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
     /// for a proof. Fails with [`SessionError::SetupNotReceived`] when
     /// called before [`SessionProver::receive_setup`] has succeeded.
     pub fn instance_message(&self, proof: &ZaatarProof<F>) -> Result<Vec<u8>, SessionError> {
+        self.instance_message_with(proof, &mut ProverWorkspace::new())
+    }
+
+    /// [`SessionProver::instance_message`] over a caller-owned
+    /// workspace: the Answer-stage decommitment vectors are leased from
+    /// `ws` and returned once encoded, so a session loop serving many
+    /// instances reuses the same two answer buffers throughout. Bytes on
+    /// the wire are identical to [`SessionProver::instance_message`].
+    pub fn instance_message_with(
+        &self,
+        proof: &ZaatarProof<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<Vec<u8>, SessionError> {
         let queries = self.queries.as_ref().ok_or(SessionError::SetupNotReceived)?;
         let commitments = (
             CommitmentKey::<F>::commit(&self.enc_r_z, &proof.z),
@@ -260,10 +274,17 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
         // batch-packed matrices.
         let answer_span = zaatar_obs::time("pcp.answer");
         zaatar_obs::counter("pcp.batch.query_reuse").inc();
-        let dz: Decommitment<F> = decommit_packed(&proof.z, queries.z_matrix(), &self.t_z, 1);
-        let dh: Decommitment<F> = decommit_packed(&proof.h, queries.h_matrix(), &self.t_h, 1);
+        let buf_z = ws.scratch().take(queries.z_matrix().num_rows(), F::ZERO);
+        let buf_h = ws.scratch().take(queries.h_matrix().num_rows(), F::ZERO);
+        let dz: Decommitment<F> =
+            decommit_packed_into(&proof.z, queries.z_matrix(), &self.t_z, 1, buf_z);
+        let dh: Decommitment<F> =
+            decommit_packed_into(&proof.h, queries.h_matrix(), &self.t_h, 1, buf_h);
         drop(answer_span);
-        Ok(crate::wire::encode_prover_message(&commitments, &dz, &dh)?)
+        let bytes = crate::wire::encode_prover_message(&commitments, &dz, &dh)?;
+        ws.scratch().put(dh.answers);
+        ws.scratch().put(dz.answers);
+        Ok(bytes)
     }
 }
 

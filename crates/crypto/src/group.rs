@@ -11,10 +11,10 @@
 //! keys", §5.1; 256-bit for the test field) and a generator
 //! `g = h^((p−1)/q)` of order exactly `q`.
 
-use std::collections::HashMap;
-use std::sync::{OnceLock, RwLock};
+use std::sync::OnceLock;
 
 use zaatar_field::{PrimeField, F128, F220, F61};
+use zaatar_mem::Interner;
 
 use crate::mp::{is_zero, MontCtx};
 
@@ -307,32 +307,25 @@ impl SchnorrGroup {
 
     /// The interned fixed-base table for this group's generator.
     ///
-    /// Tables are interned in a global registry keyed by
-    /// `(modulus, generator)` — the same `OnceLock` + `RwLock` +
-    /// `Box::leak` pattern as `zaatar_poly::plan` — so the (at most a
-    /// handful of) process-wide groups each pay the build cost once.
-    /// Registry hits are counted as `commit.fixed_base_hit`.
+    /// Tables are interned in a global [`zaatar_mem::Interner`] keyed
+    /// by `(modulus, generator)` — shared machinery with the
+    /// `zaatar_poly::plan` registry — so the (at most a handful of)
+    /// process-wide groups each pay the build cost once. Registry hits
+    /// are counted as `commit.fixed_base_hit`.
     pub fn generator_table(&self) -> &'static FixedBaseTable {
-        static REGISTRY: OnceLock<RwLock<HashMap<Vec<u64>, &'static FixedBaseTable>>> =
-            OnceLock::new();
-        let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
+        static REGISTRY: Interner<Vec<u64>, FixedBaseTable> = Interner::new();
         // Key on modulus ++ generator so hypothetical same-modulus
         // groups with different generators cannot collide.
         let mut key = self.ctx.modulus().to_vec();
         key.extend_from_slice(&self.generator.mont);
-        if let Some(table) = registry.read().expect("registry poisoned").get(&key) {
-            zaatar_obs::counter("commit.fixed_base_hit").inc();
-            return table;
-        }
-        let mut write = registry.write().expect("registry poisoned");
-        if let Some(table) = write.get(&key) {
-            zaatar_obs::counter("commit.fixed_base_hit").inc();
-            return table;
-        }
-        zaatar_obs::counter("commit.fixed_base_miss").inc();
-        let table: &'static FixedBaseTable =
-            Box::leak(Box::new(self.fixed_base_table(&self.generator)));
-        write.insert(key, table);
+        let (table, hit) =
+            REGISTRY.intern_with(key, || self.fixed_base_table(&self.generator));
+        zaatar_obs::counter(if hit {
+            "commit.fixed_base_hit"
+        } else {
+            "commit.fixed_base_miss"
+        })
+        .inc();
         table
     }
 }

@@ -20,8 +20,18 @@ use crate::traits::Field;
 /// assert_eq!(xs[2] * F61::from_u64(3), F61::ONE);
 /// ```
 pub fn batch_inverse<F: Field>(values: &mut [F]) {
-    // Forward pass: prefix products of the non-zero entries.
     let mut prefix = Vec::with_capacity(values.len());
+    batch_inverse_into(values, &mut prefix);
+}
+
+/// [`batch_inverse`] with a caller-supplied buffer for the prefix
+/// products, so hot loops (the staged prover's workspace) can run the
+/// trick without a fresh allocation per call. `prefix` is cleared and
+/// refilled; its contents afterwards are an implementation detail.
+pub fn batch_inverse_into<F: Field>(values: &mut [F], prefix: &mut Vec<F>) {
+    // Forward pass: prefix products of the non-zero entries.
+    prefix.clear();
+    prefix.reserve(values.len());
     let mut acc = F::ONE;
     for v in values.iter() {
         prefix.push(acc);
@@ -91,5 +101,25 @@ mod tests {
         let mut xs = vec![F61::from_u64(7)];
         batch_inverse(&mut xs);
         assert_eq!(xs[0], F61::from_u64(7).inverse().unwrap());
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffer() {
+        let orig: Vec<F61> = vec![3, 0, 9, 14, 0, 61]
+            .into_iter()
+            .map(F61::from_u64)
+            .collect();
+        let mut a = orig.clone();
+        batch_inverse(&mut a);
+        let mut scratch: Vec<F61> = Vec::new();
+        let mut b = orig.clone();
+        batch_inverse_into(&mut b, &mut scratch);
+        assert_eq!(a, b);
+        let cap = scratch.capacity();
+        // A second run over the same shape must not regrow the buffer.
+        let mut c = orig.clone();
+        batch_inverse_into(&mut c, &mut scratch);
+        assert_eq!(a, c);
+        assert_eq!(scratch.capacity(), cap);
     }
 }

@@ -31,7 +31,7 @@ pub mod params;
 pub mod testutil;
 pub mod traits;
 
-pub use batch::batch_inverse;
+pub use batch::{batch_inverse, batch_inverse_into};
 pub use fp::Fp;
 pub use params::{F128Params, F220Params, F61Params};
 pub use traits::{Field, FpParams, PrimeField};

@@ -1,0 +1,304 @@
+//! Reusable-memory primitives for the Zaatar workspace: a generic
+//! value [`Interner`] and a size-classed [`Scratch`] buffer pool.
+//!
+//! Two independent crates (`zaatar-poly`'s NTT plan registry and
+//! `zaatar-crypto`'s fixed-base table registry) grew the same
+//! hand-rolled intern pattern — `OnceLock` + `RwLock` + `HashMap` +
+//! `Box::leak`. [`Interner`] is that pattern, written once: keyed,
+//! process-lived, build-once values handed out as `&'static` references.
+//! By workspace convention the triple pattern may not appear anywhere
+//! else; registries must go through this type.
+//!
+//! [`Scratch`] serves the staged prover pipeline: the per-instance
+//! quotient and NTT temporaries are identical in shape across the β
+//! instances of a batch, so each worker thread keeps one pool and the
+//! allocations amortize to the first instance. Pool behavior is
+//! observable through the global [`zaatar_obs`] registry as
+//! `mem.scratch.hit` / `mem.scratch.miss` counters and the
+//! `mem.scratch.high_water` gauge (peak pooled + outstanding bytes),
+//! which the leak-guard tests and the bench baseline's `mem` section
+//! read.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{OnceLock, RwLock};
+
+/// A process-wide value interner: each key's value is built exactly
+/// once, leaked, and served as `&'static V` forever after.
+///
+/// Designed to live in a `static` (`new` is `const`). The first build
+/// for a key runs under the write lock, so concurrent first uses of the
+/// same key race at most once and every caller observes the same
+/// address — callers may rely on pointer identity of interned values.
+///
+/// Leaking is deliberate and bounded: interned values are the kind of
+/// table (NTT twiddles, fixed-base windows) a process accumulates a
+/// handful of, keyed by configuration that does not grow with the
+/// workload.
+pub struct Interner<K: 'static, V: 'static> {
+    map: OnceLock<RwLock<HashMap<K, &'static V>>>,
+}
+
+impl<K: Eq + Hash, V> Interner<K, V> {
+    /// An empty interner, usable as a `static` initializer.
+    pub const fn new() -> Self {
+        Interner {
+            map: OnceLock::new(),
+        }
+    }
+
+    /// Returns the interned value for `key`, building it with `build`
+    /// on first use. The second component is `true` on a registry hit
+    /// (the value already existed) and `false` when this call built it,
+    /// so call sites can keep their own hit/miss counters.
+    pub fn intern_with<B: FnOnce() -> V>(&self, key: K, build: B) -> (&'static V, bool) {
+        let map = self.map.get_or_init(|| RwLock::new(HashMap::new()));
+        if let Some(v) = map.read().expect("interner lock").get(&key) {
+            return (v, true);
+        }
+        let mut write = map.write().expect("interner lock");
+        if let Some(v) = write.get(&key) {
+            // Lost the race between dropping the read lock and taking
+            // the write lock: another thread built it — still a hit.
+            return (v, true);
+        }
+        let v: &'static V = Box::leak(Box::new(build()));
+        write.insert(key, v);
+        (v, false)
+    }
+
+    /// The interned value for `key`, if one has been built.
+    pub fn get(&self, key: &K) -> Option<&'static V> {
+        self.map
+            .get()
+            .and_then(|m| m.read().expect("interner lock").get(key).copied())
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.map
+            .get()
+            .map_or(0, |m| m.read().expect("interner lock").len())
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V> Default for Interner<K, V> {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+/// Buffers per size class retained by a [`Scratch`] pool; extras are
+/// dropped on [`Scratch::put`]. Bounds worst-case retention at
+/// `MAX_PER_CLASS · Σ 2^c` elements over the classes actually used.
+const MAX_PER_CLASS: usize = 8;
+
+/// Size classes cover capacities up to `2^(CLASSES-1)`; larger buffers
+/// bypass the pool entirely (allocated and dropped like plain `Vec`s).
+const CLASSES: usize = 48;
+
+/// A size-classed pool of reusable `Vec<T>` buffers.
+///
+/// [`Scratch::take`] hands out a buffer of the requested length (every
+/// element initialized to the supplied fill value, so reuse can never
+/// leak stale data into a computation); [`Scratch::put`] returns it for
+/// reuse. Class `c` holds buffers with capacity in `[2^c, 2^(c+1))`,
+/// and `take(len)` draws from class `⌈log₂ len⌉`, so a pooled buffer
+/// always has enough capacity for the request.
+///
+/// Not thread-safe by design — each prover worker owns its pool (one
+/// `&mut` user), which is what keeps take/put free of atomics.
+pub struct Scratch<T> {
+    classes: Vec<Vec<Vec<T>>>,
+    /// Elements (capacities) currently pooled.
+    retained: usize,
+    /// Elements (capacities) handed out and not yet returned.
+    outstanding: usize,
+}
+
+impl<T> Scratch<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Scratch {
+            classes: (0..CLASSES).map(|_| Vec::new()).collect(),
+            retained: 0,
+            outstanding: 0,
+        }
+    }
+
+    /// Size class of a capacity: smallest `c` with `2^c >= cap`.
+    fn class_of(cap: usize) -> usize {
+        cap.max(1).next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// Current pool footprint in bytes (pooled + outstanding
+    /// capacities), the quantity tracked by `mem.scratch.high_water`.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.retained + self.outstanding) * core::mem::size_of::<T>()
+    }
+
+    fn observe_high_water(&self) {
+        zaatar_obs::gauge("mem.scratch.high_water").observe(self.footprint_bytes() as u64);
+    }
+
+    /// Takes a buffer of exactly `len` elements, each set to `fill`.
+    /// Reuses a pooled buffer when one of sufficient capacity exists
+    /// (`mem.scratch.hit`), otherwise allocates (`mem.scratch.miss`).
+    pub fn take(&mut self, len: usize, fill: T) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let class = Self::class_of(len);
+        let mut buf = match self.classes.get_mut(class).and_then(Vec::pop) {
+            Some(buf) => {
+                self.retained -= buf.capacity();
+                zaatar_obs::counter("mem.scratch.hit").inc();
+                buf
+            }
+            None => {
+                zaatar_obs::counter("mem.scratch.miss").inc();
+                Vec::with_capacity(len.max(1).next_power_of_two())
+            }
+        };
+        buf.clear();
+        buf.resize(len, fill);
+        self.outstanding += buf.capacity();
+        self.observe_high_water();
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse. Buffers beyond
+    /// [`MAX_PER_CLASS`] per class (or beyond the class range) are
+    /// simply dropped, which is what bounds the pool's high-water mark.
+    pub fn put(&mut self, buf: Vec<T>) {
+        let cap = buf.capacity();
+        self.outstanding = self.outstanding.saturating_sub(cap);
+        if cap == 0 {
+            return;
+        }
+        // Classed by *floor* log₂ of capacity so every pooled buffer in
+        // class c can serve any take() of length ≤ 2^c.
+        let class = (usize::BITS - 1 - cap.leading_zeros()) as usize;
+        if let Some(slot) = self.classes.get_mut(class) {
+            if slot.len() < MAX_PER_CLASS {
+                self.retained += cap;
+                slot.push(buf);
+            }
+        }
+        self.observe_high_water();
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+}
+
+impl<T> Default for Scratch<T> {
+    fn default() -> Self {
+        Scratch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static INTERNED: Interner<u32, String> = Interner::new();
+
+    #[test]
+    fn interner_builds_once_and_returns_same_reference() {
+        let (a, hit_a) = INTERNED.intern_with(7, || "seven".to_string());
+        let (b, hit_b) = INTERNED.intern_with(7, || unreachable!("already interned"));
+        assert!(!hit_a || hit_b, "second lookup must be a hit");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "seven");
+        assert_eq!(INTERNED.get(&7), Some(a));
+    }
+
+    #[test]
+    fn interner_separates_keys() {
+        let local: Interner<(u8, u8), Vec<u8>> = Interner::new();
+        assert!(local.is_empty());
+        let (a, hit) = local.intern_with((1, 2), || vec![1, 2]);
+        assert!(!hit);
+        let (b, _) = local.intern_with((2, 1), || vec![2, 1]);
+        assert!(!std::ptr::eq(a, b));
+        assert_eq!(local.len(), 2);
+        assert_eq!(local.get(&(9, 9)), None);
+    }
+
+    #[test]
+    fn scratch_reuses_buffers() {
+        let mut s: Scratch<u64> = Scratch::new();
+        let a = s.take(100, 0);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&x| x == 0));
+        let cap = a.capacity();
+        s.put(a);
+        assert_eq!(s.pooled(), 1);
+        // Same class → reuse, even for a smaller request.
+        let b = s.take(90, 7);
+        assert_eq!(b.capacity(), cap, "must reuse the pooled buffer");
+        assert_eq!(b.len(), 90);
+        assert!(b.iter().all(|&x| x == 7), "reused buffer must be re-filled");
+        assert_eq!(s.pooled(), 0);
+    }
+
+    #[test]
+    fn scratch_clears_stale_contents() {
+        let mut s: Scratch<u32> = Scratch::new();
+        let mut a = s.take(8, 9);
+        a[3] = 1234;
+        s.put(a);
+        let b = s.take(8, 0);
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn scratch_footprint_is_bounded_under_reuse() {
+        let mut s: Scratch<u64> = Scratch::new();
+        let mut peak = 0;
+        for _ in 0..1000 {
+            let a = s.take(64, 0);
+            let b = s.take(64, 0);
+            s.put(a);
+            s.put(b);
+            peak = peak.max(s.footprint_bytes());
+        }
+        // Two 64-slot class-6 buffers, nothing more.
+        assert_eq!(s.pooled(), 2);
+        assert_eq!(peak, 2 * 64 * 8);
+    }
+
+    #[test]
+    fn scratch_retention_is_capped_per_class() {
+        let mut s: Scratch<u8> = Scratch::new();
+        let bufs: Vec<_> = (0..MAX_PER_CLASS + 5).map(|_| s.take(16, 0)).collect();
+        for b in bufs {
+            s.put(b);
+        }
+        assert_eq!(s.pooled(), MAX_PER_CLASS);
+    }
+
+    #[test]
+    fn scratch_metrics_fire() {
+        let mut s: Scratch<u64> = Scratch::new();
+        let before = zaatar_obs::snapshot();
+        let hits0 = before.counters.get("mem.scratch.hit").copied().unwrap_or(0);
+        let miss0 = before.counters.get("mem.scratch.miss").copied().unwrap_or(0);
+        let a = s.take(32, 0);
+        s.put(a);
+        let b = s.take(32, 0);
+        s.put(b);
+        let after = zaatar_obs::snapshot();
+        assert!(after.counters["mem.scratch.miss"] > miss0);
+        assert!(after.counters["mem.scratch.hit"] > hits0);
+        assert!(after.gauges["mem.scratch.high_water"] >= 32 * 8);
+    }
+}

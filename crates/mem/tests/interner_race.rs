@@ -1,0 +1,75 @@
+//! Cold-slot race test for the shared [`zaatar_mem::Interner`] —
+//! mirrors `crates/poly/tests/plan_cache.rs`, which exercises the same
+//! property through the NTT plan registry: many threads hitting an
+//! uninterned key at once must all observe one value at one address,
+//! with the builder having run exactly once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use zaatar_mem::Interner;
+
+const THREADS: usize = 16;
+
+static REGISTRY: Interner<u64, Vec<u64>> = Interner::new();
+static BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+fn expensive_build(key: u64) -> Vec<u64> {
+    BUILDS.fetch_add(1, Ordering::SeqCst);
+    // Big enough that a racing second build would overlap the first.
+    (0..1 << 12).map(|i| key.wrapping_mul(i ^ 0x9e37_79b9)).collect()
+}
+
+#[test]
+fn concurrent_first_use_builds_once() {
+    const KEY: u64 = 0xc01d;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let ptrs: Vec<(usize, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let (v, hit) = REGISTRY.intern_with(KEY, || expensive_build(KEY));
+                    (v as *const Vec<u64> as usize, hit)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly one build ran, exactly one thread reported a miss, and
+    // every thread got the same address.
+    assert_eq!(BUILDS.load(Ordering::SeqCst), 1);
+    assert_eq!(ptrs.iter().filter(|(_, hit)| !hit).count(), 1);
+    let first = ptrs[0].0;
+    assert!(ptrs.iter().all(|(p, _)| *p == first));
+
+    // The interned value matches a cold rebuild (the builder is pure).
+    let cold = (0..1u64 << 12)
+        .map(|i| KEY.wrapping_mul(i ^ 0x9e37_79b9))
+        .collect::<Vec<u64>>();
+    assert_eq!(*REGISTRY.get(&KEY).unwrap(), cold);
+}
+
+#[test]
+fn distinct_keys_race_to_distinct_values() {
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let ptrs: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let key = 1000 + (t as u64 % 4);
+                    let (v, _) = REGISTRY.intern_with(key, || vec![key; 8]);
+                    assert_eq!(*v, vec![key; 8]);
+                    v as *const Vec<u64> as usize
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let distinct: std::collections::BTreeSet<usize> = ptrs.into_iter().collect();
+    assert_eq!(distinct.len(), 4, "four keys → four interned values");
+}

@@ -1,7 +1,7 @@
 //! Zero-dependency observability for the Zaatar workspace: monotonic
-//! counters, scoped timers, and lock-cheap log₂-bucketed histograms,
-//! gathered in a [`MetricsRegistry`] that snapshots to a human-readable
-//! table and to machine-readable JSON.
+//! counters, high-water gauges, scoped timers, and lock-cheap
+//! log₂-bucketed histograms, gathered in a [`MetricsRegistry`] that
+//! snapshots to a human-readable table and to machine-readable JSON.
 //!
 //! The paper's evaluation (§5.2, Fig. 5–6) is a story about *measured*
 //! per-phase cost — QAP construction, the `H(t)` quotient, commitment
@@ -62,6 +62,27 @@ impl Counter {
     }
 
     /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A high-water gauge: retains the *maximum* value ever observed.
+/// Observation order therefore never matters, keeping snapshots
+/// deterministic under concurrent recording. Cloning shares the cell.
+///
+/// Used for watermark-style measurements such as
+/// `mem.scratch.high_water` (peak bytes retained by a buffer pool).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Raises the gauge to `v` if `v` exceeds the current maximum.
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current maximum.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -217,6 +238,7 @@ pub struct TimerStats {
 #[derive(Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
     timers: Mutex<BTreeMap<String, Histogram>>,
 }
 
@@ -236,6 +258,19 @@ impl MetricsRegistry {
                 let c = Counter::default();
                 map.insert(name.to_string(), c.clone());
                 c
+            }
+        }
+    }
+
+    /// The high-water gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("registry mutex");
+        match map.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = Gauge::default();
+                map.insert(name.to_string(), g.clone());
+                g
             }
         }
     }
@@ -263,6 +298,7 @@ impl MetricsRegistry {
     /// visible to snapshots — re-fetch handles after resetting.
     pub fn reset(&self) {
         self.counters.lock().expect("registry mutex").clear();
+        self.gauges.lock().expect("registry mutex").clear();
         self.timers.lock().expect("registry mutex").clear();
     }
 
@@ -275,6 +311,13 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry mutex")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
         let timers = self
             .timers
             .lock()
@@ -282,7 +325,11 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.stats()))
             .collect();
-        Snapshot { counters, timers }
+        Snapshot {
+            counters,
+            gauges,
+            timers,
+        }
     }
 }
 
@@ -291,6 +338,8 @@ impl MetricsRegistry {
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// High-water gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Timer statistics by name.
     pub timers: BTreeMap<String, TimerStats>,
 }
@@ -303,6 +352,13 @@ impl Snapshot {
             out.push_str("counters\n");
             let w = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
             for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<w$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges (high-water)\n");
+            let w = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.gauges {
                 out.push_str(&format!("  {k:<w$}  {v}\n"));
             }
         }
@@ -325,11 +381,18 @@ impl Snapshot {
     }
 
     /// Serializes to a deterministic JSON object
-    /// `{"counters": {...}, "timers": {name: {count, total_ns, ...}}}`
-    /// with keys in sorted order.
+    /// `{"counters": {...}, "gauges": {...}, "timers": {name: {count,
+    /// total_ns, ...}}}` with keys in sorted order.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{v}", json::escape(k)));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
@@ -380,6 +443,11 @@ pub fn global() -> &'static MetricsRegistry {
 /// Shorthand: a counter in the [`global`] registry.
 pub fn counter(name: &str) -> Counter {
     global().counter(name)
+}
+
+/// Shorthand: a high-water gauge in the [`global`] registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
 }
 
 /// Shorthand: a scoped timer in the [`global`] registry.
@@ -488,14 +556,29 @@ mod tests {
     fn snapshot_json_parses_back() {
         let reg = MetricsRegistry::new();
         reg.counter("x\"y\\z").add(3);
+        reg.gauge("hw").observe(9);
         reg.timer("t").record(5);
         let parsed = json::parse(&reg.snapshot().to_json()).expect("valid json");
         let obj = parsed.as_object().unwrap();
         let counters = obj["counters"].as_object().unwrap();
         assert_eq!(counters["x\"y\\z"].as_u64(), Some(3));
+        let gauges = obj["gauges"].as_object().unwrap();
+        assert_eq!(gauges["hw"].as_u64(), Some(9));
         let t = obj["timers"].as_object().unwrap()["t"].as_object().unwrap();
         assert_eq!(t["count"].as_u64(), Some(1));
         assert_eq!(t["total_ns"].as_u64(), Some(5));
+    }
+
+    #[test]
+    fn gauge_retains_maximum() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("hw");
+        g.observe(10);
+        g.observe(4);
+        g.observe(12);
+        g.observe(11);
+        assert_eq!(g.get(), 12);
+        assert_eq!(reg.snapshot().gauges["hw"], 12);
     }
 
     #[test]
@@ -514,12 +597,14 @@ mod tests {
     }
 
     #[test]
-    fn table_renders_both_sections() {
+    fn table_renders_all_sections() {
         let reg = MetricsRegistry::new();
         reg.counter("c").inc();
+        reg.gauge("g").observe(7);
         reg.timer("t").record(1500);
         let table = reg.snapshot().to_table();
         assert!(table.contains("counters"));
+        assert!(table.contains("gauges"));
         assert!(table.contains("timers"));
         assert!(table.contains("1.50 us"));
     }

@@ -18,6 +18,7 @@
 //! `Aᵢ(0) = Bᵢ(0) = Cᵢ(0) = 0`), raising the interpolant degree to `n`.
 
 use zaatar_field::{batch_inverse, PrimeField};
+use zaatar_mem::Scratch;
 
 use crate::dense::DensePoly;
 use crate::fast::ProductTree;
@@ -112,6 +113,28 @@ pub trait EvalDomain<F: PrimeField>: Clone + Send + Sync {
         let (h, rem) = self.divide_by_vanishing(&p);
         debug_assert!(rem.is_zero(), "pointwise check guarantees exactness");
         Some(h)
+    }
+
+    /// [`EvalDomain::quotient_zero_pinned`] with every temporary drawn
+    /// from a caller-owned [`Scratch`] pool, returning exactly the
+    /// `size() + 1` coefficients of `H` (zero-padded). The staged prover
+    /// runs one pool per worker thread, so a domain that overrides this
+    /// (the NTT fast path) pays for its transform buffers once per
+    /// worker instead of once per instance. Field arithmetic is exact,
+    /// so the coefficients are identical to the allocating path's —
+    /// which is also the default implementation here.
+    fn quotient_zero_pinned_scratch(
+        &self,
+        a_vals: &[F],
+        b_vals: &[F],
+        c_vals: &[F],
+        scratch: &mut Scratch<F>,
+    ) -> Option<Vec<F>> {
+        let _ = scratch;
+        let h = self.quotient_zero_pinned(a_vals, b_vals, c_vals)?;
+        let mut coeffs = h.into_coeffs();
+        coeffs.resize(self.size() + 1, F::ZERO);
+        Some(coeffs)
     }
 }
 
@@ -320,6 +343,61 @@ impl<F: PrimeField> EvalDomain<F> for Radix2Domain<F> {
         }
         fft::coset_intt(&mut h, shift);
         Some(DensePoly::from_coeffs(h))
+    }
+
+    /// The coset kernel of [`Radix2Domain::quotient_zero_pinned`] with
+    /// the three size-`2n` transform buffers leased from `scratch`
+    /// instead of freshly allocated — the zero-pinned interpolant is
+    /// laid out directly at coset length (`buf = [0, g₀, …, g_{n−1},
+    /// 0, …]`, the coefficients of `t·g(t)`), skipping the allocating
+    /// path's `insert(0, ZERO)` + `resize` round trip.
+    fn quotient_zero_pinned_scratch(
+        &self,
+        a_vals: &[F],
+        b_vals: &[F],
+        c_vals: &[F],
+        scratch: &mut Scratch<F>,
+    ) -> Option<Vec<F>> {
+        let _span = zaatar_obs::time("poly.quotient");
+        let n = self.size;
+        for j in 0..n {
+            if a_vals[j] * b_vals[j] != c_vals[j] {
+                return None;
+            }
+        }
+        let big = 2 * n;
+        let gen_inv = self.group_gen_inv;
+        let shift = F::multiplicative_generator();
+        let to_coset = |vals: &[F], buf: &mut [F]| {
+            let mut inv = F::ONE;
+            for (slot, e) in buf[1..=n].iter_mut().zip(vals) {
+                *slot = *e * inv;
+                inv *= gen_inv;
+            }
+            fft::intt(&mut buf[1..=n]);
+            fft::coset_ntt(buf, shift);
+        };
+        let mut h = scratch.take(big, F::ZERO);
+        to_coset(a_vals, &mut h);
+        let mut eb = scratch.take(big, F::ZERO);
+        to_coset(b_vals, &mut eb);
+        let mut ec = scratch.take(big, F::ZERO);
+        to_coset(c_vals, &mut ec);
+        // Vanishing values on the coset: (g·ω₂ₙʲ)ⁿ − 1 = gⁿ·(−1)ʲ − 1.
+        let gn = shift.pow(n as u64);
+        let v_even = (gn - F::ONE).inverse().expect("proper coset");
+        let v_odd = (-gn - F::ONE).inverse().expect("proper coset");
+        for (j, hj) in h.iter_mut().enumerate() {
+            let p = *hj * eb[j] - ec[j];
+            *hj = p * if j % 2 == 0 { v_even } else { v_odd };
+        }
+        fft::coset_intt(&mut h, shift);
+        // Only degree ≤ n survives division; the top half is zeros.
+        let out = h[..=n].to_vec();
+        scratch.put(ec);
+        scratch.put(eb);
+        scratch.put(h);
+        Some(out)
     }
 }
 
@@ -719,6 +797,36 @@ mod coset_tests {
             assert!(r.is_zero(), "n={n}");
             assert_eq!(h, q, "n={n}");
         }
+    }
+
+    #[test]
+    fn scratch_quotient_matches_allocating_kernel() {
+        let mut scratch = Scratch::new();
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let d = Radix2Domain::<F61>::new(n);
+            let a_vals: Vec<F61> = (0..n as u64).map(|i| F61::from_u64(i * 7 + 1)).collect();
+            let b_vals: Vec<F61> = (0..n as u64).map(|i| F61::from_u64(i * 3 + 4)).collect();
+            let c_vals: Vec<F61> = a_vals.iter().zip(&b_vals).map(|(a, b)| *a * *b).collect();
+            let via_alloc = d
+                .quotient_zero_pinned(&a_vals, &b_vals, &c_vals)
+                .expect("satisfying values");
+            let via_scratch = d
+                .quotient_zero_pinned_scratch(&a_vals, &b_vals, &c_vals, &mut scratch)
+                .expect("satisfying values");
+            assert_eq!(via_scratch.len(), n + 1, "n={n}");
+            let mut expected = via_alloc.into_coeffs();
+            expected.resize(n + 1, F61::ZERO);
+            assert_eq!(via_scratch, expected, "n={n}");
+        }
+        // Rejection must also release its (zero) buffers gracefully.
+        let d = Radix2Domain::<F61>::new(4);
+        let bad = vec![F61::ONE; 4];
+        let zeros = vec![F61::ZERO; 4];
+        assert!(d
+            .quotient_zero_pinned_scratch(&bad, &bad, &zeros, &mut scratch)
+            .is_none());
+        // Re-running the largest size now hits the pool instead of allocating.
+        assert!(scratch.pooled() > 0);
     }
 
     #[test]

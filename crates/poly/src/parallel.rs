@@ -5,12 +5,18 @@
 //! in [`crate::plan`] needs them for intra-transform parallelism and
 //! `core` depends on `poly`, so the primitives live at the lower layer
 //! and `core::parallel` re-exports them unchanged.
+//!
+//! Worker counts may be pinned globally with the `ZAATAR_WORKERS`
+//! environment variable (see [`effective_workers`]), which overrides
+//! whatever count a caller requests — the operator's knob for running
+//! the whole stack single-threaded or matching a machine's core budget
+//! without threading a parameter through every layer.
 
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// One output cell, written by exactly one worker (the one that claimed
 /// its index) and read only after all workers have joined — the
@@ -23,8 +29,28 @@ struct Slot<V>(UnsafeCell<Option<V>>);
 // join orders every write before the single-threaded drain.
 unsafe impl<V: Send> Sync for Slot<V> {}
 
+/// The worker count actually used for a request of `requested` workers:
+/// the `ZAATAR_WORKERS` environment variable, when set to a positive
+/// integer, replaces the requested count (it is read once and cached
+/// for the life of the process; unparsable or zero values are ignored).
+/// Callers still clamp to the item count, so the override caps
+/// parallelism without ever idling on empty shards.
+pub fn effective_workers(requested: usize) -> usize {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    OVERRIDE
+        .get_or_init(|| {
+            std::env::var("ZAATAR_WORKERS")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<usize>().ok())
+                .filter(|&w| w >= 1)
+        })
+        .unwrap_or(requested)
+}
+
 /// Applies `f` to every item using up to `workers` threads (chunked
-/// work-stealing over a shared cursor), preserving output order.
+/// work-stealing over a shared cursor), preserving output order. The
+/// `ZAATAR_WORKERS` environment variable overrides `workers`
+/// ([`effective_workers`]).
 ///
 /// # Panics
 ///
@@ -37,9 +63,30 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = workers.max(1).min(items.len().max(1));
+    parallel_map_with(items, workers, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: every worker thread calls
+/// `init` exactly once and threads the resulting value through each of
+/// its `f` calls by `&mut`. This is how the staged prover gives each
+/// worker its own `ProverWorkspace` — buffer pools are built once per
+/// thread and reused across every instance that thread processes,
+/// without any cross-thread sharing or locking.
+///
+/// Output order matches input order regardless of which worker handled
+/// which item. With one worker (or one item, or `ZAATAR_WORKERS=1`) the
+/// whole map runs on the calling thread with a single `init`.
+pub fn parallel_map_with<T, R, W, I, F>(items: Vec<T>, workers: usize, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, T) -> R + Sync,
+{
+    let workers = effective_workers(workers).max(1).min(items.len().max(1));
     if workers == 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
     let n = items.len();
     // Chunked claiming amortizes the shared-cursor contention: each
@@ -58,6 +105,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let mut state = init();
                 while !panicked.load(Ordering::Relaxed) {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
@@ -71,7 +119,7 @@ where
                         // claimed chunk; no other worker touches it.
                         let item = unsafe { (*inputs[i].0.get()).take() }
                             .expect("each index claimed once");
-                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut state, item))) {
                             Ok(r) => unsafe { *outputs[i].0.get() = Some(r) },
                             Err(payload) => {
                                 // Keep only the first payload; siblings
@@ -113,4 +161,66 @@ pub fn shard_batch(batch_size: usize, workers: usize) -> Vec<std::ops::Range<usi
         start += len;
     }
     shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_with_threads_state_through_each_worker() {
+        // Every worker's state counts the items it handled; the total
+        // across workers must cover the batch exactly once.
+        use std::sync::atomic::AtomicUsize;
+        let handled = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            (0..500u64).collect::<Vec<_>>(),
+            4,
+            || 0usize,
+            |count, x| {
+                *count += 1;
+                handled.fetch_add(1, Ordering::Relaxed);
+                x * 3
+            },
+        );
+        assert_eq!(out, (0..500u64).map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(handled.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn map_with_serial_initializes_once() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            vec![1, 2, 3],
+            1,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<i32>::new()
+            },
+            |buf, x| {
+                buf.push(x);
+                buf.len()
+            },
+        );
+        // One worker, one state: the buffer accumulates across items.
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn map_with_reuses_state_within_a_worker() {
+        // A worker's scratch buffer keeps its capacity across items.
+        let caps = parallel_map_with(
+            vec![64usize; 32],
+            2,
+            Vec::<u8>::new,
+            |buf, len| {
+                buf.clear();
+                buf.resize(len, 0);
+                buf.capacity()
+            },
+        );
+        assert!(caps.iter().all(|&c| c >= 64));
+    }
 }

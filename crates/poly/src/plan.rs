@@ -4,10 +4,10 @@
 //! A [`NttPlan`] precomputes, once per `(field, log_size)` pair, everything
 //! the in-place transform needs at run time: the bit-reversal permutation,
 //! flat forward/inverse twiddle tables, and `n⁻¹`. Plans are interned in a
-//! process-wide registry ([`plan_for`]) keyed by field type and size, so the
-//! prover's repeated transforms over one domain pay the table construction
-//! cost exactly once; after first use, lookups are a lock-free `OnceLock`
-//! load.
+//! process-wide [`zaatar_mem::Interner`] ([`plan_for`]) keyed by field type
+//! and size, so the prover's repeated transforms over one domain pay the
+//! table construction cost exactly once; after first use, lookups are a
+//! read-lock + map probe.
 //!
 //! The transform itself runs fused radix-4 butterfly passes (two classic
 //! radix-2 stages per memory sweep — same multiplication count, half the
@@ -22,10 +22,10 @@
 //! `tw[2m..4m]` — both contiguous, both shared read-only across threads.
 
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::Arc;
 
 use zaatar_field::PrimeField;
+use zaatar_mem::Interner;
 
 use crate::parallel::parallel_map;
 
@@ -304,31 +304,12 @@ fn radix4_quarters<F: PrimeField>(
     }
 }
 
-/// Per-field array of per-size plan slots. Index = `log_n`, covering the
-/// full 2-adicity range of every shipped field.
-type Slots<F> = [OnceLock<Arc<NttPlan<F>>>; 33];
-
-/// Registry of leaked per-field slot arrays. Rust has no generic statics,
-/// so the per-field `Slots<F>` is allocated on first use and leaked (one
-/// bounded allocation per field type used in the process); after that,
-/// plan lookup is a read-lock + `OnceLock` load, and initialization of a
-/// size races at most once per slot.
-static REGISTRY: OnceLock<RwLock<HashMap<TypeId, &'static (dyn Any + Send + Sync)>>> =
-    OnceLock::new();
-
-fn slots<F: PrimeField>() -> &'static Slots<F> {
-    let registry = REGISTRY.get_or_init(|| RwLock::new(HashMap::new()));
-    let key = TypeId::of::<F>();
-    if let Some(entry) = registry.read().expect("plan registry lock").get(&key) {
-        return entry.downcast_ref().expect("slot type matches field type");
-    }
-    let mut map = registry.write().expect("plan registry lock");
-    let entry = map.entry(key).or_insert_with(|| {
-        let slots: Slots<F> = std::array::from_fn(|_| OnceLock::new());
-        Box::leak(Box::new(slots))
-    });
-    entry.downcast_ref().expect("slot type matches field type")
-}
+/// The process-wide plan registry, keyed by `(field type, log_n)`.
+/// Rust has no generic statics, so the interned value is type-erased:
+/// each entry holds the `Arc<NttPlan<F>>` for its key's field behind
+/// `dyn Any`, recovered by [`plan_for`]'s downcast. The interner builds
+/// under its write lock, so a cold size races at most once per key.
+static REGISTRY: Interner<(TypeId, u32), Box<dyn Any + Send + Sync>> = Interner::new();
 
 /// Returns the shared plan for size-`2^log_n` transforms over `F`,
 /// building and caching it on first use.
@@ -341,14 +322,20 @@ fn slots<F: PrimeField>() -> &'static Slots<F> {
 /// Panics if `log_n` exceeds the field's 2-adicity.
 pub fn plan_for<F: PrimeField>(log_n: u32) -> Arc<NttPlan<F>> {
     assert!(log_n <= F::TWO_ADICITY, "NTT length exceeds field 2-adicity");
-    let slot = &slots::<F>()[log_n as usize];
-    if let Some(plan) = slot.get() {
-        zaatar_obs::counter("poly.ntt.twiddle_cache_hit").inc();
-        return Arc::clone(plan);
-    }
-    let plan = Arc::clone(slot.get_or_init(|| Arc::new(NttPlan::build(log_n))));
-    zaatar_obs::counter("poly.ntt.twiddle_cache_miss").inc();
-    plan
+    let (entry, hit) = REGISTRY.intern_with((TypeId::of::<F>(), log_n), || {
+        Box::new(Arc::new(NttPlan::<F>::build(log_n))) as Box<dyn Any + Send + Sync>
+    });
+    zaatar_obs::counter(if hit {
+        "poly.ntt.twiddle_cache_hit"
+    } else {
+        "poly.ntt.twiddle_cache_miss"
+    })
+    .inc();
+    Arc::clone(
+        entry
+            .downcast_ref::<Arc<NttPlan<F>>>()
+            .expect("interned entry matches its key's field type"),
+    )
 }
 
 /// [`plan_for`] keyed by transform length instead of its log.

@@ -1,0 +1,55 @@
+//! `ZAATAR_WORKERS` must override the caller's requested worker count.
+//!
+//! The override is read once and cached for the life of the process, so
+//! this lives in its own test binary where the variable can be set
+//! before the first `parallel_map` call. With the override pinned to 1,
+//! a map requested at 8 workers must run entirely on the calling
+//! thread — observable both through thread ids and through
+//! `effective_workers` directly.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use zaatar_poly::parallel::{effective_workers, parallel_map, parallel_map_with};
+
+#[test]
+fn zaatar_workers_env_pins_the_worker_count() {
+    // Safety: set before any other test code in this binary touches the
+    // parallel layer (this is the binary's only test).
+    std::env::set_var("ZAATAR_WORKERS", "1");
+
+    assert_eq!(effective_workers(8), 1);
+    assert_eq!(effective_workers(1), 1);
+
+    let ids = Mutex::new(HashSet::new());
+    let caller = std::thread::current().id();
+    let out = parallel_map((0..300u64).collect::<Vec<_>>(), 8, |x| {
+        ids.lock().unwrap().insert(std::thread::current().id());
+        x + 1
+    });
+    assert_eq!(out, (1..=300u64).collect::<Vec<_>>());
+    let ids = ids.lock().unwrap();
+    assert_eq!(
+        ids.iter().collect::<Vec<_>>(),
+        vec![&caller],
+        "override=1 must run the map on the calling thread only"
+    );
+
+    // The stateful variant honors the same override: one worker, one
+    // init, state threaded across the whole batch.
+    let inits = Mutex::new(0usize);
+    let out = parallel_map_with(
+        vec![10usize, 20, 30],
+        8,
+        || {
+            *inits.lock().unwrap() += 1;
+            0usize
+        },
+        |seen, x| {
+            *seen += 1;
+            (*seen, x)
+        },
+    );
+    assert_eq!(out, vec![(1, 10), (2, 20), (3, 30)]);
+    assert_eq!(*inits.lock().unwrap(), 1);
+}

@@ -10,9 +10,10 @@
 use zaatar::cc::{ginger_to_quad, Builder};
 use zaatar::core::commit::{decommit, decommit_packed};
 use zaatar::core::pcp::{BatchQuerySet, PcpParams, PcpResponses, ZaatarPcp, ZaatarProof};
-use zaatar::core::qap::Qap;
-use zaatar::core::runtime::answer_batch;
+use zaatar::core::qap::{Qap, QapWitness};
+use zaatar::core::runtime::{answer_batch, prove_batch, prove_batch_with};
 use zaatar::core::session::{SessionProver, SessionVerifier};
+use zaatar::core::workspace::ProverWorkspace;
 use zaatar::crypto::ChaChaPrg;
 use zaatar::field::{Field, PrimeField, F61};
 use zaatar::poly::Radix2Domain;
@@ -24,8 +25,10 @@ fn f(x: i64) -> F61 {
 }
 
 /// y = (a − b)² + min(a, b): mul, square, and comparison gadgets give
-/// the QAP some width.
-fn fixture(inputs: &[[i64; 2]]) -> (Pcp, Vec<ZaatarProof<F61>>, Vec<Vec<F61>>) {
+/// the QAP some width. Returns the witnesses rather than proofs so
+/// tests can choose the proving path ([`fixture`] proves them through
+/// the allocating single-instance route).
+fn fixture_witnesses(inputs: &[[i64; 2]]) -> (Pcp, Vec<QapWitness<F61>>, Vec<Vec<F61>>) {
     let mut b = Builder::<F61>::new();
     let a = b.alloc_input();
     let bb = b.alloc_input();
@@ -37,12 +40,11 @@ fn fixture(inputs: &[[i64; 2]]) -> (Pcp, Vec<ZaatarProof<F61>>, Vec<Vec<F61>>) {
     let t = ginger_to_quad(&sys);
     let qap = Qap::new(&t.system);
     let pcp = ZaatarPcp::new(qap, PcpParams::light());
-    let mut proofs = Vec::new();
+    let mut witnesses = Vec::new();
     let mut ios = Vec::new();
     for pair in inputs {
         let asg = solver.solve(&[f(pair[0]), f(pair[1])]).unwrap();
         let ext = t.extend_assignment(&asg);
-        let w = pcp.qap().witness(&ext);
         let io: Vec<F61> = pcp
             .qap()
             .var_map()
@@ -51,9 +53,15 @@ fn fixture(inputs: &[[i64; 2]]) -> (Pcp, Vec<ZaatarProof<F61>>, Vec<Vec<F61>>) {
             .chain(pcp.qap().var_map().outputs())
             .map(|v| ext.get(*v))
             .collect();
-        proofs.push(pcp.prove(&w).unwrap());
+        witnesses.push(pcp.qap().witness(&ext));
         ios.push(io);
     }
+    (pcp, witnesses, ios)
+}
+
+fn fixture(inputs: &[[i64; 2]]) -> (Pcp, Vec<ZaatarProof<F61>>, Vec<Vec<F61>>) {
+    let (pcp, witnesses, ios) = fixture_witnesses(inputs);
+    let proofs = witnesses.iter().map(|w| pcp.prove(w).unwrap()).collect();
     (pcp, proofs, ios)
 }
 
@@ -185,4 +193,104 @@ fn session_prover_packed_path_round_trips() {
     let (verdicts2, messages2) = run(0x5e55);
     assert_eq!(verdicts, verdicts2);
     assert_eq!(messages, messages2);
+}
+
+/// The full session wire transcript (setup message + every instance
+/// message) under workspace reuse. Returns the concatenated frames so
+/// differential tests compare at the byte level.
+fn session_transcript(
+    pcp: &Pcp,
+    proofs: &[Option<ZaatarProof<F61>>],
+    ios: &[Vec<F61>],
+    seed: u64,
+    ws: &mut ProverWorkspace<F61>,
+) -> Vec<Vec<u8>> {
+    let mut prg = ChaChaPrg::from_u64_seed(seed);
+    let mut verifier = SessionVerifier::new(pcp, &mut prg);
+    let mut prover = SessionProver::new(pcp);
+    let setup = verifier.setup_message().unwrap();
+    prover.receive_setup(&setup).unwrap();
+    let mut transcript = vec![setup];
+    for (p, io) in proofs.iter().zip(ios) {
+        let p = p.as_ref().expect("fixture witnesses satisfy the system");
+        let msg = prover.instance_message_with(p, ws).unwrap();
+        assert!(verifier.verify_instance(&msg, io).unwrap());
+        transcript.push(msg);
+    }
+    transcript
+}
+
+/// Tentpole lockdown: proving through reused workspaces — per-worker
+/// pools in `prove_batch`, one serial pool in `prove_batch_with`, and a
+/// session-long Answer-stage pool — produces session wire transcripts
+/// **byte-identical** to the fresh-allocation path, across seeds, batch
+/// sizes β ∈ {1, 4, 16}, and worker counts. Field arithmetic is exact
+/// and buffer identity never reaches the wire, so any divergence here
+/// is a bug in the workspace plumbing.
+#[test]
+fn workspace_reuse_transcripts_byte_identical_to_fresh() {
+    for beta in [1usize, 4, 16] {
+        let inputs: Vec<[i64; 2]> = (0..beta as i64).map(|i| [3 * i + 1, 17 - 2 * i]).collect();
+        let (pcp, witnesses, ios) = fixture_witnesses(&inputs);
+        // Reference: every instance proved and served with fresh
+        // allocations (throwaway workspaces).
+        let fresh: Vec<Option<ZaatarProof<F61>>> =
+            witnesses.iter().map(|w| pcp.prove(w)).collect();
+        for seed in [0u64, 0xA11CE, 0x5eed_f00d] {
+            let reference =
+                session_transcript(&pcp, &fresh, &ios, seed, &mut ProverWorkspace::new());
+            for workers in [1usize, 2, 8] {
+                let proofs = prove_batch(&pcp, &witnesses, workers);
+                let mut ws = ProverWorkspace::new();
+                let transcript = session_transcript(&pcp, &proofs, &ios, seed, &mut ws);
+                assert_eq!(
+                    transcript, reference,
+                    "β={beta}, seed={seed}, workers={workers}"
+                );
+            }
+            // Serial path over one long-lived workspace, reused for
+            // both proving and answering.
+            let mut ws = ProverWorkspace::new();
+            let proofs = prove_batch_with(&pcp, &witnesses, &mut ws);
+            let transcript = session_transcript(&pcp, &proofs, &ios, seed, &mut ws);
+            assert_eq!(transcript, reference, "β={beta}, seed={seed}, serial ws");
+        }
+    }
+}
+
+/// Leak guard: a single workspace serving 100 back-to-back
+/// prove-and-answer sessions must not grow — its footprint (the
+/// quantity the `mem.scratch.high_water` gauge tracks) stabilizes after
+/// the first session, and the pool is actually being hit, not bypassed.
+#[test]
+fn workspace_footprint_bounded_across_sessions() {
+    let inputs: Vec<[i64; 2]> = (0..4i64).map(|i| [i + 2, 2 * i]).collect();
+    let (pcp, witnesses, ios) = fixture_witnesses(&inputs);
+    let mut ws = ProverWorkspace::new();
+    let run = |ws: &mut ProverWorkspace<F61>| {
+        let proofs = prove_batch_with(&pcp, &witnesses, ws);
+        session_transcript(&pcp, &proofs, &ios, 0xcafe, ws)
+    };
+    let first = run(&mut ws);
+    let footprint = ws.footprint_bytes();
+    let pooled = ws.pooled();
+    assert!(footprint > 0, "stages must have pooled their buffers");
+    let hits_before = zaatar::obs::counter("mem.scratch.hit").get();
+    for _ in 0..99 {
+        run(&mut ws);
+    }
+    assert_eq!(
+        ws.footprint_bytes(),
+        footprint,
+        "workspace footprint must not grow across sessions"
+    );
+    assert_eq!(ws.pooled(), pooled, "no buffers may leak out of the pool");
+    assert!(
+        zaatar::obs::counter("mem.scratch.hit").get() >= hits_before + 99,
+        "repeat sessions must be served from the pool"
+    );
+    // The gauge records at least this workspace's high water.
+    assert!(zaatar::obs::gauge("mem.scratch.high_water").get() >= footprint as u64);
+    // And the transcripts stay deterministic throughout.
+    assert_eq!(run(&mut ws), first);
 }

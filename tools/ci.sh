@@ -36,9 +36,10 @@ cargo clippy --workspace --all-targets --locked -- -D warnings
 echo "==> soundness smoke (malicious-prover suite, release)"
 cargo test -q -p zaatar --test malicious_prover --locked --release
 
-# The validator enforces the full v3 schema, including the `ntt` and
+# The validator enforces the full v4 schema, including the `ntt` and
 # `pcp` sections (batch amortization must strictly reduce per-instance
-# query-setup cost).
+# query-setup cost) and the `mem` section (the staged prover pipeline
+# must show a non-zero scratch-pool hit rate at batch size 16).
 echo "==> bench smoke (baseline emit + schema validation)"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
     --smoke --out target/bench_smoke.json
