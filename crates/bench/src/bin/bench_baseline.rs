@@ -36,6 +36,15 @@
 //! allocations), per-instance prove time, and the workspace footprint.
 //! The validator enforces a non-zero scratch hit rate at β = 16 —
 //! buffer reuse across batch instances must actually happen.
+//!
+//! Schema v5 (PR 6) adds a `server` section from the multi-tenant
+//! session server: sessions/sec and p99 session latency for a fleet of
+//! concurrent verifiers against ONE poll-loop server at nominal load,
+//! plus the admission ledger under a synthetic overload (8 connections
+//! offered to a 2-session server, admitted before the first poll, so
+//! the accept/reject split is deterministic). The validator enforces
+//! that rejections never exceed admissions at nominal load — graceful
+//! degradation must not become refusal-by-default.
 
 use std::time::{Duration, Instant};
 
@@ -48,10 +57,11 @@ use zaatar_core::workspace::ProverWorkspace;
 use zaatar_crypto::ChaChaPrg;
 use zaatar_field::{Field, F61};
 use zaatar_obs::json::{self, Value};
+use zaatar_server::{Admission, ServerConfig, SessionServer};
 use zaatar_transport::{loopback_transport_pair, RetryPolicy};
 
 /// Schema identifier written into (and required from) every baseline.
-const SCHEMA: &str = "zaatar-bench-baseline/v4";
+const SCHEMA: &str = "zaatar-bench-baseline/v5";
 
 /// Batch sizes for the `mem` scratch-reuse section: β = 1 shows the
 /// cold cost (every pool take is a miss), β = 16 shows steady-state
@@ -321,6 +331,123 @@ fn bench_mem_reuse(
         .collect()
 }
 
+/// The `server` section: throughput and latency of the multi-tenant
+/// session server at nominal load, plus the deterministic admission
+/// split under synthetic overload.
+struct ServerSample {
+    nominal_sessions: usize,
+    nominal_accepted: u64,
+    nominal_rejected: u64,
+    sessions_per_sec: f64,
+    p99_session_ns: u64,
+    overload_offered: usize,
+    overload_max_sessions: usize,
+    overload_accepted: u64,
+    overload_rejected: u64,
+    overload_rejection_rate: f64,
+}
+
+/// Nominal load: `n` concurrent verifier sessions over loopback links
+/// against one [`SessionServer`] with headroom, timed end to end for
+/// sessions/sec; p99 session latency comes off the `server.session`
+/// timer the poll loop records at each terminal state. Overload: 8
+/// connections offered to a `max_sessions = 2` server *before* the
+/// first poll, so exactly 2 are admitted and 6 refused — a
+/// deterministic rejection rate, not a race.
+fn bench_server(
+    pcp: &ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>,
+    proofs: &[ZaatarProof<F61>],
+    ios: &[Vec<F61>],
+    smoke: bool,
+) -> ServerSample {
+    let n = if smoke { 8 } else { 16 };
+    // The loopback links are lossless, so this policy's timeouts never
+    // retransmit; the generous deadline only keeps CPU contention from
+    // masquerading as loss when n sessions share few (or one) cores.
+    let policy = RetryPolicy {
+        deadline: Duration::from_secs(120),
+        initial_timeout: Duration::from_secs(2),
+        backoff_factor: 2,
+        max_timeout: Duration::from_secs(8),
+        max_retransmits: 10,
+    };
+    // Same reasoning for the server's patience: a client that is merely
+    // descheduled must not be mistaken for one that went away.
+    let config = ServerConfig {
+        session_budget: Duration::from_secs(300),
+        idle_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    };
+    let mut server = SessionServer::new(pcp, proofs, config);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let (mut vt, pt) = loopback_transport_pair();
+            let admission = server.admit(pt, "bench");
+            assert!(
+                matches!(admission, Admission::Admitted(_)),
+                "nominal load must fit under the default admission limits"
+            );
+            let policy = policy.clone();
+            scope.spawn(move || {
+                let mut prg = ChaChaPrg::from_u64_seed(0x5E44E4 + i as u64);
+                let report = run_session_verifier(&mut vt, pcp, ios, &policy, &mut prg)
+                    .expect("nominal session");
+                assert!(report.all_accepted(), "nominal batch must verify");
+            });
+        }
+        loop {
+            let finished = {
+                let st = server.stats();
+                st.served + st.expired + st.failed
+            };
+            if finished >= n as u64 {
+                break;
+            }
+            if server.poll().is_empty() {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    });
+    let elapsed = start.elapsed();
+    let stats = server.stats().clone();
+    assert_eq!(stats.served, n as u64, "every nominal session must be served");
+    assert_eq!(server.pool().outstanding(), 0, "workspace leak at nominal load");
+    let sessions_per_sec = n as f64 / elapsed.as_secs_f64().max(1e-9);
+    let p99_session_ns = zaatar_obs::snapshot()
+        .timers
+        .get("server.session")
+        .map_or(0, |t| t.p99_ns);
+
+    // Synthetic overload: all offers on the table before the first
+    // poll, against a server with room for two.
+    let offered = 8usize;
+    let max_sessions = 2usize;
+    let config = ServerConfig { max_sessions, ..ServerConfig::default() };
+    let mut overload = SessionServer::new(pcp, proofs, config);
+    let mut clients = Vec::new();
+    for _ in 0..offered {
+        let (vt, pt) = loopback_transport_pair();
+        let _ = overload.admit(pt, "overload");
+        clients.push(vt); // keep links open until admission settles
+    }
+    let ostats = overload.stats().clone();
+    drop(clients);
+    ServerSample {
+        nominal_sessions: n,
+        nominal_accepted: stats.accepted,
+        nominal_rejected: stats.rejected,
+        sessions_per_sec,
+        p99_session_ns,
+        overload_offered: offered,
+        overload_max_sessions: max_sessions,
+        overload_accepted: ostats.accepted,
+        overload_rejected: ostats.rejected,
+        overload_rejection_rate: ostats.rejected as f64
+            / (ostats.accepted + ostats.rejected).max(1) as f64,
+    }
+}
+
 /// Runs the measured workload and renders the baseline document.
 fn run_baseline(smoke: bool) -> String {
     let (chain, batch, workers) = if smoke { (8, 4, 2) } else { (160, 16, 8) };
@@ -372,6 +499,11 @@ fn run_baseline(smoke: bool) -> String {
     // serial batch) — populates the mem.scratch counters the validator
     // requires.
     let mem_samples = bench_mem_reuse(&pcp, &witnesses);
+
+    // Multi-tenant session-server throughput and admission behaviour
+    // (nominal fleet + deterministic synthetic overload) — populates
+    // the server.* counters and the server.session timer.
+    let server_sample = bench_server(&pcp, &pcp_proofs, &ios, smoke);
 
     let snap = zaatar_obs::snapshot();
     for phase in REQUIRED_PHASES {
@@ -486,6 +618,23 @@ fn run_baseline(smoke: bool) -> String {
         ));
     }
     s.push_str("  ]},\n");
+    let sv = &server_sample;
+    s.push_str(&format!(
+        "  \"server\": {{\"nominal_sessions\": {}, \"accepted\": {}, \"rejected\": {}, \
+         \"sessions_per_sec\": {:.2}, \"p99_session_ns\": {}, \"overload\": \
+         {{\"offered\": {}, \"max_sessions\": {}, \"accepted\": {}, \"rejected\": {}, \
+         \"rejection_rate\": {:.4}}}}},\n",
+        sv.nominal_sessions,
+        sv.nominal_accepted,
+        sv.nominal_rejected,
+        sv.sessions_per_sec,
+        sv.p99_session_ns,
+        sv.overload_offered,
+        sv.overload_max_sessions,
+        sv.overload_accepted,
+        sv.overload_rejected,
+        sv.overload_rejection_rate,
+    ));
     // The registry's full snapshot (all timers + counters), for
     // drill-down beyond the required phases.
     s.push_str(&format!("  \"metrics\": {}\n", snap.to_json()));
@@ -692,6 +841,68 @@ fn validate_baseline(path: &str) -> Result<(), String> {
             "mem.scratch allocs_per_instance at batch 16 ({last_allocs}) not < batch 1 \
              ({first_allocs}) — workspace reuse must amortize allocations"
         ));
+    }
+
+    let server = root
+        .get("server")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"server\"")?;
+    let nominal_accepted = match server.get("accepted").and_then(Value::as_u64) {
+        Some(a) if a >= 1 => a,
+        _ => return Err("server.accepted must be an integer >= 1".into()),
+    };
+    let nominal_rejected = server
+        .get("rejected")
+        .and_then(Value::as_u64)
+        .ok_or("server.rejected missing or not an integer")?;
+    // The graceful-degradation invariant: at nominal load the server
+    // must mostly say yes — a baseline where refusals outnumber
+    // admissions means admission control is misconfigured, not shedding.
+    if nominal_rejected > nominal_accepted {
+        return Err(format!(
+            "server.rejected ({nominal_rejected}) exceeds server.accepted \
+             ({nominal_accepted}) at nominal load — backpressure must not dominate"
+        ));
+    }
+    match server.get("sessions_per_sec").and_then(Value::as_f64) {
+        Some(r) if r > 0.0 => {}
+        _ => return Err("server.sessions_per_sec must be a positive number".into()),
+    }
+    match server.get("p99_session_ns").and_then(Value::as_u64) {
+        Some(p) if p >= 1 => {}
+        _ => return Err("server.p99_session_ns must be an integer >= 1".into()),
+    }
+    let overload = server
+        .get("overload")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"server.overload\"")?;
+    let offered = match overload.get("offered").and_then(Value::as_u64) {
+        Some(o) if o >= 1 => o,
+        _ => return Err("server.overload.offered must be an integer >= 1".into()),
+    };
+    let (oa, or) = match (
+        overload.get("accepted").and_then(Value::as_u64),
+        overload.get("rejected").and_then(Value::as_u64),
+    ) {
+        (Some(a), Some(r)) => (a, r),
+        _ => return Err("server.overload.{accepted,rejected} must be integers".into()),
+    };
+    if oa + or != offered {
+        return Err(format!(
+            "server.overload accepted ({oa}) + rejected ({or}) != offered ({offered})"
+        ));
+    }
+    if or == 0 {
+        return Err("server.overload.rejected is 0 — overload never engaged backpressure".into());
+    }
+    match overload.get("rejection_rate").and_then(Value::as_f64) {
+        Some(r) if r > 0.0 && r < 1.0 => {}
+        _ => {
+            return Err(
+                "server.overload.rejection_rate must be in (0, 1): some refused, some served"
+                    .into(),
+            )
+        }
     }
 
     let metrics = root

@@ -53,8 +53,8 @@ pub use pcp::{BatchQuerySet, PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
 pub use network::{queries_from_seed, zaatar_network_costs, NetworkCosts};
 pub use qap::{Qap, QapEvals, QapWitness, StagedWitness};
 pub use runtime::{
-    answer_batch, prove_batch, prove_batch_with, run_session_prover, run_session_verifier,
-    ProverStats, SessionReport, VerifyOutcome,
+    answer_batch, parse_instance_index, prove_batch, prove_batch_with, run_session_prover,
+    run_session_verifier, ProverStats, SessionReport, VerifyOutcome,
 };
 pub use session::{SessionError, SessionProver, SessionVerifier};
 pub use workspace::ProverWorkspace;

@@ -59,6 +59,10 @@ pub mod errcode {
     pub const NO_SETUP: u8 = 2;
     /// The requested instance index is outside the prover's batch.
     pub const BAD_INDEX: u8 = 3;
+    /// The server refused admission: at capacity (backpressure).
+    pub const BUSY: u8 = 4;
+    /// The session's wall-clock deadline budget ran out mid-serve.
+    pub const EXPIRED: u8 = 5;
 }
 
 /// Builds the proofs for a batch of witnesses across `workers` threads
@@ -367,6 +371,15 @@ where
 }
 
 fn parse_index(payload: &[u8], batch: usize) -> Result<usize, u8> {
+    parse_instance_index(payload, batch)
+}
+
+/// Decodes an [`msg::INSTANCE_REQ`] payload (LE32 index) against a
+/// batch of `batch` instances, returning the [`errcode`] a prover
+/// should report on failure. Shared by [`run_session_prover`] and the
+/// poll-loop server in `zaatar-server`, so both reply byte-identically
+/// to malformed or out-of-range requests.
+pub fn parse_instance_index(payload: &[u8], batch: usize) -> Result<usize, u8> {
     let bytes: [u8; 4] = payload.try_into().map_err(|_| errcode::MALFORMED)?;
     let idx = u32::from_le_bytes(bytes) as usize;
     if idx >= batch {

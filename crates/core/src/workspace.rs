@@ -52,6 +52,14 @@ impl<F> ProverWorkspace<F> {
     pub fn pooled(&self) -> usize {
         self.scratch.pooled()
     }
+
+    /// Sheds idle pooled buffers until at most `max_bytes` are retained
+    /// (leased buffers are untouched). A server pool calls this on
+    /// workspaces returning to the free list when memory pressure
+    /// engages, trading warm buffers for headroom.
+    pub fn trim_to(&mut self, max_bytes: usize) {
+        self.scratch.trim_to(max_bytes);
+    }
 }
 
 impl<F> Default for ProverWorkspace<F> {

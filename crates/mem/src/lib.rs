@@ -197,6 +197,36 @@ impl<T> Scratch<T> {
     pub fn pooled(&self) -> usize {
         self.classes.iter().map(Vec::len).sum()
     }
+
+    /// Bytes held by pooled (idle) buffers only.
+    pub fn retained_bytes(&self) -> usize {
+        self.retained * core::mem::size_of::<T>()
+    }
+
+    /// Bytes in buffers handed out and not yet returned.
+    pub fn outstanding_bytes(&self) -> usize {
+        self.outstanding * core::mem::size_of::<T>()
+    }
+
+    /// Drops pooled buffers, largest class first, until the retained
+    /// footprint is at most `max_bytes`. Outstanding buffers are
+    /// untouched (they return through [`Scratch::put`] as usual), so
+    /// this is safe to call between leases — a server sheds idle
+    /// workspace memory under backpressure without invalidating any
+    /// buffer a session still holds.
+    pub fn trim_to(&mut self, max_bytes: usize) {
+        let elem = core::mem::size_of::<T>().max(1);
+        let max_elems = max_bytes / elem;
+        for class in self.classes.iter_mut().rev() {
+            while self.retained > max_elems {
+                match class.pop() {
+                    Some(buf) => self.retained -= buf.capacity(),
+                    None => break,
+                }
+            }
+        }
+        self.observe_high_water();
+    }
 }
 
 impl<T> Default for Scratch<T> {
@@ -284,6 +314,32 @@ mod tests {
             s.put(b);
         }
         assert_eq!(s.pooled(), MAX_PER_CLASS);
+    }
+
+    #[test]
+    fn scratch_trim_sheds_idle_buffers_only() {
+        let mut s: Scratch<u64> = Scratch::new();
+        let small = s.take(64, 0);
+        let big = s.take(4096, 0);
+        let held = s.take(1024, 0);
+        s.put(small);
+        s.put(big);
+        assert_eq!(s.pooled(), 2);
+        assert_eq!(s.retained_bytes(), (64 + 4096) * 8);
+        assert_eq!(s.outstanding_bytes(), 1024 * 8);
+        // Trim to below the big buffer: largest class goes first.
+        s.trim_to(1000 * 8);
+        assert_eq!(s.pooled(), 1);
+        assert_eq!(s.retained_bytes(), 64 * 8);
+        // The outstanding buffer is untouched and still returnable.
+        assert_eq!(s.outstanding_bytes(), 1024 * 8);
+        s.put(held);
+        assert_eq!(s.outstanding_bytes(), 0);
+        assert_eq!(s.pooled(), 2);
+        // Trim to zero empties the pool entirely.
+        s.trim_to(0);
+        assert_eq!(s.pooled(), 0);
+        assert_eq!(s.retained_bytes(), 0);
     }
 
     #[test]

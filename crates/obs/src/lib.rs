@@ -345,6 +345,29 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// A sub-snapshot containing only metrics whose names start with
+    /// `prefix`. Determinism carries over (the filtered maps stay
+    /// sorted), so a subsystem — say everything under `server.` — can
+    /// be snapshotted and serialized in isolation.
+    pub fn filter_prefix(&self, prefix: &str) -> Snapshot {
+        let keep = |map: &BTreeMap<String, u64>| -> BTreeMap<String, u64> {
+            map.iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        };
+        Snapshot {
+            counters: keep(&self.counters),
+            gauges: keep(&self.gauges),
+            timers: self
+                .timers
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
     /// Renders an aligned human-readable table.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
@@ -567,6 +590,22 @@ mod tests {
         let t = obj["timers"].as_object().unwrap()["t"].as_object().unwrap();
         assert_eq!(t["count"].as_u64(), Some(1));
         assert_eq!(t["total_ns"].as_u64(), Some(5));
+    }
+
+    #[test]
+    fn filter_prefix_isolates_a_subsystem() {
+        let reg = MetricsRegistry::new();
+        reg.counter("server.sessions.accepted").add(3);
+        reg.counter("transport.frames_sent").add(9);
+        reg.gauge("server.live").observe(2);
+        reg.timer("server.session").record(100);
+        reg.timer("runtime.session").record(100);
+        let snap = reg.snapshot().filter_prefix("server.");
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters["server.sessions.accepted"], 3);
+        assert_eq!(snap.gauges["server.live"], 2);
+        assert_eq!(snap.timers.len(), 1);
+        assert!(snap.timers.contains_key("server.session"));
     }
 
     #[test]

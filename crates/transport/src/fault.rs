@@ -245,6 +245,11 @@ impl<L: Link> Link for FaultyLink<L> {
     fn recv_bytes(&mut self, deadline: Instant) -> Result<Vec<u8>, TransportError> {
         self.inner.recv_bytes(deadline)
     }
+
+    fn try_recv_bytes(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        // Faults apply to sent chunks only; polling passes through.
+        self.inner.try_recv_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use std::time::Instant;
 use crate::error::TransportError;
 use crate::fault::{FaultConfig, FaultyLink};
 use crate::frame::{Frame, FrameDecoder, DEFAULT_MAX_PAYLOAD};
-use crate::link::{loopback_pair, Link, LoopbackLink, TcpLink};
+use crate::link::{loopback_pair, BoxedLink, Link, LoopbackLink, TcpLink};
 
 /// Traffic and corruption counters for one transport endpoint.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -82,6 +82,45 @@ impl<L: Link> FramedTransport<L> {
             zaatar_obs::counter("transport.corrupt_events").add(delta);
         }
         self.stats.corrupt_events = total;
+    }
+
+    /// Nonblocking receive: returns the next complete frame if one can
+    /// be assembled from buffered plus immediately-available bytes, or
+    /// `Ok(None)` if the link has nothing ready. A `WouldBlock` that
+    /// lands mid-frame leaves the partial bytes buffered in the decoder
+    /// — the next poll resumes where this one stopped, with no resync
+    /// and no corrupt event.
+    pub fn poll_recv(&mut self) -> Result<Option<Frame>, TransportError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame() {
+                self.stats.frames_received += 1;
+                zaatar_obs::counter("transport.frames_received").inc();
+                self.bump_corrupt_events();
+                return Ok(Some(frame));
+            }
+            self.bump_corrupt_events();
+            match self.link.try_recv_bytes()? {
+                Some(chunk) => {
+                    self.stats.bytes_received += chunk.len() as u64;
+                    zaatar_obs::counter("transport.bytes_received").add(chunk.len() as u64);
+                    self.decoder.push(&chunk);
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+impl<L: Link + Send + 'static> FramedTransport<L> {
+    /// Erases the link type, preserving decoder state (buffered partial
+    /// frames included) and stats, so heterogeneous connections can sit
+    /// in one session table.
+    pub fn boxed(self) -> FramedTransport<BoxedLink> {
+        FramedTransport {
+            link: Box::new(self.link),
+            decoder: self.decoder,
+            stats: self.stats,
+        }
     }
 }
 

@@ -36,5 +36,5 @@ pub use framed::{
     faulty_loopback_pair, loopback_transport_pair, FaultyTransport, FramedTransport,
     LoopbackTransport, TcpTransport, Transport, TransportStats,
 };
-pub use link::{loopback_pair, Link, LoopbackLink, TcpLink};
-pub use retry::{exchange, ExchangeOutcome, RetryPolicy};
+pub use link::{loopback_pair, BoxedLink, Link, LoopbackLink, TcpLink};
+pub use retry::{exchange, exchange_within, DeadlineBudget, ExchangeOutcome, RetryPolicy};

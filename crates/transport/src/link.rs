@@ -22,6 +22,40 @@ pub trait Link {
     /// Receives some bytes, blocking until data arrives, the peer
     /// closes, or `deadline` passes ([`TransportError::TimedOut`]).
     fn recv_bytes(&mut self, deadline: Instant) -> Result<Vec<u8>, TransportError>;
+
+    /// Polls for bytes without blocking: `Ok(None)` when nothing is
+    /// ready right now (the nonblocking analogue of a `WouldBlock`).
+    ///
+    /// The default adapts [`Link::recv_bytes`] with an already-expired
+    /// deadline, which is non-blocking for any implementation that
+    /// checks its queue before its deadline (the in-memory links do).
+    /// Implementations over real sockets should override with a true
+    /// nonblocking read — see [`TcpLink`].
+    fn try_recv_bytes(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.recv_bytes(Instant::now()) {
+            Ok(chunk) => Ok(Some(chunk)),
+            Err(TransportError::TimedOut) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A heap-erased link, so heterogeneous connections (TCP, loopback,
+/// fault-injected) can sit in one server's session table.
+pub type BoxedLink = Box<dyn Link + Send>;
+
+impl Link for BoxedLink {
+    fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        (**self).send_bytes(bytes)
+    }
+
+    fn recv_bytes(&mut self, deadline: Instant) -> Result<Vec<u8>, TransportError> {
+        (**self).recv_bytes(deadline)
+    }
+
+    fn try_recv_bytes(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        (**self).try_recv_bytes()
+    }
 }
 
 /// A [`Link`] over a connected TCP stream.
@@ -55,6 +89,25 @@ impl Link for TcpLink {
         match self.stream.read(&mut buf) {
             Ok(0) => Err(TransportError::Closed),
             Ok(n) => Ok(buf[..n].to_vec()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// True nonblocking poll over the socket. The stream toggles into
+    /// nonblocking mode for the read and back out afterwards, so the
+    /// blocking [`Link::recv_bytes`] path keeps its timeout semantics.
+    /// A `WouldBlock` — including one that lands mid-frame, with a
+    /// partial header already buffered upstream — surfaces as
+    /// `Ok(None)`, never as an error.
+    fn try_recv_bytes(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        self.stream.set_nonblocking(true)?;
+        let mut buf = [0u8; 64 * 1024];
+        let res = self.stream.read(&mut buf);
+        self.stream.set_nonblocking(false)?;
+        match res {
+            Ok(0) => Err(TransportError::Closed),
+            Ok(n) => Ok(Some(buf[..n].to_vec())),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => Err(e.into()),
         }
     }

@@ -71,6 +71,47 @@ impl RetryPolicy {
     }
 }
 
+/// A wall-clock budget shared across several exchanges, e.g. one whole
+/// server session. Unlike [`RetryPolicy::deadline`], which resets per
+/// exchange, a budget only ever runs down: every exchange charged
+/// against it sees the same absolute expiry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlineBudget {
+    expires: Instant,
+}
+
+impl DeadlineBudget {
+    /// A budget that expires `limit` from now.
+    pub fn new(limit: Duration) -> Self {
+        DeadlineBudget { expires: Instant::now() + limit }
+    }
+
+    /// A budget with an explicit absolute expiry.
+    pub fn until(expires: Instant) -> Self {
+        DeadlineBudget { expires }
+    }
+
+    /// The absolute expiry instant.
+    pub fn expires(&self) -> Instant {
+        self.expires
+    }
+
+    /// Whether the budget has run out.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.expires
+    }
+
+    /// Time left, zero once expired.
+    pub fn remaining(&self) -> Duration {
+        self.expires.saturating_duration_since(Instant::now())
+    }
+
+    /// Clamps `deadline` so it never outlives the budget.
+    pub fn clamp(&self, deadline: Instant) -> Instant {
+        deadline.min(self.expires)
+    }
+}
+
 /// The result of a successful [`exchange`].
 #[derive(Clone, Debug)]
 pub struct ExchangeOutcome {
@@ -94,9 +135,25 @@ pub fn exchange<T: Transport>(
     policy: &RetryPolicy,
     prg: &mut ChaChaPrg,
 ) -> Result<ExchangeOutcome, TransportError> {
+    let budget = DeadlineBudget::new(policy.deadline);
+    exchange_within(transport, request, expect, policy, prg, budget)
+}
+
+/// [`exchange`] charged against an external [`DeadlineBudget`]: the
+/// effective deadline is the earlier of the policy's per-exchange
+/// deadline and the budget's expiry, so a session-wide wall-clock limit
+/// caps every exchange inside it without retuning the policy.
+pub fn exchange_within<T: Transport>(
+    transport: &mut T,
+    request: &Frame,
+    expect: &[u8],
+    policy: &RetryPolicy,
+    prg: &mut ChaChaPrg,
+    budget: DeadlineBudget,
+) -> Result<ExchangeOutcome, TransportError> {
     zaatar_obs::counter("transport.exchanges").inc();
     let _span = zaatar_obs::time("transport.exchange");
-    let overall = Instant::now() + policy.deadline;
+    let overall = budget.clamp(Instant::now() + policy.deadline);
     let mut retransmits = 0u32;
     for attempt in 0..=policy.max_retransmits {
         if Instant::now() >= overall {
@@ -106,7 +163,15 @@ pub fn exchange<T: Transport>(
             retransmits += 1;
             zaatar_obs::counter("transport.retransmits").inc();
         }
-        transport.send(request)?;
+        match transport.send(request) {
+            Ok(()) => {}
+            // The peer may have hung up *after* queueing its reply —
+            // e.g. a server that sends a typed refusal and drops the
+            // connection. Fall through and drain what's buffered; the
+            // recv loop surfaces Closed once the queue is truly empty.
+            Err(TransportError::Closed) => {}
+            Err(e) => return Err(e),
+        }
         let wait = policy.timeout_for_attempt(attempt, prg);
         let attempt_deadline = (Instant::now() + wait).min(overall);
         loop {

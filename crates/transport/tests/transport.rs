@@ -6,8 +6,8 @@ use std::time::{Duration, Instant};
 
 use zaatar_crypto::ChaChaPrg;
 use zaatar_transport::{
-    exchange, faulty_loopback_pair, FaultConfig, FaultKind, Frame,
-    RetryPolicy, TcpTransport, Transport, TransportError,
+    exchange, exchange_within, faulty_loopback_pair, loopback_pair, DeadlineBudget, FaultConfig,
+    FaultKind, Frame, FramedTransport, Link, RetryPolicy, TcpTransport, Transport, TransportError,
 };
 
 fn soon() -> Instant {
@@ -81,6 +81,106 @@ fn duplicated_frame_arrives_twice_intact() {
     a.send(&f).unwrap();
     assert_eq!(b.recv(soon()).unwrap(), f);
     assert_eq!(b.recv(soon()).unwrap(), f);
+}
+
+#[test]
+fn poll_recv_preserves_partial_frame_across_would_block() {
+    let (mut raw, receiver) = loopback_pair();
+    let mut framed = FramedTransport::new(receiver);
+    let frame = Frame::new(3, 42, vec![7u8; 300]);
+    let bytes = frame.encode();
+    // Nothing sent yet: the poll reports not-ready, not an error.
+    assert_eq!(framed.poll_recv().unwrap(), None);
+    // Deliver a sliver of the header, then a sliver of the payload;
+    // each intermediate poll must park the partial bytes and report
+    // not-ready without a resync.
+    raw.send_bytes(&bytes[..9]).unwrap();
+    assert_eq!(framed.poll_recv().unwrap(), None);
+    raw.send_bytes(&bytes[9..120]).unwrap();
+    assert_eq!(framed.poll_recv().unwrap(), None);
+    raw.send_bytes(&bytes[120..]).unwrap();
+    assert_eq!(framed.poll_recv().unwrap(), Some(frame));
+    assert_eq!(framed.stats().corrupt_events, 0);
+}
+
+#[test]
+fn boxed_transport_keeps_buffered_partial_frame() {
+    let (mut raw, receiver) = loopback_pair();
+    let mut framed = FramedTransport::new(receiver);
+    let frame = Frame::new(5, 9, vec![1, 2, 3, 4]);
+    let bytes = frame.encode();
+    raw.send_bytes(&bytes[..11]).unwrap();
+    assert_eq!(framed.poll_recv().unwrap(), None);
+    // Type-erase mid-frame: the half-read frame must survive the move.
+    let mut boxed = framed.boxed();
+    raw.send_bytes(&bytes[11..]).unwrap();
+    assert_eq!(boxed.poll_recv().unwrap(), Some(frame));
+    assert_eq!(boxed.stats().corrupt_events, 0);
+    assert_eq!(boxed.stats().frames_received, 1);
+}
+
+#[test]
+fn tcp_poll_recv_is_nonblocking_and_resumes_mid_frame() {
+    use std::io::Write;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let frame = Frame::new(2, 7, vec![9u8; 64]);
+    let bytes = frame.encode();
+    let split = bytes.len() / 2;
+    let (first, rest) = (bytes[..split].to_vec(), bytes[split..].to_vec());
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.write_all(&first).unwrap();
+        // Hold the rest until the client has observed the stall.
+        rx.recv().unwrap();
+        stream.write_all(&rest).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+    });
+    let mut client = TcpTransport::connect(addr).unwrap();
+    // Drain what's available, then hit WouldBlock mid-frame: must be
+    // Ok(None), and the blocking recv path must still work afterwards.
+    let start = Instant::now();
+    loop {
+        match client.poll_recv().unwrap() {
+            Some(_) => panic!("frame completed before the stall"),
+            None if client.stats().bytes_received > 0 => break,
+            None => assert!(start.elapsed() < Duration::from_secs(2), "first half never arrived"),
+        }
+    }
+    assert_eq!(client.poll_recv().unwrap(), None);
+    tx.send(()).unwrap();
+    let got = client.recv(soon()).unwrap();
+    assert_eq!(got, frame);
+    assert_eq!(client.stats().corrupt_events, 0);
+    server.join().unwrap();
+}
+
+#[test]
+fn exchange_within_respects_a_tighter_budget() {
+    let (mut client, _server) = faulty_loopback_pair(21, FaultConfig::none());
+    let policy = RetryPolicy {
+        deadline: Duration::from_secs(10),
+        initial_timeout: Duration::from_millis(20),
+        backoff_factor: 2,
+        max_timeout: Duration::from_millis(50),
+        max_retransmits: 100,
+    };
+    let mut prg = ChaChaPrg::from_u64_seed(8);
+    let start = Instant::now();
+    let budget = DeadlineBudget::new(Duration::from_millis(120));
+    let err = exchange_within(
+        &mut client,
+        &Frame::new(10, 1, vec![]),
+        &[11],
+        &policy,
+        &mut prg,
+        budget,
+    );
+    assert_eq!(err.unwrap_err(), TransportError::TimedOut);
+    // The 10s policy deadline is overridden by the 120ms budget.
+    assert!(start.elapsed() < Duration::from_millis(600));
+    assert!(budget.expired());
 }
 
 #[test]

@@ -7,4 +7,5 @@ pub use zaatar_field as field;
 pub use zaatar_mem as mem;
 pub use zaatar_obs as obs;
 pub use zaatar_poly as poly;
+pub use zaatar_server as server;
 pub use zaatar_transport as transport;

@@ -1,0 +1,307 @@
+//! Edge-of-envelope tests for the session server: deadline expiry
+//! mid-serve, typed admission refusal, workspace-pool leak guards
+//! across session churn, and failure typing. All single-threaded — the
+//! loopback link's sends never block, so one thread can play both the
+//! client and the server's poll loop, which makes every assertion
+//! deterministic.
+
+use std::time::{Duration, Instant};
+
+use zaatar_cc::{ginger_to_quad, Builder};
+use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
+use zaatar_core::qap::Qap;
+use zaatar_core::runtime::{errcode, msg, run_session_verifier};
+use zaatar_core::{SessionError, SessionVerifier};
+use zaatar_crypto::ChaChaPrg;
+use zaatar_field::{Field, F61};
+use zaatar_server::{Admission, RejectReason, ServerConfig, SessionOutcome, SessionServer};
+use zaatar_transport::{
+    loopback_transport_pair, Frame, LoopbackTransport, RetryPolicy, Transport, TransportError,
+};
+
+type Pcp = ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>;
+
+struct Fixture {
+    pcp: Pcp,
+    proofs: Vec<ZaatarProof<F61>>,
+    ios: Vec<Vec<F61>>,
+}
+
+fn fixture() -> Fixture {
+    let mut b = Builder::<F61>::new();
+    let x = b.alloc_input();
+    let y = b.alloc_input();
+    let p = b.mul(&x, &y);
+    b.bind_output(&p);
+    let (sys, solver) = b.finish();
+    let t = ginger_to_quad(&sys);
+    let qap = Qap::new(&t.system);
+    let pcp = ZaatarPcp::new(qap, PcpParams::light());
+    let mut proofs = Vec::new();
+    let mut ios = Vec::new();
+    for pair in [[3i64, 7], [5, 11]] {
+        let asg = solver
+            .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
+            .unwrap();
+        let ext = t.extend_assignment(&asg);
+        let w = pcp.qap().witness(&ext);
+        proofs.push(pcp.prove(&w).unwrap());
+        ios.push(
+            pcp.qap()
+                .var_map()
+                .inputs()
+                .iter()
+                .chain(pcp.qap().var_map().outputs())
+                .map(|v| ext.get(*v))
+                .collect(),
+        );
+    }
+    Fixture { pcp, proofs, ios }
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        max_sessions: 4,
+        pool_capacity: 4,
+        session_budget: Duration::from_secs(10),
+        idle_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+/// Sends `frame`, polls the server until it replies, and returns the
+/// reply — the single-threaded stand-in for `exchange`.
+fn ask(
+    client: &mut LoopbackTransport,
+    server: &mut SessionServer<'_, F61, zaatar_poly::Radix2Domain<F61>>,
+    frame: &Frame,
+) -> Frame {
+    client.send(frame).expect("loopback send");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        server.poll();
+        match client.poll_recv().expect("client poll") {
+            Some(reply) => return reply,
+            None => assert!(Instant::now() < deadline, "server never replied to {frame:?}"),
+        }
+    }
+}
+
+/// Drives one complete, honest session through the server and asserts
+/// it ends [`SessionOutcome::Served`]. Returns the client transport's
+/// final stats.
+fn run_full_session(
+    fx: &Fixture,
+    server: &mut SessionServer<'_, F61, zaatar_poly::Radix2Domain<F61>>,
+    seed: u64,
+) {
+    let (mut client, pt) = loopback_transport_pair();
+    let Admission::Admitted(id) = server.admit(pt, "edge") else {
+        panic!("admission refused at nominal load");
+    };
+    let mut prg = ChaChaPrg::from_u64_seed(seed);
+    let mut verifier = SessionVerifier::new(&fx.pcp, &mut prg);
+    let ack = ask(&mut client, server, &Frame::new(msg::SETUP, 0, verifier.setup_message().unwrap()));
+    assert_eq!(ack.msg_type, msg::SETUP_ACK);
+    for idx in 0..fx.proofs.len() {
+        let req = Frame::new(msg::INSTANCE_REQ, (idx + 1) as u32, (idx as u32).to_le_bytes().to_vec());
+        let resp = ask(&mut client, server, &req);
+        assert_eq!(resp.msg_type, msg::INSTANCE_RESP);
+        assert!(verifier.verify_instance(&resp.payload, &fx.ios[idx]).unwrap());
+    }
+    client.send(&Frame::new(msg::DONE, u32::MAX, Vec::new())).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let finished = server.poll();
+        if let Some((fid, outcome)) = finished.first() {
+            assert_eq!(*fid, id);
+            assert_eq!(*outcome, SessionOutcome::Served);
+            break;
+        }
+        assert!(Instant::now() < deadline, "session never drained");
+    }
+}
+
+/// A session whose wall-clock budget expires mid-serve (after setup,
+/// with an instance response already cached — "mid-commit") must
+/// terminate Expired, notify the client with a typed ERROR(EXPIRED)
+/// frame, and release its workspace back to the pool.
+#[test]
+fn expired_session_releases_workspace_and_notifies() {
+    let fx = fixture();
+    let cfg = ServerConfig {
+        session_budget: Duration::from_millis(120),
+        ..config()
+    };
+    let mut server = SessionServer::new(&fx.pcp, &fx.proofs, cfg);
+    let (mut client, pt) = loopback_transport_pair();
+    let Admission::Admitted(id) = server.admit(pt, "t0") else {
+        panic!("admission refused");
+    };
+    assert_eq!(server.pool().outstanding(), 1);
+
+    // Get the session past setup and through one instance response, so
+    // the expiry lands mid-commit with leased buffers in play.
+    let mut prg = ChaChaPrg::from_u64_seed(0xE0);
+    let mut verifier = SessionVerifier::new(&fx.pcp, &mut prg);
+    let ack = ask(&mut client, &mut server, &Frame::new(msg::SETUP, 0, verifier.setup_message().unwrap()));
+    assert_eq!(ack.msg_type, msg::SETUP_ACK);
+    let resp = ask(
+        &mut client,
+        &mut server,
+        &Frame::new(msg::INSTANCE_REQ, 1, 0u32.to_le_bytes().to_vec()),
+    );
+    assert_eq!(resp.msg_type, msg::INSTANCE_RESP);
+    let footprint_live = server.workspace_footprint_bytes();
+    assert!(footprint_live > 0, "serving must have warmed the workspace");
+
+    // Let the budget run out, then poll: the session must expire.
+    std::thread::sleep(Duration::from_millis(150));
+    let finished = server.poll();
+    assert_eq!(finished, vec![(id, SessionOutcome::Expired)]);
+    assert_eq!(server.live_sessions(), 0);
+
+    // Leak guard: the lease is back, bytes intact (no trim at this
+    // footprint), nothing outstanding.
+    assert_eq!(server.pool().outstanding(), 0, "expired session leaked its workspace");
+    assert_eq!(server.pool().pooled_bytes(), footprint_live);
+    assert_eq!(server.stats().expired, 1);
+
+    // The client hears about it: a typed EXPIRED error, not silence.
+    let notice = client.recv(Instant::now() + Duration::from_secs(1)).unwrap();
+    assert_eq!(notice.msg_type, msg::ERROR);
+    assert_eq!(notice.payload, vec![errcode::EXPIRED]);
+}
+
+/// An admission-refused client receives a well-formed ERROR(BUSY) frame
+/// at seq 0 — which the stock verifier runtime surfaces as a typed
+/// `SessionError::Peer(BUSY)`, not a dropped connection or a timeout.
+#[test]
+fn rejected_client_gets_typed_refusal_frame() {
+    let fx = fixture();
+    let cfg = ServerConfig {
+        max_sessions: 1,
+        ..config()
+    };
+    let mut server = SessionServer::new(&fx.pcp, &fx.proofs, cfg);
+
+    // Fill the only slot.
+    let (_held_client, pt) = loopback_transport_pair();
+    assert!(matches!(server.admit(pt, "t0"), Admission::Admitted(_)));
+    assert!(server.backpressure_engaged());
+
+    // The second tenant is refused at admission...
+    let (mut rejected_client, pt2) = loopback_transport_pair();
+    assert_eq!(
+        server.admit(pt2, "t1"),
+        Admission::Rejected(RejectReason::Backpressure)
+    );
+    // ...with a frame that parses cleanly: ERROR, seq 0, payload BUSY.
+    let refusal = rejected_client.recv(Instant::now() + Duration::from_secs(1)).unwrap();
+    assert_eq!(refusal.msg_type, msg::ERROR);
+    assert_eq!(refusal.seq, 0);
+    assert_eq!(refusal.payload, vec![errcode::BUSY]);
+    assert_eq!(rejected_client.stats().corrupt_events, 0);
+    assert_eq!(server.stats().rejected, 1);
+    assert_eq!(server.stats().per_tenant["t1"].rejected, 1);
+    assert_eq!(server.stats().per_tenant["t0"].accepted, 1);
+
+    // And the stock verifier runtime sees the typed peer error.
+    let (mut verifier_side, pt3) = loopback_transport_pair();
+    assert!(matches!(
+        server.admit(pt3, "t2"),
+        Admission::Rejected(RejectReason::Backpressure)
+    ));
+    let mut prg = ChaChaPrg::from_u64_seed(0xB05);
+    let err = run_session_verifier(
+        &mut verifier_side,
+        &fx.pcp,
+        &fx.ios,
+        &RetryPolicy::fast(),
+        &mut prg,
+    )
+    .unwrap_err();
+    assert_eq!(err, SessionError::Peer(errcode::BUSY));
+}
+
+/// 100 sequential session churns through one server: the pool's
+/// footprint must plateau after the first session warms it, and no
+/// lease may ever leak — the server-side analogue of the PR-5
+/// leak-guard suite.
+#[test]
+fn hundred_session_churn_keeps_pool_bounded() {
+    let fx = fixture();
+    let mut server = SessionServer::new(&fx.pcp, &fx.proofs, config());
+    let mut warm = 0;
+    for i in 0..100u64 {
+        run_full_session(&fx, &mut server, 0xC0DE + i);
+        assert_eq!(server.pool().outstanding(), 0, "churn {i} leaked a lease");
+        let footprint = server.workspace_footprint_bytes();
+        if i == 0 {
+            warm = footprint;
+            assert!(warm > 0, "first session must warm the pool");
+        } else {
+            assert_eq!(
+                footprint, warm,
+                "churn {i}: footprint moved off its plateau ({footprint} vs {warm} bytes)"
+            );
+        }
+    }
+    assert_eq!(server.stats().served, 100);
+    assert_eq!(server.stats().accepted, 100);
+    assert_eq!(server.stats().failed + server.stats().expired, 0);
+}
+
+/// A client that connects and disappears without ever completing a
+/// setup is a Failed session (typed, counted), and its workspace comes
+/// back too.
+#[test]
+fn vanishing_client_is_typed_failed_and_leaks_nothing() {
+    let fx = fixture();
+    let mut server = SessionServer::new(&fx.pcp, &fx.proofs, config());
+    let (client, pt) = loopback_transport_pair();
+    let Admission::Admitted(id) = server.admit(pt, "ghost") else {
+        panic!("admission refused");
+    };
+    drop(client);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let finished = server.poll();
+        if let Some((fid, outcome)) = finished.first() {
+            assert_eq!(*fid, id);
+            assert_eq!(
+                *outcome,
+                SessionOutcome::Failed(SessionError::Transport(TransportError::Closed))
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "vanished client never detected");
+    }
+    assert_eq!(server.pool().outstanding(), 0);
+    assert_eq!(server.stats().failed, 1);
+    assert_eq!(server.stats().per_tenant["ghost"].failed, 1);
+}
+
+/// Memory-threshold admission: with the footprint ceiling set below one
+/// warm workspace, the server accepts while cold, then sheds load once
+/// the pool's bytes cross the ceiling — and trims returning workspaces
+/// to recover headroom.
+#[test]
+fn memory_pressure_engages_backpressure_and_trim() {
+    let fx = fixture();
+    let cfg = ServerConfig {
+        max_footprint_bytes: 1, // any warm byte engages pressure
+        trim_to_bytes: 0,
+        ..config()
+    };
+    let mut server = SessionServer::new(&fx.pcp, &fx.proofs, cfg);
+    // Cold pool: footprint 0 < 1, so the first session is admitted.
+    run_full_session(&fx, &mut server, 0x3A);
+    // The returning workspace was trimmed to zero retained bytes (the
+    // pressure path), so the next admission is accepted again.
+    assert_eq!(server.workspace_footprint_bytes(), 0, "trim must shed idle bytes");
+    assert!(!server.backpressure_engaged());
+    run_full_session(&fx, &mut server, 0x3B);
+    assert_eq!(server.stats().served, 2);
+    assert_eq!(server.stats().rejected, 0);
+}

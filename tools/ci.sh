@@ -36,10 +36,22 @@ cargo clippy --workspace --all-targets --locked -- -D warnings
 echo "==> soundness smoke (malicious-prover suite, release)"
 cargo test -q -p zaatar --test malicious_prover --locked --release
 
-# The validator enforces the full v4 schema, including the `ntt` and
+# Server soak: a bounded slice of the 1008-scenario fault matrix run
+# as waves of 8 concurrent sessions against ONE SessionServer — every
+# serial invariant plus zero cross-session interference and a
+# leak-free workspace pool, under the release profile. The full sweep
+# runs in step 3; this re-runs a capped slice explicitly so a failure
+# here names the multi-tenant path, not the whole suite.
+echo "==> server soak (concurrent fault matrix slice, release)"
+ZAATAR_SOAK_SCENARIOS=96 cargo test -q -p zaatar --test fault_matrix_concurrent \
+    --locked --release
+
+# The validator enforces the full v5 schema, including the `ntt` and
 # `pcp` sections (batch amortization must strictly reduce per-instance
-# query-setup cost) and the `mem` section (the staged prover pipeline
-# must show a non-zero scratch-pool hit rate at batch size 16).
+# query-setup cost), the `mem` section (the staged prover pipeline
+# must show a non-zero scratch-pool hit rate at batch size 16), and
+# the `server` section (admissions must dominate rejections at nominal
+# load; synthetic overload must split deterministically).
 echo "==> bench smoke (baseline emit + schema validation)"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
     --smoke --out target/bench_smoke.json
