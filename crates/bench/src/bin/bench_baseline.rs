@@ -45,6 +45,18 @@
 //! the accept/reject split is deterministic). The validator enforces
 //! that rejections never exceed admissions at nominal load — graceful
 //! degradation must not become refusal-by-default.
+//!
+//! Schema v6 (PR 7) adds a `commit` section: per-commit timings of the
+//! Pippenger bucket-MSM commitment engine against the retained
+//! per-element square-and-multiply reference, at vector lengths
+//! spanning the oracle sizes the session workload actually commits to,
+//! plus the `commit.msm.{windows,buckets,doublings}` counters. The
+//! validator enforces MSM ≥ 4× faster than the per-element loop at the
+//! largest length. v6 also fixes the `parallel` section to record the
+//! post-clamp `effective_workers` actually used (on a parallelism-1
+//! host the old `workers: 8` misattributed oversubscription), and its
+//! `p50_ns`/`p99_ns` figures inherit the obs percentile fix (bucket
+//! upper bound clamped to the observed max, no longer the floor).
 
 use std::time::{Duration, Instant};
 
@@ -61,7 +73,11 @@ use zaatar_server::{Admission, ServerConfig, SessionServer};
 use zaatar_transport::{loopback_transport_pair, RetryPolicy};
 
 /// Schema identifier written into (and required from) every baseline.
-const SCHEMA: &str = "zaatar-bench-baseline/v5";
+const SCHEMA: &str = "zaatar-bench-baseline/v6";
+
+/// Minimum speedup the MSM commitment engine must show over the
+/// per-element reference at the largest measured oracle length.
+const MSM_MIN_SPEEDUP: f64 = 4.0;
 
 /// Batch sizes for the `mem` scratch-reuse section: β = 1 shows the
 /// cold cost (every pool take is a miss), β = 16 shows steady-state
@@ -213,6 +229,62 @@ fn bench_ntt(smoke: bool) -> (Vec<NttSample>, u64) {
         });
     }
     (samples, reps)
+}
+
+/// One row of the `commit` section: one homomorphic commitment
+/// (`∏ Enc(rᵢ)^(uᵢ)`, both ciphertext components) over a length-`len`
+/// oracle, via the Pippenger bucket MSM and via the per-element
+/// square-and-multiply reference.
+struct CommitSample {
+    len: usize,
+    msm_ns: u64,
+    naive_ns: u64,
+    speedup: f64,
+}
+
+/// Times the commitment engine against its reference at oracle lengths
+/// spanning what the session workload really commits to (the z oracle
+/// is a few hundred entries at the baseline circuit; the h oracle is
+/// comparable). Medians over `reps` keep scheduler noise out of the
+/// ≥ 4× validator gate. Both paths run the *same* key and proof vector,
+/// so the comparison is pure engine-vs-engine; results are asserted
+/// equal — the speedup is only meaningful if the answers agree.
+fn bench_commit(smoke: bool) -> Vec<CommitSample> {
+    let lens: &[usize] = if smoke { &[64, 256] } else { &[64, 256, 512] };
+    let reps: usize = if smoke { 3 } else { 5 };
+    let mut prg = ChaChaPrg::from_u64_seed(0xC0517);
+    lens.iter()
+        .map(|&len| {
+            let key = CommitmentKey::<F61>::generate(len, &mut prg);
+            let u: Vec<F61> = prg.field_vec(len);
+            let median = |f: &dyn Fn() -> zaatar_crypto::Ciphertext| -> (u64, zaatar_crypto::Ciphertext) {
+                let mut ns: Vec<u64> = Vec::with_capacity(reps);
+                let mut out = None;
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    let ct = f();
+                    ns.push((start.elapsed().as_nanos() as u64).max(1));
+                    out = Some(ct);
+                }
+                ns.sort_unstable();
+                (ns[reps / 2], out.expect("reps >= 1"))
+            };
+            // Time the raw inner products (not CommitmentKey::commit) so
+            // the `phases` section's commit.commit stays a pure record of
+            // the session workload, comparable to earlier baselines.
+            let (msm_ns, msm_ct) =
+                median(&|| zaatar_crypto::ElGamal::<F61>::inner_product(&key.enc_r, &u));
+            let (naive_ns, naive_ct) =
+                median(&|| zaatar_crypto::ElGamal::<F61>::inner_product_naive(&key.enc_r, &u));
+            assert_eq!(msm_ct, naive_ct, "MSM must match the reference at len {len}");
+            CommitSample {
+                len,
+                msm_ns,
+                naive_ns,
+                speedup: naive_ns as f64 / msm_ns.max(1) as f64,
+            }
+        })
+        .collect()
 }
 
 /// One row of the `pcp` section: the verifier's once-per-batch query
@@ -471,6 +543,13 @@ fn run_baseline(smoke: bool) -> String {
     let parallel_ns = start.elapsed().as_nanos() as u64;
     assert!(parallel.iter().all(Option::is_some), "honest witnesses");
     let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
+    // What the parallel run actually used: the same clamp parallel_map
+    // applies (worker override / host parallelism, then batch size). The
+    // requested count is kept alongside so a baseline from a wide host
+    // and one from a laptop remain distinguishable.
+    let effective_workers = zaatar_poly::parallel::effective_workers(workers)
+        .max(1)
+        .min(batch.max(1));
 
     // Full session round-trip over an in-memory transport, populating
     // the commit/answer/check/runtime.session timers.
@@ -485,6 +564,11 @@ fn run_baseline(smoke: bool) -> String {
         .expect("verifier session");
     assert!(report.all_accepted(), "baseline batch must verify");
     server.join().expect("prover thread");
+
+    // MSM-vs-reference commitment timings across oracle lengths (also
+    // populates the commit.msm.* counters alongside the session runs
+    // above).
+    let commit_samples = bench_commit(smoke);
 
     // Batch-amortization measurement for the query pipeline (also
     // populates the query-reuse and fixed-base counters the validator
@@ -537,8 +621,29 @@ fn run_baseline(smoke: bool) -> String {
     }
     s.push_str("  },\n");
     s.push_str(&format!(
-        "  \"parallel\": {{\"batch\": {batch}, \"workers\": {workers}, \"serial_ns\": {serial_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}}},\n"
+        "  \"parallel\": {{\"batch\": {batch}, \"workers_requested\": {workers}, \"effective_workers\": {effective_workers}, \"serial_ns\": {serial_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}}},\n"
     ));
+    let msm_windows = snap.counters.get("commit.msm.windows").copied().unwrap_or(0);
+    let msm_buckets = snap.counters.get("commit.msm.buckets").copied().unwrap_or(0);
+    let msm_doublings = snap
+        .counters
+        .get("commit.msm.doublings")
+        .copied()
+        .unwrap_or(0);
+    s.push_str(&format!(
+        "  \"commit\": {{\"field\": \"F61\", \"msm_windows\": {msm_windows}, \"msm_buckets\": {msm_buckets}, \"msm_doublings\": {msm_doublings}, \"lens\": [\n"
+    ));
+    for (i, smp) in commit_samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"len\": {}, \"msm_ns\": {}, \"naive_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            smp.len,
+            smp.msm_ns,
+            smp.naive_ns,
+            smp.speedup,
+            if i + 1 < commit_samples.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]},\n");
     let cache_hits = snap
         .counters
         .get("poly.ntt.twiddle_cache_hit")
@@ -687,15 +792,77 @@ fn validate_baseline(path: &str) -> Result<(), String> {
         .get("parallel")
         .and_then(Value::as_object)
         .ok_or("missing object \"parallel\"")?;
-    for field in ["batch", "workers", "serial_ns", "parallel_ns"] {
+    for field in ["batch", "workers_requested", "effective_workers", "serial_ns", "parallel_ns"] {
         match par.get(field).and_then(Value::as_u64) {
             Some(v) if v >= 1 => {}
             _ => return Err(format!("parallel.{field} must be an integer >= 1")),
         }
     }
+    let requested = par["workers_requested"].as_u64().expect("checked above");
+    let effective = par["effective_workers"].as_u64().expect("checked above");
+    if effective > requested {
+        return Err(format!(
+            "parallel.effective_workers ({effective}) exceeds workers_requested ({requested})"
+        ));
+    }
     match par.get("speedup").and_then(Value::as_f64) {
         Some(s) if s > 0.0 => {}
         _ => return Err("parallel.speedup must be a positive number".into()),
+    }
+
+    let commit = root
+        .get("commit")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"commit\"")?;
+    for field in ["msm_windows", "msm_buckets", "msm_doublings"] {
+        match commit.get(field).and_then(Value::as_u64) {
+            Some(v) if v >= 1 => {}
+            _ => {
+                return Err(format!(
+                    "commit.{field} must be an integer >= 1 — the MSM engine never ran"
+                ))
+            }
+        }
+    }
+    let lens = commit
+        .get("lens")
+        .and_then(Value::as_array)
+        .ok_or("missing array \"commit.lens\"")?;
+    if lens.is_empty() {
+        return Err("commit.lens must be non-empty".into());
+    }
+    let mut prev_len = 0u64;
+    for (i, entry) in lens.iter().enumerate() {
+        let e = entry
+            .as_object()
+            .ok_or_else(|| format!("commit.lens[{i}] is not an object"))?;
+        for field in ["len", "msm_ns", "naive_ns"] {
+            match e.get(field).and_then(Value::as_u64) {
+                Some(v) if v >= 1 => {}
+                _ => return Err(format!("commit.lens[{i}].{field} must be an integer >= 1")),
+            }
+        }
+        let len = e["len"].as_u64().expect("checked above");
+        if len <= prev_len {
+            return Err(format!("commit.lens[{i}].len {len} not > previous {prev_len}"));
+        }
+        prev_len = len;
+        if e.get("speedup").and_then(Value::as_f64).is_none() {
+            return Err(format!("commit.lens[{i}].speedup missing or not a number"));
+        }
+    }
+    // The tentpole gate: at the largest (most oracle-like) length the
+    // bucket MSM must beat the per-element loop by at least 4×.
+    let largest = lens[lens.len() - 1].as_object().expect("checked above");
+    match largest["speedup"].as_f64() {
+        Some(s) if s >= MSM_MIN_SPEEDUP => {}
+        Some(s) => {
+            return Err(format!(
+                "commit.lens speedup at largest length is {s:.2}, below the required \
+                 {MSM_MIN_SPEEDUP:.1}× — the MSM engine is not earning its keep"
+            ))
+        }
+        None => return Err("commit.lens[last].speedup missing".into()),
     }
 
     let ntt = root

@@ -255,8 +255,8 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> Prover<'p, F, D> {
         enc_r_h: &[Ciphertext],
     ) -> (Ciphertext, Ciphertext) {
         let start = Instant::now();
-        let cz = CommitmentKey::<F>::commit(enc_r_z, &proof.z);
-        let ch = CommitmentKey::<F>::commit(enc_r_h, &proof.h);
+        let cz = CommitmentKey::<F>::commit_with(enc_r_z, &proof.z, &mut self.workspace);
+        let ch = CommitmentKey::<F>::commit_with(enc_r_h, &proof.h, &mut self.workspace);
         self.timings.crypto += start.elapsed();
         (cz, ch)
     }
@@ -363,12 +363,13 @@ pub fn run_batched_ginger_argument<F: HasGroup + PrimeField>(
 
     let mut prover_timings = ProverTimings::default();
     let start = Instant::now();
+    let mut ws: ProverWorkspace<F> = ProverWorkspace::new();
     let commitments: Vec<(Ciphertext, Ciphertext)> = proofs
         .iter()
         .map(|p| {
             (
-                CommitmentKey::<F>::commit(&key1.enc_r, &p.z),
-                CommitmentKey::<F>::commit(&key2.enc_r, &p.zz),
+                CommitmentKey::<F>::commit_with(&key1.enc_r, &p.z, &mut ws),
+                CommitmentKey::<F>::commit_with(&key2.enc_r, &p.zz, &mut ws),
             )
         })
         .collect();

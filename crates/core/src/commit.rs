@@ -52,10 +52,25 @@ impl<F: HasGroup> CommitmentKey<F> {
     }
 
     /// **Prover side**: computes the commitment `Enc(π(r)) = ∏ Enc(rᵢ)^(uᵢ)`
-    /// for proof vector `u` (the prover sees only `enc_r`).
+    /// for proof vector `u` (the prover sees only `enc_r`) via the
+    /// Pippenger bucket MSM. A zero-length oracle commits to the
+    /// identity ciphertext `Enc(0)` — pinned behavior, not a panic.
     pub fn commit(enc_r: &[Ciphertext], u: &[F]) -> Ciphertext {
         let _span = zaatar_obs::time("commit.commit");
         ElGamal::<F>::inner_product(enc_r, u)
+    }
+
+    /// [`Self::commit`] leasing the MSM bucket accumulators from a
+    /// [`crate::ProverWorkspace`], so a worker committing to a whole
+    /// batch allocates bucket storage once. Result is identical to
+    /// [`Self::commit`] (the pool only recycles capacity).
+    pub fn commit_with(
+        enc_r: &[Ciphertext],
+        u: &[F],
+        ws: &mut crate::ProverWorkspace<F>,
+    ) -> Ciphertext {
+        let _span = zaatar_obs::time("commit.commit");
+        ElGamal::<F>::inner_product_scratch(enc_r, u, ws.group_scratch())
     }
 
     /// **Verifier side**: builds the consistency query
@@ -71,6 +86,9 @@ impl<F: HasGroup> CommitmentKey<F> {
                 *slot += *alpha * *qi;
             }
         }
+        // One α per query — the same invariant `verify` enforces on the
+        // wire side (`answers.len() != alphas.len()` → reject).
+        debug_assert_eq!(alphas.len(), queries.len(), "one alpha per query");
         (t, alphas)
     }
 
@@ -238,6 +256,34 @@ mod tests {
             assert_eq!(packed.answers, serial.answers, "workers={workers}");
             assert_eq!(packed.t_answer, serial.t_answer);
             assert!(key.verify(&commitment, &packed.answers, packed.t_answer, &alphas));
+        }
+    }
+
+    #[test]
+    fn zero_length_oracle_commits_to_identity() {
+        // enc_r = [] is a degenerate but legal oracle: the commitment is
+        // the identity ciphertext Enc(0), never a panic, and the empty
+        // decommitment verifies end-to-end.
+        let (key, _, _, mut prg) = setup(0, 0, 8);
+        assert!(key.is_empty());
+        let u: Vec<F61> = Vec::new();
+        let commitment = CommitmentKey::commit(&key.enc_r, &u);
+        assert_eq!(commitment, zaatar_crypto::ElGamal::<F61>::zero());
+        let (t, alphas) = key.consistency_query(&[], &mut prg);
+        let d = decommit(&u, &[], &t);
+        assert!(key.verify(&commitment, &d.answers, d.t_answer, &alphas));
+    }
+
+    #[test]
+    fn commit_with_workspace_matches_fresh() {
+        let (key, u, _, _) = setup(9, 0, 9);
+        let mut ws: crate::ProverWorkspace<F61> = crate::ProverWorkspace::new();
+        let fresh = CommitmentKey::commit(&key.enc_r, &u);
+        // Run twice so the second pass reuses a (dirty) pooled bucket
+        // buffer.
+        for round in 0..2 {
+            let pooled = CommitmentKey::commit_with(&key.enc_r, &u, &mut ws);
+            assert_eq!(pooled, fresh, "round={round}");
         }
     }
 

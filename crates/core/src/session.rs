@@ -266,8 +266,8 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
     ) -> Result<Vec<u8>, SessionError> {
         let queries = self.queries.as_ref().ok_or(SessionError::SetupNotReceived)?;
         let commitments = (
-            CommitmentKey::<F>::commit(&self.enc_r_z, &proof.z),
-            CommitmentKey::<F>::commit(&self.enc_r_h, &proof.h),
+            CommitmentKey::<F>::commit_with(&self.enc_r_z, &proof.z, ws),
+            CommitmentKey::<F>::commit_with(&self.enc_r_h, &proof.h, ws),
         );
         // Query answering — the same phase argument::Prover::respond
         // times as `answer_queries`, through the blocked kernel off the

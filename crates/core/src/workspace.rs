@@ -27,6 +27,11 @@ use zaatar_mem::Scratch;
 /// transcripts are byte-identical with or without reuse.
 pub struct ProverWorkspace<F> {
     scratch: Scratch<F>,
+    /// Raw-word pool for the group layer: the commit and answer stages
+    /// lease Pippenger bucket accumulators (`u64` Montgomery words, not
+    /// field elements) from here, so one worker's MSMs share a single
+    /// bucket allocation across every commitment in a batch.
+    group_scratch: Scratch<u64>,
 }
 
 impl<F> ProverWorkspace<F> {
@@ -34,6 +39,7 @@ impl<F> ProverWorkspace<F> {
     pub fn new() -> Self {
         ProverWorkspace {
             scratch: Scratch::new(),
+            group_scratch: Scratch::new(),
         }
     }
 
@@ -42,23 +48,32 @@ impl<F> ProverWorkspace<F> {
         &mut self.scratch
     }
 
+    /// The group-word pool the MSM commitment engine leases its bucket
+    /// accumulators from.
+    pub fn group_scratch(&mut self) -> &mut Scratch<u64> {
+        &mut self.group_scratch
+    }
+
     /// Bytes currently held by the workspace (pooled + leased), the
     /// quantity the `mem.scratch.high_water` gauge tracks.
     pub fn footprint_bytes(&self) -> usize {
-        self.scratch.footprint_bytes()
+        self.scratch.footprint_bytes() + self.group_scratch.footprint_bytes()
     }
 
-    /// Buffers currently parked in the pool.
+    /// Buffers currently parked in the pools.
     pub fn pooled(&self) -> usize {
-        self.scratch.pooled()
+        self.scratch.pooled() + self.group_scratch.pooled()
     }
 
     /// Sheds idle pooled buffers until at most `max_bytes` are retained
     /// (leased buffers are untouched). A server pool calls this on
     /// workspaces returning to the free list when memory pressure
-    /// engages, trading warm buffers for headroom.
+    /// engages, trading warm buffers for headroom. The small group-word
+    /// pool trims first; whatever budget remains goes to the field pool.
     pub fn trim_to(&mut self, max_bytes: usize) {
-        self.scratch.trim_to(max_bytes);
+        self.group_scratch.trim_to(max_bytes);
+        self.scratch
+            .trim_to(max_bytes.saturating_sub(self.group_scratch.retained_bytes()));
     }
 }
 
@@ -88,5 +103,20 @@ mod tests {
             ws.scratch().put(buf);
         }
         assert_eq!(ws.footprint_bytes(), footprint);
+    }
+
+    #[test]
+    fn group_pool_counts_toward_footprint_and_trims_first() {
+        let mut ws: ProverWorkspace<F61> = ProverWorkspace::new();
+        let buckets = ws.group_scratch().take(1 << 10, 0u64);
+        ws.group_scratch().put(buckets);
+        let field_buf = ws.scratch().take(1 << 10, F61::ZERO);
+        ws.scratch().put(field_buf);
+        assert_eq!(ws.pooled(), 2);
+        assert!(ws.footprint_bytes() >= 2 * (1 << 10) * 8);
+        // Trimming to zero drains both pools.
+        ws.trim_to(0);
+        assert_eq!(ws.pooled(), 0);
+        assert_eq!(ws.footprint_bytes(), 0);
     }
 }

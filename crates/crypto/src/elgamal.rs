@@ -10,6 +10,7 @@
 
 use crate::chacha::ChaChaPrg;
 use crate::group::{FixedBaseTable, GroupElem, HasGroup, SchnorrGroup};
+use zaatar_mem::Scratch;
 
 /// Minimum vector length at which [`ElGamal::encrypt_vec`] builds a
 /// per-public-key fixed-base table. Building costs ~15 multiplications
@@ -159,10 +160,56 @@ impl<F: HasGroup> ElGamal<F> {
     /// prover's entire commitment computation (§2.2, "apply its function
     /// to an encrypted vector").
     ///
+    /// Runs the Pippenger bucket MSM ([`SchnorrGroup::msm`]) once per
+    /// ciphertext component; a zero-length oracle commits to the
+    /// identity ciphertext ([`Self::zero`]), never a panic.
+    ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn inner_product(cts: &[Ciphertext], scalars: &[F]) -> Ciphertext {
+        Self::inner_product_scratch(cts, scalars, &mut Scratch::new())
+    }
+
+    /// [`Self::inner_product`] leasing the MSM bucket accumulators from
+    /// a caller-owned [`Scratch`] pool (the prover's commit and answer
+    /// stages thread their `ProverWorkspace` pool through here).
+    pub fn inner_product_scratch(
+        cts: &[Ciphertext],
+        scalars: &[F],
+        scratch: &mut Scratch<u64>,
+    ) -> Ciphertext {
+        assert_eq!(cts.len(), scalars.len(), "length mismatch");
+        let g = Self::group();
+        // Gather the surviving (nonzero-scalar) pairs once, then run one
+        // MSM per ciphertext component over the same scalar set.
+        let mut c1s: Vec<&[u64]> = Vec::with_capacity(cts.len());
+        let mut c2s: Vec<&[u64]> = Vec::with_capacity(cts.len());
+        let mut exps: Vec<Vec<u64>> = Vec::with_capacity(cts.len());
+        for (ct, s) in cts.iter().zip(scalars.iter()) {
+            if s.is_zero() {
+                continue;
+            }
+            c1s.push(ct.c1.words());
+            c2s.push(ct.c2.words());
+            exps.push(s.exponent_words());
+        }
+        let exp_refs: Vec<&[u64]> = exps.iter().map(|e| e.as_slice()).collect();
+        Ciphertext {
+            c1: GroupElem::from_mont_words(g.msm_words(&c1s, &exp_refs, scratch)),
+            c2: GroupElem::from_mont_words(g.msm_words(&c2s, &exp_refs, scratch)),
+        }
+    }
+
+    /// Reference per-element inner product (square-and-multiply per
+    /// scalar) — the differential oracle the MSM path is tested and
+    /// benchmarked against. Same skip-zero-scalars semantics as
+    /// [`Self::inner_product`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn inner_product_naive(cts: &[Ciphertext], scalars: &[F]) -> Ciphertext {
         assert_eq!(cts.len(), scalars.len(), "length mismatch");
         let g = Self::group();
         let mut acc = Ciphertext {

@@ -14,7 +14,7 @@
 use std::sync::OnceLock;
 
 use zaatar_field::{PrimeField, F128, F220, F61};
-use zaatar_mem::Interner;
+use zaatar_mem::{Interner, Scratch};
 
 use crate::mp::{is_zero, MontCtx};
 
@@ -30,6 +30,13 @@ impl GroupElem {
     /// Raw Montgomery words (used for serialization and hashing).
     pub fn words(&self) -> &[u64] {
         &self.mont
+    }
+
+    /// Wraps raw Montgomery words produced by this crate's own kernels
+    /// (the MSM hands back bare word vectors to avoid intermediate
+    /// copies).
+    pub(crate) fn from_mont_words(mont: Vec<u64>) -> Self {
+        GroupElem { mont }
     }
 }
 
@@ -177,6 +184,170 @@ impl SchnorrGroup {
         let borrow = crate::mp::sub_assign(&mut neg, exp);
         assert_eq!(borrow, 0, "exponent must be below the group order");
         self.pow(base, &neg)
+    }
+}
+
+/// Widest window the MSM will pick; bounds bucket scratch at
+/// `(2^12 − 1) · width` words (≈ 512 KiB at the 1024-bit width).
+const MSM_MAX_WINDOW_BITS: usize = 12;
+
+/// Window width (in bits) for a bucket MSM over `n` bases.
+///
+/// Per window of width `c`, the bucket method pays `n` accumulation
+/// multiplications plus `~2·2^c` for the suffix-product drain, repeated
+/// over `⌈bits/c⌉` windows — so the optimum grows with `log₂ n`. The
+/// `−3` offset puts the drain cost at roughly an eighth of the
+/// accumulation cost, which minimizes the total over the oracle sizes
+/// the commitment actually sees (hundreds of bases); the differential
+/// suite pins correctness at the boundaries either side.
+pub fn msm_window_bits(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let log = (usize::BITS - 1 - n.leading_zeros()) as usize;
+    log.saturating_sub(3).clamp(1, MSM_MAX_WINDOW_BITS)
+}
+
+/// Bits `[bit, bit + c)` of a little-endian multi-word integer (reads
+/// across one word boundary; out-of-range bits are zero).
+fn window_digit(s: &[u64], bit: usize, c: usize) -> usize {
+    let word = bit / 64;
+    if word >= s.len() {
+        return 0;
+    }
+    let shift = bit % 64;
+    let mut d = s[word] >> shift;
+    let have = 64 - shift;
+    if have < c && word + 1 < s.len() {
+        d |= s[word + 1] << have;
+    }
+    (d & ((1u64 << c) - 1)) as usize
+}
+
+impl SchnorrGroup {
+    /// Multi-scalar multiplication `∏ basesᵢ^(scalarsᵢ)` by the
+    /// Pippenger bucket method — the commitment engine's inner loop
+    /// (`Enc(π(r)) = ∏ Enc(rᵢ)^(uᵢ)`, §2.2, runs this once per
+    /// ciphertext component).
+    ///
+    /// Scalars are canonical little-endian words (any widths, including
+    /// values above the subgroup order — the result is the plain
+    /// integer-exponent product either way). Bases must be actual group
+    /// elements (never the zero residue, which the buckets use as their
+    /// empty sentinel). Window width comes from the input length via
+    /// [`msm_window_bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn msm(&self, bases: &[GroupElem], scalars: &[&[u64]]) -> GroupElem {
+        self.msm_scratch(bases, scalars, &mut Scratch::new())
+    }
+
+    /// [`Self::msm`] leasing its bucket accumulators from a
+    /// caller-owned [`Scratch`] pool, so a prover committing to many
+    /// instances pays for the bucket storage once per worker (the
+    /// staged pipeline threads its `ProverWorkspace` pool through
+    /// here).
+    pub fn msm_scratch(
+        &self,
+        bases: &[GroupElem],
+        scalars: &[&[u64]],
+        scratch: &mut Scratch<u64>,
+    ) -> GroupElem {
+        let refs: Vec<&[u64]> = bases.iter().map(|b| b.mont.as_slice()).collect();
+        GroupElem::from_mont_words(self.msm_words(&refs, scalars, scratch))
+    }
+
+    /// The MSM kernel over raw Montgomery word slices (how the ElGamal
+    /// layer feeds ciphertext components without gathering them into
+    /// owned `GroupElem` vectors).
+    ///
+    /// Buckets live in one flat leased buffer, `2^c − 1` slots of
+    /// `width` words, with the all-zero block as the "empty" sentinel
+    /// (zero is not a group element, so no valid accumulation can
+    /// collide with it). Windows run most-significant first: between
+    /// windows the accumulator is squared `c` times
+    /// ([`MontCtx::mont_sqr`]), then each window's buckets drain via
+    /// running suffix products (`∏ bucket[d]^d` in `2·(2^c − 1)`
+    /// multiplications, skipping empty prefixes).
+    pub(crate) fn msm_words(
+        &self,
+        bases: &[&[u64]],
+        scalars: &[&[u64]],
+        scratch: &mut Scratch<u64>,
+    ) -> Vec<u64> {
+        assert_eq!(bases.len(), scalars.len(), "length mismatch");
+        let n = bases.len();
+        let max_bits = scalars.iter().map(|s| bit_len(s)).max().unwrap_or(0);
+        if n == 0 || max_bits == 0 {
+            return self.ctx.one();
+        }
+        let width = self.ctx.width();
+        let c = msm_window_bits(n);
+        let num_windows = max_bits.div_ceil(c);
+        let num_buckets = (1usize << c) - 1;
+        let mut buckets = scratch.take(num_buckets * width, 0u64);
+        let mut acc: Option<Vec<u64>> = None;
+        let mut bucket_ops = 0u64;
+        let mut doublings = 0u64;
+        for w in (0..num_windows).rev() {
+            // Shift the accumulator past this window (identity needs no
+            // shifting, so the leading empty windows are free).
+            if let Some(a) = acc.as_mut() {
+                for _ in 0..c {
+                    *a = self.ctx.mont_sqr(a);
+                }
+                doublings += c as u64;
+            }
+            for slot in buckets.iter_mut() {
+                *slot = 0;
+            }
+            for (base, scalar) in bases.iter().zip(scalars.iter()) {
+                let d = window_digit(scalar, w * c, c);
+                if d == 0 {
+                    continue;
+                }
+                let slot = &mut buckets[(d - 1) * width..d * width];
+                if is_zero(slot) {
+                    slot.copy_from_slice(base);
+                } else {
+                    let prod = self.ctx.mont_mul(slot, base);
+                    slot.copy_from_slice(&prod);
+                }
+                bucket_ops += 1;
+            }
+            // Drain: running = ∏_{e ≥ d} bucket[e], summed into
+            // window = ∏ bucket[d]^d.
+            let mut running: Option<Vec<u64>> = None;
+            let mut window: Option<Vec<u64>> = None;
+            for d in (1..=num_buckets).rev() {
+                let slot = &buckets[(d - 1) * width..d * width];
+                if !is_zero(slot) {
+                    running = Some(match running {
+                        Some(r) => self.ctx.mont_mul(&r, slot),
+                        None => slot.to_vec(),
+                    });
+                }
+                if let Some(r) = running.as_ref() {
+                    window = Some(match window {
+                        Some(acc) => self.ctx.mont_mul(&acc, r),
+                        None => r.clone(),
+                    });
+                }
+            }
+            if let Some(win) = window {
+                acc = Some(match acc {
+                    Some(a) => self.ctx.mont_mul(&a, &win),
+                    None => win,
+                });
+            }
+        }
+        scratch.put(buckets);
+        zaatar_obs::counter("commit.msm.windows").add(num_windows as u64);
+        zaatar_obs::counter("commit.msm.buckets").add(bucket_ops);
+        zaatar_obs::counter("commit.msm.doublings").add(doublings);
+        acc.unwrap_or_else(|| self.ctx.one())
     }
 }
 
@@ -602,5 +773,113 @@ mod tests {
         let a = g.generator_table() as *const FixedBaseTable;
         let b = g.generator_table() as *const FixedBaseTable;
         assert_eq!(a, b, "interned table must be a process-wide singleton");
+    }
+
+    /// Reference MSM: fold `pow` + `mul` one base at a time.
+    fn naive_msm(g: &SchnorrGroup, bases: &[GroupElem], scalars: &[&[u64]]) -> GroupElem {
+        let mut acc = g.identity();
+        for (b, s) in bases.iter().zip(scalars.iter()) {
+            acc = g.mul(&acc, &g.pow(b, s));
+        }
+        acc
+    }
+
+    #[test]
+    fn msm_matches_naive_random() {
+        let g = F61::group();
+        let mut gen = zaatar_field::testutil::SplitMix64::new(0x5151);
+        for n in [1usize, 2, 3, 7, 8, 33] {
+            let bases: Vec<GroupElem> =
+                (0..n).map(|_| g.gen_pow(&gen.field::<F61>().to_canonical_words())).collect();
+            let scalars: Vec<Vec<u64>> =
+                (0..n).map(|_| gen.field::<F61>().to_canonical_words()).collect();
+            let refs: Vec<&[u64]> = scalars.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(g.msm(&bases, &refs), naive_msm(g, &bases, &refs), "n={n}");
+        }
+    }
+
+    #[test]
+    fn msm_edge_shapes() {
+        let g = F61::group();
+        // Empty input → identity.
+        assert_eq!(g.msm(&[], &[]), g.identity());
+        // All-zero scalars → identity.
+        let b = g.gen_pow(&[9]);
+        assert_eq!(g.msm(&[b.clone(), b.clone()], &[&[0u64][..], &[0, 0][..]]), g.identity());
+        // Single element equals plain pow.
+        let e = [0xdead_beef_u64];
+        assert_eq!(g.msm(std::slice::from_ref(&b), &[&e[..]]), g.pow(&b, &e));
+        // Duplicate bases accumulate exponents: b^3 · b^5 = b^8.
+        assert_eq!(
+            g.msm(&[b.clone(), b.clone()], &[&[3u64][..], &[5u64][..]]),
+            g.pow(&b, &[8])
+        );
+        // Mixed zero / nonzero scalars.
+        let c = g.gen_pow(&[11]);
+        assert_eq!(
+            g.msm(&[b.clone(), c.clone()], &[&[0u64][..], &[4u64][..]]),
+            g.pow(&c, &[4])
+        );
+    }
+
+    #[test]
+    fn msm_max_word_exponents() {
+        // Exponents with every bit set (above the subgroup order) must
+        // agree with plain square-and-multiply on the same words.
+        let g = F61::group();
+        let b1 = g.gen_pow(&[3]);
+        let b2 = g.gen_pow(&[0x1234_5678]);
+        let full = [u64::MAX, u64::MAX];
+        let scalars = [&full[..], &full[..]];
+        assert_eq!(
+            g.msm(&[b1.clone(), b2.clone()], &scalars),
+            naive_msm(g, &[b1, b2], &scalars)
+        );
+    }
+
+    #[test]
+    fn msm_scratch_reuse_is_stable() {
+        // Two MSMs through the same pool (second reuses the leased bucket
+        // buffer, possibly dirty) must both match the fresh-scratch path.
+        let g = F61::group();
+        let mut gen = zaatar_field::testutil::SplitMix64::new(0xabcd);
+        let mut scratch = Scratch::new();
+        for round in 0..4 {
+            let n = 5 + round;
+            let bases: Vec<GroupElem> =
+                (0..n).map(|_| g.gen_pow(&gen.field::<F61>().to_canonical_words())).collect();
+            let scalars: Vec<Vec<u64>> =
+                (0..n).map(|_| gen.field::<F61>().to_canonical_words()).collect();
+            let refs: Vec<&[u64]> = scalars.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(
+                g.msm_scratch(&bases, &refs, &mut scratch),
+                g.msm(&bases, &refs),
+                "round={round}"
+            );
+        }
+    }
+
+    #[test]
+    fn msm_window_bits_schedule() {
+        // Small inputs stay at the 1-bit floor; growth is logarithmic;
+        // the cap bounds bucket scratch.
+        assert_eq!(msm_window_bits(0), 1);
+        assert_eq!(msm_window_bits(1), 1);
+        assert_eq!(msm_window_bits(16), 1);
+        assert_eq!(msm_window_bits(32), 2);
+        assert_eq!(msm_window_bits(256), 5);
+        assert_eq!(msm_window_bits(512), 6);
+        assert_eq!(msm_window_bits(usize::MAX), MSM_MAX_WINDOW_BITS);
+    }
+
+    #[test]
+    fn window_digit_straddles_words() {
+        // Bits 62..67 of [w0, w1]: low 2 bits from w0's top, high 3 from w1.
+        let s = [0xc000_0000_0000_0000u64, 0b101];
+        assert_eq!(window_digit(&s, 62, 5), 0b10111);
+        // Fully out of range → 0.
+        assert_eq!(window_digit(&s, 128, 5), 0);
+        // Window extending past the last word is zero-padded.
+        assert_eq!(window_digit(&s, 126, 5), 0);
     }
 }

@@ -6,7 +6,7 @@
 use zaatar_crypto::mp::MontCtx;
 use zaatar_crypto::{ChaChaPrg, ElGamal, HasGroup, KeyPair};
 use zaatar_field::testutil::SplitMix64;
-use zaatar_field::{PrimeField, F61};
+use zaatar_field::{Field, PrimeField, F61};
 
 /// The Mersenne prime 2^127 − 1 gives an exact u128 reference.
 const P: u128 = (1 << 127) - 1;
@@ -192,6 +192,123 @@ fn elgamal_vector_round_trip_and_inner_product() {
         assert_eq!(
             ElGamal::<F61>::decrypt_to_group(&kp, &ip),
             ElGamal::<F61>::encode(expect)
+        );
+    }
+}
+
+/// `mont_sqr` is a specialization of `mont_mul(a, a)` — they must agree
+/// bit-for-bit on every input. Runs at the 2-word test prime and at a
+/// full 16-word (1024-bit) width, across seeds, random residues, and
+/// edge values (0, raw 1, m − 1, all-ones top words).
+#[test]
+fn mont_sqr_matches_mont_mul_self_across_widths() {
+    // Any odd modulus is a valid Montgomery modulus, and the property
+    // is differential, so a deterministic pseudorandom 1024-bit odd
+    // modulus exercises the wide path as well as a prime would.
+    let mut mgen = SplitMix64::new(0x5a5a);
+    let mut wide_m: Vec<u64> = (0..16).map(|_| mgen.next_u64()).collect();
+    wide_m[0] |= 1; // odd
+    wide_m[15] |= 1 << 63; // full 1024-bit width
+    let widths: Vec<(&str, Vec<u64>)> = vec![
+        ("test-prime-127", words(P)),
+        ("wide-1024", wide_m),
+    ];
+    for (name, modulus) in widths {
+        let ctx = MontCtx::new(modulus.clone());
+        let n = modulus.len();
+        let mut edge_max = modulus.clone();
+        edge_max[0] -= 1; // m − 1 (m is odd: no borrow)
+        let mut one = vec![0u64; n];
+        one[0] = 1;
+        let mut cases: Vec<Vec<u64>> = vec![vec![0u64; n], one, edge_max];
+        for seed in [11u64, 12, 13] {
+            let mut g = SplitMix64::new(seed);
+            for _ in 0..24 {
+                // Top word halved keeps the draw below the modulus
+                // (whose top bit is set in both widths).
+                let mut a: Vec<u64> = (0..n).map(|_| g.next_u64()).collect();
+                a[n - 1] >>= 1;
+                cases.push(a);
+            }
+        }
+        // Saturated low words, small top word: maximal carry traffic in
+        // the doubled cross-term pass.
+        let mut sat = vec![u64::MAX; n];
+        sat[n - 1] = 1;
+        cases.push(sat);
+        for a in &cases {
+            assert_eq!(ctx.mont_sqr(a), ctx.mont_mul(a, a), "width={name}");
+        }
+    }
+}
+
+/// The bucket MSM agrees with the per-element reference inner product
+/// at both group widths (256-bit F61-paired, 1024-bit F128-paired),
+/// across seeds and the window-boundary lengths {0, 1, 2, 255, 256,
+/// 257}, with adversarial shapes mixed in: zero scalars, duplicate
+/// bases, and max-word (above-the-order) exponents.
+#[test]
+fn msm_matches_reference_across_widths_and_lengths() {
+    fn check<F: HasGroup>(seed: u64, lens: &[usize]) {
+        let g = F::group();
+        let mut gen = SplitMix64::new(seed);
+        for &n in lens {
+            let mut bases: Vec<zaatar_crypto::GroupElem> = Vec::with_capacity(n);
+            let mut scalars: Vec<Vec<u64>> = Vec::with_capacity(n);
+            for i in 0..n {
+                // Small exponents keep base construction cheap; every
+                // fourth base duplicates its predecessor.
+                if i % 4 == 3 {
+                    bases.push(bases[i - 1].clone());
+                } else {
+                    bases.push(g.gen_pow(&[gen.next_u64() >> 32]));
+                }
+                scalars.push(match i % 5 {
+                    // Zero scalars (both narrow and full-width zeros).
+                    0 => vec![0],
+                    1 => vec![0, 0],
+                    // Max-word exponent: above the subgroup order.
+                    2 => vec![u64::MAX, u64::MAX],
+                    _ => vec![gen.next_u64(), gen.next_u64() >> 8],
+                });
+            }
+            let refs: Vec<&[u64]> = scalars.iter().map(|s| s.as_slice()).collect();
+            let got = g.msm(&bases, &refs);
+            let mut expect = g.identity();
+            for (b, s) in bases.iter().zip(refs.iter()) {
+                expect = g.mul(&expect, &g.pow(b, s));
+            }
+            assert_eq!(got, expect, "seed={seed} n={n}");
+        }
+    }
+    // Narrow group: every window-boundary length, several seeds.
+    for seed in [21u64, 22, 23] {
+        check::<F61>(seed, &[0, 1, 2, 255, 256, 257]);
+    }
+    // Wide (1024-bit) group: the same boundaries, one seed (the naive
+    // reference is ~100× costlier per element here).
+    check::<zaatar_field::F128>(31, &[0, 1, 2, 255, 256, 257]);
+}
+
+/// The MSM-backed `inner_product` agrees with the retained naive path
+/// on the ciphertexts the commitment actually feeds it, including zero
+/// scalars and both sides of the window-width schedule.
+#[test]
+fn elgamal_inner_product_matches_naive() {
+    let mut gen = SplitMix64::new(0x1234);
+    for &n in &[0usize, 1, 2, 17, 64] {
+        let mut prg = ChaChaPrg::from_u64_seed(gen.next_u64());
+        let kp = KeyPair::<F61>::generate(&mut prg);
+        let r: Vec<F61> = gen.field_vec(n);
+        let mut u: Vec<F61> = gen.field_vec(n);
+        for i in (0..n).step_by(3) {
+            u[i] = F61::ZERO;
+        }
+        let cts = ElGamal::<F61>::encrypt_vec(kp.public(), &r, &mut prg);
+        assert_eq!(
+            ElGamal::<F61>::inner_product(&cts, &u),
+            ElGamal::<F61>::inner_product_naive(&cts, &u),
+            "n={n}"
         );
     }
 }

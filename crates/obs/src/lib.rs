@@ -42,9 +42,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Number of log₂ buckets: values are nanoseconds (or any u64), so 64
-/// buckets cover the whole range.
-const BUCKETS: usize = 64;
+/// Number of log₂ buckets: one for 0 plus one per bit position, so the
+/// whole `u64` range is covered — `bucket_of(u64::MAX)` is 64, hence 65
+/// slots (64 would drop the top bucket and overflow on e.g. a saturated
+/// [`Histogram::record_duration`]).
+const BUCKETS: usize = 65;
 
 /// A monotonic counter. Cloning shares the underlying cell.
 #[derive(Clone, Default)]
@@ -124,12 +126,30 @@ fn bucket_of(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
 }
 
-/// Lower bound of a bucket (inverse of [`bucket_of`]).
+/// Lower bound of a bucket (inverse of [`bucket_of`]; quantiles report
+/// [`bucket_ceil`] instead, so only the tests consult the floor).
+#[cfg(test)]
 fn bucket_floor(b: usize) -> u64 {
     if b == 0 {
         0
     } else {
         1u64 << (b - 1)
+    }
+}
+
+/// Largest value a bucket can hold. Quantiles report this (clamped to
+/// the observed max) rather than the floor: a log₂ bucket only tells us
+/// the sample is *somewhere* in `[2^(b−1), 2^b)`, and a percentile is a
+/// "no more than" statement, so the conservative bound is the upper one.
+/// The floor systematically under-reported — every `p50_ns`/`p99_ns` in
+/// early BENCH_*.json files is a power of two below the true quantile.
+fn bucket_ceil(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
     }
 }
 
@@ -159,6 +179,7 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let max = h.max.load(Ordering::Relaxed);
         let quantile = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
@@ -168,10 +189,13 @@ impl Histogram {
             for (i, n) in buckets.iter().enumerate() {
                 seen += n;
                 if seen >= rank {
-                    return bucket_floor(i);
+                    // Upper bound of the bucket, clamped to the observed
+                    // max (exact whenever the quantile falls in the top
+                    // bucket — e.g. constant distributions).
+                    return bucket_ceil(i).min(max);
                 }
             }
-            bucket_floor(BUCKETS - 1)
+            max
         };
         TimerStats {
             count,
@@ -182,7 +206,7 @@ impl Histogram {
             } else {
                 h.min.load(Ordering::Relaxed)
             },
-            max_ns: h.max.load(Ordering::Relaxed),
+            max_ns: max,
             p50_ns: quantile(0.5),
             p99_ns: quantile(0.99),
         }
@@ -212,7 +236,9 @@ impl Drop for TimerGuard {
 }
 
 /// Summary of one timer/histogram, all durations in nanoseconds.
-/// Percentiles are bucket lower bounds (log₂ resolution).
+/// Percentiles are bucket *upper* bounds clamped to the observed max
+/// (log₂ resolution) — a conservative "no more than" figure, never an
+/// under-report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TimerStats {
     /// Number of recorded samples.
@@ -225,9 +251,9 @@ pub struct TimerStats {
     pub min_ns: u64,
     /// Largest sample.
     pub max_ns: u64,
-    /// Median, to bucket resolution.
+    /// Median: upper bound of its bucket, clamped to `max_ns`.
     pub p50_ns: u64,
-    /// 99th percentile, to bucket resolution.
+    /// 99th percentile: upper bound of its bucket, clamped to `max_ns`.
     pub p99_ns: u64,
 }
 
@@ -524,17 +550,65 @@ mod tests {
         assert_eq!(s.min_ns, 0);
         assert_eq!(s.max_ns, 1_000_000);
         assert_eq!(s.total_ns, 1_001_006);
-        // p50 lands in the bucket holding the 3rd sample (value 2 → floor 2).
-        assert_eq!(s.p50_ns, 2);
-        // p99 lands in the top sample's bucket.
-        assert_eq!(s.p99_ns, bucket_floor(bucket_of(1_000_000)));
+        // p50 lands in the bucket holding the 3rd sample (value 2, bucket
+        // [2, 3]) → upper bound 3.
+        assert_eq!(s.p50_ns, 3);
+        // p99 lands in the top sample's bucket [2^19, 2^20); its upper
+        // bound exceeds the observed max, so the clamp makes it exact.
+        assert_eq!(s.p99_ns, 1_000_000);
+    }
+
+    #[test]
+    fn known_distribution_percentiles_are_upper_bounds() {
+        // 1..=100: the 50th sample is 50 (bucket [32, 63]), so p50 must
+        // be 63 — at least the true quantile, never below it. The 99th
+        // sample is 99 (bucket [64, 127]) whose ceiling exceeds the
+        // observed max, so p99 clamps to exactly 100.
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.stats();
+        assert_eq!(s.p50_ns, 63);
+        assert_eq!(s.p99_ns, 100);
+        assert!(s.p50_ns >= 50, "percentile must not under-report");
+    }
+
+    #[test]
+    fn constant_distribution_percentiles_are_exact() {
+        // Every sample identical: the max-clamp makes both percentiles
+        // exact, not the power-of-two bucket bound (the pre-fix floor
+        // reported 512 here).
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(1000);
+        }
+        let s = h.stats();
+        assert_eq!(s.p50_ns, 1000);
+        assert_eq!(s.p99_ns, 1000);
+    }
+
+    #[test]
+    fn top_bucket_sample_does_not_panic() {
+        // u64::MAX maps to bucket 64 — with only 64 slots this indexed
+        // out of bounds (saturated record_duration would crash the
+        // process).
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        let s = h.stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_ns, u64::MAX);
+        assert_eq!(s.p99_ns, u64::MAX);
     }
 
     #[test]
     fn bucket_mapping_round_trips() {
         for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
             let b = bucket_of(v);
+            assert!(b < BUCKETS, "v={v} b={b}");
             assert!(bucket_floor(b) <= v.max(1), "v={v} b={b}");
+            assert!(v <= bucket_ceil(b), "v={v} b={b}");
             if b + 1 < BUCKETS {
                 assert!(v < bucket_floor(b + 1), "v={v} b={b}");
             }

@@ -259,9 +259,9 @@ fn workspace_reuse_transcripts_byte_identical_to_fresh() {
 }
 
 /// Leak guard: a single workspace serving 100 back-to-back
-/// prove-and-answer sessions must not grow — its footprint (the
-/// quantity the `mem.scratch.high_water` gauge tracks) stabilizes after
-/// the first session, and the pool is actually being hit, not bypassed.
+/// prove-and-answer sessions must not grow — its footprint (field pool
+/// plus group-word pool) stabilizes after the first session, and the
+/// pool is actually being hit, not bypassed.
 #[test]
 fn workspace_footprint_bounded_across_sessions() {
     let inputs: Vec<[i64; 2]> = (0..4i64).map(|i| [i + 2, 2 * i]).collect();
@@ -289,8 +289,13 @@ fn workspace_footprint_bounded_across_sessions() {
         zaatar::obs::counter("mem.scratch.hit").get() >= hits_before + 99,
         "repeat sessions must be served from the pool"
     );
-    // The gauge records at least this workspace's high water.
-    assert!(zaatar::obs::gauge("mem.scratch.high_water").get() >= footprint as u64);
+    // The gauge tracks per-pool peaks; the workspace footprint spans
+    // two pools, so the bound is the larger of the two.
+    let largest_pool = ws
+        .scratch()
+        .footprint_bytes()
+        .max(ws.group_scratch().footprint_bytes());
+    assert!(zaatar::obs::gauge("mem.scratch.high_water").get() >= largest_pool as u64);
     // And the transcripts stay deterministic throughout.
     assert_eq!(run(&mut ws), first);
 }

@@ -46,12 +46,25 @@ echo "==> server soak (concurrent fault matrix slice, release)"
 ZAATAR_SOAK_SCENARIOS=96 cargo test -q -p zaatar --test fault_matrix_concurrent \
     --locked --release
 
-# The validator enforces the full v5 schema, including the `ntt` and
+# MSM differential smoke: the Pippenger commitment engine and the
+# Montgomery squaring specialization must agree with their references
+# under the release profile (debug_asserts out, carry paths optimized)
+# — these run in step 3 too, but a failure here names the commitment
+# engine directly.
+echo "==> msm differential smoke (crypto proptests, release)"
+cargo test -q -p zaatar-crypto --test proptests --locked --release -- \
+    mont_sqr_matches_mont_mul_self_across_widths \
+    msm_matches_reference_across_widths_and_lengths \
+    elgamal_inner_product_matches_naive
+
+# The validator enforces the full v6 schema, including the `ntt` and
 # `pcp` sections (batch amortization must strictly reduce per-instance
 # query-setup cost), the `mem` section (the staged prover pipeline
-# must show a non-zero scratch-pool hit rate at batch size 16), and
-# the `server` section (admissions must dominate rejections at nominal
-# load; synthetic overload must split deterministically).
+# must show a non-zero scratch-pool hit rate at batch size 16), the
+# `server` section (admissions must dominate rejections at nominal
+# load; synthetic overload must split deterministically), and the
+# `commit` section (the bucket MSM must beat the per-element loop by
+# ≥ 4× at the largest measured oracle length).
 echo "==> bench smoke (baseline emit + schema validation)"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
     --smoke --out target/bench_smoke.json
