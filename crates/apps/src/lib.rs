@@ -22,8 +22,10 @@
 pub mod apsp;
 pub mod bisection;
 pub mod fannkuch;
+pub mod gadget_zoo;
 pub mod lcs;
 pub mod pam;
 pub mod suite;
 
+pub use gadget_zoo::GadgetApp;
 pub use suite::{build, AppArtifacts, Suite};

@@ -13,7 +13,7 @@
 //!
 //! `--smoke` shrinks the workload to seconds for CI; `--validate`
 //! parses an existing baseline with [`zaatar_obs::json`] and checks the
-//! `zaatar-bench-baseline/v4` schema, exiting non-zero on any mismatch.
+//! `zaatar-bench-baseline/v7` schema, exiting non-zero on any mismatch.
 //! All timings are honest measurements on the current host; the
 //! `host.parallelism` field records how many cores produced them.
 //!
@@ -57,10 +57,20 @@
 //! host the old `workers: 8` misattributed oversubscription), and its
 //! `p50_ns`/`p99_ns` figures inherit the obs percentile fix (bucket
 //! upper bound clamped to the observed max, no longer the floor).
+//!
+//! Schema v7 (PR 8) adds a `cc` section: for every workload in the zoo
+//! (the five ZSL suite benchmarks and the three gadget-library apps),
+//! the constraint and witness counts of the raw Ginger system next to
+//! the `cc::opt`-optimized one, with the per-pass work tallies
+//! (constants folded, CSE hits, witness variables pruned). The
+//! validator enforces `ratio ≤ 1.0` for every app — the optimizer must
+//! never grow a circuit — and that it strictly shrinks at least three
+//! of them.
 
 use std::time::{Duration, Instant};
 
-use zaatar_cc::{ginger_to_quad, Builder};
+use zaatar_apps::{build as build_suite_app, GadgetApp, Suite};
+use zaatar_cc::{ginger_to_quad, optimize, Builder};
 use zaatar_core::commit::CommitmentKey;
 use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
 use zaatar_core::qap::{Qap, QapWitness};
@@ -73,7 +83,11 @@ use zaatar_server::{Admission, ServerConfig, SessionServer};
 use zaatar_transport::{loopback_transport_pair, RetryPolicy};
 
 /// Schema identifier written into (and required from) every baseline.
-const SCHEMA: &str = "zaatar-bench-baseline/v6";
+const SCHEMA: &str = "zaatar-bench-baseline/v7";
+
+/// How many zoo apps the optimizer must strictly shrink for a baseline
+/// to validate (the PR 8 acceptance gate).
+const CC_MIN_SHRUNK_APPS: usize = 3;
 
 /// Minimum speedup the MSM commitment engine must show over the
 /// per-element reference at the largest measured oracle length.
@@ -589,6 +603,10 @@ fn run_baseline(smoke: bool) -> String {
     // the server.* counters and the server.session timer.
     let server_sample = bench_server(&pcp, &pcp_proofs, &ios, smoke);
 
+    // Compiler-optimizer shrink ratios across the workload zoo —
+    // populates the cc.opt.* counters alongside the per-app report.
+    let cc_samples = bench_cc();
+
     let snap = zaatar_obs::snapshot();
     for phase in REQUIRED_PHASES {
         assert!(
@@ -740,11 +758,78 @@ fn run_baseline(smoke: bool) -> String {
         sv.overload_rejected,
         sv.overload_rejection_rate,
     ));
+    s.push_str("  \"cc\": {\"apps\": [\n");
+    for (i, smp) in cc_samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": {}, \"constraints_before\": {}, \"constraints_after\": {}, \
+             \"ratio\": {:.4}, \"witness_before\": {}, \"witness_after\": {}, \
+             \"folded\": {}, \"cse_hits\": {}, \"pruned_vars\": {}}}{}\n",
+            json::escape(&smp.name),
+            smp.constraints_before,
+            smp.constraints_after,
+            smp.ratio,
+            smp.witness_before,
+            smp.witness_after,
+            smp.folded,
+            smp.cse_hits,
+            smp.pruned_vars,
+            if i + 1 < cc_samples.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]},\n");
     // The registry's full snapshot (all timers + counters), for
     // drill-down beyond the required phases.
     s.push_str(&format!("  \"metrics\": {}\n", snap.to_json()));
     s.push_str("}\n");
     s
+}
+
+/// One workload's before/after encoding under the `cc::opt` pipeline.
+struct CcSample {
+    name: String,
+    constraints_before: usize,
+    constraints_after: usize,
+    ratio: f64,
+    witness_before: usize,
+    witness_after: usize,
+    folded: usize,
+    cse_hits: usize,
+    pruned_vars: usize,
+}
+
+/// Runs the optimizer over every zoo workload (five suite apps + three
+/// gadget apps) and records the shrink report. Pure compilation — no
+/// proving — so this stays cheap even outside `--smoke`.
+fn bench_cc() -> Vec<CcSample> {
+    let mut samples = Vec::new();
+    let mut push = |name: &str, sys: &zaatar_cc::GingerSystem<F61>| {
+        let opt = optimize(sys);
+        let r = &opt.report;
+        assert!(
+            r.after.num_constraints <= r.before.num_constraints,
+            "{name}: optimizer grew constraints"
+        );
+        samples.push(CcSample {
+            name: name.to_string(),
+            constraints_before: r.before.num_constraints,
+            constraints_after: r.after.num_constraints,
+            ratio: r.after.num_constraints as f64 / r.before.num_constraints.max(1) as f64,
+            witness_before: r.before.num_unbound,
+            witness_after: r.after.num_unbound,
+            folded: r.folded,
+            cse_hits: r.cse_hits,
+            pruned_vars: r.pruned_vars,
+        });
+    };
+    for app in Suite::all_small() {
+        let art = build_suite_app::<F61>(&app);
+        push(app.name(), &art.compiled.ginger);
+    }
+    for app in GadgetApp::all() {
+        let (sys, _solver) = app.build::<F61>();
+        push(app.name(), &sys);
+    }
+    samples
 }
 
 /// Checks that `path` holds a structurally valid baseline document for
@@ -1070,6 +1155,62 @@ fn validate_baseline(path: &str) -> Result<(), String> {
                     .into(),
             )
         }
+    }
+
+    let cc = root
+        .get("cc")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"cc\"")?;
+    let cc_apps = cc
+        .get("apps")
+        .and_then(Value::as_array)
+        .ok_or("missing array \"cc.apps\"")?;
+    if cc_apps.is_empty() {
+        return Err("cc.apps must be non-empty".into());
+    }
+    let mut shrunk = 0usize;
+    for (i, entry) in cc_apps.iter().enumerate() {
+        let e = entry
+            .as_object()
+            .ok_or_else(|| format!("cc.apps[{i}] is not an object"))?;
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("cc.apps[{i}].name missing or not a string"))?;
+        for field in ["constraints_before", "constraints_after", "witness_before", "witness_after", "folded", "cse_hits", "pruned_vars"] {
+            if e.get(field).and_then(Value::as_u64).is_none() {
+                return Err(format!("cc.apps[{i}].{field} missing or not an integer"));
+            }
+        }
+        let before = e["constraints_before"].as_u64().expect("checked above");
+        let after = e["constraints_after"].as_u64().expect("checked above");
+        if before == 0 {
+            return Err(format!("cc.apps[{i}] ({name}): constraints_before is 0"));
+        }
+        // The optimizer contract: never grow a circuit.
+        match e.get("ratio").and_then(Value::as_f64) {
+            Some(r) if r <= 1.0 => {}
+            Some(r) => {
+                return Err(format!(
+                    "cc.apps[{i}] ({name}): ratio {r:.4} > 1.0 — the optimizer grew the circuit"
+                ))
+            }
+            None => return Err(format!("cc.apps[{i}].ratio missing or not a number")),
+        }
+        if after > before {
+            return Err(format!(
+                "cc.apps[{i}] ({name}): constraints_after {after} > constraints_before {before}"
+            ));
+        }
+        if after < before {
+            shrunk += 1;
+        }
+    }
+    if shrunk < CC_MIN_SHRUNK_APPS {
+        return Err(format!(
+            "cc.apps: optimizer strictly shrank only {shrunk} apps, need >= \
+             {CC_MIN_SHRUNK_APPS} — the pass pipeline is not earning its keep"
+        ));
     }
 
     let metrics = root

@@ -1,0 +1,386 @@
+//! Bit-sliced u32 gadgets: bitwise logic, shifts/rotates, modular
+//! addition, comparison, and an ARX hash round built from them.
+//!
+//! The paper's compiler stops at arithmetic, comparisons, and logical
+//! connectives (§2.2); real workloads also need bit operations — hashes,
+//! checksums, bit-packed state. Each gadget here emits its constraints
+//! through the [`Builder`], so it arrives with the same witness-solver
+//! hook as every §2.2 construct: `lang::compile` and direct builder
+//! users get a [`crate::ir::GingerSystem`] fragment plus the solver
+//! steps that fill in its auxiliary variables.
+//!
+//! Representation: a [`U32Word`] is 32 little-endian bits, each a
+//! [`LinComb`] known (by construction or by booleanity constraints) to
+//! evaluate to 0 or 1. With boolean bits the bitwise connectives are
+//! degree-2 polynomials:
+//!
+//! * `a AND b = a·b` — one product constraint per bit;
+//! * `a XOR b = a + b − 2ab` — one product per bit;
+//! * `a OR b  = a + b − ab` — one product per bit;
+//! * `NOT a   = 1 − a` — free;
+//! * shifts and rotates are free bit-index permutations;
+//! * `a + b mod 2³²` re-composes both words into one field element and
+//!   decomposes the 33-bit sum, dropping the carry;
+//! * `MAJ(a,b,c) = ab + c·(a XOR b)` — two products per bit, sharing
+//!   the `ab` product with `a AND b` / `a XOR b` of the same operands
+//!   (the redundancy [`crate::opt`]'s CSE pass collects in hash rounds).
+
+use zaatar_field::PrimeField;
+
+use crate::builder::Builder;
+use crate::ir::LinComb;
+
+/// A 32-bit word as little-endian boolean bit combinations.
+#[derive(Clone, Debug)]
+pub struct U32Word<F> {
+    bits: Vec<LinComb<F>>,
+}
+
+impl<F: PrimeField> U32Word<F> {
+    fn from_bits(bits: Vec<LinComb<F>>) -> Self {
+        debug_assert_eq!(bits.len(), 32);
+        U32Word { bits }
+    }
+
+    /// A compile-time constant word (free: no constraints).
+    pub fn constant(x: u32) -> Self {
+        U32Word {
+            bits: (0..32)
+                .map(|i| LinComb::constant(F::from_u64(u64::from((x >> i) & 1))))
+                .collect(),
+        }
+    }
+
+    /// The little-endian bits.
+    pub fn bits(&self) -> &[LinComb<F>] {
+        &self.bits
+    }
+
+    /// Bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> &LinComb<F> {
+        &self.bits[i]
+    }
+
+    /// Recomposes the word into a field element `Σ 2ⁱ·bᵢ` (free).
+    pub fn to_lc(&self) -> LinComb<F> {
+        let mut out = LinComb::zero();
+        let mut pow = F::ONE;
+        for b in &self.bits {
+            out = out.add(&b.scale(pow));
+            pow = pow.double();
+        }
+        out
+    }
+
+    /// Rotate left by `k` bits (free permutation).
+    pub fn rotl(&self, k: u32) -> Self {
+        let k = (k % 32) as usize;
+        // Output bit i+k (mod 32) is input bit i.
+        let bits = (0..32)
+            .map(|i| self.bits[(i + 32 - k) % 32].clone())
+            .collect();
+        U32Word::from_bits(bits)
+    }
+
+    /// Rotate right by `k` bits (free permutation).
+    pub fn rotr(&self, k: u32) -> Self {
+        self.rotl(32 - (k % 32))
+    }
+
+    /// Logical shift left by `k` bits, zero-filling (free).
+    pub fn shl(&self, k: u32) -> Self {
+        let k = (k % 32) as usize;
+        let bits = (0..32)
+            .map(|i| {
+                if i < k {
+                    LinComb::zero()
+                } else {
+                    self.bits[i - k].clone()
+                }
+            })
+            .collect();
+        U32Word::from_bits(bits)
+    }
+
+    /// Logical shift right by `k` bits, zero-filling (free).
+    pub fn shr(&self, k: u32) -> Self {
+        let k = (k % 32) as usize;
+        let bits = (0..32)
+            .map(|i| {
+                self.bits
+                    .get(i + k)
+                    .cloned()
+                    .unwrap_or_else(LinComb::zero)
+            })
+            .collect();
+        U32Word::from_bits(bits)
+    }
+
+    /// Bitwise NOT (free: each bit becomes `1 − b`).
+    pub fn not(&self) -> Self {
+        let bits = self
+            .bits
+            .iter()
+            .map(|b| LinComb::constant(F::ONE).sub(b))
+            .collect();
+        U32Word::from_bits(bits)
+    }
+}
+
+impl<F: PrimeField> Builder<F> {
+    /// Decomposes a field value known to lie in `[0, 2³²)` into a
+    /// [`U32Word`], constraining every bit boolean plus one
+    /// recomposition constraint (33 constraints). The solver fails with
+    /// a range overflow if the value does not fit.
+    pub fn u32_witness(&mut self, lc: &LinComb<F>) -> U32Word<F> {
+        U32Word::from_bits(self.bit_decompose(lc, 32))
+    }
+
+    /// Declares a u32-ranged input: one input variable plus its
+    /// decomposition.
+    pub fn u32_input(&mut self) -> U32Word<F> {
+        let x = self.alloc_input();
+        self.u32_witness(&x)
+    }
+
+    /// Bitwise AND: one product constraint per bit.
+    pub fn u32_and(&mut self, a: &U32Word<F>, b: &U32Word<F>) -> U32Word<F> {
+        let bits = (0..32).map(|i| self.mul(a.bit(i), b.bit(i))).collect();
+        U32Word::from_bits(bits)
+    }
+
+    /// Bitwise XOR (`a + b − 2ab`): one product constraint per bit.
+    pub fn u32_xor(&mut self, a: &U32Word<F>, b: &U32Word<F>) -> U32Word<F> {
+        let two = F::from_u64(2);
+        let bits = (0..32)
+            .map(|i| {
+                let ab = self.mul(a.bit(i), b.bit(i));
+                a.bit(i).add(b.bit(i)).sub(&ab.scale(two))
+            })
+            .collect();
+        U32Word::from_bits(bits)
+    }
+
+    /// Bitwise OR (`a + b − ab`): one product constraint per bit.
+    pub fn u32_or(&mut self, a: &U32Word<F>, b: &U32Word<F>) -> U32Word<F> {
+        let bits = (0..32)
+            .map(|i| {
+                let ab = self.mul(a.bit(i), b.bit(i));
+                a.bit(i).add(b.bit(i)).sub(&ab)
+            })
+            .collect();
+        U32Word::from_bits(bits)
+    }
+
+    /// Addition mod 2³²: recomposes both words, decomposes the 33-bit
+    /// sum, and drops the carry bit (34 constraints).
+    pub fn u32_add(&mut self, a: &U32Word<F>, b: &U32Word<F>) -> U32Word<F> {
+        let sum = a.to_lc().add(&b.to_lc());
+        let mut bits = self.bit_decompose(&sum, 33);
+        bits.truncate(32);
+        U32Word::from_bits(bits)
+    }
+
+    /// Bitwise majority `MAJ(a,b,c) = ab + c·(a XOR b)`: two products
+    /// per bit. The `ab` product is emitted with the same shape as the
+    /// one inside [`Builder::u32_and`] / [`Builder::u32_xor`] over the
+    /// same operands, which is what makes hash rounds computing several
+    /// of these mixes redundant — grist for [`crate::opt`]'s CSE pass.
+    pub fn u32_maj(&mut self, a: &U32Word<F>, b: &U32Word<F>, c: &U32Word<F>) -> U32Word<F> {
+        let two = F::from_u64(2);
+        let bits = (0..32)
+            .map(|i| {
+                let ab = self.mul(a.bit(i), b.bit(i));
+                let x = a.bit(i).add(b.bit(i)).sub(&ab.scale(two));
+                let cx = self.mul(c.bit(i), &x);
+                ab.add(&cx)
+            })
+            .collect();
+        U32Word::from_bits(bits)
+    }
+
+    /// The 0/1 flag `a < b` over the u32 range (comparison gadget; 34
+    /// constraints via [`Builder::less_than`] at width 32).
+    pub fn u32_lt(&mut self, a: &U32Word<F>, b: &U32Word<F>) -> LinComb<F> {
+        self.less_than(&a.to_lc(), &b.to_lc(), 32)
+    }
+
+    /// One ChaCha-style ARX quarter round (rotations 16/12/8/7): the toy
+    /// hash round the workload zoo chains. See [`arx_quarter_round_ref`]
+    /// for the native-u32 reference semantics.
+    pub fn arx_quarter_round(
+        &mut self,
+        a: &U32Word<F>,
+        b: &U32Word<F>,
+        c: &U32Word<F>,
+        d: &U32Word<F>,
+    ) -> (U32Word<F>, U32Word<F>, U32Word<F>, U32Word<F>) {
+        let a = self.u32_add(a, b);
+        let d = self.u32_xor(d, &a).rotl(16);
+        let c = self.u32_add(c, &d);
+        let b = self.u32_xor(b, &c).rotl(12);
+        let a = self.u32_add(&a, &b);
+        let d = self.u32_xor(&d, &a).rotl(8);
+        let c = self.u32_add(&c, &d);
+        let b = self.u32_xor(&b, &c).rotl(7);
+        (a, b, c, d)
+    }
+}
+
+/// Native-u32 reference for [`Builder::arx_quarter_round`].
+pub fn arx_quarter_round_ref(a: u32, b: u32, c: u32, d: u32) -> (u32, u32, u32, u32) {
+    let a = a.wrapping_add(b);
+    let d = (d ^ a).rotate_left(16);
+    let c = c.wrapping_add(d);
+    let b = (b ^ c).rotate_left(12);
+    let a = a.wrapping_add(b);
+    let d = (d ^ a).rotate_left(8);
+    let c = c.wrapping_add(d);
+    let b = (b ^ c).rotate_left(7);
+    (a, b, c, d)
+}
+
+/// Native-u32 reference for [`Builder::u32_maj`].
+pub fn maj_ref(a: u32, b: u32, c: u32) -> u32 {
+    (a & b) | (c & (a ^ b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zaatar_field::{Field, F61};
+
+    /// Builds a two-u32-input circuit with `f`, solves it on `(x, y)`,
+    /// and returns the single output as a u64 word.
+    fn eval2(f: impl Fn(&mut Builder<F61>, &U32Word<F61>, &U32Word<F61>) -> LinComb<F61>, x: u32, y: u32) -> u64 {
+        let mut b = Builder::<F61>::new();
+        let a = b.u32_input();
+        let bb = b.u32_input();
+        let out = f(&mut b, &a, &bb);
+        b.bind_output(&out);
+        let (sys, solver) = b.finish();
+        let asg = solver
+            .solve(&[F61::from_u64(u64::from(x)), F61::from_u64(u64::from(y))])
+            .expect("solvable");
+        assert!(
+            sys.is_satisfied(&asg),
+            "violated {:?}",
+            sys.first_violation(&asg)
+        );
+        asg.get(solver.outputs()[0]).to_canonical_words()[0]
+    }
+
+    #[test]
+    fn bitwise_connectives_match_native() {
+        for (x, y) in [(0u32, 0u32), (0xdead_beef, 0x0123_4567), (u32::MAX, 1)] {
+            assert_eq!(eval2(|b, a, c| { let w = b.u32_and(a, c); w.to_lc() }, x, y), u64::from(x & y));
+            assert_eq!(eval2(|b, a, c| { let w = b.u32_xor(a, c); w.to_lc() }, x, y), u64::from(x ^ y));
+            assert_eq!(eval2(|b, a, c| { let w = b.u32_or(a, c); w.to_lc() }, x, y), u64::from(x | y));
+            assert_eq!(eval2(|_, a, _| a.not().to_lc(), x, y), u64::from(!x));
+        }
+    }
+
+    #[test]
+    fn add_wraps_mod_2_32() {
+        for (x, y) in [(1u32, 2u32), (u32::MAX, 1), (0x8000_0000, 0x8000_0000)] {
+            assert_eq!(
+                eval2(|b, a, c| { let w = b.u32_add(a, c); w.to_lc() }, x, y),
+                u64::from(x.wrapping_add(y))
+            );
+        }
+    }
+
+    #[test]
+    fn shifts_and_rotates_are_free() {
+        let mut b = Builder::<F61>::new();
+        let a = b.u32_input();
+        let before = b.num_constraints();
+        let _ = a.rotl(7);
+        let _ = a.rotr(13);
+        let _ = a.shl(3);
+        let _ = a.shr(9);
+        let _ = a.not();
+        assert_eq!(b.num_constraints(), before, "permutations cost nothing");
+        for k in [0u32, 1, 7, 16, 31] {
+            let x = 0x9e37_79b9u32;
+            assert_eq!(eval2(|_, a, _| a.rotl(k).to_lc(), x, 0), u64::from(x.rotate_left(k)));
+            assert_eq!(eval2(|_, a, _| a.rotr(k).to_lc(), x, 0), u64::from(x.rotate_right(k)));
+            assert_eq!(eval2(|_, a, _| a.shl(k).to_lc(), x, 0), u64::from(x << k));
+            assert_eq!(eval2(|_, a, _| a.shr(k).to_lc(), x, 0), u64::from(x >> k));
+        }
+    }
+
+    #[test]
+    fn maj_matches_reference() {
+        for (x, y, z) in [(0u32, 0u32, 0u32), (0xffff_0000, 0x00ff_ff00, 0x0f0f_0f0f)] {
+            let mut b = Builder::<F61>::new();
+            let a = b.u32_input();
+            let bb = b.u32_input();
+            let cc = b.u32_input();
+            let m = b.u32_maj(&a, &bb, &cc);
+            b.bind_output(&m.to_lc());
+            let (sys, solver) = b.finish();
+            let asg = solver
+                .solve(&[
+                    F61::from_u64(u64::from(x)),
+                    F61::from_u64(u64::from(y)),
+                    F61::from_u64(u64::from(z)),
+                ])
+                .unwrap();
+            assert!(sys.is_satisfied(&asg));
+            assert_eq!(
+                asg.get(solver.outputs()[0]).to_canonical_words()[0],
+                u64::from(maj_ref(x, y, z))
+            );
+        }
+    }
+
+    #[test]
+    fn comparison_flag() {
+        for (x, y, expect) in [(3u32, 7u32, 1u64), (7, 3, 0), (5, 5, 0), (u32::MAX, 0, 0)] {
+            assert_eq!(eval2(|b, a, c| b.u32_lt(a, c), x, y), expect, "{x} < {y}");
+        }
+    }
+
+    #[test]
+    fn arx_round_matches_reference() {
+        let (x, y, z, w) = (0x6170_7865u32, 0x3320_646eu32, 0x7962_2d32u32, 0x6b20_6574u32);
+        let mut b = Builder::<F61>::new();
+        let a = b.u32_input();
+        let bb = b.u32_input();
+        let cc = b.u32_input();
+        let dd = b.u32_input();
+        let (ra, rb, rc, rd) = b.arx_quarter_round(&a, &bb, &cc, &dd);
+        for word in [&ra, &rb, &rc, &rd] {
+            b.bind_output(&word.to_lc());
+        }
+        let (sys, solver) = b.finish();
+        let ins: Vec<F61> = [x, y, z, w]
+            .iter()
+            .map(|&v| F61::from_u64(u64::from(v)))
+            .collect();
+        let asg = solver.solve(&ins).unwrap();
+        assert!(
+            sys.is_satisfied(&asg),
+            "violated {:?}",
+            sys.first_violation(&asg)
+        );
+        let got: Vec<u64> = solver
+            .outputs()
+            .iter()
+            .map(|o| asg.get(*o).to_canonical_words()[0])
+            .collect();
+        let (ea, eb, ec, ed) = arx_quarter_round_ref(x, y, z, w);
+        assert_eq!(got, vec![u64::from(ea), u64::from(eb), u64::from(ec), u64::from(ed)]);
+    }
+
+    #[test]
+    fn witness_range_checks() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        b.u32_witness(&x);
+        let (_, solver) = b.finish();
+        assert!(solver.solve(&[F61::from_u64(u64::from(u32::MAX))]).is_ok());
+        assert!(solver.solve(&[F61::from_u64(1 << 32)]).is_err());
+    }
+}

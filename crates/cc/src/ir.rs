@@ -126,6 +126,26 @@ impl<F: Field> LinComb<F> {
         }
     }
 
+    /// Builds a combination from arbitrary `(variable, coefficient)`
+    /// pairs, restoring the invariants: terms sorted by variable,
+    /// duplicates merged, zero coefficients dropped. Used by the
+    /// optimizer when rewriting constraints.
+    pub(crate) fn from_terms(mut terms: Vec<(VarId, F)>, constant: F) -> Self {
+        terms.sort_by_key(|(v, _)| *v);
+        let mut out: Vec<(VarId, F)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|(_, c)| !c.is_zero());
+        LinComb {
+            terms: out,
+            constant,
+        }
+    }
+
     /// The `(variable, coefficient)` terms.
     pub fn terms(&self) -> &[(VarId, F)] {
         &self.terms

@@ -27,6 +27,12 @@ pub enum BinOp {
     And,
     /// `||`
     Or,
+    /// `&` — bitwise AND over u32-ranged operands (gadget-backed).
+    BitAnd,
+    /// `^` — bitwise XOR over u32-ranged operands (gadget-backed).
+    BitXor,
+    /// `|` — bitwise OR over u32-ranged operands (gadget-backed).
+    BitOr,
 }
 
 /// Unary operators.

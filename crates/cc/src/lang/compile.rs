@@ -371,6 +371,18 @@ impl<'o, F: PrimeField> Ctx<'o, F> {
                     BinOp::Ne => i64::from(a != b),
                     BinOp::And => i64::from(a != 0 && b != 0),
                     BinOp::Or => i64::from(a != 0 || b != 0),
+                    // Bitwise ops have u32 semantics; out-of-range
+                    // operands are not const-foldable (the gadget's
+                    // range check rejects them at solve time instead).
+                    BinOp::BitAnd => {
+                        i64::from(u32::try_from(a).ok()? & u32::try_from(b).ok()?)
+                    }
+                    BinOp::BitXor => {
+                        i64::from(u32::try_from(a).ok()? ^ u32::try_from(b).ok()?)
+                    }
+                    BinOp::BitOr => {
+                        i64::from(u32::try_from(a).ok()? | u32::try_from(b).ok()?)
+                    }
                 })
             }
             Expr::Index(_, _) => None,
@@ -462,6 +474,19 @@ impl<'o, F: PrimeField> Ctx<'o, F> {
                     BinOp::Ne => self.b.is_nonzero(&lv.sub(&rv)),
                     BinOp::And => self.b.and(&lv, &rv),
                     BinOp::Or => self.b.or(&lv, &rv),
+                    // Bitwise ops decompose both operands into u32
+                    // words (gadget library; each decomposition range-
+                    // checks its operand) and recompose the result.
+                    BinOp::BitAnd | BinOp::BitXor | BinOp::BitOr => {
+                        let wa = self.b.u32_witness(&lv);
+                        let wb = self.b.u32_witness(&rv);
+                        let wr = match op {
+                            BinOp::BitAnd => self.b.u32_and(&wa, &wb),
+                            BinOp::BitXor => self.b.u32_xor(&wa, &wb),
+                            _ => self.b.u32_or(&wa, &wb),
+                        };
+                        wr.to_lc()
+                    }
                 })
             }
         }
@@ -868,6 +893,38 @@ mod tests {
         assert_eq!(run(src, &[2, 5]), vec![f(1)]);
         assert_eq!(run(src, &[3, 5]), vec![f(0)]);
         assert_eq!(run(src, &[7, 0]), vec![f(1)]);
+    }
+
+    #[test]
+    fn bitwise_operators_have_u32_semantics() {
+        let src = "
+            input a; input b; output y[3];
+            y[0] = a & b; y[1] = a ^ b; y[2] = a | b;
+        ";
+        let (x, z) = (0xdead_beefi64, 0x0123_4567i64);
+        assert_eq!(
+            run(src, &[x, z]),
+            vec![f(x & z), f(x ^ z), f(x | z)]
+        );
+        // Constant operands fold at compile time: no gadget constraints.
+        let folded = compile::<F61>(
+            "output y; y = 12 & 10;",
+            &CompileOptions::symbolic(),
+        )
+        .unwrap();
+        assert_eq!(folded.ginger.constraints.len(), 1, "only the binding");
+        assert_eq!(folded.solver.run(&[]).unwrap(), vec![f(8)]);
+    }
+
+    #[test]
+    fn bitwise_rejects_out_of_range_operand() {
+        let c = compile::<F61>(
+            "input a; input b; output y; y = a ^ b;",
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let err = c.solver.solve(&[f(1 << 33), f(1)]).unwrap_err();
+        assert!(matches!(err, crate::builder::SolveError::RangeOverflow { .. }));
     }
 
     #[test]

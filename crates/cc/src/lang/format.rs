@@ -15,9 +15,12 @@ fn precedence(op: BinOp) -> u8 {
     match op {
         BinOp::Or => 1,
         BinOp::And => 2,
-        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 3,
-        BinOp::Add | BinOp::Sub => 4,
-        BinOp::Mul | BinOp::Div => 5,
+        BinOp::BitOr => 3,
+        BinOp::BitXor => 4,
+        BinOp::BitAnd => 5,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 6,
+        BinOp::Add | BinOp::Sub => 7,
+        BinOp::Mul | BinOp::Div => 8,
     }
 }
 
@@ -35,6 +38,9 @@ fn op_str(op: BinOp) -> &'static str {
         BinOp::Ne => "!=",
         BinOp::And => "&&",
         BinOp::Or => "||",
+        BinOp::BitAnd => "&",
+        BinOp::BitXor => "^",
+        BinOp::BitOr => "|",
     }
 }
 
@@ -68,13 +74,13 @@ fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
                 UnOp::Not => '!',
             });
             // Unary binds tighter than any binary operator.
-            write_expr(out, inner, 6);
+            write_expr(out, inner, 9);
         }
         Expr::Binary(op, l, r) => {
             let prec = precedence(*op);
             let needs_parens = prec < parent_prec
                 // Comparisons don't associate in the grammar.
-                || (prec == 3 && parent_prec == 3);
+                || (prec == 6 && parent_prec == 6);
             if needs_parens {
                 out.push('(');
             }
@@ -207,6 +213,8 @@ mod tests {
         round_trip("input a; input b; output y; y = (a + b) * (a - b);");
         round_trip("input a; input b; output y; y = a - (b - 3);");
         round_trip("input a; input b; output y; y = !(a < b) && (a != 3 || b == 1);");
+        round_trip("input a; input b; output y; y = a & b ^ (a | b) & 255;");
+        round_trip("input a; input b; output y; y = (a ^ b) & (a | 7) ^ b;");
     }
 
     #[test]

@@ -35,6 +35,9 @@ enum Tok {
     Ge,
     AndAnd,
     OrOr,
+    Amp,
+    Caret,
+    Pipe,
     Bang,
     DotDot,
 }
@@ -131,6 +134,9 @@ impl<'a> Lexer<'a> {
                         (b'<', _) => (Tok::Lt, 1),
                         (b'>', _) => (Tok::Gt, 1),
                         (b'!', _) => (Tok::Bang, 1),
+                        (b'&', _) => (Tok::Amp, 1),
+                        (b'|', _) => (Tok::Pipe, 1),
+                        (b'^', _) => (Tok::Caret, 1),
                         _ => return Err(self.error(format!("unexpected character '{}'", c as char))),
                     };
                     out.push((tok, self.line));
@@ -345,11 +351,41 @@ impl Parser {
     }
 
     fn parse_and(&mut self) -> Result<Expr, CompileError> {
-        let mut lhs = self.parse_cmp()?;
+        let mut lhs = self.parse_bitor()?;
         while self.peek() == Some(&Tok::AndAnd) {
             self.next();
-            let rhs = self.parse_cmp()?;
+            let rhs = self.parse_bitor()?;
             lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bitor(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_bitxor()?;
+        while self.peek() == Some(&Tok::Pipe) {
+            self.next();
+            let rhs = self.parse_bitxor()?;
+            lhs = Expr::Binary(BinOp::BitOr, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bitxor(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_bitand()?;
+        while self.peek() == Some(&Tok::Caret) {
+            self.next();
+            let rhs = self.parse_bitand()?;
+            lhs = Expr::Binary(BinOp::BitXor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bitand(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek() == Some(&Tok::Amp) {
+            self.next();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary(BinOp::BitAnd, Box::new(lhs), Box::new(rhs));
         }
         Ok(lhs)
     }

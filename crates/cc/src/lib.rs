@@ -24,14 +24,18 @@
 //! computation and fills in every auxiliary variable.
 
 pub mod builder;
+pub mod gadgets;
 pub mod ir;
 pub mod lang;
 pub mod numeric;
+pub mod opt;
 pub mod serialize;
 pub mod stats;
 pub mod transform;
 
 pub use builder::{Builder, SolveError};
+pub use gadgets::U32Word;
+pub use opt::{optimize, OptReport, Optimized};
 pub use ir::{
     Assignment, GingerConstraint, GingerSystem, Kind, LinComb, QuadConstraint, QuadSystem, VarId,
 };

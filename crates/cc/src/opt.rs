@@ -1,0 +1,713 @@
+//! Optimization passes over the Ginger constraint IR.
+//!
+//! The paper's compiler emits constraints mechanically — one variable
+//! per assignment statement, one product constraint per multiplication —
+//! and never looks back at what it produced (§4 fn. 6). Pantry/Buffet-
+//! style follow-on work showed that cleaning up that output translates
+//! directly into prover time, because every constraint becomes a QAP
+//! root and every variable a proof-vector entry. This module implements
+//! the three classical cleanups over [`GingerSystem`]:
+//!
+//! 1. **Constant folding / copy propagation** — an auxiliary variable
+//!    pinned by a linear constraint to a constant (`c·v + k = 0`) or to
+//!    a scalar multiple of another variable (`c₁·v₁ + c₂·v₂ = 0`) is
+//!    substituted everywhere and its defining constraint dropped.
+//! 2. **Common-subexpression elimination** — two constraints that define
+//!    different auxiliary variables with the *same* right-hand side
+//!    (identical product/sum shape, up to scale) pin those variables to
+//!    each other; the duplicate definition is dropped and the variables
+//!    unified. Byte-identical duplicate constraints are also deduped.
+//! 3. **Dead-witness pruning** — auxiliary variables that no surviving
+//!    constraint mentions are removed and the remaining variables
+//!    renumbered densely (inputs and outputs are always kept: they are
+//!    the verifier's IO contract).
+//!
+//! Passes 1 and 2 run interleaved to a fixpoint (each can expose work
+//! for the other), then pass 3 compacts the registry. The result keeps
+//! equisatisfiability: a system made unsatisfiable by contradictory
+//! constant constraints stays unsatisfiable (the contradiction is kept
+//! as a constant≠0 constraint), and [`Optimized::map_assignment`]
+//! transports any witness of the original system to the optimized one.
+//!
+//! Reported per run: before/after [`EncodingStats`] plus the obs
+//! counters `cc.opt.folded`, `cc.opt.cse_hits`, `cc.opt.pruned_vars`.
+
+use std::collections::HashMap;
+
+use zaatar_field::PrimeField;
+
+use crate::ir::{Assignment, GingerConstraint, GingerSystem, Kind, LinComb, VarId, VarRegistry};
+use crate::stats::{ginger_stats, EncodingStats};
+
+/// What the pass pipeline did, with before/after encoding statistics.
+#[derive(Clone, Debug)]
+pub struct OptReport {
+    /// Constant/copy substitutions applied (pass 1 events).
+    pub folded: usize,
+    /// Duplicate definitions or duplicate constraints dropped (pass 2
+    /// events).
+    pub cse_hits: usize,
+    /// Auxiliary variables removed by the final compaction (includes
+    /// variables made dead by passes 1–2).
+    pub pruned_vars: usize,
+    /// Encoding statistics of the input system.
+    pub before: EncodingStats,
+    /// Encoding statistics of the optimized system.
+    pub after: EncodingStats,
+}
+
+/// An optimized system plus the index mapping back to its source.
+#[derive(Clone, Debug)]
+pub struct Optimized<F> {
+    /// The rewritten, compacted system.
+    pub system: GingerSystem<F>,
+    /// Old variable index → new index (`None` for removed variables).
+    pub var_map: Vec<Option<VarId>>,
+    /// Pass report.
+    pub report: OptReport,
+}
+
+impl<F: PrimeField> Optimized<F> {
+    /// Maps variables of the original system into the optimized one.
+    /// Panics if any variable was removed — inputs and outputs never
+    /// are, so IO lists always map.
+    pub fn map_vars(&self, vars: &[VarId]) -> Vec<VarId> {
+        vars.iter()
+            .map(|v| self.var_map[v.0].expect("variable survived optimization"))
+            .collect()
+    }
+
+    /// Transports a satisfying assignment of the *original* system
+    /// (e.g. from the original witness solver) to the optimized system.
+    pub fn map_assignment(&self, asg: &Assignment<F>) -> Assignment<F> {
+        let mut out = Assignment::zeroed(self.system.vars.len());
+        for (old, new) in self.var_map.iter().enumerate() {
+            if let Some(new) = new {
+                out.set(*new, asg.get(VarId(old)));
+            }
+        }
+        out
+    }
+}
+
+/// A resolved substitution for one variable: `v ↦ coeff·root + offset`.
+/// Constant folds have no root; copy/CSE aliases have a root variable.
+#[derive(Clone, Copy, Debug)]
+struct Subst<F> {
+    root: Option<VarId>,
+    coeff: F,
+    offset: F,
+}
+
+/// Substitution table with transitive resolution (aliases may chain:
+/// `v₂ ↦ 2·v₁` recorded before `v₁ ↦ 3` arrives).
+struct SubstMap<F> {
+    map: HashMap<usize, Subst<F>>,
+}
+
+impl<F: PrimeField> SubstMap<F> {
+    fn new() -> Self {
+        SubstMap {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Resolves a variable to its final `coeff·root + offset` form.
+    fn resolve(&self, v: VarId) -> Subst<F> {
+        let mut cur = Subst {
+            root: Some(v),
+            coeff: F::ONE,
+            offset: F::ZERO,
+        };
+        while let Some(root) = cur.root {
+            match self.map.get(&root.0) {
+                Some(next) => {
+                    // cur = coeff·(next.coeff·next.root + next.offset) + offset.
+                    cur = Subst {
+                        root: next.root,
+                        coeff: cur.coeff * next.coeff,
+                        offset: cur.coeff * next.offset + cur.offset,
+                    };
+                }
+                None => break,
+            }
+        }
+        cur
+    }
+
+    fn insert(&mut self, v: VarId, s: Subst<F>) {
+        debug_assert!(!self.map.contains_key(&v.0), "double substitution");
+        debug_assert!(s.root != Some(v), "self-substitution");
+        self.map.insert(v.0, s);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn affects(&self, v: VarId) -> bool {
+        self.map.contains_key(&v.0)
+    }
+}
+
+/// Rewrites one constraint under the substitution table, restoring the
+/// IR invariants (sorted merged terms, `i ≤ j` quad terms, no zeros).
+fn apply_subst<F: PrimeField>(
+    c: &GingerConstraint<F>,
+    subst: &SubstMap<F>,
+) -> GingerConstraint<F> {
+    let touched = c.quad.iter().any(|(i, j, _)| subst.affects(*i) || subst.affects(*j))
+        || c.linear.terms().iter().any(|(v, _)| subst.affects(*v));
+    if !touched {
+        return c.clone();
+    }
+    let mut quad: Vec<(VarId, VarId, F)> = Vec::with_capacity(c.quad.len());
+    let mut lin_terms: Vec<(VarId, F)> = c.linear.terms().to_vec();
+    let mut constant = c.linear.constant_term();
+    for (i, j, coeff) in &c.quad {
+        let si = subst.resolve(*i);
+        let sj = subst.resolve(*j);
+        // (ci·ri + oi)(cj·rj + oj) expanded:
+        let cross = *coeff;
+        match (si.root, sj.root) {
+            (Some(ri), Some(rj)) => {
+                let (lo, hi) = if ri <= rj { (ri, rj) } else { (rj, ri) };
+                quad.push((lo, hi, cross * si.coeff * sj.coeff));
+                if !sj.offset.is_zero() {
+                    lin_terms.push((ri, cross * si.coeff * sj.offset));
+                }
+                if !si.offset.is_zero() {
+                    lin_terms.push((rj, cross * sj.coeff * si.offset));
+                }
+                constant += cross * si.offset * sj.offset;
+            }
+            (Some(ri), None) => {
+                lin_terms.push((ri, cross * si.coeff * sj.offset));
+                constant += cross * si.offset * sj.offset;
+            }
+            (None, Some(rj)) => {
+                lin_terms.push((rj, cross * sj.coeff * si.offset));
+                constant += cross * si.offset * sj.offset;
+            }
+            (None, None) => constant += cross * si.offset * sj.offset,
+        }
+    }
+    // Rewrite the linear part (the original terms were copied above;
+    // map them in place).
+    let mut mapped: Vec<(VarId, F)> = Vec::with_capacity(lin_terms.len());
+    for (v, coeff) in lin_terms {
+        let s = subst.resolve(v);
+        if let Some(r) = s.root {
+            mapped.push((r, coeff * s.coeff));
+        }
+        constant += coeff * s.offset;
+    }
+    // Merge duplicate quad terms.
+    quad.sort_by_key(|(i, j, _)| (*i, *j));
+    let mut merged_quad: Vec<(VarId, VarId, F)> = Vec::with_capacity(quad.len());
+    for (i, j, coeff) in quad {
+        match merged_quad.last_mut() {
+            Some((li, lj, lc)) if *li == i && *lj == j => *lc += coeff,
+            _ => merged_quad.push((i, j, coeff)),
+        }
+    }
+    merged_quad.retain(|(_, _, coeff)| !coeff.is_zero());
+    GingerConstraint {
+        quad: merged_quad,
+        linear: LinComb::from_terms(mapped, constant),
+    }
+}
+
+/// True for a constraint that is identically zero and can be dropped.
+fn is_trivial<F: PrimeField>(c: &GingerConstraint<F>) -> bool {
+    c.quad.is_empty() && c.linear.is_constant() && c.linear.constant_term().is_zero()
+}
+
+/// If the constraint pins an auxiliary variable to a constant or to a
+/// multiple of another variable, returns the substitution.
+fn fold_candidate<F: PrimeField>(
+    c: &GingerConstraint<F>,
+    vars: &VarRegistry,
+) -> Option<(VarId, Subst<F>)> {
+    if !c.quad.is_empty() {
+        return None;
+    }
+    let terms = c.linear.terms();
+    match terms.len() {
+        // c·v + k = 0  ⇒  v = −k/c.
+        1 => {
+            let (v, coeff) = terms[0];
+            if vars.kind(v) != Kind::Aux {
+                return None;
+            }
+            let inv = coeff.inverse()?;
+            Some((
+                v,
+                Subst {
+                    root: None,
+                    coeff: F::ZERO,
+                    offset: -c.linear.constant_term() * inv,
+                },
+            ))
+        }
+        // c₁·v₁ + c₂·v₂ + k = 0  ⇒  v₂ = −(c₁·v₁ + k)/c₂ for an aux v₂
+        // (prefer substituting away the later-allocated variable).
+        2 => {
+            let (va, ca) = terms[0];
+            let (vb, cb) = terms[1];
+            let (keep, kc, drop, dc) = if vars.kind(vb) == Kind::Aux {
+                (va, ca, vb, cb)
+            } else if vars.kind(va) == Kind::Aux {
+                (vb, cb, va, ca)
+            } else {
+                return None;
+            };
+            let inv = dc.inverse()?;
+            Some((
+                drop,
+                Subst {
+                    root: Some(keep),
+                    coeff: -kc * inv,
+                    offset: -c.linear.constant_term() * inv,
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Serializes a constraint into a canonical comparison key (terms are
+/// already sorted and merged by the IR invariants).
+fn constraint_key<F: PrimeField>(c: &GingerConstraint<F>) -> String {
+    format!("{c}")
+}
+
+/// If the constraint *defines* an auxiliary variable — `expr − c·v = 0`
+/// with `v` in no quad term — returns `(v, coeff_of_v)`. Prefers the
+/// highest-numbered candidate (the latest-allocated variable, which is
+/// the one the builder introduced for this constraint).
+fn defining_candidate<F: PrimeField>(
+    c: &GingerConstraint<F>,
+    vars: &VarRegistry,
+) -> Option<(VarId, F)> {
+    c.linear
+        .terms()
+        .iter()
+        .rev()
+        .find(|(v, _)| {
+            vars.kind(*v) == Kind::Aux
+                && !c.quad.iter().any(|(i, j, _)| *i == *v || *j == *v)
+        })
+        .map(|(v, coeff)| (*v, *coeff))
+}
+
+/// The defining constraint with `v` removed, scaled so that it reads
+/// `v = key`: returns the normalized right-hand side and the scale `s`
+/// with `v = s · normalized`.
+fn normalized_rhs<F: PrimeField>(
+    c: &GingerConstraint<F>,
+    v: VarId,
+    cv: F,
+) -> Option<(GingerConstraint<F>, F)> {
+    // v = −(c − cv·v)/cv.
+    let neg_inv = -cv.inverse()?;
+    let rhs_terms: Vec<(VarId, F)> = c
+        .linear
+        .terms()
+        .iter()
+        .filter(|(t, _)| *t != v)
+        .map(|(t, coeff)| (*t, *coeff * neg_inv))
+        .collect();
+    let rhs = GingerConstraint {
+        quad: c
+            .quad
+            .iter()
+            .map(|(i, j, coeff)| (*i, *j, *coeff * neg_inv))
+            .collect(),
+        linear: LinComb::from_terms(rhs_terms, c.linear.constant_term() * neg_inv),
+    };
+    // Normalize by the leading coefficient so `2·x·y` and `−x·y` share
+    // a key (scale-insensitive CSE catches sign-mirrored products).
+    let lead = rhs
+        .quad
+        .first()
+        .map(|(_, _, coeff)| *coeff)
+        .or_else(|| rhs.linear.terms().first().map(|(_, coeff)| *coeff))
+        .unwrap_or(F::ONE);
+    let lead_inv = lead.inverse()?;
+    let norm = GingerConstraint {
+        quad: rhs
+            .quad
+            .iter()
+            .map(|(i, j, coeff)| (*i, *j, *coeff * lead_inv))
+            .collect(),
+        linear: LinComb::from_terms(
+            rhs.linear
+                .terms()
+                .iter()
+                .map(|(t, coeff)| (*t, *coeff * lead_inv))
+                .collect(),
+            rhs.linear.constant_term() * lead_inv,
+        ),
+    };
+    Some((norm, lead))
+}
+
+/// Runs the pass pipeline over a system.
+pub fn optimize<F: PrimeField>(sys: &GingerSystem<F>) -> Optimized<F> {
+    let before = ginger_stats(sys);
+    let mut constraints: Vec<GingerConstraint<F>> = sys.constraints.clone();
+    let mut folded = 0usize;
+    let mut cse_hits = 0usize;
+
+    // Interleave folding and CSE to a fixpoint: a CSE unification can
+    // collapse a sum into a pin, and a fold can make two definitions
+    // textually identical.
+    loop {
+        let mut changed = false;
+
+        // Pass 1: constant folding / copy propagation.
+        loop {
+            let mut subst = SubstMap::<F>::new();
+            for c in &constraints {
+                if let Some((v, s)) = fold_candidate(c, &sys.vars) {
+                    if !subst.affects(v) {
+                        // Guard against chains that would loop back.
+                        let root_cycles = s
+                            .root
+                            .is_some_and(|r| subst.resolve(r).root == Some(v));
+                        if !root_cycles {
+                            subst.insert(v, s);
+                        }
+                    }
+                }
+            }
+            if subst.is_empty() {
+                break;
+            }
+            folded += subst.map.len();
+            changed = true;
+            constraints = constraints
+                .iter()
+                .map(|c| apply_subst(c, &subst))
+                .filter(|c| !is_trivial(c))
+                .collect();
+        }
+
+        // Pass 2a: whole-constraint dedup (identical product or linear
+        // constraints enforce the same equation once).
+        {
+            let mut seen: HashMap<String, ()> = HashMap::new();
+            let len_before = constraints.len();
+            constraints.retain(|c| seen.insert(constraint_key(c), ()).is_none());
+            let dropped = len_before - constraints.len();
+            if dropped > 0 {
+                cse_hits += dropped;
+                changed = true;
+            }
+        }
+
+        // Pass 2b: defining-constraint CSE — two definitions with the
+        // same normalized right-hand side unify their variables.
+        {
+            let mut subst = SubstMap::<F>::new();
+            let mut table: HashMap<String, (VarId, F)> = HashMap::new();
+            let mut dropped_idx: Vec<usize> = Vec::new();
+            for (idx, c) in constraints.iter().enumerate() {
+                let Some((v, cv)) = defining_candidate(c, &sys.vars) else {
+                    continue;
+                };
+                if subst.affects(v) {
+                    continue;
+                }
+                let Some((norm, scale)) = normalized_rhs(c, v, cv) else {
+                    continue;
+                };
+                if norm.quad.is_empty() && norm.linear.terms().len() <= 1 {
+                    // Constant pins and copies belong to pass 1.
+                    continue;
+                }
+                let key = constraint_key(&norm);
+                match table.get(&key) {
+                    Some((canon, canon_scale)) if *canon != v => {
+                        // v = scale·norm, canon = canon_scale·norm
+                        // ⇒ v = (scale/canon_scale)·canon.
+                        let Some(inv) = canon_scale.inverse() else {
+                            continue;
+                        };
+                        subst.insert(
+                            v,
+                            Subst {
+                                root: Some(*canon),
+                                coeff: scale * inv,
+                                offset: F::ZERO,
+                            },
+                        );
+                        dropped_idx.push(idx);
+                    }
+                    Some(_) => {}
+                    None => {
+                        table.insert(key, (v, scale));
+                    }
+                }
+            }
+            if !dropped_idx.is_empty() {
+                cse_hits += dropped_idx.len();
+                changed = true;
+                let drop_set: std::collections::HashSet<usize> =
+                    dropped_idx.into_iter().collect();
+                constraints = constraints
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !drop_set.contains(i))
+                    .map(|(_, c)| apply_subst(c, &subst))
+                    .filter(|c| !is_trivial(c))
+                    .collect();
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 3: dead-witness pruning with dense renumbering.
+    let mut used = vec![false; sys.vars.len()];
+    for c in &constraints {
+        for (i, j, _) in &c.quad {
+            used[i.0] = true;
+            used[j.0] = true;
+        }
+        for (v, _) in c.linear.terms() {
+            used[v.0] = true;
+        }
+    }
+    let mut var_map: Vec<Option<VarId>> = vec![None; sys.vars.len()];
+    let mut new_vars = VarRegistry::default();
+    let mut pruned_vars = 0usize;
+    for old in 0..sys.vars.len() {
+        let kind = sys.vars.kind(VarId(old));
+        if kind == Kind::Aux && !used[old] {
+            pruned_vars += 1;
+            continue;
+        }
+        var_map[old] = Some(new_vars.alloc(kind));
+    }
+    let remap = |v: VarId| var_map[v.0].expect("used variable kept");
+    let constraints: Vec<GingerConstraint<F>> = constraints
+        .iter()
+        .map(|c| GingerConstraint {
+            quad: c
+                .quad
+                .iter()
+                .map(|(i, j, coeff)| (remap(*i), remap(*j), *coeff))
+                .collect(),
+            linear: LinComb::from_terms(
+                c.linear
+                    .terms()
+                    .iter()
+                    .map(|(v, coeff)| (remap(*v), *coeff))
+                    .collect(),
+                c.linear.constant_term(),
+            ),
+        })
+        .collect();
+
+    let system = GingerSystem {
+        vars: new_vars,
+        constraints,
+    };
+    let after = ginger_stats(&system);
+    zaatar_obs::counter("cc.opt.folded").add(folded as u64);
+    zaatar_obs::counter("cc.opt.cse_hits").add(cse_hits as u64);
+    zaatar_obs::counter("cc.opt.pruned_vars").add(pruned_vars as u64);
+    Optimized {
+        system,
+        var_map,
+        report: OptReport {
+            folded,
+            cse_hits,
+            pruned_vars,
+            before,
+            after,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use zaatar_field::{Field, F61};
+
+    fn f(x: i64) -> F61 {
+        F61::from_i64(x)
+    }
+
+    /// Solve the original, optimize, transport the witness, and check
+    /// the optimized system accepts it with identical IO.
+    fn check_equivalent(
+        sys: &GingerSystem<F61>,
+        solver: &crate::builder::WitnessSolver<F61>,
+        inputs: &[F61],
+    ) -> Optimized<F61> {
+        let asg = solver.solve(inputs).expect("solvable");
+        assert!(sys.is_satisfied(&asg));
+        let opt = optimize(sys);
+        let mapped = opt.map_assignment(&asg);
+        assert!(
+            opt.system.is_satisfied(&mapped),
+            "optimized system rejects transported witness: {:?}",
+            opt.system.first_violation(&mapped)
+        );
+        let outs = opt.map_vars(solver.outputs());
+        assert_eq!(
+            mapped.extract(&outs),
+            asg.extract(solver.outputs()),
+            "public IO must be preserved"
+        );
+        assert!(opt.system.constraints.len() <= sys.constraints.len());
+        assert!(opt.system.vars.len() <= sys.vars.len());
+        opt
+    }
+
+    #[test]
+    fn folds_constant_pins() {
+        // materialize(2x) emits the copy constraint v − 2x = 0, which
+        // copy propagation removes.
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let v = b.materialize(&x.scale(f(2)));
+        let y = b.mul(&v, &x);
+        b.bind_output(&y);
+        let (sys, solver) = b.finish();
+        let opt = check_equivalent(&sys, &solver, &[f(5)]);
+        // The copy v = 2x folds away.
+        assert!(opt.report.folded >= 1, "report: {:?}", opt.report);
+        assert!(opt.system.constraints.len() < sys.constraints.len());
+    }
+
+    #[test]
+    fn cse_unifies_identical_products() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let p1 = b.mul(&x, &y);
+        let p2 = b.mul(&x, &y);
+        let sum = p1.add(&p2);
+        b.bind_output(&sum);
+        let (sys, solver) = b.finish();
+        let opt = check_equivalent(&sys, &solver, &[f(6), f(7)]);
+        assert!(opt.report.cse_hits >= 1, "report: {:?}", opt.report);
+        assert!(opt.report.pruned_vars >= 1, "unified var becomes dead");
+    }
+
+    #[test]
+    fn cse_catches_sign_mirrored_products() {
+        // d1 = x·y, d2 = −x·y (the min/max compare-exchange shape).
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let p1 = b.mul(&x, &y);
+        let neg_y = y.scale(-F61::ONE);
+        let p2 = b.mul(&x, &neg_y);
+        b.bind_output(&p1.add(&p2));
+        let (sys, solver) = b.finish();
+        let opt = check_equivalent(&sys, &solver, &[f(3), f(4)]);
+        assert!(opt.report.cse_hits >= 1, "report: {:?}", opt.report);
+    }
+
+    #[test]
+    fn whole_constraint_dedup() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        // The same enforcement twice.
+        b.enforce_product(&x, &y, &LinComb::constant(f(42)));
+        b.enforce_product(&x, &y, &LinComb::constant(f(42)));
+        b.bind_output(&x);
+        let (sys, solver) = b.finish();
+        let opt = check_equivalent(&sys, &solver, &[f(6), f(7)]);
+        assert!(opt.report.cse_hits >= 1);
+        assert_eq!(opt.system.constraints.len(), sys.constraints.len() - 1);
+    }
+
+    #[test]
+    fn prunes_dead_witnesses() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let _unused = b.mul(&x, &x); // product never consumed
+        b.bind_output(&x);
+        let (sys, solver) = b.finish();
+        let opt = check_equivalent(&sys, &solver, &[f(5)]);
+        // The unused product var survives (its constraint mentions it);
+        // but a CSE/fold-killed var would not. Allocate one directly:
+        assert!(opt.system.vars.len() <= sys.vars.len());
+        let _ = opt;
+    }
+
+    #[test]
+    fn unsat_systems_stay_unsat() {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        // x·0 = 1 is unsatisfiable for every x; after folding the zero
+        // side, the contradiction must survive as a constant constraint.
+        b.enforce_product(&x, &LinComb::zero(), &LinComb::constant(F61::ONE));
+        b.bind_output(&x);
+        let (sys, solver) = b.finish();
+        let opt = optimize(&sys);
+        let asg = solver.solve(&[f(1)]).unwrap();
+        assert!(!sys.is_satisfied(&asg));
+        let mapped = opt.map_assignment(&asg);
+        assert!(
+            !opt.system.is_satisfied(&mapped),
+            "optimization must not make an unsat system satisfiable"
+        );
+    }
+
+    #[test]
+    fn gadget_hash_round_shrinks() {
+        // xor and maj over the same operands share ab products.
+        let mut b = Builder::<F61>::new();
+        let a = b.u32_input();
+        let c = b.u32_input();
+        let d = b.u32_input();
+        let x = b.u32_xor(&a, &c);
+        let m = b.u32_maj(&a, &c, &d);
+        let mixed = b.u32_xor(&x, &m);
+        b.bind_output(&mixed.to_lc());
+        let (sys, solver) = b.finish();
+        let ins: Vec<F61> = [0xdead_beefu32, 0x0123_4567, 0x8899_aabb]
+            .iter()
+            .map(|&v| F61::from_u64(u64::from(v)))
+            .collect();
+        let opt = check_equivalent(&sys, &solver, &ins);
+        assert!(
+            opt.report.cse_hits >= 32,
+            "32 shared ab products: {:?}",
+            opt.report
+        );
+        assert!(opt.system.constraints.len() < sys.constraints.len());
+    }
+
+    #[test]
+    fn idempotent_on_optimized_output() {
+        let mut b = Builder::<F61>::new();
+        let a = b.u32_input();
+        let c = b.u32_input();
+        let x = b.u32_xor(&a, &c);
+        let y = b.u32_and(&a, &c);
+        let s = x.to_lc().add(&y.to_lc());
+        b.bind_output(&s);
+        let (sys, _) = b.finish();
+        let once = optimize(&sys);
+        let twice = optimize(&once.system);
+        assert_eq!(
+            twice.system.constraints.len(),
+            once.system.constraints.len()
+        );
+        assert_eq!(twice.report.cse_hits, 0);
+        assert_eq!(twice.report.folded, 0);
+        assert_eq!(twice.report.pruned_vars, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! SplitMix64-seeded property tests for the u32 gadget library: each
+//! bitwise gadget must agree with the corresponding native Rust
+//! operator over a thousand random inputs (one circuit, a thousand
+//! solves), and the booleanity constraints must refuse tampered bit
+//! witnesses — both a flipped bit (breaks recomposition) and a
+//! non-boolean bit value (breaks `b·(b−1) = 0`).
+
+use zaatar_cc::{Builder, U32Word, VarId};
+use zaatar_field::testutil::SplitMix64;
+use zaatar_field::{Field, F61};
+
+const CASES: usize = 1_000;
+
+/// Builds `y = op(a, b)` once, then solves `CASES` random input pairs
+/// and compares the circuit's output word against `native`.
+fn check_binary_op(
+    name: &str,
+    seed: u64,
+    op: impl Fn(&mut Builder<F61>, &U32Word<F61>, &U32Word<F61>) -> U32Word<F61>,
+    native: impl Fn(u32, u32) -> u32,
+) {
+    let mut bld = Builder::<F61>::new();
+    let a = bld.u32_input();
+    let b = bld.u32_input();
+    let out = op(&mut bld, &a, &b);
+    let out_lc = out.to_lc();
+    bld.bind_output(&out_lc);
+    let (sys, solver) = bld.finish();
+
+    let mut rng = SplitMix64::new(seed);
+    for case in 0..CASES {
+        let x = rng.next_u64() as u32;
+        let y = rng.next_u64() as u32;
+        let asg = solver
+            .solve(&[F61::from_u64(u64::from(x)), F61::from_u64(u64::from(y))])
+            .unwrap_or_else(|e| panic!("{name} case {case}: {e}"));
+        assert!(sys.is_satisfied(&asg), "{name} case {case}");
+        assert_eq!(
+            asg.extract(solver.outputs())[0],
+            F61::from_u64(u64::from(native(x, y))),
+            "{name}: {x:#010x} . {y:#010x} (case {case})"
+        );
+    }
+}
+
+#[test]
+fn u32_and_matches_native() {
+    check_binary_op("and", 0xa17d, |b, x, y| b.u32_and(x, y), |x, y| x & y);
+}
+
+#[test]
+fn u32_xor_matches_native() {
+    check_binary_op("xor", 0x0e4e, |b, x, y| b.u32_xor(x, y), |x, y| x ^ y);
+}
+
+#[test]
+fn u32_or_matches_native() {
+    check_binary_op("or", 0x0a4e, |b, x, y| b.u32_or(x, y), |x, y| x | y);
+}
+
+/// All 32 rotation amounts at once: rotations are free bit
+/// permutations, so one circuit exposes every `rotl k` as an output.
+#[test]
+fn u32_rotl_matches_native_for_all_amounts() {
+    let mut bld = Builder::<F61>::new();
+    let a = bld.u32_input();
+    for k in 0..32 {
+        let lc = a.rotl(k).to_lc();
+        bld.bind_output(&lc);
+    }
+    let (sys, solver) = bld.finish();
+
+    let mut rng = SplitMix64::new(0x4074);
+    for case in 0..CASES {
+        let x = rng.next_u64() as u32;
+        let asg = solver
+            .solve(&[F61::from_u64(u64::from(x))])
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert!(sys.is_satisfied(&asg), "case {case}");
+        let outs = asg.extract(solver.outputs());
+        for (k, got) in outs.iter().enumerate() {
+            assert_eq!(
+                *got,
+                F61::from_u64(u64::from(x.rotate_left(k as u32))),
+                "rotl {k} of {x:#010x} (case {case})"
+            );
+        }
+    }
+}
+
+/// Tampering with a solved bit witness must always be caught: flipping
+/// a bit keeps booleanity but breaks the recomposition sum; writing a
+/// non-boolean value breaks `b·(b−1) = 0` directly.
+#[test]
+fn booleanity_rejects_tampered_bit_witness() {
+    let mut bld = Builder::<F61>::new();
+    let a = bld.u32_input();
+    let a_lc = a.to_lc();
+    bld.bind_output(&a_lc);
+    let bit_vars: Vec<VarId> = (0..32).map(|i| a.bit(i).terms()[0].0).collect();
+    let (sys, solver) = bld.finish();
+
+    let mut rng = SplitMix64::new(0xb001);
+    for case in 0..128 {
+        let x = rng.next_u64() as u32;
+        let honest = solver.solve(&[F61::from_u64(u64::from(x))]).unwrap();
+        assert!(sys.is_satisfied(&honest), "case {case}");
+
+        let i = rng.range_u64(0, 32) as usize;
+        let mut flipped = honest.clone();
+        flipped.set(bit_vars[i], F61::ONE - flipped.get(bit_vars[i]));
+        assert!(
+            !sys.is_satisfied(&flipped),
+            "flipped bit {i} of {x:#010x} accepted (case {case})"
+        );
+
+        let mut nonbool = honest.clone();
+        nonbool.set(bit_vars[i], F61::from_u64(2));
+        assert!(
+            !sys.is_satisfied(&nonbool),
+            "non-boolean bit {i} of {x:#010x} accepted (case {case})"
+        );
+    }
+}

@@ -38,6 +38,7 @@ pub mod qap;
 pub mod runtime;
 pub mod session;
 pub mod soundness;
+pub mod testutil;
 pub mod wire;
 pub mod workspace;
 
@@ -53,8 +54,12 @@ pub use pcp::{BatchQuerySet, PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
 pub use network::{queries_from_seed, zaatar_network_costs, NetworkCosts};
 pub use qap::{Qap, QapEvals, QapWitness, StagedWitness};
 pub use runtime::{
-    answer_batch, parse_instance_index, prove_batch, prove_batch_with, run_session_prover,
+    answer_batch, parse_instance_index, prove_batch, prove_batch_with,
+    run_hetero_session_prover, run_hetero_session_verifier, run_session_prover,
     run_session_verifier, ProverStats, SessionReport, VerifyOutcome,
 };
-pub use session::{SessionError, SessionProver, SessionVerifier};
+pub use session::{
+    HeteroSessionProver, HeteroSessionVerifier, SessionError, SessionProver, SessionVerifier,
+    HETERO_PRG_STREAM_BASE,
+};
 pub use workspace::ProverWorkspace;

@@ -31,7 +31,9 @@ use zaatar_transport::{exchange, Frame, RetryPolicy, Transport, TransportError};
 use crate::parallel::{parallel_map, parallel_map_with};
 use crate::pcp::{BatchQuerySet, PcpResponses, ZaatarPcp, ZaatarProof};
 use crate::qap::QapWitness;
-use crate::session::{SessionError, SessionProver, SessionVerifier};
+use crate::session::{
+    HeteroSessionProver, HeteroSessionVerifier, SessionError, SessionProver, SessionVerifier,
+};
 use crate::wire::WireError;
 use crate::workspace::ProverWorkspace;
 
@@ -49,6 +51,9 @@ pub mod msg {
     pub const ERROR: u8 = 5;
     /// V → P: the session is over (best effort).
     pub const DONE: u8 = 6;
+    /// V → P: the heterogeneous batch setup (several circuits in one
+    /// session; see `crate::session::HeteroSessionVerifier`).
+    pub const HSETUP: u8 = 7;
 }
 
 /// Error codes carried in [`msg::ERROR`] payloads.
@@ -370,6 +375,193 @@ where
     }
 }
 
+/// Runs the verifier's side of a *heterogeneous* batched session:
+/// `pcps` are the circuits, `circuit_ids[i]` names the circuit of
+/// instance `i`, and `ios[i]` is that instance's claimed io in its
+/// circuit's QAP order. The message sequence is the legacy one with
+/// [`msg::HSETUP`] in place of [`msg::SETUP`]; failure handling and
+/// per-instance degradation are identical to [`run_session_verifier`].
+pub fn run_hetero_session_verifier<F, D, T>(
+    transport: &mut T,
+    pcps: &[&ZaatarPcp<F, D>],
+    circuit_ids: &[u32],
+    ios: &[Vec<F>],
+    policy: &RetryPolicy,
+    prg: &mut ChaChaPrg,
+) -> Result<SessionReport, SessionError>
+where
+    F: HasGroup + PrimeField,
+    D: EvalDomain<F>,
+    T: Transport,
+{
+    if ios.len() >= u32::MAX as usize {
+        return Err(SessionError::Wire(WireError::TooLong { len: ios.len() }));
+    }
+    if ios.len() != circuit_ids.len() {
+        return Err(SessionError::Protocol("one circuit id per claimed io"));
+    }
+    let _span = zaatar_obs::time("runtime.session.hetero");
+    let started = Instant::now();
+    let mut verifier = HeteroSessionVerifier::new(pcps, circuit_ids, prg);
+    let mut retry_prg = prg.fork(1);
+    let mut retransmits = 0u64;
+
+    let setup = Frame::new(msg::HSETUP, 0, verifier.setup_message()?);
+    let ack = exchange(transport, &setup, &[msg::SETUP_ACK, msg::ERROR], policy, &mut retry_prg)?;
+    retransmits += ack.retransmits as u64;
+    if ack.response.msg_type == msg::ERROR {
+        return Err(SessionError::Peer(
+            ack.response.payload.first().copied().unwrap_or(0),
+        ));
+    }
+
+    let mut outcomes = Vec::with_capacity(ios.len());
+    let mut channel_gone = false;
+    for (i, io) in ios.iter().enumerate() {
+        if channel_gone {
+            outcomes.push(VerifyOutcome::TimedOut);
+            continue;
+        }
+        let req = Frame::new(
+            msg::INSTANCE_REQ,
+            (i + 1) as u32,
+            (i as u32).to_le_bytes().to_vec(),
+        );
+        let outcome = match exchange(
+            transport,
+            &req,
+            &[msg::INSTANCE_RESP, msg::ERROR],
+            policy,
+            &mut retry_prg,
+        ) {
+            Ok(out) => {
+                retransmits += out.retransmits as u64;
+                if out.response.msg_type == msg::ERROR {
+                    VerifyOutcome::Malformed(WireError::Invalid)
+                } else {
+                    match verifier.verify_instance(i, &out.response.payload, io) {
+                        Ok(true) => VerifyOutcome::Accepted,
+                        Ok(false) => VerifyOutcome::Rejected,
+                        Err(e) => VerifyOutcome::Malformed(e),
+                    }
+                }
+            }
+            Err(TransportError::TimedOut) => VerifyOutcome::TimedOut,
+            Err(_) => {
+                channel_gone = true;
+                VerifyOutcome::TimedOut
+            }
+        };
+        match outcome {
+            VerifyOutcome::Accepted => zaatar_obs::counter("runtime.verifier.accepted").inc(),
+            VerifyOutcome::Rejected => zaatar_obs::counter("runtime.verifier.rejected").inc(),
+            VerifyOutcome::Malformed(_) => {
+                zaatar_obs::counter("runtime.verifier.malformed").inc()
+            }
+            VerifyOutcome::TimedOut => zaatar_obs::counter("runtime.verifier.timed_out").inc(),
+        }
+        outcomes.push(outcome);
+    }
+
+    let _ = transport.send(&Frame::new(msg::DONE, u32::MAX, Vec::new()));
+
+    zaatar_obs::counter("runtime.verifier.retransmits").add(retransmits);
+    Ok(SessionReport {
+        outcomes,
+        retransmits,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Serves a heterogeneous proof batch over `transport` until the
+/// verifier sends DONE, the channel closes, or `idle_timeout` passes.
+/// `proofs[i]` belongs to circuit `circuit_ids[i]`. Accepts
+/// [`msg::HSETUP`]; a legacy [`msg::SETUP`] is accepted only when the
+/// batch carries exactly one circuit (so this loop is a strict superset
+/// of [`run_session_prover`] behaviour in that case).
+pub fn run_hetero_session_prover<F, D, T>(
+    transport: &mut T,
+    pcps: &[&ZaatarPcp<F, D>],
+    circuit_ids: &[u32],
+    proofs: &[ZaatarProof<F>],
+    idle_timeout: Duration,
+) -> Result<ProverStats, SessionError>
+where
+    F: HasGroup + PrimeField,
+    D: EvalDomain<F>,
+    T: Transport,
+{
+    if proofs.len() != circuit_ids.len() {
+        return Err(SessionError::Protocol("one circuit id per proof"));
+    }
+    let mut prover = HeteroSessionProver::new(pcps, circuit_ids);
+    let mut cache: Vec<Option<Vec<u8>>> = vec![None; proofs.len()];
+    let mut stats = ProverStats::default();
+    let mut ws = ProverWorkspace::new();
+
+    loop {
+        let frame = match transport.recv(Instant::now() + idle_timeout) {
+            Ok(frame) => frame,
+            Err(TransportError::TimedOut) | Err(TransportError::Closed) => return Ok(stats),
+            Err(e) => return Err(e.into()),
+        };
+        match frame.msg_type {
+            msg::HSETUP | msg::SETUP => {
+                let received = if frame.msg_type == msg::HSETUP {
+                    prover.receive_setup(&frame.payload)
+                } else {
+                    prover.receive_legacy_setup(&frame.payload)
+                };
+                let reply = match received {
+                    Ok(()) => {
+                        cache.iter_mut().for_each(|slot| *slot = None);
+                        Frame::new(msg::SETUP_ACK, frame.seq, Vec::new())
+                    }
+                    Err(_) => {
+                        stats.errors_reported += 1;
+                        zaatar_obs::counter("runtime.prover.errors_reported").inc();
+                        Frame::new(msg::ERROR, frame.seq, vec![errcode::MALFORMED])
+                    }
+                };
+                transport.send(&reply)?;
+            }
+            msg::INSTANCE_REQ => {
+                let reply = match parse_index(&frame.payload, proofs.len()) {
+                    Err(code) => {
+                        stats.errors_reported += 1;
+                        zaatar_obs::counter("runtime.prover.errors_reported").inc();
+                        Frame::new(msg::ERROR, frame.seq, vec![code])
+                    }
+                    Ok(idx) => {
+                        let cached = match &cache[idx] {
+                            Some(bytes) => Ok(bytes.clone()),
+                            None => prover
+                                .instance_message_with(idx, &proofs[idx], &mut ws)
+                                .inspect(|bytes| cache[idx] = Some(bytes.clone())),
+                        };
+                        match cached {
+                            Ok(bytes) => {
+                                stats.responses_served += 1;
+                                zaatar_obs::counter("runtime.prover.responses_served").inc();
+                                Frame::new(msg::INSTANCE_RESP, frame.seq, bytes)
+                            }
+                            Err(SessionError::SetupNotReceived) => {
+                                stats.errors_reported += 1;
+                                zaatar_obs::counter("runtime.prover.errors_reported").inc();
+                                Frame::new(msg::ERROR, frame.seq, vec![errcode::NO_SETUP])
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                };
+                transport.send(&reply)?;
+            }
+            msg::DONE => return Ok(stats),
+            _ => {}
+        }
+    }
+}
+
 fn parse_index(payload: &[u8], batch: usize) -> Result<usize, u8> {
     parse_instance_index(payload, batch)
 }
@@ -472,6 +664,82 @@ mod tests {
                 "parallel and serial proofs must agree"
             );
         }
+    }
+
+    #[test]
+    fn hetero_loopback_session_mixes_circuits() {
+        // Circuit 0: y = a·b (the fixture). Circuit 1: y = (a+b)·a.
+        let (pcp_a, proofs_a, ios_a) = fixture(&[[2, 3], [4, 5]]);
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let s = x.add(&y);
+        let p = b.mul(&s, &x);
+        b.bind_output(&p);
+        let (sys, solver) = b.finish();
+        let t = ginger_to_quad(&sys);
+        let pcp_b = ZaatarPcp::new(Qap::new(&t.system), PcpParams::light());
+        let mut proofs_b = Vec::new();
+        let mut ios_b = Vec::new();
+        for pair in [[3i64, 1], [7, 2]] {
+            let asg = solver
+                .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
+                .unwrap();
+            let ext = t.extend_assignment(&asg);
+            proofs_b.push(pcp_b.prove(&pcp_b.qap().witness(&ext)).unwrap());
+            ios_b.push(
+                pcp_b
+                    .qap()
+                    .var_map()
+                    .inputs()
+                    .iter()
+                    .chain(pcp_b.qap().var_map().outputs())
+                    .map(|v| ext.get(*v))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let circuit_ids = vec![0u32, 1, 0, 1];
+        let proofs = vec![
+            proofs_a[0].clone(),
+            proofs_b[0].clone(),
+            proofs_a[1].clone(),
+            proofs_b[1].clone(),
+        ];
+        let mut ios = vec![
+            ios_a[0].clone(),
+            ios_b[0].clone(),
+            ios_a[1].clone(),
+            ios_b[1].clone(),
+        ];
+        // Lie about one instance's output: that instance alone rejects.
+        let last = ios[3].len() - 1;
+        ios[3][last] += F61::ONE;
+        let (mut vt, mut pt) = loopback_transport_pair();
+        let (pcp_a2, pcp_b2) = (pcp_a.clone(), pcp_b.clone());
+        let ids2 = circuit_ids.clone();
+        let server = std::thread::spawn(move || {
+            let pcps = [&pcp_a2, &pcp_b2];
+            run_hetero_session_prover(&mut pt, &pcps, &ids2, &proofs, Duration::from_secs(5))
+                .unwrap()
+        });
+        let mut prg = ChaChaPrg::from_u64_seed(0xA11D7);
+        let pcps = [&pcp_a, &pcp_b];
+        let report = run_hetero_session_verifier(
+            &mut vt,
+            &pcps,
+            &circuit_ids,
+            &ios,
+            &RetryPolicy::fast(),
+            &mut prg,
+        )
+        .unwrap();
+        assert_eq!(report.outcomes[0], VerifyOutcome::Accepted);
+        assert_eq!(report.outcomes[1], VerifyOutcome::Accepted);
+        assert_eq!(report.outcomes[2], VerifyOutcome::Accepted);
+        assert_eq!(report.outcomes[3], VerifyOutcome::Rejected);
+        let stats = server.join().unwrap();
+        assert_eq!(stats.responses_served, 4);
+        assert_eq!(stats.errors_reported, 0);
     }
 
     #[test]

@@ -288,6 +288,231 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
     }
 }
 
+/// PRG stream offset for per-circuit secrets in a heterogeneous
+/// session: circuit `c` draws from `prg.fork(HETERO_PRG_STREAM_BASE + c)`.
+///
+/// Streams 0 and 1 stay reserved for the legacy single-circuit path
+/// (main draw and retry jitter). Pinning the convention here makes a
+/// heterogeneous session *transcript-compatible* with isolated
+/// per-circuit sessions: an isolated [`SessionVerifier`] seeded from
+/// the same fork produces byte-identical setup blobs and therefore
+/// byte-identical instance responses.
+pub const HETERO_PRG_STREAM_BASE: u64 = 2;
+
+/// The verifier endpoint of a *heterogeneous* session: one session,
+/// several circuits, each batch instance tagged with the circuit it
+/// belongs to. Wraps one [`SessionVerifier`] per circuit; all secrets
+/// for circuit `c` come from `prg.fork(HETERO_PRG_STREAM_BASE + c)`.
+pub struct HeteroSessionVerifier<'p, F: HasGroup, D> {
+    verifiers: Vec<SessionVerifier<'p, F, D>>,
+    circuit_ids: Vec<u32>,
+    /// Total bytes sent by the verifier.
+    pub bytes_sent: u64,
+    /// Total bytes received by the verifier.
+    pub bytes_received: u64,
+}
+
+/// The prover endpoint of a heterogeneous session: one
+/// [`SessionProver`] per circuit, so each circuit's seed-derived
+/// queries are packed once ([`BatchQuerySet`]) and every instance of
+/// that circuit is answered off the same matrices (grouped answering).
+pub struct HeteroSessionProver<'p, F: HasGroup, D> {
+    pcps: Vec<&'p ZaatarPcp<F, D>>,
+    provers: Vec<SessionProver<'p, F, D>>,
+    circuit_ids: Vec<u32>,
+}
+
+impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> HeteroSessionVerifier<'p, F, D> {
+    /// Batch setup over `pcps.len()` circuits; `circuit_ids[i]` names
+    /// the circuit instance `i` runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any circuit id is out of range — the instance→circuit
+    /// assignment is the verifier's own data, not untrusted input.
+    pub fn new(
+        pcps: &[&'p ZaatarPcp<F, D>],
+        circuit_ids: &[u32],
+        prg: &ChaChaPrg,
+    ) -> Self {
+        assert!(
+            circuit_ids.iter().all(|&c| (c as usize) < pcps.len()),
+            "circuit id out of range"
+        );
+        let verifiers = pcps
+            .iter()
+            .enumerate()
+            .map(|(c, pcp)| {
+                let mut sub = prg.fork(HETERO_PRG_STREAM_BASE + c as u64);
+                SessionVerifier::new(pcp, &mut sub)
+            })
+            .collect();
+        HeteroSessionVerifier {
+            verifiers,
+            circuit_ids: circuit_ids.to_vec(),
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Instances in the batch.
+    pub fn batch_len(&self) -> usize {
+        self.circuit_ids.len()
+    }
+
+    /// Message 1 (V → P): the heterogeneous setup. Layout:
+    ///
+    /// ```text
+    /// u32 C                      circuit count
+    /// C × { u32 len ‖ bytes }    each circuit's legacy setup message
+    /// u32 B                      batch size
+    /// B × u32                    per-instance circuit id
+    /// ```
+    ///
+    /// Each embedded blob is byte-for-byte the [`SessionVerifier`]
+    /// setup message of that circuit.
+    pub fn setup_message(&mut self) -> Result<Vec<u8>, WireError> {
+        let mut w = Writer::new();
+        w.put_len(self.verifiers.len())?;
+        for v in &mut self.verifiers {
+            let blob = v.setup_message()?;
+            w.put_len(blob.len())?;
+            w.put_bytes(&blob);
+        }
+        w.put_len(self.circuit_ids.len())?;
+        for &c in &self.circuit_ids {
+            w.put_u32(c);
+        }
+        let bytes = w.finish();
+        self.bytes_sent += bytes.len() as u64;
+        Ok(bytes)
+    }
+
+    /// Verifies instance `i`'s message 2 against the circuit it was
+    /// assigned at construction. `io` is inputs then outputs in that
+    /// circuit's QAP order.
+    pub fn verify_instance(
+        &mut self,
+        i: usize,
+        message: &[u8],
+        io: &[F],
+    ) -> Result<bool, WireError> {
+        self.bytes_received += message.len() as u64;
+        let c = self.circuit_ids[i] as usize;
+        self.verifiers[c].verify_instance(message, io)
+    }
+}
+
+impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> HeteroSessionProver<'p, F, D> {
+    /// A prover endpoint awaiting the heterogeneous setup.
+    /// `circuit_ids[i]` is the circuit the prover's instance `i` (and
+    /// hence its `i`-th proof) belongs to — the prover's own batch
+    /// layout, validated against the verifier's announcement in
+    /// [`HeteroSessionProver::receive_setup`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any circuit id is out of range (local data, not wire
+    /// input).
+    pub fn new(pcps: &[&'p ZaatarPcp<F, D>], circuit_ids: &[u32]) -> Self {
+        assert!(
+            circuit_ids.iter().all(|&c| (c as usize) < pcps.len()),
+            "circuit id out of range"
+        );
+        HeteroSessionProver {
+            pcps: pcps.to_vec(),
+            provers: pcps.iter().map(|pcp| SessionProver::new(pcp)).collect(),
+            circuit_ids: circuit_ids.to_vec(),
+        }
+    }
+
+    /// Instances in the batch.
+    pub fn batch_len(&self) -> usize {
+        self.circuit_ids.len()
+    }
+
+    /// Processes the heterogeneous setup message. The framing (circuit
+    /// count, batch size, per-instance assignment) is validated against
+    /// the prover's own layout before any per-circuit state changes; a
+    /// failure in any embedded blob resets every circuit to unready, so
+    /// the endpoint is never half-initialised across circuits.
+    pub fn receive_setup(&mut self, message: &[u8]) -> Result<(), WireError> {
+        let mut r = Reader::new(message);
+        let c_count = r.get_u32()?;
+        let expect_c = u32::try_from(self.provers.len())
+            .map_err(|_| WireError::TooLong { len: self.provers.len() })?;
+        if c_count != expect_c {
+            return Err(WireError::CountMismatch { expected: expect_c, got: c_count });
+        }
+        let mut blobs: Vec<&[u8]> = Vec::with_capacity(c_count as usize);
+        for _ in 0..c_count {
+            let len = r.get_u32()? as usize;
+            blobs.push(r.get_bytes(len)?);
+        }
+        let b_count = r.get_u32()?;
+        let expect_b = u32::try_from(self.circuit_ids.len())
+            .map_err(|_| WireError::TooLong { len: self.circuit_ids.len() })?;
+        if b_count != expect_b {
+            return Err(WireError::CountMismatch { expected: expect_b, got: b_count });
+        }
+        for &expected in &self.circuit_ids {
+            let got = r.get_u32()?;
+            if got != expected {
+                return Err(WireError::CountMismatch { expected, got });
+            }
+        }
+        r.finish()?;
+        for (c, blob) in blobs.iter().enumerate() {
+            if let Err(e) = self.provers[c].receive_setup(blob) {
+                // Reset: no circuit may stay initialised under a setup
+                // that failed partway.
+                self.provers = self.pcps.iter().map(|pcp| SessionProver::new(pcp)).collect();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes a *legacy* single-circuit setup message. Only valid
+    /// when this endpoint carries exactly one circuit; keeps the wire
+    /// bytes of the single-circuit protocol unchanged so a legacy
+    /// verifier can talk to a hetero-capable server.
+    pub fn receive_legacy_setup(&mut self, message: &[u8]) -> Result<(), WireError> {
+        if self.provers.len() != 1 {
+            return Err(WireError::Invalid);
+        }
+        self.provers[0].receive_setup(message)
+    }
+
+    /// True once every circuit has a valid setup.
+    pub fn is_ready(&self) -> bool {
+        self.provers.iter().all(SessionProver::is_ready)
+    }
+
+    /// Produces instance `i`'s message 2 through that instance's
+    /// circuit. Bytes are identical to what an isolated
+    /// [`SessionProver`] for the same circuit and setup would emit.
+    pub fn instance_message(
+        &self,
+        i: usize,
+        proof: &ZaatarProof<F>,
+    ) -> Result<Vec<u8>, SessionError> {
+        self.instance_message_with(i, proof, &mut ProverWorkspace::new())
+    }
+
+    /// [`HeteroSessionProver::instance_message`] over a caller-owned
+    /// workspace.
+    pub fn instance_message_with(
+        &self,
+        i: usize,
+        proof: &ZaatarProof<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<Vec<u8>, SessionError> {
+        let c = self.circuit_ids[i] as usize;
+        self.provers[c].instance_message_with(proof, ws)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +630,129 @@ mod tests {
             prover.instance_message(&proofs[0]).unwrap_err(),
             SessionError::SetupNotReceived
         );
+    }
+
+    /// A second, structurally different circuit (`y = (x + y)·x`) for
+    /// heterogeneous-batch tests.
+    #[allow(clippy::type_complexity)]
+    fn fixture_b(
+        inputs: &[[i64; 2]],
+    ) -> (
+        ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>,
+        Vec<ZaatarProof<F61>>,
+        Vec<Vec<F61>>,
+    ) {
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let s = x.add(&y);
+        let p = b.mul(&s, &x);
+        b.bind_output(&p);
+        let (sys, solver) = b.finish();
+        let t = ginger_to_quad(&sys);
+        let qap = Qap::new(&t.system);
+        let pcp = ZaatarPcp::new(qap, PcpParams::light());
+        let mut proofs = Vec::new();
+        let mut ios = Vec::new();
+        for pair in inputs {
+            let asg = solver
+                .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
+                .unwrap();
+            let ext = t.extend_assignment(&asg);
+            let w = pcp.qap().witness(&ext);
+            proofs.push(pcp.prove(&w).unwrap());
+            ios.push(
+                pcp.qap()
+                    .var_map()
+                    .inputs()
+                    .iter()
+                    .chain(pcp.qap().var_map().outputs())
+                    .map(|v| ext.get(*v))
+                    .collect(),
+            );
+        }
+        (pcp, proofs, ios)
+    }
+
+    #[test]
+    fn hetero_session_mixes_circuits_and_matches_isolated_bytes() {
+        let (pcp_a, proofs_a, ios_a) = fixture(&[[3, 7], [5, 5]]);
+        let (pcp_b, proofs_b, ios_b) = fixture_b(&[[2, 9], [4, 1]]);
+        // Interleave: a0, b0, a1, b1.
+        let circuit_ids = [0u32, 1, 0, 1];
+        let proofs = [&proofs_a[0], &proofs_b[0], &proofs_a[1], &proofs_b[1]];
+        let ios = [&ios_a[0], &ios_b[0], &ios_a[1], &ios_b[1]];
+        let prg = ChaChaPrg::from_u64_seed(0x4e7e);
+        let pcps = [&pcp_a, &pcp_b];
+        let mut verifier = HeteroSessionVerifier::new(&pcps, &circuit_ids, &prg);
+        let mut prover = HeteroSessionProver::new(&pcps, &circuit_ids);
+        assert!(!prover.is_ready());
+        let setup = verifier.setup_message().unwrap();
+        prover.receive_setup(&setup).unwrap();
+        assert!(prover.is_ready());
+
+        // Isolated per-circuit sessions from the same PRG forks must
+        // produce byte-identical instance responses.
+        let mut iso_provers = Vec::new();
+        for (c, pcp) in pcps.iter().enumerate() {
+            let mut sub = prg.fork(HETERO_PRG_STREAM_BASE + c as u64);
+            let mut iso_v = SessionVerifier::new(pcp, &mut sub);
+            let mut iso_p = SessionProver::new(pcp);
+            iso_p.receive_setup(&iso_v.setup_message().unwrap()).unwrap();
+            iso_provers.push(iso_p);
+        }
+        for (i, (proof, io)) in proofs.iter().zip(ios).enumerate() {
+            let msg = prover.instance_message(i, proof).unwrap();
+            let iso = iso_provers[circuit_ids[i] as usize]
+                .instance_message(proof)
+                .unwrap();
+            assert_eq!(msg, iso, "instance {i} transcript diverged from isolated session");
+            assert!(verifier.verify_instance(i, &msg, io).unwrap());
+        }
+    }
+
+    #[test]
+    fn hetero_setup_with_mismatched_layout_is_refused() {
+        let (pcp_a, _, _) = fixture(&[[1, 2]]);
+        let (pcp_b, _, _) = fixture_b(&[[3, 4]]);
+        let prg = ChaChaPrg::from_u64_seed(0x4e7f);
+        let pcps = [&pcp_a, &pcp_b];
+        let mut verifier = HeteroSessionVerifier::new(&pcps, &[0, 1], &prg);
+        let setup = verifier.setup_message().unwrap();
+        // Prover expecting a different instance→circuit assignment.
+        let mut prover = HeteroSessionProver::new(&pcps, &[1, 0]);
+        assert!(prover.receive_setup(&setup).is_err());
+        assert!(!prover.is_ready());
+        // And one expecting a different batch size.
+        let mut prover = HeteroSessionProver::new(&pcps, &[0, 1, 1]);
+        assert!(prover.receive_setup(&setup).is_err());
+        assert!(!prover.is_ready());
+        // A truncated hetero setup leaves every circuit unready.
+        let mut prover = HeteroSessionProver::new(&pcps, &[0, 1]);
+        let mut bad = setup.clone();
+        bad.truncate(bad.len() - 2);
+        assert!(prover.receive_setup(&bad).is_err());
+        assert!(!prover.is_ready());
+        // The correct layout still works afterwards.
+        prover.receive_setup(&setup).unwrap();
+        assert!(prover.is_ready());
+    }
+
+    #[test]
+    fn legacy_setup_only_fits_single_circuit_endpoints() {
+        let (pcp_a, _, _) = fixture(&[[1, 2]]);
+        let (pcp_b, _, _) = fixture_b(&[[3, 4]]);
+        let mut prg = ChaChaPrg::from_u64_seed(0x4e80);
+        let mut legacy_v = SessionVerifier::new(&pcp_a, &mut prg);
+        let legacy_setup = legacy_v.setup_message().unwrap();
+        // Single-circuit hetero endpoint accepts the legacy bytes.
+        let mut single = HeteroSessionProver::new(&[&pcp_a], &[0, 0]);
+        single.receive_legacy_setup(&legacy_setup).unwrap();
+        assert!(single.is_ready());
+        // Multi-circuit endpoint refuses them.
+        let mut multi = HeteroSessionProver::new(&[&pcp_a, &pcp_b], &[0, 1]);
+        assert!(multi.receive_legacy_setup(&legacy_setup).is_err());
+        assert!(!multi.is_ready());
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::net::{TcpListener, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use zaatar_core::runtime::{errcode, msg};
-use zaatar_core::{parse_instance_index, ProverWorkspace, SessionError, SessionProver, ZaatarProof};
+use zaatar_core::{parse_instance_index, HeteroSessionProver, ProverWorkspace, SessionError, ZaatarProof};
 use zaatar_core::pcp::ZaatarPcp;
 use zaatar_crypto::HasGroup;
 use zaatar_field::PrimeField;
@@ -205,7 +205,7 @@ enum SessionPhase {
 
 struct Session<'p, F: PrimeField + HasGroup, D: EvalDomain<F>> {
     transport: FramedTransport<BoxedLink>,
-    prover: SessionProver<'p, F, D>,
+    prover: HeteroSessionProver<'p, F, D>,
     cache: Vec<Option<Vec<u8>>>,
     ws: Option<ProverWorkspace<F>>,
     phase: SessionPhase,
@@ -230,7 +230,8 @@ enum Sweep {
 /// batched argument protocol to all of them concurrently (frame by
 /// frame, no thread per session), and degrades per session.
 pub struct SessionServer<'p, F: PrimeField + HasGroup, D: EvalDomain<F>> {
-    pcp: &'p ZaatarPcp<F, D>,
+    pcps: Vec<&'p ZaatarPcp<F, D>>,
+    circuit_ids: Vec<u32>,
     proofs: &'p [ZaatarProof<F>],
     config: ServerConfig,
     pool: WorkspacePool<F>,
@@ -244,12 +245,39 @@ where
     F: PrimeField + HasGroup,
     D: EvalDomain<F>,
 {
-    /// A server for one proof batch. Every admitted verifier session
-    /// negotiates its own setup and is answered from `proofs`.
+    /// A server for one proof batch over a single circuit. Every
+    /// admitted verifier session negotiates its own setup and is
+    /// answered from `proofs`. Wire behaviour (legacy `SETUP` frames
+    /// included) is unchanged from before heterogeneous batches.
     pub fn new(pcp: &'p ZaatarPcp<F, D>, proofs: &'p [ZaatarProof<F>], config: ServerConfig) -> Self {
+        Self::new_hetero(&[pcp], &vec![0; proofs.len()], proofs, config)
+    }
+
+    /// A server for a *heterogeneous* proof batch: `proofs[i]` belongs
+    /// to circuit `circuit_ids[i]` of `pcps`. Admitted sessions accept
+    /// `HSETUP` frames (and legacy `SETUP` when only one circuit is
+    /// configured), answering each instance through its own circuit's
+    /// packed query set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit_ids` and `proofs` disagree in length or any
+    /// id is out of range — server configuration, not wire input.
+    pub fn new_hetero(
+        pcps: &[&'p ZaatarPcp<F, D>],
+        circuit_ids: &[u32],
+        proofs: &'p [ZaatarProof<F>],
+        config: ServerConfig,
+    ) -> Self {
+        assert_eq!(circuit_ids.len(), proofs.len(), "one circuit id per proof");
+        assert!(
+            circuit_ids.iter().all(|&c| (c as usize) < pcps.len()),
+            "circuit id out of range"
+        );
         let pool = WorkspacePool::new(config.pool_capacity);
         SessionServer {
-            pcp,
+            pcps: pcps.to_vec(),
+            circuit_ids: circuit_ids.to_vec(),
             proofs,
             config,
             pool,
@@ -257,6 +285,12 @@ where
             next_id: 0,
             stats: ServerStats::default(),
         }
+    }
+
+    /// Circuits this server carries (1 for a legacy single-circuit
+    /// server).
+    pub fn num_circuits(&self) -> usize {
+        self.pcps.len()
     }
 
     /// Live sessions right now.
@@ -329,7 +363,7 @@ where
             id,
             Session {
                 transport,
-                prover: SessionProver::new(self.pcp),
+                prover: HeteroSessionProver::new(&self.pcps, &self.circuit_ids),
                 cache: vec![None; self.proofs.len()],
                 ws: Some(ws),
                 phase: SessionPhase::AwaitingSetup,
@@ -353,12 +387,7 @@ where
         let ids: Vec<SessionId> = self.sessions.keys().copied().collect();
         for id in ids {
             let session = self.sessions.get_mut(&id).expect("live session");
-            let (sweep, frames) = Self::sweep_session(
-                session,
-                self.pcp,
-                self.proofs,
-                &self.config,
-            );
+            let (sweep, frames) = Self::sweep_session(session, self.proofs, &self.config);
             self.stats.frames_processed += frames;
             if let Sweep::Done(outcome) = sweep {
                 // Measure pressure while the dying session's workspace
@@ -424,7 +453,6 @@ where
     /// the sweep verdict and how many valid frames were consumed.
     fn sweep_session(
         session: &mut Session<'p, F, D>,
-        _pcp: &'p ZaatarPcp<F, D>,
         proofs: &'p [ZaatarProof<F>],
         config: &ServerConfig,
     ) -> (Sweep, u64) {
@@ -472,8 +500,15 @@ where
             session.last_activity = Instant::now();
             session.last_seq = frame.seq;
             let reply = match frame.msg_type {
-                msg::SETUP => {
-                    match session.prover.receive_setup(&frame.payload) {
+                msg::SETUP | msg::HSETUP => {
+                    // Legacy SETUP keeps its single-circuit byte path;
+                    // HSETUP carries the multi-circuit layout.
+                    let received = if frame.msg_type == msg::HSETUP {
+                        session.prover.receive_setup(&frame.payload)
+                    } else {
+                        session.prover.receive_legacy_setup(&frame.payload)
+                    };
+                    match received {
                         Ok(()) => {
                             // A (re)setup invalidates responses cached
                             // under the previous one.
@@ -492,7 +527,7 @@ where
                             Some(bytes) => Ok(bytes.clone()),
                             None => session
                                 .prover
-                                .instance_message_with(&proofs[idx], ws)
+                                .instance_message_with(idx, &proofs[idx], ws)
                                 .inspect(|bytes| session.cache[idx] = Some(bytes.clone())),
                         };
                         match cached {

@@ -7,10 +7,10 @@
 //! guarantee at the serialization level, across worker counts, seeds,
 //! and the session-prover wire path.
 
-use zaatar::cc::{ginger_to_quad, Builder};
+use zaatar::cc::Builder;
 use zaatar::core::commit::{decommit, decommit_packed};
-use zaatar::core::pcp::{BatchQuerySet, PcpParams, PcpResponses, ZaatarPcp, ZaatarProof};
-use zaatar::core::qap::{Qap, QapWitness};
+use zaatar::core::pcp::{BatchQuerySet, PcpResponses, ZaatarPcp, ZaatarProof};
+use zaatar::core::qap::QapWitness;
 use zaatar::core::runtime::{answer_batch, prove_batch, prove_batch_with};
 use zaatar::core::session::{SessionProver, SessionVerifier};
 use zaatar::core::workspace::ProverWorkspace;
@@ -25,10 +25,9 @@ fn f(x: i64) -> F61 {
 }
 
 /// y = (a − b)² + min(a, b): mul, square, and comparison gadgets give
-/// the QAP some width. Returns the witnesses rather than proofs so
-/// tests can choose the proving path ([`fixture`] proves them through
-/// the allocating single-instance route).
-fn fixture_witnesses(inputs: &[[i64; 2]]) -> (Pcp, Vec<QapWitness<F61>>, Vec<Vec<F61>>) {
+/// the QAP some width. The circuit is built here; the
+/// solve/extend/prove pipeline is the shared [`circuit_fixture`].
+fn build_fixture(inputs: &[[i64; 2]]) -> zaatar::core::testutil::CircuitFixture {
     let mut b = Builder::<F61>::new();
     let a = b.alloc_input();
     let bb = b.alloc_input();
@@ -37,32 +36,21 @@ fn fixture_witnesses(inputs: &[[i64; 2]]) -> (Pcp, Vec<QapWitness<F61>>, Vec<Vec
     let mn = b.min(&a, &bb, 10);
     b.bind_output(&sq.add(&mn));
     let (sys, solver) = b.finish();
-    let t = ginger_to_quad(&sys);
-    let qap = Qap::new(&t.system);
-    let pcp = ZaatarPcp::new(qap, PcpParams::light());
-    let mut witnesses = Vec::new();
-    let mut ios = Vec::new();
-    for pair in inputs {
-        let asg = solver.solve(&[f(pair[0]), f(pair[1])]).unwrap();
-        let ext = t.extend_assignment(&asg);
-        let io: Vec<F61> = pcp
-            .qap()
-            .var_map()
-            .inputs()
-            .iter()
-            .chain(pcp.qap().var_map().outputs())
-            .map(|v| ext.get(*v))
-            .collect();
-        witnesses.push(pcp.qap().witness(&ext));
-        ios.push(io);
-    }
-    (pcp, witnesses, ios)
+    let field_inputs: Vec<Vec<F61>> = inputs
+        .iter()
+        .map(|pair| vec![f(pair[0]), f(pair[1])])
+        .collect();
+    zaatar::core::testutil::circuit_fixture(&sys, &solver, &field_inputs)
+}
+
+fn fixture_witnesses(inputs: &[[i64; 2]]) -> (Pcp, Vec<QapWitness<F61>>, Vec<Vec<F61>>) {
+    let fx = build_fixture(inputs);
+    (fx.pcp, fx.witnesses, fx.ios)
 }
 
 fn fixture(inputs: &[[i64; 2]]) -> (Pcp, Vec<ZaatarProof<F61>>, Vec<Vec<F61>>) {
-    let (pcp, witnesses, ios) = fixture_witnesses(inputs);
-    let proofs = witnesses.iter().map(|w| pcp.prove(w).unwrap()).collect();
-    (pcp, proofs, ios)
+    let fx = build_fixture(inputs);
+    (fx.pcp, fx.proofs, fx.ios)
 }
 
 fn response_bytes(r: &PcpResponses<F61>) -> Vec<u8> {

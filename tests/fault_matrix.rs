@@ -17,54 +17,22 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use zaatar_cc::{ginger_to_quad, Builder};
-use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
-use zaatar_core::qap::Qap;
-use zaatar_core::runtime::{run_session_prover, run_session_verifier, VerifyOutcome};
+use zaatar_core::runtime::{
+    msg, run_hetero_session_prover, run_hetero_session_verifier, run_session_prover,
+    run_session_verifier, VerifyOutcome,
+};
+use zaatar_core::testutil::{mul_eq_fixture, mul_fixture, CircuitFixture};
+use zaatar_core::{
+    HeteroSessionVerifier, SessionProver, SessionVerifier, HETERO_PRG_STREAM_BASE,
+};
 use zaatar_crypto::ChaChaPrg;
 use zaatar_field::{Field, F61};
 use zaatar_transport::{
-    faulty_loopback_pair, FaultConfig, FaultKind, RetryPolicy,
+    exchange, faulty_loopback_pair, FaultConfig, FaultKind, Frame, RetryPolicy, Transport,
 };
 
-type Pcp = ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>;
-
-struct Fixture {
-    pcp: Pcp,
-    proofs: Vec<ZaatarProof<F61>>,
-    ios: Vec<Vec<F61>>,
-}
-
-fn fixture() -> Fixture {
-    let mut b = Builder::<F61>::new();
-    let x = b.alloc_input();
-    let y = b.alloc_input();
-    let p = b.mul(&x, &y);
-    b.bind_output(&p);
-    let (sys, solver) = b.finish();
-    let t = ginger_to_quad(&sys);
-    let qap = Qap::new(&t.system);
-    let pcp = ZaatarPcp::new(qap, PcpParams::light());
-    let mut proofs = Vec::new();
-    let mut ios = Vec::new();
-    for pair in [[3i64, 7], [5, 11]] {
-        let asg = solver
-            .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
-            .unwrap();
-        let ext = t.extend_assignment(&asg);
-        let w = pcp.qap().witness(&ext);
-        proofs.push(pcp.prove(&w).unwrap());
-        ios.push(
-            pcp.qap()
-                .var_map()
-                .inputs()
-                .iter()
-                .chain(pcp.qap().var_map().outputs())
-                .map(|v| ext.get(*v))
-                .collect(),
-        );
-    }
-    Fixture { pcp, proofs, ios }
+fn fixture() -> CircuitFixture {
+    mul_fixture(&[[3, 7], [5, 11]])
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -89,7 +57,7 @@ struct Tally {
     fatal_sessions: u64,
 }
 
-fn run_scenario(fx: &Arc<Fixture>, sc: Scenario, tally: &mut Tally) {
+fn run_scenario(fx: &Arc<CircuitFixture>, sc: Scenario, tally: &mut Tally) {
     let policy = RetryPolicy {
         deadline: Duration::from_secs(5),
         initial_timeout: Duration::from_millis(10),
@@ -268,5 +236,276 @@ fn hostile_channel_session_keeps_its_verdicts_straight() {
         assert_ne!(report.outcomes[1], VerifyOutcome::Accepted, "seed {seed}");
         assert_ne!(report.outcomes[0], VerifyOutcome::Rejected, "seed {seed}");
         server.join().unwrap().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous-batch wave: the same seeded fault injector, but every
+// session carries a mixed-circuit batch (two distinct circuits
+// interleaved) through the hetero runtime endpoints. Capped via
+// `ZAATAR_SOAK_SCENARIOS` like the other sweeps.
+// ---------------------------------------------------------------------------
+
+/// Two distinct circuits plus a four-instance interleaved batch layout.
+struct HeteroFixture {
+    mul: CircuitFixture,
+    mul_eq: CircuitFixture,
+    circuit_ids: Vec<u32>,
+    proofs: Vec<zaatar_core::pcp::ZaatarProof<F61>>,
+    ios: Vec<Vec<F61>>,
+}
+
+fn hetero_fixture() -> HeteroFixture {
+    let mul = mul_fixture(&[[3, 7], [5, 11]]);
+    let mul_eq = mul_eq_fixture(&[[4, 4], [2, 9]]);
+    let circuit_ids = vec![0u32, 1, 0, 1];
+    let proofs = vec![
+        mul.proofs[0].clone(),
+        mul_eq.proofs[0].clone(),
+        mul.proofs[1].clone(),
+        mul_eq.proofs[1].clone(),
+    ];
+    let ios = vec![
+        mul.ios[0].clone(),
+        mul_eq.ios[0].clone(),
+        mul.ios[1].clone(),
+        mul_eq.ios[1].clone(),
+    ];
+    HeteroFixture { mul, mul_eq, circuit_ids, proofs, ios }
+}
+
+fn run_hetero_scenario(fx: &Arc<HeteroFixture>, sc: Scenario, tally: &mut Tally) {
+    let policy = RetryPolicy {
+        deadline: Duration::from_secs(5),
+        initial_timeout: Duration::from_millis(10),
+        backoff_factor: 2,
+        max_timeout: Duration::from_millis(200),
+        max_retransmits: 10,
+    };
+    let config = FaultConfig {
+        max_delay: Duration::from_millis(20),
+        ..FaultConfig::none()
+    };
+    let (mut vt, mut pt) = faulty_loopback_pair(sc.seed, config);
+    if sc.fault_v_to_p {
+        vt.link_mut().inject_at(sc.target_send, sc.kind);
+    } else {
+        pt.link_mut().inject_at(sc.target_send, sc.kind);
+    }
+
+    let fx2 = fx.clone();
+    let server = std::thread::spawn(move || {
+        let pcps = [&fx2.mul.pcp, &fx2.mul_eq.pcp];
+        run_hetero_session_prover(
+            &mut pt,
+            &pcps,
+            &fx2.circuit_ids,
+            &fx2.proofs,
+            Duration::from_secs(8),
+        )
+    });
+
+    let mut ios = fx.ios.clone();
+    if !sc.honest {
+        let last = ios[1].len() - 1;
+        ios[1][last] += F61::ONE;
+    }
+    let pcps = [&fx.mul.pcp, &fx.mul_eq.pcp];
+    let mut prg = ChaChaPrg::from_u64_seed(sc.seed ^ 0xFA17);
+    let started = Instant::now();
+    let result =
+        run_hetero_session_verifier(&mut vt, &pcps, &fx.circuit_ids, &ios, &policy, &mut prg);
+    let elapsed = started.elapsed();
+    assert!(elapsed < Duration::from_secs(26), "{sc:?}: session ran {elapsed:?}");
+
+    tally.scenarios += 1;
+    match result {
+        Ok(report) => {
+            assert_eq!(report.outcomes.len(), ios.len(), "{sc:?}");
+            for (i, outcome) in report.outcomes.iter().enumerate() {
+                tally.instances += 1;
+                match outcome {
+                    VerifyOutcome::Accepted => {
+                        assert!(sc.honest || i != 1, "{sc:?}: accepted an invalid hetero claim");
+                        tally.accepted += 1;
+                    }
+                    VerifyOutcome::Rejected => {
+                        assert!(!(sc.honest || i != 1), "{sc:?}: rejected an honest hetero instance");
+                    }
+                    VerifyOutcome::Malformed(e) => panic!("{sc:?}: instance {i} malformed: {e}"),
+                    VerifyOutcome::TimedOut => tally.timed_out += 1,
+                }
+            }
+        }
+        Err(_) => tally.fatal_sessions += 1,
+    }
+
+    server
+        .join()
+        .unwrap_or_else(|_| panic!("{sc:?}: hetero prover panicked"))
+        .unwrap_or_else(|e| panic!("{sc:?}: hetero prover fatal error {e}"));
+}
+
+/// The mixed-circuit session survives the single-fault matrix with the
+/// same typed-verdict invariants as the homogeneous sweep.
+#[test]
+fn hetero_fault_matrix_wave() {
+    let fx = Arc::new(hetero_fixture());
+    let mut scenarios = Vec::new();
+    let mut flip = false;
+    for seed in 0..12u64 {
+        for kind in FaultKind::ALL {
+            for fault_v_to_p in [true, false] {
+                for target_send in [0u64, 1] {
+                    flip = !flip;
+                    scenarios.push(Scenario {
+                        seed: seed * 1000 + kind as u64 * 10 + target_send + 0x4e70,
+                        kind,
+                        fault_v_to_p,
+                        target_send,
+                        honest: flip,
+                    });
+                }
+            }
+        }
+    }
+    if let Some(cap) = std::env::var("ZAATAR_SOAK_SCENARIOS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+    {
+        scenarios.truncate(cap);
+    }
+
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    let chunks: Vec<Vec<Scenario>> = scenarios
+        .chunks(scenarios.len().div_ceil(workers).max(1))
+        .map(<[Scenario]>::to_vec)
+        .collect();
+    let handles: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let fx = fx.clone();
+            std::thread::spawn(move || {
+                let mut tally = Tally::default();
+                for sc in chunk {
+                    run_hetero_scenario(&fx, sc, &mut tally);
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut total = Tally::default();
+    for handle in handles {
+        let tally = handle.join().expect("worker panicked (scenario inside panicked)");
+        total.scenarios += tally.scenarios;
+        total.instances += tally.instances;
+        total.accepted += tally.accepted;
+        total.timed_out += tally.timed_out;
+        total.fatal_sessions += tally.fatal_sessions;
+    }
+
+    assert_eq!(total.scenarios, scenarios.len() as u64);
+    assert_eq!(total.fatal_sessions, 0, "hetero sessions failed fatally");
+    assert!(
+        total.timed_out * 100 <= total.instances,
+        "{} of {} hetero instances timed out",
+        total.timed_out,
+        total.instances
+    );
+    assert!(total.accepted * 2 > total.instances, "too few accepts: {}/{}", total.accepted, total.instances);
+}
+
+/// Byte-identity through a lossy channel: a hand-driven client collects
+/// every INSTANCE_RESP payload from the hetero serving loop and demands
+/// equality with isolated single-circuit reference provers seeded from
+/// the pinned fork schedule. Retransmits, duplicates, and grouped
+/// answering must leave no fingerprint on the transcript.
+#[test]
+fn hetero_responses_byte_identical_to_isolated_reference() {
+    let fx = Arc::new(hetero_fixture());
+    let seed = 0x4e7e_0b17u64;
+    let config = FaultConfig::uniform(30, Duration::from_millis(3));
+    let (mut vt, mut pt) = faulty_loopback_pair(seed, config);
+
+    let fx2 = fx.clone();
+    let server = std::thread::spawn(move || {
+        let pcps = [&fx2.mul.pcp, &fx2.mul_eq.pcp];
+        run_hetero_session_prover(
+            &mut pt,
+            &pcps,
+            &fx2.circuit_ids,
+            &fx2.proofs,
+            Duration::from_secs(10),
+        )
+    });
+
+    let pcps = [&fx.mul.pcp, &fx.mul_eq.pcp];
+    let prg = ChaChaPrg::from_u64_seed(seed ^ 0x1D);
+    let mut verifier = HeteroSessionVerifier::new(&pcps, &fx.circuit_ids, &prg);
+    let setup_bytes = verifier.setup_message().expect("setup serializes");
+    let mut retry_prg = prg.fork(1);
+    let policy = RetryPolicy::fast();
+    let ack = exchange(
+        &mut vt,
+        &Frame::new(msg::HSETUP, 0, setup_bytes),
+        &[msg::SETUP_ACK, msg::ERROR],
+        &policy,
+        &mut retry_prg,
+    )
+    .expect("hetero setup exchange");
+    assert_eq!(ack.response.msg_type, msg::SETUP_ACK);
+
+    let mut responses = Vec::new();
+    for idx in 0..fx.proofs.len() {
+        let req = Frame::new(
+            msg::INSTANCE_REQ,
+            (idx + 1) as u32,
+            (idx as u32).to_le_bytes().to_vec(),
+        );
+        let out = exchange(
+            &mut vt,
+            &req,
+            &[msg::INSTANCE_RESP, msg::ERROR],
+            &policy,
+            &mut retry_prg,
+        )
+        .expect("instance exchange");
+        assert_eq!(out.response.msg_type, msg::INSTANCE_RESP, "instance {idx}");
+        assert!(
+            verifier
+                .verify_instance(idx, &out.response.payload, &fx.ios[idx])
+                .expect("well-formed response"),
+            "instance {idx}"
+        );
+        responses.push(out.response.payload);
+    }
+    let _ = vt.send(&Frame::new(msg::DONE, u32::MAX, Vec::new()));
+    server.join().expect("prover panicked").expect("prover fatal error");
+
+    // Replay against isolated per-circuit sessions seeded from the same
+    // fork schedule the hetero verifier pins.
+    for (c, pcp) in pcps.iter().enumerate() {
+        let mut sub = prg.fork(HETERO_PRG_STREAM_BASE + c as u64);
+        let mut ref_verifier = SessionVerifier::new(pcp, &mut sub);
+        let mut ref_prover = SessionProver::new(pcp);
+        ref_prover
+            .receive_setup(&ref_verifier.setup_message().expect("reference setup"))
+            .expect("reference prover accepts setup");
+        for (idx, &cid) in fx.circuit_ids.iter().enumerate() {
+            if cid as usize != c {
+                continue;
+            }
+            let expected = ref_prover
+                .instance_message(&fx.proofs[idx])
+                .expect("reference prover answers");
+            assert_eq!(
+                responses[idx], expected,
+                "instance {idx} (circuit {c}): served bytes diverge from isolated reference"
+            );
+            assert!(ref_verifier
+                .verify_instance(&expected, &fx.ios[idx])
+                .expect("reference verifies"));
+        }
     }
 }

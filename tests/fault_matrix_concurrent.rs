@@ -21,10 +21,8 @@ use std::sync::mpsc::{self, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use zaatar_cc::{ginger_to_quad, Builder};
-use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
-use zaatar_core::qap::Qap;
 use zaatar_core::runtime::{msg, run_session_verifier, VerifyOutcome};
+use zaatar_core::testutil::{mul_fixture, CircuitFixture};
 use zaatar_core::{SessionProver, SessionVerifier};
 use zaatar_crypto::ChaChaPrg;
 use zaatar_field::{Field, F61};
@@ -34,44 +32,8 @@ use zaatar_transport::{
     RetryPolicy, Transport,
 };
 
-type Pcp = ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>;
-
-struct Fixture {
-    pcp: Pcp,
-    proofs: Vec<ZaatarProof<F61>>,
-    ios: Vec<Vec<F61>>,
-}
-
-fn fixture() -> Fixture {
-    let mut b = Builder::<F61>::new();
-    let x = b.alloc_input();
-    let y = b.alloc_input();
-    let p = b.mul(&x, &y);
-    b.bind_output(&p);
-    let (sys, solver) = b.finish();
-    let t = ginger_to_quad(&sys);
-    let qap = Qap::new(&t.system);
-    let pcp = ZaatarPcp::new(qap, PcpParams::light());
-    let mut proofs = Vec::new();
-    let mut ios = Vec::new();
-    for pair in [[3i64, 7], [5, 11]] {
-        let asg = solver
-            .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
-            .unwrap();
-        let ext = t.extend_assignment(&asg);
-        let w = pcp.qap().witness(&ext);
-        proofs.push(pcp.prove(&w).unwrap());
-        ios.push(
-            pcp.qap()
-                .var_map()
-                .inputs()
-                .iter()
-                .chain(pcp.qap().var_map().outputs())
-                .map(|v| ext.get(*v))
-                .collect(),
-        );
-    }
-    Fixture { pcp, proofs, ios }
+fn fixture() -> CircuitFixture {
+    mul_fixture(&[[3, 7], [5, 11]])
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -139,7 +101,7 @@ struct ServerReport {
 /// Runs one server on its own thread, admitting every transport that
 /// arrives on `rx` until the channel closes and all sessions drain.
 fn serve_all(
-    fx: &Fixture,
+    fx: &CircuitFixture,
     rx: mpsc::Receiver<FaultyTransport<LoopbackLink>>,
     plateau_after: u64,
 ) -> ServerReport {
@@ -200,7 +162,7 @@ fn serve_all(
 /// One client-side scenario against the shared server: identical
 /// invariants to the serial sweep's `run_scenario`, minus the per-run
 /// prover thread (the server is everyone's prover now).
-fn run_client(fx: &Fixture, sc: Scenario, mut vt: FaultyTransport<LoopbackLink>) -> Tally {
+fn run_client(fx: &CircuitFixture, sc: Scenario, mut vt: FaultyTransport<LoopbackLink>) -> Tally {
     let mut tally = Tally::default();
     let mut ios = fx.ios.clone();
     if !sc.honest {

@@ -23,25 +23,17 @@
 //! that batch amortization neither leaks rejections into honest
 //! instances nor lets a cheat hide behind an honest neighbour.
 
-use zaatar::cc::{ginger_to_quad, Builder};
 use zaatar::core::argument::Verifier;
 use zaatar::core::commit::{decommit, decommit_packed, CommitmentKey, Decommitment};
-use zaatar::core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
-use zaatar::core::qap::{Qap, QapWitness};
+use zaatar::core::pcp::{PcpParams, ZaatarProof};
+use zaatar::core::qap::QapWitness;
+use zaatar::core::testutil::{circuit_fixture_with, CircuitFixture as Fixture, TestPcp as Pcp};
+use zaatar::cc::Builder;
 use zaatar::crypto::ChaChaPrg;
 use zaatar::field::{Field, F61};
-use zaatar::poly::Radix2Domain;
-
-type Pcp = ZaatarPcp<F61, Radix2Domain<F61>>;
 
 fn f(x: i64) -> F61 {
     F61::from_i64(x)
-}
-
-struct Fixture {
-    pcp: Pcp,
-    witnesses: Vec<QapWitness<F61>>,
-    ios: Vec<Vec<F61>>,
 }
 
 /// y = a·b + min(a, b), over a batch of inputs.
@@ -53,29 +45,11 @@ fn fixture(inputs: &[[i64; 2]]) -> Fixture {
     let mn = b.min(&a, &bb, 10);
     b.bind_output(&prod.add(&mn));
     let (sys, solver) = b.finish();
-    let t = ginger_to_quad(&sys);
-    let qap = Qap::new(&t.system);
-    let mut witnesses = Vec::new();
-    let mut ios = Vec::new();
-    for pair in inputs {
-        let asg = solver.solve(&[f(pair[0]), f(pair[1])]).unwrap();
-        let ext = t.extend_assignment(&asg);
-        assert!(t.system.is_satisfied(&ext));
-        witnesses.push(qap.witness(&ext));
-        ios.push(
-            qap.var_map()
-                .inputs()
-                .iter()
-                .chain(qap.var_map().outputs())
-                .map(|v| ext.get(*v))
-                .collect(),
-        );
-    }
-    Fixture {
-        pcp: ZaatarPcp::new(qap, PcpParams { rho: 3, rho_lin: 4 }),
-        witnesses,
-        ios,
-    }
+    let field_inputs: Vec<Vec<F61>> = inputs
+        .iter()
+        .map(|pair| vec![f(pair[0]), f(pair[1])])
+        .collect();
+    circuit_fixture_with(&sys, &solver, &field_inputs, PcpParams { rho: 3, rho_lin: 4 })
 }
 
 /// A per-answer warp applied to (z, h) decommitments, modelling a

@@ -7,56 +7,18 @@
 
 use std::time::{Duration, Instant};
 
-use zaatar_cc::{ginger_to_quad, Builder};
-use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
-use zaatar_core::qap::Qap;
 use zaatar_core::runtime::{errcode, msg, run_session_verifier};
+use zaatar_core::testutil::{mul_fixture, CircuitFixture};
 use zaatar_core::{SessionError, SessionVerifier};
 use zaatar_crypto::ChaChaPrg;
-use zaatar_field::{Field, F61};
+use zaatar_field::F61;
 use zaatar_server::{Admission, RejectReason, ServerConfig, SessionOutcome, SessionServer};
 use zaatar_transport::{
     loopback_transport_pair, Frame, LoopbackTransport, RetryPolicy, Transport, TransportError,
 };
 
-type Pcp = ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>;
-
-struct Fixture {
-    pcp: Pcp,
-    proofs: Vec<ZaatarProof<F61>>,
-    ios: Vec<Vec<F61>>,
-}
-
-fn fixture() -> Fixture {
-    let mut b = Builder::<F61>::new();
-    let x = b.alloc_input();
-    let y = b.alloc_input();
-    let p = b.mul(&x, &y);
-    b.bind_output(&p);
-    let (sys, solver) = b.finish();
-    let t = ginger_to_quad(&sys);
-    let qap = Qap::new(&t.system);
-    let pcp = ZaatarPcp::new(qap, PcpParams::light());
-    let mut proofs = Vec::new();
-    let mut ios = Vec::new();
-    for pair in [[3i64, 7], [5, 11]] {
-        let asg = solver
-            .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
-            .unwrap();
-        let ext = t.extend_assignment(&asg);
-        let w = pcp.qap().witness(&ext);
-        proofs.push(pcp.prove(&w).unwrap());
-        ios.push(
-            pcp.qap()
-                .var_map()
-                .inputs()
-                .iter()
-                .chain(pcp.qap().var_map().outputs())
-                .map(|v| ext.get(*v))
-                .collect(),
-        );
-    }
-    Fixture { pcp, proofs, ios }
+fn fixture() -> CircuitFixture {
+    mul_fixture(&[[3, 7], [5, 11]])
 }
 
 fn config() -> ServerConfig {
@@ -91,7 +53,7 @@ fn ask(
 /// it ends [`SessionOutcome::Served`]. Returns the client transport's
 /// final stats.
 fn run_full_session(
-    fx: &Fixture,
+    fx: &CircuitFixture,
     server: &mut SessionServer<'_, F61, zaatar_poly::Radix2Domain<F61>>,
     seed: u64,
 ) {

@@ -7,14 +7,12 @@
 //! be rejected in (nearly) all runs; the tests assert high rejection
 //! counts rather than perfection to keep them deterministic-flake-free.
 
-use zaatar::cc::{ginger_to_quad, Builder};
+use zaatar::cc::Builder;
 use zaatar::core::pcp::{PcpParams, ZaatarPcp};
-use zaatar::core::qap::{Qap, QapWitness};
+use zaatar::core::qap::QapWitness;
+use zaatar::core::testutil::{circuit_fixture_with, TestPcp as Pcp};
 use zaatar::crypto::ChaChaPrg;
 use zaatar::field::{Field, F61};
-use zaatar::poly::Radix2Domain;
-
-type Pcp = ZaatarPcp<F61, Radix2Domain<F61>>;
 
 fn f(x: i64) -> F61 {
     F61::from_i64(x)
@@ -29,19 +27,9 @@ fn fixture(inputs: [i64; 2]) -> (Pcp, QapWitness<F61>, Vec<F61>) {
     let mn = b.min(&a, &bb, 12);
     b.bind_output(&prod.add(&mn));
     let (sys, solver) = b.finish();
-    let t = ginger_to_quad(&sys);
-    let asg = solver.solve(&[f(inputs[0]), f(inputs[1])]).unwrap();
-    let ext = t.extend_assignment(&asg);
-    let qap = Qap::new(&t.system);
-    let w = qap.witness(&ext);
-    let io = qap
-        .var_map()
-        .inputs()
-        .iter()
-        .chain(qap.var_map().outputs())
-        .map(|v| ext.get(*v))
-        .collect();
-    (ZaatarPcp::new(qap, PcpParams { rho: 3, rho_lin: 4 }), w, io)
+    let ins = vec![vec![f(inputs[0]), f(inputs[1])]];
+    let mut fx = circuit_fixture_with(&sys, &solver, &ins, PcpParams { rho: 3, rho_lin: 4 });
+    (fx.pcp, fx.witnesses.remove(0), fx.ios.remove(0))
 }
 
 fn rejection_rate(

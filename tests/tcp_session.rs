@@ -4,47 +4,16 @@
 use std::net::TcpListener;
 use std::time::Duration;
 
-use zaatar_cc::{ginger_to_quad, Builder};
-use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
-use zaatar_core::qap::Qap;
+use zaatar_core::pcp::ZaatarProof;
 use zaatar_core::runtime::{run_session_prover, run_session_verifier, VerifyOutcome};
+use zaatar_core::testutil::{mul_eq_fixture, TestPcp as Pcp};
 use zaatar_crypto::ChaChaPrg;
 use zaatar_field::{Field, F61};
 use zaatar_transport::{RetryPolicy, TcpTransport};
 
-type Pcp = ZaatarPcp<F61, zaatar_poly::Radix2Domain<F61>>;
-
 fn fixture(inputs: &[[i64; 2]]) -> (Pcp, Vec<ZaatarProof<F61>>, Vec<Vec<F61>>) {
-    let mut b = Builder::<F61>::new();
-    let x = b.alloc_input();
-    let y = b.alloc_input();
-    let p = b.mul(&x, &y);
-    let e = b.is_eq(&x, &y);
-    b.bind_output(&p.add(&e));
-    let (sys, solver) = b.finish();
-    let t = ginger_to_quad(&sys);
-    let qap = Qap::new(&t.system);
-    let pcp = ZaatarPcp::new(qap, PcpParams::light());
-    let mut proofs = Vec::new();
-    let mut ios = Vec::new();
-    for pair in inputs {
-        let asg = solver
-            .solve(&[F61::from_i64(pair[0]), F61::from_i64(pair[1])])
-            .unwrap();
-        let ext = t.extend_assignment(&asg);
-        let w = pcp.qap().witness(&ext);
-        proofs.push(pcp.prove(&w).unwrap());
-        ios.push(
-            pcp.qap()
-                .var_map()
-                .inputs()
-                .iter()
-                .chain(pcp.qap().var_map().outputs())
-                .map(|v| ext.get(*v))
-                .collect(),
-        );
-    }
-    (pcp, proofs, ios)
+    let fx = mul_eq_fixture(inputs);
+    (fx.pcp, fx.proofs, fx.ios)
 }
 
 #[test]

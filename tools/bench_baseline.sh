@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
-# Regenerates the committed performance baseline, `BENCH_pr7.json`,
+# Regenerates the committed performance baseline, `BENCH_pr8.json`,
 # then runs the in-tree `cargo bench` groups for eyeball comparison:
 #
 #   tools/bench_baseline.sh            # full baseline (seconds)
 #   tools/bench_baseline.sh --smoke    # CI-sized workload
 #
 # `BENCH_seed.json` (schema v1), `BENCH_pr3.json` (schema v2),
-# `BENCH_pr4.json` (schema v3), `BENCH_pr5.json` (schema v4), and
-# `BENCH_pr6.json` (schema v5) are frozen earlier records kept for
-# before/after comparison; new snapshots land in `BENCH_pr7.json`
-# (schema v6, which adds the `commit` MSM-vs-reference section and
-# records post-clamp effective workers in `parallel`). Note the
-# percentile semantics change in v6 snapshots: `p50_ns`/`p99_ns` are
-# bucket upper bounds clamped to the observed max; frozen baselines
-# carry the old floor semantics.
+# `BENCH_pr4.json` (schema v3), `BENCH_pr5.json` (schema v4),
+# `BENCH_pr6.json` (schema v5), and `BENCH_pr7.json` (schema v6) are
+# frozen earlier records kept for before/after comparison; new
+# snapshots land in `BENCH_pr8.json` (schema v7, which adds the `cc`
+# section: per-app constraint counts before/after the `cc::opt` pass
+# pipeline with the fold/CSE/prune work tallies; the validator rejects
+# any baseline where the optimizer grew a circuit or shrank fewer than
+# three). Note the percentile semantics change introduced in v6
+# snapshots: `p50_ns`/`p99_ns` are bucket upper bounds clamped to the
+# observed max; older frozen baselines carry the old floor semantics.
 #
 # The baseline is emitted and schema-checked by the `bench_baseline`
 # binary (see crates/bench/src/bin/bench_baseline.rs); timings come
@@ -23,7 +25,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ARGS=("$@")
-OUT="BENCH_pr7.json"
+OUT="BENCH_pr8.json"
 
 echo "==> bench_baseline → ${OUT}"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \

@@ -57,14 +57,26 @@ cargo test -q -p zaatar-crypto --test proptests --locked --release -- \
     msm_matches_reference_across_widths_and_lengths \
     elgamal_inner_product_matches_naive
 
-# The validator enforces the full v6 schema, including the `ntt` and
+# Compiler smoke: every workload in the zoo (five suite apps + three
+# gadget apps) is rebuilt, run through the cc::opt pass pipeline, and
+# proved on both sides of the differential under the release profile —
+# the step fails if the optimizer ever increases a constraint or
+# witness count, if public IO drifts, or if the heterogeneous
+# SessionServer transcript stops matching isolated per-circuit
+# sessions byte for byte.
+echo "==> compiler smoke (optimizer differential + hetero acceptance, release)"
+cargo test -q -p zaatar --test compiler_differential --locked --release
+
+# The validator enforces the full v7 schema, including the `ntt` and
 # `pcp` sections (batch amortization must strictly reduce per-instance
 # query-setup cost), the `mem` section (the staged prover pipeline
 # must show a non-zero scratch-pool hit rate at batch size 16), the
 # `server` section (admissions must dominate rejections at nominal
-# load; synthetic overload must split deterministically), and the
-# `commit` section (the bucket MSM must beat the per-element loop by
-# ≥ 4× at the largest measured oracle length).
+# load; synthetic overload must split deterministically), the `commit`
+# section (the bucket MSM must beat the per-element loop by ≥ 4× at
+# the largest measured oracle length), and the `cc` section (the
+# optimizer must never grow a circuit and must strictly shrink at
+# least three zoo apps).
 echo "==> bench smoke (baseline emit + schema validation)"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
     --smoke --out target/bench_smoke.json
