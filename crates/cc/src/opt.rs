@@ -711,3 +711,30 @@ mod tests {
         assert_eq!(twice.report.pruned_vars, 0);
     }
 }
+
+#[cfg(test)]
+mod cycle_repro {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::ir::LinComb;
+    use zaatar_field::{Field, F61};
+
+    #[test]
+    fn cse_double_defined_vars_terminate() {
+        // w = x·y (c0), v = a·b (c1), then cross-enforce w = a·b (c2)
+        // and v = x·y (c3): each aux defined twice with mirrored RHS.
+        let mut b = Builder::<F61>::new();
+        let x = b.alloc_input();
+        let y = b.alloc_input();
+        let a = b.alloc_input();
+        let bb = b.alloc_input();
+        let w = b.mul(&x, &y);
+        let v = b.mul(&a, &bb);
+        b.enforce_product(&a, &bb, &w);
+        b.enforce_product(&x, &y, &v);
+        b.bind_output(&w.add(&v));
+        let (sys, _solver) = b.finish();
+        let opt = optimize(&sys);
+        assert!(opt.system.constraints.len() <= sys.constraints.len());
+    }
+}
