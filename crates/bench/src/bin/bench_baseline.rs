@@ -66,6 +66,18 @@
 //! validator enforces `ratio ≤ 1.0` for every app — the optimizer must
 //! never grow a circuit — and that it strictly shrinks at least three
 //! of them.
+//!
+//! Schema v8 (PR 9) adds a `stream` section: peak workspace residency
+//! (`ProverWorkspace::high_water_bytes`) of the monolithic prover next
+//! to the chunked streaming prover on the same witness, at two circuit
+//! sizes, with a byte-identity check on the produced proofs. The
+//! validator requires the sizes to be strictly increasing, every
+//! `identical` flag to be true, and the streaming peak to sit
+//! **strictly below** the monolithic peak at the larger size — the
+//! whole point of the streaming pipeline. The streaming run honors the
+//! `ZAATAR_MEM_BUDGET` environment knob (e.g. `256k`, `1m`): when set,
+//! it becomes a hard cap on the streaming workspace and the run aborts
+//! if any lease would exceed it.
 
 use std::time::{Duration, Instant};
 
@@ -76,6 +88,7 @@ use zaatar_core::pcp::{PcpParams, ZaatarPcp, ZaatarProof};
 use zaatar_core::qap::{Qap, QapWitness};
 use zaatar_core::runtime::{prove_batch, prove_batch_with, run_session_prover, run_session_verifier};
 use zaatar_core::workspace::ProverWorkspace;
+use zaatar_core::MemBudget;
 use zaatar_crypto::ChaChaPrg;
 use zaatar_field::{Field, F61};
 use zaatar_obs::json::{self, Value};
@@ -83,7 +96,7 @@ use zaatar_server::{Admission, ServerConfig, SessionServer};
 use zaatar_transport::{loopback_transport_pair, RetryPolicy};
 
 /// Schema identifier written into (and required from) every baseline.
-const SCHEMA: &str = "zaatar-bench-baseline/v7";
+const SCHEMA: &str = "zaatar-bench-baseline/v8";
 
 /// How many zoo apps the optimizer must strictly shrink for a baseline
 /// to validate (the PR 8 acceptance gate).
@@ -417,6 +430,65 @@ fn bench_mem_reuse(
         .collect()
 }
 
+/// One row of the `stream` section: monolithic vs streaming peak
+/// workspace residency for one circuit size.
+struct StreamSample {
+    chain: usize,
+    domain: usize,
+    chunk_len: usize,
+    monolithic_high_water_bytes: usize,
+    streaming_high_water_bytes: usize,
+    monolithic_prove_ns: u64,
+    streaming_prove_ns: u64,
+    identical: bool,
+}
+
+/// Measures the streaming pipeline's residency win: for each circuit
+/// size, one monolithic `prove_with` and one chunked `prove_streamed`
+/// on fresh workspaces, recording each workspace's own
+/// `high_water_bytes` peak and whether the proofs came out
+/// byte-identical. When `ZAATAR_MEM_BUDGET` is set it is applied to
+/// the streaming workspace as a hard cap — a lease the budget refuses
+/// aborts the baseline run loudly rather than recording a number that
+/// silently overshot the operator's ceiling.
+fn bench_stream(smoke: bool) -> Vec<StreamSample> {
+    let chains: [usize; 2] = if smoke { [8, 64] } else { [160, 640] };
+    let budget = MemBudget::from_env();
+    chains
+        .iter()
+        .map(|&chain| {
+            let (pcp, witnesses, _ios) = build_workload(chain, 1);
+            let domain = pcp.qap().degree() + 1;
+            let chunk_len = (domain / 8).max(16);
+            let mut mono = ProverWorkspace::new();
+            let start = Instant::now();
+            let mono_proof = pcp
+                .prove_with(&witnesses[0], &mut mono)
+                .expect("honest witness");
+            let monolithic_prove_ns = start.elapsed().as_nanos() as u64;
+            let mut sws = ProverWorkspace::with_budget(budget);
+            let start = Instant::now();
+            let stream_proof = pcp
+                .prove_streamed(&witnesses[0], chunk_len, &mut sws)
+                .unwrap_or_else(|e| {
+                    panic!("ZAATAR_MEM_BUDGET refused a streaming lease at chain {chain}: {e}")
+                })
+                .expect("honest witness");
+            let streaming_prove_ns = start.elapsed().as_nanos() as u64;
+            StreamSample {
+                chain,
+                domain,
+                chunk_len,
+                monolithic_high_water_bytes: mono.high_water_bytes(),
+                streaming_high_water_bytes: sws.high_water_bytes(),
+                monolithic_prove_ns,
+                streaming_prove_ns,
+                identical: mono_proof.z == stream_proof.z && mono_proof.h == stream_proof.h,
+            }
+        })
+        .collect()
+}
+
 /// The `server` section: throughput and latency of the multi-tenant
 /// session server at nominal load, plus the deterministic admission
 /// split under synthetic overload.
@@ -598,6 +670,10 @@ fn run_baseline(smoke: bool) -> String {
     // requires.
     let mem_samples = bench_mem_reuse(&pcp, &witnesses);
 
+    // Monolithic-vs-streaming residency comparison at two circuit
+    // sizes — the PR 9 streaming-pipeline gate.
+    let stream_samples = bench_stream(smoke);
+
     // Multi-tenant session-server throughput and admission behaviour
     // (nominal fleet + deterministic synthetic overload) — populates
     // the server.* counters and the server.session timer.
@@ -738,6 +814,24 @@ fn run_baseline(smoke: bool) -> String {
             smp.prove_ns_per_instance,
             smp.footprint_bytes,
             if i + 1 < mem_samples.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]},\n");
+    s.push_str("  \"stream\": {\"sizes\": [\n");
+    for (i, smp) in stream_samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"chain\": {}, \"domain\": {}, \"chunk_len\": {}, \
+             \"monolithic_high_water_bytes\": {}, \"streaming_high_water_bytes\": {}, \
+             \"monolithic_prove_ns\": {}, \"streaming_prove_ns\": {}, \"identical\": {}}}{}\n",
+            smp.chain,
+            smp.domain,
+            smp.chunk_len,
+            smp.monolithic_high_water_bytes,
+            smp.streaming_high_water_bytes,
+            smp.monolithic_prove_ns,
+            smp.streaming_prove_ns,
+            smp.identical,
+            if i + 1 < stream_samples.len() { "," } else { "" },
         ));
     }
     s.push_str("  ]},\n");
@@ -1092,6 +1186,70 @@ fn validate_baseline(path: &str) -> Result<(), String> {
         return Err(format!(
             "mem.scratch allocs_per_instance at batch 16 ({last_allocs}) not < batch 1 \
              ({first_allocs}) — workspace reuse must amortize allocations"
+        ));
+    }
+
+    let stream = root
+        .get("stream")
+        .and_then(Value::as_object)
+        .ok_or("missing object \"stream\"")?;
+    let stream_sizes = stream
+        .get("sizes")
+        .and_then(Value::as_array)
+        .ok_or("missing array \"stream.sizes\"")?;
+    if stream_sizes.len() < 2 {
+        return Err("stream.sizes needs at least two circuit sizes".into());
+    }
+    let mut prev_domain = 0u64;
+    for (i, entry) in stream_sizes.iter().enumerate() {
+        let e = entry
+            .as_object()
+            .ok_or_else(|| format!("stream.sizes[{i}] is not an object"))?;
+        for field in [
+            "chain",
+            "domain",
+            "chunk_len",
+            "monolithic_high_water_bytes",
+            "streaming_high_water_bytes",
+            "monolithic_prove_ns",
+            "streaming_prove_ns",
+        ] {
+            match e.get(field).and_then(Value::as_u64) {
+                Some(v) if v >= 1 => {}
+                _ => return Err(format!("stream.sizes[{i}].{field} must be an integer >= 1")),
+            }
+        }
+        let domain = e["domain"].as_u64().expect("checked above");
+        if domain <= prev_domain {
+            return Err(format!(
+                "stream.sizes[{i}].domain {domain} not > previous {prev_domain}"
+            ));
+        }
+        prev_domain = domain;
+        // Byte-identity is the streaming pipeline's contract; a
+        // baseline recording divergence is recording a bug.
+        match e.get("identical").and_then(Value::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                return Err(format!(
+                    "stream.sizes[{i}].identical is false — streaming proof diverged"
+                ))
+            }
+            None => return Err(format!("stream.sizes[{i}].identical missing or not a bool")),
+        }
+    }
+    // The streaming gate: at the larger circuit the chunked pipeline
+    // must hold a strictly smaller peak than the monolithic path.
+    let largest = stream_sizes[stream_sizes.len() - 1]
+        .as_object()
+        .expect("checked above");
+    let mono_hw = largest["monolithic_high_water_bytes"].as_u64().expect("checked above");
+    let stream_hw = largest["streaming_high_water_bytes"].as_u64().expect("checked above");
+    if stream_hw >= mono_hw {
+        return Err(format!(
+            "stream.sizes: streaming high water ({stream_hw}) not strictly below the \
+             monolithic peak ({mono_hw}) at the largest size — the chunked pipeline \
+             is not bounding memory"
         ));
     }
 

@@ -113,15 +113,26 @@ impl<F: PrimeField> SubstMap<F> {
     }
 
     /// Resolves a variable to its final `coeff·root + offset` form.
+    ///
+    /// Chains are bounded by the table size; anything longer is an
+    /// alias cycle, which the insertion sites guard against — if one
+    /// slips through anyway, stop at the current root (deterministic
+    /// for a given table) instead of spinning forever.
     fn resolve(&self, v: VarId) -> Subst<F> {
         let mut cur = Subst {
             root: Some(v),
             coeff: F::ONE,
             offset: F::ZERO,
         };
+        let mut steps = 0usize;
         while let Some(root) = cur.root {
             match self.map.get(&root.0) {
                 Some(next) => {
+                    debug_assert!(steps <= self.map.len(), "substitution alias cycle");
+                    if steps > self.map.len() {
+                        break;
+                    }
+                    steps += 1;
                     // cur = coeff·(next.coeff·next.root + next.offset) + offset.
                     cur = Subst {
                         root: next.root,
@@ -435,6 +446,17 @@ pub fn optimize<F: PrimeField>(sys: &GingerSystem<F>) -> Optimized<F> {
                         let Some(inv) = canon_scale.inverse() else {
                             continue;
                         };
+                        // Guard against alias cycles, as pass 1 does:
+                        // mirrored double definitions (`w = x·y` and
+                        // `w = a·b` vs `v = a·b` and `v = x·y`) would
+                        // otherwise record `w ↦ v` and then `v ↦ w`,
+                        // and resolution would never terminate. Leave
+                        // the closing alias for a later round (the
+                        // first unification makes the mirrored pair
+                        // textually identical, so pass 2a drops it).
+                        if subst.resolve(*canon).root == Some(v) {
+                            continue;
+                        }
                         subst.insert(
                             v,
                             Subst {
@@ -716,8 +738,7 @@ mod tests {
 mod cycle_repro {
     use super::*;
     use crate::builder::Builder;
-    use crate::ir::LinComb;
-    use zaatar_field::{Field, F61};
+    use zaatar_field::F61;
 
     #[test]
     fn cse_double_defined_vars_terminate() {

@@ -1,0 +1,188 @@
+//! Unit tests for the constraint optimizer's cross-enforced-definition
+//! handling, promoted from the in-module repro of the CSE cycle: when
+//! two auxiliary variables are each *defined twice* with mirrored
+//! right-hand sides (`w = x·y` and `w = a·b`, `v = a·b` and `v = x·y`),
+//! the alias chains form a cycle (`w ↦ v ↦ w`) that the substitution
+//! table must break rather than loop on. These tests pin termination,
+//! semantic preservation through `map_assignment`, and the fixpoint
+//! property (`optimize ∘ optimize = optimize`) over randomly generated
+//! circuits — driven by the same in-tree deterministic generator the
+//! compiler proptests use (no external proptest dependency).
+
+use zaatar_cc::ir::{Assignment, LinComb};
+use zaatar_cc::{optimize, Builder};
+use zaatar_field::{Field, F61};
+
+/// Deterministic splitmix64 generator standing in for proptest.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The cycle scenario: each aux defined twice with mirrored RHS, so
+/// naive alias-chasing would chase `w ↦ v ↦ w` forever.
+fn cross_enforced_system() -> (zaatar_cc::GingerSystem<F61>, zaatar_cc::builder::WitnessSolver<F61>)
+{
+    let mut b = Builder::<F61>::new();
+    let x = b.alloc_input();
+    let y = b.alloc_input();
+    let a = b.alloc_input();
+    let bb = b.alloc_input();
+    let w = b.mul(&x, &y);
+    let v = b.mul(&a, &bb);
+    b.enforce_product(&a, &bb, &w);
+    b.enforce_product(&x, &y, &v);
+    b.bind_output(&w.add(&v));
+    b.finish()
+}
+
+#[test]
+fn cross_enforced_products_terminate_and_shrink() {
+    let (sys, _solver) = cross_enforced_system();
+    // Terminating at all is the headline property (the substitution
+    // cycle used to be an infinite loop risk); not growing is the
+    // optimizer's basic contract.
+    let opt = optimize(&sys);
+    assert!(opt.system.constraints.len() <= sys.constraints.len());
+    assert!(
+        opt.report.cse_hits >= 1,
+        "mirrored definitions are exactly what CSE dedups: {:?}",
+        opt.report
+    );
+}
+
+#[test]
+fn cross_enforced_products_preserve_semantics() {
+    let (sys, solver) = cross_enforced_system();
+    let opt = optimize(&sys);
+    // The cross-enforcement makes the system satisfiable only when
+    // x·y == a·b; the solver's assignment for such inputs must map to
+    // a satisfying assignment of the optimized system...
+    let good: Vec<F61> = [3u64, 7, 7, 3].iter().map(|&v| F61::from_u64(v)).collect();
+    let asg = solver.solve(&good).expect("x·y == a·b solves");
+    assert!(sys.is_satisfied(&asg));
+    assert!(
+        opt.system.is_satisfied(&opt.map_assignment(&asg)),
+        "optimization broke a satisfying assignment"
+    );
+    // ...and an assignment violating the cross-constraints must stay
+    // rejected (the dedup may not erase the x·y == a·b requirement).
+    let bad: Vec<F61> = [3u64, 7, 5, 11].iter().map(|&v| F61::from_u64(v)).collect();
+    if let Ok(asg) = solver.solve(&bad) {
+        assert!(!sys.is_satisfied(&asg));
+        assert!(
+            !opt.system.is_satisfied(&opt.map_assignment(&asg)),
+            "optimization must not make an unsat system satisfiable"
+        );
+    }
+}
+
+#[test]
+fn cross_enforced_outputs_survive_the_var_map() {
+    let (sys, _solver) = cross_enforced_system();
+    let opt = optimize(&sys);
+    // map_vars panics if an input/output was pruned; both lists must
+    // transport even though the aux vars behind them got deduped.
+    let inputs = sys.vars.of_kind(zaatar_cc::ir::Kind::Input);
+    let outputs = sys.vars.of_kind(zaatar_cc::ir::Kind::Output);
+    let mapped_in = opt.map_vars(&inputs);
+    let mapped_out = opt.map_vars(&outputs);
+    assert_eq!(mapped_in.len(), inputs.len());
+    assert_eq!(mapped_out.len(), outputs.len());
+}
+
+/// Builds a random circuit over `n_inputs` inputs: a pool of linear
+/// combinations grown by random add/sub/mul/scale steps, with a random
+/// subset of product pairs re-enforced a second time (the duplicate-
+/// definition pattern that feeds CSE and, when mirrored, the cycle
+/// breaker).
+fn random_circuit(
+    gen: &mut Gen,
+    n_inputs: usize,
+    steps: usize,
+) -> (zaatar_cc::GingerSystem<F61>, zaatar_cc::builder::WitnessSolver<F61>) {
+    let mut b = Builder::<F61>::new();
+    let mut pool: Vec<LinComb<F61>> = b.alloc_inputs(n_inputs);
+    let mut products: Vec<(LinComb<F61>, LinComb<F61>, LinComb<F61>)> = Vec::new();
+    for _ in 0..steps {
+        let i = gen.below(pool.len());
+        let j = gen.below(pool.len());
+        let (lhs, rhs) = (pool[i].clone(), pool[j].clone());
+        let next = match gen.below(4) {
+            0 => lhs.add(&rhs),
+            1 => lhs.sub(&rhs),
+            2 => lhs.scale(F61::from_u64(1 + gen.next_u64() % 7)),
+            _ => {
+                let p = b.mul(&lhs, &rhs);
+                products.push((lhs, rhs, p.clone()));
+                p
+            }
+        };
+        pool.push(next);
+    }
+    // Re-enforce a random half of the recorded products: duplicate
+    // definitions of already-defined aux vars.
+    for (lhs, rhs, p) in &products {
+        if gen.below(2) == 0 {
+            b.enforce_product(lhs, rhs, p);
+        }
+    }
+    let out = pool.last().expect("pool starts non-empty").clone();
+    b.bind_output(&out);
+    b.finish()
+}
+
+#[test]
+fn optimize_preserves_satisfiability_on_random_circuits() {
+    for seed in 0..24u64 {
+        let mut gen = Gen::new(seed);
+        let (sys, solver) = random_circuit(&mut gen, 3, 12);
+        let ins: Vec<F61> = (0..3).map(|_| F61::from_u64(gen.next_u64() % 1000)).collect();
+        let asg: Assignment<F61> = solver.solve(&ins).expect("random circuit solves");
+        assert!(sys.is_satisfied(&asg), "seed {seed}: solver output unsat");
+        let opt = optimize(&sys);
+        assert!(
+            opt.system.is_satisfied(&opt.map_assignment(&asg)),
+            "seed {seed}: optimization broke the witness ({:?})",
+            opt.report
+        );
+    }
+}
+
+#[test]
+fn optimize_is_a_fixpoint_on_random_circuits() {
+    for seed in 0..24u64 {
+        let mut gen = Gen::new(seed);
+        let (sys, _solver) = random_circuit(&mut gen, 3, 12);
+        let once = optimize(&sys);
+        let twice = optimize(&once.system);
+        assert_eq!(
+            twice.system.constraints.len(),
+            once.system.constraints.len(),
+            "seed {seed}: second pass changed the constraint count"
+        );
+        assert_eq!(
+            twice.system.vars.len(),
+            once.system.vars.len(),
+            "seed {seed}: second pass changed the variable count"
+        );
+        assert_eq!(twice.report.folded, 0, "seed {seed}: {:?}", twice.report);
+        assert_eq!(twice.report.cse_hits, 0, "seed {seed}: {:?}", twice.report);
+        assert_eq!(twice.report.pruned_vars, 0, "seed {seed}: {:?}", twice.report);
+    }
+}

@@ -73,6 +73,22 @@ impl<F: HasGroup> CommitmentKey<F> {
         ElGamal::<F>::inner_product_scratch(enc_r, u, ws.group_scratch())
     }
 
+    /// [`Self::commit_with`] feeding the MSM `chunk_len` scalars at a
+    /// time: each chunk runs its own bucket pass sized to the chunk and
+    /// the partial residues fold in the group, so peak bucket storage
+    /// tracks the chunk, not the oracle length. The group fold is exact
+    /// (a product of partial products is the one-shot product), so the
+    /// ciphertext is identical to [`Self::commit`].
+    pub fn commit_chunked(
+        enc_r: &[Ciphertext],
+        u: &[F],
+        chunk_len: usize,
+        ws: &mut crate::ProverWorkspace<F>,
+    ) -> Ciphertext {
+        let _span = zaatar_obs::time("commit.commit");
+        ElGamal::<F>::inner_product_chunked(enc_r, u, chunk_len, ws.group_scratch())
+    }
+
     /// **Verifier side**: builds the consistency query
     /// `t = r + Σ αᵢ·qᵢ` for the given PCP queries, returning `(t, α)`
     /// (the `α` stay secret with the verifier).

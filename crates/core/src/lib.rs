@@ -52,9 +52,9 @@ pub use ginger::{GingerPcp, GingerProof};
 pub use matvec::QueryMatrix;
 pub use pcp::{BatchQuerySet, PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
 pub use network::{queries_from_seed, zaatar_network_costs, NetworkCosts};
-pub use qap::{Qap, QapEvals, QapWitness, StagedWitness};
+pub use qap::{Qap, QapEvals, QapWitness, StagedWitness, StagedWitnessChunked};
 pub use runtime::{
-    answer_batch, parse_instance_index, prove_batch, prove_batch_with,
+    answer_batch, parse_instance_index, prove_batch, prove_batch_streamed, prove_batch_with,
     run_hetero_session_prover, run_hetero_session_verifier, run_session_prover,
     run_session_verifier, ProverStats, SessionReport, VerifyOutcome,
 };
@@ -63,3 +63,7 @@ pub use session::{
     HETERO_PRG_STREAM_BASE,
 };
 pub use workspace::ProverWorkspace;
+// Budget types cross the crate's public API (`ProverWorkspace::with_budget`,
+// `SessionError::BudgetExceeded`), so re-export them for downstream users
+// that don't depend on `zaatar-mem` directly.
+pub use zaatar_mem::{BudgetError, MemBudget};

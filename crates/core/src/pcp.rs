@@ -288,6 +288,33 @@ impl<F: PrimeField, D: EvalDomain<F>> ZaatarPcp<F, D> {
         })
     }
 
+    /// [`ZaatarPcp::prove_with`] through the streaming pipeline: the
+    /// Witness stage accumulates into chunked buffers of `chunk_len`
+    /// field elements and the Quotient stage drains them chunk-at-a-time
+    /// into the transform buffer, so peak residency stays bounded by the
+    /// workspace budget instead of the full `3n` staged vectors. Every
+    /// lease is a hard `try_take`; the first one the budget refuses
+    /// surfaces as `Err(BudgetError)` with all partial leases returned
+    /// to the pool. Field arithmetic is exact and the streaming stages
+    /// replay the monolithic per-slot operation order, so a produced
+    /// proof is byte-identical to [`ZaatarPcp::prove_with`].
+    pub fn prove_streamed(
+        &self,
+        witness: &QapWitness<F>,
+        chunk_len: usize,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<Option<ZaatarProof<F>>, zaatar_mem::BudgetError> {
+        let _span = zaatar_obs::time("pcp.prove");
+        zaatar_obs::counter("pcp.prove.calls").inc();
+        let Some(h) = self.qap.compute_h_streamed(witness, chunk_len, ws)? else {
+            return Ok(None);
+        };
+        Ok(Some(ZaatarProof {
+            z: witness.z.clone(),
+            h,
+        }))
+    }
+
     /// Builds the proof a *cheating* prover would ship for a
     /// non-satisfying witness (the quotient ignores the remainder).
     pub fn prove_unchecked(&self, witness: &QapWitness<F>) -> ZaatarProof<F> {

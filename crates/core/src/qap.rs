@@ -16,6 +16,7 @@
 
 use zaatar_cc::{Assignment, Kind, LinComb, QuadSystem, VarId};
 use zaatar_field::PrimeField;
+use zaatar_mem::{BudgetError, ChunkedVec};
 use zaatar_poly::domain::EvalDomain;
 use zaatar_poly::{Radix2Domain, SparsePoly};
 
@@ -114,6 +115,17 @@ pub struct StagedWitness<F> {
     a_vals: Vec<F>,
     b_vals: Vec<F>,
     c_vals: Vec<F>,
+}
+
+/// Output of the *streaming* Witness stage
+/// ([`Qap::witness_stage_streamed`]): the same per-constraint values as
+/// [`StagedWitness`], materialized as pool-leased chunks so the quotient
+/// kernel can return each chunk the moment it is absorbed. Consume with
+/// [`Qap::quotient_stage_streamed`].
+pub struct StagedWitnessChunked<F> {
+    a_vals: ChunkedVec<F>,
+    b_vals: ChunkedVec<F>,
+    c_vals: ChunkedVec<F>,
 }
 
 /// The `{Aᵢ(τ)}` evaluations the verifier needs for query construction
@@ -362,6 +374,106 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
     /// the output identical either way.
     pub fn compute_h(&self, witness: &QapWitness<F>) -> Option<Vec<F>> {
         self.compute_h_with(witness, &mut ProverWorkspace::new())
+    }
+
+    /// Streaming stage 1 — **Witness**, chunked: walks the constraint
+    /// rows variable-by-variable *without materializing the full `w`
+    /// vector* (each `wᵢ` is read straight out of the witness: the
+    /// constant 1, then `z`, then `io`), accumulating into chunked
+    /// `A`/`B`/`C` value vectors leased `chunk_len` elements at a time.
+    /// The per-slot accumulation order is identical to
+    /// [`Qap::witness_stage`] (same rows, same entry order, same
+    /// skip-zero-scale rule), so the values are bit-identical; what
+    /// changes is residency — the `1 + n' + |io|` element `w` buffer is
+    /// never allocated, and a budget-limited workspace gets a typed
+    /// rejection instead of an OOM.
+    pub fn witness_stage_streamed(
+        &self,
+        witness: &QapWitness<F>,
+        chunk_len: usize,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<StagedWitnessChunked<F>, BudgetError> {
+        let n = self.domain.size();
+        let a_vals = ChunkedVec::try_take(ws.scratch(), n, chunk_len, F::ZERO)?;
+        let b_vals = match ChunkedVec::try_take(ws.scratch(), n, chunk_len, F::ZERO) {
+            Ok(v) => v,
+            Err(e) => {
+                a_vals.release(ws.scratch());
+                return Err(e);
+            }
+        };
+        let c_vals = match ChunkedVec::try_take(ws.scratch(), n, chunk_len, F::ZERO) {
+            Ok(v) => v,
+            Err(e) => {
+                b_vals.release(ws.scratch());
+                a_vals.release(ws.scratch());
+                return Err(e);
+            }
+        };
+        let mut staged = StagedWitnessChunked {
+            a_vals,
+            b_vals,
+            c_vals,
+        };
+        let w_iter = || {
+            core::iter::once(F::ONE)
+                .chain(witness.z.iter().copied())
+                .chain(witness.io.iter().copied())
+        };
+        let combine = |rows: &[SparsePoly<F>], acc: &mut ChunkedVec<F>| {
+            for (row, wi) in rows.iter().zip(w_iter()) {
+                // Mirror SparsePoly::accumulate_into exactly.
+                if wi.is_zero() {
+                    continue;
+                }
+                for (j, v) in row.entries() {
+                    *acc.get_mut(*j) += wi * *v;
+                }
+            }
+        };
+        combine(&self.a_rows, &mut staged.a_vals);
+        combine(&self.b_rows, &mut staged.b_vals);
+        combine(&self.c_rows, &mut staged.c_vals);
+        Ok(staged)
+    }
+
+    /// Streaming stage 2 — **Quotient**: hands the chunked values to the
+    /// domain's streaming kernel
+    /// ([`EvalDomain::quotient_zero_pinned_streamed`]), which returns
+    /// each chunk to the pool as it is absorbed. `Ok(None)` means the
+    /// divisibility gate failed, exactly as [`Qap::quotient_stage`].
+    pub fn quotient_stage_streamed(
+        &self,
+        staged: StagedWitnessChunked<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<Option<Vec<F>>, BudgetError> {
+        let h = self.domain.quotient_zero_pinned_streamed(
+            staged.a_vals,
+            staged.b_vals,
+            staged.c_vals,
+            ws.scratch(),
+        )?;
+        debug_assert!(
+            h.as_ref().is_none_or(|h| h.len() == self.degree() + 1),
+            "quotient kernel must return degree()+1 coefficients"
+        );
+        Ok(h)
+    }
+
+    /// The streaming prover's quotient computation: both streaming
+    /// stages back to back under a (possibly budget-capped) workspace.
+    /// Coefficients are bit-identical to [`Qap::compute_h_with`]; peak
+    /// workspace residency is bounded by two coset buffers plus one
+    /// chunk instead of the monolithic path's full complement.
+    pub fn compute_h_streamed(
+        &self,
+        witness: &QapWitness<F>,
+        chunk_len: usize,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<Option<Vec<F>>, BudgetError> {
+        let _span = zaatar_obs::time("qap.compute_h");
+        let staged = self.witness_stage_streamed(witness, chunk_len, ws)?;
+        self.quotient_stage_streamed(staged, ws)
     }
 
     /// Like [`Qap::compute_h`] but returns the (useless) quotient even

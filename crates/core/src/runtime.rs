@@ -118,6 +118,32 @@ where
     witnesses.iter().map(|w| pcp.prove_with(w, ws)).collect()
 }
 
+/// [`prove_batch_with`] through the streaming pipeline: each instance
+/// runs [`ZaatarPcp::prove_streamed`] with chunks of `chunk_len` field
+/// elements, so the whole batch proves under the workspace's memory
+/// budget. The first lease the budget refuses aborts the batch with
+/// `Err` — unlike a non-satisfying witness (which yields `None` for
+/// that instance only), a budget refusal is an environment problem
+/// every remaining instance would hit too. Proofs are byte-identical
+/// to [`prove_batch_with`].
+pub fn prove_batch_streamed<F, D>(
+    pcp: &ZaatarPcp<F, D>,
+    witnesses: &[QapWitness<F>],
+    chunk_len: usize,
+    ws: &mut ProverWorkspace<F>,
+) -> Result<Vec<Option<ZaatarProof<F>>>, zaatar_mem::BudgetError>
+where
+    F: PrimeField,
+    D: EvalDomain<F>,
+{
+    let _span = zaatar_obs::time("runtime.prove_batch");
+    zaatar_obs::counter("runtime.prove_batch.instances").add(witnesses.len() as u64);
+    witnesses
+        .iter()
+        .map(|w| pcp.prove_streamed(w, chunk_len, ws))
+        .collect()
+}
+
 /// Answers every instance of a batch off one amortized
 /// [`BatchQuerySet`], with instances sharded across `workers` threads
 /// (each instance is one blocked-kernel pass per oracle). The companion

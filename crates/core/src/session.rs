@@ -39,6 +39,20 @@ pub enum SessionError {
     /// The peer violated the message sequence in a way retransmission
     /// cannot fix.
     Protocol(&'static str),
+    /// The streaming prover's workspace budget refused a buffer lease:
+    /// admitting `requested_bytes` on top of `footprint_bytes` already
+    /// outstanding would exceed `limit_bytes`. The session is intact —
+    /// a driver can retry with a smaller chunk size, shed other
+    /// tenants, or degrade the request — and all partial leases were
+    /// returned to the pool before the error surfaced.
+    BudgetExceeded {
+        /// Bytes the refused lease asked for.
+        requested_bytes: usize,
+        /// Bytes already leased out of the pool at refusal time.
+        footprint_bytes: usize,
+        /// The hard cap in force.
+        limit_bytes: usize,
+    },
 }
 
 impl core::fmt::Display for SessionError {
@@ -51,11 +65,31 @@ impl core::fmt::Display for SessionError {
             SessionError::Wire(e) => write!(f, "malformed message: {e}"),
             SessionError::Peer(code) => write!(f, "peer reported error code {code}"),
             SessionError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            SessionError::BudgetExceeded {
+                requested_bytes,
+                footprint_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "memory budget exceeded: lease of {requested_bytes} bytes \
+                 over {footprint_bytes} outstanding would pass the \
+                 {limit_bytes}-byte cap"
+            ),
         }
     }
 }
 
 impl std::error::Error for SessionError {}
+
+impl From<zaatar_mem::BudgetError> for SessionError {
+    fn from(e: zaatar_mem::BudgetError) -> Self {
+        SessionError::BudgetExceeded {
+            requested_bytes: e.requested_bytes,
+            footprint_bytes: e.footprint_bytes,
+            limit_bytes: e.limit_bytes,
+        }
+    }
+}
 
 impl From<TransportError> for SessionError {
     fn from(e: TransportError) -> Self {
@@ -276,6 +310,46 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
         zaatar_obs::counter("pcp.batch.query_reuse").inc();
         let buf_z = ws.scratch().take(queries.z_matrix().num_rows(), F::ZERO);
         let buf_h = ws.scratch().take(queries.h_matrix().num_rows(), F::ZERO);
+        let dz: Decommitment<F> =
+            decommit_packed_into(&proof.z, queries.z_matrix(), &self.t_z, 1, buf_z);
+        let dh: Decommitment<F> =
+            decommit_packed_into(&proof.h, queries.h_matrix(), &self.t_h, 1, buf_h);
+        drop(answer_span);
+        let bytes = crate::wire::encode_prover_message(&commitments, &dz, &dh)?;
+        ws.scratch().put(dh.answers);
+        ws.scratch().put(dz.answers);
+        Ok(bytes)
+    }
+
+    /// [`SessionProver::instance_message_with`] through the streaming
+    /// commitment engine: the two oracle commitments feed the Pippenger
+    /// MSM `chunk_len` scalars at a time, so bucket storage tracks the
+    /// chunk instead of the oracle length, and the Answer-stage buffers
+    /// are hard `try_take` leases against the workspace budget
+    /// (surfacing [`SessionError::BudgetExceeded`] instead of
+    /// allocating past the cap). Bytes on the wire are identical to
+    /// the monolithic path.
+    pub fn instance_message_streamed(
+        &self,
+        proof: &ZaatarProof<F>,
+        chunk_len: usize,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<Vec<u8>, SessionError> {
+        let queries = self.queries.as_ref().ok_or(SessionError::SetupNotReceived)?;
+        let commitments = (
+            CommitmentKey::<F>::commit_chunked(&self.enc_r_z, &proof.z, chunk_len, ws),
+            CommitmentKey::<F>::commit_chunked(&self.enc_r_h, &proof.h, chunk_len, ws),
+        );
+        let answer_span = zaatar_obs::time("pcp.answer");
+        zaatar_obs::counter("pcp.batch.query_reuse").inc();
+        let buf_z = ws.scratch().try_take(queries.z_matrix().num_rows(), F::ZERO)?;
+        let buf_h = match ws.scratch().try_take(queries.h_matrix().num_rows(), F::ZERO) {
+            Ok(buf) => buf,
+            Err(e) => {
+                ws.scratch().put(buf_z);
+                return Err(e.into());
+            }
+        };
         let dz: Decommitment<F> =
             decommit_packed_into(&proof.z, queries.z_matrix(), &self.t_z, 1, buf_z);
         let dh: Decommitment<F> =

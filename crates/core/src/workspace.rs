@@ -18,7 +18,7 @@
 //! bytes — the leak-guard suite pins the gauge across hundreds of
 //! sessions on one workspace.
 
-use zaatar_mem::Scratch;
+use zaatar_mem::{MemBudget, Scratch};
 
 /// Per-worker buffer pools for the staged prover pipeline. Cheap to
 /// construct (empty pools), deliberately `!Clone` (a workspace is
@@ -41,6 +41,48 @@ impl<F> ProverWorkspace<F> {
             scratch: Scratch::new(),
             group_scratch: Scratch::new(),
         }
+    }
+
+    /// An empty workspace whose pools each enforce `budget` as a hard
+    /// cap: the streaming prover's `try_take` leases fail with a typed
+    /// [`zaatar_mem::BudgetError`] (surfaced as
+    /// [`crate::session::SessionError::BudgetExceeded`]) instead of
+    /// allocating past the ceiling. The cap applies per pool — the same
+    /// granularity the `mem.scratch.high_water` gauge observes (each
+    /// pool reports its own footprint; the gauge keeps the max).
+    pub fn with_budget(budget: MemBudget) -> Self {
+        ProverWorkspace {
+            scratch: Scratch::with_budget(budget),
+            group_scratch: Scratch::with_budget(budget),
+        }
+    }
+
+    /// Applies `budget` to both pools (effective on subsequent leases).
+    pub fn set_budget(&mut self, budget: MemBudget) {
+        self.scratch.set_budget(budget);
+        self.group_scratch.set_budget(budget);
+    }
+
+    /// The budget enforced on the field pool (the group pool carries
+    /// the same one).
+    pub fn budget(&self) -> MemBudget {
+        self.scratch.budget()
+    }
+
+    /// The larger of the two pools' own peak footprints — the
+    /// per-workspace quantity the budget caps, and what the bench's
+    /// `stream` section compares between the monolithic and streaming
+    /// paths.
+    pub fn high_water_bytes(&self) -> usize {
+        self.scratch
+            .high_water_bytes()
+            .max(self.group_scratch.high_water_bytes())
+    }
+
+    /// Resets both pools' peak trackers to their current footprints.
+    pub fn reset_high_water(&mut self) {
+        self.scratch.reset_high_water();
+        self.group_scratch.reset_high_water();
     }
 
     /// The field-element pool the pipeline stages lease from.
@@ -103,6 +145,24 @@ mod tests {
             ws.scratch().put(buf);
         }
         assert_eq!(ws.footprint_bytes(), footprint);
+    }
+
+    #[test]
+    fn budgeted_workspace_caps_both_pools() {
+        let mut ws: ProverWorkspace<F61> = ProverWorkspace::with_budget(MemBudget::bytes(1024));
+        assert_eq!(ws.budget().limit_bytes(), Some(1024));
+        let ok = ws.scratch().try_take(128, F61::ZERO).expect("fits");
+        assert!(ws.scratch().try_take(1, F61::ZERO).is_err());
+        assert!(ws.group_scratch().try_take(256, 0u64).is_err());
+        ws.scratch().put(ok);
+        assert_eq!(ws.high_water_bytes(), 1024);
+        ws.trim_to(0);
+        ws.reset_high_water();
+        assert_eq!(ws.high_water_bytes(), 0);
+        // Budgets are replaceable on a live workspace.
+        ws.set_budget(MemBudget::unlimited());
+        let big = ws.scratch().try_take(4096, F61::ZERO).expect("uncapped");
+        ws.scratch().put(big);
     }
 
     #[test]

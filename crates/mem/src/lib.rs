@@ -18,8 +18,15 @@
 //! `mem.scratch.high_water` gauge (peak pooled + outstanding bytes),
 //! which the leak-guard tests and the bench baseline's `mem` section
 //! read.
+//!
+//! The streaming prover additionally uses [`ChunkedVec`] — a vector
+//! materialized as a sequence of size-classed chunks leased from a
+//! [`Scratch`] pool — and [`MemBudget`], which turns the pool's
+//! high-water mark from an observation into a hard cap enforced by
+//! [`Scratch::try_take`] (typed [`BudgetError`] instead of OOM).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::Hash;
 use std::sync::{OnceLock, RwLock};
 
@@ -93,6 +100,95 @@ impl<K: Eq + Hash, V> Default for Interner<K, V> {
     }
 }
 
+/// A memory ceiling for one [`Scratch`] pool, in bytes of pooled +
+/// outstanding buffer capacity (the same quantity `footprint_bytes`
+/// reports and the `mem.scratch.high_water` gauge tracks).
+///
+/// `Copy` and cheap: thread it by value through workspaces and server
+/// configs. An unlimited budget never rejects a lease; a byte-limited
+/// budget makes [`Scratch::try_take`] shed idle pooled buffers first
+/// and return a [`BudgetError`] when the lease still cannot fit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemBudget {
+    limit: Option<usize>,
+}
+
+impl MemBudget {
+    /// No ceiling: every lease is admitted (the pre-budget behavior).
+    pub const fn unlimited() -> Self {
+        MemBudget { limit: None }
+    }
+
+    /// A hard ceiling of `n` bytes of pool footprint.
+    pub const fn bytes(n: usize) -> Self {
+        MemBudget { limit: Some(n) }
+    }
+
+    /// The ceiling in bytes, or `None` when unlimited.
+    pub fn limit_bytes(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// Whether a ceiling is set.
+    pub fn is_limited(&self) -> bool {
+        self.limit.is_some()
+    }
+
+    /// Parses a human-entered budget: a plain byte count with an
+    /// optional binary-unit suffix `k`/`m`/`g` (case-insensitive), e.g.
+    /// `"268435456"`, `"256m"`, `"4G"`. Returns `None` on malformed
+    /// input or overflow.
+    pub fn parse(s: &str) -> Option<MemBudget> {
+        let s = s.trim();
+        if s.is_empty() {
+            return None;
+        }
+        let (digits, shift) = match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+            b'k' => (&s[..s.len() - 1], 10u32),
+            b'm' => (&s[..s.len() - 1], 20),
+            b'g' => (&s[..s.len() - 1], 30),
+            _ => (s, 0),
+        };
+        let n: usize = digits.trim().parse().ok()?;
+        n.checked_shl(shift).map(MemBudget::bytes)
+    }
+
+    /// Reads the `ZAATAR_MEM_BUDGET` environment knob (see
+    /// [`MemBudget::parse`] for the accepted forms). Unset or malformed
+    /// values yield an unlimited budget.
+    pub fn from_env() -> MemBudget {
+        std::env::var("ZAATAR_MEM_BUDGET")
+            .ok()
+            .and_then(|v| MemBudget::parse(&v))
+            .unwrap_or_else(MemBudget::unlimited)
+    }
+}
+
+/// A lease was rejected because it would push a [`Scratch`] pool's
+/// footprint past its [`MemBudget`] — the typed alternative to the
+/// allocator aborting the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetError {
+    /// Bytes the rejected lease would have added to the pool.
+    pub requested_bytes: usize,
+    /// Pool footprint (pooled + outstanding) at rejection time.
+    pub footprint_bytes: usize,
+    /// The configured ceiling.
+    pub limit_bytes: usize,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory budget exceeded: lease of {} bytes on footprint {} exceeds limit {}",
+            self.requested_bytes, self.footprint_bytes, self.limit_bytes
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
 /// Buffers per size class retained by a [`Scratch`] pool; extras are
 /// dropped on [`Scratch::put`]. Bounds worst-case retention at
 /// `MAX_PER_CLASS · Σ 2^c` elements over the classes actually used.
@@ -119,16 +215,40 @@ pub struct Scratch<T> {
     retained: usize,
     /// Elements (capacities) handed out and not yet returned.
     outstanding: usize,
+    /// Optional hard cap enforced by [`Scratch::try_take`].
+    budget: MemBudget,
+    /// This pool's own peak footprint in bytes (the global
+    /// `mem.scratch.high_water` gauge keeps the max across all pools).
+    peak_bytes: usize,
 }
 
 impl<T> Scratch<T> {
-    /// An empty pool.
+    /// An empty pool with no budget.
     pub fn new() -> Self {
+        Scratch::with_budget(MemBudget::unlimited())
+    }
+
+    /// An empty pool enforcing `budget` on [`Scratch::try_take`].
+    pub fn with_budget(budget: MemBudget) -> Self {
         Scratch {
             classes: (0..CLASSES).map(|_| Vec::new()).collect(),
             retained: 0,
             outstanding: 0,
+            budget,
+            peak_bytes: 0,
         }
+    }
+
+    /// Replaces the pool's budget. Takes effect on the next lease; an
+    /// already-oversized footprint is shed lazily (idle buffers first)
+    /// as leases arrive.
+    pub fn set_budget(&mut self, budget: MemBudget) {
+        self.budget = budget;
+    }
+
+    /// The budget [`Scratch::try_take`] enforces.
+    pub fn budget(&self) -> MemBudget {
+        self.budget
     }
 
     /// Size class of a capacity: smallest `c` with `2^c >= cap`.
@@ -142,14 +262,86 @@ impl<T> Scratch<T> {
         (self.retained + self.outstanding) * core::mem::size_of::<T>()
     }
 
-    fn observe_high_water(&self) {
-        zaatar_obs::gauge("mem.scratch.high_water").observe(self.footprint_bytes() as u64);
+    fn observe_high_water(&mut self) {
+        let fp = self.footprint_bytes();
+        self.peak_bytes = self.peak_bytes.max(fp);
+        zaatar_obs::gauge("mem.scratch.high_water").observe(fp as u64);
+    }
+
+    /// This pool's own peak footprint in bytes since creation (or the
+    /// last [`Scratch::reset_high_water`]). Unlike the global
+    /// `mem.scratch.high_water` gauge — which records the max across
+    /// every pool in the process — this attributes the peak to one
+    /// pool, which is what per-run bench comparisons and per-tenant
+    /// budget checks need.
+    pub fn high_water_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Resets the per-pool peak to the current footprint.
+    pub fn reset_high_water(&mut self) {
+        self.peak_bytes = self.footprint_bytes();
+    }
+
+    /// Admission check for a prospective lease of `len` elements under
+    /// the configured budget: pooled reuse is always admitted (it moves
+    /// bytes from retained to outstanding without growing the pool);
+    /// a fresh allocation first sheds idle pooled buffers to make room
+    /// and is rejected only if the outstanding bytes plus the new
+    /// buffer would still exceed the ceiling.
+    fn admit(&mut self, len: usize) -> Result<(), BudgetError> {
+        let Some(limit) = self.budget.limit_bytes() else {
+            return Ok(());
+        };
+        let class = Self::class_of(len);
+        if self.classes.get(class).is_some_and(|c| !c.is_empty()) {
+            return Ok(());
+        }
+        let elem = core::mem::size_of::<T>().max(1);
+        let need = len.max(1).next_power_of_two() * elem;
+        let out = self.outstanding * elem;
+        if out + need > limit {
+            return Err(BudgetError {
+                requested_bytes: need,
+                footprint_bytes: self.footprint_bytes(),
+                limit_bytes: limit,
+            });
+        }
+        if self.retained * elem + out + need > limit {
+            self.trim_to(limit - out - need);
+        }
+        Ok(())
     }
 
     /// Takes a buffer of exactly `len` elements, each set to `fill`.
     /// Reuses a pooled buffer when one of sufficient capacity exists
     /// (`mem.scratch.hit`), otherwise allocates (`mem.scratch.miss`).
+    ///
+    /// When a [`MemBudget`] is set, idle pooled buffers are shed to
+    /// keep the footprint under the ceiling, but the lease itself is
+    /// never refused — use [`Scratch::try_take`] for hard enforcement.
     pub fn take(&mut self, len: usize, fill: T) -> Vec<T>
+    where
+        T: Clone,
+    {
+        if self.budget.is_limited() {
+            let _ = self.admit(len);
+        }
+        self.take_unchecked(len, fill)
+    }
+
+    /// Budget-enforcing [`Scratch::take`]: sheds idle pooled buffers to
+    /// make room, and returns a typed [`BudgetError`] instead of
+    /// allocating when the lease cannot fit under the ceiling.
+    pub fn try_take(&mut self, len: usize, fill: T) -> Result<Vec<T>, BudgetError>
+    where
+        T: Clone,
+    {
+        self.admit(len)?;
+        Ok(self.take_unchecked(len, fill))
+    }
+
+    fn take_unchecked(&mut self, len: usize, fill: T) -> Vec<T>
     where
         T: Clone,
     {
@@ -232,6 +424,188 @@ impl<T> Scratch<T> {
 impl<T> Default for Scratch<T> {
     fn default() -> Self {
         Scratch::new()
+    }
+}
+
+/// A logically contiguous vector materialized as a sequence of
+/// fixed-size chunks leased from a [`Scratch`] pool.
+///
+/// The streaming prover stages pass these instead of flat `Vec`s: a
+/// producer fills the chunks in order, and a consumer that walks them
+/// front-to-back can return each chunk to the pool the moment it is
+/// done with it ([`ChunkedVec::drain`]), so peak residency is bounded
+/// by the live window rather than the full length. All chunks have
+/// exactly `chunk_len` elements except the last, which holds the
+/// ragged tail.
+///
+/// Spill-free by construction: chunks live in the same size-classed
+/// pool as every other prover temporary, so retention after release is
+/// bounded by the pool's per-class cap and budget.
+#[derive(Debug)]
+pub struct ChunkedVec<T> {
+    chunks: Vec<Vec<T>>,
+    chunk_len: usize,
+    len: usize,
+}
+
+impl<T> ChunkedVec<T> {
+    /// Leases chunks for `len` elements (each set to `fill`) from the
+    /// pool, `chunk_len` elements per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`.
+    pub fn take(scratch: &mut Scratch<T>, len: usize, chunk_len: usize, fill: T) -> Self
+    where
+        T: Clone,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let mut chunks = Vec::with_capacity(len.div_ceil(chunk_len));
+        let mut remaining = len;
+        while remaining > 0 {
+            let this = remaining.min(chunk_len);
+            chunks.push(scratch.take(this, fill.clone()));
+            remaining -= this;
+        }
+        ChunkedVec {
+            chunks,
+            chunk_len,
+            len,
+        }
+    }
+
+    /// Budget-enforcing [`ChunkedVec::take`]: on rejection, every chunk
+    /// leased so far is returned to the pool before the error
+    /// propagates, so a failed lease never strands memory.
+    pub fn try_take(
+        scratch: &mut Scratch<T>,
+        len: usize,
+        chunk_len: usize,
+        fill: T,
+    ) -> Result<Self, BudgetError>
+    where
+        T: Clone,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let mut chunks = Vec::with_capacity(len.div_ceil(chunk_len));
+        let mut remaining = len;
+        while remaining > 0 {
+            let this = remaining.min(chunk_len);
+            match scratch.try_take(this, fill.clone()) {
+                Ok(chunk) => chunks.push(chunk),
+                Err(e) => {
+                    for c in chunks {
+                        scratch.put(c);
+                    }
+                    return Err(e);
+                }
+            }
+            remaining -= this;
+        }
+        Ok(ChunkedVec {
+            chunks,
+            chunk_len,
+            len,
+        })
+    }
+
+    /// Total element count across all chunks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Elements per chunk (the last chunk may be shorter).
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The `k`-th chunk as a slice.
+    pub fn chunk(&self, k: usize) -> &[T] {
+        &self.chunks[k]
+    }
+
+    /// The `k`-th chunk as a mutable slice.
+    pub fn chunk_mut(&mut self, k: usize) -> &mut [T] {
+        &mut self.chunks[k]
+    }
+
+    /// The element at logical index `i`.
+    pub fn get(&self, i: usize) -> &T {
+        &self.chunks[i / self.chunk_len][i % self.chunk_len]
+    }
+
+    /// Mutable access to the element at logical index `i`.
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        &mut self.chunks[i / self.chunk_len][i % self.chunk_len]
+    }
+
+    /// A cursor over `(base_offset, chunk)` views, front to back.
+    pub fn cursor(&self) -> StreamCursor<'_, T> {
+        StreamCursor {
+            chunks: self.chunks.iter(),
+            offset: 0,
+        }
+    }
+
+    /// Returns every chunk to the pool.
+    pub fn release(self, scratch: &mut Scratch<T>) {
+        for c in self.chunks {
+            scratch.put(c);
+        }
+    }
+
+    /// Consumes the vector front-to-back: calls `f(base_offset, chunk)`
+    /// for each chunk and returns that chunk to the pool *immediately*
+    /// afterwards, so a downstream stage that has its own large buffers
+    /// live only ever coexists with one chunk of this vector.
+    pub fn drain(self, scratch: &mut Scratch<T>, mut f: impl FnMut(usize, &[T])) {
+        let mut offset = 0;
+        for c in self.chunks {
+            f(offset, &c);
+            offset += c.len();
+            scratch.put(c);
+        }
+    }
+
+    /// Copies the chunks out into one flat `Vec` (for differential
+    /// tests and the monolithic fallback path).
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len);
+        for c in &self.chunks {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+}
+
+/// Iterator over a [`ChunkedVec`]'s `(base_offset, chunk)` views in
+/// logical order.
+pub struct StreamCursor<'a, T> {
+    chunks: std::slice::Iter<'a, Vec<T>>,
+    offset: usize,
+}
+
+impl<'a, T> Iterator for StreamCursor<'a, T> {
+    type Item = (usize, &'a [T]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let c = self.chunks.next()?;
+        let off = self.offset;
+        self.offset += c.len();
+        Some((off, c.as_slice()))
     }
 }
 
@@ -340,6 +714,129 @@ mod tests {
         s.trim_to(0);
         assert_eq!(s.pooled(), 0);
         assert_eq!(s.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_parse_accepts_plain_and_suffixed_forms() {
+        assert_eq!(MemBudget::parse("4096"), Some(MemBudget::bytes(4096)));
+        assert_eq!(MemBudget::parse("64k"), Some(MemBudget::bytes(64 << 10)));
+        assert_eq!(MemBudget::parse("256M"), Some(MemBudget::bytes(256 << 20)));
+        assert_eq!(MemBudget::parse(" 2g "), Some(MemBudget::bytes(2 << 30)));
+        assert_eq!(MemBudget::parse(""), None);
+        assert_eq!(MemBudget::parse("lots"), None);
+        assert_eq!(MemBudget::parse("12q"), None);
+        assert!(!MemBudget::unlimited().is_limited());
+        assert_eq!(MemBudget::bytes(7).limit_bytes(), Some(7));
+    }
+
+    #[test]
+    fn try_take_rejects_over_budget_with_typed_error() {
+        // 64 u64 slots = 512 bytes of ceiling.
+        let mut s: Scratch<u64> = Scratch::with_budget(MemBudget::bytes(512));
+        let a = s.try_take(64, 0).expect("fits exactly");
+        let err = s.try_take(1, 0).expect_err("over budget");
+        assert_eq!(err.limit_bytes, 512);
+        assert_eq!(err.requested_bytes, 8);
+        assert_eq!(err.footprint_bytes, 512);
+        s.put(a);
+        // Pooled reuse is always admitted: the buffer is already
+        // counted in the footprint.
+        let b = s.try_take(64, 0).expect("reuse fits");
+        s.put(b);
+    }
+
+    #[test]
+    fn try_take_sheds_idle_buffers_before_rejecting() {
+        let mut s: Scratch<u64> = Scratch::with_budget(MemBudget::bytes(1024));
+        let a = s.take(64, 0); // 512 bytes outstanding
+        s.put(a); // ...now 512 bytes retained, 0 outstanding
+        assert_eq!(s.retained_bytes(), 512);
+        // A 128-slot lease (1024 bytes) only fits if the idle 64-slot
+        // buffer is dropped first.
+        let b = s.try_take(128, 0).expect("must trim idle buffer to fit");
+        assert_eq!(s.retained_bytes(), 0);
+        assert_eq!(s.outstanding_bytes(), 1024);
+        s.put(b);
+    }
+
+    #[test]
+    fn unbudgeted_take_and_try_take_agree() {
+        let mut s: Scratch<u32> = Scratch::new();
+        let a = s.try_take(1000, 3).expect("unlimited budget never rejects");
+        assert_eq!(a.len(), 1000);
+        assert!(a.iter().all(|&x| x == 3));
+        s.put(a);
+    }
+
+    #[test]
+    fn per_pool_high_water_tracks_own_peak() {
+        let mut s: Scratch<u64> = Scratch::new();
+        assert_eq!(s.high_water_bytes(), 0);
+        let a = s.take(64, 0);
+        let b = s.take(64, 0);
+        assert_eq!(s.high_water_bytes(), 2 * 64 * 8);
+        s.put(a);
+        s.put(b);
+        // Peak is sticky across puts...
+        assert_eq!(s.high_water_bytes(), 2 * 64 * 8);
+        s.trim_to(0);
+        // ...until explicitly reset to the current footprint.
+        s.reset_high_water();
+        assert_eq!(s.high_water_bytes(), 0);
+    }
+
+    #[test]
+    fn chunked_vec_round_trips_with_ragged_tail() {
+        let mut s: Scratch<u64> = Scratch::new();
+        let mut cv = ChunkedVec::take(&mut s, 10, 4, 0u64);
+        assert_eq!(cv.len(), 10);
+        assert_eq!(cv.num_chunks(), 3);
+        assert_eq!(cv.chunk(2).len(), 2, "tail chunk is ragged");
+        for i in 0..10 {
+            *cv.get_mut(i) = i as u64 * 3;
+        }
+        assert_eq!(*cv.get(7), 21);
+        // Cursor walks (offset, chunk) in order and covers every slot.
+        let mut seen = Vec::new();
+        for (off, chunk) in cv.cursor() {
+            for (j, v) in chunk.iter().enumerate() {
+                seen.push((off + j, *v));
+            }
+        }
+        assert_eq!(seen.len(), 10);
+        assert!(seen.iter().all(|&(i, v)| v == i as u64 * 3));
+        assert_eq!(cv.to_vec(), (0..10).map(|i| i * 3).collect::<Vec<u64>>());
+        cv.release(&mut s);
+        assert_eq!(s.outstanding_bytes(), 0);
+        assert_eq!(s.pooled(), 3);
+    }
+
+    #[test]
+    fn chunked_vec_drain_returns_chunks_progressively() {
+        let mut s: Scratch<u64> = Scratch::new();
+        let cv = ChunkedVec::take(&mut s, 8, 4, 5u64);
+        assert_eq!(s.outstanding_bytes(), 2 * 4 * 8);
+        let mut offsets = Vec::new();
+        let mut total = 0u64;
+        cv.drain(&mut s, |off, chunk| {
+            offsets.push(off);
+            total += chunk.iter().sum::<u64>();
+        });
+        assert_eq!(offsets, vec![0, 4]);
+        assert_eq!(total, 8 * 5);
+        assert_eq!(s.outstanding_bytes(), 0);
+    }
+
+    #[test]
+    fn chunked_vec_try_take_releases_partial_lease_on_rejection() {
+        // Room for two 4-slot chunks (64 bytes), not three.
+        let mut s: Scratch<u64> = Scratch::with_budget(MemBudget::bytes(64));
+        let err = ChunkedVec::try_take(&mut s, 12, 4, 0u64).expect_err("third chunk over budget");
+        assert_eq!(err.limit_bytes, 64);
+        // The two admitted chunks were returned, not stranded.
+        assert_eq!(s.outstanding_bytes(), 0);
+        let ok = ChunkedVec::try_take(&mut s, 8, 4, 0u64).expect("two chunks fit");
+        ok.release(&mut s);
     }
 
     #[test]

@@ -69,6 +69,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean, if this value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// A parse failure, with the byte offset where it happened.

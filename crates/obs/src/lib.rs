@@ -184,7 +184,14 @@ impl Histogram {
             if count == 0 {
                 return 0;
             }
-            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            // Exclusive nearest-rank: ⌊count·q⌋ + 1 (clamped to count).
+            // The inclusive form ⌈count·q⌉ under-selects when counts
+            // concentrate in low buckets: with 99 small samples and one
+            // huge one, ⌈100·0.99⌉ = 99 still lands in the low bucket
+            // and p99 reports a value 400× below the observed max. The
+            // exclusive rank picks sample 100 — the tail — which is the
+            // "no more than" bound a percentile promises.
+            let rank = (((count as f64) * q).floor() as u64 + 1).min(count);
             let mut seen = 0;
             for (i, n) in buckets.iter().enumerate() {
                 seen += n;
@@ -572,6 +579,30 @@ mod tests {
         assert_eq!(s.p50_ns, 63);
         assert_eq!(s.p99_ns, 100);
         assert!(s.p50_ns >= 50, "percentile must not under-report");
+    }
+
+    #[test]
+    fn skewed_low_heavy_distribution_p99_reaches_the_tail() {
+        // Regression for the BENCH_pr8.json anomaly: `qap.evals_at`
+        // reported p99_ns = 131071 against max_ns = 53115274. With 99
+        // samples in a low bucket and 1 huge outlier, the inclusive
+        // rank ⌈100·0.99⌉ = 99 selected the low bucket; the exclusive
+        // rank ⌊100·0.99⌋ + 1 = 100 must select the outlier.
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(100_000);
+        }
+        h.record(53_115_274);
+        let s = h.stats();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max_ns, 53_115_274);
+        assert_eq!(
+            s.p99_ns, 53_115_274,
+            "p99 must land in the outlier's bucket (clamped to max)"
+        );
+        // p50 still reports the low bucket's ceiling.
+        assert_eq!(s.p50_ns, (1u64 << bucket_of(100_000)) - 1);
+        assert!(s.p50_ns < 1 << 18);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! `Aᵢ(0) = Bᵢ(0) = Cᵢ(0) = 0`), raising the interpolant degree to `n`.
 
 use zaatar_field::{batch_inverse, PrimeField};
-use zaatar_mem::Scratch;
+use zaatar_mem::{BudgetError, ChunkedVec, Scratch};
 
 use crate::dense::DensePoly;
 use crate::fast::ProductTree;
@@ -135,6 +135,34 @@ pub trait EvalDomain<F: PrimeField>: Clone + Send + Sync {
         let mut coeffs = h.into_coeffs();
         coeffs.resize(self.size() + 1, F::ZERO);
         Some(coeffs)
+    }
+
+    /// Streaming variant of [`EvalDomain::quotient_zero_pinned_scratch`]
+    /// consuming *chunked* witness-combination values and returning
+    /// each chunk to the pool as soon as it is absorbed. Coefficients
+    /// are bit-identical to the monolithic paths (field arithmetic is
+    /// exact and the per-slot operation sequence is unchanged); what
+    /// differs is peak residency. Budget-limited pools reject via
+    /// [`BudgetError`] with every leased chunk returned first.
+    ///
+    /// The default implementation flattens and delegates — correct for
+    /// any domain, no residency win. [`Radix2Domain`] overrides it with
+    /// a kernel that holds at most two size-`2n` coset buffers at once
+    /// (the monolithic kernel holds three).
+    fn quotient_zero_pinned_streamed(
+        &self,
+        a_vals: ChunkedVec<F>,
+        b_vals: ChunkedVec<F>,
+        c_vals: ChunkedVec<F>,
+        scratch: &mut Scratch<F>,
+    ) -> Result<Option<Vec<F>>, BudgetError> {
+        let a = a_vals.to_vec();
+        a_vals.release(scratch);
+        let b = b_vals.to_vec();
+        b_vals.release(scratch);
+        let c = c_vals.to_vec();
+        c_vals.release(scratch);
+        Ok(self.quotient_zero_pinned_scratch(&a, &b, &c, scratch))
     }
 }
 
@@ -398,6 +426,120 @@ impl<F: PrimeField> EvalDomain<F> for Radix2Domain<F> {
         scratch.put(eb);
         scratch.put(h);
         Some(out)
+    }
+
+    /// Streaming coset kernel: the A/B/C value streams are absorbed into
+    /// the coset buffers one chunk at a time (each chunk returns to the
+    /// pool the moment it is copied), and the three-buffer pointwise
+    /// combine is reassociated so only **two** size-`2n` buffers are ever
+    /// live — B's coset evaluations fold into H in place before C's
+    /// buffer is leased (reusing B's storage via the pool). Per slot the
+    /// operation sequence is still `h·eb`, `− ec`, `· v`, in that order,
+    /// so the output is bit-identical to the monolithic kernels; the
+    /// transforms run tiled ([`fft::ntt_tiled`]), which is also
+    /// bit-identical. Peak residency drops from `9n` field elements
+    /// (3 value vectors + 3 coset buffers) to `≈ 5n + chunk`.
+    fn quotient_zero_pinned_streamed(
+        &self,
+        a_vals: ChunkedVec<F>,
+        b_vals: ChunkedVec<F>,
+        c_vals: ChunkedVec<F>,
+        scratch: &mut Scratch<F>,
+    ) -> Result<Option<Vec<F>>, BudgetError> {
+        let _span = zaatar_obs::time("poly.quotient");
+        let n = self.size;
+        assert_eq!(a_vals.len(), n, "value stream length mismatch");
+        assert_eq!(b_vals.len(), n, "value stream length mismatch");
+        assert_eq!(c_vals.len(), n, "value stream length mismatch");
+        // Divisibility gate before any coset buffer is leased: with a
+        // simple root at every domain point, D | P_w iff the values
+        // satisfy a·b = c pointwise.
+        let satisfied = (0..n).all(|j| *a_vals.get(j) * *b_vals.get(j) == *c_vals.get(j));
+        if !satisfied {
+            a_vals.release(scratch);
+            b_vals.release(scratch);
+            c_vals.release(scratch);
+            return Ok(None);
+        }
+        let big = 2 * n;
+        let gen_inv = self.group_gen_inv;
+        let shift = F::multiplicative_generator();
+        // H buffer: absorb A's chunks in zero-pinned layout
+        // (buf[1 + j] = a[j]·ω^{−j}), then interpolate and move to the
+        // coset — the same op sequence as the monolithic `to_coset`.
+        let mut h = match scratch.try_take(big, F::ZERO) {
+            Ok(buf) => buf,
+            Err(e) => {
+                a_vals.release(scratch);
+                b_vals.release(scratch);
+                c_vals.release(scratch);
+                return Err(e);
+            }
+        };
+        let mut inv = F::ONE;
+        a_vals.drain(scratch, |off, chunk| {
+            for (slot, e) in h[1 + off..1 + off + chunk.len()].iter_mut().zip(chunk) {
+                *slot = *e * inv;
+                inv *= gen_inv;
+            }
+        });
+        fft::intt_tiled(&mut h[1..=n]);
+        fft::coset_ntt_tiled(&mut h, shift);
+        // B's coset buffer — the second and last big buffer ever live.
+        let mut eb = match scratch.try_take(big, F::ZERO) {
+            Ok(buf) => buf,
+            Err(e) => {
+                scratch.put(h);
+                b_vals.release(scratch);
+                c_vals.release(scratch);
+                return Err(e);
+            }
+        };
+        let mut inv = F::ONE;
+        b_vals.drain(scratch, |off, chunk| {
+            for (slot, e) in eb[1 + off..1 + off + chunk.len()].iter_mut().zip(chunk) {
+                *slot = *e * inv;
+                inv *= gen_inv;
+            }
+        });
+        fft::intt_tiled(&mut eb[1..=n]);
+        fft::coset_ntt_tiled(&mut eb, shift);
+        // Fold B into H (the `h·eb` half of the monolithic pointwise
+        // combine) and return B's storage before leasing C's — the pool
+        // hands the same buffer back.
+        for (hj, ebj) in h.iter_mut().zip(eb.iter()) {
+            *hj *= *ebj;
+        }
+        scratch.put(eb);
+        let mut ec = match scratch.try_take(big, F::ZERO) {
+            Ok(buf) => buf,
+            Err(e) => {
+                scratch.put(h);
+                c_vals.release(scratch);
+                return Err(e);
+            }
+        };
+        let mut inv = F::ONE;
+        c_vals.drain(scratch, |off, chunk| {
+            for (slot, e) in ec[1 + off..1 + off + chunk.len()].iter_mut().zip(chunk) {
+                *slot = *e * inv;
+                inv *= gen_inv;
+            }
+        });
+        fft::intt_tiled(&mut ec[1..=n]);
+        fft::coset_ntt_tiled(&mut ec, shift);
+        // Vanishing values on the coset: (g·ω₂ₙʲ)ⁿ − 1 = gⁿ·(−1)ʲ − 1.
+        let gn = shift.pow(n as u64);
+        let v_even = (gn - F::ONE).inverse().expect("proper coset");
+        let v_odd = (-gn - F::ONE).inverse().expect("proper coset");
+        for (j, hj) in h.iter_mut().enumerate() {
+            *hj = (*hj - ec[j]) * if j % 2 == 0 { v_even } else { v_odd };
+        }
+        fft::coset_intt_tiled(&mut h, shift);
+        let out = h[..=n].to_vec();
+        scratch.put(ec);
+        scratch.put(h);
+        Ok(Some(out))
     }
 }
 
@@ -827,6 +969,71 @@ mod coset_tests {
             .is_none());
         // Re-running the largest size now hits the pool instead of allocating.
         assert!(scratch.pooled() > 0);
+    }
+
+    #[test]
+    fn streamed_quotient_matches_scratch_kernel_across_chunkings() {
+        use zaatar_mem::{ChunkedVec, MemBudget};
+        let mut scratch = Scratch::new();
+        for n in [1usize, 2, 8, 32] {
+            let d = Radix2Domain::<F61>::new(n);
+            let a_vals: Vec<F61> = (0..n as u64).map(|i| F61::from_u64(i * 7 + 1)).collect();
+            let b_vals: Vec<F61> = (0..n as u64).map(|i| F61::from_u64(i * 3 + 4)).collect();
+            let c_vals: Vec<F61> = a_vals.iter().zip(&b_vals).map(|(a, b)| *a * *b).collect();
+            let reference = d
+                .quotient_zero_pinned_scratch(&a_vals, &b_vals, &c_vals, &mut scratch)
+                .expect("satisfying values");
+            // One chunk, two chunks, and a ragged tail.
+            for chunk_len in [n.max(1), n.div_ceil(2).max(1), 3] {
+                let load = |vals: &[F61], s: &mut Scratch<F61>| {
+                    let mut cv = ChunkedVec::take(s, n, chunk_len, F61::ZERO);
+                    for (i, v) in vals.iter().enumerate() {
+                        *cv.get_mut(i) = *v;
+                    }
+                    cv
+                };
+                let ca = load(&a_vals, &mut scratch);
+                let cb = load(&b_vals, &mut scratch);
+                let cc = load(&c_vals, &mut scratch);
+                let streamed = d
+                    .quotient_zero_pinned_streamed(ca, cb, cc, &mut scratch)
+                    .expect("no budget set")
+                    .expect("satisfying values");
+                assert_eq!(streamed, reference, "n={n} chunk_len={chunk_len}");
+            }
+        }
+        // Rejection releases every chunk (no outstanding accounting drift).
+        let d = Radix2Domain::<F61>::new(4);
+        let before = scratch.outstanding_bytes();
+        let ones = ChunkedVec::take(&mut scratch, 4, 2, F61::ONE);
+        let ones2 = ChunkedVec::take(&mut scratch, 4, 2, F61::ONE);
+        let zeros = ChunkedVec::take(&mut scratch, 4, 2, F61::ZERO);
+        assert!(d
+            .quotient_zero_pinned_streamed(ones, ones2, zeros, &mut scratch)
+            .expect("no budget")
+            .is_none());
+        assert_eq!(scratch.outstanding_bytes(), before);
+
+        // Budget too small for the coset buffers: typed error, all
+        // chunks back in the pool.
+        let mut tight: Scratch<F61> = Scratch::with_budget(MemBudget::bytes(16 * 8));
+        let n = 16;
+        let d = Radix2Domain::<F61>::new(n);
+        let mk = |fill: u64, s: &mut Scratch<F61>| {
+            let mut cv = ChunkedVec::take(s, n, 4, F61::ZERO);
+            for i in 0..n {
+                *cv.get_mut(i) = F61::from_u64(fill);
+            }
+            cv
+        };
+        let ca = mk(2, &mut tight);
+        let cb = mk(3, &mut tight);
+        let cc = mk(6, &mut tight);
+        let err = d
+            .quotient_zero_pinned_streamed(ca, cb, cc, &mut tight)
+            .expect_err("2n coset buffer cannot fit a 16-element budget");
+        assert_eq!(err.limit_bytes, 16 * 8);
+        assert_eq!(tight.outstanding_bytes(), 0, "error path released all chunks");
     }
 
     #[test]

@@ -45,6 +45,30 @@ pub fn intt<F: PrimeField>(a: &mut [F]) {
     plan.inverse(a);
 }
 
+/// Forward NTT sweeping each butterfly pass in cache-sized tiles (see
+/// [`crate::plan::NttPlan::forward_tiled`]): bit-identical output to
+/// [`ntt`], bounded per-pass working set. The streaming quotient kernel
+/// uses these so its transforms never stream more than a tile at a time
+/// on top of the single coset buffer they run in.
+pub fn ntt_tiled<F: PrimeField>(a: &mut [F]) {
+    if a.len() <= 1 {
+        return;
+    }
+    let plan = plan_for_len::<F>(a.len());
+    let _span = zaatar_obs::time("poly.ntt.forward");
+    plan.forward_tiled(a, crate::plan::NTT_TILE_LOG2);
+}
+
+/// Tiled counterpart of [`intt`]; see [`ntt_tiled`].
+pub fn intt_tiled<F: PrimeField>(a: &mut [F]) {
+    if a.len() <= 1 {
+        return;
+    }
+    let plan = plan_for_len::<F>(a.len());
+    let _span = zaatar_obs::time("poly.ntt.inverse");
+    plan.inverse_tiled(a, crate::plan::NTT_TILE_LOG2);
+}
+
 /// Multiplies two coefficient vectors via NTT, returning the product's
 /// coefficients (length `a.len() + b.len() − 1`, untrimmed).
 pub fn fft_mul<F: PrimeField>(a: &[F], b: &[F]) -> Vec<F> {
@@ -83,6 +107,27 @@ pub fn coset_ntt<F: PrimeField>(a: &mut [F], shift: F) {
 /// coset `g·H`.
 pub fn coset_intt<F: PrimeField>(a: &mut [F], shift: F) {
     intt(a);
+    let shift_inv = shift.inverse().expect("coset shift must be nonzero");
+    let mut power = F::ONE;
+    for c in a.iter_mut() {
+        *c *= power;
+        power *= shift_inv;
+    }
+}
+
+/// Tiled counterpart of [`coset_ntt`]: same scaling, tiled transform.
+pub fn coset_ntt_tiled<F: PrimeField>(a: &mut [F], shift: F) {
+    let mut power = F::ONE;
+    for c in a.iter_mut() {
+        *c *= power;
+        power *= shift;
+    }
+    ntt_tiled(a);
+}
+
+/// Tiled counterpart of [`coset_intt`].
+pub fn coset_intt_tiled<F: PrimeField>(a: &mut [F], shift: F) {
+    intt_tiled(a);
     let shift_inv = shift.inverse().expect("coset shift must be nonzero");
     let mut power = F::ONE;
     for c in a.iter_mut() {

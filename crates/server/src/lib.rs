@@ -36,7 +36,10 @@ use std::net::{TcpListener, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use zaatar_core::runtime::{errcode, msg};
-use zaatar_core::{parse_instance_index, HeteroSessionProver, ProverWorkspace, SessionError, ZaatarProof};
+use zaatar_core::{
+    parse_instance_index, HeteroSessionProver, MemBudget, ProverWorkspace, SessionError,
+    ZaatarProof,
+};
 use zaatar_core::pcp::ZaatarPcp;
 use zaatar_crypto::HasGroup;
 use zaatar_field::PrimeField;
@@ -69,6 +72,14 @@ pub struct ServerConfig {
     /// When memory pressure engages, workspaces returning to the pool
     /// are trimmed to at most this many retained bytes.
     pub trim_to_bytes: usize,
+    /// Per-tenant workspace budget: every leased workspace enforces
+    /// this as a hard cap on each of its pools, so one tenant's
+    /// streaming session fails with a typed
+    /// [`SessionError::BudgetExceeded`] instead of growing into the
+    /// server-wide [`ServerConfig::max_footprint_bytes`] headroom other
+    /// tenants depend on. [`MemBudget::unlimited`] (the default)
+    /// preserves the pre-budget behavior.
+    pub tenant_budget: MemBudget,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +92,7 @@ impl Default for ServerConfig {
             frames_per_sweep: 32,
             pool_capacity: 64,
             trim_to_bytes: 1 << 20,
+            tenant_budget: MemBudget::unlimited(),
         }
     }
 }
@@ -342,6 +354,12 @@ where
         let refused = self.sessions.len() >= self.config.max_sessions
             || self.workspace_footprint_bytes() >= self.config.max_footprint_bytes;
         let ws = if refused { None } else { self.pool.lease() };
+        // A recycled workspace may carry a previous session's budget
+        // (or none); (re)stamp the per-tenant cap before it serves.
+        let ws = ws.map(|mut ws| {
+            ws.set_budget(self.config.tenant_budget);
+            ws
+        });
         let tenant_entry = self.stats.per_tenant.entry(tenant.to_string()).or_default();
         let Some(ws) = ws else {
             tenant_entry.rejected += 1;
@@ -640,5 +658,34 @@ mod tests {
         assert!(c.pool_capacity >= c.max_sessions);
         assert!(c.frames_per_sweep >= 1);
         assert!(c.session_budget > c.idle_timeout);
+        assert_eq!(c.tenant_budget, MemBudget::unlimited());
+    }
+
+    #[test]
+    fn admit_stamps_the_tenant_budget_on_leased_workspaces() {
+        let fx = zaatar_core::testutil::mul_fixture(&[[3, 7]]);
+        let config = ServerConfig {
+            tenant_budget: MemBudget::bytes(1 << 20),
+            ..ServerConfig::default()
+        };
+        let mut server = SessionServer::new(&fx.pcp, &fx.proofs, config);
+        let (_client, pt) = zaatar_transport::loopback_transport_pair();
+        let Admission::Admitted(id) = server.admit(pt, "tenant-a") else {
+            panic!("empty server must admit");
+        };
+        let session = server.sessions.get(&id).expect("live session");
+        let ws = session.ws.as_ref().expect("admitted session owns a workspace");
+        assert_eq!(ws.budget().limit_bytes(), Some(1 << 20));
+        // A workspace recycled through the pool gets re-stamped: park
+        // one with no budget and admit again.
+        let mut stale: ProverWorkspace<F61> = ProverWorkspace::new();
+        stale.set_budget(MemBudget::unlimited());
+        server.pool.release(stale);
+        let (_client2, pt2) = zaatar_transport::loopback_transport_pair();
+        let Admission::Admitted(id2) = server.admit(pt2, "tenant-b") else {
+            panic!("second admit fits under default ceilings");
+        };
+        let ws2 = server.sessions.get(&id2).unwrap().ws.as_ref().unwrap();
+        assert_eq!(ws2.budget().limit_bytes(), Some(1 << 20));
     }
 }

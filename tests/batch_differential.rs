@@ -11,7 +11,7 @@ use zaatar::cc::Builder;
 use zaatar::core::commit::{decommit, decommit_packed};
 use zaatar::core::pcp::{BatchQuerySet, PcpResponses, ZaatarPcp, ZaatarProof};
 use zaatar::core::qap::QapWitness;
-use zaatar::core::runtime::{answer_batch, prove_batch, prove_batch_with};
+use zaatar::core::runtime::{answer_batch, prove_batch, prove_batch_streamed, prove_batch_with};
 use zaatar::core::session::{SessionProver, SessionVerifier};
 use zaatar::core::workspace::ProverWorkspace;
 use zaatar::crypto::ChaChaPrg;
@@ -286,4 +286,142 @@ fn workspace_footprint_bounded_across_sessions() {
     assert!(zaatar::obs::gauge("mem.scratch.high_water").get() >= largest_pool as u64);
     // And the transcripts stay deterministic throughout.
     assert_eq!(run(&mut ws), first);
+}
+
+/// [`session_transcript`] through the streaming prover path:
+/// commitments feed the MSM `chunk_len` scalars at a time and the
+/// Answer-stage buffers are budget-checked leases.
+fn session_transcript_streamed(
+    pcp: &Pcp,
+    proofs: &[Option<ZaatarProof<F61>>],
+    ios: &[Vec<F61>],
+    seed: u64,
+    chunk_len: usize,
+    ws: &mut ProverWorkspace<F61>,
+) -> Vec<Vec<u8>> {
+    let mut prg = ChaChaPrg::from_u64_seed(seed);
+    let mut verifier = SessionVerifier::new(pcp, &mut prg);
+    let mut prover = SessionProver::new(pcp);
+    let setup = verifier.setup_message().unwrap();
+    prover.receive_setup(&setup).unwrap();
+    let mut transcript = vec![setup];
+    for (p, io) in proofs.iter().zip(ios) {
+        let p = p.as_ref().expect("fixture witnesses satisfy the system");
+        let msg = prover.instance_message_streamed(p, chunk_len, ws).unwrap();
+        assert!(verifier.verify_instance(&msg, io).unwrap());
+        transcript.push(msg);
+    }
+    transcript
+}
+
+/// PR 9 tentpole lockdown: the streaming chunked pipeline — chunked
+/// Witness accumulators, the drained coset quotient kernel, and
+/// chunk-fed MSM commitments — produces session wire transcripts
+/// **byte-identical** to the monolithic path for every chunk geometry:
+/// one covering chunk, an even two-way split, and a ragged tail that
+/// divides nothing. Field arithmetic is exact and the streaming stages
+/// replay the monolithic per-slot operation order, so any divergence
+/// here is a bug in the chunk walking.
+#[test]
+fn streaming_prove_transcripts_byte_identical_across_chunk_sizes() {
+    for beta in [1usize, 4, 16] {
+        let inputs: Vec<[i64; 2]> = (0..beta as i64).map(|i| [2 * i + 1, 19 - 3 * i]).collect();
+        let (pcp, witnesses, ios) = fixture_witnesses(&inputs);
+        let n = pcp.qap().degree() + 1;
+        let fresh: Vec<Option<ZaatarProof<F61>>> =
+            witnesses.iter().map(|w| pcp.prove(w)).collect();
+        for seed in [0u64, 0xA11CE, 0x5eed_f00d] {
+            let reference =
+                session_transcript(&pcp, &fresh, &ios, seed, &mut ProverWorkspace::new());
+            // One covering chunk, an even split, and a ragged tail.
+            for chunk_len in [n, n.div_ceil(2), 7] {
+                let mut ws = ProverWorkspace::new();
+                let proofs = prove_batch_streamed(&pcp, &witnesses, chunk_len, &mut ws)
+                    .expect("an unbudgeted workspace admits every lease");
+                let transcript =
+                    session_transcript_streamed(&pcp, &proofs, &ios, seed, chunk_len, &mut ws);
+                assert_eq!(
+                    transcript, reference,
+                    "β={beta}, seed={seed}, chunk_len={chunk_len}"
+                );
+            }
+        }
+    }
+}
+
+/// The multiplication-chain circuit the bench baseline measures
+/// (`build_workload` in `bench_baseline.rs`), parameterized so the
+/// leak guard can scale it 16×.
+fn bench_chain_fixture(chain: usize, batch: usize) -> (Pcp, Vec<QapWitness<F61>>, Vec<Vec<F61>>) {
+    let mut b = Builder::<F61>::new();
+    let x = b.alloc_input();
+    let y = b.alloc_input();
+    let mut acc = b.mul(&x, &y);
+    for _ in 0..chain {
+        acc = b.mul(&acc, &x);
+        let s = acc.add(&y);
+        acc = b.mul(&s, &y);
+    }
+    b.bind_output(&acc);
+    let (sys, solver) = b.finish();
+    let field_inputs: Vec<Vec<F61>> = (0..batch as i64).map(|i| vec![f(2 + i), f(3 + i)]).collect();
+    let fx = zaatar::core::testutil::circuit_fixture(&sys, &solver, &field_inputs);
+    (fx.pcp, fx.witnesses, fx.ios)
+}
+
+/// PR 9 leak + budget guard at scale: a circuit ≥ 16× the bench
+/// baseline's workload (bench runs chain = 160 → domain 512; this runs
+/// chain = 2560 → domain 8192) proves through the streaming pipeline
+/// under a hard budget **below the monolithic path's measured peak**,
+/// across 100 back-to-back sessions on one workspace — no
+/// `BudgetExceeded`, no footprint creep, and the per-session bytes
+/// stay identical to the monolithic reference throughout.
+#[test]
+fn streaming_leak_guard_high_water_under_budget_at_16x_bench() {
+    let (pcp, witnesses, ios) = bench_chain_fixture(2560, 1);
+    let n = pcp.qap().degree() + 1;
+    assert!(n >= 16 * 512, "must be ≥ 16× the bench domain, got {n}");
+    let chunk_len = 512usize;
+
+    // One verifier setup serves all 100 sessions (the expensive
+    // `Enc(r)` generation is once-per-key in production too); each
+    // session is a full streamed prove + instance answer.
+    let mut prg = ChaChaPrg::from_u64_seed(0xcafe);
+    let mut verifier = SessionVerifier::new(&pcp, &mut prg);
+    let mut prover = SessionProver::new(&pcp);
+    let setup = verifier.setup_message().unwrap();
+    prover.receive_setup(&setup).unwrap();
+
+    // Yardstick: the monolithic path's peak residency on this circuit.
+    let mut mono = ProverWorkspace::new();
+    let mono_proofs = prove_batch_with(&pcp, &witnesses, &mut mono);
+    let mono_proof = mono_proofs[0].as_ref().expect("honest witness");
+    let reference = prover.instance_message_with(mono_proof, &mut mono).unwrap();
+    assert!(verifier.verify_instance(&reference, &ios[0]).unwrap());
+    let mono_peak = mono.high_water_bytes();
+    assert!(mono_peak > 0);
+
+    // The streaming budget: strictly below what monolithic needed, so
+    // passing under it is evidence of an actual residency reduction,
+    // not just of a generous cap.
+    let budget = mono_peak * 3 / 4;
+    let mut ws = ProverWorkspace::with_budget(zaatar::core::MemBudget::bytes(budget));
+    for session in 0..100 {
+        let proofs = prove_batch_streamed(&pcp, &witnesses, chunk_len, &mut ws)
+            .unwrap_or_else(|e| panic!("session {session}: budget refused a lease: {e}"));
+        let proof = proofs[0].as_ref().expect("honest witness");
+        let msg = prover
+            .instance_message_streamed(proof, chunk_len, &mut ws)
+            .unwrap_or_else(|e| panic!("session {session}: {e}"));
+        assert_eq!(msg, reference, "session {session}: wire bytes diverged");
+    }
+    let peak = ws.high_water_bytes();
+    assert!(
+        peak <= budget,
+        "streaming peak {peak} exceeded the {budget}-byte budget"
+    );
+    assert!(
+        peak < mono_peak,
+        "streaming peak {peak} must undercut the monolithic peak {mono_peak}"
+    );
 }

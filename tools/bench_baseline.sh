@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates the committed performance baseline, `BENCH_pr8.json`,
+# Regenerates the committed performance baseline, `BENCH_pr9.json`,
 # then runs the in-tree `cargo bench` groups for eyeball comparison:
 #
 #   tools/bench_baseline.sh            # full baseline (seconds)
@@ -7,15 +7,22 @@
 #
 # `BENCH_seed.json` (schema v1), `BENCH_pr3.json` (schema v2),
 # `BENCH_pr4.json` (schema v3), `BENCH_pr5.json` (schema v4),
-# `BENCH_pr6.json` (schema v5), and `BENCH_pr7.json` (schema v6) are
-# frozen earlier records kept for before/after comparison; new
-# snapshots land in `BENCH_pr8.json` (schema v7, which adds the `cc`
-# section: per-app constraint counts before/after the `cc::opt` pass
-# pipeline with the fold/CSE/prune work tallies; the validator rejects
-# any baseline where the optimizer grew a circuit or shrank fewer than
-# three). Note the percentile semantics change introduced in v6
-# snapshots: `p50_ns`/`p99_ns` are bucket upper bounds clamped to the
-# observed max; older frozen baselines carry the old floor semantics.
+# `BENCH_pr6.json` (schema v5), `BENCH_pr7.json` (schema v6), and
+# `BENCH_pr8.json` (schema v7) are frozen earlier records kept for
+# before/after comparison; new snapshots land in `BENCH_pr9.json`
+# (schema v8, which adds the `stream` section: monolithic vs streaming
+# prover peak workspace residency at two circuit sizes with a
+# proof byte-identity flag; the validator requires the streaming peak
+# strictly below the monolithic one at the larger size). Note the
+# percentile semantics change introduced in v6 snapshots:
+# `p50_ns`/`p99_ns` are bucket upper bounds clamped to the observed
+# max — and PR 9 fixes the nearest-rank selection so a skewed
+# distribution's p99 lands in the true tail bucket; older frozen
+# baselines carry the earlier semantics.
+#
+# The streaming measurement honors `ZAATAR_MEM_BUDGET` (e.g. `256k`,
+# `16m`): when set, the streaming workspace enforces it as a hard cap
+# and the run aborts if a lease would exceed it.
 #
 # The baseline is emitted and schema-checked by the `bench_baseline`
 # binary (see crates/bench/src/bin/bench_baseline.rs); timings come
@@ -25,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ARGS=("$@")
-OUT="BENCH_pr8.json"
+OUT="BENCH_pr9.json"
 
 echo "==> bench_baseline → ${OUT}"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \

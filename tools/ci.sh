@@ -67,16 +67,31 @@ cargo test -q -p zaatar-crypto --test proptests --locked --release -- \
 echo "==> compiler smoke (optimizer differential + hetero acceptance, release)"
 cargo test -q -p zaatar --test compiler_differential --locked --release
 
-# The validator enforces the full v7 schema, including the `ntt` and
+# Streaming differential smoke: the chunked prover pipeline must
+# produce session wire transcripts byte-identical to the monolithic
+# path across batch sizes and chunk geometries (one covering chunk,
+# even split, ragged tail) under the release profile, and the 16×
+# leak guard must hold its budget across 100 sessions — these run in
+# step 3 too, but a failure here names the streaming pipeline
+# directly.
+echo "==> streaming differential smoke (chunked prover, release)"
+cargo test -q -p zaatar --test batch_differential --locked --release -- \
+    streaming_prove_transcripts_byte_identical_across_chunk_sizes \
+    streaming_leak_guard_high_water_under_budget_at_16x_bench
+
+# The validator enforces the full v8 schema, including the `ntt` and
 # `pcp` sections (batch amortization must strictly reduce per-instance
 # query-setup cost), the `mem` section (the staged prover pipeline
 # must show a non-zero scratch-pool hit rate at batch size 16), the
-# `server` section (admissions must dominate rejections at nominal
-# load; synthetic overload must split deterministically), the `commit`
-# section (the bucket MSM must beat the per-element loop by ≥ 4× at
-# the largest measured oracle length), and the `cc` section (the
-# optimizer must never grow a circuit and must strictly shrink at
-# least three zoo apps).
+# `stream` section (the chunked streaming prover must hold a strictly
+# smaller peak residency than the monolithic path at the larger
+# measured circuit, with byte-identical proofs), the `server` section
+# (admissions must dominate rejections at nominal load; synthetic
+# overload must split deterministically), the `commit` section (the
+# bucket MSM must beat the per-element loop by ≥ 4× at the largest
+# measured oracle length), and the `cc` section (the optimizer must
+# never grow a circuit and must strictly shrink at least three zoo
+# apps).
 echo "==> bench smoke (baseline emit + schema validation)"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
     --smoke --out target/bench_smoke.json
