@@ -54,7 +54,8 @@ pub use pcp::{BatchQuerySet, PcpParams, QuerySet, ZaatarPcp, ZaatarProof};
 pub use network::{queries_from_seed, zaatar_network_costs, NetworkCosts};
 pub use qap::{Qap, QapEvals, QapWitness, StagedWitness, StagedWitnessChunked};
 pub use runtime::{
-    answer_batch, parse_instance_index, prove_batch, prove_batch_streamed, prove_batch_with,
+    answer_batch, answer_batch_with_policy, parse_instance_index, prove_batch,
+    prove_batch_streamed, prove_batch_with, prove_batch_with_policy, prove_instance_policied,
     run_hetero_session_prover, run_hetero_session_verifier, run_session_prover,
     run_session_verifier, ProverStats, SessionReport, VerifyOutcome,
 };
@@ -67,3 +68,8 @@ pub use workspace::ProverWorkspace;
 // `SessionError::BudgetExceeded`), so re-export them for downstream users
 // that don't depend on `zaatar-mem` directly.
 pub use zaatar_mem::{BudgetError, MemBudget};
+// Same for the scheduler types (`ProverWorkspace::with_policy`,
+// `prove_batch_with_policy`, the server's per-tenant policy stamp).
+pub use zaatar_sched::{
+    Answering, ExecPolicy, HostProfile, MicroCosts, Proving, Scheduler, WorkloadShape,
+};

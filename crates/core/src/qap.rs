@@ -476,6 +476,27 @@ impl<F: PrimeField, D: EvalDomain<F>> Qap<F, D> {
         self.quotient_stage_streamed(staged, ws)
     }
 
+    /// The quotient computation through whichever pipeline the
+    /// workspace's stamped [`zaatar_sched::ExecPolicy`] selects:
+    /// [`zaatar_sched::Proving::Monolithic`] runs
+    /// [`Qap::compute_h_with`] (the `Err` path is then unreachable),
+    /// [`zaatar_sched::Proving::Streamed`] runs
+    /// [`Qap::compute_h_streamed`] at the policy's chunk length.
+    /// Coefficients are bit-identical either way; `Ok(None)` means the
+    /// witness does not satisfy the QAP.
+    pub fn compute_h_policied(
+        &self,
+        witness: &QapWitness<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<Option<Vec<F>>, BudgetError> {
+        match ws.policy().proving {
+            zaatar_sched::Proving::Monolithic => Ok(self.compute_h_with(witness, ws)),
+            zaatar_sched::Proving::Streamed { chunk_len } => {
+                self.compute_h_streamed(witness, chunk_len, ws)
+            }
+        }
+    }
+
     /// Like [`Qap::compute_h`] but returns the (useless) quotient even
     /// when the remainder is non-zero — what a *cheating* prover would
     /// ship. Used by the soundness experiments. Deliberately kept on the

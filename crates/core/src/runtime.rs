@@ -25,7 +25,9 @@ use std::time::{Duration, Instant};
 
 use zaatar_crypto::{ChaChaPrg, HasGroup};
 use zaatar_field::PrimeField;
+use zaatar_mem::MemBudget;
 use zaatar_poly::domain::EvalDomain;
+use zaatar_sched::{Answering, ExecPolicy, Proving};
 use zaatar_transport::{exchange, Frame, RetryPolicy, Transport, TransportError};
 
 use crate::parallel::{parallel_map, parallel_map_with};
@@ -70,12 +72,75 @@ pub mod errcode {
     pub const EXPIRED: u8 = 5;
 }
 
-/// Builds the proofs for a batch of witnesses across `workers` threads
-/// (the paper's "embarrassingly parallel instances", §5.2), preserving
-/// batch order. Per-instance results mirror [`ZaatarPcp::prove`]: a
-/// non-satisfying witness yields `None` for that instance only, so one
-/// bad instance cannot sink the batch — the same graceful-degradation
-/// contract the session layer gives verdicts.
+/// Builds the proofs for a batch of witnesses under an explicit
+/// [`ExecPolicy`]: `policy.workers` threads (the paper's
+/// "embarrassingly parallel instances", §5.2), each with its own
+/// [`ProverWorkspace`] capped by `budget`, each instance proved through
+/// the pipeline `policy.proving` selects — [`Proving::Monolithic`] runs
+/// [`ZaatarPcp::prove_with`], [`Proving::Streamed`] runs
+/// [`ZaatarPcp::prove_streamed`] at the policy's chunk length. Output
+/// order matches `witnesses`, and proofs are byte-identical across
+/// every policy: the policy moves work across threads and chunks, never
+/// into the transcript.
+///
+/// Per-instance results mirror [`ZaatarPcp::prove`]: a non-satisfying
+/// witness yields `None` for that instance only, so one bad instance
+/// cannot sink the batch — the same graceful-degradation contract the
+/// session layer gives verdicts. A budget refusal, by contrast, aborts
+/// the batch with `Err`: it is an environment problem every remaining
+/// instance would hit too.
+///
+/// This is the policy-dispatched entry point the legacy
+/// [`prove_batch`] / [`prove_batch_streamed`] wrappers collapse into;
+/// derive the policy with [`zaatar_sched::Scheduler::policy`] or pin it
+/// with the [`ExecPolicy`] constructors.
+pub fn prove_batch_with_policy<F, D>(
+    pcp: &ZaatarPcp<F, D>,
+    witnesses: &[QapWitness<F>],
+    policy: &ExecPolicy,
+    budget: MemBudget,
+) -> Result<Vec<Option<ZaatarProof<F>>>, zaatar_mem::BudgetError>
+where
+    F: PrimeField,
+    D: EvalDomain<F>,
+{
+    let _span = zaatar_obs::time("runtime.prove_batch");
+    zaatar_obs::counter("runtime.prove_batch.instances").add(witnesses.len() as u64);
+    let policy = *policy;
+    parallel_map_with(
+        witnesses.iter().collect(),
+        policy.workers,
+        || ProverWorkspace::with_budget(budget).with_policy(policy),
+        |ws, w| prove_instance_policied(pcp, w, ws),
+    )
+    .into_iter()
+    .collect()
+}
+
+/// Proves one instance through whichever pipeline the workspace's
+/// stamped [`ExecPolicy`] selects — the single dispatch point every
+/// batch entry point and the session server's serving path go through.
+/// `Ok(None)` is a non-satisfying witness; `Err` is a budget refusal.
+pub fn prove_instance_policied<F, D>(
+    pcp: &ZaatarPcp<F, D>,
+    witness: &QapWitness<F>,
+    ws: &mut ProverWorkspace<F>,
+) -> Result<Option<ZaatarProof<F>>, zaatar_mem::BudgetError>
+where
+    F: PrimeField,
+    D: EvalDomain<F>,
+{
+    match ws.policy().proving {
+        Proving::Monolithic => Ok(pcp.prove_with(witness, ws)),
+        Proving::Streamed { chunk_len } => pcp.prove_streamed(witness, chunk_len, ws),
+    }
+}
+
+/// Builds the proofs for a batch of witnesses across `workers` threads,
+/// preserving batch order; a non-satisfying witness yields `None` for
+/// that instance only. Thin wrapper over [`prove_batch_with_policy`]
+/// pinning the legacy contract: monolithic pipeline, unlimited budget
+/// (so the `Err` path is unreachable).
 ///
 /// This is the batch entry point [`run_session_prover`] callers should
 /// use instead of a serial `pcp.prove` loop.
@@ -88,14 +153,13 @@ where
     F: PrimeField,
     D: EvalDomain<F>,
 {
-    let _span = zaatar_obs::time("runtime.prove_batch");
-    zaatar_obs::counter("runtime.prove_batch.instances").add(witnesses.len() as u64);
-    parallel_map_with(
-        witnesses.iter().collect(),
-        workers,
-        ProverWorkspace::new,
-        |ws, w| pcp.prove_with(w, ws),
+    prove_batch_with_policy(
+        pcp,
+        witnesses,
+        &ExecPolicy::with_workers(workers),
+        MemBudget::unlimited(),
     )
+    .expect("unlimited budget never refuses a lease")
 }
 
 /// Serial [`prove_batch`] over a caller-owned workspace: every instance
@@ -126,6 +190,11 @@ where
 /// that instance only), a budget refusal is an environment problem
 /// every remaining instance would hit too. Proofs are byte-identical
 /// to [`prove_batch_with`].
+///
+/// Thin wrapper over the policied dispatch: stamps
+/// [`ExecPolicy::streamed`]`(chunk_len)` on `ws` (the stamp persists,
+/// as a server's would) and runs every instance through
+/// [`prove_instance_policied`] on the caller's workspace.
 pub fn prove_batch_streamed<F, D>(
     pcp: &ZaatarPcp<F, D>,
     witnesses: &[QapWitness<F>],
@@ -138,9 +207,10 @@ where
 {
     let _span = zaatar_obs::time("runtime.prove_batch");
     zaatar_obs::counter("runtime.prove_batch.instances").add(witnesses.len() as u64);
+    ws.set_policy(ExecPolicy::streamed(chunk_len));
     witnesses
         .iter()
-        .map(|w| pcp.prove_streamed(w, chunk_len, ws))
+        .map(|w| prove_instance_policied(pcp, w, ws))
         .collect()
 }
 
@@ -158,6 +228,26 @@ pub fn answer_batch<F: zaatar_field::Field>(
     let _span = zaatar_obs::time("runtime.answer_batch");
     zaatar_obs::counter("runtime.answer_batch.instances").add(proofs.len() as u64);
     parallel_map(proofs.iter().collect(), workers, |p| batch.answer(p, 1))
+}
+
+/// [`answer_batch`] under an explicit [`ExecPolicy`]:
+/// [`Answering::Serial`] answers every instance on the calling thread
+/// (no spawn overhead — what the scheduler picks for β=1 or 1-core
+/// hosts), [`Answering::Packed`] shards instances across
+/// `policy.workers` threads. Responses are identical either way.
+pub fn answer_batch_with_policy<F: zaatar_field::Field>(
+    batch: &BatchQuerySet<F>,
+    proofs: &[ZaatarProof<F>],
+    policy: &ExecPolicy,
+) -> Vec<PcpResponses<F>> {
+    match policy.answering {
+        Answering::Serial => {
+            let _span = zaatar_obs::time("runtime.answer_batch");
+            zaatar_obs::counter("runtime.answer_batch.instances").add(proofs.len() as u64);
+            proofs.iter().map(|p| batch.answer(p, 1)).collect()
+        }
+        Answering::Packed => answer_batch(batch, proofs, policy.workers),
+    }
 }
 
 /// The verifier's verdict on one instance of the batch.

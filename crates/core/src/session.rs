@@ -360,6 +360,27 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> SessionProver<'p, F, D> {
         ws.scratch().put(dz.answers);
         Ok(bytes)
     }
+
+    /// Dispatches on the workspace's stamped
+    /// [`zaatar_sched::ExecPolicy`]: [`zaatar_sched::Proving::Monolithic`]
+    /// runs [`SessionProver::instance_message_with`],
+    /// [`zaatar_sched::Proving::Streamed`] runs
+    /// [`SessionProver::instance_message_streamed`] at the policy's
+    /// chunk length. This is the serving path a multi-tenant server
+    /// uses after stamping each leased workspace with its scheduler's
+    /// per-tenant policy; bytes on the wire are identical either way.
+    pub fn instance_message_policied(
+        &self,
+        proof: &ZaatarProof<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<Vec<u8>, SessionError> {
+        match ws.policy().proving {
+            zaatar_sched::Proving::Monolithic => self.instance_message_with(proof, ws),
+            zaatar_sched::Proving::Streamed { chunk_len } => {
+                self.instance_message_streamed(proof, chunk_len, ws)
+            }
+        }
+    }
 }
 
 /// PRG stream offset for per-circuit secrets in a heterogeneous
@@ -584,6 +605,19 @@ impl<'p, F: HasGroup + PrimeField, D: EvalDomain<F>> HeteroSessionProver<'p, F, 
     ) -> Result<Vec<u8>, SessionError> {
         let c = self.circuit_ids[i] as usize;
         self.provers[c].instance_message_with(proof, ws)
+    }
+
+    /// Policy-dispatched counterpart of
+    /// [`HeteroSessionProver::instance_message_with`]; see
+    /// [`SessionProver::instance_message_policied`].
+    pub fn instance_message_policied(
+        &self,
+        i: usize,
+        proof: &ZaatarProof<F>,
+        ws: &mut ProverWorkspace<F>,
+    ) -> Result<Vec<u8>, SessionError> {
+        let c = self.circuit_ids[i] as usize;
+        self.provers[c].instance_message_policied(proof, ws)
     }
 }
 

@@ -19,12 +19,21 @@
 //! sessions on one workspace.
 
 use zaatar_mem::{MemBudget, Scratch};
+use zaatar_sched::ExecPolicy;
 
 /// Per-worker buffer pools for the staged prover pipeline. Cheap to
 /// construct (empty pools), deliberately `!Clone` (a workspace is
 /// thread-local state, never shared), and reusable across batches —
 /// nothing in it depends on a particular witness or PRG state, so
 /// transcripts are byte-identical with or without reuse.
+///
+/// Alongside the pools, the workspace carries the [`ExecPolicy`] under
+/// which its owner should execute — the same placement the
+/// [`MemBudget`] has. A server stamps both at workspace lease time
+/// (budget from the tenant config, policy from the scheduler), and the
+/// policied entry points (`compute_h_policied`,
+/// `instance_message_policied`) read the execution decisions from here
+/// instead of taking ad-hoc knob arguments.
 pub struct ProverWorkspace<F> {
     scratch: Scratch<F>,
     /// Raw-word pool for the group layer: the commit and answer stages
@@ -32,6 +41,10 @@ pub struct ProverWorkspace<F> {
     /// field elements) from here, so one worker's MSMs share a single
     /// bucket allocation across every commitment in a batch.
     group_scratch: Scratch<u64>,
+    /// Execution decisions for work run against this workspace; defaults
+    /// to [`ExecPolicy::serial`], the exact behaviour of the
+    /// pre-scheduler entry points.
+    policy: ExecPolicy,
 }
 
 impl<F> ProverWorkspace<F> {
@@ -40,6 +53,7 @@ impl<F> ProverWorkspace<F> {
         ProverWorkspace {
             scratch: Scratch::new(),
             group_scratch: Scratch::new(),
+            policy: ExecPolicy::default(),
         }
     }
 
@@ -54,13 +68,31 @@ impl<F> ProverWorkspace<F> {
         ProverWorkspace {
             scratch: Scratch::with_budget(budget),
             group_scratch: Scratch::with_budget(budget),
+            policy: ExecPolicy::default(),
         }
+    }
+
+    /// Builder-style policy stamp: `ProverWorkspace::new().with_policy(p)`.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Applies `budget` to both pools (effective on subsequent leases).
     pub fn set_budget(&mut self, budget: MemBudget) {
         self.scratch.set_budget(budget);
         self.group_scratch.set_budget(budget);
+    }
+
+    /// Replaces the execution policy (effective on subsequent calls to
+    /// the policied entry points; in-flight work is unaffected).
+    pub fn set_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
+    }
+
+    /// The execution policy stamped on this workspace.
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
     }
 
     /// The budget enforced on the field pool (the group pool carries
@@ -163,6 +195,20 @@ mod tests {
         ws.set_budget(MemBudget::unlimited());
         let big = ws.scratch().try_take(4096, F61::ZERO).expect("uncapped");
         ws.scratch().put(big);
+    }
+
+    #[test]
+    fn policy_defaults_serial_and_is_replaceable() {
+        use zaatar_sched::Proving;
+        let ws: ProverWorkspace<F61> = ProverWorkspace::new();
+        assert_eq!(ws.policy(), ExecPolicy::serial());
+        let mut ws = ProverWorkspace::<F61>::with_budget(MemBudget::bytes(1 << 20))
+            .with_policy(ExecPolicy::streamed(64));
+        assert_eq!(ws.policy().proving, Proving::Streamed { chunk_len: 64 });
+        ws.set_policy(ExecPolicy::with_workers(4));
+        assert_eq!(ws.policy().workers, 4);
+        // Policy and budget are independent stamps on the same lease.
+        assert_eq!(ws.budget().limit_bytes(), Some(1 << 20));
     }
 
     #[test]

@@ -16,7 +16,9 @@ use std::any::Any;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::Mutex;
+
+use zaatar_sched::HostProfile;
 
 /// One output cell, written by exactly one worker (the one that claimed
 /// its index) and read only after all workers have joined — the
@@ -30,31 +32,23 @@ struct Slot<V>(UnsafeCell<Option<V>>);
 unsafe impl<V: Send> Sync for Slot<V> {}
 
 /// The worker count actually used for a request of `requested` workers:
-/// the `ZAATAR_WORKERS` environment variable, when set to a positive
-/// integer, replaces the requested count verbatim (it is read once and
-/// cached for the life of the process; unparsable or zero values are
-/// ignored). Without the override, the request is clamped to the host's
-/// [`std::thread::available_parallelism`] — oversubscribing cores only
-/// buys scheduling overhead (measured as a <1 speedup on a 1-core
-/// host), so a default request never exceeds what the hardware can run
-/// concurrently. Callers still clamp to the item count, so neither path
-/// ever idles on empty shards.
+/// [`HostProfile::from_env`]'s view of the host — the `ZAATAR_WORKERS`
+/// environment variable, when set to a positive integer, replaces the
+/// requested count verbatim (read once per process; an unparsable or
+/// zero value increments the `sched.env.bad_override` counter and is
+/// treated as unset). Without the override, the request is clamped to
+/// the host's parallelism — oversubscribing cores only buys scheduling
+/// overhead (measured as a <1 speedup on a 1-core host), so a default
+/// request never exceeds what the hardware can run concurrently.
+/// Callers still clamp to the item count, so neither path ever idles
+/// on empty shards.
+///
+/// The parse and clamp logic lives in `zaatar-sched` so tests can
+/// drive it with injected profiles and override strings
+/// ([`HostProfile::with_override_str`]) instead of racing the
+/// process-global environment.
 pub fn effective_workers(requested: usize) -> usize {
-    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
-    static HOST: OnceLock<usize> = OnceLock::new();
-    let explicit = OVERRIDE.get_or_init(|| {
-        std::env::var("ZAATAR_WORKERS")
-            .ok()
-            .and_then(|raw| raw.trim().parse::<usize>().ok())
-            .filter(|&w| w >= 1)
-    });
-    if let Some(w) = explicit {
-        return *w;
-    }
-    let host = *HOST.get_or_init(|| {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    });
-    requested.min(host).max(1)
+    HostProfile::from_env().effective_workers(requested)
 }
 
 /// Applies `f` to every item using up to `workers` threads (chunked

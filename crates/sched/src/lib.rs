@@ -1,0 +1,662 @@
+//! Execution policy layer: one calibrated object for every decision the
+//! stack used to hardcode or read from scattered globals.
+//!
+//! The paper evaluates Zaatar *through* an analytic cost model (Fig. 3);
+//! `core::cost` reproduces that model, but until this crate nothing
+//! consumed it at runtime — worker counts came from a process-global env
+//! cache, the parallel-NTT cutoff was a hardcoded constant, and callers
+//! hand-picked streaming vs monolithic proving. This crate turns those
+//! five choices into one explicit seam:
+//!
+//! * [`HostProfile`] — what the machine can do: parallelism, a one-time
+//!   measured thread spawn/join overhead, and the operator's
+//!   `ZAATAR_WORKERS` override (parsed here, once, with a
+//!   `sched.env.bad_override` counter on garbage instead of silence).
+//! * [`ExecPolicy`] — what one prover run will do: worker count, the
+//!   NTT parallel cutoff, packed vs serial answering, monolithic vs
+//!   streamed proving (with a derived chunk length), and an optional
+//!   MSM window override.
+//! * [`Scheduler`] — derives an [`ExecPolicy`] from the workload shape
+//!   (circuit size, batch size β, element width), a
+//!   [`zaatar_mem::MemBudget`], the host profile, and §5.1 micro costs.
+//!
+//! Every decision is a pure function of its inputs, so the scheduler is
+//! testable with synthetic profiles and paper-table costs — no wall
+//! clock anywhere in the decision path. Policy dispatch is
+//! byte-transparent to transcripts: a policy changes *where* and *when*
+//! work happens (threads, chunks), never the field/group values that
+//! reach the wire.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use zaatar_mem::MemBudget;
+
+/// The parallel-NTT cutoff policies fall back to when no scheduler ran:
+/// the value measured for the in-tree test field before the cutoff
+/// became policy (transforms at `log n >= 14` shard their passes).
+pub const DEFAULT_NTT_PARALLEL_MIN_LOG2: u32 = 14;
+
+/// Floor/ceiling for the derived NTT cutoff: below 2^10 a transform is
+/// too small for any fork to amortize on realistic hosts; above 2^20
+/// the work term dominates any plausible spawn overhead, so a larger
+/// cutoff would only ever disable parallelism that pays.
+const NTT_MIN_LOG2_RANGE: (u32, u32) = (10, 20);
+
+/// How many times the per-pass butterfly work must exceed the measured
+/// spawn overhead before the scheduler turns intra-NTT sharding on.
+/// Each sharded pass forks and joins once per worker; requiring 8x
+/// keeps the fork tax under ~12% of a pass even in the worst case.
+const NTT_SPAWN_AMORTIZATION: f64 = 8.0;
+
+/// Monolithic peak residency, in field elements per domain point: the
+/// witness vector, three staged A/B/C accumulators, and two 2n coset
+/// transform buffers, rounded up by the pool's power-of-two size
+/// classes. Measured: 81,920 B at n = 1024 and 327,680 B at n = 4096
+/// (8-byte elements) — exactly 10 n elements at both sizes.
+const MONO_PEAK_ELEMS_PER_POINT: usize = 10;
+
+/// Streamed-path floor, in elements per domain point: the chunked A/B/C
+/// value vectors are still full length (3n) and the quotient drain
+/// holds two 2n coset buffers (4n). Measured: 57,344 B = 7 n elements
+/// at n = 1024. Chunk length tunes transients above this floor, not
+/// the floor itself.
+const STREAM_FLOOR_ELEMS_PER_POINT: usize = 7;
+
+/// Smallest chunk the scheduler will derive — below this the per-chunk
+/// lease/release traffic dominates the work inside the chunk (the
+/// bench's streaming geometry bottomed out at the same value).
+const MIN_CHUNK_LEN: usize = 16;
+
+/// Default working-set size above which the streamed pipeline's tiled
+/// transforms beat the monolithic path even with no budget in force
+/// (measured: monolithic faster at an 80 KiB working set, streamed
+/// faster at 320 KiB — the boundary is cache residency, not memory
+/// pressure). Overridable per profile for hosts with other cache sizes.
+const DEFAULT_CACHE_RESIDENT_BYTES: usize = 256 << 10;
+
+/// Spawn-probe fallback when a measurement is impossible or absurd
+/// (e.g. a clock that reports zero): a mid-range value for commodity
+/// hosts so derived cutoffs stay sane.
+const DEFAULT_SPAWN_OVERHEAD_NS: f64 = 25_000.0;
+
+/// What the machine running this process can do: measured once, cached
+/// for the process lifetime, and injectable for tests (every field is
+/// plain data — no global state is consulted after construction).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HostProfile {
+    /// Hardware threads available to this process
+    /// ([`std::thread::available_parallelism`], floor 1).
+    pub parallelism: usize,
+    /// The operator's `ZAATAR_WORKERS` pin, when set to a positive
+    /// integer: replaces every derived or requested worker count
+    /// verbatim. `None` when unset or unparsable (the bad parse is
+    /// counted, not silently dropped).
+    pub worker_override: Option<usize>,
+    /// Measured cost of one thread spawn + join, in nanoseconds — the
+    /// calibration probe behind every "is forking worth it" decision.
+    pub spawn_overhead_ns: f64,
+    /// Working-set size above which streaming's tiled transforms win
+    /// over the monolithic path on this host (see
+    /// [`Scheduler::proving_for`]).
+    pub cache_resident_bytes: usize,
+}
+
+impl HostProfile {
+    /// Probes the host once and caches the result for the process
+    /// lifetime: parallelism from the OS, spawn overhead measured by
+    /// timing a handful of spawn/join round trips. Does **not** read
+    /// the environment — see [`HostProfile::from_env`] for the
+    /// operator-override layer.
+    pub fn detect() -> HostProfile {
+        static PROBED: OnceLock<HostProfile> = OnceLock::new();
+        *PROBED.get_or_init(HostProfile::probe)
+    }
+
+    /// The profile every in-tree `effective_workers` call consults:
+    /// [`HostProfile::detect`] plus the `ZAATAR_WORKERS` environment
+    /// override, both read once per process. A bad override value
+    /// (unparsable, or zero) increments the `sched.env.bad_override`
+    /// counter exactly once and is otherwise treated as unset.
+    pub fn from_env() -> HostProfile {
+        static CACHED: OnceLock<HostProfile> = OnceLock::new();
+        *CACHED.get_or_init(|| {
+            HostProfile::detect()
+                .with_override_str(std::env::var("ZAATAR_WORKERS").ok().as_deref())
+        })
+    }
+
+    /// A fully synthetic profile for deterministic tests: no probing,
+    /// no environment, default cache threshold.
+    pub fn synthetic(parallelism: usize, spawn_overhead_ns: f64) -> HostProfile {
+        HostProfile {
+            parallelism: parallelism.max(1),
+            worker_override: None,
+            spawn_overhead_ns,
+            cache_resident_bytes: DEFAULT_CACHE_RESIDENT_BYTES,
+        }
+    }
+
+    /// Applies an override string (the raw `ZAATAR_WORKERS` value, or
+    /// an injected one in tests) to this profile. Pure: the environment
+    /// is never consulted, so tests can drive every parse path without
+    /// process-global env ordering. `Some` garbage or zero counts one
+    /// `sched.env.bad_override` and leaves the override unset.
+    pub fn with_override_str(mut self, raw: Option<&str>) -> HostProfile {
+        self.worker_override = match raw {
+            None => None,
+            Some(raw) => match raw.trim().parse::<usize>() {
+                Ok(w) if w >= 1 => Some(w),
+                _ => {
+                    zaatar_obs::counter("sched.env.bad_override").inc();
+                    None
+                }
+            },
+        };
+        self
+    }
+
+    /// The worker count actually used for a request of `requested`
+    /// workers: the override, when pinned, replaces the request
+    /// verbatim; otherwise the request is clamped to the host's
+    /// parallelism (oversubscribing cores only buys scheduling
+    /// overhead) with a floor of one.
+    pub fn effective_workers(&self, requested: usize) -> usize {
+        match self.worker_override {
+            Some(w) => w,
+            None => requested.min(self.parallelism).max(1),
+        }
+    }
+
+    fn probe() -> HostProfile {
+        let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+        HostProfile {
+            parallelism,
+            worker_override: None,
+            spawn_overhead_ns: measure_spawn_overhead_ns(),
+            cache_resident_bytes: DEFAULT_CACHE_RESIDENT_BYTES,
+        }
+    }
+}
+
+/// Times a few thread spawn + join round trips and returns the mean,
+/// in nanoseconds. Runs once per process (behind [`HostProfile::detect`]'s
+/// cache); four spawns keep the probe under a millisecond on any host
+/// that can run the prover at all.
+fn measure_spawn_overhead_ns() -> f64 {
+    const ROUNDS: u32 = 4;
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        std::thread::spawn(|| {}).join().expect("probe thread");
+    }
+    let per_spawn = start.elapsed().as_nanos() as f64 / f64::from(ROUNDS);
+    if per_spawn <= 0.0 {
+        DEFAULT_SPAWN_OVERHEAD_NS
+    } else {
+        per_spawn
+    }
+}
+
+/// How a batch's query answers are produced: one serial pass per
+/// instance, or the packed matrix kernel sharded across the policy's
+/// workers. Both produce identical field values (the packed kernel's
+/// re-association is exact), so the choice is cost-only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Answering {
+    /// One serial answer pass per instance.
+    Serial,
+    /// The packed `BatchQuerySet` kernel across the policy's workers.
+    Packed,
+}
+
+/// How an instance's proof is constructed: the monolithic staged
+/// pipeline (fastest while its working set stays cache-resident, peak
+/// residency ~10 elements per domain point) or the chunked streaming
+/// pipeline (peak bounded near 7 elements per point plus the chunk).
+/// Both produce byte-identical proofs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proving {
+    /// Full-length stage buffers, soft (`take`) leases.
+    Monolithic,
+    /// Chunked stages with hard (`try_take`) leases of `chunk_len`
+    /// field elements at a time.
+    Streamed {
+        /// Field elements per streamed chunk.
+        chunk_len: usize,
+    },
+}
+
+/// Every execution decision for one prover run, in one place. Plain
+/// data: carrying a policy costs a few words, and stamping one on a
+/// workspace never changes the bytes any prover path produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Worker threads for batch-level parallelism (`prove_batch`,
+    /// `answer_batch`). Call sites still clamp to the item count.
+    pub workers: usize,
+    /// Transforms at `log n` at or above this shard their butterfly
+    /// passes; below it they stay serial.
+    pub ntt_parallel_min_log2: u32,
+    /// Serial vs packed query answering.
+    pub answering: Answering,
+    /// Monolithic vs streamed proof construction.
+    pub proving: Proving,
+    /// When set, forces the Pippenger MSM window width instead of the
+    /// length-derived heuristic — the seam for hosts whose bucket
+    /// scratch must be capped below the default. `None` keeps the
+    /// self-tuned width.
+    pub msm_window_bits_override: Option<usize>,
+}
+
+impl ExecPolicy {
+    /// The do-nothing-clever policy: one worker, serial answering,
+    /// monolithic proving, default NTT cutoff. Matches the behaviour
+    /// of every pre-policy serial entry point.
+    pub fn serial() -> ExecPolicy {
+        ExecPolicy::with_workers(1)
+    }
+
+    /// A monolithic policy pinning `workers` (the legacy `prove_batch`
+    /// contract: explicit worker count, everything else default).
+    pub fn with_workers(workers: usize) -> ExecPolicy {
+        ExecPolicy {
+            workers: workers.max(1),
+            ntt_parallel_min_log2: DEFAULT_NTT_PARALLEL_MIN_LOG2,
+            answering: if workers > 1 { Answering::Packed } else { Answering::Serial },
+            proving: Proving::Monolithic,
+            msm_window_bits_override: None,
+        }
+    }
+
+    /// A serial streamed policy pinning `chunk_len` (the legacy
+    /// `prove_batch_streamed` contract).
+    pub fn streamed(chunk_len: usize) -> ExecPolicy {
+        ExecPolicy {
+            proving: Proving::Streamed { chunk_len: chunk_len.max(1) },
+            ..ExecPolicy::serial()
+        }
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy::serial()
+    }
+}
+
+/// The §5.1 microbenchmark costs the scheduler prices work with, in
+/// seconds per operation — a mirror of `core::cost::MicroParams`
+/// (this crate sits below `core`, so it carries its own copy of the
+/// paper-table constants; `core` provides a lossless `From` conversion
+/// and a test pinning the two tables equal).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MicroCosts {
+    /// Encryption (Enc) cost.
+    pub e: f64,
+    /// Decryption (Dec) cost.
+    pub d: f64,
+    /// Ciphertext-add + scalar-multiply (homomorphic op) cost.
+    pub h: f64,
+    /// Field multiplication cost.
+    pub f: f64,
+    /// Lazy (deferred-reduction) field multiply-accumulate cost.
+    pub f_lazy: f64,
+    /// Field division cost.
+    pub f_div: f64,
+    /// PRG cost per pseudorandom field element.
+    pub c: f64,
+}
+
+impl MicroCosts {
+    /// The paper's measured 128-bit-field column (§5.1).
+    pub fn paper_128() -> MicroCosts {
+        MicroCosts {
+            e: 65e-6,
+            d: 170e-6,
+            h: 91e-6,
+            f: 210e-9,
+            f_lazy: 68e-9,
+            f_div: 2e-6,
+            c: 160e-9,
+        }
+    }
+
+    /// The paper's measured 220-bit-field column (§5.1).
+    pub fn paper_220() -> MicroCosts {
+        MicroCosts {
+            e: 88e-6,
+            d: 170e-6,
+            h: 130e-6,
+            f: 320e-9,
+            f_lazy: 90e-9,
+            f_div: 3e-6,
+            c: 260e-9,
+        }
+    }
+}
+
+/// The inputs a scheduling decision depends on, per workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkloadShape {
+    /// QAP domain size `|C_z|` (constraint count; padded to a power of
+    /// two internally, matching the transform sizes the prover runs).
+    pub domain_size: usize,
+    /// Batch size β — instances proved together.
+    pub batch: usize,
+    /// Bytes per field element (residency predictions scale by this).
+    pub elem_bytes: usize,
+}
+
+impl WorkloadShape {
+    /// The transform size the prover actually runs at: `domain_size`
+    /// rounded up to a power of two.
+    pub fn padded_domain(&self) -> usize {
+        self.domain_size.max(1).next_power_of_two()
+    }
+}
+
+/// Derives an [`ExecPolicy`] from workload shape, memory budget, host
+/// profile, and micro costs. Every method is a pure function of the
+/// constructor inputs and its arguments.
+#[derive(Clone, Copy, Debug)]
+pub struct Scheduler {
+    host: HostProfile,
+    micro: MicroCosts,
+}
+
+impl Scheduler {
+    /// A scheduler for `host` pricing work with `micro`.
+    pub fn new(host: HostProfile, micro: MicroCosts) -> Scheduler {
+        Scheduler { host, micro }
+    }
+
+    /// The host profile decisions are made against.
+    pub fn host(&self) -> &HostProfile {
+        &self.host
+    }
+
+    /// The full policy for one workload under `budget`.
+    pub fn policy(&self, shape: WorkloadShape, budget: MemBudget) -> ExecPolicy {
+        ExecPolicy {
+            workers: self.workers_for(shape),
+            ntt_parallel_min_log2: self.ntt_parallel_min_log2(),
+            answering: if shape.batch > 1 { Answering::Packed } else { Answering::Serial },
+            proving: self.proving_for(shape, budget),
+            msm_window_bits_override: None,
+        }
+    }
+
+    /// Predicted monolithic-path peak workspace residency for `shape`,
+    /// in bytes (the v8 `stream` section's measured geometry: 10
+    /// elements per padded domain point).
+    pub fn predicted_monolithic_peak_bytes(shape: WorkloadShape) -> usize {
+        MONO_PEAK_ELEMS_PER_POINT * shape.padded_domain() * shape.elem_bytes
+    }
+
+    /// Predicted streamed-path residency floor for `shape`, in bytes
+    /// (7 elements per padded point; chunk length tunes transients
+    /// above this, never below).
+    pub fn predicted_streamed_floor_bytes(shape: WorkloadShape) -> usize {
+        STREAM_FLOOR_ELEMS_PER_POINT * shape.padded_domain() * shape.elem_bytes
+    }
+
+    /// Predicted proof-construction work for one instance, in
+    /// nanoseconds: the Fig. 3 Zaatar prover interpolation term
+    /// `3 f |C_z| log2 |C_z|` over the padded domain. Absolute accuracy
+    /// is irrelevant — only the comparison against measured spawn
+    /// overhead is consumed.
+    pub fn predicted_instance_ns(&self, shape: WorkloadShape) -> f64 {
+        let n = shape.padded_domain() as f64;
+        3.0 * self.micro.f * 1e9 * n * n.log2().max(1.0)
+    }
+
+    /// Worker count for `shape`: the candidate count minimizing
+    /// predicted batch time, where `w` workers split the per-instance
+    /// work but pay one spawn/join each. Serial (`w = 1`) is always a
+    /// candidate, so the chosen count is never predicted slower than
+    /// serial — the ROADMAP "never slower than serial on any host"
+    /// rule by construction (on a 1-core host the only candidate is 1).
+    /// An operator `ZAATAR_WORKERS` pin wins outright.
+    pub fn workers_for(&self, shape: WorkloadShape) -> usize {
+        if let Some(w) = self.host.worker_override {
+            return w.max(1);
+        }
+        let max_w = self.host.parallelism.min(shape.batch.max(1));
+        let total_ns = self.predicted_instance_ns(shape) * shape.batch.max(1) as f64;
+        let mut best = (1usize, total_ns);
+        for w in 2..=max_w {
+            let est = total_ns / w as f64 + self.host.spawn_overhead_ns * w as f64;
+            if est < best.1 {
+                best = (w, est);
+            }
+        }
+        best.0
+    }
+
+    /// The `log2 n` at which intra-NTT pass sharding starts paying on
+    /// this host: the smallest size whose per-pass butterfly work
+    /// (~`n` multiplications at the calibrated `f`) covers the
+    /// measured spawn overhead [`NTT_SPAWN_AMORTIZATION`] times over,
+    /// clamped to a sane range. Cheap fields and slow spawns raise the
+    /// cutoff; expensive fields lower it.
+    pub fn ntt_parallel_min_log2(&self) -> u32 {
+        let mult_ns = (self.micro.f * 1e9).max(1e-3);
+        let cutoff_elems = (self.host.spawn_overhead_ns * NTT_SPAWN_AMORTIZATION) / mult_ns;
+        let log2 = cutoff_elems.max(1.0).log2().ceil() as u32;
+        log2.clamp(NTT_MIN_LOG2_RANGE.0, NTT_MIN_LOG2_RANGE.1)
+    }
+
+    /// Monolithic vs streamed proving for `shape` under `budget`:
+    /// streamed when the predicted monolithic peak would cross the
+    /// budget (the hard constraint), or — with room to spare — when
+    /// the working set falls out of cache, where the streamed
+    /// pipeline's tiled transforms are measurably faster. Otherwise
+    /// monolithic, which wins while cache-resident.
+    pub fn proving_for(&self, shape: WorkloadShape, budget: MemBudget) -> Proving {
+        let peak = Scheduler::predicted_monolithic_peak_bytes(shape);
+        let over_budget = budget.limit_bytes().is_some_and(|limit| peak > limit);
+        if over_budget || peak > self.host.cache_resident_bytes {
+            Proving::Streamed { chunk_len: self.chunk_len(shape, budget) }
+        } else {
+            Proving::Monolithic
+        }
+    }
+
+    /// Chunk length for the streamed pipeline under `budget`: half the
+    /// element headroom between the budget and the streamed floor
+    /// (half, because the pool's power-of-two size classes can round a
+    /// lease up to 2x), clamped to `[16, padded domain]`. With no
+    /// budget in force the cache-friendly default is one-eighth of the
+    /// domain — eight chunks, enough to keep per-chunk overhead
+    /// negligible while the working chunk stays small.
+    pub fn chunk_len(&self, shape: WorkloadShape, budget: MemBudget) -> usize {
+        let n = shape.padded_domain();
+        match budget.limit_bytes() {
+            None => (n / 8).max(MIN_CHUNK_LEN),
+            Some(limit) => {
+                let floor = Scheduler::predicted_streamed_floor_bytes(shape);
+                let headroom_elems =
+                    limit.saturating_sub(floor) / shape.elem_bytes.max(1);
+                (headroom_elems / 2).clamp(MIN_CHUNK_LEN, n.max(MIN_CHUNK_LEN))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(domain: usize, batch: usize) -> WorkloadShape {
+        WorkloadShape { domain_size: domain, batch, elem_bytes: 8 }
+    }
+
+    #[test]
+    fn override_parsing_counts_garbage_and_zero() {
+        let counter = zaatar_obs::counter("sched.env.bad_override");
+        let before = counter.get();
+        let p = HostProfile::synthetic(4, 50_000.0).with_override_str(Some("not-a-number"));
+        assert_eq!(p.worker_override, None);
+        assert_eq!(counter.get(), before + 1);
+        let p = p.with_override_str(Some("0"));
+        assert_eq!(p.worker_override, None);
+        assert_eq!(counter.get(), before + 2);
+        // A good override parses without touching the counter and wins
+        // over both requests and host parallelism.
+        let p = p.with_override_str(Some(" 3 "));
+        assert_eq!(p.worker_override, Some(3));
+        assert_eq!(counter.get(), before + 2);
+        assert_eq!(p.effective_workers(8), 3);
+        assert_eq!(p.effective_workers(1), 3);
+        // And None clears it.
+        let p = p.with_override_str(None);
+        assert_eq!(p.worker_override, None);
+        assert_eq!(counter.get(), before + 2);
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_parallelism_without_override() {
+        let p = HostProfile::synthetic(4, 50_000.0);
+        assert_eq!(p.effective_workers(0), 1);
+        assert_eq!(p.effective_workers(3), 3);
+        assert_eq!(p.effective_workers(64), 4);
+    }
+
+    #[test]
+    fn single_core_host_always_schedules_serial() {
+        let s = Scheduler::new(HostProfile::synthetic(1, 20_000.0), MicroCosts::paper_128());
+        for batch in [1usize, 4, 16, 64] {
+            assert_eq!(s.workers_for(shape(1024, batch)), 1);
+        }
+    }
+
+    #[test]
+    fn batch_work_beats_spawn_overhead_on_multicore() {
+        // Paper-cost 128-bit field, 8-way host, realistic spawn cost:
+        // a beta=16 batch at n=1024 carries ~100 ms of predicted work,
+        // so the scheduler uses the cores.
+        let s = Scheduler::new(HostProfile::synthetic(8, 20_000.0), MicroCosts::paper_128());
+        let w = s.workers_for(shape(1024, 16));
+        assert!(w > 1, "expected parallel, got {w}");
+        // And never more workers than instances.
+        assert_eq!(s.workers_for(shape(1024, 1)), 1);
+    }
+
+    #[test]
+    fn absurd_spawn_cost_forces_serial_even_on_multicore() {
+        // If forking costs more than the whole batch, serial wins: the
+        // BENCH_pr5 regression (speedup 0.849 at workers=8) can no
+        // longer be scheduled.
+        let s = Scheduler::new(HostProfile::synthetic(8, 1e12), MicroCosts::paper_128());
+        assert_eq!(s.workers_for(shape(1024, 16)), 1);
+    }
+
+    #[test]
+    fn worker_override_pins_the_scheduled_count() {
+        let host = HostProfile::synthetic(8, 20_000.0).with_override_str(Some("2"));
+        let s = Scheduler::new(host, MicroCosts::paper_128());
+        assert_eq!(s.workers_for(shape(1024, 16)), 2);
+    }
+
+    #[test]
+    fn ntt_cutoff_rises_with_cheaper_mults_and_slower_spawns() {
+        let paper = Scheduler::new(HostProfile::synthetic(4, 20_000.0), MicroCosts::paper_128());
+        let slow_spawn =
+            Scheduler::new(HostProfile::synthetic(4, 2_000_000.0), MicroCosts::paper_128());
+        assert!(slow_spawn.ntt_parallel_min_log2() >= paper.ntt_parallel_min_log2());
+        // 220-bit mults are pricier than 128-bit: cutoff can only drop.
+        let p220 = Scheduler::new(HostProfile::synthetic(4, 20_000.0), MicroCosts::paper_220());
+        assert!(p220.ntt_parallel_min_log2() <= paper.ntt_parallel_min_log2());
+        // Both stay in the clamp range.
+        let lo = NTT_MIN_LOG2_RANGE.0;
+        let hi = NTT_MIN_LOG2_RANGE.1;
+        for s in [paper, slow_spawn, p220] {
+            let c = s.ntt_parallel_min_log2();
+            assert!((lo..=hi).contains(&c));
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_stays_monolithic_while_cache_resident() {
+        // The bench's smaller stream size: n = 1024, predicted peak
+        // 80 KiB — inside the 256 KiB cache threshold, so monolithic
+        // (which BENCH_pr9 measured ~13% faster there).
+        let s = Scheduler::new(HostProfile::synthetic(1, 20_000.0), MicroCosts::paper_128());
+        assert_eq!(
+            s.proving_for(shape(1024, 16), MemBudget::unlimited()),
+            Proving::Monolithic
+        );
+        // The larger size: n = 4096, predicted peak 320 KiB — past the
+        // cache threshold, so streamed even with no budget in force.
+        assert!(matches!(
+            s.proving_for(shape(4096, 16), MemBudget::unlimited()),
+            Proving::Streamed { .. }
+        ));
+    }
+
+    #[test]
+    fn budget_pressure_forces_streaming_with_bounded_chunk() {
+        let s = Scheduler::new(HostProfile::synthetic(1, 20_000.0), MicroCosts::paper_128());
+        let sh = shape(1024, 1);
+        let peak = Scheduler::predicted_monolithic_peak_bytes(sh);
+        assert_eq!(peak, 10 * 1024 * 8);
+        // A budget exactly at the peak still fits monolithic.
+        assert_eq!(s.proving_for(sh, MemBudget::bytes(peak)), Proving::Monolithic);
+        // One byte less forces streaming.
+        let Proving::Streamed { chunk_len } = s.proving_for(sh, MemBudget::bytes(peak - 1))
+        else {
+            panic!("expected streamed under budget pressure");
+        };
+        assert!(chunk_len >= MIN_CHUNK_LEN);
+        assert!(chunk_len <= 1024);
+        // Chunk residency above the floor must fit in the headroom
+        // (half of it, leaving room for size-class rounding).
+        let floor = Scheduler::predicted_streamed_floor_bytes(sh);
+        let headroom = (peak - 1) - floor;
+        assert!(chunk_len * 8 <= headroom.max(MIN_CHUNK_LEN * 8 * 2));
+    }
+
+    #[test]
+    fn chunk_len_grows_with_headroom_and_caps_at_domain() {
+        let s = Scheduler::new(HostProfile::synthetic(1, 20_000.0), MicroCosts::paper_128());
+        let sh = shape(1024, 1);
+        let floor = Scheduler::predicted_streamed_floor_bytes(sh);
+        let tight = s.chunk_len(sh, MemBudget::bytes(floor + 64 * 8));
+        let roomy = s.chunk_len(sh, MemBudget::bytes(floor + 4096 * 8));
+        assert!(tight <= roomy);
+        assert!(roomy <= 1024);
+        // Unlimited: the cache-friendly n/8 default.
+        assert_eq!(s.chunk_len(sh, MemBudget::unlimited()), 128);
+        // Tiny domains floor at MIN_CHUNK_LEN.
+        assert_eq!(s.chunk_len(shape(32, 1), MemBudget::unlimited()), MIN_CHUNK_LEN);
+    }
+
+    #[test]
+    fn policy_assembles_all_decisions() {
+        let s = Scheduler::new(HostProfile::synthetic(8, 20_000.0), MicroCosts::paper_128());
+        let p = s.policy(shape(1024, 16), MemBudget::unlimited());
+        assert!(p.workers > 1);
+        assert_eq!(p.answering, Answering::Packed);
+        assert_eq!(p.proving, Proving::Monolithic);
+        assert_eq!(p.msm_window_bits_override, None);
+        let p1 = s.policy(shape(1024, 1), MemBudget::unlimited());
+        assert_eq!(p1.workers, 1);
+        assert_eq!(p1.answering, Answering::Serial);
+    }
+
+    #[test]
+    fn legacy_policy_constructors_pin_the_old_contracts() {
+        let serial = ExecPolicy::serial();
+        assert_eq!(serial.workers, 1);
+        assert_eq!(serial.proving, Proving::Monolithic);
+        assert_eq!(serial.answering, Answering::Serial);
+        assert_eq!(serial.ntt_parallel_min_log2, DEFAULT_NTT_PARALLEL_MIN_LOG2);
+        let par = ExecPolicy::with_workers(8);
+        assert_eq!(par.workers, 8);
+        assert_eq!(par.answering, Answering::Packed);
+        let st = ExecPolicy::streamed(64);
+        assert_eq!(st.proving, Proving::Streamed { chunk_len: 64 });
+        assert_eq!(st.workers, 1);
+        assert_eq!(ExecPolicy::default(), serial);
+    }
+}

@@ -37,8 +37,8 @@ use std::time::{Duration, Instant};
 
 use zaatar_core::runtime::{errcode, msg};
 use zaatar_core::{
-    parse_instance_index, HeteroSessionProver, MemBudget, ProverWorkspace, SessionError,
-    ZaatarProof,
+    parse_instance_index, ExecPolicy, HeteroSessionProver, HostProfile, MemBudget, MicroParams,
+    ProverWorkspace, Scheduler, SessionError, WorkloadShape, ZaatarProof,
 };
 use zaatar_core::pcp::ZaatarPcp;
 use zaatar_crypto::HasGroup;
@@ -250,6 +250,12 @@ pub struct SessionServer<'p, F: PrimeField + HasGroup, D: EvalDomain<F>> {
     sessions: BTreeMap<SessionId, Session<'p, F, D>>,
     next_id: SessionId,
     stats: ServerStats,
+    /// Per-tenant execution policy, derived once at construction from
+    /// the largest configured circuit and
+    /// [`ServerConfig::tenant_budget`], and stamped on every leased
+    /// workspace — the serving path streams commitments exactly when
+    /// the scheduler predicts the monolithic peak will not fit.
+    tenant_policy: ExecPolicy,
 }
 
 impl<'p, F, D> SessionServer<'p, F, D>
@@ -287,6 +293,18 @@ where
             "circuit id out of range"
         );
         let pool = WorkspacePool::new(config.pool_capacity);
+        // One policy decision for the whole server: the serving loop
+        // proves one instance per request (batch 1, workers moot), so
+        // the decision that matters is monolithic-vs-streamed — sized
+        // for the largest configured circuit against the per-tenant
+        // budget, so every tenant's workspace serves every circuit.
+        let scheduler = Scheduler::new(HostProfile::from_env(), MicroParams::paper_128().into());
+        let shape = WorkloadShape {
+            domain_size: pcps.iter().map(|p| p.qap().degree()).max().unwrap_or(1),
+            batch: 1,
+            elem_bytes: std::mem::size_of::<F>(),
+        };
+        let tenant_policy = scheduler.policy(shape, config.tenant_budget);
         SessionServer {
             pcps: pcps.to_vec(),
             circuit_ids: circuit_ids.to_vec(),
@@ -296,7 +314,15 @@ where
             sessions: BTreeMap::new(),
             next_id: 0,
             stats: ServerStats::default(),
+            tenant_policy,
         }
+    }
+
+    /// The execution policy stamped on every admitted session's
+    /// workspace (derived from the largest circuit and the tenant
+    /// budget at construction).
+    pub fn tenant_policy(&self) -> ExecPolicy {
+        self.tenant_policy
     }
 
     /// Circuits this server carries (1 for a legacy single-circuit
@@ -355,9 +381,11 @@ where
             || self.workspace_footprint_bytes() >= self.config.max_footprint_bytes;
         let ws = if refused { None } else { self.pool.lease() };
         // A recycled workspace may carry a previous session's budget
-        // (or none); (re)stamp the per-tenant cap before it serves.
+        // and policy (or none); (re)stamp the per-tenant cap and the
+        // scheduler's decision before it serves.
         let ws = ws.map(|mut ws| {
             ws.set_budget(self.config.tenant_budget);
+            ws.set_policy(self.tenant_policy);
             ws
         });
         let tenant_entry = self.stats.per_tenant.entry(tenant.to_string()).or_default();
@@ -543,9 +571,12 @@ where
                         let ws = session.ws.as_mut().expect("live session owns a workspace");
                         let cached = match &session.cache[idx] {
                             Some(bytes) => Ok(bytes.clone()),
+                            // Policy-dispatched: the workspace's stamp
+                            // decides monolithic vs streamed commitments;
+                            // bytes on the wire are identical either way.
                             None => session
                                 .prover
-                                .instance_message_with(idx, &proofs[idx], ws)
+                                .instance_message_policied(idx, &proofs[idx], ws)
                                 .inspect(|bytes| session.cache[idx] = Some(bytes.clone())),
                         };
                         match cached {
@@ -687,5 +718,37 @@ mod tests {
         };
         let ws2 = server.sessions.get(&id2).unwrap().ws.as_ref().unwrap();
         assert_eq!(ws2.budget().limit_bytes(), Some(1 << 20));
+    }
+
+    #[test]
+    fn admit_stamps_the_tenant_policy_on_leased_workspaces() {
+        let fx = zaatar_core::testutil::mul_fixture(&[[3, 7]]);
+        // A budget below the predicted monolithic peak for this circuit
+        // must yield a streaming policy; an unlimited one (tiny circuit,
+        // cache resident) must stay monolithic.
+        let shape = WorkloadShape {
+            domain_size: fx.pcp.qap().degree(),
+            batch: 1,
+            elem_bytes: std::mem::size_of::<F61>(),
+        };
+        let peak = Scheduler::predicted_monolithic_peak_bytes(shape);
+        let tight = ServerConfig {
+            tenant_budget: MemBudget::bytes(peak - 1),
+            ..ServerConfig::default()
+        };
+        let mut server = SessionServer::new(&fx.pcp, &fx.proofs, tight);
+        assert!(matches!(
+            server.tenant_policy().proving,
+            zaatar_core::Proving::Streamed { .. }
+        ));
+        let (_client, pt) = zaatar_transport::loopback_transport_pair();
+        let Admission::Admitted(id) = server.admit(pt, "tenant-a") else {
+            panic!("empty server must admit");
+        };
+        let ws = server.sessions.get(&id).unwrap().ws.as_ref().unwrap();
+        assert_eq!(ws.policy(), server.tenant_policy());
+
+        let roomy = SessionServer::new(&fx.pcp, &fx.proofs, ServerConfig::default());
+        assert_eq!(roomy.tenant_policy().proving, zaatar_core::Proving::Monolithic);
     }
 }

@@ -7,5 +7,6 @@ pub use zaatar_field as field;
 pub use zaatar_mem as mem;
 pub use zaatar_obs as obs;
 pub use zaatar_poly as poly;
+pub use zaatar_sched as sched;
 pub use zaatar_server as server;
 pub use zaatar_transport as transport;

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates the committed performance baseline, `BENCH_pr9.json`,
+# Regenerates the committed performance baseline, `BENCH_pr10.json`,
 # then runs the in-tree `cargo bench` groups for eyeball comparison:
 #
 #   tools/bench_baseline.sh            # full baseline (seconds)
@@ -7,13 +7,15 @@
 #
 # `BENCH_seed.json` (schema v1), `BENCH_pr3.json` (schema v2),
 # `BENCH_pr4.json` (schema v3), `BENCH_pr5.json` (schema v4),
-# `BENCH_pr6.json` (schema v5), `BENCH_pr7.json` (schema v6), and
-# `BENCH_pr8.json` (schema v7) are frozen earlier records kept for
-# before/after comparison; new snapshots land in `BENCH_pr9.json`
-# (schema v8, which adds the `stream` section: monolithic vs streaming
-# prover peak workspace residency at two circuit sizes with a
-# proof byte-identity flag; the validator requires the streaming peak
-# strictly below the monolithic one at the larger size). Note the
+# `BENCH_pr6.json` (schema v5), `BENCH_pr7.json` (schema v6),
+# `BENCH_pr8.json` (schema v7), and `BENCH_pr9.json` (schema v8) are
+# frozen earlier records kept for before/after comparison; new
+# snapshots land in `BENCH_pr10.json` (schema v9, which adds the
+# `sched` section: the scheduler's worker choice and its
+# monolithic-vs-streaming pipeline choice next to ground-truth sweeps;
+# the validator requires the chosen worker count within 5% of the best
+# swept count and never behind serial, and the pipeline choice to
+# match the faster measured path). Note the
 # percentile semantics change introduced in v6 snapshots:
 # `p50_ns`/`p99_ns` are bucket upper bounds clamped to the observed
 # max — and PR 9 fixes the nearest-rank selection so a skewed
@@ -32,7 +34,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ARGS=("$@")
-OUT="BENCH_pr9.json"
+OUT="BENCH_pr10.json"
 
 echo "==> bench_baseline → ${OUT}"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \

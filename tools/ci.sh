@@ -79,7 +79,28 @@ cargo test -q -p zaatar --test batch_differential --locked --release -- \
     streaming_prove_transcripts_byte_identical_across_chunk_sizes \
     streaming_leak_guard_high_water_under_budget_at_16x_bench
 
-# The validator enforces the full v8 schema, including the `ntt` and
+# Scheduler smoke: the zero-dep policy crate's deterministic unit
+# suite (injected MicroCosts, synthetic host profiles, no wall clock)
+# plus the root policy differential — transcripts must stay
+# byte-identical across every workers × answering × proving policy,
+# and the mono/streamed boundary must sit where the bench measured it.
+echo "==> sched smoke (policy units + transcript differential, release)"
+cargo test -q -p zaatar-sched --locked --release
+cargo test -q -p zaatar --test sched_policy --locked --release
+
+# The worker-count override must be honored at both extremes: the
+# whole tier-1-critical differential slice reruns pinned to one worker
+# (every parallel_map collapses to the calling thread) and pinned to
+# four (oversubscribed on narrow CI hosts — the clamp itself is under
+# test). Transcript identity across the two runs is what makes the
+# scheduler safe to ship: policy changes threads, never bytes.
+echo "==> env-override matrix (ZAATAR_WORKERS=1 and =4, release)"
+ZAATAR_WORKERS=1 cargo test -q -p zaatar --test batch_differential --locked --release
+ZAATAR_WORKERS=1 cargo test -q -p zaatar --test sched_policy --locked --release
+ZAATAR_WORKERS=4 cargo test -q -p zaatar --test batch_differential --locked --release
+ZAATAR_WORKERS=4 cargo test -q -p zaatar --test sched_policy --locked --release
+
+# The validator enforces the full v9 schema, including the `ntt` and
 # `pcp` sections (batch amortization must strictly reduce per-instance
 # query-setup cost), the `mem` section (the staged prover pipeline
 # must show a non-zero scratch-pool hit rate at batch size 16), the
@@ -89,9 +110,12 @@ cargo test -q -p zaatar --test batch_differential --locked --release -- \
 # (admissions must dominate rejections at nominal load; synthetic
 # overload must split deterministically), the `commit` section (the
 # bucket MSM must beat the per-element loop by ≥ 4× at the largest
-# measured oracle length), and the `cc` section (the optimizer must
+# measured oracle length), the `cc` section (the optimizer must
 # never grow a circuit and must strictly shrink at least three zoo
-# apps).
+# apps), and the `sched` section (the scheduler's worker choice must
+# be within 5% of the best swept count and never slower than serial,
+# and its mono/streamed pipeline choice must match the faster
+# measured path at each stream size).
 echo "==> bench smoke (baseline emit + schema validation)"
 cargo run --release -q -p zaatar-bench --locked --bin bench_baseline -- \
     --smoke --out target/bench_smoke.json
